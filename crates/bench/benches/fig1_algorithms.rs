@@ -1,0 +1,50 @@
+//! Experiment F1 (Fig. 1 of the paper — Algorithms A1 and A2): scaling
+//! of `EG(linear)` and `AG(linear)` with trace size.
+//!
+//! Expectation: both algorithms scale linearly in `|E|` (A1's walk visits
+//! each event once; A2 checks one cut per event), with A2 cheaper by a
+//! constant factor since it never materializes predecessor sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hb_bench::workloads::{conj_le, random};
+use hb_detect::{ag_linear, eg_conjunctive};
+use std::hint::black_box;
+
+fn bench_scaling_in_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/events");
+    for events in [100usize, 400, 1600, 6400] {
+        let comp = random(4, events);
+        let p = conj_le(&comp, 2);
+        g.throughput(Throughput::Elements(comp.num_events() as u64));
+        g.bench_with_input(BenchmarkId::new("A1-EG", events), &events, |b, _| {
+            b.iter(|| black_box(eg_conjunctive(&comp, &p).holds))
+        });
+        g.bench_with_input(BenchmarkId::new("A2-AG", events), &events, |b, _| {
+            b.iter(|| black_box(ag_linear(&comp, &p).holds))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling_in_processes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/processes");
+    for n in [2usize, 4, 8, 16, 32] {
+        // Keep |E| roughly constant as n grows.
+        let comp = random(n, 1600 / n);
+        let p = conj_le(&comp, 2);
+        g.bench_with_input(BenchmarkId::new("A1-EG", n), &n, |b, _| {
+            b.iter(|| black_box(eg_conjunctive(&comp, &p).holds))
+        });
+        g.bench_with_input(BenchmarkId::new("A2-AG", n), &n, |b, _| {
+            b.iter(|| black_box(ag_linear(&comp, &p).holds))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scaling_in_events, bench_scaling_in_processes
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Experiment F3 (Fig. 3 of the paper): detection cost on the
+//! NP-hardness gadgets.
+//!
+//! Expectation: `EG`/`AG` of the observer-independent gadget predicate
+//! grows exponentially with the number of boolean variables `m` (the
+//! gadget lattice has `3·2^m` / `2·2^m` cuts), while the DPLL check of
+//! the underlying formula stays comparatively cheap — the point of
+//! Theorems 5 and 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_detect::ModelChecker;
+use hb_reduction::{dpll_sat, random_3cnf, sat_to_eg_gadget, tautology_to_ag_gadget};
+use std::hint::black_box;
+
+fn bench_gadgets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    for m in [4usize, 6, 8, 10, 12] {
+        let cnf = random_3cnf(m, 2 * m, m as u64);
+        let expr = cnf.to_expr();
+
+        let (comp_eg, pred_eg) = sat_to_eg_gadget(&expr, m);
+        g.bench_with_input(BenchmarkId::new("EG-gadget", m), &m, |b, _| {
+            b.iter(|| {
+                let mc = ModelChecker::new(&comp_eg);
+                black_box(mc.eg(&pred_eg))
+            })
+        });
+
+        let (comp_ag, pred_ag) = tautology_to_ag_gadget(&expr, m);
+        g.bench_with_input(BenchmarkId::new("AG-gadget", m), &m, |b, _| {
+            b.iter(|| {
+                let mc = ModelChecker::new(&comp_ag);
+                black_box(mc.ag(&pred_ag))
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("DPLL", m), &m, |b, _| {
+            b.iter(|| black_box(dpll_sat(&cnf).is_some()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gadgets
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Experiments F4/S3 (Fig. 4 of the paper): `E[p U q]` via Algorithm A3
+//! vs the explicit-lattice baseline, on the scaled Fig. 4 family and the
+//! producer/consumer pipeline.
+//!
+//! Expectation: A3 stays linear in `|E|` while the baseline pays for the
+//! lattice (it stops being runnable past a few dozen rounds); `A[p U q]`
+//! via the §7 identity tracks A3's cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_bench::figures::fig4_scaled;
+use hb_detect::{au_disjunctive, eu_conjunctive_linear, ModelChecker};
+use hb_predicates::{Disjunctive, LocalExpr};
+use hb_sim::protocols::producer_consumer;
+use std::hint::black_box;
+
+fn bench_fig4_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/eu");
+    for rounds in [1usize, 8, 64, 512] {
+        let f = fig4_scaled(rounds);
+        let p = f.p();
+        let q = f.q();
+        g.bench_with_input(BenchmarkId::new("A3", rounds), &rounds, |b, _| {
+            b.iter(|| black_box(eu_conjunctive_linear(&f.comp, &p, &q).holds))
+        });
+        if rounds <= 8 {
+            let mc = ModelChecker::new(&f.comp);
+            g.bench_with_input(BenchmarkId::new("baseline", rounds), &rounds, |b, _| {
+                b.iter(|| black_box(mc.eu(&p, &q)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_pipeline_until(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/pipeline");
+    for items in [32usize, 128, 512, 2048] {
+        let t = producer_consumer(4, items, 17);
+        let n = t.comp.num_processes();
+        let p = Disjunctive::new(vec![(n - 1, LocalExpr::ge(t.consumed_var, 0))]);
+        let q = Disjunctive::new(vec![(n - 1, LocalExpr::eq(t.consumed_var, items as i64))]);
+        g.bench_with_input(BenchmarkId::new("AU-identity", items), &items, |b, _| {
+            b.iter(|| black_box(au_disjunctive(&t.comp, &p, &q).holds))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_fig4_family, bench_pipeline_until
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! HPC ablation: parallel (Rayon) vs sequential construction of the cut
+//! lattice.
+//!
+//! The lattice build is the baseline's dominant cost in experiments F1,
+//! S2 and F4. Level-synchronous BFS parallelizes the successor generation
+//! and edge construction; this bench measures the speedup the baseline
+//! enjoys — and that the structural algorithms beat regardless.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_bench::workloads::random;
+use hb_lattice::CutLattice;
+use std::hint::black_box;
+
+fn bench_parallel_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel-lattice");
+    for n in [4usize, 5, 6] {
+        let comp = random(n, 5);
+        g.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+            b.iter(|| black_box(CutLattice::try_build(&comp, usize::MAX).unwrap().len()))
+        });
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    CutLattice::try_build_sequential(&comp, usize::MAX)
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel_build
+}
+criterion_main!(benches);

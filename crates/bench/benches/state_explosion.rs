@@ -1,0 +1,45 @@
+//! Experiment S2 (§1/§3 state-explosion claim): the cost of even
+//! *constructing* the lattice of consistent cuts vs answering the same
+//! question structurally.
+//!
+//! Expectation: lattice construction explodes with the number of
+//! processes (the S2 table in EXPERIMENTS.md records sizes up to ~6·10⁴
+//! cuts for n=7 with only 4 events per process), while the Chase–Garg
+//! `EF` walk stays in the microsecond range; the crossover is immediate
+//! beyond trivially small traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_bench::workloads::{conj_le, random};
+use hb_detect::ef_linear;
+use hb_lattice::CutLattice;
+use std::hint::black_box;
+
+fn bench_state_explosion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s2");
+    for n in [3usize, 4, 5, 6] {
+        let comp = random(n, 4);
+        let p = conj_le(&comp, 1);
+        g.bench_with_input(BenchmarkId::new("lattice-build", n), &n, |b, _| {
+            b.iter(|| black_box(CutLattice::build(&comp).len()))
+        });
+        g.bench_with_input(BenchmarkId::new("chase-garg-EF", n), &n, |b, _| {
+            b.iter(|| black_box(ef_linear(&comp, &p).holds))
+        });
+    }
+    // Structural EF on traces far beyond any buildable lattice.
+    for n in [8usize, 16] {
+        let comp = random(n, 1000);
+        let p = conj_le(&comp, 1);
+        g.bench_with_input(BenchmarkId::new("chase-garg-EF/large", n), &n, |b, _| {
+            b.iter(|| black_box(ef_linear(&comp, &p).holds))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_state_explosion
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Experiment T1 (Table 1 of the paper): one benchmark per predicate
+//! class × operator cell, comparing the structural algorithm against the
+//! explicit-lattice baseline on the same trace.
+//!
+//! Expectation (shape, not absolute numbers): structural cells sit in the
+//! microsecond range and are flat in lattice size; every baseline cell
+//! pays for the full `|C(E)|` sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_bench::workloads::{conj_le, disj_eq, random};
+use hb_detect::{
+    af_conjunctive, af_disjunctive, ag_disjunctive, ag_linear, ef_disjunctive, ef_linear,
+    ef_observer_independent, eg_conjunctive, eg_disjunctive, ModelChecker,
+};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let comp = random(4, 5);
+    let p = conj_le(&comp, 1);
+    let d = disj_eq(&comp, 2);
+    let mc = ModelChecker::new(&comp);
+
+    let mut g = c.benchmark_group("table1");
+
+    g.bench_function("conjunctive/EF/structural", |b| {
+        b.iter(|| black_box(ef_linear(&comp, &p).holds))
+    });
+    g.bench_function("conjunctive/EF/baseline", |b| {
+        b.iter(|| black_box(mc.ef(&p)))
+    });
+    g.bench_function("conjunctive/AF/structural", |b| {
+        b.iter(|| black_box(af_conjunctive(&comp, &p).holds))
+    });
+    g.bench_function("conjunctive/AF/baseline", |b| {
+        b.iter(|| black_box(mc.af(&p)))
+    });
+    g.bench_function("conjunctive/EG/structural-A1", |b| {
+        b.iter(|| black_box(eg_conjunctive(&comp, &p).holds))
+    });
+    g.bench_function("conjunctive/EG/baseline", |b| {
+        b.iter(|| black_box(mc.eg(&p)))
+    });
+    g.bench_function("conjunctive/AG/structural-A2", |b| {
+        b.iter(|| black_box(ag_linear(&comp, &p).holds))
+    });
+    g.bench_function("conjunctive/AG/baseline", |b| {
+        b.iter(|| black_box(mc.ag(&p)))
+    });
+
+    g.bench_function("disjunctive/EF/structural", |b| {
+        b.iter(|| black_box(ef_disjunctive(&comp, &d).holds))
+    });
+    g.bench_function("disjunctive/AF/structural", |b| {
+        b.iter(|| black_box(af_disjunctive(&comp, &d).holds))
+    });
+    g.bench_function("disjunctive/EG/structural-token", |b| {
+        b.iter(|| black_box(eg_disjunctive(&comp, &d).holds))
+    });
+    g.bench_function("disjunctive/EG/baseline", |b| {
+        b.iter(|| black_box(mc.eg(&d)))
+    });
+    g.bench_function("disjunctive/AG/structural", |b| {
+        b.iter(|| black_box(ag_disjunctive(&comp, &d).holds))
+    });
+
+    g.bench_function("observer-independent/EF/sampling", |b| {
+        b.iter(|| black_box(ef_observer_independent(&comp, &d).holds))
+    });
+
+    // The structural algorithms on a trace where the baseline cannot even
+    // be constructed (n=8, |E| ≈ 16k).
+    let big = random(8, 2000);
+    let bp = conj_le(&big, 1);
+    g.bench_function("conjunctive/EG/structural-A1/large", |b| {
+        b.iter(|| black_box(eg_conjunctive(&big, &bp).holds))
+    });
+    g.bench_function("conjunctive/AG/structural-A2/large", |b| {
+        b.iter(|| black_box(ag_linear(&big, &bp).holds))
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Hand-encoded transcriptions of the paper's figures.
+
+use hb_computation::{Computation, ComputationBuilder, VarId};
+use hb_predicates::{AndLinear, ChannelsEmpty, Conjunctive, LocalExpr};
+
+/// Fig. 2(a): two processes, three events each, one message `e2 → f2`.
+/// Its lattice (Fig. 2b) has 12 consistent cuts, 6 of them
+/// meet-irreducible.
+pub fn fig2_computation() -> Computation {
+    let mut b = ComputationBuilder::new(2);
+    b.internal(0).label("e1").done();
+    let m = b.send(0).label("e2").done_send();
+    b.internal(0).label("e3").done();
+    b.internal(1).label("f1").done();
+    b.receive(1, m).label("f2").done();
+    b.internal(1).label("f3").done();
+    b.finish().expect("fig2 is well-formed")
+}
+
+/// The Fig. 4 example, reconstructed from the paper's text (see
+/// DESIGN.md §5): three processes with variables `x` on `P0`, `z` on
+/// `P2`; `P1` sends `m1` to `P2` (received by `g1`) and `m2` to `P0`
+/// (received by `e1`, which sets `x = 2`); `e2` raises `x` to 4 and `g2`
+/// raises `z` to 6. The least cut satisfying
+/// `q = channels-empty ∧ x > 1` is `I_q = {f1, f2, g1, e1}`, matching
+/// the paper.
+pub struct Fig4 {
+    /// The computation.
+    pub comp: Computation,
+    /// Variable `x` (process 0).
+    pub x: VarId,
+    /// Variable `z` (process 2).
+    pub z: VarId,
+}
+
+impl Fig4 {
+    /// `p = z@2 < 6 ∧ x@0 < 4` — conjunctive.
+    pub fn p(&self) -> Conjunctive {
+        Conjunctive::new(vec![
+            (2, LocalExpr::lt(self.z, 6)),
+            (0, LocalExpr::lt(self.x, 4)),
+        ])
+    }
+
+    /// `q = channels-empty ∧ x@0 > 1` — linear.
+    pub fn q(&self) -> AndLinear<Conjunctive, ChannelsEmpty> {
+        AndLinear(
+            Conjunctive::new(vec![(0, LocalExpr::gt(self.x, 1))]),
+            ChannelsEmpty,
+        )
+    }
+}
+
+/// Builds the Fig. 4 computation.
+pub fn fig4_computation() -> Fig4 {
+    let mut b = ComputationBuilder::new(3);
+    let x = b.var("x");
+    let z = b.var("z");
+    b.init(2, z, 3);
+    let m1 = b.send(1).label("f1").done_send(); // P1 → P2
+    let m2 = b.send(1).label("f2").done_send(); // P1 → P0
+    b.receive(0, m2).set(x, 2).label("e1").done();
+    b.internal(0).set(x, 4).label("e2").done();
+    b.receive(2, m1).set(z, 5).label("g1").done();
+    b.internal(2).set(z, 6).label("g2").done();
+    Fig4 {
+        comp: b.finish().expect("fig4 is well-formed"),
+        x,
+        z,
+    }
+}
+
+/// A scaled Fig. 4 family for benchmarking: `rounds` copies of the
+/// send/receive/raise block chained per process, preserving the shape
+/// (conjunctive `p` stays true until late; `q`'s channel conjunct forces
+/// receives).
+pub fn fig4_scaled(rounds: usize) -> Fig4 {
+    let mut b = ComputationBuilder::new(3);
+    let x = b.var("x");
+    let z = b.var("z");
+    b.init(2, z, 3);
+    for r in 0..rounds {
+        let m1 = b.send(1).done_send();
+        let m2 = b.send(1).done_send();
+        b.receive(0, m2).set(x, 2).done();
+        b.receive(2, m1).set(z, 5).done();
+        if r + 1 == rounds {
+            b.internal(0).set(x, 4).done();
+            b.internal(2).set(z, 6).done();
+        } else {
+            b.internal(0).set(x, 0).done();
+            b.internal(2).set(z, 4).done();
+        }
+    }
+    Fig4 {
+        comp: b.finish().expect("scaled fig4 is well-formed"),
+        x,
+        z,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_detect::{eu_conjunctive_linear, ModelChecker};
+    use hb_lattice::CutLattice;
+
+    #[test]
+    fn fig2_lattice_matches_paper() {
+        let comp = fig2_computation();
+        let lat = CutLattice::build(&comp);
+        assert_eq!(lat.len(), 12);
+        assert_eq!(lat.meet_irreducible_nodes().len(), 6);
+        assert_eq!(lat.join_irreducible_nodes().len(), 6);
+    }
+
+    #[test]
+    fn fig4_iq_matches_paper() {
+        let f = fig4_computation();
+        let r = eu_conjunctive_linear(&f.comp, &f.p(), &f.q());
+        assert!(r.holds);
+        // I_q = {f1, f2, g1, e1}: counters (1, 2, 1).
+        assert_eq!(
+            r.i_q.unwrap(),
+            hb_computation::Cut::from_counters(vec![1, 2, 1])
+        );
+        // And the baseline agrees.
+        assert!(ModelChecker::new(&f.comp).eu(&f.p(), &f.q()));
+    }
+
+    #[test]
+    fn fig4_scaled_preserves_the_property() {
+        for rounds in [1, 3, 6] {
+            let f = fig4_scaled(rounds);
+            let r = eu_conjunctive_linear(&f.comp, &f.p(), &f.q());
+            assert!(r.holds, "rounds={rounds}");
+        }
+    }
+}

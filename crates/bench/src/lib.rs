@@ -1,0 +1,32 @@
+//! Shared workloads and helpers for the benchmark harness.
+//!
+//! Both the Criterion benches (`benches/*.rs`) and the `tables` binary
+//! (which prints the paper-style result tables recorded in
+//! `EXPERIMENTS.md`) build their inputs here, so the two always measure
+//! the same computations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod workloads;
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning its result and the wall-clock duration.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Formats a duration compactly for table cells.
+pub fn fmt_duration(d: Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1}µs", d.as_secs_f64() * 1e6)
+    }
+}

@@ -1,0 +1,59 @@
+//! Canonical benchmark workloads, shared by the Criterion benches and
+//! the `tables` binary so both measure identical inputs.
+
+use hb_computation::Computation;
+use hb_predicates::{Conjunctive, Disjunctive, LocalExpr};
+use hb_sim::{random_computation, RandomSpec};
+
+/// A random trace with `n` processes and `events` events per process
+/// (fixed seed, 30% sends, values in `0..3`).
+pub fn random(n: usize, events: usize) -> Computation {
+    random_computation(RandomSpec {
+        processes: n,
+        events_per_process: events,
+        send_percent: 30,
+        value_range: 3,
+        seed: 7,
+    })
+}
+
+/// The all-processes conjunctive predicate `⋀_i x@i ≤ lit` on a random
+/// trace (true often, but not always — exercises real walking).
+pub fn conj_le(comp: &Computation, lit: i64) -> Conjunctive {
+    let x = comp.vars().lookup("x").expect("workload declares x");
+    Conjunctive::new(
+        (0..comp.num_processes())
+            .map(|i| (i, LocalExpr::le(x, lit)))
+            .collect(),
+    )
+}
+
+/// The all-processes disjunctive predicate `⋁_i x@i = lit`.
+pub fn disj_eq(comp: &Computation, lit: i64) -> Disjunctive {
+    let x = comp.vars().lookup("x").expect("workload declares x");
+    Disjunctive::new(
+        (0..comp.num_processes())
+            .map(|i| (i, LocalExpr::eq(x, lit)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(random(3, 10), random(3, 10));
+        let c = random(4, 6);
+        assert_eq!(c.num_processes(), 4);
+        assert!(c.num_events() >= 24);
+    }
+
+    #[test]
+    fn predicates_build_for_any_width() {
+        let c = random(5, 4);
+        assert_eq!(conj_le(&c, 1).clauses().len(), 5);
+        assert_eq!(disj_eq(&c, 2).clauses().len(), 5);
+    }
+}

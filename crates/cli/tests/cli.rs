@@ -1,0 +1,194 @@
+//! End-to-end tests of the `hbtl` binary itself.
+
+use std::process::Command;
+
+fn hbtl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hbtl"))
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("hbtl-cli-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn simulate_then_check_mutual_exclusion() {
+    let trace = tmp("mutex.json");
+    let out = hbtl()
+        .args(["simulate", "mutex", &trace])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = hbtl()
+        .args(["check", &trace, "AG(!(crit@0 = 1 & crit@1 = 1))"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("= true"), "{text}");
+    assert!(text.contains("engine:"), "{text}");
+}
+
+#[test]
+fn check_prints_violation_evidence() {
+    // A hand-written racy trace in the text format.
+    let trace = tmp("racy.txt");
+    std::fs::write(
+        &trace,
+        "processes 2\nvars crit\nevent p0 internal crit=1\nevent p0 internal crit=0\nevent p1 internal crit=1\nevent p1 internal crit=0\n",
+    )
+    .unwrap();
+    let out = hbtl()
+        .args(["check", &trace, "EF(crit@0 = 1 & crit@1 = 1)"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("= true"), "{text}");
+    assert!(text.contains("evidence cut: (1,1)"), "{text}");
+    assert!(text.contains("frontier:"), "{text}");
+}
+
+#[test]
+fn info_and_dot_and_lattice() {
+    let trace = tmp("leader.json");
+    assert!(hbtl()
+        .args(["simulate", "leader", &trace])
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    let info = hbtl().args(["info", &trace]).output().unwrap();
+    assert!(info.status.success());
+    assert!(String::from_utf8_lossy(&info.stdout).contains("processes: 5"));
+
+    let dot = hbtl().args(["dot", &trace]).output().unwrap();
+    assert!(String::from_utf8_lossy(&dot.stdout).contains("digraph computation"));
+
+    let lat = hbtl().args(["lattice", &trace, "100000"]).output().unwrap();
+    assert!(
+        String::from_utf8_lossy(&lat.stdout).contains("digraph lattice") || !lat.status.success() // explosion beyond the limit is fine
+    );
+}
+
+#[test]
+fn convert_between_formats() {
+    let json = tmp("pipe.json");
+    let txt = tmp("pipe.txt");
+    assert!(hbtl()
+        .args(["simulate", "pipeline", &json])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    assert!(hbtl()
+        .args(["convert", &json, &txt])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let back = tmp("pipe2.json");
+    assert!(hbtl()
+        .args(["convert", &txt, &back])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    // Both JSON files describe the same computation.
+    let a = hb_tracefmt::from_json(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    let b = hb_tracefmt::from_json(&std::fs::read_to_string(&back).unwrap()).unwrap();
+    assert_eq!(a.num_events(), b.num_events());
+    assert_eq!(a.messages(), b.messages());
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_usage() {
+    let out = hbtl().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = hbtl()
+        .args(["check", "/nonexistent", "true"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn check_reports_parse_errors() {
+    let trace = tmp("mutex2.json");
+    assert!(hbtl()
+        .args(["simulate", "mutex", &trace])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = hbtl().args(["check", &trace, "AG((("]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+}
+
+#[test]
+fn lattice_highlight_patterns_satisfying_cuts() {
+    let trace = tmp("hl.txt");
+    std::fs::write(
+        &trace,
+        "processes 2\nvars x\nevent p0 internal x=1\nevent p1 internal x=1\n",
+    )
+    .unwrap();
+    let out = hbtl()
+        .args(["lattice", &trace, "--highlight", "x@0 = 1 & x@1 = 1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Exactly one of the four cuts satisfies the conjunction.
+    assert_eq!(text.matches("style=dashed").count(), 1, "{text}");
+}
+
+#[test]
+fn simulate_supports_all_protocols() {
+    for proto in ["ra-mutex", "barrier"] {
+        let trace = tmp(&format!("{proto}.json"));
+        let out = hbtl().args(["simulate", proto, &trace]).output().unwrap();
+        assert!(out.status.success(), "{proto}");
+    }
+}
+
+#[test]
+fn nested_formulas_require_the_flag() {
+    let trace = tmp("nested.json");
+    assert!(hbtl()
+        .args(["simulate", "mutex", &trace])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let denied = hbtl()
+        .args(["check", &trace, "AG(EF(crit@0 = 1))"])
+        .output()
+        .unwrap();
+    assert!(!denied.status.success());
+    assert!(String::from_utf8_lossy(&denied.stderr).contains("--nested"));
+    let ok = hbtl()
+        .args(["check", &trace, "AG(EF(crit@0 = 1))", "--nested"])
+        .output()
+        .unwrap();
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("baseline"));
+}

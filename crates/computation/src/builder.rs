@@ -1,0 +1,338 @@
+//! Incremental construction of computations.
+//!
+//! The builder enforces the happened-before model by construction: events
+//! are appended in per-process order, a receive can only name a message
+//! token returned by an earlier `send`, and vector clocks are computed
+//! incrementally (an event's causal past is fixed the moment it is
+//! created, so its clock never changes afterwards).
+
+use crate::computation::Computation;
+use crate::error::BuildError;
+use crate::event::{Event, EventId, EventKind, Message};
+use crate::state::{LocalState, VarId, VarTable};
+use hb_vclock::VectorClock;
+
+/// A token identifying a sent-but-not-yet-received message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsgToken(usize);
+
+/// Builder for [`Computation`]s. See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct ComputationBuilder {
+    vars: VarTable,
+    initial_states: Vec<LocalState>,
+    current_states: Vec<LocalState>,
+    events: Vec<Vec<Event>>,
+    clocks: Vec<Vec<VectorClock>>,
+    sends: Vec<(EventId, VectorClock)>,
+    receives: Vec<Option<EventId>>,
+}
+
+impl ComputationBuilder {
+    /// Starts a computation over `n` processes (all variables zero).
+    pub fn new(n: usize) -> Self {
+        ComputationBuilder {
+            vars: VarTable::new(),
+            initial_states: vec![LocalState::zeroed(0); n],
+            current_states: vec![LocalState::zeroed(0); n],
+            events: vec![Vec::new(); n],
+            clocks: vec![Vec::new(); n],
+            sends: Vec::new(),
+            receives: Vec::new(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Declares (or looks up) a shared-namespace variable.
+    pub fn var(&mut self, name: &str) -> VarId {
+        self.vars.declare(name)
+    }
+
+    /// Sets the initial value of a variable on one process.
+    ///
+    /// # Panics
+    /// Panics if events were already appended to that process (the initial
+    /// state must be fixed first) or if the process index is out of range.
+    pub fn init(&mut self, process: usize, var: VarId, value: i64) -> &mut Self {
+        assert!(
+            process < self.num_processes(),
+            "process {process} out of range"
+        );
+        assert!(
+            self.events[process].is_empty(),
+            "cannot change initial state of P{process} after its first event"
+        );
+        self.initial_states[process].set(var, value);
+        self.current_states[process].set(var, value);
+        self
+    }
+
+    /// Begins an internal event on `process`.
+    pub fn internal(&mut self, process: usize) -> EventDraft<'_> {
+        self.draft(process, DraftKind::Internal)
+    }
+
+    /// Begins a send event on `process`; finish with
+    /// [`EventDraft::done_send`] to obtain the [`MsgToken`].
+    pub fn send(&mut self, process: usize) -> EventDraft<'_> {
+        self.draft(process, DraftKind::Send)
+    }
+
+    /// Begins a receive event on `process` for the given message.
+    ///
+    /// # Panics
+    /// Panics if the message was already received.
+    pub fn receive(&mut self, process: usize, msg: MsgToken) -> EventDraft<'_> {
+        assert!(
+            self.receives[msg.0].is_none(),
+            "message {} was already received",
+            msg.0
+        );
+        self.draft(process, DraftKind::Receive { msg: msg.0 })
+    }
+
+    fn draft(&mut self, process: usize, kind: DraftKind) -> EventDraft<'_> {
+        assert!(
+            process < self.num_processes(),
+            "process {process} out of range ({} processes)",
+            self.num_processes()
+        );
+        EventDraft {
+            builder: self,
+            process,
+            kind,
+            updates: Vec::new(),
+            label: None,
+        }
+    }
+
+    fn commit(
+        &mut self,
+        draft_kind: DraftKind,
+        process: usize,
+        updates: &[(VarId, i64)],
+        label: Option<String>,
+    ) -> EventId {
+        let index = self.events[process].len();
+        let id = EventId::new(process, index);
+
+        // Clock: previous local clock (or zero), merged with the send's
+        // clock for receives, then ticked.
+        let mut clock = if index == 0 {
+            VectorClock::new(self.num_processes())
+        } else {
+            self.clocks[process][index - 1].clone()
+        };
+        let kind = match draft_kind {
+            DraftKind::Internal => EventKind::Internal,
+            DraftKind::Send => {
+                let msg = self.sends.len();
+                EventKind::Send { msg }
+            }
+            DraftKind::Receive { msg } => {
+                let send_clock = self.sends[msg].1.clone();
+                clock.merge(&send_clock);
+                self.receives[msg] = Some(id);
+                EventKind::Receive { msg }
+            }
+        };
+        clock.tick(process);
+
+        // State: previous state with this event's updates applied.
+        let mut state = self.current_states[process].clone();
+        for &(var, value) in updates {
+            state.set(var, value);
+        }
+        self.current_states[process] = state.clone();
+
+        if let EventKind::Send { .. } = kind {
+            self.sends.push((id, clock.clone()));
+            self.receives.push(None);
+        }
+
+        self.events[process].push(Event { kind, label, state });
+        self.clocks[process].push(clock);
+        id
+    }
+
+    /// Finalizes the computation.
+    ///
+    /// # Errors
+    /// Returns [`BuildError::UnreceivedMessage`] if any sent message has no
+    /// matching receive. (The model pairs every send with a receive; model
+    /// a lost message as an internal event instead.)
+    pub fn finish(mut self) -> Result<Computation, BuildError> {
+        let mut messages = Vec::with_capacity(self.sends.len());
+        for (msg, ((send, _), receive)) in self.sends.iter().zip(&self.receives).enumerate() {
+            match receive {
+                Some(r) => messages.push(Message {
+                    send: *send,
+                    receive: *r,
+                }),
+                None => return Err(BuildError::UnreceivedMessage { msg }),
+            }
+        }
+        self.vars.rebuild_index();
+        Ok(Computation {
+            vars: self.vars,
+            initial_states: self.initial_states,
+            events: self.events,
+            messages,
+            clocks: self.clocks,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum DraftKind {
+    Internal,
+    Send,
+    Receive { msg: usize },
+}
+
+/// An event under construction; returned by [`ComputationBuilder::internal`],
+/// [`ComputationBuilder::send`], and [`ComputationBuilder::receive`].
+#[derive(Debug)]
+pub struct EventDraft<'a> {
+    builder: &'a mut ComputationBuilder,
+    process: usize,
+    kind: DraftKind,
+    updates: Vec<(VarId, i64)>,
+    label: Option<String>,
+}
+
+impl EventDraft<'_> {
+    /// Records a variable assignment taking effect at this event.
+    pub fn set(mut self, var: VarId, value: i64) -> Self {
+        self.updates.push((var, value));
+        self
+    }
+
+    /// Attaches a label (for figures and debugging).
+    pub fn label(mut self, label: &str) -> Self {
+        self.label = Some(label.to_string());
+        self
+    }
+
+    /// Commits the event and returns its id.
+    pub fn done(self) -> EventId {
+        let EventDraft {
+            builder,
+            process,
+            kind,
+            updates,
+            label,
+        } = self;
+        builder.commit(kind, process, &updates, label)
+    }
+
+    /// Commits a send event and returns the message token to pass to
+    /// [`ComputationBuilder::receive`].
+    ///
+    /// # Panics
+    /// Panics if the draft is not a send.
+    pub fn done_send(self) -> MsgToken {
+        assert!(
+            matches!(self.kind, DraftKind::Send),
+            "done_send on a non-send event"
+        );
+        let msg = self.builder.sends.len();
+        self.done();
+        MsgToken(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_computation_is_valid() {
+        let c = ComputationBuilder::new(3).finish().unwrap();
+        assert_eq!(c.num_processes(), 3);
+        assert_eq!(c.num_events(), 0);
+        assert_eq!(c.initial_cut(), c.final_cut());
+    }
+
+    #[test]
+    fn states_accumulate_updates() {
+        let mut b = ComputationBuilder::new(1);
+        let x = b.var("x");
+        let y = b.var("y");
+        b.init(0, x, 10);
+        b.internal(0).set(y, 1).done();
+        b.internal(0).set(x, 2).done();
+        let c = b.finish().unwrap();
+        assert_eq!(c.local_state(0, 0).get(x), 10);
+        assert_eq!(c.local_state(0, 0).get(y), 0);
+        assert_eq!(c.local_state(0, 1).get(x), 10);
+        assert_eq!(c.local_state(0, 1).get(y), 1);
+        assert_eq!(c.local_state(0, 2).get(x), 2);
+        assert_eq!(c.local_state(0, 2).get(y), 1);
+    }
+
+    #[test]
+    fn unreceived_message_is_an_error() {
+        let mut b = ComputationBuilder::new(2);
+        b.send(0).done_send();
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::UnreceivedMessage { msg: 0 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already received")]
+    fn double_receive_panics() {
+        let mut b = ComputationBuilder::new(3);
+        let m = b.send(0).done_send();
+        b.receive(1, m).done();
+        b.receive(2, m).done();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_process_panics() {
+        let mut b = ComputationBuilder::new(2);
+        b.internal(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "after its first event")]
+    fn late_init_panics() {
+        let mut b = ComputationBuilder::new(1);
+        let x = b.var("x");
+        b.internal(0).done();
+        b.init(0, x, 1);
+    }
+
+    #[test]
+    fn message_ids_pair_send_and_receive() {
+        let mut b = ComputationBuilder::new(2);
+        let m0 = b.send(0).done_send();
+        let m1 = b.send(0).done_send();
+        b.receive(1, m1).done();
+        b.receive(1, m0).done(); // non-FIFO delivery is allowed
+        let c = b.finish().unwrap();
+        assert_eq!(c.messages().len(), 2);
+        assert_eq!(c.messages()[0].send, EventId::new(0, 0));
+        assert_eq!(c.messages()[0].receive, EventId::new(1, 1));
+        assert_eq!(c.messages()[1].send, EventId::new(0, 1));
+        assert_eq!(c.messages()[1].receive, EventId::new(1, 0));
+    }
+
+    #[test]
+    fn receive_merges_sender_clock() {
+        let mut b = ComputationBuilder::new(2);
+        b.internal(0).done();
+        b.internal(0).done();
+        let m = b.send(0).done_send();
+        b.receive(1, m).done();
+        let c = b.finish().unwrap();
+        assert_eq!(c.clock(EventId::new(1, 0)).components(), &[3, 1]);
+    }
+}

@@ -1,0 +1,507 @@
+//! The immutable, vector-clock-annotated computation and its cut queries.
+
+use crate::event::{Event, EventId, EventKind, Message};
+use crate::state::{LocalState, VarTable};
+use crate::Cut;
+use hb_vclock::VectorClock;
+
+/// A distributed computation `(E, →)`: the happened-before model of one
+/// execution of a distributed program.
+///
+/// Constructed via [`crate::ComputationBuilder`], which computes a vector
+/// clock for every event. With clocks in hand, every structural query the
+/// detection algorithms need — happened-before tests, cut consistency,
+/// enabled/maximal events, causal pasts — runs in `O(n)` or better without
+/// ever materializing the (exponential) lattice of global states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Computation {
+    pub(crate) vars: VarTable,
+    pub(crate) initial_states: Vec<LocalState>,
+    pub(crate) events: Vec<Vec<Event>>,
+    pub(crate) messages: Vec<Message>,
+    pub(crate) clocks: Vec<Vec<VectorClock>>,
+}
+
+impl Computation {
+    /// Number of processes `n`.
+    pub fn num_processes(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total number of events `|E|`.
+    pub fn num_events(&self) -> usize {
+        self.events.iter().map(Vec::len).sum()
+    }
+
+    /// Number of events of process `i`.
+    pub fn num_events_of(&self, i: usize) -> usize {
+        self.events[i].len()
+    }
+
+    /// The events of process `i`, in execution order.
+    pub fn events_of(&self, i: usize) -> &[Event] {
+        &self.events[i]
+    }
+
+    /// The event with the given id.
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.process][id.index]
+    }
+
+    /// All events, process by process.
+    pub fn event_ids(&self) -> impl Iterator<Item = EventId> + '_ {
+        (0..self.num_processes())
+            .flat_map(move |p| (0..self.num_events_of(p)).map(move |k| EventId::new(p, k)))
+    }
+
+    /// The vector clock of an event. Component `j` counts the events of
+    /// `P_j` in the causal past of the event (inclusive).
+    pub fn clock(&self, id: EventId) -> &VectorClock {
+        &self.clocks[id.process][id.index]
+    }
+
+    /// The message relation (send/receive pairs), indexed by message id.
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// The variable registry shared by all processes.
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// Lamport's happened-before: `e → f`.
+    pub fn happened_before(&self, e: EventId, f: EventId) -> bool {
+        if e == f {
+            return false;
+        }
+        // e → f  iff  V(f) knows at least index(e)+1 events of e's process.
+        self.clock(f).get(e.process) as usize > e.index
+            && !(e.process == f.process && e.index > f.index)
+    }
+
+    /// True iff neither `e → f` nor `f → e`.
+    pub fn concurrent(&self, e: EventId, f: EventId) -> bool {
+        e != f && !self.happened_before(e, f) && !self.happened_before(f, e)
+    }
+
+    /// The local state of process `i` after its first `s` events
+    /// (`s = 0` is the initial state).
+    pub fn local_state(&self, i: usize, s: u32) -> &LocalState {
+        if s == 0 {
+            &self.initial_states[i]
+        } else {
+            &self.events[i][s as usize - 1].state
+        }
+    }
+
+    /// The local state of process `i` in cut `g` (the frontier state).
+    pub fn state_in(&self, g: &Cut, i: usize) -> &LocalState {
+        self.local_state(i, g.get(i))
+    }
+
+    /// The initial cut `∅`.
+    pub fn initial_cut(&self) -> Cut {
+        Cut::initial(self.num_processes())
+    }
+
+    /// The final cut `E`.
+    pub fn final_cut(&self) -> Cut {
+        Cut::from_counters(self.events.iter().map(|es| es.len() as u32).collect())
+    }
+
+    /// Whether the counters are within bounds for this computation.
+    pub fn in_bounds(&self, g: &Cut) -> bool {
+        g.width() == self.num_processes()
+            && (0..g.width()).all(|i| g.get(i) as usize <= self.events[i].len())
+    }
+
+    /// Whether `g` is a **consistent cut**: down-closed under `→`.
+    ///
+    /// `O(n²)`: for each process the causal past of its last included event
+    /// must lie inside the cut; earlier events' pasts are subsumed.
+    pub fn is_consistent(&self, g: &Cut) -> bool {
+        if !self.in_bounds(g) {
+            return false;
+        }
+        for i in 0..g.width() {
+            let c = g.get(i);
+            if c == 0 {
+                continue;
+            }
+            let v = &self.clocks[i][c as usize - 1];
+            for j in 0..g.width() {
+                if v.get(j) > g.get(j) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether process `i`'s next event is enabled in consistent cut `g`
+    /// (executing it keeps the cut consistent).
+    pub fn can_advance(&self, g: &Cut, i: usize) -> bool {
+        let c = g.get(i) as usize;
+        if c >= self.events[i].len() {
+            return false;
+        }
+        let v = &self.clocks[i][c];
+        (0..g.width()).all(|j| j == i || v.get(j) <= g.get(j))
+    }
+
+    /// Processes with an enabled next event in `g`.
+    pub fn enabled(&self, g: &Cut) -> Vec<usize> {
+        (0..g.width()).filter(|&i| self.can_advance(g, i)).collect()
+    }
+
+    /// The frontier of `g`: the last included event of each non-empty
+    /// process (the paper's `frontier(G)` restricted to per-process maxima).
+    pub fn frontier(&self, g: &Cut) -> Vec<EventId> {
+        (0..g.width())
+            .filter(|&i| g.get(i) > 0)
+            .map(|i| EventId::new(i, g.get(i) as usize - 1))
+            .collect()
+    }
+
+    /// Whether process `i`'s last included event is maximal in `g`
+    /// (removing it keeps the cut consistent).
+    pub fn can_retreat(&self, g: &Cut, i: usize) -> bool {
+        let c = g.get(i);
+        if c == 0 {
+            return false;
+        }
+        // e = last event of i. Maximal iff no other included event knows it.
+        (0..g.width()).all(|j| {
+            if j == i || g.get(j) == 0 {
+                true
+            } else {
+                self.clocks[j][g.get(j) as usize - 1].get(i) < c
+            }
+        })
+    }
+
+    /// The maximal events of `g` (the paper's `frontier(G)` proper).
+    pub fn maximal_events(&self, g: &Cut) -> Vec<EventId> {
+        (0..g.width())
+            .filter(|&i| self.can_retreat(g, i))
+            .map(|i| EventId::new(i, g.get(i) as usize - 1))
+            .collect()
+    }
+
+    /// All consistent cuts `h` with `g ▷ h` (one enabled event executed).
+    pub fn successors(&self, g: &Cut) -> Vec<Cut> {
+        self.enabled(g).into_iter().map(|i| g.advanced(i)).collect()
+    }
+
+    /// All consistent cuts `h` with `h ▷ g` (one maximal event removed).
+    pub fn predecessors(&self, g: &Cut) -> Vec<Cut> {
+        (0..g.width())
+            .filter(|&i| self.can_retreat(g, i))
+            .map(|i| g.retreated(i))
+            .collect()
+    }
+
+    /// The least consistent cut containing event `e` — its causal past
+    /// `↓e`. These cuts are exactly the **join-irreducible** elements of
+    /// the lattice `C(E)`.
+    pub fn causal_past_cut(&self, e: EventId) -> Cut {
+        Cut::from_counters(self.clock(e).components().to_vec())
+    }
+
+    /// The greatest consistent cut *excluding* event `e` — the complement
+    /// of the up-set `↑e`. These cuts are exactly the **meet-irreducible**
+    /// elements of the lattice `C(E)` (used by Algorithm A2).
+    pub fn excluding_cut(&self, e: EventId) -> Cut {
+        let n = self.num_processes();
+        let mut counters = Vec::with_capacity(n);
+        for j in 0..n {
+            // Events of P_j causally after (or equal to) e form a suffix;
+            // count the prefix that is NOT in ↑e.
+            let evs = &self.clocks[j];
+            // f_j^k ∈ ↑e  iff  V(f_j^k) counts > index(e) events of e's
+            // process (for j == e.process this includes e itself).
+            let cutoff = evs.partition_point(|v| (v.get(e.process) as usize) <= e.index);
+            counters.push(cutoff as u32);
+        }
+        Cut::from_counters(counters)
+    }
+
+    /// The least consistent cut including all the given events (the join of
+    /// their causal pasts). With no events this is the initial cut.
+    pub fn least_cut_containing(&self, events: &[EventId]) -> Cut {
+        let mut g = self.initial_cut();
+        for &e in events {
+            g = g.join(&self.causal_past_cut(e));
+        }
+        g
+    }
+
+    /// The least consistent cut `h ⊇ g` with `h[i] ≥ target` — `g` joined
+    /// with the causal past of the required prefix of process `i`.
+    pub fn least_extension(&self, g: &Cut, i: usize, target: u32) -> Cut {
+        if g.get(i) >= target || target == 0 {
+            return g.clone();
+        }
+        let e = EventId::new(i, target as usize - 1);
+        g.join(&self.causal_past_cut(e))
+    }
+
+    /// Message indices in transit in cut `g`: sent but not yet received.
+    pub fn pending_messages(&self, g: &Cut) -> Vec<usize> {
+        self.messages
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| {
+                g.get(m.send.process) as usize > m.send.index
+                    && g.get(m.receive.process) as usize <= m.receive.index
+            })
+            .map(|(idx, _)| idx)
+            .collect()
+    }
+
+    /// Number of in-transit messages in `g` (0 ⇔ "channels are empty",
+    /// the channel predicate of the paper's Fig. 4).
+    pub fn in_transit_count(&self, g: &Cut) -> usize {
+        self.pending_messages(g).len()
+    }
+
+    /// Finds an event by its label, if labels were assigned.
+    pub fn event_by_label(&self, label: &str) -> Option<EventId> {
+        self.event_ids()
+            .find(|&id| self.event(id).label.as_deref() == Some(label))
+    }
+
+    /// The initial local states, one per process.
+    pub fn initial_states(&self) -> &[LocalState] {
+        &self.initial_states
+    }
+
+    /// Full integrity audit, for importers and structural transforms:
+    ///
+    /// * every message's endpoints exist, point back at it, and have the
+    ///   right kinds;
+    /// * every send/receive event names an existing message that names it
+    ///   back;
+    /// * the stored vector clocks equal a from-scratch recomputation over
+    ///   the event structure (hence the happened-before relation is
+    ///   exactly what the structure implies and is acyclic).
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_processes();
+        let in_range = |id: crate::EventId| -> bool {
+            id.process < n && id.index < self.events[id.process].len()
+        };
+        for (mi, m) in self.messages.iter().enumerate() {
+            if !in_range(m.send) {
+                return Err(format!("message {mi}: send {} out of range", m.send));
+            }
+            if !in_range(m.receive) {
+                return Err(format!("message {mi}: receive {} out of range", m.receive));
+            }
+            match self.event(m.send).kind {
+                EventKind::Send { msg } if msg == mi => {}
+                ref k => {
+                    return Err(format!(
+                        "message {mi}: send event {} has kind {k:?}",
+                        m.send
+                    ))
+                }
+            }
+            match self.event(m.receive).kind {
+                EventKind::Receive { msg } if msg == mi => {}
+                ref k => {
+                    return Err(format!(
+                        "message {mi}: receive event {} has kind {k:?}",
+                        m.receive
+                    ))
+                }
+            }
+        }
+        for id in self.event_ids() {
+            match self.event(id).kind {
+                EventKind::Send { msg } => {
+                    if self.messages.get(msg).map(|m| m.send) != Some(id) {
+                        return Err(format!("event {id}: dangling send of message {msg}"));
+                    }
+                }
+                EventKind::Receive { msg } => {
+                    if self.messages.get(msg).map(|m| m.receive) != Some(id) {
+                        return Err(format!("event {id}: dangling receive of message {msg}"));
+                    }
+                }
+                EventKind::Internal => {}
+            }
+        }
+        let recomputed = crate::sub::compute_clocks(&self.events, &self.messages, n);
+        for id in self.event_ids() {
+            let stored = self.clock(id);
+            let fresh = &recomputed[id.process][id.index];
+            if stored != fresh {
+                return Err(format!(
+                    "event {id}: stored clock {stored} ≠ recomputed {fresh}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ComputationBuilder;
+
+    /// The paper's Fig. 2(a): two processes; P0 = e1 e2 e3, P1 = f1 f2 f3,
+    /// with a message from e2 to f2.
+    pub(crate) fn fig2() -> Computation {
+        let mut b = ComputationBuilder::new(2);
+        b.internal(0).label("e1").done();
+        let m = b.send(0).label("e2").done_send();
+        b.internal(0).label("e3").done();
+        b.internal(1).label("f1").done();
+        b.receive(1, m).label("f2").done();
+        b.internal(1).label("f3").done();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn clocks_match_hand_computation() {
+        let c = fig2();
+        assert_eq!(c.clock(EventId::new(0, 0)).components(), &[1, 0]); // e1
+        assert_eq!(c.clock(EventId::new(0, 1)).components(), &[2, 0]); // e2
+        assert_eq!(c.clock(EventId::new(0, 2)).components(), &[3, 0]); // e3
+        assert_eq!(c.clock(EventId::new(1, 0)).components(), &[0, 1]); // f1
+        assert_eq!(c.clock(EventId::new(1, 1)).components(), &[2, 2]); // f2
+        assert_eq!(c.clock(EventId::new(1, 2)).components(), &[2, 3]); // f3
+    }
+
+    #[test]
+    fn happened_before_agrees_with_figure() {
+        let c = fig2();
+        let e2 = c.event_by_label("e2").unwrap();
+        let f2 = c.event_by_label("f2").unwrap();
+        let e3 = c.event_by_label("e3").unwrap();
+        let f1 = c.event_by_label("f1").unwrap();
+        assert!(c.happened_before(e2, f2));
+        assert!(!c.happened_before(f2, e2));
+        assert!(c.concurrent(e3, f2));
+        assert!(c.concurrent(e2, f1));
+        assert!(!c.happened_before(e2, e2));
+    }
+
+    #[test]
+    fn consistency_rejects_receive_without_send() {
+        let c = fig2();
+        // f2 (receive) included but e2 (send) not: (1, 2) is inconsistent.
+        assert!(!c.is_consistent(&Cut::from_counters(vec![1, 2])));
+        assert!(c.is_consistent(&Cut::from_counters(vec![2, 2])));
+        assert!(c.is_consistent(&Cut::from_counters(vec![0, 1])));
+        assert!(c.is_consistent(&c.initial_cut()));
+        assert!(c.is_consistent(&c.final_cut()));
+    }
+
+    #[test]
+    fn out_of_bounds_cut_is_inconsistent() {
+        let c = fig2();
+        assert!(!c.is_consistent(&Cut::from_counters(vec![4, 0])));
+        assert!(!c.is_consistent(&Cut::from_counters(vec![0, 0, 0])));
+    }
+
+    #[test]
+    fn enabled_and_maximal_events() {
+        let c = fig2();
+        let g = Cut::from_counters(vec![1, 1]);
+        // f2 needs e2: with cut (1,1) clock(f2)=[2,2] requires 2 events of
+        // P0, so only P0 is enabled.
+        assert_eq!(c.enabled(&g), vec![0]);
+        let g2 = Cut::from_counters(vec![2, 1]);
+        assert_eq!(c.enabled(&g2), vec![0, 1]); // now f2 is enabled too
+        assert_eq!(
+            c.maximal_events(&g),
+            vec![EventId::new(0, 0), EventId::new(1, 0)]
+        );
+    }
+
+    #[test]
+    fn can_advance_respects_message_dependency() {
+        let c = fig2();
+        let g = Cut::from_counters(vec![1, 1]);
+        assert!(c.can_advance(&g, 0));
+        assert!(!c.can_advance(&g, 1)); // f2 requires e2 first
+    }
+
+    #[test]
+    fn predecessors_remove_only_maximal_events() {
+        let c = fig2();
+        let g = Cut::from_counters(vec![2, 2]);
+        // e2 is not maximal in g (f2 depends on it); f2 is maximal; e2's
+        // removal would orphan f2.
+        assert!(!c.can_retreat(&g, 0));
+        assert!(c.can_retreat(&g, 1));
+        assert_eq!(c.predecessors(&g), vec![Cut::from_counters(vec![2, 1])]);
+    }
+
+    #[test]
+    fn successors_are_consistent() {
+        let c = fig2();
+        for s in c.successors(&c.initial_cut()) {
+            assert!(c.is_consistent(&s));
+        }
+    }
+
+    #[test]
+    fn causal_past_cut_is_join_irreducible_base() {
+        let c = fig2();
+        let f2 = c.event_by_label("f2").unwrap();
+        assert_eq!(c.causal_past_cut(f2), Cut::from_counters(vec![2, 2]));
+        assert!(c.is_consistent(&c.causal_past_cut(f2)));
+    }
+
+    #[test]
+    fn excluding_cut_is_complement_of_upset() {
+        let c = fig2();
+        let e2 = c.event_by_label("e2").unwrap();
+        // ↑e2 = {e2, e3, f2, f3}; complement = {e1, f1} = cut (1, 1).
+        assert_eq!(c.excluding_cut(e2), Cut::from_counters(vec![1, 1]));
+        let f1 = c.event_by_label("f1").unwrap();
+        // ↑f1 = {f1, f2, f3}; complement = {e1, e2, e3} = (3, 0).
+        assert_eq!(c.excluding_cut(f1), Cut::from_counters(vec![3, 0]));
+        for id in c.event_ids() {
+            assert!(c.is_consistent(&c.excluding_cut(id)));
+        }
+    }
+
+    #[test]
+    fn pending_messages_tracks_in_transit() {
+        let c = fig2();
+        assert_eq!(c.in_transit_count(&Cut::from_counters(vec![2, 1])), 1);
+        assert_eq!(c.in_transit_count(&Cut::from_counters(vec![2, 2])), 0);
+        assert_eq!(c.in_transit_count(&c.initial_cut()), 0);
+        assert_eq!(c.in_transit_count(&c.final_cut()), 0);
+    }
+
+    #[test]
+    fn least_cut_containing_joins_pasts() {
+        let c = fig2();
+        let e1 = c.event_by_label("e1").unwrap();
+        let f1 = c.event_by_label("f1").unwrap();
+        assert_eq!(
+            c.least_cut_containing(&[e1, f1]),
+            Cut::from_counters(vec![1, 1])
+        );
+        assert_eq!(c.least_cut_containing(&[]), c.initial_cut());
+    }
+
+    #[test]
+    fn least_extension_closes_causally() {
+        let c = fig2();
+        let g = c.initial_cut();
+        // Asking P1 to reach f2 (target=2) forces e1, e2 in as well.
+        assert_eq!(c.least_extension(&g, 1, 2), Cut::from_counters(vec![2, 2]));
+        // A target already met returns the cut unchanged.
+        let h = Cut::from_counters(vec![2, 2]);
+        assert_eq!(c.least_extension(&h, 1, 1), h);
+    }
+}

@@ -1,0 +1,211 @@
+//! Consistent cuts represented as per-process event counters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A global state of the computation: `cut[i]` is the number of events of
+/// process `P_i` that have been executed.
+///
+/// A `Cut` value is just a counter vector; whether it denotes a *consistent*
+/// cut of a particular computation is checked by
+/// [`crate::Computation::is_consistent`]. Cuts are ordered by set inclusion
+/// of the event sets they denote, which coincides with the componentwise
+/// order on counters; joins and meets are componentwise max and min
+/// (set union and intersection), making the consistent cuts of a
+/// computation a finite distributive lattice (Section 2 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cut {
+    counters: Vec<u32>,
+}
+
+impl Cut {
+    /// The empty (initial) cut over `n` processes.
+    pub fn initial(n: usize) -> Self {
+        Cut {
+            counters: vec![0; n],
+        }
+    }
+
+    /// Builds a cut from raw counters.
+    pub fn from_counters(counters: Vec<u32>) -> Self {
+        Cut { counters }
+    }
+
+    /// Number of processes.
+    pub fn width(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Events of process `i` executed so far.
+    pub fn get(&self, i: usize) -> u32 {
+        self.counters[i]
+    }
+
+    /// Overwrites the counter of process `i`.
+    pub fn set(&mut self, i: usize, value: u32) {
+        self.counters[i] = value;
+    }
+
+    /// Raw counters.
+    pub fn counters(&self) -> &[u32] {
+        &self.counters
+    }
+
+    /// Total number of executed events — the cut's rank in the lattice.
+    pub fn rank(&self) -> u32 {
+        self.counters.iter().sum()
+    }
+
+    /// Set inclusion `self ⊆ other`.
+    pub fn leq(&self, other: &Cut) -> bool {
+        debug_assert_eq!(self.width(), other.width());
+        self.counters
+            .iter()
+            .zip(&other.counters)
+            .all(|(a, b)| a <= b)
+    }
+
+    /// Strict inclusion.
+    pub fn lt(&self, other: &Cut) -> bool {
+        self.leq(other) && self != other
+    }
+
+    /// Set union (lattice join).
+    pub fn join(&self, other: &Cut) -> Cut {
+        debug_assert_eq!(self.width(), other.width());
+        Cut {
+            counters: self
+                .counters
+                .iter()
+                .zip(&other.counters)
+                .map(|(a, b)| *a.max(b))
+                .collect(),
+        }
+    }
+
+    /// Set intersection (lattice meet).
+    pub fn meet(&self, other: &Cut) -> Cut {
+        debug_assert_eq!(self.width(), other.width());
+        Cut {
+            counters: self
+                .counters
+                .iter()
+                .zip(&other.counters)
+                .map(|(a, b)| *a.min(b))
+                .collect(),
+        }
+    }
+
+    /// The cut with one more event of process `i`.
+    pub fn advanced(&self, i: usize) -> Cut {
+        let mut next = self.clone();
+        next.counters[i] += 1;
+        next
+    }
+
+    /// The cut with one fewer event of process `i`.
+    ///
+    /// # Panics
+    /// Panics if process `i` has no executed events in this cut.
+    pub fn retreated(&self, i: usize) -> Cut {
+        assert!(
+            self.counters[i] > 0,
+            "cannot retreat process with no events"
+        );
+        let mut prev = self.clone();
+        prev.counters[i] -= 1;
+        prev
+    }
+
+    /// True iff `other = self ∪ {e}` for a single event `e` — the paper's
+    /// successor relation `self ▷ other` (ignoring consistency, which the
+    /// caller checks against a computation).
+    pub fn covers_step(&self, other: &Cut) -> bool {
+        if self.width() != other.width() {
+            return false;
+        }
+        let mut diff = 0u32;
+        for (a, b) in self.counters.iter().zip(&other.counters) {
+            if b < a {
+                return false;
+            }
+            diff += b - a;
+            if diff > 1 {
+                return false;
+            }
+        }
+        diff == 1
+    }
+}
+
+impl fmt::Display for Cut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cut(cs: &[u32]) -> Cut {
+        Cut::from_counters(cs.to_vec())
+    }
+
+    #[test]
+    fn initial_cut_has_rank_zero() {
+        let c = Cut::initial(3);
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.counters(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn join_meet_are_union_intersection() {
+        let a = cut(&[2, 0, 1]);
+        let b = cut(&[1, 3, 1]);
+        assert_eq!(a.join(&b), cut(&[2, 3, 1]));
+        assert_eq!(a.meet(&b), cut(&[1, 0, 1]));
+    }
+
+    #[test]
+    fn leq_is_componentwise() {
+        assert!(cut(&[1, 2]).leq(&cut(&[1, 2])));
+        assert!(cut(&[1, 2]).leq(&cut(&[2, 2])));
+        assert!(!cut(&[1, 2]).leq(&cut(&[0, 5])));
+        assert!(cut(&[1, 2]).lt(&cut(&[2, 2])));
+        assert!(!cut(&[1, 2]).lt(&cut(&[1, 2])));
+    }
+
+    #[test]
+    fn advance_retreat_roundtrip() {
+        let c = cut(&[1, 1]);
+        assert_eq!(c.advanced(0).retreated(0), c);
+        assert_eq!(c.advanced(1), cut(&[1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot retreat")]
+    fn retreat_at_zero_panics() {
+        cut(&[0, 1]).retreated(0);
+    }
+
+    #[test]
+    fn covers_step_detects_single_event_difference() {
+        assert!(cut(&[1, 1]).covers_step(&cut(&[1, 2])));
+        assert!(!cut(&[1, 1]).covers_step(&cut(&[2, 2])));
+        assert!(!cut(&[1, 1]).covers_step(&cut(&[1, 1])));
+        assert!(!cut(&[1, 1]).covers_step(&cut(&[0, 2])));
+    }
+
+    #[test]
+    fn display_renders_counters() {
+        assert_eq!(cut(&[0, 3]).to_string(), "(0,3)");
+    }
+}

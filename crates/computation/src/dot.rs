@@ -1,0 +1,74 @@
+//! Graphviz (DOT) export of computations — regenerates the paper's
+//! space-time diagrams (Fig. 2a, 3, 4a).
+
+use crate::computation::Computation;
+use crate::event::EventKind;
+use std::fmt::Write as _;
+
+impl Computation {
+    /// Renders the computation as a DOT digraph: one horizontal chain per
+    /// process plus dashed message arrows. Event labels default to
+    /// `e{process}^{index+1}` when no explicit label was set.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph computation {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+        for i in 0..self.num_processes() {
+            let _ = writeln!(out, "  subgraph cluster_p{i} {{");
+            let _ = writeln!(out, "    label=\"P{i}\"; style=invis;");
+            for (k, ev) in self.events_of(i).iter().enumerate() {
+                let name = format!("p{i}_{k}");
+                let label = ev
+                    .label
+                    .clone()
+                    .unwrap_or_else(|| format!("e{}^{}", i, k + 1));
+                let shape = match ev.kind {
+                    EventKind::Internal => "circle",
+                    EventKind::Send { .. } => "doublecircle",
+                    EventKind::Receive { .. } => "Mcircle",
+                };
+                let _ = writeln!(out, "    {name} [label=\"{label}\", shape={shape}];");
+            }
+            for k in 1..self.num_events_of(i) {
+                let _ = writeln!(out, "    p{i}_{} -> p{i}_{k};", k - 1);
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for m in self.messages() {
+            let _ = writeln!(
+                out,
+                "  p{}_{} -> p{}_{} [style=dashed, color=blue];",
+                m.send.process, m.send.index, m.receive.process, m.receive.index
+            );
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ComputationBuilder;
+
+    #[test]
+    fn dot_contains_all_events_and_messages() {
+        let mut b = ComputationBuilder::new(2);
+        let m = b.send(0).label("e1").done_send();
+        b.receive(1, m).label("f1").done();
+        let dot = b.finish().unwrap().to_dot();
+        assert!(dot.contains("digraph computation"));
+        assert!(dot.contains("e1"));
+        assert!(dot.contains("f1"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("p0_0 -> p1_0"));
+    }
+
+    #[test]
+    fn dot_defaults_labels() {
+        let mut b = ComputationBuilder::new(1);
+        b.internal(0).done();
+        let dot = b.finish().unwrap().to_dot();
+        assert!(dot.contains("e0^1"));
+    }
+}

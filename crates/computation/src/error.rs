@@ -1,0 +1,45 @@
+//! Errors raised while constructing a computation.
+
+use std::fmt;
+
+/// Why a [`crate::ComputationBuilder`] rejected a trace.
+///
+/// Programmer errors (out-of-range process indices, double receives)
+/// panic at the offending call instead — they are bugs in the caller, not
+/// properties of the trace. The only trace-level failure is a message
+/// with no receive, which can only be diagnosed at
+/// [`crate::ComputationBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A message was sent but never received. The happened-before model
+    /// pairs every send with a receive; model a lost message as an
+    /// internal event instead.
+    UnreceivedMessage {
+        /// The message index (in send order).
+        msg: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnreceivedMessage { msg } => {
+                write!(f, "message {msg} was sent but never received")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(BuildError::UnreceivedMessage { msg: 3 }
+            .to_string()
+            .contains("message 3"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Events of a distributed computation.
+
+use crate::state::LocalState;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies an event as (process, position-within-process).
+///
+/// `index` is zero-based: the `k`-th event executed by process `process`.
+/// In cut terms, event `(i, k)` is *included* in a cut `G` iff `G[i] > k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventId {
+    /// The executing process.
+    pub process: usize,
+    /// Zero-based position within the process's event sequence.
+    pub index: usize,
+}
+
+impl EventId {
+    /// Convenience constructor.
+    pub fn new(process: usize, index: usize) -> Self {
+        EventId { process, index }
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}^{}", self.process, self.index + 1)
+    }
+}
+
+/// What an event does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A purely local event.
+    Internal,
+    /// Sends message `msg` (an index into [`crate::Computation::messages`]).
+    Send {
+        /// Message index.
+        msg: usize,
+    },
+    /// Receives message `msg`.
+    Receive {
+        /// Message index.
+        msg: usize,
+    },
+}
+
+/// One event: its kind, an optional label (used when rendering the paper's
+/// figures), and the process's local state immediately *after* the event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// What the event does.
+    pub kind: EventKind,
+    /// Optional human-readable label (`e1`, `f2`, …).
+    pub label: Option<String>,
+    /// Local state of the executing process after this event.
+    pub state: LocalState,
+}
+
+impl Event {
+    /// True iff this event sends a message.
+    pub fn is_send(&self) -> bool {
+        matches!(self.kind, EventKind::Send { .. })
+    }
+
+    /// True iff this event receives a message.
+    pub fn is_receive(&self) -> bool {
+        matches!(self.kind, EventKind::Receive { .. })
+    }
+}
+
+/// A message: the send event and the receive event it pairs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Message {
+    /// The send event.
+    pub send: EventId,
+    /// The receive event.
+    pub receive: EventId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_id_orders_by_process_then_index() {
+        assert!(EventId::new(0, 5) < EventId::new(1, 0));
+        assert!(EventId::new(1, 0) < EventId::new(1, 1));
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(EventId::new(2, 0).to_string(), "e2^1");
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let mk = |kind| Event {
+            kind,
+            label: None,
+            state: LocalState::zeroed(0),
+        };
+        assert!(mk(EventKind::Send { msg: 0 }).is_send());
+        assert!(mk(EventKind::Receive { msg: 0 }).is_receive());
+        assert!(!mk(EventKind::Internal).is_send());
+        assert!(!mk(EventKind::Internal).is_receive());
+    }
+}

@@ -1,0 +1,62 @@
+//! The happened-before model of a distributed computation.
+//!
+//! This crate implements Section 2 of Sen & Garg, *Detecting Temporal Logic
+//! Predicates on the Happened-Before Model* (IPDPS 2002): a distributed
+//! computation is a partially ordered set `(E, →)` of events, where `→` is
+//! Lamport's happened-before relation, and a **consistent cut** is a
+//! down-closed subset of events — equivalently a reachable global state.
+//!
+//! The main types are:
+//!
+//! * [`Computation`] — an immutable, vector-clock-annotated trace: `n`
+//!   sequential processes, each a sequence of [`Event`]s (internal, send,
+//!   receive), with per-event local variable states and a message relation.
+//! * [`ComputationBuilder`] — the only way to construct a [`Computation`];
+//!   it guarantees acyclicity and message well-formedness by construction
+//!   and computes vector clocks on [`ComputationBuilder::finish`].
+//! * [`Cut`] — a consistent cut represented compactly as one event counter
+//!   per process. All cut-level queries (consistency, frontier, enabled
+//!   events, successors/predecessors under the paper's `▷` relation) are
+//!   methods on [`Computation`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hb_computation::ComputationBuilder;
+//!
+//! // Fig. 2(a) of the paper: two processes, three events each, one message.
+//! let mut b = ComputationBuilder::new(2);
+//! let x = b.var("x");
+//! b.internal(0).set(x, 1).label("e1").done();
+//! let m = b.send(0).label("e2").done_send();
+//! b.internal(0).label("e3").done();
+//! b.internal(1).set(x, 5).label("f1").done();
+//! b.receive(1, m).label("f2").done();
+//! b.internal(1).label("f3").done();
+//! let comp = b.finish().unwrap();
+//!
+//! assert_eq!(comp.num_processes(), 2);
+//! assert_eq!(comp.num_events(), 6);
+//! // The initial cut is consistent and has every first event enabled.
+//! let init = comp.initial_cut();
+//! assert!(comp.is_consistent(&init));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod computation;
+mod cut;
+mod dot;
+mod error;
+mod event;
+mod state;
+mod sub;
+
+pub use builder::{ComputationBuilder, EventDraft, MsgToken};
+pub use computation::Computation;
+pub use cut::Cut;
+pub use error::BuildError;
+pub use event::{Event, EventId, EventKind, Message};
+pub use state::{LocalState, VarId, VarTable};

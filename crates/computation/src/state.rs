@@ -1,0 +1,208 @@
+//! Local variable states.
+//!
+//! Each process carries a set of integer-valued variables; the state of a
+//! process is the valuation of those variables. States are stored as flat
+//! `i64` vectors indexed by [`VarId`] slots allocated from a per-computation
+//! [`VarTable`], which keeps per-event storage compact for large traces.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to a declared variable (an index into every [`LocalState`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The raw slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `VarId` from a raw slot index. Useful for tests and trace
+    /// importers; normal code obtains ids from [`VarTable::declare`].
+    pub fn from_index(i: usize) -> VarId {
+        VarId(i as u32)
+    }
+}
+
+/// The registry of variable names for one computation.
+///
+/// All processes share one namespace; a variable a process never assigns
+/// simply keeps its initial value (zero unless set) on that process.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarTable {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, VarId>,
+}
+
+impl VarTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares (or looks up) a variable by name.
+    pub fn declare(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a variable previously declared with [`VarTable::declare`].
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of a declared variable.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of declared variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff no variables are declared.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (VarId(i as u32), n.as_str()))
+    }
+
+    /// Rebuilds the name index after deserialization.
+    pub(crate) fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), VarId(i as u32)))
+            .collect();
+    }
+}
+
+/// A valuation of all declared variables on one process at one instant.
+///
+/// States are kept in **normal form** — trailing zeros are trimmed — so
+/// that structural equality (`==`, hashing) coincides with semantic
+/// equality of the valuation, regardless of how the state was built
+/// (unset variables read as zero).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LocalState {
+    values: Vec<i64>,
+}
+
+impl LocalState {
+    /// The all-zero state (over any number of variables).
+    pub fn zeroed(_nvars: usize) -> Self {
+        LocalState { values: Vec::new() }
+    }
+
+    /// Builds a state from raw values (normalized).
+    pub fn from_values(values: Vec<i64>) -> Self {
+        let mut s = LocalState { values };
+        s.normalize();
+        s
+    }
+
+    fn normalize(&mut self) {
+        while self.values.last() == Some(&0) {
+            self.values.pop();
+        }
+    }
+
+    /// Reads a variable. Slots beyond the stored width read as zero, so
+    /// states created before later variable declarations stay valid.
+    pub fn get(&self, var: VarId) -> i64 {
+        self.values.get(var.index()).copied().unwrap_or(0)
+    }
+
+    /// Writes a variable, growing the state if needed.
+    pub fn set(&mut self, var: VarId, value: i64) {
+        if var.index() >= self.values.len() {
+            if value == 0 {
+                return; // writing zero to an implicit-zero slot: no-op
+            }
+            self.values.resize(var.index() + 1, 0);
+        }
+        self.values[var.index()] = value;
+        self.normalize();
+    }
+
+    /// Raw values (width may be smaller than the table if trailing
+    /// variables were never written).
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+}
+
+impl fmt::Display for LocalState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_is_idempotent() {
+        let mut t = VarTable::new();
+        let a = t.declare("x");
+        let b = t.declare("x");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.name(a), "x");
+    }
+
+    #[test]
+    fn lookup_finds_declared_only() {
+        let mut t = VarTable::new();
+        let x = t.declare("x");
+        assert_eq!(t.lookup("x"), Some(x));
+        assert_eq!(t.lookup("y"), None);
+    }
+
+    #[test]
+    fn state_reads_missing_slots_as_zero() {
+        let s = LocalState::zeroed(1);
+        assert_eq!(s.get(VarId(5)), 0);
+    }
+
+    #[test]
+    fn state_set_grows() {
+        let mut s = LocalState::zeroed(0);
+        s.set(VarId(2), 7);
+        assert_eq!(s.get(VarId(2)), 7);
+        assert_eq!(s.get(VarId(0)), 0);
+    }
+
+    #[test]
+    fn iter_yields_declaration_order() {
+        let mut t = VarTable::new();
+        t.declare("a");
+        t.declare("b");
+        let names: Vec<_> = t.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property tests over randomly generated computations: cut-lattice laws,
+//! successor/predecessor duality, and the irreducible-cut characterizations.
+
+use hb_computation::{Computation, ComputationBuilder, Cut, EventId};
+use proptest::prelude::*;
+
+/// One step of a random trace plan.
+#[derive(Debug, Clone)]
+enum Op {
+    Internal(usize),
+    Send(usize),
+    /// Receive the oldest pending message on the given process.
+    Receive(usize),
+}
+
+fn plan(n_procs: usize, max_ops: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0..n_procs, 0u8..3), 0..max_ops).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(p, k)| match k {
+                0 => Op::Internal(p),
+                1 => Op::Send(p),
+                _ => Op::Receive(p),
+            })
+            .collect()
+    })
+}
+
+/// Interprets a plan, pairing receives with the oldest unreceived message
+/// and demoting unreceivable receives / unreceived sends to internals.
+fn build(n_procs: usize, ops: &[Op]) -> Computation {
+    let mut b = ComputationBuilder::new(n_procs);
+    let x = b.var("x");
+    let mut pending = std::collections::VecDeque::new();
+    let mut v = 0i64;
+    for op in ops {
+        v += 1;
+        match *op {
+            Op::Internal(p) => {
+                b.internal(p).set(x, v).done();
+            }
+            Op::Send(p) => {
+                pending.push_back(b.send(p).set(x, v).done_send());
+            }
+            Op::Receive(p) => match pending.pop_front() {
+                Some(tok) => {
+                    b.receive(p, tok).set(x, v).done();
+                }
+                None => {
+                    b.internal(p).set(x, v).done();
+                }
+            },
+        }
+    }
+    // Drain unreceived sends round-robin so finish() succeeds.
+    let mut p = 0usize;
+    while let Some(tok) = pending.pop_front() {
+        b.receive(p % n_procs, tok).done();
+        p += 1;
+    }
+    b.finish().expect("plan builds a valid computation")
+}
+
+/// Enumerates every in-bounds counter vector (exponential; tests keep the
+/// computations tiny).
+fn all_cuts(c: &Computation) -> Vec<Cut> {
+    let maxes: Vec<u32> = (0..c.num_processes())
+        .map(|i| c.num_events_of(i) as u32)
+        .collect();
+    let mut cuts = vec![Cut::initial(c.num_processes())];
+    for (i, &m) in maxes.iter().enumerate() {
+        let mut next = Vec::new();
+        for cut in &cuts {
+            for v in 0..=m {
+                let mut c2 = cut.clone();
+                c2.set(i, v);
+                next.push(c2);
+            }
+        }
+        cuts = next;
+    }
+    cuts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn consistent_cuts_closed_under_join_meet(ops in plan(3, 12)) {
+        let c = build(3, &ops);
+        let cons: Vec<Cut> = all_cuts(&c)
+            .into_iter()
+            .filter(|g| c.is_consistent(g))
+            .collect();
+        for a in &cons {
+            for b in &cons {
+                prop_assert!(c.is_consistent(&a.join(b)), "join of {a} and {b}");
+                prop_assert!(c.is_consistent(&a.meet(b)), "meet of {a} and {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn successors_and_predecessors_are_dual(ops in plan(3, 10)) {
+        let c = build(3, &ops);
+        for g in all_cuts(&c).into_iter().filter(|g| c.is_consistent(g)) {
+            for h in c.successors(&g) {
+                prop_assert!(c.is_consistent(&h));
+                prop_assert!(g.covers_step(&h));
+                prop_assert!(c.predecessors(&h).contains(&g));
+            }
+            for h in c.predecessors(&g) {
+                prop_assert!(c.is_consistent(&h));
+                prop_assert!(h.covers_step(&g));
+                prop_assert!(c.successors(&h).contains(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn every_consistent_cut_reachable_by_steps(ops in plan(3, 10)) {
+        // The lattice is graded: every consistent cut of rank r+1 has a
+        // predecessor of rank r, so the initial cut reaches everything.
+        let c = build(3, &ops);
+        for g in all_cuts(&c).into_iter().filter(|g| c.is_consistent(g)) {
+            if g.rank() > 0 {
+                prop_assert!(!c.predecessors(&g).is_empty(), "cut {g} has no predecessor");
+            }
+        }
+    }
+
+    #[test]
+    fn causal_past_cut_is_least_containing(ops in plan(3, 10)) {
+        let c = build(3, &ops);
+        let cons: Vec<Cut> = all_cuts(&c)
+            .into_iter()
+            .filter(|g| c.is_consistent(g))
+            .collect();
+        for e in c.event_ids() {
+            let past = c.causal_past_cut(e);
+            prop_assert!(c.is_consistent(&past));
+            // past contains e
+            prop_assert!(past.get(e.process) as usize > e.index);
+            // and is ≤ every consistent cut containing e
+            for g in &cons {
+                if g.get(e.process) as usize > e.index {
+                    prop_assert!(past.leq(g));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn excluding_cut_is_greatest_excluding(ops in plan(3, 10)) {
+        let c = build(3, &ops);
+        let cons: Vec<Cut> = all_cuts(&c)
+            .into_iter()
+            .filter(|g| c.is_consistent(g))
+            .collect();
+        for e in c.event_ids() {
+            let exc = c.excluding_cut(e);
+            prop_assert!(c.is_consistent(&exc));
+            prop_assert!(exc.get(e.process) as usize <= e.index);
+            for g in &cons {
+                if g.get(e.process) as usize <= e.index {
+                    prop_assert!(g.leq(&exc));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn happened_before_is_a_strict_partial_order(ops in plan(4, 14)) {
+        let c = build(4, &ops);
+        let ids: Vec<EventId> = c.event_ids().collect();
+        for &e in &ids {
+            prop_assert!(!c.happened_before(e, e));
+            for &f in &ids {
+                if c.happened_before(e, f) {
+                    prop_assert!(!c.happened_before(f, e));
+                    for &g in &ids {
+                        if c.happened_before(f, g) {
+                            prop_assert!(c.happened_before(e, g));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_preserves_consistency_semantics(ops in plan(3, 10)) {
+        let c = build(3, &ops);
+        let cons: Vec<Cut> = all_cuts(&c)
+            .into_iter()
+            .filter(|g| c.is_consistent(g))
+            .collect();
+        for g in &cons {
+            let sub = c.restricted_to(g);
+            // Cuts of the restriction = cuts of the original below g.
+            for h in &cons {
+                if h.leq(g) {
+                    prop_assert!(sub.is_consistent(h));
+                }
+            }
+            prop_assert_eq!(&sub.final_cut(), g);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Integrity-audit tests: `Computation::validate` accepts everything the
+//! builder and the structural transforms produce.
+
+use hb_computation::{Computation, ComputationBuilder, Cut};
+
+fn sample() -> Computation {
+    let mut b = ComputationBuilder::new(3);
+    let x = b.var("x");
+    b.internal(0).set(x, 1).done();
+    let m1 = b.send(0).done_send();
+    let m2 = b.send(1).done_send();
+    b.receive(2, m1).set(x, 2).done();
+    b.receive(2, m2).done();
+    b.internal(1).done();
+    b.finish().unwrap()
+}
+
+#[test]
+fn builder_output_validates() {
+    sample().validate().unwrap();
+}
+
+#[test]
+fn restriction_validates() {
+    let comp = sample();
+    // Every consistent cut\'s restriction must pass the audit.
+    let maxes: Vec<u32> = (0..3).map(|i| comp.num_events_of(i) as u32).collect();
+    for a in 0..=maxes[0] {
+        for b in 0..=maxes[1] {
+            for c in 0..=maxes[2] {
+                let g = Cut::from_counters(vec![a, b, c]);
+                if comp.is_consistent(&g) {
+                    comp.restricted_to(&g).validate().unwrap();
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reversal_validates() {
+    sample().reversed().validate().unwrap();
+    sample().reversed().reversed().validate().unwrap();
+}
+
+#[test]
+fn empty_and_single_process_validate() {
+    ComputationBuilder::new(0)
+        .finish()
+        .unwrap()
+        .validate()
+        .unwrap();
+    let mut b = ComputationBuilder::new(1);
+    b.internal(0).done();
+    b.finish().unwrap().validate().unwrap();
+}

@@ -1,0 +1,268 @@
+//! The explicit-lattice CTL model checker — the baseline the paper's
+//! algorithms beat.
+//!
+//! This is classic CTL labeling, specialized to the finite DAG structure
+//! of the cut lattice: because node indices are topologically sorted and
+//! maximal paths are exactly the `∅ → E` cover chains, every fixpoint
+//! collapses to a single reverse sweep. The cost is building and storing
+//! `C(E)` itself — exponential in the number of processes — which is
+//! precisely the state-explosion problem of Section 1. The model checker
+//! doubles as the ground-truth oracle for all property tests.
+
+use hb_computation::{Computation, Cut};
+use hb_lattice::{CutLattice, LatticeLimitExceeded};
+use hb_predicates::Predicate;
+
+/// A CTL model checker over the explicitly built lattice of consistent
+/// cuts of one computation.
+pub struct ModelChecker<'a> {
+    comp: &'a Computation,
+    lattice: CutLattice,
+}
+
+impl<'a> ModelChecker<'a> {
+    /// Builds the lattice (exponential!) and wraps it.
+    pub fn new(comp: &'a Computation) -> Self {
+        ModelChecker {
+            comp,
+            lattice: CutLattice::build(comp),
+        }
+    }
+
+    /// Builds with a node cap, failing gracefully on explosion.
+    pub fn with_limit(comp: &'a Computation, limit: usize) -> Result<Self, LatticeLimitExceeded> {
+        Ok(ModelChecker {
+            comp,
+            lattice: CutLattice::try_build(comp, limit)?,
+        })
+    }
+
+    /// The underlying lattice.
+    pub fn lattice(&self) -> &CutLattice {
+        &self.lattice
+    }
+
+    /// Number of consistent cuts (the baseline's state count).
+    pub fn num_states(&self) -> usize {
+        self.lattice.len()
+    }
+
+    /// Labels every cut with `p`.
+    pub fn label<P: Predicate + ?Sized>(&self, p: &P) -> Vec<bool> {
+        self.lattice
+            .cuts()
+            .iter()
+            .map(|g| p.eval(self.comp, g))
+            .collect()
+    }
+
+    /// `EF(p)` at every node: some path suffix reaches a `p`-cut.
+    pub fn ef_labels(&self, p: &[bool]) -> Vec<bool> {
+        let mut out = p.to_vec();
+        for i in (0..self.lattice.len()).rev() {
+            if !out[i] {
+                out[i] = self.lattice.successors(i).iter().any(|&s| out[s]);
+            }
+        }
+        out
+    }
+
+    /// `AF(p)` at every node: every maximal path from the node hits `p`.
+    pub fn af_labels(&self, p: &[bool]) -> Vec<bool> {
+        let mut out = vec![false; self.lattice.len()];
+        for i in (0..self.lattice.len()).rev() {
+            out[i] = p[i]
+                || (!self.lattice.successors(i).is_empty()
+                    && self.lattice.successors(i).iter().all(|&s| out[s]));
+        }
+        out
+    }
+
+    /// `EG(p)` at every node: some maximal path from the node satisfies
+    /// `p` throughout.
+    pub fn eg_labels(&self, p: &[bool]) -> Vec<bool> {
+        let mut out = vec![false; self.lattice.len()];
+        for i in (0..self.lattice.len()).rev() {
+            out[i] = p[i]
+                && (i == self.lattice.top() || self.lattice.successors(i).iter().any(|&s| out[s]));
+        }
+        out
+    }
+
+    /// `AG(p)` at every node: every cut reachable from the node satisfies
+    /// `p`.
+    pub fn ag_labels(&self, p: &[bool]) -> Vec<bool> {
+        let mut out = vec![false; self.lattice.len()];
+        for i in (0..self.lattice.len()).rev() {
+            out[i] = p[i] && self.lattice.successors(i).iter().all(|&s| out[s]);
+        }
+        out
+    }
+
+    /// `E[p U q]` at every node.
+    pub fn eu_labels(&self, p: &[bool], q: &[bool]) -> Vec<bool> {
+        let mut out = vec![false; self.lattice.len()];
+        for i in (0..self.lattice.len()).rev() {
+            out[i] = q[i] || (p[i] && self.lattice.successors(i).iter().any(|&s| out[s]));
+        }
+        out
+    }
+
+    /// `A[p U q]` at every node.
+    pub fn au_labels(&self, p: &[bool], q: &[bool]) -> Vec<bool> {
+        let mut out = vec![false; self.lattice.len()];
+        for i in (0..self.lattice.len()).rev() {
+            out[i] = q[i]
+                || (p[i]
+                    && !self.lattice.successors(i).is_empty()
+                    && self.lattice.successors(i).iter().all(|&s| out[s]));
+        }
+        out
+    }
+
+    /// `EF(p)` at the initial cut.
+    pub fn ef<P: Predicate + ?Sized>(&self, p: &P) -> bool {
+        self.ef_labels(&self.label(p))[self.lattice.bottom()]
+    }
+
+    /// `AF(p)` at the initial cut.
+    pub fn af<P: Predicate + ?Sized>(&self, p: &P) -> bool {
+        self.af_labels(&self.label(p))[self.lattice.bottom()]
+    }
+
+    /// `EG(p)` at the initial cut.
+    pub fn eg<P: Predicate + ?Sized>(&self, p: &P) -> bool {
+        self.eg_labels(&self.label(p))[self.lattice.bottom()]
+    }
+
+    /// `AG(p)` at the initial cut.
+    pub fn ag<P: Predicate + ?Sized>(&self, p: &P) -> bool {
+        self.ag_labels(&self.label(p))[self.lattice.bottom()]
+    }
+
+    /// `E[p U q]` at the initial cut.
+    pub fn eu<P: Predicate + ?Sized, Q: Predicate + ?Sized>(&self, p: &P, q: &Q) -> bool {
+        self.eu_labels(&self.label(p), &self.label(q))[self.lattice.bottom()]
+    }
+
+    /// `A[p U q]` at the initial cut.
+    pub fn au<P: Predicate + ?Sized, Q: Predicate + ?Sized>(&self, p: &P, q: &Q) -> bool {
+        self.au_labels(&self.label(p), &self.label(q))[self.lattice.bottom()]
+    }
+
+    /// Extracts an `EG(p)` witness path from the labeling (for parity with
+    /// the structural algorithms).
+    pub fn eg_witness<P: Predicate + ?Sized>(&self, p: &P) -> Option<Vec<Cut>> {
+        let labels = self.eg_labels(&self.label(p));
+        if !labels[self.lattice.bottom()] {
+            return None;
+        }
+        let mut path = vec![self.lattice.cut(self.lattice.bottom()).clone()];
+        let mut i = self.lattice.bottom();
+        while i != self.lattice.top() {
+            let next = *self
+                .lattice
+                .successors(i)
+                .iter()
+                .find(|&&s| labels[s])
+                .expect("EG label guarantees a labeled successor");
+            path.push(self.lattice.cut(next).clone());
+            i = next;
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::witness::verify_eg_witness;
+    use hb_computation::ComputationBuilder;
+    use hb_predicates::{Conjunctive, FnPredicate, LocalExpr, TrueP};
+
+    fn sample() -> (Computation, hb_computation::VarId) {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.var("x");
+        b.internal(0).set(x, 1).done();
+        b.internal(0).set(x, 0).done();
+        b.internal(1).set(x, 1).done();
+        (b.finish().unwrap(), x)
+    }
+
+    #[test]
+    fn semantics_of_all_operators_on_known_lattice() {
+        let (comp, x) = sample();
+        let mc = ModelChecker::new(&comp);
+        assert_eq!(mc.num_states(), 3 * 2); // grid, no messages
+
+        let p0 = Conjunctive::new(vec![(0, LocalExpr::eq(x, 1))]);
+        assert!(mc.ef(&p0));
+        assert!(mc.af(&p0)); // P0 passes through x=1 on every path
+        assert!(!mc.ag(&p0));
+        assert!(!mc.eg(&p0)); // fails at the initial cut
+
+        let ge0 = Conjunctive::new(vec![(0, LocalExpr::ge(x, 0))]);
+        assert!(mc.ag(&ge0));
+        assert!(mc.eg(&ge0));
+
+        // E[x0≤0 U x1=1]: delay P0, run P1 first.
+        let p = Conjunctive::new(vec![(0, LocalExpr::le(x, 0))]);
+        let q = Conjunctive::new(vec![(1, LocalExpr::eq(x, 1))]);
+        assert!(mc.eu(&p, &q));
+        // A[x0≤0 U x1=1] fails: a path may run P0 first.
+        assert!(!mc.au(&p, &q));
+        // A[true U x1=1] holds: P1's event is inevitable.
+        assert!(mc.au(&TrueP, &q));
+    }
+
+    #[test]
+    fn ef_equals_reachable_satisfaction() {
+        let (comp, _) = sample();
+        let mc = ModelChecker::new(&comp);
+        let p = FnPredicate::new("diag", |_: &Computation, g: &Cut| {
+            g.get(0) == 1 && g.get(1) == 1
+        });
+        assert!(mc.ef(&p));
+        assert!(!mc.ag(&p));
+    }
+
+    #[test]
+    fn eg_witness_is_valid() {
+        let (comp, x) = sample();
+        let mc = ModelChecker::new(&comp);
+        let ge0 = Conjunctive::new(vec![(0, LocalExpr::ge(x, 0))]);
+        let w = mc.eg_witness(&ge0).unwrap();
+        verify_eg_witness(&comp, &ge0, &w).unwrap();
+        let p0 = Conjunctive::new(vec![(0, LocalExpr::eq(x, 1))]);
+        assert!(mc.eg_witness(&p0).is_none());
+    }
+
+    #[test]
+    fn until_semantics_hold_at_k_equals_zero() {
+        let (comp, _) = sample();
+        let mc = ModelChecker::new(&comp);
+        // q holds initially ⇒ EU and AU hold regardless of p.
+        assert!(mc.eu(&hb_predicates::FalseP, &TrueP));
+        assert!(mc.au(&hb_predicates::FalseP, &TrueP));
+        // q never holds ⇒ both fail.
+        assert!(!mc.eu(&TrueP, &hb_predicates::FalseP));
+        assert!(!mc.au(&TrueP, &hb_predicates::FalseP));
+    }
+
+    #[test]
+    fn with_limit_reports_explosion() {
+        let (comp, _) = sample();
+        assert!(ModelChecker::with_limit(&comp, 2).is_err());
+        assert!(ModelChecker::with_limit(&comp, 100).is_ok());
+    }
+
+    #[test]
+    fn duality_ag_ef_and_af_eg() {
+        let (comp, x) = sample();
+        let mc = ModelChecker::new(&comp);
+        let p = Conjunctive::new(vec![(0, LocalExpr::eq(x, 1))]);
+        let np = p.negated();
+        assert_eq!(mc.ag(&p), !mc.ef(&np));
+        assert_eq!(mc.af(&p), !mc.eg(&np));
+    }
+}

@@ -1,0 +1,202 @@
+//! Predicate **control** (Tarafdar & Garg \[20\], the paper's
+//! "controllable" reading of `EG`).
+//!
+//! `EG(p)` does not just *detect* — its witness path is a **control
+//! strategy**: a global schedule that, if enforced, keeps `p` true
+//! through the whole execution. "Active debugging" (\[20\]) enforces it
+//! by adding synchronization: extra happened-before edges that restrict
+//! the computation's consistent cuts to exactly the cuts on (chains
+//! within) the witness path's linearization.
+//!
+//! [`control_edges`] extracts the minimal added edges from a witness
+//! path: whenever control transfers between processes in the path's
+//! event order, the earlier process's last scheduled event must precede
+//! the later process's next one. [`ControlledComputation`] overlays those
+//! edges and exposes the restricted cut space, so tests can verify the
+//! central soundness theorem: **after control, `p` is invariant** —
+//! `AG(p)` holds on the controlled computation.
+
+use crate::witness::{verify_step_path, WitnessError};
+use hb_computation::{Computation, Cut, EventId};
+use hb_predicates::Predicate;
+
+/// A synchronization edge: `before` must be executed before `after`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncEdge {
+    /// The event that must run first.
+    pub before: EventId,
+    /// The event that must wait.
+    pub after: EventId,
+}
+
+/// Extracts the synchronization schedule from an `EG` witness path: one
+/// edge per control transfer in the path's linearization (consecutive
+/// scheduled events on different processes).
+///
+/// # Errors
+/// The path must be a maximal cover chain `∅ → E` of `comp`.
+pub fn control_edges(comp: &Computation, path: &[Cut]) -> Result<Vec<SyncEdge>, WitnessError> {
+    verify_step_path(comp, &comp.initial_cut(), &comp.final_cut(), path)?;
+    let mut order: Vec<EventId> = Vec::with_capacity(path.len().saturating_sub(1));
+    for w in path.windows(2) {
+        let i = (0..w[0].width())
+            .find(|&i| w[1].get(i) == w[0].get(i) + 1)
+            .expect("verified cover step");
+        order.push(EventId::new(i, w[0].get(i) as usize));
+    }
+    let mut edges = Vec::new();
+    for w in order.windows(2) {
+        if w[0].process != w[1].process && !comp.happened_before(w[0], w[1]) {
+            edges.push(SyncEdge {
+                before: w[0],
+                after: w[1],
+            });
+        }
+    }
+    Ok(edges)
+}
+
+/// A computation with added synchronization edges. The controlled cut
+/// space is the original one intersected with the edges' down-closure
+/// constraints; it is still a (sub-)lattice containing `∅` and `E`.
+pub struct ControlledComputation<'a> {
+    comp: &'a Computation,
+    edges: Vec<SyncEdge>,
+}
+
+impl<'a> ControlledComputation<'a> {
+    /// Overlays `edges` on `comp`.
+    pub fn new(comp: &'a Computation, edges: Vec<SyncEdge>) -> Self {
+        ControlledComputation { comp, edges }
+    }
+
+    /// The added edges.
+    pub fn edges(&self) -> &[SyncEdge] {
+        &self.edges
+    }
+
+    /// The underlying computation.
+    pub fn computation(&self) -> &Computation {
+        self.comp
+    }
+
+    /// Whether `g` is a consistent cut of the *controlled* computation:
+    /// consistent originally, and closed under every added edge.
+    pub fn is_consistent(&self, g: &Cut) -> bool {
+        self.comp.is_consistent(g)
+            && self.edges.iter().all(|e| {
+                let after_in = g.get(e.after.process) as usize > e.after.index;
+                let before_in = g.get(e.before.process) as usize > e.before.index;
+                !after_in || before_in
+            })
+    }
+
+    /// Exhaustively checks `AG(p)` on the controlled cut space by
+    /// enumerating the original lattice and filtering (a test oracle —
+    /// exponential).
+    pub fn ag_exhaustive<P: Predicate + ?Sized>(&self, p: &P, limit: usize) -> Option<bool> {
+        let lat = hb_lattice::CutLattice::try_build(self.comp, limit).ok()?;
+        Some(
+            (0..lat.len())
+                .map(|i| lat.cut(i))
+                .filter(|g| self.is_consistent(g))
+                .all(|g| p.eval(self.comp, g)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eg::eg_conjunctive;
+    use hb_computation::ComputationBuilder;
+    use hb_predicates::{Conjunctive, LocalExpr};
+
+    #[test]
+    fn schedule_enforces_invariance() {
+        // P0 flickers ok→0→1; P1 likewise. p = "at most one process is in
+        // its bad state" is not conjunctive, so control the conjunctive
+        // q = x@0 + nothing… use instead a direct conjunctive target: the
+        // mutual-exclusion shape. P0 and P1 both want crit=1 at their
+        // middle event; EG(¬both) holds by interleaving, AG(¬both) fails.
+        let mut b = ComputationBuilder::new(2);
+        let crit = b.var("crit");
+        b.internal(0).set(crit, 1).done();
+        b.internal(0).set(crit, 0).done();
+        b.internal(1).set(crit, 1).done();
+        b.internal(1).set(crit, 0).done();
+        let comp = b.finish().unwrap();
+        let both = Conjunctive::new(vec![
+            (0, LocalExpr::eq(crit, 1)),
+            (1, LocalExpr::eq(crit, 1)),
+        ]);
+        let safe = both.negated(); // disjunctive…
+                                   // …but its negation-free conjunctive complement is what A1 needs:
+                                   // run EG on the *disjunctive* safe predicate with the token
+                                   // engine, which also returns a maximal witness path.
+        let r = crate::tokens::eg_disjunctive(&comp, &safe);
+        assert!(r.holds);
+        let path = r.witness.unwrap();
+
+        // Without control, the invariant fails.
+        let uncontrolled = ControlledComputation::new(&comp, vec![]);
+        assert_eq!(uncontrolled.ag_exhaustive(&safe, 10_000), Some(false));
+
+        // With the extracted schedule, the invariant holds.
+        let edges = control_edges(&comp, &path).unwrap();
+        assert!(!edges.is_empty(), "control must add synchronization");
+        let controlled = ControlledComputation::new(&comp, edges);
+        assert_eq!(controlled.ag_exhaustive(&safe, 10_000), Some(true));
+        // The endpoints survive control.
+        assert!(controlled.is_consistent(&comp.initial_cut()));
+        assert!(controlled.is_consistent(&comp.final_cut()));
+    }
+
+    #[test]
+    fn conjunctive_witnesses_control_their_predicate() {
+        // A conjunctive EG witness from A1 also controls its predicate.
+        let mut b = ComputationBuilder::new(2);
+        let x = b.var("x");
+        b.init(0, x, 1);
+        b.init(1, x, 1);
+        b.internal(0).set(x, 0).done();
+        b.internal(0).set(x, 1).done();
+        b.internal(1).set(x, 1).done();
+        let comp = b.finish().unwrap();
+        // p = "x@1 = 1" holds everywhere; control is trivially sound and
+        // adds edges only at control transfers.
+        let p = Conjunctive::new(vec![(1, LocalExpr::eq(x, 1))]);
+        let r = eg_conjunctive(&comp, &p);
+        assert!(r.holds);
+        let edges = control_edges(&comp, &r.witness.unwrap()).unwrap();
+        let controlled = ControlledComputation::new(&comp, edges);
+        assert_eq!(controlled.ag_exhaustive(&p, 10_000), Some(true));
+    }
+
+    #[test]
+    fn control_edges_rejects_invalid_paths() {
+        let mut b = ComputationBuilder::new(2);
+        b.internal(0).done();
+        b.internal(1).done();
+        let comp = b.finish().unwrap();
+        assert!(control_edges(&comp, &[]).is_err());
+        let partial = vec![comp.initial_cut()];
+        assert!(control_edges(&comp, &partial).is_err());
+    }
+
+    #[test]
+    fn already_ordered_transfers_need_no_edge() {
+        // A message already orders the transfer: no synthetic edge.
+        let mut b = ComputationBuilder::new(2);
+        let m = b.send(0).done_send();
+        b.receive(1, m).done();
+        let comp = b.finish().unwrap();
+        let path = vec![
+            comp.initial_cut(),
+            Cut::from_counters(vec![1, 0]),
+            Cut::from_counters(vec![1, 1]),
+        ];
+        let edges = control_edges(&comp, &path).unwrap();
+        assert!(edges.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! `EF(p)` — *possibly: p* — for linear predicates (Chase–Garg \[4\]).
+//!
+//! The advancement algorithm: start at the initial cut; while `p` fails,
+//! ask the linear predicate's oracle for a forbidden process and jump to
+//! the least consistent cut that advances it (the join with the causal
+//! past of its next event). Linearity guarantees the walk never overshoots
+//! the least satisfying cut `I_p`, so the first satisfying cut found *is*
+//! `I_p`. `O(n·|E|)`: the cut's rank strictly grows and each jump costs
+//! `O(n)`.
+
+use hb_computation::{Computation, Cut};
+use hb_predicates::{LinearPredicate, PostLinearPredicate};
+
+/// Outcome of an `EF`/least-cut computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EfReport {
+    /// Whether some consistent cut satisfies the predicate.
+    pub holds: bool,
+    /// The least (for [`ef_linear`]) or greatest (for [`ef_post_linear`])
+    /// satisfying cut, when one exists.
+    pub witness: Option<Cut>,
+    /// Number of advancement steps taken (for complexity experiments).
+    pub steps: usize,
+}
+
+/// Detects `EF(p)` for a linear predicate and computes `I_p`, the least
+/// satisfying cut.
+pub fn ef_linear<P: LinearPredicate + ?Sized>(comp: &Computation, p: &P) -> EfReport {
+    let final_cut = comp.final_cut();
+    let mut g = comp.initial_cut();
+    let mut steps = 0usize;
+    loop {
+        match p.forbidden_process(comp, &g) {
+            None => {
+                return EfReport {
+                    holds: true,
+                    witness: Some(g),
+                    steps,
+                }
+            }
+            Some(i) => {
+                if g.get(i) >= final_cut.get(i) {
+                    // The forbidden process has no more events: no
+                    // satisfying cut exists above g, and by linearity none
+                    // elsewhere either.
+                    return EfReport {
+                        holds: false,
+                        witness: None,
+                        steps,
+                    };
+                }
+                // Least cut advancing process i: join with the causal past
+                // of its next event (everything in it is forced).
+                g = comp.least_extension(&g, i, g.get(i) + 1);
+                steps += 1;
+            }
+        }
+    }
+}
+
+/// Detects `EF(p)` for a post-linear predicate and computes the *greatest*
+/// satisfying cut, walking down from the final cut.
+pub fn ef_post_linear<P: PostLinearPredicate + ?Sized>(comp: &Computation, p: &P) -> EfReport {
+    let mut g = comp.final_cut();
+    let mut steps = 0usize;
+    loop {
+        match p.forbidden_process_down(comp, &g) {
+            None => {
+                return EfReport {
+                    holds: true,
+                    witness: Some(g),
+                    steps,
+                }
+            }
+            Some(i) => {
+                if g.get(i) == 0 {
+                    return EfReport {
+                        holds: false,
+                        witness: None,
+                        steps,
+                    };
+                }
+                // Greatest cut removing i's last included event e: meet
+                // with the complement of ↑e (everything above e must go).
+                let e = hb_computation::EventId::new(i, g.get(i) as usize - 1);
+                g = g.meet(&comp.excluding_cut(e));
+                steps += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_computation::ComputationBuilder;
+    use hb_predicates::{ChannelsEmpty, Conjunctive, FalseP, LocalExpr, TrueP};
+
+    fn mutex_like() -> (Computation, hb_computation::VarId) {
+        // P0: cs=1 at event 2, back to 0 at event 3.
+        // P1: cs=1 at event 1, back to 0 at event 2.
+        let mut b = ComputationBuilder::new(2);
+        let cs = b.var("cs");
+        b.internal(0).done();
+        b.internal(0).set(cs, 1).done();
+        b.internal(0).set(cs, 0).done();
+        b.internal(1).set(cs, 1).done();
+        b.internal(1).set(cs, 0).done();
+        (b.finish().unwrap(), cs)
+    }
+
+    #[test]
+    fn finds_least_satisfying_cut() {
+        let (comp, cs) = mutex_like();
+        let both = Conjunctive::new(vec![(0, LocalExpr::eq(cs, 1)), (1, LocalExpr::eq(cs, 1))]);
+        let r = ef_linear(&comp, &both);
+        assert!(r.holds);
+        assert_eq!(r.witness.unwrap(), Cut::from_counters(vec![2, 1]));
+    }
+
+    #[test]
+    fn reports_absence() {
+        let (comp, cs) = mutex_like();
+        let never = Conjunctive::new(vec![(0, LocalExpr::eq(cs, 7))]);
+        let r = ef_linear(&comp, &never);
+        assert!(!r.holds);
+        assert_eq!(r.witness, None);
+    }
+
+    #[test]
+    fn constants() {
+        let (comp, _) = mutex_like();
+        assert!(ef_linear(&comp, &TrueP).holds);
+        assert_eq!(
+            ef_linear(&comp, &TrueP).witness.unwrap(),
+            comp.initial_cut()
+        );
+        assert!(!ef_linear(&comp, &FalseP).holds);
+    }
+
+    #[test]
+    fn message_dependencies_are_pulled_in() {
+        // q requires P1 past its receive, which drags P0's send along.
+        let mut b = ComputationBuilder::new(2);
+        let y = b.var("y");
+        b.internal(0).done();
+        let m = b.send(0).done_send();
+        b.receive(1, m).set(y, 1).done();
+        let comp = b.finish().unwrap();
+        let q = Conjunctive::new(vec![(1, LocalExpr::eq(y, 1))]);
+        let r = ef_linear(&comp, &q);
+        assert_eq!(r.witness.unwrap(), Cut::from_counters(vec![2, 1]));
+    }
+
+    #[test]
+    fn post_linear_finds_greatest_cut() {
+        // Channels empty: greatest satisfying cut below E is E itself.
+        let mut b = ComputationBuilder::new(2);
+        let m = b.send(0).done_send();
+        b.receive(1, m).done();
+        let comp = b.finish().unwrap();
+        let r = ef_post_linear(&comp, &ChannelsEmpty);
+        assert!(r.holds);
+        assert_eq!(r.witness.unwrap(), comp.final_cut());
+    }
+
+    #[test]
+    fn post_linear_walks_down() {
+        // "P0 has executed at most 0 events" as a post-linear predicate:
+        // satisfying cuts are those with counter 0 on P0 — join-closed.
+        struct NoP0;
+        impl hb_predicates::Predicate for NoP0 {
+            fn eval(&self, _: &Computation, g: &Cut) -> bool {
+                g.get(0) == 0
+            }
+        }
+        impl PostLinearPredicate for NoP0 {
+            fn forbidden_process_down(&self, _: &Computation, g: &Cut) -> Option<usize> {
+                (g.get(0) > 0).then_some(0)
+            }
+        }
+        let mut b = ComputationBuilder::new(2);
+        b.internal(0).done();
+        b.internal(1).done();
+        b.internal(1).done();
+        let comp = b.finish().unwrap();
+        let r = ef_post_linear(&comp, &NoP0);
+        assert!(r.holds);
+        assert_eq!(r.witness.unwrap(), Cut::from_counters(vec![0, 2]));
+    }
+
+    #[test]
+    fn ef_least_cut_is_minimal_among_all_satisfying() {
+        let (comp, cs) = mutex_like();
+        let p = Conjunctive::new(vec![(1, LocalExpr::eq(cs, 1))]);
+        let ip = ef_linear(&comp, &p).witness.unwrap();
+        // Exhaustively compare with all consistent satisfying cuts.
+        use hb_predicates::Predicate;
+        for a in 0..=3u32 {
+            for b in 0..=2u32 {
+                let g = Cut::from_counters(vec![a, b]);
+                if comp.is_consistent(&g) && p.eval(&comp, &g) {
+                    assert!(ip.leq(&g), "I_p={ip} not below {g}");
+                }
+            }
+        }
+    }
+}

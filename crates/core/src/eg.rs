@@ -1,0 +1,287 @@
+//! **Algorithm A1**: `EG(p)` — *controllable: p* — for linear predicates
+//! (Fig. 1 of the paper).
+//!
+//! Walk backwards from the final cut; at each step collect the predecessor
+//! cuts (`G ▷ W`) that satisfy `p` and pick **any** of them — Lemma 1 and
+//! Theorem 2 prove the arbitrary choice is safe for linear `p`. If the
+//! walk reaches the initial cut the satisfying cuts found form the
+//! witness path; if some cut has no satisfying predecessor, `EG(p)` is
+//! false.
+//!
+//! Two implementations are provided:
+//!
+//! * [`eg_linear`] — the literal algorithm over any [`LinearPredicate`],
+//!   re-evaluating `p` on each candidate predecessor (`O(n·eval)` per
+//!   step, `O(n²|E|)` for conjunctive predicates);
+//! * [`eg_conjunctive`] — the incremental variant realizing the paper's
+//!   `O(n|E|)` bound's assumption: retreating process `j` only changes
+//!   `j`'s clause, so the predicate check per candidate is `O(1)`.
+//!
+//! The duals for post-linear predicates walk forward from the initial cut
+//! ([`eg_post_linear`]).
+
+use hb_computation::{Computation, Cut};
+use hb_predicates::{Conjunctive, LinearPredicate, PostLinearPredicate, Predicate};
+
+/// Outcome of an `EG` detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EgReport {
+    /// Whether some maximal path satisfies `p` on every cut.
+    pub holds: bool,
+    /// The witness path `∅ → E` (every cut satisfies `p`) when `holds`.
+    pub witness: Option<Vec<Cut>>,
+    /// Cuts visited (for complexity experiments).
+    pub steps: usize,
+}
+
+/// Algorithm A1: detects `EG(p)` for a linear predicate `p`.
+pub fn eg_linear<P: LinearPredicate + ?Sized>(comp: &Computation, p: &P) -> EgReport {
+    eg_backward_walk(comp, |g| p.eval(comp, g))
+}
+
+/// Algorithm A1 with the incremental conjunctive check: when `W` satisfies
+/// the conjunction, the predecessor `W − e_j` satisfies it iff `j`'s
+/// clause holds in `j`'s previous state.
+pub fn eg_conjunctive(comp: &Computation, p: &Conjunctive) -> EgReport {
+    let final_cut = comp.final_cut();
+    if !p.eval(comp, &final_cut) {
+        return EgReport {
+            holds: false,
+            witness: None,
+            steps: 1,
+        };
+    }
+    let mut w = final_cut;
+    let mut path = vec![w.clone()];
+    let mut steps = 1usize;
+    while w.rank() > 0 {
+        steps += 1;
+        // Invariant: w satisfies p, so only the retreating process's
+        // clause needs re-checking.
+        let chosen = (0..w.width()).find(|&j| {
+            w.get(j) > 0 && p.clause_holds_at(comp, j, w.get(j) - 1) && comp.can_retreat(&w, j)
+        });
+        match chosen {
+            Some(j) => {
+                w = w.retreated(j);
+                path.push(w.clone());
+            }
+            None => {
+                return EgReport {
+                    holds: false,
+                    witness: None,
+                    steps,
+                }
+            }
+        }
+    }
+    path.reverse();
+    EgReport {
+        holds: true,
+        witness: Some(path),
+        steps,
+    }
+}
+
+/// Shared backward walk used by [`eg_linear`].
+fn eg_backward_walk(comp: &Computation, sat: impl Fn(&Cut) -> bool) -> EgReport {
+    let final_cut = comp.final_cut();
+    if !sat(&final_cut) {
+        return EgReport {
+            holds: false,
+            witness: None,
+            steps: 1,
+        };
+    }
+    let mut w = final_cut;
+    let mut path = vec![w.clone()];
+    let mut steps = 1usize;
+    while w.rank() > 0 {
+        steps += 1;
+        let mut next = None;
+        for j in 0..w.width() {
+            if w.get(j) > 0 && comp.can_retreat(&w, j) {
+                let g = w.retreated(j);
+                if sat(&g) {
+                    next = Some(g);
+                    break;
+                }
+            }
+        }
+        match next {
+            Some(g) => {
+                w = g;
+                path.push(w.clone());
+            }
+            None => {
+                return EgReport {
+                    holds: false,
+                    witness: None,
+                    steps,
+                }
+            }
+        }
+    }
+    path.reverse();
+    EgReport {
+        holds: true,
+        witness: Some(path),
+        steps,
+    }
+}
+
+/// The dual of A1 for post-linear predicates: walk forward from the
+/// initial cut, choosing any successor that satisfies `p`.
+pub fn eg_post_linear<P: PostLinearPredicate + ?Sized>(comp: &Computation, p: &P) -> EgReport {
+    let final_cut = comp.final_cut();
+    if !p.eval(comp, &comp.initial_cut()) {
+        return EgReport {
+            holds: false,
+            witness: None,
+            steps: 1,
+        };
+    }
+    let mut w = comp.initial_cut();
+    let mut path = vec![w.clone()];
+    let mut steps = 1usize;
+    while w != final_cut {
+        steps += 1;
+        let mut next = None;
+        for j in 0..w.width() {
+            if comp.can_advance(&w, j) {
+                let g = w.advanced(j);
+                if p.eval(comp, &g) {
+                    next = Some(g);
+                    break;
+                }
+            }
+        }
+        match next {
+            Some(g) => {
+                w = g;
+                path.push(w.clone());
+            }
+            None => {
+                return EgReport {
+                    holds: false,
+                    witness: None,
+                    steps,
+                }
+            }
+        }
+    }
+    EgReport {
+        holds: true,
+        witness: Some(path),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::witness::verify_eg_witness;
+    use hb_computation::ComputationBuilder;
+    use hb_predicates::{ChannelsEmpty, LocalExpr, TrueP};
+
+    fn xy_comp() -> (Computation, hb_computation::VarId) {
+        // P0: x:1 → 2 → 1 ; P1: x:1 → 0 → 1
+        let mut b = ComputationBuilder::new(2);
+        let x = b.var("x");
+        b.init(0, x, 1);
+        b.init(1, x, 1);
+        b.internal(0).set(x, 2).done();
+        b.internal(0).set(x, 1).done();
+        b.internal(1).set(x, 0).done();
+        b.internal(1).set(x, 1).done();
+        (b.finish().unwrap(), x)
+    }
+
+    #[test]
+    fn eg_holds_with_witness_path() {
+        let (comp, x) = xy_comp();
+        // x ≥ 1 on P0 always; on P1 fails in the middle, but a path can
+        // cross P1's bad state… no: every path must pass a cut with
+        // P1-counter = 1 where x=0. So use x ≥ 0 on P1.
+        let p = Conjunctive::new(vec![(0, LocalExpr::ge(x, 1)), (1, LocalExpr::ge(x, 0))]);
+        let r = eg_linear(&comp, &p);
+        assert!(r.holds);
+        verify_eg_witness(&comp, &p, r.witness.as_deref().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn eg_fails_when_every_path_hits_bad_cut() {
+        let (comp, x) = xy_comp();
+        // P1 must pass through x=0 on every path.
+        let p = Conjunctive::new(vec![(1, LocalExpr::ge(x, 1))]);
+        assert!(!eg_linear(&comp, &p).holds);
+        assert!(!eg_conjunctive(&comp, &p).holds);
+    }
+
+    #[test]
+    fn eg_fails_at_final_cut() {
+        let (comp, x) = xy_comp();
+        let p = Conjunctive::new(vec![(0, LocalExpr::eq(x, 2))]);
+        let r = eg_linear(&comp, &p);
+        assert!(!r.holds);
+        assert_eq!(r.steps, 1);
+    }
+
+    #[test]
+    fn incremental_agrees_with_naive() {
+        let (comp, x) = xy_comp();
+        for p in [
+            Conjunctive::new(vec![(0, LocalExpr::ge(x, 1)), (1, LocalExpr::ge(x, 0))]),
+            Conjunctive::new(vec![(1, LocalExpr::ge(x, 1))]),
+            Conjunctive::new(vec![(0, LocalExpr::eq(x, 1))]),
+            Conjunctive::top(),
+        ] {
+            let a = eg_linear(&comp, &p);
+            let b = eg_conjunctive(&comp, &p);
+            assert_eq!(a.holds, b.holds, "{}", p.describe());
+            if let Some(w) = b.witness.as_deref() {
+                verify_eg_witness(&comp, &p, w).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn eg_true_predicate_always_holds() {
+        let (comp, _) = xy_comp();
+        let r = eg_linear(&comp, &TrueP);
+        assert!(r.holds);
+        assert_eq!(r.witness.unwrap().len(), comp.num_events() + 1);
+    }
+
+    #[test]
+    fn eg_on_empty_computation_is_initial_eval() {
+        let comp = ComputationBuilder::new(2).finish().unwrap();
+        assert!(eg_linear(&comp, &TrueP).holds);
+        assert!(!eg_linear(&comp, &hb_predicates::FalseP).holds);
+    }
+
+    #[test]
+    fn eg_post_linear_mirrors_forward() {
+        // Channels-empty controllable: deliver each message immediately.
+        let mut b = ComputationBuilder::new(2);
+        let m1 = b.send(0).done_send();
+        b.receive(1, m1).done();
+        let m2 = b.send(1).done_send();
+        b.receive(0, m2).done();
+        let comp = b.finish().unwrap();
+        let fwd = eg_post_linear(&comp, &ChannelsEmpty);
+        // Not controllable: right after a send the channel is nonempty.
+        assert!(!fwd.holds);
+    }
+
+    #[test]
+    fn eg_post_linear_holds_without_messages() {
+        let mut b = ComputationBuilder::new(2);
+        b.internal(0).done();
+        b.internal(1).done();
+        let comp = b.finish().unwrap();
+        let r = eg_post_linear(&comp, &ChannelsEmpty);
+        assert!(r.holds);
+        verify_eg_witness(&comp, &ChannelsEmpty, r.witness.as_deref().unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,135 @@
+//! Detection for **observer-independent** predicates (Charron-Bost,
+//! Delporte-Gallet & Fauconnier \[3\]).
+//!
+//! `p` is observer-independent when `EF(p) ⟺ AF(p)`: if any observation
+//! (linearization) sees `p`, every observation does. The `EF`/`AF` cells
+//! of Table 1 are then solvable by sampling **one arbitrary observation**
+//! and evaluating `p` along it — `O(|E|)` evaluations.
+//!
+//! The `EG`/`AG` cells are NP-complete / co-NP-complete (Theorems 5 and 6
+//! of the paper); `hb-reduction` builds the hardness gadgets and
+//! [`crate::ModelChecker`] provides the exponential exact procedure those
+//! cells fall back to.
+
+use hb_computation::{Computation, Cut};
+use hb_predicates::Predicate;
+
+/// `EF(p)` for an observer-independent predicate: walk one observation
+/// (advancing the lowest-index enabled process) and evaluate `p` at every
+/// cut. Returns the first satisfying cut as witness.
+///
+/// Correct only when `p` actually is observer-independent; the classifier
+/// in `hb-predicates` can audit the claim on small computations.
+pub fn ef_observer_independent<P: Predicate + ?Sized>(
+    comp: &Computation,
+    p: &P,
+) -> crate::ef::EfReport {
+    let final_cut = comp.final_cut();
+    let mut g = comp.initial_cut();
+    let mut steps = 0usize;
+    loop {
+        steps += 1;
+        if p.eval(comp, &g) {
+            return crate::ef::EfReport {
+                holds: true,
+                witness: Some(g),
+                steps,
+            };
+        }
+        if g == final_cut {
+            return crate::ef::EfReport {
+                holds: false,
+                witness: None,
+                steps,
+            };
+        }
+        let i = (0..g.width())
+            .find(|&i| comp.can_advance(&g, i))
+            .expect("non-final consistent cut has an enabled event");
+        g = g.advanced(i);
+    }
+}
+
+/// `AF(p)` for an observer-independent predicate — by definition equal to
+/// [`ef_observer_independent`].
+pub fn af_observer_independent<P: Predicate + ?Sized>(
+    comp: &Computation,
+    p: &P,
+) -> crate::ef::EfReport {
+    ef_observer_independent(comp, p)
+}
+
+/// Evaluates `p` along an arbitrary observation and reports the cuts; a
+/// helper for tests and the `tables` harness that want the sampled
+/// observation itself.
+pub fn sample_observation(comp: &Computation) -> Vec<Cut> {
+    let final_cut = comp.final_cut();
+    let mut g = comp.initial_cut();
+    let mut path = vec![g.clone()];
+    while g != final_cut {
+        let i = (0..g.width())
+            .find(|&i| comp.can_advance(&g, i))
+            .expect("non-final consistent cut has an enabled event");
+        g = g.advanced(i);
+        path.push(g.clone());
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelChecker;
+    use hb_computation::ComputationBuilder;
+    use hb_predicates::{Disjunctive, FnPredicate, LocalExpr, Stable};
+
+    fn comp() -> (Computation, hb_computation::VarId) {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.var("x");
+        b.internal(0).set(x, 1).done();
+        b.internal(0).set(x, 0).done();
+        let m = b.send(1).set(x, 2).done_send();
+        b.receive(0, m).done();
+        b.internal(1).set(x, 0).done();
+        (b.finish().unwrap(), x)
+    }
+
+    #[test]
+    fn oi_detection_matches_model_checker_for_disjunctive() {
+        let (comp, x) = comp();
+        let mc = ModelChecker::new(&comp);
+        for p in [
+            Disjunctive::new(vec![(0, LocalExpr::eq(x, 1)), (1, LocalExpr::eq(x, 2))]),
+            Disjunctive::new(vec![(0, LocalExpr::eq(x, 9))]),
+            Disjunctive::new(vec![(1, LocalExpr::eq(x, 0))]),
+        ] {
+            let r = ef_observer_independent(&comp, &p);
+            assert_eq!(r.holds, mc.ef(&p), "{}", p.describe());
+            assert_eq!(r.holds, mc.af(&p), "OI: EF must equal AF");
+            if let Some(w) = r.witness {
+                assert!(p.eval(&comp, &w));
+            }
+        }
+    }
+
+    #[test]
+    fn oi_detection_matches_for_stable() {
+        let (comp, _) = comp();
+        let mc = ModelChecker::new(&comp);
+        let received = Stable(FnPredicate::new("recv", |_: &Computation, g: &Cut| {
+            g.get(0) >= 3
+        }));
+        let r = ef_observer_independent(&comp, &received);
+        assert_eq!(r.holds, mc.ef(&received));
+        assert_eq!(r.holds, mc.af(&received));
+    }
+
+    #[test]
+    fn sample_observation_is_a_maximal_path() {
+        let (comp, _) = comp();
+        let path = sample_observation(&comp);
+        assert_eq!(path.len(), comp.num_events() + 1);
+        crate::witness::verify_step_path(&comp, &comp.initial_cut(), &comp.final_cut(), &path)
+            .unwrap();
+    }
+}

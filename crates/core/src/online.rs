@@ -1,0 +1,410 @@
+//! On-line detection — the paper's closing future-work item ("another
+//! area of future work will be to develop efficient on-line versions of
+//! our algorithms").
+//!
+//! An on-line monitor consumes a computation **as it executes**: local
+//! states arrive one at a time, each tagged with the vector clock of the
+//! event that produced it, in any order consistent with causality. The
+//! monitor answers after every observation:
+//!
+//! * [`OnlineEfConjunctive`] — on-line `EF(p)` for conjunctive `p`
+//!   (equivalently, on-line violation detection for the invariant
+//!   `AG(¬p)` with disjunctive `¬p`): the Garg–Waldecker queue
+//!   algorithm. Each process queues the states satisfying its clause;
+//!   whenever every queue has a candidate, pairwise vector-clock
+//!   compatibility is enforced by popping candidates that some other
+//!   candidate's causal past has already overtaken. The first compatible
+//!   set *is* the least satisfying cut `I_p`, identical to what the
+//!   off-line Chase–Garg walk returns.
+//! * [`OnlineEfDisjunctive`] — on-line `EF(p)` for disjunctive `p`:
+//!   report the first arriving state satisfying any clause.
+//!
+//! Amortized cost: each queued state is pushed and popped at most once,
+//! and every pop is justified by one `O(n)` clock comparison — `O(n|E|)`
+//! over the whole run, matching the off-line bound.
+
+use hb_computation::Cut;
+use hb_vclock::VectorClock;
+use std::collections::VecDeque;
+
+/// Verdict of an on-line monitor after some prefix of the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OnlineVerdict {
+    /// The predicate was detected; the cut is the least satisfying cut
+    /// over the observed prefix (for the conjunctive monitor, `I_p`).
+    Detected(Cut),
+    /// The predicate can no longer hold, whatever happens next.
+    Impossible,
+    /// Undetermined: keep observing.
+    Pending,
+}
+
+/// A queued candidate: a local state index and the clock of the event
+/// that produced it (`state 0` carries the zero clock).
+#[derive(Debug, Clone)]
+struct Candidate {
+    state: u32,
+    clock: VectorClock,
+}
+
+/// On-line `EF(conjunctive)` monitor.
+///
+/// The caller evaluates each process's clause locally (the monitor never
+/// sees variable values — exactly the information a distributed checker
+/// would ship): call [`OnlineEfConjunctive::observe`] for every new local
+/// state of a *participating* process, and
+/// [`OnlineEfConjunctive::finish_process`] when a process's stream ends.
+#[derive(Debug)]
+pub struct OnlineEfConjunctive {
+    n: usize,
+    /// Queue of satisfying states per participating process.
+    queues: Vec<VecDeque<Candidate>>,
+    /// Which processes carry a clause.
+    participating: Vec<bool>,
+    /// Number of states observed per process (so callers stream states,
+    /// not indices).
+    seen: Vec<u32>,
+    finished: Vec<bool>,
+    verdict: OnlineVerdict,
+}
+
+impl OnlineEfConjunctive {
+    /// A monitor over `n` processes; `participating[i]` marks the
+    /// processes whose local clause exists (a conjunct on `P_i`).
+    ///
+    /// `initially[i]` tells the monitor whether `P_i`'s clause holds in
+    /// its initial state (state 0, zero clock).
+    pub fn new(n: usize, participating: Vec<bool>, initially: Vec<bool>) -> Self {
+        assert_eq!(participating.len(), n);
+        assert_eq!(initially.len(), n);
+        let mut m = OnlineEfConjunctive {
+            n,
+            queues: vec![VecDeque::new(); n],
+            participating,
+            seen: vec![0; n],
+            finished: vec![false; n],
+            verdict: OnlineVerdict::Pending,
+        };
+        for (i, &init) in initially.iter().enumerate() {
+            if m.participating[i] && init {
+                m.queues[i].push_back(Candidate {
+                    state: 0,
+                    clock: VectorClock::new(n),
+                });
+            }
+        }
+        m.recheck();
+        m
+    }
+
+    /// Observes the next local state of process `i`: `holds` is the local
+    /// clause's value in that state and `clock` is the vector clock of
+    /// the event that produced it.
+    ///
+    /// States must arrive in per-process order; cross-process order is
+    /// free.
+    pub fn observe(&mut self, i: usize, holds: bool, clock: &VectorClock) {
+        assert!(!self.finished[i], "process {i} already finished");
+        self.seen[i] += 1;
+        if !self.participating[i] || !holds {
+            return;
+        }
+        if matches!(self.verdict, OnlineVerdict::Detected(_)) {
+            return; // already answered; ignore further input
+        }
+        self.queues[i].push_back(Candidate {
+            state: self.seen[i],
+            clock: clock.clone(),
+        });
+        self.recheck();
+    }
+
+    /// Declares that process `i` will produce no further states.
+    pub fn finish_process(&mut self, i: usize) {
+        self.finished[i] = true;
+        self.recheck();
+    }
+
+    /// The monitor's current verdict.
+    pub fn verdict(&self) -> &OnlineVerdict {
+        &self.verdict
+    }
+
+    /// The popping fixpoint: drop candidates provably not part of any
+    /// compatible set; detect when every participating queue's front is
+    /// pairwise compatible.
+    fn recheck(&mut self) {
+        if !matches!(self.verdict, OnlineVerdict::Pending) {
+            return;
+        }
+        loop {
+            // A process with an empty queue: wait unless it is finished
+            // (then the conjunction can never hold again).
+            for i in 0..self.n {
+                if self.participating[i] && self.queues[i].is_empty() {
+                    if self.finished[i] {
+                        self.verdict = OnlineVerdict::Impossible;
+                    }
+                    return;
+                }
+            }
+            // All fronts available: enforce pairwise compatibility.
+            let mut popped = false;
+            'pairs: for i in 0..self.n {
+                if !self.participating[i] {
+                    continue;
+                }
+                let ci = self.queues[i].front().expect("checked nonempty").clone();
+                for j in 0..self.n {
+                    if i == j || !self.participating[j] {
+                        continue;
+                    }
+                    let cj = self.queues[j].front().expect("checked nonempty");
+                    // i's candidate prefix requires more events of j than
+                    // j's candidate provides: j's candidate is too early
+                    // for i's and for every later i-candidate (clocks
+                    // only grow), so it is dead.
+                    if ci.clock.get(j) > cj.state {
+                        self.queues[j].pop_front();
+                        popped = true;
+                        break 'pairs;
+                    }
+                }
+            }
+            if !popped {
+                // Compatible: the least satisfying cut is the join of the
+                // candidates' prefixes.
+                let mut counters = vec![0u32; self.n];
+                for i in 0..self.n {
+                    if !self.participating[i] {
+                        continue;
+                    }
+                    let c = self.queues[i].front().expect("nonempty");
+                    counters[i] = counters[i].max(c.state);
+                    for (j, slot) in counters.iter_mut().enumerate() {
+                        *slot = (*slot).max(c.clock.get(j));
+                    }
+                }
+                self.verdict = OnlineVerdict::Detected(Cut::from_counters(counters));
+                return;
+            }
+        }
+    }
+}
+
+/// On-line `EF(disjunctive)` monitor: fires on the first satisfying
+/// state.
+#[derive(Debug)]
+pub struct OnlineEfDisjunctive {
+    seen: Vec<u32>,
+    live: usize,
+    verdict: OnlineVerdict,
+}
+
+impl OnlineEfDisjunctive {
+    /// A monitor over `n` processes. `initially[i]` is `P_i`'s clause in
+    /// its initial state (a clauseless process passes `false`).
+    pub fn new(n: usize, initially: Vec<bool>) -> Self {
+        let mut m = OnlineEfDisjunctive {
+            seen: vec![0; n],
+            live: n,
+            verdict: OnlineVerdict::Pending,
+        };
+        if initially.iter().any(|&b| b) {
+            m.verdict = OnlineVerdict::Detected(Cut::initial(n));
+        }
+        m
+    }
+
+    /// Observes the next local state of process `i`.
+    pub fn observe(&mut self, i: usize, holds: bool, clock: &VectorClock) {
+        self.seen[i] += 1;
+        if !matches!(self.verdict, OnlineVerdict::Pending) {
+            return;
+        }
+        if holds {
+            // The causal past of the producing event is a consistent cut
+            // where the state is current.
+            self.verdict = OnlineVerdict::Detected(Cut::from_counters(clock.components().to_vec()));
+        }
+    }
+
+    /// Declares a process finished; when all are, a pending monitor
+    /// becomes impossible.
+    pub fn finish_process(&mut self, _i: usize) {
+        self.live = self.live.saturating_sub(1);
+        if self.live == 0 && matches!(self.verdict, OnlineVerdict::Pending) {
+            self.verdict = OnlineVerdict::Impossible;
+        }
+    }
+
+    /// The monitor's current verdict.
+    pub fn verdict(&self) -> &OnlineVerdict {
+        &self.verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ef::ef_linear;
+    use crate::tokens::ef_disjunctive;
+    use hb_computation::{Computation, ComputationBuilder, EventId};
+    use hb_predicates::{Conjunctive, Disjunctive, LocalExpr, Predicate};
+
+    /// Streams a recorded computation into a conjunctive monitor using
+    /// the given interleaving (a topological order of events).
+    fn stream_conj(comp: &Computation, p: &Conjunctive, order: &[EventId]) -> OnlineVerdict {
+        let n = comp.num_processes();
+        let participating: Vec<bool> = (0..n)
+            .map(|i| p.clauses().iter().any(|c| c.process == i))
+            .collect();
+        let initially: Vec<bool> = (0..n).map(|i| p.clause_holds_at(comp, i, 0)).collect();
+        let mut m = OnlineEfConjunctive::new(n, participating, initially);
+        for &e in order {
+            let holds = p.clause_holds_at(comp, e.process, e.index as u32 + 1);
+            m.observe(e.process, holds, comp.clock(e));
+        }
+        for i in 0..n {
+            m.finish_process(i);
+        }
+        m.verdict().clone()
+    }
+
+    fn topo_order(comp: &Computation) -> Vec<EventId> {
+        let mut cut = comp.initial_cut();
+        let final_cut = comp.final_cut();
+        let mut order = Vec::new();
+        while cut != final_cut {
+            let i = (0..cut.width())
+                .find(|&i| comp.can_advance(&cut, i))
+                .expect("enabled process");
+            order.push(EventId::new(i, cut.get(i) as usize));
+            cut = cut.advanced(i);
+        }
+        order
+    }
+
+    fn mutexish() -> (Computation, hb_computation::VarId) {
+        let mut b = ComputationBuilder::new(3);
+        let x = b.var("x");
+        b.internal(0).set(x, 1).done();
+        let m = b.send(0).set(x, 2).done_send();
+        b.internal(1).set(x, 1).done();
+        b.receive(2, m).set(x, 1).done();
+        b.internal(2).set(x, 0).done();
+        (b.finish().unwrap(), x)
+    }
+
+    #[test]
+    fn online_matches_offline_and_finds_i_p() {
+        let (comp, x) = mutexish();
+        let preds = [
+            Conjunctive::new(vec![(0, LocalExpr::eq(x, 1)), (1, LocalExpr::eq(x, 1))]),
+            Conjunctive::new(vec![
+                (0, LocalExpr::eq(x, 2)),
+                (1, LocalExpr::eq(x, 1)),
+                (2, LocalExpr::eq(x, 1)),
+            ]),
+            Conjunctive::new(vec![(2, LocalExpr::eq(x, 9))]),
+        ];
+        for p in &preds {
+            let offline = ef_linear(&comp, p);
+            let online = stream_conj(&comp, p, &topo_order(&comp));
+            match online {
+                OnlineVerdict::Detected(cut) => {
+                    assert!(offline.holds, "{}", p.describe());
+                    assert_eq!(Some(cut.clone()), offline.witness, "{}", p.describe());
+                    assert!(comp.is_consistent(&cut));
+                    assert!(p.eval(&comp, &cut));
+                }
+                OnlineVerdict::Impossible => {
+                    assert!(!offline.holds, "{}", p.describe())
+                }
+                OnlineVerdict::Pending => panic!("finished stream left Pending"),
+            }
+        }
+    }
+
+    #[test]
+    fn interleaving_does_not_change_the_verdict() {
+        let (comp, x) = mutexish();
+        let p = Conjunctive::new(vec![(0, LocalExpr::eq(x, 2)), (2, LocalExpr::eq(x, 1))]);
+        // Two different topological orders: the default one and the one
+        // preferring the highest process index.
+        let order_a = topo_order(&comp);
+        let mut order_b = Vec::new();
+        {
+            let mut cut = comp.initial_cut();
+            let final_cut = comp.final_cut();
+            while cut != final_cut {
+                let i = (0..cut.width())
+                    .rev()
+                    .find(|&i| comp.can_advance(&cut, i))
+                    .unwrap();
+                order_b.push(EventId::new(i, cut.get(i) as usize));
+                cut = cut.advanced(i);
+            }
+        }
+        let va = stream_conj(&comp, &p, &order_a);
+        let vb = stream_conj(&comp, &p, &order_b);
+        assert_eq!(va, vb);
+        assert!(matches!(va, OnlineVerdict::Detected(_)));
+    }
+
+    #[test]
+    fn detection_can_fire_before_the_run_ends() {
+        let (comp, x) = mutexish();
+        let p = Conjunctive::new(vec![(0, LocalExpr::eq(x, 1))]);
+        let n = comp.num_processes();
+        let mut m = OnlineEfConjunctive::new(n, vec![true, false, false], vec![false, true, true]);
+        // First event of P0 sets x=1: detection fires immediately.
+        let e = EventId::new(0, 0);
+        m.observe(0, p.clause_holds_at(&comp, 0, 1), comp.clock(e));
+        assert!(matches!(m.verdict(), OnlineVerdict::Detected(_)));
+    }
+
+    #[test]
+    fn impossible_after_all_processes_finish() {
+        let (comp, x) = mutexish();
+        let p = Conjunctive::new(vec![(1, LocalExpr::eq(x, 42))]);
+        let v = stream_conj(&comp, &p, &topo_order(&comp));
+        assert_eq!(v, OnlineVerdict::Impossible);
+    }
+
+    #[test]
+    fn disjunctive_monitor_matches_offline() {
+        let (comp, x) = mutexish();
+        for p in [
+            Disjunctive::new(vec![(0, LocalExpr::eq(x, 2)), (1, LocalExpr::eq(x, 5))]),
+            Disjunctive::new(vec![(2, LocalExpr::eq(x, 5))]),
+        ] {
+            let n = comp.num_processes();
+            let initially: Vec<bool> = (0..n).map(|i| p.clause_holds_at(&comp, i, 0)).collect();
+            let mut m = OnlineEfDisjunctive::new(n, initially);
+            for e in topo_order(&comp) {
+                let holds = p.clause_holds_at(&comp, e.process, e.index as u32 + 1);
+                m.observe(e.process, holds, comp.clock(e));
+            }
+            for i in 0..n {
+                m.finish_process(i);
+            }
+            let offline = ef_disjunctive(&comp, &p);
+            match m.verdict() {
+                OnlineVerdict::Detected(cut) => {
+                    assert!(offline.holds);
+                    assert!(comp.is_consistent(cut));
+                    assert!(p.eval(&comp, cut));
+                }
+                OnlineVerdict::Impossible => assert!(!offline.holds),
+                OnlineVerdict::Pending => panic!("finished stream left Pending"),
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_with_initially_true_conjunction_detects_empty_cut() {
+        let m = OnlineEfConjunctive::new(2, vec![true, true], vec![true, true]);
+        assert_eq!(m.verdict(), &OnlineVerdict::Detected(Cut::initial(2)));
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared result shapes for detection algorithms.
+//!
+//! Each operator module defines its own report type (a verdict plus an
+//! operator-appropriate witness); this module holds the small helpers they
+//! share.
+
+use hb_computation::{Computation, Cut};
+
+/// Materializes *some* maximal consistent-cut sequence from `from` to `to`
+/// (`from ⊆ to` in the cut order), advancing the lowest-index enabled
+/// process that still lags `to` at each step.
+///
+/// Such a path always exists when both cuts are consistent: the interval
+/// `[from, to]` of a distributive lattice is graded.
+///
+/// # Panics
+/// Panics if the cuts are not consistent or not ordered.
+pub(crate) fn staircase_path(comp: &Computation, from: &Cut, to: &Cut) -> Vec<Cut> {
+    assert!(from.leq(to), "staircase requires from ⊆ to");
+    debug_assert!(comp.is_consistent(from) && comp.is_consistent(to));
+    let mut path = vec![from.clone()];
+    let mut g = from.clone();
+    while &g != to {
+        let i = (0..g.width())
+            .find(|&i| g.get(i) < to.get(i) && comp.can_advance(&g, i))
+            .expect("graded interval always has an enabled lagging process");
+        g = g.advanced(i);
+        path.push(g.clone());
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_computation::ComputationBuilder;
+
+    #[test]
+    fn staircase_reaches_target_one_step_at_a_time() {
+        let mut b = ComputationBuilder::new(2);
+        let m = b.send(0).done_send();
+        b.internal(0).done();
+        b.receive(1, m).done();
+        let comp = b.finish().unwrap();
+        let path = staircase_path(&comp, &comp.initial_cut(), &comp.final_cut());
+        assert_eq!(path.len(), comp.num_events() + 1);
+        for w in path.windows(2) {
+            assert!(w[0].covers_step(&w[1]));
+            assert!(comp.is_consistent(&w[1]));
+        }
+    }
+
+    #[test]
+    fn staircase_between_equal_cuts_is_singleton() {
+        let comp = ComputationBuilder::new(2).finish().unwrap();
+        let path = staircase_path(&comp, &comp.initial_cut(), &comp.final_cut());
+        assert_eq!(path.len(), 1);
+    }
+}

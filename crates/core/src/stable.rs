@@ -1,0 +1,90 @@
+//! Detection for **stable** predicates — the "trivial" cells of Table 1.
+//!
+//! A stable predicate (Chandy–Lamport) never turns false again once true.
+//! On a finite computation this collapses every operator to a single
+//! evaluation:
+//!
+//! * `EF(p) ⟺ AF(p) ⟺ p(E)` — if `p` ever holds, stability pushes it to
+//!   the final cut, which every path ends at;
+//! * `EG(p) ⟺ AG(p) ⟺ p(∅)` — if `p` holds initially, stability keeps
+//!   it true on every cut of every path; if not, every path starts with a
+//!   violation.
+//!
+//! The functions take the [`Stable`] wrapper so that the caller's claim of
+//! stability is visible in the types; `debug_assert`s (and the classifier
+//! in `hb-predicates`) audit the claim in tests.
+
+use hb_computation::Computation;
+use hb_predicates::{Predicate, Stable};
+
+/// `EF(p)` for stable `p`: evaluate at the final cut.
+pub fn ef_stable<P: Predicate>(comp: &Computation, p: &Stable<P>) -> bool {
+    p.eval(comp, &comp.final_cut())
+}
+
+/// `AF(p)` for stable `p`: identical to [`ef_stable`] (stable predicates
+/// are observer-independent).
+pub fn af_stable<P: Predicate>(comp: &Computation, p: &Stable<P>) -> bool {
+    ef_stable(comp, p)
+}
+
+/// `EG(p)` for stable `p`: evaluate at the initial cut.
+pub fn eg_stable<P: Predicate>(comp: &Computation, p: &Stable<P>) -> bool {
+    p.eval(comp, &comp.initial_cut())
+}
+
+/// `AG(p)` for stable `p`: identical to [`eg_stable`].
+pub fn ag_stable<P: Predicate>(comp: &Computation, p: &Stable<P>) -> bool {
+    eg_stable(comp, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelChecker;
+    use hb_computation::{ComputationBuilder, Cut};
+    use hb_predicates::FnPredicate;
+
+    fn comp_with_message() -> Computation {
+        let mut b = ComputationBuilder::new(2);
+        b.internal(0).done();
+        let m = b.send(0).done_send();
+        b.receive(1, m).done();
+        b.internal(1).done();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn stable_detection_matches_model_checker() {
+        let comp = comp_with_message();
+        let mc = ModelChecker::new(&comp);
+        // "P1 has received the message" is stable.
+        let received = Stable(FnPredicate::new("received", |_: &Computation, g: &Cut| {
+            g.get(1) >= 1
+        }));
+        assert_eq!(ef_stable(&comp, &received), mc.ef(&received));
+        assert_eq!(af_stable(&comp, &received), mc.af(&received));
+        assert_eq!(eg_stable(&comp, &received), mc.eg(&received));
+        assert_eq!(ag_stable(&comp, &received), mc.ag(&received));
+        assert!(ef_stable(&comp, &received));
+        assert!(!eg_stable(&comp, &received));
+    }
+
+    #[test]
+    fn initially_true_stable_predicate_is_invariant() {
+        let comp = comp_with_message();
+        let always = Stable(FnPredicate::new("true", |_: &Computation, _: &Cut| true));
+        assert!(ag_stable(&comp, &always));
+        assert!(eg_stable(&comp, &always));
+    }
+
+    #[test]
+    fn never_true_stable_predicate() {
+        let comp = comp_with_message();
+        let never = Stable(FnPredicate::new("false", |_: &Computation, _: &Cut| false));
+        assert!(!ef_stable(&comp, &never));
+        assert!(!af_stable(&comp, &never));
+        assert!(!eg_stable(&comp, &never));
+        assert!(!ag_stable(&comp, &never));
+    }
+}

@@ -1,0 +1,285 @@
+//! Witness validation against raw CTL semantics.
+//!
+//! Every detection algorithm in this crate returns a witness when it
+//! answers positively (or a counterexample when a universal property
+//! fails). These validators re-check witnesses from first principles —
+//! consistency of every cut, the `▷` step relation, the endpoint
+//! conditions, and the predicate at each position — so a test failure
+//! pinpoints exactly which obligation broke.
+
+use hb_computation::{Computation, Cut};
+use hb_predicates::Predicate;
+use std::fmt;
+
+/// Why a witness failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WitnessError {
+    /// The path is empty.
+    Empty,
+    /// The path does not start at the required cut.
+    WrongStart {
+        /// Expected first cut.
+        expected: Cut,
+        /// Actual first cut.
+        actual: Cut,
+    },
+    /// The path does not end at the required cut.
+    WrongEnd {
+        /// Expected last cut.
+        expected: Cut,
+        /// Actual last cut.
+        actual: Cut,
+    },
+    /// Some cut on the path is not a consistent cut.
+    Inconsistent {
+        /// Index within the path.
+        position: usize,
+    },
+    /// Two adjacent cuts are not related by `▷` (one event added).
+    NotAStep {
+        /// Index of the first cut of the offending pair.
+        position: usize,
+    },
+    /// The predicate fails where the operator requires it to hold.
+    PredicateFails {
+        /// Index within the path.
+        position: usize,
+        /// The predicate's description.
+        predicate: String,
+    },
+}
+
+impl fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WitnessError::Empty => write!(f, "empty witness path"),
+            WitnessError::WrongStart { expected, actual } => {
+                write!(f, "path starts at {actual}, expected {expected}")
+            }
+            WitnessError::WrongEnd { expected, actual } => {
+                write!(f, "path ends at {actual}, expected {expected}")
+            }
+            WitnessError::Inconsistent { position } => {
+                write!(f, "cut at position {position} is inconsistent")
+            }
+            WitnessError::NotAStep { position } => {
+                write!(
+                    f,
+                    "positions {position}..{} differ by ≠1 event",
+                    position + 1
+                )
+            }
+            WitnessError::PredicateFails {
+                position,
+                predicate,
+            } => write!(f, "predicate {predicate} fails at position {position}"),
+        }
+    }
+}
+
+impl std::error::Error for WitnessError {}
+
+/// Checks that `path` is a consistent-cut sequence under `▷` from `from`
+/// to `to`.
+pub fn verify_step_path(
+    comp: &Computation,
+    from: &Cut,
+    to: &Cut,
+    path: &[Cut],
+) -> Result<(), WitnessError> {
+    let first = path.first().ok_or(WitnessError::Empty)?;
+    if first != from {
+        return Err(WitnessError::WrongStart {
+            expected: from.clone(),
+            actual: first.clone(),
+        });
+    }
+    let last = path.last().expect("nonempty");
+    if last != to {
+        return Err(WitnessError::WrongEnd {
+            expected: to.clone(),
+            actual: last.clone(),
+        });
+    }
+    for (i, g) in path.iter().enumerate() {
+        if !comp.is_consistent(g) {
+            return Err(WitnessError::Inconsistent { position: i });
+        }
+    }
+    for (i, w) in path.windows(2).enumerate() {
+        if !w[0].covers_step(&w[1]) {
+            return Err(WitnessError::NotAStep { position: i });
+        }
+    }
+    Ok(())
+}
+
+/// Validates an `EG(p)` witness: a maximal path `∅ → E` with `p` at every
+/// cut.
+pub fn verify_eg_witness<P: Predicate + ?Sized>(
+    comp: &Computation,
+    p: &P,
+    path: &[Cut],
+) -> Result<(), WitnessError> {
+    verify_step_path(comp, &comp.initial_cut(), &comp.final_cut(), path)?;
+    for (i, g) in path.iter().enumerate() {
+        if !p.eval(comp, g) {
+            return Err(WitnessError::PredicateFails {
+                position: i,
+                predicate: p.describe(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates an `E[p U q]` witness: a path `∅ = G_0 ▷ … ▷ G_k` of
+/// consistent cuts with `q(G_k)` and `p(G_i)` for all `i < k`.
+pub fn verify_eu_witness<P: Predicate + ?Sized, Q: Predicate + ?Sized>(
+    comp: &Computation,
+    p: &P,
+    q: &Q,
+    path: &[Cut],
+) -> Result<(), WitnessError> {
+    let last = path.last().ok_or(WitnessError::Empty)?.clone();
+    verify_step_path(comp, &comp.initial_cut(), &last, path)?;
+    if !q.eval(comp, &last) {
+        return Err(WitnessError::PredicateFails {
+            position: path.len() - 1,
+            predicate: q.describe(),
+        });
+    }
+    for (i, g) in path.iter().take(path.len() - 1).enumerate() {
+        if !p.eval(comp, g) {
+            return Err(WitnessError::PredicateFails {
+                position: i,
+                predicate: p.describe(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates an `¬AF(p)` counterexample (equivalently an `EG(¬p)`
+/// witness): a maximal path avoiding `p` everywhere.
+pub fn verify_af_counterexample<P: Predicate + ?Sized>(
+    comp: &Computation,
+    p: &P,
+    path: &[Cut],
+) -> Result<(), WitnessError> {
+    verify_step_path(comp, &comp.initial_cut(), &comp.final_cut(), path)?;
+    for (i, g) in path.iter().enumerate() {
+        if p.eval(comp, g) {
+            return Err(WitnessError::PredicateFails {
+                position: i,
+                predicate: format!("!({})", p.describe()),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_computation::ComputationBuilder;
+    use hb_predicates::{FalseP, TrueP};
+
+    fn tiny() -> Computation {
+        let mut b = ComputationBuilder::new(2);
+        b.internal(0).done();
+        b.internal(1).done();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn accepts_valid_path() {
+        let c = tiny();
+        let path = vec![
+            Cut::from_counters(vec![0, 0]),
+            Cut::from_counters(vec![1, 0]),
+            Cut::from_counters(vec![1, 1]),
+        ];
+        assert!(verify_eg_witness(&c, &TrueP, &path).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_endpoints_and_gaps() {
+        let c = tiny();
+        assert_eq!(verify_eg_witness(&c, &TrueP, &[]), Err(WitnessError::Empty));
+        let bad_start = vec![
+            Cut::from_counters(vec![1, 0]),
+            Cut::from_counters(vec![1, 1]),
+        ];
+        assert!(matches!(
+            verify_eg_witness(&c, &TrueP, &bad_start),
+            Err(WitnessError::WrongStart { .. })
+        ));
+        let gap = vec![
+            Cut::from_counters(vec![0, 0]),
+            Cut::from_counters(vec![1, 1]),
+        ];
+        assert!(matches!(
+            verify_eg_witness(&c, &TrueP, &gap),
+            Err(WitnessError::NotAStep { position: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_predicate_violation() {
+        let c = tiny();
+        let path = vec![
+            Cut::from_counters(vec![0, 0]),
+            Cut::from_counters(vec![1, 0]),
+            Cut::from_counters(vec![1, 1]),
+        ];
+        assert!(matches!(
+            verify_eg_witness(&c, &FalseP, &path),
+            Err(WitnessError::PredicateFails { position: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn eu_witness_checks_q_only_at_end() {
+        let c = tiny();
+        let path = vec![
+            Cut::from_counters(vec![0, 0]),
+            Cut::from_counters(vec![1, 0]),
+        ];
+        // p=true everywhere before the end; q must hold at the end.
+        struct AtEnd;
+        impl Predicate for AtEnd {
+            fn eval(&self, _: &Computation, g: &Cut) -> bool {
+                g.get(0) == 1 && g.get(1) == 0
+            }
+        }
+        assert!(verify_eu_witness(&c, &TrueP, &AtEnd, &path).is_ok());
+        // p is checked strictly before the end, so a p that fails at the
+        // start is rejected even though q holds at the end.
+        assert!(matches!(
+            verify_eu_witness(&c, &AtEnd, &AtEnd, &path),
+            Err(WitnessError::PredicateFails { position: 0, .. })
+        ));
+        assert!(matches!(
+            verify_eu_witness(&c, &TrueP, &FalseP, &path),
+            Err(WitnessError::PredicateFails { .. })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_cut_detected() {
+        let mut b = ComputationBuilder::new(2);
+        let m = b.send(0).done_send();
+        b.receive(1, m).done();
+        let c = b.finish().unwrap();
+        let path = vec![
+            Cut::from_counters(vec![0, 0]),
+            Cut::from_counters(vec![0, 1]), // receive before send
+            Cut::from_counters(vec![1, 1]),
+        ];
+        assert!(matches!(
+            verify_eg_witness(&c, &TrueP, &path),
+            Err(WitnessError::Inconsistent { position: 1 })
+        ));
+    }
+}

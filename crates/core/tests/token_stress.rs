@@ -1,0 +1,125 @@
+//! Stress tests for the token-interval `EG(disjunctive)` search: many
+//! short alternating runs across several processes (the shape that
+//! maximizes handoff churn and antichain pressure), validated against
+//! the model checker where feasible and for witness soundness beyond.
+
+use hb_computation::{Computation, ComputationBuilder};
+use hb_detect::witness::verify_eg_witness;
+use hb_detect::{eg_disjunctive, ModelChecker};
+use hb_predicates::{Disjunctive, LocalExpr};
+
+/// `n` processes; process `i` alternates ok=1/ok=0 every event, with a
+/// phase shift, so good runs are short and numerous. Messages stitch the
+/// processes into a ring every `stride` events to constrain handoffs.
+fn alternating(n: usize, events: usize, stride: usize) -> (Computation, hb_computation::VarId) {
+    let mut b = ComputationBuilder::new(n);
+    let ok = b.var("ok");
+    for i in 0..n {
+        b.init(i, ok, (i % 2) as i64);
+    }
+    let mut pending: Vec<Option<hb_computation::MsgToken>> = vec![None; n];
+    for k in 0..events {
+        for i in 0..n {
+            let phase = ((k + i) % 2) as i64;
+            if stride > 0 && k % stride == stride - 1 {
+                // Send to the next process; receive whatever the previous
+                // one last sent (if anything).
+                let tok = b.send(i).set(ok, phase).done_send();
+                let prev = (i + n - 1) % n;
+                if let Some(t) = pending[prev].take() {
+                    b.receive(i, t).done();
+                }
+                pending[i] = Some(tok);
+            } else {
+                b.internal(i).set(ok, phase).done();
+            }
+        }
+    }
+    // Drain leftover sends.
+    let leftovers: Vec<(usize, hb_computation::MsgToken)> = pending
+        .iter_mut()
+        .enumerate()
+        .filter_map(|(i, slot)| slot.take().map(|t| (i, t)))
+        .collect();
+    for (i, t) in leftovers {
+        b.receive((i + 1) % n, t).done();
+    }
+    (b.finish().unwrap(), ok)
+}
+
+fn someone_ok(n: usize, ok: hb_computation::VarId) -> Disjunctive {
+    Disjunctive::new((0..n).map(|i| (i, LocalExpr::eq(ok, 1))).collect())
+}
+
+#[test]
+fn matches_model_checker_on_dense_alternations() {
+    for (n, events, stride) in [(2, 6, 0), (3, 4, 2), (3, 5, 3), (4, 3, 2)] {
+        let (comp, ok) = alternating(n, events, stride);
+        let p = someone_ok(n, ok);
+        let ours = eg_disjunctive(&comp, &p);
+        let mc = ModelChecker::with_limit(&comp, 500_000).expect("stress sizes stay below the cap");
+        assert_eq!(
+            ours.holds,
+            mc.eg(&p),
+            "n={n} events={events} stride={stride}"
+        );
+        if let Some(w) = ours.witness.as_deref() {
+            verify_eg_witness(&comp, &p, w).unwrap();
+        }
+    }
+}
+
+#[test]
+fn large_instances_terminate_quickly_with_valid_witnesses() {
+    // Far beyond any buildable lattice: 6 processes × 200 alternations.
+    let (comp, ok) = alternating(6, 200, 5);
+    assert!(comp.num_events() > 1200);
+    let p = someone_ok(6, ok);
+    let start = std::time::Instant::now();
+    let r = eg_disjunctive(&comp, &p);
+    assert!(
+        start.elapsed().as_secs() < 10,
+        "token search took {:?}",
+        start.elapsed()
+    );
+    if let Some(w) = r.witness.as_deref() {
+        verify_eg_witness(&comp, &p, w).unwrap();
+    }
+}
+
+#[test]
+fn single_good_process_needs_no_handoffs_even_at_scale() {
+    let mut b = ComputationBuilder::new(4);
+    let ok = b.var("ok");
+    b.init(0, ok, 1);
+    for _ in 0..500 {
+        for i in 1..4 {
+            b.internal(i).done();
+        }
+    }
+    let comp = b.finish().unwrap();
+    let p = Disjunctive::new(vec![(0, LocalExpr::eq(ok, 1))]);
+    let r = eg_disjunctive(&comp, &p);
+    assert!(r.holds);
+    verify_eg_witness(&comp, &p, r.witness.as_deref().unwrap()).unwrap();
+}
+
+#[test]
+fn adversarial_narrow_windows() {
+    // Good windows exactly one state wide, forced through messages: the
+    // token must hand off at precisely one cut each time.
+    let mut b = ComputationBuilder::new(2);
+    let ok = b.var("ok");
+    b.init(0, ok, 1);
+    // P0 good only initially; P1 good only after its first event, which
+    // requires P0's second event (message) — a gap is unavoidable.
+    b.internal(0).set(ok, 0).done();
+    let m = b.send(0).done_send();
+    b.receive(1, m).set(ok, 1).done();
+    let comp = b.finish().unwrap();
+    let p = someone_ok(2, ok);
+    let ours = eg_disjunctive(&comp, &p);
+    let mc = ModelChecker::new(&comp);
+    assert_eq!(ours.holds, mc.eg(&p));
+    assert!(!ours.holds);
+}

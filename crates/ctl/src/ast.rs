@@ -1,0 +1,151 @@
+//! The CTL abstract syntax tree.
+
+use hb_predicates::CmpOp;
+use std::fmt;
+
+/// An atomic proposition over a global state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Atom {
+    /// Constant truth value.
+    Const(bool),
+    /// `var@process ⊙ literal` — a comparison on one process's variable.
+    Cmp {
+        /// Variable name (resolved against the computation at compile
+        /// time).
+        var: String,
+        /// Process index.
+        process: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Integer literal.
+        lit: i64,
+    },
+    /// "All channels are empty."
+    ChannelsEmpty,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Const(b) => write!(f, "{b}"),
+            Atom::Cmp {
+                var,
+                process,
+                op,
+                lit,
+            } => write!(f, "{var}@{process} {op} {lit}"),
+            Atom::ChannelsEmpty => write!(f, "empty"),
+        }
+    }
+}
+
+/// A CTL formula in the paper's fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// An atomic proposition.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// *possibly*: `EF(p)`.
+    Ef(Box<Formula>),
+    /// *definitely*: `AF(p)`.
+    Af(Box<Formula>),
+    /// *controllable*: `EG(p)`.
+    Eg(Box<Formula>),
+    /// *invariant*: `AG(p)`.
+    Ag(Box<Formula>),
+    /// `E[p U q]`.
+    Eu(Box<Formula>, Box<Formula>),
+    /// `A[p U q]`.
+    Au(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// True iff the formula contains no temporal operator.
+    pub fn is_state_formula(&self) -> bool {
+        match self {
+            Formula::Atom(_) => true,
+            Formula::Not(a) => a.is_state_formula(),
+            Formula::And(a, b) | Formula::Or(a, b) => a.is_state_formula() && b.is_state_formula(),
+            _ => false,
+        }
+    }
+
+    /// True iff no temporal operator appears underneath another temporal
+    /// operator (the paper's non-nested fragment).
+    pub fn is_flat(&self) -> bool {
+        match self {
+            Formula::Atom(_) => true,
+            Formula::Not(a) => a.is_flat(),
+            Formula::And(a, b) | Formula::Or(a, b) => a.is_flat() && b.is_flat(),
+            Formula::Ef(a) | Formula::Af(a) | Formula::Eg(a) | Formula::Ag(a) => {
+                a.is_state_formula()
+            }
+            Formula::Eu(a, b) | Formula::Au(a, b) => a.is_state_formula() && b.is_state_formula(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Not(a) => write!(f, "!({a})"),
+            Formula::And(a, b) => write!(f, "({a} & {b})"),
+            Formula::Or(a, b) => write!(f, "({a} | {b})"),
+            Formula::Ef(a) => write!(f, "EF({a})"),
+            Formula::Af(a) => write!(f, "AF({a})"),
+            Formula::Eg(a) => write!(f, "EG({a})"),
+            Formula::Ag(a) => write!(f, "AG({a})"),
+            Formula::Eu(a, b) => write!(f, "E[{a} U {b}]"),
+            Formula::Au(a, b) => write!(f, "A[{a} U {b}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom() -> Formula {
+        Formula::Atom(Atom::Const(true))
+    }
+
+    #[test]
+    fn state_formula_detection() {
+        assert!(atom().is_state_formula());
+        assert!(Formula::And(Box::new(atom()), Box::new(atom())).is_state_formula());
+        assert!(!Formula::Ef(Box::new(atom())).is_state_formula());
+    }
+
+    #[test]
+    fn flatness_rejects_nesting() {
+        let ef = Formula::Ef(Box::new(atom()));
+        assert!(ef.is_flat());
+        let nested = Formula::Ag(Box::new(ef.clone()));
+        assert!(!nested.is_flat());
+        // Boolean combinations of temporal operators are flat.
+        let combo = Formula::And(
+            Box::new(ef.clone()),
+            Box::new(Formula::Ag(Box::new(atom()))),
+        );
+        assert!(combo.is_flat());
+        let eu_nested = Formula::Eu(Box::new(atom()), Box::new(ef));
+        assert!(!eu_nested.is_flat());
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let f = Formula::Ag(Box::new(Formula::Not(Box::new(Formula::Atom(Atom::Cmp {
+            var: "x".into(),
+            process: 1,
+            op: hb_predicates::CmpOp::Ge,
+            lit: 3,
+        })))));
+        assert_eq!(f.to_string(), "AG(!(x@1 >= 3))");
+    }
+}

@@ -1,0 +1,453 @@
+//! Compilation of non-temporal (state) formulas: variable resolution,
+//! negation normal form, and predicate-class inference.
+
+use crate::ast::{Atom, Formula};
+use hb_computation::{Computation, Cut, VarId};
+use hb_predicates::{
+    AndLinear, ChannelsEmpty, CmpOp, Conjunctive, Disjunctive, LocalExpr, Predicate,
+};
+use std::fmt;
+
+/// Why a state formula failed to compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The formula contains a temporal operator.
+    NotAStateFormula,
+    /// A variable name does not exist in the computation.
+    UnknownVariable(String),
+    /// An atom references a process the computation does not have.
+    ProcessOutOfRange(usize),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NotAStateFormula => {
+                write!(f, "temporal operator inside a state formula")
+            }
+            CompileError::UnknownVariable(v) => write!(f, "unknown variable '{v}'"),
+            CompileError::ProcessOutOfRange(p) => write!(f, "process {p} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The inferred class of a compiled state formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateClass {
+    /// Conjunction of local predicates (regular ⊂ linear).
+    Conjunctive,
+    /// Conjunction of local predicates and channel-emptiness (linear).
+    LinearWithChannels,
+    /// Disjunction of local predicates (observer-independent).
+    Disjunctive,
+    /// No structure detected.
+    Arbitrary,
+}
+
+/// A compiled, variable-resolved state predicate.
+#[derive(Debug)]
+pub enum CompiledPredicate {
+    /// A conjunction of local predicates.
+    Conjunctive(Conjunctive),
+    /// `conjunctive ∧ channels-empty` — still linear.
+    LinearWithChannels(AndLinear<Conjunctive, ChannelsEmpty>),
+    /// A disjunction of local predicates.
+    Disjunctive(Disjunctive),
+    /// Anything else, evaluated by direct interpretation.
+    Arbitrary(Resolved),
+}
+
+impl CompiledPredicate {
+    /// The inferred class.
+    pub fn class(&self) -> StateClass {
+        match self {
+            CompiledPredicate::Conjunctive(_) => StateClass::Conjunctive,
+            CompiledPredicate::LinearWithChannels(_) => StateClass::LinearWithChannels,
+            CompiledPredicate::Disjunctive(_) => StateClass::Disjunctive,
+            CompiledPredicate::Arbitrary(_) => StateClass::Arbitrary,
+        }
+    }
+}
+
+impl Predicate for CompiledPredicate {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        match self {
+            CompiledPredicate::Conjunctive(p) => p.eval(comp, cut),
+            CompiledPredicate::LinearWithChannels(p) => p.eval(comp, cut),
+            CompiledPredicate::Disjunctive(p) => p.eval(comp, cut),
+            CompiledPredicate::Arbitrary(r) => r.eval(comp, cut),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            CompiledPredicate::Conjunctive(p) => p.describe(),
+            CompiledPredicate::LinearWithChannels(p) => p.describe(),
+            CompiledPredicate::Disjunctive(p) => p.describe(),
+            CompiledPredicate::Arbitrary(r) => format!("{r:?}"),
+        }
+    }
+}
+
+/// A variable-resolved state formula in negation normal form, evaluated by
+/// interpretation (the "arbitrary" class).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolved {
+    /// Constant.
+    Const(bool),
+    /// Local comparison.
+    Cmp {
+        /// Process whose state is read.
+        process: usize,
+        /// Resolved variable slot.
+        var: VarId,
+        /// Operator.
+        op: CmpOp,
+        /// Literal.
+        lit: i64,
+    },
+    /// Channels all empty.
+    ChannelsEmpty,
+    /// Channels not all empty (negation of the above stays interpretable).
+    ChannelsNonEmpty,
+    /// Conjunction.
+    And(Box<Resolved>, Box<Resolved>),
+    /// Disjunction.
+    Or(Box<Resolved>, Box<Resolved>),
+}
+
+impl Resolved {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        match self {
+            Resolved::Const(b) => *b,
+            Resolved::Cmp {
+                process,
+                var,
+                op,
+                lit,
+            } => {
+                let v = comp.state_in(cut, *process).get(*var);
+                match op {
+                    CmpOp::Eq => v == *lit,
+                    CmpOp::Ne => v != *lit,
+                    CmpOp::Lt => v < *lit,
+                    CmpOp::Le => v <= *lit,
+                    CmpOp::Gt => v > *lit,
+                    CmpOp::Ge => v >= *lit,
+                }
+            }
+            Resolved::ChannelsEmpty => comp.in_transit_count(cut) == 0,
+            Resolved::ChannelsNonEmpty => comp.in_transit_count(cut) > 0,
+            Resolved::And(a, b) => a.eval(comp, cut) && b.eval(comp, cut),
+            Resolved::Or(a, b) => a.eval(comp, cut) || b.eval(comp, cut),
+        }
+    }
+
+    /// The set of processes whose state the formula reads, or `None` if it
+    /// also reads channel state.
+    fn footprint(&self) -> Option<Vec<usize>> {
+        match self {
+            Resolved::Const(_) => Some(vec![]),
+            Resolved::Cmp { process, .. } => Some(vec![*process]),
+            Resolved::ChannelsEmpty | Resolved::ChannelsNonEmpty => None,
+            Resolved::And(a, b) | Resolved::Or(a, b) => {
+                let mut fa = a.footprint()?;
+                for p in b.footprint()? {
+                    if !fa.contains(&p) {
+                        fa.push(p);
+                    }
+                }
+                Some(fa)
+            }
+        }
+    }
+
+    /// Converts a single-process formula to a [`LocalExpr`].
+    fn to_local_expr(&self) -> Option<LocalExpr> {
+        match self {
+            Resolved::Const(b) => Some(LocalExpr::Const(*b)),
+            Resolved::Cmp { var, op, lit, .. } => Some(LocalExpr::Cmp(*var, *op, *lit)),
+            Resolved::ChannelsEmpty | Resolved::ChannelsNonEmpty => None,
+            Resolved::And(a, b) => Some(a.to_local_expr()?.and(b.to_local_expr()?)),
+            Resolved::Or(a, b) => Some(a.to_local_expr()?.or(b.to_local_expr()?)),
+        }
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Le,
+        CmpOp::Ge => CmpOp::Lt,
+    }
+}
+
+/// Resolves variables and pushes negations to the leaves.
+fn resolve(comp: &Computation, f: &Formula, neg: bool) -> Result<Resolved, CompileError> {
+    match f {
+        Formula::Atom(Atom::Const(b)) => Ok(Resolved::Const(*b != neg)),
+        Formula::Atom(Atom::Cmp {
+            var,
+            process,
+            op,
+            lit,
+        }) => {
+            if *process >= comp.num_processes() {
+                return Err(CompileError::ProcessOutOfRange(*process));
+            }
+            let var = comp
+                .vars()
+                .lookup(var)
+                .ok_or_else(|| CompileError::UnknownVariable(var.clone()))?;
+            Ok(Resolved::Cmp {
+                process: *process,
+                var,
+                op: if neg { flip(*op) } else { *op },
+                lit: *lit,
+            })
+        }
+        Formula::Atom(Atom::ChannelsEmpty) => Ok(if neg {
+            Resolved::ChannelsNonEmpty
+        } else {
+            Resolved::ChannelsEmpty
+        }),
+        Formula::Not(a) => resolve(comp, a, !neg),
+        Formula::And(a, b) => {
+            let ra = resolve(comp, a, neg)?;
+            let rb = resolve(comp, b, neg)?;
+            Ok(if neg {
+                Resolved::Or(Box::new(ra), Box::new(rb))
+            } else {
+                Resolved::And(Box::new(ra), Box::new(rb))
+            })
+        }
+        Formula::Or(a, b) => {
+            let ra = resolve(comp, a, neg)?;
+            let rb = resolve(comp, b, neg)?;
+            Ok(if neg {
+                Resolved::And(Box::new(ra), Box::new(rb))
+            } else {
+                Resolved::Or(Box::new(ra), Box::new(rb))
+            })
+        }
+        _ => Err(CompileError::NotAStateFormula),
+    }
+}
+
+fn conjuncts(r: &Resolved, out: &mut Vec<Resolved>) {
+    match r {
+        Resolved::And(a, b) => {
+            conjuncts(a, out);
+            conjuncts(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+fn disjuncts(r: &Resolved, out: &mut Vec<Resolved>) {
+    match r {
+        Resolved::Or(a, b) => {
+            disjuncts(a, out);
+            disjuncts(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Compiles a state formula against a computation, inferring the strongest
+/// class the evaluator can exploit.
+pub fn compile_state_formula(
+    comp: &Computation,
+    f: &Formula,
+) -> Result<CompiledPredicate, CompileError> {
+    if !f.is_state_formula() {
+        return Err(CompileError::NotAStateFormula);
+    }
+    let r = resolve(comp, f, false)?;
+
+    // Try conjunctive (optionally with channel-emptiness conjuncts).
+    {
+        let mut cs = Vec::new();
+        conjuncts(&r, &mut cs);
+        let mut locals: Vec<(usize, LocalExpr)> = Vec::new();
+        let mut channels = false;
+        let mut ok = true;
+        for c in &cs {
+            match c.footprint() {
+                Some(procs) if procs.len() <= 1 => {
+                    let expr = c.to_local_expr().expect("footprint implies local");
+                    let proc = procs.first().copied().unwrap_or(0);
+                    locals.push((proc, expr));
+                }
+                None if matches!(c, Resolved::ChannelsEmpty) => channels = true,
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            let conj = Conjunctive::new(locals);
+            return Ok(if channels {
+                CompiledPredicate::LinearWithChannels(AndLinear(conj, ChannelsEmpty))
+            } else {
+                CompiledPredicate::Conjunctive(conj)
+            });
+        }
+    }
+
+    // Try disjunctive.
+    {
+        let mut ds = Vec::new();
+        disjuncts(&r, &mut ds);
+        let mut locals: Vec<(usize, LocalExpr)> = Vec::new();
+        let mut ok = true;
+        for d in &ds {
+            match d.footprint() {
+                Some(procs) if procs.len() == 1 => {
+                    locals.push((procs[0], d.to_local_expr().expect("local")));
+                }
+                Some(procs) if procs.is_empty() => {
+                    // A constant disjunct: true makes the whole thing a
+                    // tautology (still disjunctive via an always-true
+                    // clause on process 0); false is droppable.
+                    if let Resolved::Const(true) = d {
+                        locals.push((0, LocalExpr::Const(true)));
+                    }
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            return Ok(CompiledPredicate::Disjunctive(Disjunctive::new(locals)));
+        }
+    }
+
+    Ok(CompiledPredicate::Arbitrary(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use hb_computation::ComputationBuilder;
+
+    fn comp() -> Computation {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.var("x");
+        let _y = b.var("y");
+        let m = b.send(0).set(x, 1).done_send();
+        b.receive(1, m).set(x, 2).done();
+        b.finish().unwrap()
+    }
+
+    fn class_of(comp: &Computation, src: &str) -> StateClass {
+        compile_state_formula(comp, &parse(src).unwrap())
+            .unwrap()
+            .class()
+    }
+
+    #[test]
+    fn infers_conjunctive() {
+        let c = comp();
+        assert_eq!(class_of(&c, "x@0 = 1 & x@1 = 2"), StateClass::Conjunctive);
+        assert_eq!(class_of(&c, "x@0 = 1"), StateClass::Conjunctive);
+        assert_eq!(class_of(&c, "true"), StateClass::Conjunctive);
+        // A negated disjunction is a conjunction (De Morgan through NNF).
+        assert_eq!(
+            class_of(&c, "!(x@0 = 1 | x@1 = 2)"),
+            StateClass::Conjunctive
+        );
+        // Per-process boolean structure stays local.
+        assert_eq!(
+            class_of(&c, "(x@0 = 1 | y@0 > 3) & x@1 = 2"),
+            StateClass::Conjunctive
+        );
+    }
+
+    #[test]
+    fn infers_linear_with_channels() {
+        let c = comp();
+        assert_eq!(
+            class_of(&c, "empty & x@0 > 1"),
+            StateClass::LinearWithChannels
+        );
+        assert_eq!(class_of(&c, "empty"), StateClass::LinearWithChannels);
+    }
+
+    #[test]
+    fn infers_disjunctive() {
+        let c = comp();
+        assert_eq!(class_of(&c, "x@0 = 1 | x@1 = 2"), StateClass::Disjunctive);
+        assert_eq!(
+            class_of(&c, "!(x@0 = 1 & x@1 = 2)"),
+            StateClass::Disjunctive
+        );
+    }
+
+    #[test]
+    fn infers_arbitrary() {
+        let c = comp();
+        // Cross-process disjunct inside a conjunction: neither shape.
+        assert_eq!(
+            class_of(&c, "(x@0 = 1 | x@1 = 2) & (x@0 = 2 | x@1 = 1)"),
+            StateClass::Arbitrary
+        );
+        // Channels inside a disjunction.
+        assert_eq!(class_of(&c, "empty | x@0 = 1"), StateClass::Arbitrary);
+    }
+
+    #[test]
+    fn compiled_semantics_match_interpretation() {
+        let c = comp();
+        let sources = [
+            "x@0 = 1 & x@1 = 2",
+            "x@0 = 1 | x@1 = 2",
+            "empty & x@0 >= 1",
+            "(x@0 = 1 | x@1 = 2) & (x@0 = 2 | x@1 = 1)",
+            "!(x@0 = 1 | !(x@1 = 2))",
+        ];
+        for src in sources {
+            let f = parse(src).unwrap();
+            let compiled = compile_state_formula(&c, &f).unwrap();
+            let reference = resolve(&c, &f, false).unwrap();
+            for a in 0..=1u32 {
+                for b in 0..=1u32 {
+                    let g = Cut::from_counters(vec![a, b]);
+                    if c.is_consistent(&g) {
+                        assert_eq!(
+                            compiled.eval(&c, &g),
+                            reference.eval(&c, &g),
+                            "{src} at {g}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_variable_and_bad_process_are_errors() {
+        let c = comp();
+        assert_eq!(
+            compile_state_formula(&c, &parse("z@0 = 1").unwrap()).unwrap_err(),
+            CompileError::UnknownVariable("z".into())
+        );
+        assert_eq!(
+            compile_state_formula(&c, &parse("x@9 = 1").unwrap()).unwrap_err(),
+            CompileError::ProcessOutOfRange(9)
+        );
+        assert_eq!(
+            compile_state_formula(&c, &parse("EF(x@0 = 1)").unwrap()).unwrap_err(),
+            CompileError::NotAStateFormula
+        );
+    }
+}

@@ -1,0 +1,570 @@
+//! The evaluator: dispatches each formula to the fastest applicable
+//! detection algorithm.
+
+use crate::ast::Formula;
+use crate::compile::{compile_state_formula, CompileError, CompiledPredicate};
+use hb_computation::Computation;
+use hb_detect::{
+    af_conjunctive, af_disjunctive, ag_disjunctive, ag_linear, au_disjunctive, ef_disjunctive,
+    ef_linear, eg_conjunctive, eg_disjunctive, eg_linear, eu_conjunctive_linear, ModelChecker,
+};
+use hb_predicates::Predicate;
+use std::fmt;
+
+/// Which detection engine answered a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// A state formula evaluated at the initial cut.
+    InitialEval,
+    /// Chase–Garg linear advancement (`EF`, also `AG` via `¬EF(¬p)`).
+    ChaseGargEf,
+    /// Direct per-state scan for `EF(disjunctive)`.
+    DisjunctiveScan,
+    /// Algorithm A1 (backward walk) for `EG(linear)`.
+    A1,
+    /// Algorithm A1 with the incremental conjunctive check.
+    A1Incremental,
+    /// Algorithm A2 (meet-irreducibles) for `AG(linear)`.
+    A2,
+    /// Algorithm A3 for `E[p U q]`.
+    A3,
+    /// The `A[p U q]` identity over A1 + A3.
+    AuIdentity,
+    /// The token-interval search for `EG(disjunctive)` / `AF(conjunctive)`.
+    TokenInterval,
+    /// Boolean combination of sub-evaluations.
+    Composite,
+    /// Explicit-lattice CTL model checking (exponential fallback).
+    Baseline,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Engine::InitialEval => "initial-eval",
+            Engine::ChaseGargEf => "chase-garg-ef",
+            Engine::DisjunctiveScan => "disjunctive-scan",
+            Engine::A1 => "A1",
+            Engine::A1Incremental => "A1-incremental",
+            Engine::A2 => "A2",
+            Engine::A3 => "A3",
+            Engine::AuIdentity => "AU-identity",
+            Engine::TokenInterval => "token-interval",
+            Engine::Composite => "composite",
+            Engine::Baseline => "baseline-model-checker",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why evaluation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A temporal operator appears under another temporal operator.
+    NestedTemporal,
+    /// A state subformula failed to compile.
+    Compile(CompileError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NestedTemporal => {
+                write!(
+                    f,
+                    "nested temporal operators are outside the paper's fragment"
+                )
+            }
+            EvalError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<CompileError> for EvalError {
+    fn from(e: CompileError) -> Self {
+        EvalError::Compile(e)
+    }
+}
+
+/// Evidence explaining a verdict: a witness for an existential truth, or
+/// a counterexample refuting a universal claim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Evidence {
+    /// A single consistent cut (e.g. the least cut satisfying an `EF`
+    /// target, or a cut violating an `AG` invariant).
+    Cut(hb_computation::Cut),
+    /// A consistent-cut sequence under the `▷` step relation (e.g. an
+    /// `EG`/`EU` witness path, or a path avoiding an `AF` target).
+    Path(Vec<hb_computation::Cut>),
+}
+
+/// The verdict of evaluating a formula at the initial cut, with the
+/// engine that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evaluation {
+    /// Whether the formula holds at the initial cut of the lattice.
+    pub verdict: bool,
+    /// The engine that decided it (the *slowest* engine for composites).
+    pub engine: Engine,
+    /// Supporting or refuting evidence, when the engine produces one.
+    pub evidence: Option<Evidence>,
+}
+
+/// Evaluates a flat CTL formula on a computation, choosing the fastest
+/// applicable algorithm per operator.
+pub fn evaluate(comp: &Computation, f: &Formula) -> Result<Evaluation, EvalError> {
+    if !f.is_flat() {
+        return Err(EvalError::NestedTemporal);
+    }
+    eval_rec(comp, f)
+}
+
+/// Evaluates an **arbitrarily nested** CTL formula by recursive labeling
+/// on the explicit lattice — full CTL, beyond the paper's non-nested
+/// fragment, at the baseline's exponential cost. Use for properties like
+/// `AG(EF(reset@0 = 1))` ("a reset is always still possible").
+///
+/// The engine is always [`Engine::Baseline`]; prefer [`evaluate`] for
+/// formulas inside the fragment.
+pub fn evaluate_nested(comp: &Computation, f: &Formula) -> Result<Evaluation, EvalError> {
+    let mc = ModelChecker::new(comp);
+    let labels = label_rec(comp, &mc, f)?;
+    Ok(Evaluation {
+        verdict: labels[mc.lattice().bottom()],
+        engine: Engine::Baseline,
+        evidence: None,
+    })
+}
+
+/// Labels every consistent cut with the truth of `f` (bottom-up CTL
+/// labeling over the materialized lattice).
+fn label_rec(
+    comp: &Computation,
+    mc: &ModelChecker<'_>,
+    f: &Formula,
+) -> Result<Vec<bool>, EvalError> {
+    Ok(match f {
+        Formula::Atom(_) => {
+            let p = compile_state_formula(comp, f)?;
+            mc.label(&p)
+        }
+        Formula::Not(a) => {
+            let mut v = label_rec(comp, mc, a)?;
+            for b in &mut v {
+                *b = !*b;
+            }
+            v
+        }
+        Formula::And(a, b) => {
+            let va = label_rec(comp, mc, a)?;
+            let vb = label_rec(comp, mc, b)?;
+            va.into_iter().zip(vb).map(|(x, y)| x && y).collect()
+        }
+        Formula::Or(a, b) => {
+            let va = label_rec(comp, mc, a)?;
+            let vb = label_rec(comp, mc, b)?;
+            va.into_iter().zip(vb).map(|(x, y)| x || y).collect()
+        }
+        Formula::Ef(a) => mc.ef_labels(&label_rec(comp, mc, a)?),
+        Formula::Af(a) => mc.af_labels(&label_rec(comp, mc, a)?),
+        Formula::Eg(a) => mc.eg_labels(&label_rec(comp, mc, a)?),
+        Formula::Ag(a) => mc.ag_labels(&label_rec(comp, mc, a)?),
+        Formula::Eu(a, b) => {
+            let va = label_rec(comp, mc, a)?;
+            let vb = label_rec(comp, mc, b)?;
+            mc.eu_labels(&va, &vb)
+        }
+        Formula::Au(a, b) => {
+            let va = label_rec(comp, mc, a)?;
+            let vb = label_rec(comp, mc, b)?;
+            mc.au_labels(&va, &vb)
+        }
+    })
+}
+
+fn eval_rec(comp: &Computation, f: &Formula) -> Result<Evaluation, EvalError> {
+    match f {
+        Formula::Ef(inner) => {
+            let p = compile_state_formula(comp, inner)?;
+            Ok(match &p {
+                CompiledPredicate::Conjunctive(c) => {
+                    let r = ef_linear(comp, c);
+                    Evaluation {
+                        verdict: r.holds,
+                        engine: Engine::ChaseGargEf,
+                        evidence: r.witness.map(Evidence::Cut),
+                    }
+                }
+                CompiledPredicate::LinearWithChannels(l) => {
+                    let r = ef_linear(comp, l);
+                    Evaluation {
+                        verdict: r.holds,
+                        engine: Engine::ChaseGargEf,
+                        evidence: r.witness.map(Evidence::Cut),
+                    }
+                }
+                CompiledPredicate::Disjunctive(d) => {
+                    let r = ef_disjunctive(comp, d);
+                    Evaluation {
+                        verdict: r.holds,
+                        engine: Engine::DisjunctiveScan,
+                        evidence: r.witness.map(Evidence::Cut),
+                    }
+                }
+                CompiledPredicate::Arbitrary(_) => Evaluation {
+                    verdict: ModelChecker::new(comp).ef(&p),
+                    engine: Engine::Baseline,
+                    evidence: None,
+                },
+            })
+        }
+        Formula::Af(inner) => {
+            let p = compile_state_formula(comp, inner)?;
+            Ok(match &p {
+                CompiledPredicate::Conjunctive(c) => {
+                    let r = af_conjunctive(comp, c);
+                    Evaluation {
+                        verdict: r.holds,
+                        engine: Engine::TokenInterval,
+                        evidence: r.counterexample.map(Evidence::Path),
+                    }
+                }
+                CompiledPredicate::Disjunctive(d) => {
+                    let r = af_disjunctive(comp, d);
+                    Evaluation {
+                        verdict: r.holds,
+                        engine: Engine::A1Incremental,
+                        evidence: r.counterexample.map(Evidence::Path),
+                    }
+                }
+                _ => Evaluation {
+                    verdict: ModelChecker::new(comp).af(&p),
+                    engine: Engine::Baseline,
+                    evidence: None,
+                },
+            })
+        }
+        Formula::Eg(inner) => {
+            let p = compile_state_formula(comp, inner)?;
+            Ok(match &p {
+                CompiledPredicate::Conjunctive(c) => {
+                    let r = eg_conjunctive(comp, c);
+                    Evaluation {
+                        verdict: r.holds,
+                        engine: Engine::A1Incremental,
+                        evidence: r.witness.map(Evidence::Path),
+                    }
+                }
+                CompiledPredicate::LinearWithChannels(l) => {
+                    let r = eg_linear(comp, l);
+                    Evaluation {
+                        verdict: r.holds,
+                        engine: Engine::A1,
+                        evidence: r.witness.map(Evidence::Path),
+                    }
+                }
+                CompiledPredicate::Disjunctive(d) => {
+                    let r = eg_disjunctive(comp, d);
+                    Evaluation {
+                        verdict: r.holds,
+                        engine: Engine::TokenInterval,
+                        evidence: r.witness.map(Evidence::Path),
+                    }
+                }
+                CompiledPredicate::Arbitrary(_) => {
+                    let mc = ModelChecker::new(comp);
+                    Evaluation {
+                        verdict: mc.eg(&p),
+                        engine: Engine::Baseline,
+                        evidence: mc.eg_witness(&p).map(Evidence::Path),
+                    }
+                }
+            })
+        }
+        Formula::Ag(inner) => {
+            let p = compile_state_formula(comp, inner)?;
+            Ok(match &p {
+                CompiledPredicate::Conjunctive(c) => {
+                    let r = ag_linear(comp, c);
+                    Evaluation {
+                        verdict: r.holds,
+                        engine: Engine::A2,
+                        evidence: r.counterexample.map(Evidence::Cut),
+                    }
+                }
+                CompiledPredicate::LinearWithChannels(l) => {
+                    let r = ag_linear(comp, l);
+                    Evaluation {
+                        verdict: r.holds,
+                        engine: Engine::A2,
+                        evidence: r.counterexample.map(Evidence::Cut),
+                    }
+                }
+                CompiledPredicate::Disjunctive(d) => {
+                    let r = ag_disjunctive(comp, d);
+                    Evaluation {
+                        verdict: r.holds,
+                        engine: Engine::ChaseGargEf,
+                        evidence: r.counterexample.map(Evidence::Cut),
+                    }
+                }
+                CompiledPredicate::Arbitrary(_) => Evaluation {
+                    verdict: ModelChecker::new(comp).ag(&p),
+                    engine: Engine::Baseline,
+                    evidence: None,
+                },
+            })
+        }
+        Formula::Eu(pf, qf) => {
+            let p = compile_state_formula(comp, pf)?;
+            let q = compile_state_formula(comp, qf)?;
+            Ok(match (&p, &q) {
+                (CompiledPredicate::Conjunctive(pc), CompiledPredicate::Conjunctive(qc)) => {
+                    let r = eu_conjunctive_linear(comp, pc, qc);
+                    Evaluation {
+                        verdict: r.holds,
+                        engine: Engine::A3,
+                        evidence: r.witness.map(Evidence::Path),
+                    }
+                }
+                (CompiledPredicate::Conjunctive(pc), CompiledPredicate::LinearWithChannels(ql)) => {
+                    let r = eu_conjunctive_linear(comp, pc, ql);
+                    Evaluation {
+                        verdict: r.holds,
+                        engine: Engine::A3,
+                        evidence: r.witness.map(Evidence::Path),
+                    }
+                }
+                _ => Evaluation {
+                    verdict: ModelChecker::new(comp).eu(&p, &q),
+                    engine: Engine::Baseline,
+                    evidence: None,
+                },
+            })
+        }
+        Formula::Au(pf, qf) => {
+            let p = compile_state_formula(comp, pf)?;
+            let q = compile_state_formula(comp, qf)?;
+            Ok(match (as_disjunctive(&p), as_disjunctive(&q)) {
+                (Some(pd), Some(qd)) => {
+                    let r = au_disjunctive(comp, &pd, &qd);
+                    Evaluation {
+                        verdict: r.holds,
+                        engine: Engine::AuIdentity,
+                        evidence: r.counterexample.map(Evidence::Path),
+                    }
+                }
+                _ => Evaluation {
+                    verdict: ModelChecker::new(comp).au(&p, &q),
+                    engine: Engine::Baseline,
+                    evidence: None,
+                },
+            })
+        }
+        Formula::Not(a) => {
+            if a.is_state_formula() && f.is_state_formula() {
+                return initial_eval(comp, f);
+            }
+            let ra = eval_rec(comp, a)?;
+            Ok(Evaluation {
+                verdict: !ra.verdict,
+                engine: compose(ra.engine, ra.engine),
+                evidence: ra.evidence,
+            })
+        }
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            if f.is_state_formula() {
+                return initial_eval(comp, f);
+            }
+            let ra = eval_rec(comp, a)?;
+            let rb = eval_rec(comp, b)?;
+            let verdict = if matches!(f, Formula::And(_, _)) {
+                ra.verdict && rb.verdict
+            } else {
+                ra.verdict || rb.verdict
+            };
+            Ok(Evaluation {
+                verdict,
+                engine: compose(ra.engine, rb.engine),
+                evidence: None,
+            })
+        }
+        Formula::Atom(_) => initial_eval(comp, f),
+    }
+}
+
+/// Views a compiled predicate as disjunctive when possible. The compiler
+/// prefers the conjunctive shape, so a predicate reading a single process
+/// (which is *both* conjunctive and disjunctive) arrives here as
+/// `Conjunctive` with at most one clause; re-expose it as a disjunction so
+/// the `A[p U q]` identity applies.
+fn as_disjunctive(p: &CompiledPredicate) -> Option<hb_predicates::Disjunctive> {
+    match p {
+        CompiledPredicate::Disjunctive(d) => Some(d.clone()),
+        CompiledPredicate::Conjunctive(c) => match c.clauses() {
+            [] => Some(hb_predicates::Disjunctive::new(vec![(
+                0,
+                hb_predicates::LocalExpr::Const(true),
+            )])),
+            [only] => Some(hb_predicates::Disjunctive::new(vec![(
+                only.process,
+                only.expr.clone(),
+            )])),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn initial_eval(comp: &Computation, f: &Formula) -> Result<Evaluation, EvalError> {
+    let p = compile_state_formula(comp, f)?;
+    Ok(Evaluation {
+        verdict: p.eval(comp, &comp.initial_cut()),
+        engine: Engine::InitialEval,
+        evidence: None,
+    })
+}
+
+fn compose(a: Engine, b: Engine) -> Engine {
+    if a == Engine::Baseline || b == Engine::Baseline {
+        Engine::Baseline
+    } else {
+        Engine::Composite
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use hb_computation::ComputationBuilder;
+
+    /// Mutual exclusion trace where the two critical sections are
+    /// concurrent (a real violation).
+    fn racy_mutex() -> Computation {
+        let mut b = ComputationBuilder::new(2);
+        let t = b.var("try");
+        let c = b.var("crit");
+        b.internal(0).set(t, 1).done();
+        b.internal(0).set(c, 1).done();
+        b.internal(0).set(c, 0).done();
+        b.internal(1).set(t, 1).done();
+        b.internal(1).set(c, 1).done();
+        b.internal(1).set(c, 0).done();
+        b.finish().unwrap()
+    }
+
+    fn check(comp: &Computation, src: &str) -> Evaluation {
+        evaluate(comp, &parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn mutex_violation_found_by_chase_garg() {
+        let comp = racy_mutex();
+        let r = check(&comp, "AG(!(crit@0 = 1 & crit@1 = 1))");
+        assert!(!r.verdict);
+        assert_eq!(r.engine, Engine::ChaseGargEf);
+        let r2 = check(&comp, "EF(crit@0 = 1 & crit@1 = 1)");
+        assert!(r2.verdict);
+        assert_eq!(r2.engine, Engine::ChaseGargEf);
+    }
+
+    #[test]
+    fn engines_match_declared_classes() {
+        let comp = racy_mutex();
+        assert_eq!(check(&comp, "EG(try@0 >= 0)").engine, Engine::A1Incremental);
+        assert_eq!(check(&comp, "AG(try@0 >= 0)").engine, Engine::A2);
+        assert_eq!(
+            check(&comp, "EG(try@0 = 1 | try@1 = 1)").engine,
+            Engine::TokenInterval
+        );
+        assert_eq!(
+            check(&comp, "AF(crit@0 = 1 & crit@1 = 1)").engine,
+            Engine::TokenInterval
+        );
+        assert_eq!(
+            check(&comp, "E[ crit@0 = 0 U crit@0 = 1 ]").engine,
+            Engine::A3
+        );
+        assert_eq!(
+            check(&comp, "A[ try@0 = 1 | try@0 = 0 U crit@0 = 1 ]").engine,
+            Engine::AuIdentity
+        );
+        assert_eq!(check(&comp, "crit@0 = 0").engine, Engine::InitialEval);
+    }
+
+    #[test]
+    fn arbitrary_formulas_fall_back_to_baseline() {
+        let comp = racy_mutex();
+        let r = check(
+            &comp,
+            "EF((crit@0 = 1 | crit@1 = 1) & (try@0 = 1 | try@1 = 1))",
+        );
+        assert_eq!(r.engine, Engine::Baseline);
+        assert!(r.verdict);
+    }
+
+    #[test]
+    fn verdicts_agree_with_model_checker_across_engines() {
+        let comp = racy_mutex();
+        let mc = ModelChecker::new(&comp);
+        let cases = [
+            "EF(crit@0 = 1 & crit@1 = 1)",
+            "AF(crit@0 = 1 & crit@1 = 1)",
+            "EG(crit@0 = 0 | crit@1 = 0)",
+            "AG(try@0 >= 0 & try@1 >= 0)",
+            "E[ crit@1 = 0 U crit@0 = 1 ]",
+            "A[ crit@0 = 0 | crit@1 = 0 U try@0 = 1 | try@1 = 1 ]",
+        ];
+        for src in cases {
+            let f = parse(src).unwrap();
+            let ours = evaluate(&comp, &f).unwrap().verdict;
+            let truth = match &f {
+                Formula::Ef(p) => mc.ef(&compile_state_formula(&comp, p).unwrap()),
+                Formula::Af(p) => mc.af(&compile_state_formula(&comp, p).unwrap()),
+                Formula::Eg(p) => mc.eg(&compile_state_formula(&comp, p).unwrap()),
+                Formula::Ag(p) => mc.ag(&compile_state_formula(&comp, p).unwrap()),
+                Formula::Eu(p, q) => mc.eu(
+                    &compile_state_formula(&comp, p).unwrap(),
+                    &compile_state_formula(&comp, q).unwrap(),
+                ),
+                Formula::Au(p, q) => mc.au(
+                    &compile_state_formula(&comp, p).unwrap(),
+                    &compile_state_formula(&comp, q).unwrap(),
+                ),
+                _ => unreachable!(),
+            };
+            assert_eq!(ours, truth, "{src}");
+        }
+    }
+
+    #[test]
+    fn boolean_combinations_of_temporal_operators() {
+        let comp = racy_mutex();
+        let r = check(&comp, "EF(crit@0 = 1) & AG(try@0 >= 0)");
+        assert!(r.verdict);
+        assert_eq!(r.engine, Engine::Composite);
+        let r2 = check(&comp, "!EF(crit@0 = 5)");
+        assert!(r2.verdict);
+    }
+
+    #[test]
+    fn nested_temporal_rejected() {
+        let comp = racy_mutex();
+        assert_eq!(
+            evaluate(&comp, &parse("AG(EF(crit@0 = 1))").unwrap()).unwrap_err(),
+            EvalError::NestedTemporal
+        );
+    }
+
+    #[test]
+    fn compile_errors_propagate() {
+        let comp = racy_mutex();
+        assert!(matches!(
+            evaluate(&comp, &parse("EF(nope@0 = 1)").unwrap()).unwrap_err(),
+            EvalError::Compile(CompileError::UnknownVariable(_))
+        ));
+    }
+}

@@ -1,0 +1,56 @@
+//! CTL on the happened-before model: syntax, parsing, class inference,
+//! and an evaluator that picks the fastest applicable detection algorithm.
+//!
+//! This crate is the front door of `hbtl`. It implements the CTL fragment
+//! of Section 3 of the paper — atomic propositions over global states,
+//! `¬`, `∧`, `∨`, and the temporal operators `EF`, `AF`, `EG`, `AG`,
+//! `E[· U ·]`, `A[· U ·]` interpreted on the lattice of consistent cuts —
+//! plus:
+//!
+//! * a **parser** for a textual formula language
+//!   (`"AG(!(crit@0 = 1 & crit@1 = 1))"`, `"E[ try@0 = 1 U crit@0 = 1 ]"`),
+//! * a **compiler** that normalizes non-temporal subformulas and infers
+//!   their predicate class (conjunctive, disjunctive, linear, arbitrary),
+//! * an **evaluator** ([`evaluate`]) that dispatches each operator to the
+//!   best algorithm the inferred class admits (Algorithms A1/A2/A3, the
+//!   Chase–Garg walk, the token-interval search, observation sampling)
+//!   and falls back to the explicit-lattice model checker otherwise,
+//!   reporting which [`Engine`] it used.
+//!
+//! Nested temporal operators are rejected, matching the paper's fragment
+//! ("we do not consider nested temporal predicates in this paper").
+//!
+//! # Example
+//!
+//! ```
+//! use hb_computation::ComputationBuilder;
+//! use hb_ctl::{evaluate, parse, Engine};
+//!
+//! let mut b = ComputationBuilder::new(2);
+//! let crit = b.var("crit");
+//! b.internal(0).set(crit, 1).done();
+//! b.internal(0).set(crit, 0).done();
+//! b.internal(1).set(crit, 1).done();
+//! let comp = b.finish().unwrap();
+//!
+//! // Mutual exclusion can be violated in this trace (the two critical
+//! // sections are concurrent), so the invariant is false…
+//! let f = parse("AG(!(crit@0 = 1 & crit@1 = 1))").unwrap();
+//! let r = evaluate(&comp, &f).unwrap();
+//! assert!(!r.verdict);
+//! // …and the violation was found without building the lattice:
+//! assert_eq!(r.engine, Engine::ChaseGargEf);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod compile;
+mod eval;
+mod parser;
+
+pub use ast::{Atom, Formula};
+pub use compile::{compile_state_formula, CompileError, CompiledPredicate, StateClass};
+pub use eval::{evaluate, evaluate_nested, Engine, EvalError, Evaluation, Evidence};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,336 @@
+//! Recursive-descent parser for the CTL formula language.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! formula   := or
+//! or        := and ( '|' and )*
+//! and       := unary ( '&' unary )*
+//! unary     := '!' unary | temporal | primary
+//! temporal  := ('EF'|'AF'|'EG'|'AG') '(' formula ')'
+//!            | ('E'|'A') '[' formula 'U' formula ']'
+//! primary   := 'true' | 'false' | 'empty' | '(' formula ')' | cmp
+//! cmp       := IDENT '@' INT ('='|'!='|'<'|'<='|'>'|'>=') INT
+//! ```
+
+use crate::ast::{Atom, Formula};
+use hb_predicates::CmpOp;
+use std::fmt;
+
+/// A parse failure with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a formula from its textual form.
+pub fn parse(input: &str) -> Result<Formula, ParseError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    let f = p.or_formula()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(f)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let bytes = kw.as_bytes();
+        if self.input[self.pos..].starts_with(bytes) {
+            // Keywords made of letters must not run into an identifier.
+            let end = self.pos + bytes.len();
+            let boundary = self
+                .input
+                .get(end)
+                .is_none_or(|&c| !(c.is_ascii_alphanumeric() || c == b'_'));
+            if boundary || !kw.chars().all(|c| c.is_ascii_alphanumeric()) {
+                self.pos = end;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn or_formula(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.and_formula()?;
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            let rhs = self.and_formula()?;
+            lhs = Formula::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_formula(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.unary()?;
+        while self.peek() == Some(b'&') {
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Formula::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        if self.peek() == Some(b'!') {
+            self.pos += 1;
+            return Ok(Formula::Not(Box::new(self.unary()?)));
+        }
+        // Temporal operators — checked before identifiers so that `EF(`
+        // is not read as a variable name.
+        for (kw, ctor) in [
+            ("EF", Formula::Ef as fn(Box<Formula>) -> Formula),
+            ("AF", Formula::Af),
+            ("EG", Formula::Eg),
+            ("AG", Formula::Ag),
+        ] {
+            let save = self.pos;
+            if self.try_keyword(kw) {
+                if self.peek() == Some(b'(') {
+                    self.pos += 1;
+                    let inner = self.or_formula()?;
+                    self.eat(b')')?;
+                    return Ok(ctor(Box::new(inner)));
+                }
+                self.pos = save;
+            }
+        }
+        for (kw, is_exists) in [("E", true), ("A", false)] {
+            let save = self.pos;
+            if self.try_keyword(kw) {
+                if self.peek() == Some(b'[') {
+                    self.pos += 1;
+                    let p = self.or_formula()?;
+                    if !self.try_keyword("U") {
+                        return Err(self.err("expected 'U' in until formula"));
+                    }
+                    let q = self.or_formula()?;
+                    self.eat(b']')?;
+                    return Ok(if is_exists {
+                        Formula::Eu(Box::new(p), Box::new(q))
+                    } else {
+                        Formula::Au(Box::new(p), Box::new(q))
+                    });
+                }
+                self.pos = save;
+            }
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let f = self.or_formula()?;
+                self.eat(b')')?;
+                Ok(f)
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                if self.try_keyword("true") {
+                    return Ok(Formula::Atom(Atom::Const(true)));
+                }
+                if self.try_keyword("false") {
+                    return Ok(Formula::Atom(Atom::Const(false)));
+                }
+                if self.try_keyword("empty") {
+                    return Ok(Formula::Atom(Atom::ChannelsEmpty));
+                }
+                self.comparison()
+            }
+            _ => Err(self.err("expected a formula")),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Formula, ParseError> {
+        let var = self.ident()?;
+        self.eat(b'@')?;
+        let process = self.integer()? as usize;
+        let op = self.cmp_op()?;
+        let lit = self.signed_integer()?;
+        Ok(Formula::Atom(Atom::Cmp {
+            var,
+            process,
+            op,
+            lit,
+        }))
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len()
+            && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn integer(&mut self) -> Result<u64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected integer"));
+        }
+        String::from_utf8_lossy(&self.input[start..self.pos])
+            .parse()
+            .map_err(|_| self.err("integer out of range"))
+    }
+
+    fn signed_integer(&mut self) -> Result<i64, ParseError> {
+        self.skip_ws();
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let mag = self.integer()? as i64;
+        Ok(if negative { -mag } else { mag })
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        let (op, len) = if rest.starts_with(b"!=") {
+            (CmpOp::Ne, 2)
+        } else if rest.starts_with(b"<=") {
+            (CmpOp::Le, 2)
+        } else if rest.starts_with(b">=") {
+            (CmpOp::Ge, 2)
+        } else if rest.starts_with(b"=") {
+            (CmpOp::Eq, 1)
+        } else if rest.starts_with(b"<") {
+            (CmpOp::Lt, 1)
+        } else if rest.starts_with(b">") {
+            (CmpOp::Gt, 1)
+        } else {
+            return Err(self.err("expected comparison operator"));
+        };
+        self.pos += len;
+        Ok(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_mutex_spec() {
+        let f = parse("A[ try@0 = 1 U crit@0 = 1 ]").unwrap();
+        assert_eq!(f.to_string(), "A[try@0 = 1 U crit@0 = 1]");
+        assert!(f.is_flat());
+    }
+
+    #[test]
+    fn parses_invariants_and_boolean_structure() {
+        let f = parse("AG(!(crit@0 = 1 & crit@1 = 1))").unwrap();
+        assert!(matches!(f, Formula::Ag(_)));
+        let g = parse("EF(x@0 >= 2 | y@1 < -3)").unwrap();
+        assert_eq!(g.to_string(), "EF((x@0 >= 2 | y@1 < -3))");
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let f = parse("a@0 = 1 | b@1 = 1 & c@2 = 1").unwrap();
+        assert!(matches!(f, Formula::Or(_, _)));
+    }
+
+    #[test]
+    fn parses_fig4_style_until() {
+        let f = parse("E[ z@2 < 6 & x@0 < 4 U empty & x@0 > 1 ]").unwrap();
+        assert!(matches!(f, Formula::Eu(_, _)));
+        assert!(f.is_flat());
+    }
+
+    #[test]
+    fn keywords_do_not_shadow_identifiers() {
+        // A variable literally named "EF" still parses as a comparison.
+        let f = parse("EF@0 = 1").unwrap();
+        assert!(matches!(
+            f,
+            Formula::Atom(Atom::Cmp { ref var, .. }) if var == "EF"
+        ));
+        // And "trueish" is an identifier, not the constant.
+        let g = parse("trueish@1 > 0").unwrap();
+        assert!(matches!(g, Formula::Atom(Atom::Cmp { .. })));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("AG(").is_err());
+        assert!(parse("x@0").is_err());
+        assert!(parse("x@0 = 1 extra").is_err());
+        assert!(parse("E[x@0 = 1]").is_err()); // missing U
+        assert!(parse("x = 1").is_err()); // missing @process
+    }
+
+    #[test]
+    fn negative_literals_parse() {
+        let f = parse("x@0 >= -5").unwrap();
+        assert!(matches!(f, Formula::Atom(Atom::Cmp { lit: -5, .. })));
+    }
+
+    #[test]
+    fn whitespace_is_free() {
+        assert_eq!(
+            parse("AG(x@0=1)").unwrap(),
+            parse("  AG ( x @ 0 = 1 )  ").unwrap()
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Tests for full (nested) CTL evaluation via recursive lattice labeling —
+//! properties beyond the paper's flat fragment.
+
+use hb_computation::ComputationBuilder;
+use hb_ctl::{evaluate, evaluate_nested, parse, EvalError};
+
+/// A "resettable" system: P0 can always return x to 0… until its final
+/// event locks x at 2 forever.
+fn resettable() -> hb_computation::Computation {
+    let mut b = ComputationBuilder::new(2);
+    let x = b.var("x");
+    b.internal(0).set(x, 1).done();
+    b.internal(0).set(x, 0).done(); // reset
+    b.internal(0).set(x, 1).done();
+    b.internal(0).set(x, 0).done(); // reset
+    b.internal(1).set(x, 5).done();
+    b.finish().unwrap()
+}
+
+#[test]
+fn ag_ef_reset_is_decidable_nested() {
+    let comp = resettable();
+    // Flat evaluator rejects nesting…
+    let f = parse("AG(EF(x@0 = 0))").unwrap();
+    assert_eq!(evaluate(&comp, &f).unwrap_err(), EvalError::NestedTemporal);
+    // …the nested evaluator decides it: from every reachable cut, a
+    // future cut has x@0 = 0 (the trace ends in a reset state).
+    assert!(evaluate_nested(&comp, &f).unwrap().verdict);
+}
+
+#[test]
+fn nested_and_flat_agree_on_flat_formulas() {
+    let comp = resettable();
+    for src in [
+        "EF(x@0 = 1 & x@1 = 5)",
+        "AG(x@0 <= 1)",
+        "AF(x@1 = 5)",
+        "E[ x@1 = 0 U x@0 = 1 ]",
+        "EG(x@0 = 0 | x@0 = 1)",
+    ] {
+        let f = parse(src).unwrap();
+        assert_eq!(
+            evaluate(&comp, &f).unwrap().verdict,
+            evaluate_nested(&comp, &f).unwrap().verdict,
+            "{src}"
+        );
+    }
+}
+
+#[test]
+fn deeply_nested_formulas() {
+    let comp = resettable();
+    // EF(EG(…)) and AG(AF(…)) combinations.
+    let f = parse("EF( EG( x@0 >= 0 ) )").unwrap();
+    assert!(evaluate_nested(&comp, &f).unwrap().verdict);
+    // "From some point on, x@0 stays 0 along some run" — true: take the
+    // run where P0 finishes (x=0) before P1 moves.
+    let g = parse("EF( EG( x@0 = 0 ) )").unwrap();
+    assert!(evaluate_nested(&comp, &g).unwrap().verdict);
+    // "Inevitably, x@0 = 1 becomes *impossible*" — true once P0 passes
+    // its last x=1 event.
+    let h = parse("AF( AG( x@0 != 1 ) )").unwrap();
+    assert!(evaluate_nested(&comp, &h).unwrap().verdict);
+    // But "x@0 = 1 forever possible" is false.
+    let i = parse("AG( EF( x@0 = 1 ) )").unwrap();
+    assert!(!evaluate_nested(&comp, &i).unwrap().verdict);
+}
+
+#[test]
+fn nested_compile_errors_propagate() {
+    let comp = resettable();
+    let f = parse("AG(EF(zz@0 = 1))").unwrap();
+    assert!(matches!(
+        evaluate_nested(&comp, &f),
+        Err(EvalError::Compile(_))
+    ));
+}
+
+mod evidence {
+    use hb_computation::ComputationBuilder;
+    use hb_ctl::{evaluate, parse, Evidence};
+
+    fn comp() -> hb_computation::Computation {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.var("x");
+        b.internal(0).set(x, 1).done();
+        b.internal(0).set(x, 2).done();
+        b.internal(1).set(x, 1).done();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn ef_returns_the_least_witness_cut() {
+        let c = comp();
+        let r = evaluate(&c, &parse("EF(x@0 = 2 & x@1 = 1)").unwrap()).unwrap();
+        assert!(r.verdict);
+        match r.evidence {
+            Some(Evidence::Cut(cut)) => {
+                assert_eq!(cut.counters(), &[2, 1]);
+            }
+            other => panic!("expected cut evidence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ag_returns_a_counterexample_cut_only_when_false() {
+        let c = comp();
+        let r = evaluate(&c, &parse("AG(x@0 <= 1)").unwrap()).unwrap();
+        assert!(!r.verdict);
+        assert!(matches!(r.evidence, Some(Evidence::Cut(_))));
+        let ok = evaluate(&c, &parse("AG(x@0 >= 0)").unwrap()).unwrap();
+        assert!(ok.verdict);
+        assert!(ok.evidence.is_none());
+    }
+
+    #[test]
+    fn eg_and_eu_return_witness_paths() {
+        let c = comp();
+        let r = evaluate(&c, &parse("EG(x@0 >= 0)").unwrap()).unwrap();
+        match r.evidence {
+            Some(Evidence::Path(p)) => {
+                assert_eq!(p.len(), c.num_events() + 1);
+                assert_eq!(p[0], c.initial_cut());
+                assert_eq!(p[p.len() - 1], c.final_cut());
+            }
+            other => panic!("expected path, got {other:?}"),
+        }
+        let u = evaluate(&c, &parse("E[ x@1 = 0 U x@0 = 2 ]").unwrap()).unwrap();
+        assert!(u.verdict);
+        match u.evidence {
+            Some(Evidence::Path(p)) => assert_eq!(p.last().unwrap().counters(), &[2, 0]),
+            other => panic!("expected path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn af_counterexample_is_an_avoiding_path() {
+        let c = comp();
+        // "x@0 = 2 and x@1 = 1 simultaneously" is avoidable? No: P0 ends
+        // at x=2 and P1 ends at x=1, so the final cut always satisfies it
+        // — AF holds, no evidence.
+        let r = evaluate(&c, &parse("AF(x@0 = 2 & x@1 = 1)").unwrap()).unwrap();
+        assert!(r.verdict);
+        assert!(r.evidence.is_none());
+        // An avoidable target produces a counterexample path.
+        let r2 = evaluate(&c, &parse("AF(x@0 = 1 & x@1 = 1)").unwrap()).unwrap();
+        assert!(!r2.verdict);
+        assert!(matches!(r2.evidence, Some(Evidence::Path(_))));
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests for the CTL front end: parser/printer round trips,
+//! compile-eval coherence, and evaluator-vs-baseline agreement on random
+//! formulas.
+
+use hb_computation::{Computation, ComputationBuilder, Cut};
+use hb_ctl::{compile_state_formula, evaluate, parse, Atom, Formula};
+use hb_detect::ModelChecker;
+use hb_predicates::{CmpOp, Predicate};
+use proptest::prelude::*;
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn atom(n_procs: usize) -> impl Strategy<Value = Formula> {
+    prop_oneof![
+        (0..n_procs, cmp_op(), -2i64..4).prop_map(|(p, op, lit)| {
+            Formula::Atom(Atom::Cmp {
+                var: "x".to_string(),
+                process: p,
+                op,
+                lit,
+            })
+        }),
+        Just(Formula::Atom(Atom::ChannelsEmpty)),
+        any::<bool>().prop_map(|b| Formula::Atom(Atom::Const(b))),
+    ]
+}
+
+/// Random *state* formulas (no temporal operators).
+fn state_formula(n_procs: usize) -> impl Strategy<Value = Formula> {
+    atom(n_procs).prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Random flat temporal formulas.
+fn temporal_formula(n_procs: usize) -> impl Strategy<Value = Formula> {
+    let sf = || state_formula(n_procs).boxed();
+    prop_oneof![
+        sf().prop_map(|f| Formula::Ef(Box::new(f))),
+        sf().prop_map(|f| Formula::Af(Box::new(f))),
+        sf().prop_map(|f| Formula::Eg(Box::new(f))),
+        sf().prop_map(|f| Formula::Ag(Box::new(f))),
+        (sf(), sf()).prop_map(|(p, q)| Formula::Eu(Box::new(p), Box::new(q))),
+        (sf(), sf()).prop_map(|(p, q)| Formula::Au(Box::new(p), Box::new(q))),
+    ]
+}
+
+fn tiny_computation(seed: u64) -> Computation {
+    // Three processes, a couple of events and one message, values 0..3.
+    let mut b = ComputationBuilder::new(3);
+    let x = b.var("x");
+    let s = seed as i64;
+    b.internal(0).set(x, s % 3).done();
+    let m = b.send(0).set(x, (s + 1) % 3).done_send();
+    b.internal(1).set(x, (s + 2) % 3).done();
+    b.receive(2, m).set(x, s % 2).done();
+    b.internal(2).set(x, (s + 1) % 2).done();
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn display_parse_round_trip(f in temporal_formula(3)) {
+        let printed = f.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse of '{printed}' failed: {e}"));
+        prop_assert_eq!(reparsed, f);
+    }
+
+    #[test]
+    fn state_display_parse_round_trip(f in state_formula(3)) {
+        let printed = f.to_string();
+        prop_assert_eq!(parse(&printed).unwrap(), f);
+    }
+
+    #[test]
+    fn compiled_predicate_matches_direct_interpretation(
+        f in state_formula(3),
+        seed in 0u64..8,
+    ) {
+        // Whatever class the compiler infers, evaluation must equal the
+        // formula's direct truth-table semantics on every consistent cut.
+        let comp = tiny_computation(seed);
+        let compiled = compile_state_formula(&comp, &f).unwrap();
+        let truth = |g: &Cut| -> bool { interp(&comp, &f, g) };
+        for a in 0..=2u32 {
+            for b in 0..=1u32 {
+                for c in 0..=2u32 {
+                    let g = Cut::from_counters(vec![a, b, c]);
+                    if comp.is_consistent(&g) {
+                        prop_assert_eq!(
+                            compiled.eval(&comp, &g),
+                            truth(&g),
+                            "{} at {}", f, g
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_matches_baseline_on_random_formulas(
+        f in temporal_formula(3),
+        seed in 0u64..6,
+    ) {
+        let comp = tiny_computation(seed);
+        let ours = evaluate(&comp, &f).unwrap();
+        let mc = ModelChecker::new(&comp);
+        let truth = match &f {
+            Formula::Ef(p) => mc.ef(&compile_state_formula(&comp, p).unwrap()),
+            Formula::Af(p) => mc.af(&compile_state_formula(&comp, p).unwrap()),
+            Formula::Eg(p) => mc.eg(&compile_state_formula(&comp, p).unwrap()),
+            Formula::Ag(p) => mc.ag(&compile_state_formula(&comp, p).unwrap()),
+            Formula::Eu(p, q) => mc.eu(
+                &compile_state_formula(&comp, p).unwrap(),
+                &compile_state_formula(&comp, q).unwrap(),
+            ),
+            Formula::Au(p, q) => mc.au(
+                &compile_state_formula(&comp, p).unwrap(),
+                &compile_state_formula(&comp, q).unwrap(),
+            ),
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(ours.verdict, truth, "{} [engine {}]", f, ours.engine);
+        // The nested evaluator must agree on flat formulas too.
+        let nested = hb_ctl::evaluate_nested(&comp, &f).unwrap();
+        prop_assert_eq!(nested.verdict, truth, "nested {}", f);
+    }
+}
+
+/// Reference interpreter for state formulas.
+fn interp(comp: &Computation, f: &Formula, g: &Cut) -> bool {
+    match f {
+        Formula::Atom(Atom::Const(b)) => *b,
+        Formula::Atom(Atom::ChannelsEmpty) => comp.in_transit_count(g) == 0,
+        Formula::Atom(Atom::Cmp {
+            var,
+            process,
+            op,
+            lit,
+        }) => {
+            let v = comp
+                .state_in(g, *process)
+                .get(comp.vars().lookup(var).unwrap());
+            match op {
+                CmpOp::Eq => v == *lit,
+                CmpOp::Ne => v != *lit,
+                CmpOp::Lt => v < *lit,
+                CmpOp::Le => v <= *lit,
+                CmpOp::Gt => v > *lit,
+                CmpOp::Ge => v >= *lit,
+            }
+        }
+        Formula::Not(a) => !interp(comp, a, g),
+        Formula::And(a, b) => interp(comp, a, g) && interp(comp, b, g),
+        Formula::Or(a, b) => interp(comp, a, g) || interp(comp, b, g),
+        _ => unreachable!("state formulas only"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(garbage in "\\PC{0,60}") {
+        let _ = parse(&garbage);
+    }
+
+    #[test]
+    fn parser_never_panics_on_formula_shaped_input(
+        src in "(EF|AF|EG|AG|E\\[|A\\[|!|\\(|\\)|\\]|U| |x@[0-9]|=|<|>|[0-9]|&|\\||true|false|empty){0,25}"
+    ) {
+        let _ = parse(&src);
+    }
+}

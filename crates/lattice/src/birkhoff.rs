@@ -1,0 +1,156 @@
+//! Birkhoff's representation theorem (Theorem 3 of the paper).
+//!
+//! A finite distributive lattice `L` is isomorphic to the lattice of
+//! down-sets of its poset of join-irreducibles (equivalently, of up-sets
+//! of its meet-irreducibles, with reversed inclusion). For the cut lattice
+//! the join-irreducible poset is — by construction — isomorphic to the
+//! event poset `(E, →)` itself: Birkhoff recovers the computation from its
+//! lattice. This module materializes both directions and checks the
+//! isomorphism, which is the formal backbone of Algorithm A2.
+
+use crate::build::CutLattice;
+use std::collections::BTreeSet;
+
+/// Materializes the lattice of **down-sets** of the join-irreducible
+/// sub-poset of `lat`, each down-set given as a sorted set of
+/// join-irreducible node indices.
+///
+/// Exponential; intended for oracle checks on small lattices.
+pub fn down_set_lattice_of_join_irreducibles(lat: &CutLattice) -> Vec<BTreeSet<usize>> {
+    let ji = lat.join_irreducible_nodes();
+    // leq on nodes via cut inclusion.
+    let leq = |a: usize, b: usize| lat.cut(a).leq(lat.cut(b));
+
+    // Enumerate down-sets by BFS from the empty set, adding one maximal
+    // candidate at a time (standard ideal enumeration).
+    let mut all: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
+    let mut frontier = vec![BTreeSet::new()];
+    all.insert(BTreeSet::new());
+    while let Some(d) = frontier.pop() {
+        for &x in &ji {
+            if d.contains(&x) {
+                continue;
+            }
+            // x can be added iff everything below x is already in d.
+            if ji.iter().all(|&y| y == x || !leq(y, x) || d.contains(&y)) {
+                let mut d2 = d.clone();
+                d2.insert(x);
+                if all.insert(d2.clone()) {
+                    frontier.push(d2);
+                }
+            }
+        }
+    }
+    all.into_iter().collect()
+}
+
+/// Verifies Birkhoff's theorem on `lat`: the map
+/// `a ↦ {x ∈ J(L) | x ≤ a}` is an order isomorphism from `L` onto the
+/// down-set lattice of `J(L)`. Returns `true` iff the check passes.
+///
+/// Exponential; a test oracle.
+pub fn verify_birkhoff(lat: &CutLattice) -> bool {
+    let ji = lat.join_irreducible_nodes();
+    let down_sets = down_set_lattice_of_join_irreducibles(lat);
+
+    // Image of each lattice element.
+    let f = |a: usize| -> BTreeSet<usize> {
+        ji.iter()
+            .copied()
+            .filter(|&x| lat.cut(x).leq(lat.cut(a)))
+            .collect()
+    };
+
+    let images: Vec<BTreeSet<usize>> = (0..lat.len()).map(f).collect();
+
+    // Injective + surjective onto the down-set lattice.
+    let image_set: BTreeSet<&BTreeSet<usize>> = images.iter().collect();
+    if image_set.len() != lat.len() {
+        return false;
+    }
+    if down_sets.len() != lat.len() {
+        return false;
+    }
+    for d in &down_sets {
+        if !image_set.contains(d) {
+            return false;
+        }
+    }
+
+    // Order preserving in both directions.
+    for a in 0..lat.len() {
+        for b in 0..lat.len() {
+            let lhs = lat.cut(a).leq(lat.cut(b));
+            let rhs = images[a].is_subset(&images[b]);
+            if lhs != rhs {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_computation::ComputationBuilder;
+
+    #[test]
+    fn birkhoff_holds_on_grid() {
+        let mut b = ComputationBuilder::new(2);
+        b.internal(0).done();
+        b.internal(0).done();
+        b.internal(1).done();
+        let lat = CutLattice::build(&b.finish().unwrap());
+        assert!(verify_birkhoff(&lat));
+    }
+
+    #[test]
+    fn birkhoff_holds_with_messages() {
+        let mut b = ComputationBuilder::new(3);
+        let m1 = b.send(0).done_send();
+        b.receive(1, m1).done();
+        let m2 = b.send(1).done_send();
+        b.receive(2, m2).done();
+        b.internal(0).done();
+        let lat = CutLattice::build(&b.finish().unwrap());
+        assert!(verify_birkhoff(&lat));
+    }
+
+    #[test]
+    fn down_set_count_equals_lattice_size() {
+        let mut b = ComputationBuilder::new(2);
+        let m = b.send(0).done_send();
+        b.internal(0).done();
+        b.receive(1, m).done();
+        b.internal(1).done();
+        let lat = CutLattice::build(&b.finish().unwrap());
+        assert_eq!(down_set_lattice_of_join_irreducibles(&lat).len(), lat.len());
+    }
+
+    #[test]
+    fn join_irreducible_poset_mirrors_event_poset() {
+        // Birkhoff direction two: the J(L) sub-poset is (E, →) itself.
+        let mut b = ComputationBuilder::new(2);
+        let m = b.send(0).label("a").done_send();
+        b.internal(0).label("b").done();
+        b.receive(1, m).label("c").done();
+        let comp = b.finish().unwrap();
+        let lat = CutLattice::build(&comp);
+        let ji = lat.join_irreducible_nodes();
+        assert_eq!(ji.len(), comp.num_events());
+        // ↓a ⊆ ↓c iff a → c or a = c.
+        let ids: Vec<_> = comp.event_ids().collect();
+        for &e in &ids {
+            for &f in &ids {
+                let pe = comp.causal_past_cut(e);
+                let pf = comp.causal_past_cut(f);
+                assert_eq!(
+                    pe.leq(&pf),
+                    e == f || comp.happened_before(e, f),
+                    "events {e}, {f}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! BFS construction of the cut lattice.
+
+use hb_computation::{Computation, Cut};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The lattice construction hit the configured node cap.
+///
+/// Returned by [`CutLattice::try_build`]; the cap is what keeps exponential
+/// baselines honest in benchmarks instead of hanging the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatticeLimitExceeded {
+    /// The cap that was exceeded.
+    pub limit: usize,
+}
+
+impl fmt::Display for LatticeLimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cut lattice exceeds {} nodes", self.limit)
+    }
+}
+
+impl std::error::Error for LatticeLimitExceeded {}
+
+/// The explicitly materialized lattice of consistent cuts.
+///
+/// Nodes are stored level by level (rank order), so node indices are
+/// topologically sorted: every edge goes from a lower index to a higher
+/// one. This makes the backward fixpoints of the baseline model checker a
+/// single reverse sweep.
+#[derive(Debug, Clone)]
+pub struct CutLattice {
+    cuts: Vec<Cut>,
+    index: HashMap<Cut, usize>,
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+    /// First node index of each rank (plus a final sentinel).
+    rank_offsets: Vec<usize>,
+}
+
+impl CutLattice {
+    /// Builds the full lattice of consistent cuts by level-synchronous BFS.
+    ///
+    /// Exponential in the number of processes; prefer
+    /// [`CutLattice::try_build`] when the input is not known to be tiny.
+    pub fn build(comp: &Computation) -> CutLattice {
+        Self::try_build(comp, usize::MAX).expect("unbounded build cannot exceed limit")
+    }
+
+    /// Builds the lattice, giving up once more than `limit` cuts exist.
+    /// Successor generation and edge construction run on the Rayon pool
+    /// once levels are large enough to amortize the fork cost.
+    pub fn try_build(comp: &Computation, limit: usize) -> Result<CutLattice, LatticeLimitExceeded> {
+        Self::try_build_impl(comp, limit, true)
+    }
+
+    /// Single-threaded variant of [`CutLattice::try_build`] — the
+    /// comparator for the parallel-construction ablation benchmark.
+    pub fn try_build_sequential(
+        comp: &Computation,
+        limit: usize,
+    ) -> Result<CutLattice, LatticeLimitExceeded> {
+        Self::try_build_impl(comp, limit, false)
+    }
+
+    fn try_build_impl(
+        comp: &Computation,
+        limit: usize,
+        parallel: bool,
+    ) -> Result<CutLattice, LatticeLimitExceeded> {
+        let mut cuts: Vec<Cut> = vec![comp.initial_cut()];
+        let mut index: HashMap<Cut, usize> = HashMap::new();
+        index.insert(comp.initial_cut(), 0);
+        let mut rank_offsets = vec![0usize];
+        let mut level: Vec<Cut> = vec![comp.initial_cut()];
+
+        while !level.is_empty() {
+            rank_offsets.push(cuts.len());
+            // Generate successors in parallel, then dedup sequentially.
+            let next_raw: Vec<Cut> = if parallel && level.len() >= 64 {
+                level
+                    .par_iter()
+                    .flat_map_iter(|g| comp.successors(g))
+                    .collect()
+            } else {
+                level.iter().flat_map(|g| comp.successors(g)).collect()
+            };
+            let mut next = Vec::new();
+            for h in next_raw {
+                if !index.contains_key(&h) {
+                    index.insert(h.clone(), cuts.len());
+                    cuts.push(h.clone());
+                    if cuts.len() > limit {
+                        return Err(LatticeLimitExceeded { limit });
+                    }
+                    next.push(h);
+                }
+            }
+            level = next;
+        }
+        // The loop pushes one offset per processed level; normalize so that
+        // rank_offsets[r] is the first node of rank r and the last entry is
+        // the node count.
+        rank_offsets[0] = 0;
+        *rank_offsets.last_mut().expect("nonempty") = cuts.len();
+
+        // Edges: successor lookup now that indices are fixed.
+        let succ: Vec<Vec<usize>> = if parallel {
+            cuts.par_iter()
+                .map(|g| comp.successors(g).into_iter().map(|h| index[&h]).collect())
+                .collect()
+        } else {
+            cuts.iter()
+                .map(|g| comp.successors(g).into_iter().map(|h| index[&h]).collect())
+                .collect()
+        };
+        let mut pred: Vec<Vec<usize>> = vec![Vec::new(); cuts.len()];
+        for (g, hs) in succ.iter().enumerate() {
+            for &h in hs {
+                pred[h].push(g);
+            }
+        }
+
+        Ok(CutLattice {
+            cuts,
+            index,
+            succ,
+            pred,
+            rank_offsets,
+        })
+    }
+
+    /// Number of consistent cuts `|C(E)|`.
+    pub fn len(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// True iff the lattice is trivial (it never is: `∅` always exists).
+    pub fn is_empty(&self) -> bool {
+        self.cuts.is_empty()
+    }
+
+    /// The cut stored at a node index.
+    pub fn cut(&self, i: usize) -> &Cut {
+        &self.cuts[i]
+    }
+
+    /// All cuts in rank (topological) order.
+    pub fn cuts(&self) -> &[Cut] {
+        &self.cuts
+    }
+
+    /// The node index of a cut, if it is a consistent cut.
+    pub fn index_of(&self, g: &Cut) -> Option<usize> {
+        self.index.get(g).copied()
+    }
+
+    /// Node index of the initial cut `∅`.
+    pub fn bottom(&self) -> usize {
+        0
+    }
+
+    /// Node index of the final cut `E`.
+    pub fn top(&self) -> usize {
+        self.cuts.len() - 1
+    }
+
+    /// Successor node indices (the covering relation `▷`).
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succ[i]
+    }
+
+    /// Predecessor node indices.
+    pub fn predecessors(&self, i: usize) -> &[usize] {
+        &self.pred[i]
+    }
+
+    /// Number of ranks (= |E| of the computation, plus one).
+    pub fn num_ranks(&self) -> usize {
+        self.rank_offsets.len() - 1
+    }
+
+    /// The node indices of rank `r`.
+    pub fn rank_nodes(&self, r: usize) -> std::ops::Range<usize> {
+        self.rank_offsets[r]..self.rank_offsets[r + 1]
+    }
+
+    /// Node index of the join (union) of two nodes.
+    pub fn join(&self, a: usize, b: usize) -> usize {
+        self.index[&self.cuts[a].join(&self.cuts[b])]
+    }
+
+    /// Node index of the meet (intersection) of two nodes.
+    pub fn meet(&self, a: usize, b: usize) -> usize {
+        self.index[&self.cuts[a].meet(&self.cuts[b])]
+    }
+
+    /// Exhaustively verifies the distributive-lattice laws — `O(|L|³)`,
+    /// a test oracle only.
+    pub fn is_distributive_lattice(&self) -> bool {
+        let n = self.len();
+        for a in 0..n {
+            for b in 0..n {
+                let j = self.cuts[a].join(&self.cuts[b]);
+                let m = self.cuts[a].meet(&self.cuts[b]);
+                if !self.index.contains_key(&j) || !self.index.contains_key(&m) {
+                    return false;
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    let lhs = self.meet(a, self.join(b, c));
+                    let rhs = self.join(self.meet(a, b), self.meet(a, c));
+                    if lhs != rhs {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_computation::ComputationBuilder;
+
+    fn two_by_two() -> Computation {
+        // Two independent processes with two events each: a 3×3 grid.
+        let mut b = ComputationBuilder::new(2);
+        b.internal(0).done();
+        b.internal(0).done();
+        b.internal(1).done();
+        b.internal(1).done();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn grid_lattice_has_nine_cuts() {
+        let comp = two_by_two();
+        let lat = CutLattice::build(&comp);
+        assert_eq!(lat.len(), 9);
+        assert_eq!(lat.num_ranks(), 5); // ranks 0..=4
+        assert_eq!(lat.cut(lat.bottom()), &comp.initial_cut());
+        assert_eq!(lat.cut(lat.top()), &comp.final_cut());
+    }
+
+    #[test]
+    fn indices_are_topologically_ordered() {
+        let lat = CutLattice::build(&two_by_two());
+        for i in 0..lat.len() {
+            for &s in lat.successors(i) {
+                assert!(s > i);
+                assert!(lat.cut(i).covers_step(lat.cut(s)));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_nodes_partition_by_rank() {
+        let lat = CutLattice::build(&two_by_two());
+        for r in 0..lat.num_ranks() {
+            for i in lat.rank_nodes(r) {
+                assert_eq!(lat.cut(i).rank() as usize, r);
+            }
+        }
+        let total: usize = (0..lat.num_ranks()).map(|r| lat.rank_nodes(r).len()).sum();
+        assert_eq!(total, lat.len());
+    }
+
+    #[test]
+    fn grid_is_distributive() {
+        assert!(CutLattice::build(&two_by_two()).is_distributive_lattice());
+    }
+
+    #[test]
+    fn message_constrains_lattice() {
+        // Fig. 2(a)-style: message removes cuts where recv ∈ G but send ∉ G.
+        let mut b = ComputationBuilder::new(2);
+        b.internal(0).done();
+        let m = b.send(0).done_send();
+        b.internal(1).done();
+        b.receive(1, m).done();
+        let comp = b.finish().unwrap();
+        let lat = CutLattice::build(&comp);
+        // Grid would be 9; cuts (0,2) and (1,2) are inconsistent.
+        assert_eq!(lat.len(), 7);
+        assert!(lat.index_of(&Cut::from_counters(vec![0, 2])).is_none());
+        assert!(lat.index_of(&Cut::from_counters(vec![2, 2])).is_some());
+    }
+
+    #[test]
+    fn try_build_respects_limit() {
+        let comp = two_by_two();
+        assert_eq!(
+            CutLattice::try_build(&comp, 4).unwrap_err(),
+            LatticeLimitExceeded { limit: 4 }
+        );
+        assert!(CutLattice::try_build(&comp, 9).is_ok());
+    }
+
+    #[test]
+    fn join_meet_agree_with_cut_ops() {
+        let lat = CutLattice::build(&two_by_two());
+        for a in 0..lat.len() {
+            for b in 0..lat.len() {
+                assert_eq!(lat.cut(lat.join(a, b)), &lat.cut(a).join(lat.cut(b)));
+                assert_eq!(lat.cut(lat.meet(a, b)), &lat.cut(a).meet(lat.cut(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_computation_has_single_cut() {
+        let comp = ComputationBuilder::new(2).finish().unwrap();
+        let lat = CutLattice::build(&comp);
+        assert_eq!(lat.len(), 1);
+        assert_eq!(lat.bottom(), lat.top());
+    }
+}

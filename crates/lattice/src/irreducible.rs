@@ -1,0 +1,146 @@
+//! Join- and meet-irreducible elements (Definition 1 of the paper).
+//!
+//! In a finite distributive lattice an element is join-irreducible iff it
+//! has exactly one lower cover, and meet-irreducible iff it has exactly one
+//! upper cover. For the lattice of consistent cuts these have a direct
+//! structural characterization on the computation itself:
+//!
+//! * join-irreducibles are exactly the causal pasts `↓e`
+//!   ([`hb_computation::Computation::causal_past_cut`]), and
+//! * meet-irreducibles are exactly the complements `E − ↑e`
+//!   ([`hb_computation::Computation::excluding_cut`]),
+//!
+//! one per event `e ∈ E` (with duplicates possible only when two events
+//! have identical pasts, which cannot happen since an event is always in
+//! its own past). Algorithm A2 of the paper rests on the meet-irreducible
+//! set; this module provides the lattice-side definitions used as the test
+//! oracle for those direct characterizations.
+
+use crate::build::CutLattice;
+use hb_computation::{Computation, Cut};
+
+impl CutLattice {
+    /// Node indices with exactly one upper cover — `M(L)`, the
+    /// meet-irreducible elements (the filled circles of the paper's
+    /// Fig. 2b).
+    pub fn meet_irreducible_nodes(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.successors(i).len() == 1)
+            .collect()
+    }
+
+    /// Node indices with exactly one lower cover — `J(L)`, the
+    /// join-irreducible elements.
+    pub fn join_irreducible_nodes(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.predecessors(i).len() == 1)
+            .collect()
+    }
+
+    /// The meet-irreducible cuts themselves, sorted.
+    pub fn meet_irreducible_cuts(&self) -> Vec<Cut> {
+        let mut v: Vec<Cut> = self
+            .meet_irreducible_nodes()
+            .into_iter()
+            .map(|i| self.cut(i).clone())
+            .collect();
+        v.sort_by(|a, b| a.counters().cmp(b.counters()));
+        v
+    }
+
+    /// The join-irreducible cuts themselves, sorted.
+    pub fn join_irreducible_cuts(&self) -> Vec<Cut> {
+        let mut v: Vec<Cut> = self
+            .join_irreducible_nodes()
+            .into_iter()
+            .map(|i| self.cut(i).clone())
+            .collect();
+        v.sort_by(|a, b| a.counters().cmp(b.counters()));
+        v
+    }
+}
+
+/// The meet-irreducible cuts computed **directly from the computation** in
+/// `O(n|E| log|E|)` — one cut `E − ↑e` per event — without building the
+/// lattice. This is the engine behind Algorithm A2.
+pub fn meet_irreducibles_direct(comp: &Computation) -> Vec<Cut> {
+    let mut v: Vec<Cut> = comp.event_ids().map(|e| comp.excluding_cut(e)).collect();
+    v.sort_by(|a, b| a.counters().cmp(b.counters()));
+    v.dedup();
+    v
+}
+
+/// The join-irreducible cuts computed directly: one causal past `↓e` per
+/// event.
+pub fn join_irreducibles_direct(comp: &Computation) -> Vec<Cut> {
+    let mut v: Vec<Cut> = comp.event_ids().map(|e| comp.causal_past_cut(e)).collect();
+    v.sort_by(|a, b| a.counters().cmp(b.counters()));
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_computation::ComputationBuilder;
+
+    /// The paper's Fig. 2(a).
+    fn fig2() -> Computation {
+        let mut b = ComputationBuilder::new(2);
+        b.internal(0).label("e1").done();
+        let m = b.send(0).label("e2").done_send();
+        b.internal(0).label("e3").done();
+        b.internal(1).label("f1").done();
+        b.receive(1, m).label("f2").done();
+        b.internal(1).label("f3").done();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn direct_meet_irreducibles_match_lattice_definition() {
+        let comp = fig2();
+        let lat = CutLattice::build(&comp);
+        assert_eq!(lat.meet_irreducible_cuts(), meet_irreducibles_direct(&comp));
+    }
+
+    #[test]
+    fn direct_join_irreducibles_match_lattice_definition() {
+        let comp = fig2();
+        let lat = CutLattice::build(&comp);
+        assert_eq!(lat.join_irreducible_cuts(), join_irreducibles_direct(&comp));
+    }
+
+    #[test]
+    fn one_irreducible_per_event() {
+        let comp = fig2();
+        assert_eq!(join_irreducibles_direct(&comp).len(), comp.num_events());
+        assert_eq!(meet_irreducibles_direct(&comp).len(), comp.num_events());
+    }
+
+    #[test]
+    fn every_cut_is_meet_of_meet_irreducibles_above_it() {
+        // Corollary 4 of the paper.
+        let comp = fig2();
+        let lat = CutLattice::build(&comp);
+        let mirr = lat.meet_irreducible_cuts();
+        for i in 0..lat.len() {
+            let a = lat.cut(i);
+            if a == &comp.final_cut() {
+                continue;
+            }
+            let mut acc = comp.final_cut();
+            for x in mirr.iter().filter(|x| a.leq(x)) {
+                acc = acc.meet(x);
+            }
+            assert_eq!(&acc, a, "cut {a} is not the meet of M(L) above it");
+        }
+    }
+
+    #[test]
+    fn top_is_never_meet_irreducible_bottom_never_join_irreducible() {
+        let comp = fig2();
+        let lat = CutLattice::build(&comp);
+        assert!(!lat.meet_irreducible_nodes().contains(&lat.top()));
+        assert!(!lat.join_irreducible_nodes().contains(&lat.bottom()));
+    }
+}

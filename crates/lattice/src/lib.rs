@@ -1,0 +1,49 @@
+//! The explicit lattice of consistent cuts `L = (C(E), ⊆)`.
+//!
+//! The paper's detection algorithms exist precisely to *avoid* building
+//! this object — the number of consistent cuts is exponential in the
+//! number of processes (the state-explosion problem, Section 1). This
+//! crate materializes it anyway, for three reasons:
+//!
+//! 1. It is the **baseline**: the explicit-lattice CTL model checker in
+//!    `hb-detect` labels this structure, exactly the comparison the paper
+//!    argues against analytically (experiment S2 in DESIGN.md).
+//! 2. It is the **oracle**: every structural algorithm is property-tested
+//!    against ground-truth semantics evaluated on this lattice.
+//! 3. It regenerates the paper's **figures** (the lattice diagrams of
+//!    Fig. 2b and Fig. 4b, with meet-irreducible cuts highlighted).
+//!
+//! The crate also implements the lattice theory of Section 5:
+//! join-/meet-irreducible elements and Birkhoff's representation theorem
+//! (Theorem 3 and Corollary 4).
+//!
+//! # Example
+//!
+//! ```
+//! use hb_computation::ComputationBuilder;
+//! use hb_lattice::CutLattice;
+//!
+//! let mut b = ComputationBuilder::new(2);
+//! let m = b.send(0).done_send();
+//! b.receive(1, m).done();
+//! let comp = b.finish().unwrap();
+//!
+//! let lat = CutLattice::build(&comp);
+//! assert_eq!(lat.len(), 3); // {}, {send}, {send, recv}
+//! assert!(lat.is_distributive_lattice());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod birkhoff;
+mod build;
+mod dot;
+mod irreducible;
+mod paths;
+
+pub use birkhoff::{down_set_lattice_of_join_irreducibles, verify_birkhoff};
+pub use build::{CutLattice, LatticeLimitExceeded};
+pub use dot::DotStyle;
+pub use irreducible::{join_irreducibles_direct, meet_irreducibles_direct};
+pub use paths::PathCounts;

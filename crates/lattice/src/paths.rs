@@ -1,0 +1,158 @@
+//! Counting and enumerating maximal consistent-cut sequences.
+//!
+//! A maximal sequence (the paper's path notion) adds one event per step,
+//! so paths from `∅` to `E` are exactly the linear extensions of the event
+//! poset. Their number is what makes naive "check every observation"
+//! detection hopeless; the `tables` harness reports these counts alongside
+//! lattice sizes for experiment S2.
+
+use crate::build::CutLattice;
+
+/// Path statistics of a cut lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathCounts {
+    /// Number of maximal paths `∅ → E` (linear extensions), saturating at
+    /// `u128::MAX`.
+    pub total_paths: u128,
+    /// Number of consistent cuts.
+    pub num_cuts: usize,
+    /// Number of cuts at the widest rank.
+    pub widest_rank: usize,
+}
+
+impl CutLattice {
+    /// Counts maximal paths by a single topological sweep.
+    pub fn path_counts(&self) -> PathCounts {
+        let mut ways = vec![0u128; self.len()];
+        ways[self.bottom()] = 1;
+        for i in 0..self.len() {
+            let w = ways[i];
+            if w == 0 {
+                continue;
+            }
+            for &s in self.successors(i) {
+                ways[s] = ways[s].saturating_add(w);
+            }
+        }
+        let widest = (0..self.num_ranks())
+            .map(|r| self.rank_nodes(r).len())
+            .max()
+            .unwrap_or(0);
+        PathCounts {
+            total_paths: ways[self.top()],
+            num_cuts: self.len(),
+            widest_rank: widest,
+        }
+    }
+
+    /// Counts the maximal paths `∅ → E` that stay entirely within the
+    /// nodes accepted by `keep` — i.e. the number of observations
+    /// witnessing `EG` of the predicate that `keep` encodes (zero iff
+    /// `EG` fails). Saturating; one topological sweep.
+    pub fn count_paths_through(&self, mut keep: impl FnMut(usize) -> bool) -> u128 {
+        let mut ways = vec![0u128; self.len()];
+        if !keep(self.bottom()) {
+            return 0;
+        }
+        ways[self.bottom()] = 1;
+        for i in 0..self.len() {
+            let w = ways[i];
+            if w == 0 {
+                continue;
+            }
+            for &s in self.successors(i) {
+                if keep(s) {
+                    ways[s] = ways[s].saturating_add(w);
+                }
+            }
+        }
+        ways[self.top()]
+    }
+
+    /// Enumerates up to `limit` maximal paths as sequences of node
+    /// indices. Exponential; a test helper for raw-semantics oracles.
+    pub fn maximal_paths(&self, limit: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut stack = vec![vec![self.bottom()]];
+        while let Some(path) = stack.pop() {
+            if out.len() >= limit {
+                break;
+            }
+            let last = *path.last().expect("path nonempty");
+            if last == self.top() {
+                out.push(path);
+                continue;
+            }
+            for &s in self.successors(last) {
+                let mut p = path.clone();
+                p.push(s);
+                stack.push(p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_computation::ComputationBuilder;
+
+    #[test]
+    fn grid_paths_are_binomials() {
+        // Two independent processes with a and b events: C(a+b, a) paths.
+        let mut b = ComputationBuilder::new(2);
+        b.internal(0).done();
+        b.internal(0).done();
+        b.internal(1).done();
+        b.internal(1).done();
+        let lat = CutLattice::build(&b.finish().unwrap());
+        let pc = lat.path_counts();
+        assert_eq!(pc.total_paths, 6); // C(4,2)
+        assert_eq!(pc.num_cuts, 9);
+        assert_eq!(pc.widest_rank, 3);
+    }
+
+    #[test]
+    fn chain_has_one_path() {
+        let mut b = ComputationBuilder::new(1);
+        for _ in 0..5 {
+            b.internal(0).done();
+        }
+        let lat = CutLattice::build(&b.finish().unwrap());
+        assert_eq!(lat.path_counts().total_paths, 1);
+        assert_eq!(lat.maximal_paths(10).len(), 1);
+    }
+
+    #[test]
+    fn enumeration_matches_count() {
+        let mut b = ComputationBuilder::new(2);
+        b.internal(0).done();
+        let m = b.send(0).done_send();
+        b.internal(1).done();
+        b.receive(1, m).done();
+        let lat = CutLattice::build(&b.finish().unwrap());
+        let pc = lat.path_counts();
+        let paths = lat.maximal_paths(usize::MAX);
+        assert_eq!(paths.len() as u128, pc.total_paths);
+        // Every enumerated path is a valid cover chain ∅ → E.
+        for p in &paths {
+            assert_eq!(p[0], lat.bottom());
+            assert_eq!(*p.last().unwrap(), lat.top());
+            for w in p.windows(2) {
+                assert!(lat.successors(w[0]).contains(&w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn limit_truncates_enumeration() {
+        let mut b = ComputationBuilder::new(2);
+        for _ in 0..3 {
+            b.internal(0).done();
+            b.internal(1).done();
+        }
+        let lat = CutLattice::build(&b.finish().unwrap());
+        assert_eq!(lat.maximal_paths(4).len(), 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests over random computations: the lattice of consistent
+//! cuts really is a finite distributive lattice; Birkhoff's theorem holds;
+//! the direct irreducible characterizations match the definitions; path
+//! counts match enumeration.
+
+use hb_computation::{Computation, ComputationBuilder};
+use hb_lattice::{join_irreducibles_direct, meet_irreducibles_direct, verify_birkhoff, CutLattice};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Internal(usize),
+    Send(usize),
+    Receive(usize),
+}
+
+fn plan(n_procs: usize, max_ops: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0..n_procs, 0u8..3), 0..max_ops).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(p, k)| match k {
+                0 => Op::Internal(p),
+                1 => Op::Send(p),
+                _ => Op::Receive(p),
+            })
+            .collect()
+    })
+}
+
+fn build(n_procs: usize, ops: &[Op]) -> Computation {
+    let mut b = ComputationBuilder::new(n_procs);
+    let mut pending = std::collections::VecDeque::new();
+    for op in ops {
+        match *op {
+            Op::Internal(p) => {
+                b.internal(p).done();
+            }
+            Op::Send(p) => pending.push_back(b.send(p).done_send()),
+            Op::Receive(p) => match pending.pop_front() {
+                Some(tok) => {
+                    b.receive(p, tok).done();
+                }
+                None => {
+                    b.internal(p).done();
+                }
+            },
+        }
+    }
+    let mut p = 0usize;
+    while let Some(tok) = pending.pop_front() {
+        b.receive(p % n_procs, tok).done();
+        p += 1;
+    }
+    b.finish().expect("plan builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lattice_is_distributive(ops in plan(3, 9)) {
+        let comp = build(3, &ops);
+        let lat = CutLattice::build(&comp);
+        prop_assert!(lat.is_distributive_lattice());
+    }
+
+    #[test]
+    fn birkhoff_representation_holds(ops in plan(3, 8)) {
+        let comp = build(3, &ops);
+        let lat = CutLattice::build(&comp);
+        prop_assert!(verify_birkhoff(&lat));
+    }
+
+    #[test]
+    fn direct_irreducibles_match_lattice_definitions(ops in plan(3, 10)) {
+        let comp = build(3, &ops);
+        let lat = CutLattice::build(&comp);
+        prop_assert_eq!(
+            lat.meet_irreducible_cuts(),
+            meet_irreducibles_direct(&comp)
+        );
+        prop_assert_eq!(
+            lat.join_irreducible_cuts(),
+            join_irreducibles_direct(&comp)
+        );
+        // Exactly one irreducible of each kind per event (Birkhoff).
+        prop_assert_eq!(
+            meet_irreducibles_direct(&comp).len(),
+            comp.num_events()
+        );
+        prop_assert_eq!(
+            join_irreducibles_direct(&comp).len(),
+            comp.num_events()
+        );
+    }
+
+    #[test]
+    fn path_counts_match_enumeration(ops in plan(3, 7)) {
+        let comp = build(3, &ops);
+        let lat = CutLattice::build(&comp);
+        let pc = lat.path_counts();
+        let enumerated = lat.maximal_paths(usize::MAX);
+        prop_assert_eq!(enumerated.len() as u128, pc.total_paths);
+    }
+
+    #[test]
+    fn lattice_cuts_equal_consistent_counter_vectors(ops in plan(3, 9)) {
+        let comp = build(3, &ops);
+        let lat = CutLattice::build(&comp);
+        let mut count = 0usize;
+        let maxes: Vec<u32> = (0..3).map(|i| comp.num_events_of(i) as u32).collect();
+        for a in 0..=maxes[0] {
+            for b in 0..=maxes[1] {
+                for c in 0..=maxes[2] {
+                    let g = hb_computation::Cut::from_counters(vec![a, b, c]);
+                    let in_lattice = lat.index_of(&g).is_some();
+                    prop_assert_eq!(in_lattice, comp.is_consistent(&g), "{}", g);
+                    if in_lattice {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(count, lat.len());
+    }
+
+    #[test]
+    fn rank_structure_is_graded(ops in plan(4, 10)) {
+        let comp = build(4, &ops);
+        let lat = CutLattice::build(&comp);
+        // Ranks partition the nodes, each node's rank is its cut's rank,
+        // and every edge raises rank by exactly one.
+        for r in 0..lat.num_ranks() {
+            for i in lat.rank_nodes(r) {
+                prop_assert_eq!(lat.cut(i).rank() as usize, r);
+            }
+        }
+        for i in 0..lat.len() {
+            for &s in lat.successors(i) {
+                prop_assert_eq!(lat.cut(s).rank(), lat.cut(i).rank() + 1);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_and_sequential_builds_agree(ops in plan(3, 9)) {
+        let comp = build(3, &ops);
+        let par = CutLattice::try_build(&comp, usize::MAX).unwrap();
+        let seq = CutLattice::try_build_sequential(&comp, usize::MAX).unwrap();
+        prop_assert_eq!(par.len(), seq.len());
+        prop_assert_eq!(par.cuts(), seq.cuts());
+        for i in 0..par.len() {
+            prop_assert_eq!(par.successors(i), seq.successors(i));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Channel predicates — global conditions on in-transit messages.
+//!
+//! "All channels are empty" is part of the paper's Fig. 4 example
+//! (`E[p U q]` with `q` = "channels empty ∧ x > 1"). Channel-emptiness is
+//! a **regular** predicate: satisfying cuts are closed under both union
+//! and intersection, with natural advancement oracles (to empty a channel
+//! going up, the receiver must advance; going down, the sender must
+//! retreat).
+
+use crate::traits::{LinearPredicate, PostLinearPredicate, Predicate, RegularPredicate};
+use hb_computation::{Computation, Cut};
+
+/// "Every channel is empty": no message is in transit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelsEmpty;
+
+impl Predicate for ChannelsEmpty {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        comp.in_transit_count(cut) == 0
+    }
+
+    fn describe(&self) -> String {
+        "channels-empty".to_string()
+    }
+}
+
+impl LinearPredicate for ChannelsEmpty {
+    fn forbidden_process(&self, comp: &Computation, cut: &Cut) -> Option<usize> {
+        // A pending message can only be cleared (moving up the lattice) by
+        // executing its receive, so the receiver is forbidden.
+        comp.pending_messages(cut)
+            .first()
+            .map(|&m| comp.messages()[m].receive.process)
+    }
+}
+
+impl PostLinearPredicate for ChannelsEmpty {
+    fn forbidden_process_down(&self, comp: &Computation, cut: &Cut) -> Option<usize> {
+        // Moving down the lattice, the send must be undone.
+        comp.pending_messages(cut)
+            .first()
+            .map(|&m| comp.messages()[m].send.process)
+    }
+}
+
+impl RegularPredicate for ChannelsEmpty {}
+
+/// "The channel from `from` to `to` is empty."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelEmpty {
+    /// Sender process.
+    pub from: usize,
+    /// Receiver process.
+    pub to: usize,
+}
+
+impl ChannelEmpty {
+    fn pending(&self, comp: &Computation, cut: &Cut) -> Option<usize> {
+        comp.pending_messages(cut).into_iter().find(|&m| {
+            let msg = comp.messages()[m];
+            msg.send.process == self.from && msg.receive.process == self.to
+        })
+    }
+}
+
+impl Predicate for ChannelEmpty {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        self.pending(comp, cut).is_none()
+    }
+
+    fn describe(&self) -> String {
+        format!("channel-empty({}->{})", self.from, self.to)
+    }
+}
+
+impl LinearPredicate for ChannelEmpty {
+    fn forbidden_process(&self, comp: &Computation, cut: &Cut) -> Option<usize> {
+        self.pending(comp, cut).map(|_| self.to)
+    }
+}
+
+impl PostLinearPredicate for ChannelEmpty {
+    fn forbidden_process_down(&self, comp: &Computation, cut: &Cut) -> Option<usize> {
+        self.pending(comp, cut).map(|_| self.from)
+    }
+}
+
+impl RegularPredicate for ChannelEmpty {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_computation::ComputationBuilder;
+
+    fn comp() -> Computation {
+        // P0 sends two messages; P1 receives them out of order.
+        let mut b = ComputationBuilder::new(2);
+        let m0 = b.send(0).done_send();
+        let m1 = b.send(0).done_send();
+        b.receive(1, m1).done();
+        b.receive(1, m0).done();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn channels_empty_tracks_transit() {
+        let c = comp();
+        let p = ChannelsEmpty;
+        assert!(p.eval(&c, &c.initial_cut()));
+        assert!(!p.eval(&c, &Cut::from_counters(vec![1, 0])));
+        assert!(!p.eval(&c, &Cut::from_counters(vec![2, 1]))); // m0 pending
+        assert!(p.eval(&c, &c.final_cut()));
+    }
+
+    #[test]
+    fn forbidden_points_at_receiver_up_sender_down() {
+        let c = comp();
+        let p = ChannelsEmpty;
+        let g = Cut::from_counters(vec![2, 1]);
+        assert_eq!(p.forbidden_process(&c, &g), Some(1));
+        assert_eq!(p.forbidden_process_down(&c, &g), Some(0));
+        assert_eq!(p.forbidden_process(&c, &c.final_cut()), None);
+        assert_eq!(p.forbidden_process_down(&c, &c.initial_cut()), None);
+    }
+
+    #[test]
+    fn per_channel_predicate_is_directional() {
+        let c = comp();
+        let fwd = ChannelEmpty { from: 0, to: 1 };
+        let bwd = ChannelEmpty { from: 1, to: 0 };
+        let g = Cut::from_counters(vec![1, 0]);
+        assert!(!fwd.eval(&c, &g));
+        assert!(bwd.eval(&c, &g)); // nothing ever flows 1 → 0
+        assert_eq!(fwd.forbidden_process(&c, &g), Some(1));
+        assert_eq!(bwd.forbidden_process(&c, &g), None);
+    }
+
+    #[test]
+    fn satisfying_cuts_are_meet_and_join_closed() {
+        // Regularity spot-check: enumerate all consistent cuts.
+        let c = comp();
+        let p = ChannelsEmpty;
+        let mut sat = Vec::new();
+        for a in 0..=2u32 {
+            for b in 0..=2u32 {
+                let g = Cut::from_counters(vec![a, b]);
+                if c.is_consistent(&g) && p.eval(&c, &g) {
+                    sat.push(g);
+                }
+            }
+        }
+        for x in &sat {
+            for y in &sat {
+                assert!(p.eval(&c, &x.join(y)));
+                assert!(p.eval(&c, &x.meet(y)));
+            }
+        }
+    }
+}

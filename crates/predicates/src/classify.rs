@@ -1,0 +1,239 @@
+//! Empirical predicate-class checkers.
+//!
+//! These functions decide, by exhaustive inspection of an explicitly built
+//! [`CutLattice`], whether a predicate actually belongs to a class on a
+//! given computation: linear (meet-closed satisfying set), post-linear
+//! (join-closed), regular (both), stable (suffix-closed along `▷`), and
+//! observer-independent (`EF ⟺ AF`). They are exponential and exist as
+//! **test oracles**: every structural algorithm and every class
+//! declaration in this workspace is audited against them on small random
+//! computations.
+
+use crate::traits::{LinearPredicate, Predicate};
+use hb_computation::Computation;
+use hb_lattice::CutLattice;
+
+/// Node indices of the cuts satisfying `p`.
+pub fn satisfying_nodes<P: Predicate + ?Sized>(
+    lat: &CutLattice,
+    comp: &Computation,
+    p: &P,
+) -> Vec<usize> {
+    (0..lat.len())
+        .filter(|&i| p.eval(comp, lat.cut(i)))
+        .collect()
+}
+
+/// True iff the satisfying set is closed under meet (an inf-semilattice):
+/// the paper's definition of a **linear** predicate.
+pub fn is_linear_on<P: Predicate + ?Sized>(lat: &CutLattice, comp: &Computation, p: &P) -> bool {
+    let sat = satisfying_nodes(lat, comp, p);
+    sat.iter().all(|&a| {
+        sat.iter()
+            .all(|&b| p.eval(comp, &lat.cut(a).meet(lat.cut(b))))
+    })
+}
+
+/// True iff the satisfying set is closed under join: **post-linear**.
+pub fn is_post_linear_on<P: Predicate + ?Sized>(
+    lat: &CutLattice,
+    comp: &Computation,
+    p: &P,
+) -> bool {
+    let sat = satisfying_nodes(lat, comp, p);
+    sat.iter().all(|&a| {
+        sat.iter()
+            .all(|&b| p.eval(comp, &lat.cut(a).join(lat.cut(b))))
+    })
+}
+
+/// True iff the satisfying set is a sublattice: **regular**.
+pub fn is_regular_on<P: Predicate + ?Sized>(lat: &CutLattice, comp: &Computation, p: &P) -> bool {
+    is_linear_on(lat, comp, p) && is_post_linear_on(lat, comp, p)
+}
+
+/// True iff the predicate is **stable** on this computation: every
+/// successor of a satisfying cut satisfies it (hence every cut above it
+/// does, since the lattice is graded).
+pub fn is_stable_on<P: Predicate + ?Sized>(lat: &CutLattice, comp: &Computation, p: &P) -> bool {
+    (0..lat.len()).all(|i| {
+        !p.eval(comp, lat.cut(i)) || lat.successors(i).iter().all(|&s| p.eval(comp, lat.cut(s)))
+    })
+}
+
+/// Ground-truth `EF(p)` on the lattice: some consistent cut satisfies `p`
+/// (every cut lies on some maximal path from `∅` to `E`).
+pub fn ef_on<P: Predicate + ?Sized>(lat: &CutLattice, comp: &Computation, p: &P) -> bool {
+    (0..lat.len()).any(|i| p.eval(comp, lat.cut(i)))
+}
+
+/// Ground-truth `AF(p)` on the lattice: every maximal path `∅ → E` passes
+/// through a satisfying cut. Computed as the complement of "there is a
+/// path through failing cuts only", by one backward sweep.
+pub fn af_on<P: Predicate + ?Sized>(lat: &CutLattice, comp: &Computation, p: &P) -> bool {
+    // avoid[i] = some path i → top avoids p entirely (including i, top).
+    let mut avoid = vec![false; lat.len()];
+    for i in (0..lat.len()).rev() {
+        if p.eval(comp, lat.cut(i)) {
+            continue; // avoid[i] stays false
+        }
+        avoid[i] = i == lat.top() || lat.successors(i).iter().any(|&s| avoid[s]);
+    }
+    !avoid[lat.bottom()]
+}
+
+/// True iff `p` is **observer-independent** on this computation:
+/// `EF(p) ⟺ AF(p)` (`AF ⇒ EF` always holds, so the content is
+/// `EF ⇒ AF`).
+pub fn is_observer_independent_on<P: Predicate + ?Sized>(
+    lat: &CutLattice,
+    comp: &Computation,
+    p: &P,
+) -> bool {
+    ef_on(lat, comp, p) == af_on(lat, comp, p)
+}
+
+/// Audits a [`LinearPredicate`]'s advancement oracle on every consistent
+/// cut: whenever the oracle names process `i` at cut `G`, no satisfying
+/// cut `H ⊇ G` may keep `H[i] = G[i]`; and the oracle must return `None`
+/// exactly on satisfying cuts.
+pub fn verify_linear_oracle<P: LinearPredicate + ?Sized>(
+    lat: &CutLattice,
+    comp: &Computation,
+    p: &P,
+) -> bool {
+    for g_idx in 0..lat.len() {
+        let g = lat.cut(g_idx);
+        match p.forbidden_process(comp, g) {
+            None => {
+                if !p.eval(comp, g) {
+                    return false;
+                }
+            }
+            Some(i) => {
+                if p.eval(comp, g) {
+                    return false;
+                }
+                for h_idx in 0..lat.len() {
+                    let h = lat.cut(h_idx);
+                    if g.leq(h) && h.get(i) == g.get(i) && p.eval(comp, h) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChannelsEmpty, Conjunctive, Disjunctive, FnPredicate, LocalExpr, Not, TrueP};
+    use hb_computation::ComputationBuilder;
+
+    fn sample() -> (Computation, hb_computation::VarId) {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.var("x");
+        b.internal(0).set(x, 1).done();
+        let m = b.send(0).set(x, 2).done_send();
+        b.internal(1).set(x, 1).done();
+        b.receive(1, m).set(x, 2).done();
+        (b.finish().unwrap(), x)
+    }
+
+    #[test]
+    fn conjunctive_is_regular_and_linear() {
+        let (comp, x) = sample();
+        let lat = CutLattice::build(&comp);
+        let p = Conjunctive::new(vec![(0, LocalExpr::ge(x, 1)), (1, LocalExpr::ge(x, 1))]);
+        assert!(is_linear_on(&lat, &comp, &p));
+        assert!(is_post_linear_on(&lat, &comp, &p));
+        assert!(is_regular_on(&lat, &comp, &p));
+        assert!(verify_linear_oracle(&lat, &comp, &p));
+    }
+
+    #[test]
+    fn disjunctive_is_observer_independent_but_not_linear_here() {
+        let (comp, x) = sample();
+        let lat = CutLattice::build(&comp);
+        let p = Disjunctive::new(vec![(0, LocalExpr::eq(x, 1)), (1, LocalExpr::eq(x, 1))]);
+        assert!(is_observer_independent_on(&lat, &comp, &p));
+        // {x0=1} ∧ {x1=1} holds at (1,1); meets of satisfying cuts like
+        // (1,0)⊓(0,1) = (0,0) fail it — not linear on this computation.
+        assert!(!is_linear_on(&lat, &comp, &p));
+    }
+
+    #[test]
+    fn channels_empty_is_regular() {
+        let (comp, _) = sample();
+        let lat = CutLattice::build(&comp);
+        assert!(is_regular_on(&lat, &comp, &ChannelsEmpty));
+        assert!(verify_linear_oracle(&lat, &comp, &ChannelsEmpty));
+    }
+
+    #[test]
+    fn stability_checker_accepts_monotone_predicates() {
+        let (comp, x) = sample();
+        let lat = CutLattice::build(&comp);
+        // "P0 has executed its send" never un-happens.
+        let p = FnPredicate::new("sent", |_: &Computation, g: &hb_computation::Cut| {
+            g.get(0) >= 2
+        });
+        assert!(is_stable_on(&lat, &comp, &p));
+        // x0 = 1 stops holding after P0's second event.
+        let q = Conjunctive::new(vec![(0, LocalExpr::eq(x, 1))]);
+        assert!(!is_stable_on(&lat, &comp, &q));
+    }
+
+    #[test]
+    fn ef_af_ground_truth() {
+        let (comp, x) = sample();
+        let lat = CutLattice::build(&comp);
+        // Both processes at x=1 simultaneously: possible but avoidable
+        // (run P0 to x=2 before P1 reaches x=1).
+        let both = Conjunctive::new(vec![(0, LocalExpr::eq(x, 1)), (1, LocalExpr::eq(x, 1))]);
+        assert!(ef_on(&lat, &comp, &both));
+        assert!(!af_on(&lat, &comp, &both));
+        // The final state is inevitable.
+        let done = Conjunctive::new(vec![(0, LocalExpr::eq(x, 2)), (1, LocalExpr::eq(x, 2))]);
+        assert!(af_on(&lat, &comp, &done));
+        assert!(af_on(&lat, &comp, &TrueP));
+        assert!(!ef_on(&lat, &comp, &Not(TrueP)));
+    }
+
+    #[test]
+    fn af_implies_ef_always() {
+        let (comp, x) = sample();
+        let lat = CutLattice::build(&comp);
+        for pred in [
+            Conjunctive::new(vec![(0, LocalExpr::eq(x, 1))]),
+            Conjunctive::new(vec![(0, LocalExpr::eq(x, 7))]),
+            Conjunctive::new(vec![(1, LocalExpr::ge(x, 2))]),
+        ] {
+            if af_on(&lat, &comp, &pred) {
+                assert!(ef_on(&lat, &comp, &pred));
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_audit_catches_a_bad_oracle() {
+        struct BadOracle;
+        impl Predicate for BadOracle {
+            fn eval(&self, _: &Computation, g: &hb_computation::Cut) -> bool {
+                g.rank() >= 1
+            }
+        }
+        impl LinearPredicate for BadOracle {
+            fn forbidden_process(&self, _: &Computation, g: &hb_computation::Cut) -> Option<usize> {
+                // Wrong: claims P0 must advance, but advancing P1 alone
+                // also satisfies the predicate.
+                (g.rank() == 0).then_some(0)
+            }
+        }
+        let (comp, _) = sample();
+        let lat = CutLattice::build(&comp);
+        assert!(!verify_linear_oracle(&lat, &comp, &BadOracle));
+    }
+}

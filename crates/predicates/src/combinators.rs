@@ -1,0 +1,225 @@
+//! Predicate combinators: constants, negation, function predicates, the
+//! stable-predicate wrapper, and the linear-preserving conjunction.
+
+use crate::traits::{LinearPredicate, PostLinearPredicate, Predicate, RegularPredicate};
+use hb_computation::{Computation, Cut};
+
+/// The constant-true predicate (used for `EF(p) ≡ E[true U p]`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrueP;
+
+impl Predicate for TrueP {
+    fn eval(&self, _: &Computation, _: &Cut) -> bool {
+        true
+    }
+    fn describe(&self) -> String {
+        "true".to_string()
+    }
+}
+
+impl LinearPredicate for TrueP {
+    fn forbidden_process(&self, _: &Computation, _: &Cut) -> Option<usize> {
+        None
+    }
+}
+
+impl PostLinearPredicate for TrueP {
+    fn forbidden_process_down(&self, _: &Computation, _: &Cut) -> Option<usize> {
+        None
+    }
+}
+
+impl RegularPredicate for TrueP {}
+
+/// The constant-false predicate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FalseP;
+
+impl Predicate for FalseP {
+    fn eval(&self, _: &Computation, _: &Cut) -> bool {
+        false
+    }
+    fn describe(&self) -> String {
+        "false".to_string()
+    }
+}
+
+impl LinearPredicate for FalseP {
+    fn forbidden_process(&self, _: &Computation, _: &Cut) -> Option<usize> {
+        // No satisfying cut exists anywhere, so naming any process keeps
+        // the oracle contract vacuously. Process 0 by convention.
+        Some(0)
+    }
+}
+
+impl PostLinearPredicate for FalseP {
+    fn forbidden_process_down(&self, _: &Computation, _: &Cut) -> Option<usize> {
+        Some(0)
+    }
+}
+
+impl RegularPredicate for FalseP {}
+
+/// Logical negation of an arbitrary predicate.
+///
+/// Negation does **not** preserve linearity (the complement of an
+/// inf-semilattice need not be one), so `Not<P>` only implements
+/// [`Predicate`]. Structural negations that stay inside a class live on
+/// the classes themselves ([`crate::Conjunctive::negated`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Not<P>(pub P);
+
+impl<P: Predicate> Predicate for Not<P> {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        !self.0.eval(comp, cut)
+    }
+    fn describe(&self) -> String {
+        format!("!({})", self.0.describe())
+    }
+}
+
+/// An arbitrary predicate given by a closure — the "arbitrary" row of
+/// Table 1, and the shape the NP-hardness gadgets use.
+pub struct FnPredicate<F> {
+    f: F,
+    name: String,
+}
+
+impl<F: Fn(&Computation, &Cut) -> bool + Send + Sync> FnPredicate<F> {
+    /// Wraps a closure with a display name.
+    pub fn new(name: &str, f: F) -> Self {
+        FnPredicate {
+            f,
+            name: name.to_string(),
+        }
+    }
+}
+
+impl<F: Fn(&Computation, &Cut) -> bool + Send + Sync> Predicate for FnPredicate<F> {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        (self.f)(comp, cut)
+    }
+    fn describe(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// Declares a predicate **stable**: once true it stays true (Chandy &
+/// Lamport). The wrapper itself just forwards evaluation; detection
+/// algorithms exploit the declaration (`EF`, `AF` reduce to evaluating
+/// the final cut; `EG`, `AG` to evaluating the initial cut — the
+/// "trivial" cells of Table 1). The classifier can verify the declaration
+/// empirically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stable<P>(pub P);
+
+impl<P: Predicate> Predicate for Stable<P> {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        self.0.eval(comp, cut)
+    }
+    fn describe(&self) -> String {
+        format!("stable({})", self.0.describe())
+    }
+}
+
+/// Conjunction of linear predicates — linear again (the intersection of
+/// inf-semilattices is meet-closed), with the oracle of any failing
+/// conjunct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AndLinear<A, B>(pub A, pub B);
+
+impl<A: Predicate, B: Predicate> Predicate for AndLinear<A, B> {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        self.0.eval(comp, cut) && self.1.eval(comp, cut)
+    }
+    fn describe(&self) -> String {
+        format!("({} & {})", self.0.describe(), self.1.describe())
+    }
+}
+
+impl<A: LinearPredicate, B: LinearPredicate> LinearPredicate for AndLinear<A, B> {
+    fn forbidden_process(&self, comp: &Computation, cut: &Cut) -> Option<usize> {
+        self.0
+            .forbidden_process(comp, cut)
+            .or_else(|| self.1.forbidden_process(comp, cut))
+    }
+}
+
+impl<A: PostLinearPredicate, B: PostLinearPredicate> PostLinearPredicate for AndLinear<A, B> {
+    fn forbidden_process_down(&self, comp: &Computation, cut: &Cut) -> Option<usize> {
+        self.0
+            .forbidden_process_down(comp, cut)
+            .or_else(|| self.1.forbidden_process_down(comp, cut))
+    }
+}
+
+impl<A: RegularPredicate, B: RegularPredicate> RegularPredicate for AndLinear<A, B> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conjunctive, LocalExpr};
+    use hb_computation::ComputationBuilder;
+
+    fn comp() -> (Computation, hb_computation::VarId) {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.var("x");
+        b.internal(0).set(x, 1).done();
+        b.internal(1).set(x, 1).done();
+        (b.finish().unwrap(), x)
+    }
+
+    #[test]
+    fn constants_behave() {
+        let (c, _) = comp();
+        let g = c.initial_cut();
+        assert!(TrueP.eval(&c, &g));
+        assert!(!FalseP.eval(&c, &g));
+        assert_eq!(TrueP.forbidden_process(&c, &g), None);
+        assert!(FalseP.forbidden_process(&c, &g).is_some());
+    }
+
+    #[test]
+    fn not_inverts() {
+        let (c, x) = comp();
+        let p = Conjunctive::new(vec![(0, LocalExpr::eq(x, 1))]);
+        let np = Not(&p);
+        for a in 0..=1u32 {
+            let g = Cut::from_counters(vec![a, 0]);
+            assert_eq!(np.eval(&c, &g), !p.eval(&c, &g));
+        }
+        assert_eq!(np.describe(), "!(P0: v0 = 1)");
+    }
+
+    #[test]
+    fn fn_predicate_wraps_closures() {
+        let (c, _) = comp();
+        let p = FnPredicate::new("rank>=1", |_: &Computation, g: &Cut| g.rank() >= 1);
+        assert!(!p.eval(&c, &c.initial_cut()));
+        assert!(p.eval(&c, &c.final_cut()));
+        assert_eq!(p.describe(), "rank>=1");
+    }
+
+    #[test]
+    fn and_linear_combines_oracles() {
+        let (c, x) = comp();
+        let p0 = Conjunctive::new(vec![(0, LocalExpr::eq(x, 1))]);
+        let p1 = Conjunctive::new(vec![(1, LocalExpr::eq(x, 1))]);
+        let both = AndLinear(&p0, &p1);
+        let g = c.initial_cut();
+        assert_eq!(both.forbidden_process(&c, &g), Some(0));
+        let g1 = Cut::from_counters(vec![1, 0]);
+        assert_eq!(both.forbidden_process(&c, &g1), Some(1));
+        assert_eq!(both.forbidden_process(&c, &c.final_cut()), None);
+        assert!(both.eval(&c, &c.final_cut()));
+    }
+
+    #[test]
+    fn stable_wrapper_forwards() {
+        let (c, x) = comp();
+        let p = Stable(Conjunctive::new(vec![(0, LocalExpr::eq(x, 1))]));
+        assert!(!p.eval(&c, &c.initial_cut()));
+        assert!(p.eval(&c, &c.final_cut()));
+        assert!(p.describe().starts_with("stable("));
+    }
+}

@@ -1,0 +1,193 @@
+//! Conjunctive predicates: conjunctions of local predicates.
+
+use crate::disjunctive::Disjunctive;
+use crate::expr::LocalExpr;
+use crate::local::LocalPredicate;
+use crate::traits::{LinearPredicate, PostLinearPredicate, Predicate, RegularPredicate};
+use hb_computation::{Computation, Cut};
+
+/// A conjunctive predicate `l_1 ∧ … ∧ l_k` of local predicates.
+///
+/// Conjunctive predicates are the workhorse class of predicate detection
+/// ("no two processes hold the lock": `cs_0 ∧ cs_1`). They are **regular**
+/// — hence both linear and post-linear — with an `O(n)` advancement
+/// oracle: any process whose local clause fails in the cut is forbidden.
+///
+/// Multiple clauses on the same process are merged into one [`LocalExpr`]
+/// conjunction at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conjunctive {
+    /// One merged clause per mentioned process, sorted by process.
+    clauses: Vec<LocalPredicate>,
+}
+
+impl Conjunctive {
+    /// Builds from `(process, expr)` clauses, merging per process.
+    pub fn new(clauses: Vec<(usize, LocalExpr)>) -> Self {
+        let mut merged: Vec<(usize, LocalExpr)> = Vec::new();
+        for (proc, expr) in clauses {
+            match merged.iter_mut().find(|(p, _)| *p == proc) {
+                Some((_, existing)) => {
+                    *existing = existing.clone().and(expr);
+                }
+                None => merged.push((proc, expr)),
+            }
+        }
+        merged.sort_by_key(|(p, _)| *p);
+        Conjunctive {
+            clauses: merged
+                .into_iter()
+                .map(|(p, e)| LocalPredicate::new(p, e))
+                .collect(),
+        }
+    }
+
+    /// The always-true conjunctive predicate (empty conjunction).
+    pub fn top() -> Self {
+        Conjunctive { clauses: vec![] }
+    }
+
+    /// The per-process clauses, sorted by process.
+    pub fn clauses(&self) -> &[LocalPredicate] {
+        &self.clauses
+    }
+
+    /// De Morgan: the negation is a disjunctive predicate.
+    pub fn negated(&self) -> Disjunctive {
+        Disjunctive::new(
+            self.clauses
+                .iter()
+                .map(|c| (c.process, c.expr.negated()))
+                .collect(),
+        )
+    }
+
+    /// Evaluates only the clause of `process` at local state `s` (true if
+    /// the process has no clause). Used by incremental detection loops;
+    /// clauses are sorted by process, so the lookup is a binary search.
+    pub fn clause_holds_at(&self, comp: &Computation, process: usize, s: u32) -> bool {
+        match self.clauses.binary_search_by(|c| c.process.cmp(&process)) {
+            Ok(idx) => self.clauses[idx].eval_at(comp, s),
+            Err(_) => true,
+        }
+    }
+}
+
+impl Predicate for Conjunctive {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        self.clauses.iter().all(|c| c.eval(comp, cut))
+    }
+
+    fn describe(&self) -> String {
+        if self.clauses.is_empty() {
+            return "true".to_string();
+        }
+        self.clauses
+            .iter()
+            .map(|c| c.describe())
+            .collect::<Vec<_>>()
+            .join(" & ")
+    }
+}
+
+impl LinearPredicate for Conjunctive {
+    fn forbidden_process(&self, comp: &Computation, cut: &Cut) -> Option<usize> {
+        // A failing local clause forbids its process: the clause reads only
+        // that process's state, so any satisfying cut extending `cut` must
+        // advance it.
+        self.clauses
+            .iter()
+            .find(|c| !c.eval(comp, cut))
+            .map(|c| c.process)
+    }
+}
+
+impl PostLinearPredicate for Conjunctive {
+    fn forbidden_process_down(&self, comp: &Computation, cut: &Cut) -> Option<usize> {
+        self.clauses
+            .iter()
+            .find(|c| !c.eval(comp, cut))
+            .map(|c| c.process)
+    }
+}
+
+impl RegularPredicate for Conjunctive {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_computation::ComputationBuilder;
+
+    fn two_proc() -> (Computation, hb_computation::VarId) {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.var("x");
+        b.internal(0).set(x, 1).done();
+        b.internal(0).set(x, 2).done();
+        b.internal(1).set(x, 1).done();
+        (b.finish().unwrap(), x)
+    }
+
+    #[test]
+    fn eval_requires_all_clauses() {
+        let (comp, x) = two_proc();
+        let p = Conjunctive::new(vec![(0, LocalExpr::eq(x, 1)), (1, LocalExpr::eq(x, 1))]);
+        assert!(!p.eval(&comp, &Cut::from_counters(vec![0, 0])));
+        assert!(!p.eval(&comp, &Cut::from_counters(vec![1, 0])));
+        assert!(p.eval(&comp, &Cut::from_counters(vec![1, 1])));
+        assert!(!p.eval(&comp, &Cut::from_counters(vec![2, 1])));
+    }
+
+    #[test]
+    fn empty_conjunction_is_true() {
+        let (comp, _) = two_proc();
+        assert!(Conjunctive::top().eval(&comp, &comp.initial_cut()));
+        assert_eq!(Conjunctive::top().describe(), "true");
+    }
+
+    #[test]
+    fn forbidden_process_is_a_failing_clause() {
+        let (comp, x) = two_proc();
+        let p = Conjunctive::new(vec![(0, LocalExpr::eq(x, 2)), (1, LocalExpr::eq(x, 1))]);
+        // At (0,1): clause 0 fails (x=0), clause 1 holds.
+        assert_eq!(
+            p.forbidden_process(&comp, &Cut::from_counters(vec![0, 1])),
+            Some(0)
+        );
+        // At (2,1): everything holds.
+        assert_eq!(
+            p.forbidden_process(&comp, &Cut::from_counters(vec![2, 1])),
+            None
+        );
+    }
+
+    #[test]
+    fn clauses_on_same_process_merge() {
+        let (comp, x) = two_proc();
+        let p = Conjunctive::new(vec![(0, LocalExpr::ge(x, 1)), (0, LocalExpr::le(x, 1))]);
+        assert_eq!(p.clauses().len(), 1);
+        assert!(p.eval(&comp, &Cut::from_counters(vec![1, 0])));
+        assert!(!p.eval(&comp, &Cut::from_counters(vec![2, 0])));
+    }
+
+    #[test]
+    fn negation_is_disjunctive_and_semantically_correct() {
+        let (comp, x) = two_proc();
+        let p = Conjunctive::new(vec![(0, LocalExpr::eq(x, 1)), (1, LocalExpr::eq(x, 1))]);
+        let np = p.negated();
+        for a in 0..=2u32 {
+            for b in 0..=1u32 {
+                let cut = Cut::from_counters(vec![a, b]);
+                assert_eq!(np.eval(&comp, &cut), !p.eval(&comp, &cut), "{cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn clause_holds_at_ignores_other_processes() {
+        let (comp, x) = two_proc();
+        let p = Conjunctive::new(vec![(0, LocalExpr::eq(x, 2))]);
+        assert!(!p.clause_holds_at(&comp, 0, 1));
+        assert!(p.clause_holds_at(&comp, 0, 2));
+        assert!(p.clause_holds_at(&comp, 1, 0)); // no clause for P1
+    }
+}

@@ -1,0 +1,162 @@
+//! Disjunctive predicates: disjunctions of local predicates.
+
+use crate::conjunctive::Conjunctive;
+use crate::expr::LocalExpr;
+use crate::local::LocalPredicate;
+use crate::traits::Predicate;
+use hb_computation::{Computation, Cut};
+
+/// A disjunctive predicate `l_1 ∨ … ∨ l_k` of local predicates.
+///
+/// Disjunctive predicates are **observer-independent** (if one observation
+/// sees some local predicate hold, every observation passes through a cut
+/// where that same local state is current). They are *not* linear in
+/// general, so there is no advancement oracle here; detection under `EG`
+/// goes through the token-interval algorithm in `hb-detect`.
+///
+/// A process may contribute several clauses; they are merged by
+/// disjunction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Disjunctive {
+    clauses: Vec<LocalPredicate>,
+}
+
+impl Disjunctive {
+    /// Builds from `(process, expr)` clauses, merging per process.
+    pub fn new(clauses: Vec<(usize, LocalExpr)>) -> Self {
+        let mut merged: Vec<(usize, LocalExpr)> = Vec::new();
+        for (proc, expr) in clauses {
+            match merged.iter_mut().find(|(p, _)| *p == proc) {
+                Some((_, existing)) => {
+                    *existing = existing.clone().or(expr);
+                }
+                None => merged.push((proc, expr)),
+            }
+        }
+        merged.sort_by_key(|(p, _)| *p);
+        Disjunctive {
+            clauses: merged
+                .into_iter()
+                .map(|(p, e)| LocalPredicate::new(p, e))
+                .collect(),
+        }
+    }
+
+    /// The always-false disjunctive predicate (empty disjunction).
+    pub fn bottom() -> Self {
+        Disjunctive { clauses: vec![] }
+    }
+
+    /// The per-process clauses, sorted by process.
+    pub fn clauses(&self) -> &[LocalPredicate] {
+        &self.clauses
+    }
+
+    /// De Morgan: the negation is a conjunctive predicate.
+    ///
+    /// Note the subtlety: a process *not mentioned* by the disjunction
+    /// contributes nothing to the negation either — `¬(l_0 ∨ l_1)` is
+    /// `¬l_0 ∧ ¬l_1`, a conjunction over the same processes.
+    pub fn negated(&self) -> Conjunctive {
+        Conjunctive::new(
+            self.clauses
+                .iter()
+                .map(|c| (c.process, c.expr.negated()))
+                .collect(),
+        )
+    }
+
+    /// Evaluates only the clause of `process` at local state `s` (false if
+    /// the process has no clause). Used by the token-interval algorithm.
+    pub fn clause_holds_at(&self, comp: &Computation, process: usize, s: u32) -> bool {
+        self.clauses
+            .iter()
+            .find(|c| c.process == process)
+            .is_some_and(|c| c.eval_at(comp, s))
+    }
+}
+
+impl Predicate for Disjunctive {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        self.clauses.iter().any(|c| c.eval(comp, cut))
+    }
+
+    fn describe(&self) -> String {
+        if self.clauses.is_empty() {
+            return "false".to_string();
+        }
+        self.clauses
+            .iter()
+            .map(|c| c.describe())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_computation::ComputationBuilder;
+
+    fn comp() -> (Computation, hb_computation::VarId) {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.var("x");
+        b.internal(0).set(x, 1).done();
+        b.internal(0).set(x, 0).done();
+        b.internal(1).set(x, 1).done();
+        (b.finish().unwrap(), x)
+    }
+
+    #[test]
+    fn eval_requires_any_clause() {
+        let (c, x) = comp();
+        let p = Disjunctive::new(vec![(0, LocalExpr::eq(x, 1)), (1, LocalExpr::eq(x, 1))]);
+        assert!(!p.eval(&c, &Cut::from_counters(vec![0, 0])));
+        assert!(p.eval(&c, &Cut::from_counters(vec![1, 0])));
+        assert!(p.eval(&c, &Cut::from_counters(vec![2, 1])));
+        assert!(!p.eval(&c, &Cut::from_counters(vec![2, 0])));
+    }
+
+    #[test]
+    fn empty_disjunction_is_false() {
+        let (c, _) = comp();
+        assert!(!Disjunctive::bottom().eval(&c, &c.initial_cut()));
+        assert_eq!(Disjunctive::bottom().describe(), "false");
+    }
+
+    #[test]
+    fn negation_roundtrip_through_de_morgan() {
+        let (c, x) = comp();
+        let p = Disjunctive::new(vec![(0, LocalExpr::eq(x, 1)), (1, LocalExpr::ge(x, 1))]);
+        let np = p.negated();
+        let nnp = np.negated();
+        for a in 0..=2u32 {
+            for b in 0..=1u32 {
+                let cut = Cut::from_counters(vec![a, b]);
+                assert_eq!(np.eval(&c, &cut), !p.eval(&c, &cut));
+                assert_eq!(nnp.eval(&c, &cut), p.eval(&c, &cut));
+            }
+        }
+    }
+
+    #[test]
+    fn same_process_clauses_merge_by_or() {
+        let (c, x) = comp();
+        let p = Disjunctive::new(vec![(0, LocalExpr::eq(x, 1)), (0, LocalExpr::eq(x, 0))]);
+        assert_eq!(p.clauses().len(), 1);
+        // x on P0 is 0 initially, 1, then 0: always matches one disjunct.
+        for a in 0..=2u32 {
+            assert!(p.eval(&c, &Cut::from_counters(vec![a, 0])));
+        }
+    }
+
+    #[test]
+    fn clause_holds_at_is_per_process() {
+        let (c, x) = comp();
+        let p = Disjunctive::new(vec![(0, LocalExpr::eq(x, 1))]);
+        assert!(!p.clause_holds_at(&c, 0, 0));
+        assert!(p.clause_holds_at(&c, 0, 1));
+        assert!(!p.clause_holds_at(&c, 0, 2));
+        assert!(!p.clause_holds_at(&c, 1, 1)); // P1 has no clause
+    }
+}

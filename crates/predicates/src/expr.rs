@@ -1,0 +1,224 @@
+//! Boolean expressions over one process's local variables.
+
+use hb_computation::{LocalState, VarId};
+use std::fmt;
+
+/// Comparison operators for variable tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A boolean expression over a single local state.
+///
+/// This is the body of a *local predicate* — "the value of `x` on process
+/// `i` is 2" in the paper's example — and the building block of the
+/// conjunctive and disjunctive classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalExpr {
+    /// A constant.
+    Const(bool),
+    /// `var ⊙ literal`.
+    Cmp(VarId, CmpOp, i64),
+    /// Negation.
+    Not(Box<LocalExpr>),
+    /// Conjunction.
+    And(Box<LocalExpr>, Box<LocalExpr>),
+    /// Disjunction.
+    Or(Box<LocalExpr>, Box<LocalExpr>),
+}
+
+impl LocalExpr {
+    /// `var = value`.
+    pub fn eq(var: VarId, value: i64) -> Self {
+        LocalExpr::Cmp(var, CmpOp::Eq, value)
+    }
+
+    /// `var ≠ value`.
+    pub fn ne(var: VarId, value: i64) -> Self {
+        LocalExpr::Cmp(var, CmpOp::Ne, value)
+    }
+
+    /// `var < value`.
+    pub fn lt(var: VarId, value: i64) -> Self {
+        LocalExpr::Cmp(var, CmpOp::Lt, value)
+    }
+
+    /// `var ≤ value`.
+    pub fn le(var: VarId, value: i64) -> Self {
+        LocalExpr::Cmp(var, CmpOp::Le, value)
+    }
+
+    /// `var > value`.
+    pub fn gt(var: VarId, value: i64) -> Self {
+        LocalExpr::Cmp(var, CmpOp::Gt, value)
+    }
+
+    /// `var ≥ value`.
+    pub fn ge(var: VarId, value: i64) -> Self {
+        LocalExpr::Cmp(var, CmpOp::Ge, value)
+    }
+
+    /// Conjunction (consuming builder form).
+    pub fn and(self, other: LocalExpr) -> Self {
+        LocalExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction (consuming builder form).
+    pub fn or(self, other: LocalExpr) -> Self {
+        LocalExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Logical negation (structural; [`LocalExpr::negated`] pushes it in).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        LocalExpr::Not(Box::new(self))
+    }
+
+    /// Evaluates against a local state.
+    pub fn eval(&self, state: &LocalState) -> bool {
+        match self {
+            LocalExpr::Const(b) => *b,
+            LocalExpr::Cmp(var, op, lit) => op.apply(state.get(*var), *lit),
+            LocalExpr::Not(e) => !e.eval(state),
+            LocalExpr::And(a, b) => a.eval(state) && b.eval(state),
+            LocalExpr::Or(a, b) => a.eval(state) || b.eval(state),
+        }
+    }
+
+    /// The negation with `Not` pushed to the leaves (used to negate
+    /// disjunctive predicates into conjunctive ones for the paper's
+    /// `A[p U q]` identity).
+    pub fn negated(&self) -> LocalExpr {
+        match self {
+            LocalExpr::Const(b) => LocalExpr::Const(!b),
+            LocalExpr::Cmp(var, op, lit) => {
+                let flipped = match op {
+                    CmpOp::Eq => CmpOp::Ne,
+                    CmpOp::Ne => CmpOp::Eq,
+                    CmpOp::Lt => CmpOp::Ge,
+                    CmpOp::Le => CmpOp::Gt,
+                    CmpOp::Gt => CmpOp::Le,
+                    CmpOp::Ge => CmpOp::Lt,
+                };
+                LocalExpr::Cmp(*var, flipped, *lit)
+            }
+            LocalExpr::Not(e) => (**e).clone(),
+            LocalExpr::And(a, b) => LocalExpr::Or(Box::new(a.negated()), Box::new(b.negated())),
+            LocalExpr::Or(a, b) => LocalExpr::And(Box::new(a.negated()), Box::new(b.negated())),
+        }
+    }
+}
+
+impl fmt::Display for LocalExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocalExpr::Const(b) => write!(f, "{b}"),
+            LocalExpr::Cmp(var, op, lit) => write!(f, "v{} {} {}", var.index(), op, lit),
+            LocalExpr::Not(e) => write!(f, "!({e})"),
+            LocalExpr::And(a, b) => write!(f, "({a} & {b})"),
+            LocalExpr::Or(a, b) => write!(f, "({a} | {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_computation::LocalState;
+
+    fn state(vals: &[i64]) -> LocalState {
+        LocalState::from_values(vals.to_vec())
+    }
+
+    #[test]
+    fn comparisons_evaluate() {
+        let x = VarId::from_index(0);
+        let s = state(&[5]);
+        assert!(LocalExpr::eq(x, 5).eval(&s));
+        assert!(LocalExpr::ne(x, 4).eval(&s));
+        assert!(LocalExpr::lt(x, 6).eval(&s));
+        assert!(LocalExpr::le(x, 5).eval(&s));
+        assert!(LocalExpr::gt(x, 4).eval(&s));
+        assert!(LocalExpr::ge(x, 5).eval(&s));
+        assert!(!LocalExpr::eq(x, 4).eval(&s));
+    }
+
+    #[test]
+    fn boolean_connectives_evaluate() {
+        let x = VarId::from_index(0);
+        let s = state(&[2]);
+        let e = LocalExpr::eq(x, 2).and(LocalExpr::lt(x, 10));
+        assert!(e.eval(&s));
+        assert!(!e.clone().not().eval(&s));
+        assert!(LocalExpr::eq(x, 9).or(LocalExpr::eq(x, 2)).eval(&s));
+        assert!(LocalExpr::Const(true).eval(&s));
+        assert!(!LocalExpr::Const(false).eval(&s));
+    }
+
+    #[test]
+    fn negated_is_semantic_negation() {
+        let x = VarId::from_index(0);
+        let y = VarId::from_index(1);
+        let exprs = [
+            LocalExpr::eq(x, 1),
+            LocalExpr::lt(x, 3).and(LocalExpr::ge(y, 2)),
+            LocalExpr::ne(x, 0).or(LocalExpr::gt(y, 5)).not(),
+            LocalExpr::Const(true),
+        ];
+        for e in &exprs {
+            let ne = e.negated();
+            for a in -1..4 {
+                for b in -1..7 {
+                    let s = state(&[a, b]);
+                    assert_eq!(ne.eval(&s), !e.eval(&s), "{e} on [{a},{b}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let x = VarId::from_index(0);
+        let e = LocalExpr::eq(x, 1).and(LocalExpr::lt(x, 4).not());
+        assert_eq!(e.to_string(), "(v0 = 1 & !(v0 < 4))");
+    }
+}

@@ -1,0 +1,70 @@
+//! Global-state predicates and the paper's predicate classes (Section 4).
+//!
+//! A predicate assigns a truth value to every consistent cut of a
+//! computation. The paper's efficient detection algorithms exploit
+//! *structure* in the set of satisfying cuts:
+//!
+//! * **local** — depends on one process's state only ([`LocalPredicate`]);
+//! * **conjunctive** — a conjunction of local predicates
+//!   ([`Conjunctive`]);
+//! * **disjunctive** — a disjunction of local predicates
+//!   ([`Disjunctive`]);
+//! * **stable** — once true, stays true ([`Stable`] wrapper);
+//! * **linear** — satisfying cuts form an inf-semilattice
+//!   ([`LinearPredicate`] trait: an *advancement oracle* names a process
+//!   that must advance);
+//! * **post-linear** — the order dual ([`PostLinearPredicate`]);
+//! * **regular** — satisfying cuts form a sublattice (both linear and
+//!   post-linear);
+//! * **observer-independent** — `EF(p) ⟺ AF(p)`; includes stable and
+//!   disjunctive predicates.
+//!
+//! The [`classify`] module provides *empirical* class checkers that verify
+//! these structural properties on an explicitly built lattice; they are
+//! the oracles behind this workspace's property tests, and also document
+//! the class inclusions (conjunctive ⊆ regular ⊆ linear;
+//! stable ∪ disjunctive ⊆ observer-independent).
+//!
+//! # Example
+//!
+//! ```
+//! use hb_computation::ComputationBuilder;
+//! use hb_predicates::{Conjunctive, LocalExpr, Predicate};
+//!
+//! let mut b = ComputationBuilder::new(2);
+//! let cs = b.var("cs");
+//! b.internal(0).set(cs, 1).done();
+//! b.internal(1).set(cs, 1).done();
+//! let comp = b.finish().unwrap();
+//!
+//! // "Both processes are in the critical section" — a conjunctive
+//! // predicate (the mutual-exclusion violation witness).
+//! let both = Conjunctive::new(vec![
+//!     (0, LocalExpr::eq(cs, 1)),
+//!     (1, LocalExpr::eq(cs, 1)),
+//! ]);
+//! assert!(both.eval(&comp, &comp.final_cut()));
+//! assert!(!both.eval(&comp, &comp.initial_cut()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channels;
+pub mod classify;
+mod combinators;
+mod conjunctive;
+mod disjunctive;
+mod expr;
+mod local;
+mod relational;
+mod traits;
+
+pub use channels::{ChannelEmpty, ChannelsEmpty};
+pub use combinators::{AndLinear, FalseP, FnPredicate, Not, Stable, TrueP};
+pub use conjunctive::Conjunctive;
+pub use disjunctive::Disjunctive;
+pub use expr::{CmpOp, LocalExpr};
+pub use local::LocalPredicate;
+pub use relational::MonotoneSumLeq;
+pub use traits::{LinearPredicate, PostLinearPredicate, Predicate, RegularPredicate};

@@ -1,0 +1,87 @@
+//! Local predicates: truth depends on one process's state only.
+
+use crate::expr::LocalExpr;
+use crate::traits::Predicate;
+use hb_computation::{Computation, Cut};
+
+/// A local predicate: a [`LocalExpr`] evaluated on one process's frontier
+/// state in the cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalPredicate {
+    /// The process whose state is inspected.
+    pub process: usize,
+    /// The condition on that process's variables.
+    pub expr: LocalExpr,
+}
+
+impl LocalPredicate {
+    /// Convenience constructor.
+    pub fn new(process: usize, expr: LocalExpr) -> Self {
+        LocalPredicate { process, expr }
+    }
+
+    /// Evaluates on the local state index `s` of the process (0 = initial).
+    pub fn eval_at(&self, comp: &Computation, s: u32) -> bool {
+        self.expr.eval(comp.local_state(self.process, s))
+    }
+
+    /// The negated local predicate (same process).
+    pub fn negated(&self) -> LocalPredicate {
+        LocalPredicate {
+            process: self.process,
+            expr: self.expr.negated(),
+        }
+    }
+}
+
+impl Predicate for LocalPredicate {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        self.eval_at(comp, cut.get(self.process))
+    }
+
+    fn describe(&self) -> String {
+        format!("P{}: {}", self.process, self.expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_computation::ComputationBuilder;
+
+    #[test]
+    fn local_predicate_tracks_one_process() {
+        let mut b = ComputationBuilder::new(2);
+        let x = b.var("x");
+        b.internal(0).set(x, 1).done();
+        b.internal(1).set(x, 9).done();
+        let comp = b.finish().unwrap();
+        let p = LocalPredicate::new(0, LocalExpr::eq(x, 1));
+        assert!(!p.eval(&comp, &Cut::from_counters(vec![0, 0])));
+        assert!(p.eval(&comp, &Cut::from_counters(vec![1, 0])));
+        // Changing the *other* process never changes the verdict.
+        assert!(p.eval(&comp, &Cut::from_counters(vec![1, 1])));
+        assert!(!p.eval(&comp, &Cut::from_counters(vec![0, 1])));
+    }
+
+    #[test]
+    fn negated_flips_verdict_everywhere() {
+        let mut b = ComputationBuilder::new(1);
+        let x = b.var("x");
+        b.internal(0).set(x, 1).done();
+        b.internal(0).set(x, 2).done();
+        let comp = b.finish().unwrap();
+        let p = LocalPredicate::new(0, LocalExpr::ge(x, 2));
+        let np = p.negated();
+        for s in 0..=2 {
+            let cut = Cut::from_counters(vec![s]);
+            assert_eq!(p.eval(&comp, &cut), !np.eval(&comp, &cut));
+        }
+    }
+
+    #[test]
+    fn describe_names_the_process() {
+        let p = LocalPredicate::new(3, LocalExpr::Const(true));
+        assert_eq!(p.describe(), "P3: true");
+    }
+}

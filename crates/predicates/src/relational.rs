@@ -1,0 +1,108 @@
+//! Relational predicates with monotone structure.
+//!
+//! The paper notes that linear predicates include "monotonic channel
+//! predicates and some relational predicates". This module provides the
+//! canonical representative: a bound on the sum of per-process variables
+//! that are **non-decreasing** over each process's execution (think
+//! tokens produced, bytes sent, checkpoints taken). With non-decreasing
+//! contributions, `Σ xᵢ ≤ k` is down-closed in the cut lattice, hence
+//! closed under intersection — a linear predicate.
+
+use crate::traits::{LinearPredicate, Predicate};
+use hb_computation::{Computation, Cut, VarId};
+
+/// `Σᵢ xᵢ ≤ k` over per-process variables the caller asserts are
+/// non-decreasing along each process.
+///
+/// The assertion is the caller's obligation (like declaring stability);
+/// [`crate::classify::is_linear_on`] can audit it on small traces. Note
+/// that as a *down-closed* predicate its advancement oracle is degenerate:
+/// once the sum exceeds `k` no later cut can satisfy the predicate, so
+/// every process is forbidden and the oracle may return any of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonotoneSumLeq {
+    /// The variable summed on every process.
+    pub var: VarId,
+    /// The bound.
+    pub bound: i64,
+}
+
+impl MonotoneSumLeq {
+    fn sum(&self, comp: &Computation, cut: &Cut) -> i64 {
+        (0..comp.num_processes())
+            .map(|i| comp.state_in(cut, i).get(self.var))
+            .sum()
+    }
+}
+
+impl Predicate for MonotoneSumLeq {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        self.sum(comp, cut) <= self.bound
+    }
+
+    fn describe(&self) -> String {
+        format!("sum(v{}) <= {}", self.var.index(), self.bound)
+    }
+}
+
+impl LinearPredicate for MonotoneSumLeq {
+    fn forbidden_process(&self, comp: &Computation, cut: &Cut) -> Option<usize> {
+        if self.eval(comp, cut) {
+            None
+        } else {
+            // Down-closed and failing: no satisfying cut exists above this
+            // one, so every process is (vacuously) forbidden.
+            Some(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_computation::ComputationBuilder;
+
+    fn counting() -> (Computation, VarId) {
+        let mut b = ComputationBuilder::new(2);
+        let c = b.var("count");
+        b.internal(0).set(c, 1).done();
+        b.internal(0).set(c, 2).done();
+        b.internal(1).set(c, 1).done();
+        (b.finish().unwrap(), c)
+    }
+
+    #[test]
+    fn sums_frontier_values() {
+        let (comp, c) = counting();
+        let p = MonotoneSumLeq { var: c, bound: 2 };
+        assert!(p.eval(&comp, &Cut::from_counters(vec![0, 0]))); // 0
+        assert!(p.eval(&comp, &Cut::from_counters(vec![1, 1]))); // 2
+        assert!(!p.eval(&comp, &Cut::from_counters(vec![2, 1]))); // 3
+    }
+
+    #[test]
+    fn satisfying_set_is_down_closed() {
+        let (comp, c) = counting();
+        let p = MonotoneSumLeq { var: c, bound: 2 };
+        for a in 0..=2u32 {
+            for b in 0..=1u32 {
+                let g = Cut::from_counters(vec![a, b]);
+                if p.eval(&comp, &g) {
+                    for a2 in 0..=a {
+                        for b2 in 0..=b {
+                            assert!(p.eval(&comp, &Cut::from_counters(vec![a2, b2])));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_returns_none_exactly_when_holding() {
+        let (comp, c) = counting();
+        let p = MonotoneSumLeq { var: c, bound: 1 };
+        assert_eq!(p.forbidden_process(&comp, &comp.initial_cut()), None);
+        assert!(p.forbidden_process(&comp, &comp.final_cut()).is_some());
+    }
+}

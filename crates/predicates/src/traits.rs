@@ -1,0 +1,87 @@
+//! The predicate traits: arbitrary, linear, post-linear, regular.
+
+use hb_computation::{Computation, Cut};
+
+/// A global-state predicate: a boolean function of consistent cuts.
+///
+/// Implementors must be pure — the result may depend only on the
+/// computation and the cut — and cheap enough to call in inner loops
+/// (detection algorithms evaluate predicates `O(n|E|)` times).
+pub trait Predicate: Send + Sync {
+    /// Evaluates the predicate at a consistent cut.
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool;
+
+    /// A human-readable rendering for witnesses and reports.
+    fn describe(&self) -> String {
+        "<predicate>".to_string()
+    }
+}
+
+/// A **linear** predicate (Chase–Garg): the set of satisfying cuts is
+/// closed under intersection (an inf-semilattice of the cut lattice).
+///
+/// Linearity is operationally equivalent to the existence of an
+/// *advancement oracle*: whenever `p` fails at `G`, some process is
+/// **forbidden** — every satisfying cut above `G` must contain more events
+/// of that process. The oracle is what lets `EF`, `EG` (Algorithm A1) and
+/// `I_p` computations walk the lattice in `O(n|E|)` instead of exploring
+/// it.
+pub trait LinearPredicate: Predicate {
+    /// If `p` fails at `cut`, names a forbidden process; returns `None`
+    /// iff `p` holds at `cut`.
+    ///
+    /// Contract: when `Some(i)` is returned, every cut `H ⊇ cut` with
+    /// `H[i] = cut[i]` also fails `p`.
+    fn forbidden_process(&self, comp: &Computation, cut: &Cut) -> Option<usize>;
+}
+
+/// A **post-linear** predicate: satisfying cuts are closed under union
+/// (a sup-semilattice). The oracle is dual: a process whose events must be
+/// *removed* — every satisfying cut below `cut` contains fewer events of
+/// it.
+pub trait PostLinearPredicate: Predicate {
+    /// If `p` fails at `cut`, names a process that must retreat; `None`
+    /// iff `p` holds.
+    ///
+    /// Contract: when `Some(i)` is returned, every cut `H ⊆ cut` with
+    /// `H[i] = cut[i]` also fails `p`.
+    fn forbidden_process_down(&self, comp: &Computation, cut: &Cut) -> Option<usize>;
+}
+
+/// A **regular** predicate (Garg–Mittal): satisfying cuts form a
+/// sublattice — closed under both union and intersection. Regular
+/// predicates are exactly those that are both linear and post-linear, so
+/// this is a marker trait.
+pub trait RegularPredicate: LinearPredicate + PostLinearPredicate {}
+
+impl<P: Predicate + ?Sized> Predicate for &P {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        (**self).eval(comp, cut)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+impl<P: LinearPredicate + ?Sized> LinearPredicate for &P {
+    fn forbidden_process(&self, comp: &Computation, cut: &Cut) -> Option<usize> {
+        (**self).forbidden_process(comp, cut)
+    }
+}
+
+impl<P: PostLinearPredicate + ?Sized> PostLinearPredicate for &P {
+    fn forbidden_process_down(&self, comp: &Computation, cut: &Cut) -> Option<usize> {
+        (**self).forbidden_process_down(comp, cut)
+    }
+}
+
+impl<P: RegularPredicate + ?Sized> RegularPredicate for &P {}
+
+impl Predicate for Box<dyn Predicate> {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        (**self).eval(comp, cut)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}

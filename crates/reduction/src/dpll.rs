@@ -1,0 +1,216 @@
+//! A small DPLL SAT solver over CNF, used as an independent check of the
+//! reduction gadgets (brute force validates DPLL, DPLL validates the
+//! gadget at sizes where brute force still runs).
+
+use crate::expr::BoolExpr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A CNF formula: clauses of non-zero literals, DIMACS-style
+/// (`+v` = variable `v-1` positive, `-v` negative).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl Cnf {
+    /// Converts to a [`BoolExpr`] (for the gadgets and brute force).
+    pub fn to_expr(&self) -> BoolExpr {
+        BoolExpr::And(
+            self.clauses
+                .iter()
+                .map(|clause| {
+                    BoolExpr::Or(
+                        clause
+                            .iter()
+                            .map(|&lit| {
+                                let v = BoolExpr::var(lit.unsigned_abs() as usize - 1);
+                                if lit < 0 {
+                                    v.not()
+                                } else {
+                                    v
+                                }
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Evaluates under a full assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause.iter().any(|&lit| {
+                let val = assignment[lit.unsigned_abs() as usize - 1];
+                (lit > 0) == val
+            })
+        })
+    }
+}
+
+/// DPLL with unit propagation; returns a model if satisfiable.
+pub fn dpll_sat(cnf: &Cnf) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; cnf.num_vars];
+    if solve(&cnf.clauses, &mut assignment) {
+        Some(assignment.into_iter().map(|a| a.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+fn solve(clauses: &[Vec<i32>], assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut unit: Option<i32> = None;
+        for clause in clauses {
+            let mut unassigned = None;
+            let mut satisfied = false;
+            let mut count = 0;
+            for &lit in clause {
+                match assignment[lit.unsigned_abs() as usize - 1] {
+                    Some(v) if (lit > 0) == v => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        unassigned = Some(lit);
+                        count += 1;
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match count {
+                0 => {
+                    // Conflict: undo and fail.
+                    for &v in &trail {
+                        assignment[v] = None;
+                    }
+                    return false;
+                }
+                1 => {
+                    unit = unassigned;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match unit {
+            Some(lit) => {
+                let var = lit.unsigned_abs() as usize - 1;
+                assignment[var] = Some(lit > 0);
+                trail.push(var);
+            }
+            None => break,
+        }
+    }
+
+    // Find an unassigned variable to branch on.
+    let Some(var) = assignment.iter().position(Option::is_none) else {
+        return true; // all assigned, no conflict: model found
+    };
+    for guess in [true, false] {
+        assignment[var] = Some(guess);
+        if solve(clauses, assignment) {
+            return true;
+        }
+        assignment[var] = None;
+    }
+    // Undo propagation on failure.
+    for &v in &trail {
+        assignment[v] = None;
+    }
+    false
+}
+
+/// A random 3-CNF with the given clause count (seeded).
+pub fn random_3cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
+    assert!(num_vars >= 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clauses = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let mut vars = Vec::new();
+        while vars.len() < 3 {
+            let v = rng.gen_range(1..=num_vars as i32);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        clauses.push(
+            vars.into_iter()
+                .map(|v| if rng.gen_bool(0.5) { v } else { -v })
+                .collect(),
+        );
+    }
+    Cnf { num_vars, clauses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_sat_and_unsat() {
+        let sat = Cnf {
+            num_vars: 2,
+            clauses: vec![vec![1, 2], vec![-1, 2]],
+        };
+        let model = dpll_sat(&sat).unwrap();
+        assert!(sat.eval(&model));
+
+        let unsat = Cnf {
+            num_vars: 1,
+            clauses: vec![vec![1], vec![-1]],
+        };
+        assert!(dpll_sat(&unsat).is_none());
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_force_on_random_formulas() {
+        for seed in 0..60 {
+            let cnf = random_3cnf(5, 8 + (seed as usize % 8), seed);
+            let expr = cnf.to_expr();
+            let bf = expr.brute_force_sat(5);
+            let dp = dpll_sat(&cnf);
+            assert_eq!(bf.is_some(), dp.is_some(), "seed {seed}: {expr}");
+            if let Some(model) = dp {
+                assert!(cnf.eval(&model), "seed {seed}: bad model");
+            }
+        }
+    }
+
+    #[test]
+    fn to_expr_matches_cnf_eval() {
+        let cnf = random_3cnf(4, 6, 99);
+        let expr = cnf.to_expr();
+        for bits in 0u32..16 {
+            let a: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(cnf.eval(&a), expr.eval(&a));
+        }
+    }
+
+    #[test]
+    fn empty_cnf_is_trivially_sat() {
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![],
+        };
+        assert!(dpll_sat(&cnf).is_some());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let cnf = Cnf {
+            num_vars: 2,
+            clauses: vec![vec![]],
+        };
+        assert!(dpll_sat(&cnf).is_none());
+    }
+}

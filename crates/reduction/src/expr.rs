@@ -1,0 +1,145 @@
+//! Boolean expressions over `m` variables.
+
+use std::fmt;
+
+/// A boolean expression; variables are indices `0..m`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// A constant.
+    Const(bool),
+    /// Variable `i`.
+    Var(usize),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// n-ary conjunction.
+    And(Vec<BoolExpr>),
+    /// n-ary disjunction.
+    Or(Vec<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Variable `i`.
+    pub fn var(i: usize) -> Self {
+        BoolExpr::Var(i)
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        BoolExpr::Not(Box::new(self))
+    }
+
+    /// Evaluates under an assignment (indices beyond the slice are
+    /// `false`).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            BoolExpr::Const(b) => *b,
+            BoolExpr::Var(i) => assignment.get(*i).copied().unwrap_or(false),
+            BoolExpr::Not(e) => !e.eval(assignment),
+            BoolExpr::And(es) => es.iter().all(|e| e.eval(assignment)),
+            BoolExpr::Or(es) => es.iter().any(|e| e.eval(assignment)),
+        }
+    }
+
+    /// The highest variable index mentioned, plus one.
+    pub fn num_vars(&self) -> usize {
+        match self {
+            BoolExpr::Const(_) => 0,
+            BoolExpr::Var(i) => i + 1,
+            BoolExpr::Not(e) => e.num_vars(),
+            BoolExpr::And(es) | BoolExpr::Or(es) => {
+                es.iter().map(BoolExpr::num_vars).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Brute-force satisfiability over `m` variables; returns a model.
+    pub fn brute_force_sat(&self, m: usize) -> Option<Vec<bool>> {
+        assert!(m < 26, "brute force capped at 25 variables");
+        for bits in 0u64..(1u64 << m) {
+            let assignment: Vec<bool> = (0..m).map(|i| bits >> i & 1 == 1).collect();
+            if self.eval(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+
+    /// Brute-force tautology check over `m` variables.
+    pub fn is_tautology(&self, m: usize) -> bool {
+        self.clone().not().brute_force_sat(m).is_none()
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::Const(b) => write!(f, "{b}"),
+            BoolExpr::Var(i) => write!(f, "x{i}"),
+            BoolExpr::Not(e) => write!(f, "!{e}"),
+            BoolExpr::And(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            BoolExpr::Or(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_num_vars() {
+        // (x0 | !x1) & x2
+        let e = BoolExpr::And(vec![
+            BoolExpr::Or(vec![BoolExpr::var(0), BoolExpr::var(1).not()]),
+            BoolExpr::var(2),
+        ]);
+        assert_eq!(e.num_vars(), 3);
+        assert!(e.eval(&[true, true, true]));
+        assert!(e.eval(&[false, false, true]));
+        assert!(!e.eval(&[false, true, true]));
+        assert!(!e.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn brute_force_finds_models() {
+        let e = BoolExpr::And(vec![BoolExpr::var(0), BoolExpr::var(1).not()]);
+        let m = e.brute_force_sat(2).unwrap();
+        assert_eq!(m, vec![true, false]);
+        let unsat = BoolExpr::And(vec![BoolExpr::var(0), BoolExpr::var(0).not()]);
+        assert!(unsat.brute_force_sat(1).is_none());
+    }
+
+    #[test]
+    fn tautology_detection() {
+        let taut = BoolExpr::Or(vec![BoolExpr::var(0), BoolExpr::var(0).not()]);
+        assert!(taut.is_tautology(1));
+        assert!(!BoolExpr::var(0).is_tautology(1));
+        assert!(BoolExpr::Const(true).is_tautology(0));
+        assert!(!BoolExpr::Const(false).is_tautology(0));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = BoolExpr::Or(vec![BoolExpr::var(0).not(), BoolExpr::var(3)]);
+        assert_eq!(e.to_string(), "(!x0 | x3)");
+    }
+}

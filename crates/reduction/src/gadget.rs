@@ -1,0 +1,173 @@
+//! The Fig. 3 reduction gadgets.
+
+use crate::expr::BoolExpr;
+use hb_computation::{Computation, ComputationBuilder, Cut, VarId};
+use hb_predicates::Predicate;
+
+/// The observer-independent predicate `P = p ∨ x_{m+1}` of Theorems 5
+/// and 6, reading the boolean assignment from the gadget's local states.
+#[derive(Debug, Clone)]
+pub struct GadgetPredicate {
+    expr: BoolExpr,
+    val: VarId,
+    /// Number of variable processes; the pilot is process `m`.
+    m: usize,
+}
+
+impl GadgetPredicate {
+    /// The assignment current in a cut.
+    pub fn assignment(&self, comp: &Computation, cut: &Cut) -> Vec<bool> {
+        (0..self.m)
+            .map(|i| comp.state_in(cut, i).get(self.val) == 1)
+            .collect()
+    }
+}
+
+impl Predicate for GadgetPredicate {
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool {
+        let pilot_true = comp.state_in(cut, self.m).get(self.val) == 1;
+        pilot_true || self.expr.eval(&self.assignment(comp, cut))
+    }
+
+    fn describe(&self) -> String {
+        format!("{} | x{}", self.expr, self.m + 1)
+    }
+}
+
+/// Builds the variable processes shared by both gadgets: process `i`
+/// starts with `val = 1` (true) and flips to `0` with its only event.
+fn variable_processes(b: &mut ComputationBuilder, m: usize, val: VarId) {
+    for i in 0..m {
+        b.init(i, val, 1);
+        b.internal(i)
+            .set(val, 0)
+            .label(&format!("x{i}:=false"))
+            .done();
+    }
+}
+
+/// Fig. 3(a): the SAT → `EG` gadget. Returns the computation and the
+/// observer-independent predicate `P` with `EG(P) ⟺ SAT(p)`.
+pub fn sat_to_eg_gadget(expr: &BoolExpr, m: usize) -> (Computation, GadgetPredicate) {
+    assert!(expr.num_vars() <= m);
+    let mut b = ComputationBuilder::new(m + 1);
+    let val = b.var("val");
+    variable_processes(&mut b, m, val);
+    // Pilot: true → false → true.
+    b.init(m, val, 1);
+    b.internal(m).set(val, 0).label("pilot:=false").done();
+    b.internal(m).set(val, 1).label("pilot:=true").done();
+    let comp = b.finish().expect("gadget has no messages");
+    (
+        comp,
+        GadgetPredicate {
+            expr: expr.clone(),
+            val,
+            m,
+        },
+    )
+}
+
+/// Fig. 3(b): the Tautology → `AG` gadget. Returns the computation and
+/// the observer-independent predicate `P` with `AG(P) ⟺ TAUT(p)`.
+pub fn tautology_to_ag_gadget(expr: &BoolExpr, m: usize) -> (Computation, GadgetPredicate) {
+    assert!(expr.num_vars() <= m);
+    let mut b = ComputationBuilder::new(m + 1);
+    let val = b.var("val");
+    variable_processes(&mut b, m, val);
+    // Pilot: true → false, and stays false.
+    b.init(m, val, 1);
+    b.internal(m).set(val, 0).label("pilot:=false").done();
+    let comp = b.finish().expect("gadget has no messages");
+    (
+        comp,
+        GadgetPredicate {
+            expr: expr.clone(),
+            val,
+            m,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll::{dpll_sat, random_3cnf};
+    use hb_detect::ModelChecker;
+    use hb_lattice::CutLattice;
+    use hb_predicates::classify;
+
+    #[test]
+    fn eg_gadget_equals_satisfiability_on_random_formulas() {
+        for seed in 0..25 {
+            let cnf = random_3cnf(4, 6 + (seed % 10) as usize, seed);
+            let expr = cnf.to_expr();
+            let (comp, pred) = sat_to_eg_gadget(&expr, 4);
+            let mc = ModelChecker::new(&comp);
+            let sat = dpll_sat(&cnf).is_some();
+            assert_eq!(mc.eg(&pred), sat, "seed {seed}: {expr}");
+        }
+    }
+
+    #[test]
+    fn ag_gadget_equals_tautology_on_random_formulas() {
+        for seed in 0..25 {
+            let cnf = random_3cnf(4, 3 + (seed % 4) as usize, seed * 7 + 1);
+            let expr = cnf.to_expr();
+            let (comp, pred) = tautology_to_ag_gadget(&expr, 4);
+            let mc = ModelChecker::new(&comp);
+            assert_eq!(mc.ag(&pred), expr.is_tautology(4), "seed {seed}: {expr}");
+        }
+    }
+
+    #[test]
+    fn tautologies_and_contradictions_are_edge_cases() {
+        let taut = BoolExpr::Or(vec![BoolExpr::var(0), BoolExpr::var(0).not()]);
+        let (comp, pred) = tautology_to_ag_gadget(&taut, 2);
+        assert!(ModelChecker::new(&comp).ag(&pred));
+        let (comp2, pred2) = sat_to_eg_gadget(&taut, 2);
+        assert!(ModelChecker::new(&comp2).eg(&pred2));
+
+        let contra = BoolExpr::And(vec![BoolExpr::var(0), BoolExpr::var(0).not()]);
+        let (comp3, pred3) = sat_to_eg_gadget(&contra, 2);
+        assert!(!ModelChecker::new(&comp3).eg(&pred3));
+        let (comp4, pred4) = tautology_to_ag_gadget(&contra, 2);
+        assert!(!ModelChecker::new(&comp4).ag(&pred4));
+    }
+
+    #[test]
+    fn gadget_predicates_are_observer_independent() {
+        // P holds initially (the pilot starts true), which the paper notes
+        // makes it observer-independent; audit with the classifier.
+        let cnf = random_3cnf(3, 5, 11);
+        let expr = cnf.to_expr();
+        for (comp, pred) in [sat_to_eg_gadget(&expr, 3), tautology_to_ag_gadget(&expr, 3)] {
+            let lat = CutLattice::build(&comp);
+            assert!(classify::is_observer_independent_on(&lat, &comp, &pred));
+            assert!(pred.eval(&comp, &comp.initial_cut()));
+        }
+    }
+
+    #[test]
+    fn gadget_lattice_size_is_exponential_in_m() {
+        let expr = BoolExpr::Const(true);
+        let sizes: Vec<usize> = (1..=4)
+            .map(|m| {
+                let (comp, _) = sat_to_eg_gadget(&expr, m);
+                CutLattice::build(&comp).len()
+            })
+            .collect();
+        // 2^m variable combinations × 3 pilot positions.
+        assert_eq!(sizes, vec![6, 12, 24, 48]);
+    }
+
+    #[test]
+    fn assignment_reads_cut_states() {
+        let expr = BoolExpr::var(0);
+        let (comp, pred) = sat_to_eg_gadget(&expr, 2);
+        let init = comp.initial_cut();
+        assert_eq!(pred.assignment(&comp, &init), vec![true, true]);
+        let flipped = Cut::from_counters(vec![1, 0, 0]);
+        assert_eq!(pred.assignment(&comp, &flipped), vec![false, true]);
+    }
+}

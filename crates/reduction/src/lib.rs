@@ -1,0 +1,45 @@
+//! The hardness gadgets of Section 6: SAT → `EG(observer-independent)`
+//! (Theorem 5 / Fig. 3a) and Tautology → `AG(observer-independent)`
+//! (Theorem 6 / Fig. 3b), together with the boolean-formula substrate
+//! (brute-force and DPLL solvers) used to check them end to end.
+//!
+//! Each gadget builds a computation with one two-state process per
+//! boolean variable (`true` initially, one event flips it to `false`) and
+//! an extra pilot process `x_{m+1}`:
+//!
+//! * **EG gadget**: the pilot goes `true → false → true`. A maximal path
+//!   satisfies `P = p ∨ x_{m+1}` throughout iff the assignment current
+//!   during the pilot's `false` window satisfies `p` — so
+//!   `EG(P) ⟺ SAT(p)`.
+//! * **AG gadget**: the pilot goes `true → false` and stays. Every cut
+//!   with the pilot `false` exhibits some assignment, and all `2^m`
+//!   assignments occur — so `AG(P) ⟺ TAUTOLOGY(p)`.
+//!
+//! `P` holds at the initial cut (the pilot starts `true`), which makes it
+//! observer-independent, exactly as the proofs require. The property
+//! tests below verify both equivalences against brute force and DPLL on
+//! random formulas.
+//!
+//! # Example
+//!
+//! ```
+//! use hb_detect::ModelChecker;
+//! use hb_reduction::{sat_to_eg_gadget, BoolExpr};
+//!
+//! // x0 ∧ ¬x1 is satisfiable…
+//! let phi = BoolExpr::And(vec![BoolExpr::var(0), BoolExpr::var(1).not()]);
+//! let (comp, pred) = sat_to_eg_gadget(&phi, 2);
+//! // …so EG(P) holds on the gadget (Theorem 5).
+//! assert!(ModelChecker::new(&comp).eg(&pred));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dpll;
+mod expr;
+mod gadget;
+
+pub use dpll::{dpll_sat, random_3cnf, Cnf};
+pub use expr::BoolExpr;
+pub use gadget::{sat_to_eg_gadget, tautology_to_ag_gadget, GadgetPredicate};

@@ -1,0 +1,33 @@
+//! A deterministic, seeded distributed-system simulator that produces
+//! happened-before traces.
+//!
+//! The paper has no experimental testbed; this crate is the workload
+//! substitute documented in DESIGN.md §5. It provides:
+//!
+//! * [`Kernel`] — a message-passing simulation kernel: asynchronous
+//!   point-to-point messages, **no FIFO assumption** (delivery order is a
+//!   seeded random choice among in-flight messages), every step recorded
+//!   as an event in a [`hb_computation::ComputationBuilder`];
+//! * [`protocols`] — classic distributed algorithms whose correctness
+//!   properties are exactly the predicate shapes the paper studies:
+//!   token-ring mutual exclusion (`AG`/`EF` of conjunctive), ring leader
+//!   election (`AF` of conjunctive), diffusing-computation termination
+//!   (stable ∧ channel predicates), and a producer/consumer pipeline
+//!   (until-style specs);
+//! * [`random_computation`] — a parameterized random trace generator used
+//!   by the benchmarks to sweep `n` and `|E|`.
+//!
+//! Everything is deterministic given the seed: runs are reproducible, and
+//! the benchmarks in `hb-bench` re-derive identical workloads from the
+//! parameters they report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernel;
+pub mod live;
+pub mod protocols;
+mod random;
+
+pub use kernel::{Action, Delivery, Effects, Kernel};
+pub use random::{random_computation, RandomSpec};

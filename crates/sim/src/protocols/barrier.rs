@@ -1,0 +1,128 @@
+//! Barrier synchronization — a relational-predicate workload.
+//!
+//! `rounds` barrier episodes over a coordinator (process 0) and `n − 1`
+//! workers: every worker sends *arrive* to the coordinator; once all have
+//! arrived the coordinator broadcasts *release* and everyone advances its
+//! `round` counter.
+//!
+//! The signature property is **round agreement**: no two processes are
+//! ever more than one round apart, `AG(|round_i − round_j| ≤ 1)`. The
+//! predicate is relational (it reads two processes at once), so the CTL
+//! evaluator classifies it *arbitrary* and falls back to the baseline —
+//! the workload exists precisely to exercise that path honestly. Its
+//! violation witnesses ("round_i ≥ round_j + 2") are conjunctive,
+//! detectable by Chase–Garg.
+
+use crate::kernel::Kernel;
+use hb_computation::{Computation, VarId};
+
+/// The trace plus handles.
+pub struct BarrierTrace {
+    /// The recorded computation.
+    pub comp: Computation,
+    /// Per-process `round` counter.
+    pub round_var: VarId,
+    /// Number of barrier episodes.
+    pub rounds: usize,
+}
+
+/// Runs `rounds` barrier episodes over `n ≥ 2` processes (coordinator +
+/// workers).
+pub fn barrier(n: usize, rounds: usize, seed: u64) -> BarrierTrace {
+    assert!(n >= 2);
+    let mut k = Kernel::new(n, seed);
+    let round_var = k.declare_var("round");
+
+    // Payload encoding: arrive = round number (≥ 1); release = -(round).
+    for w in 1..n {
+        k.send(w, 0, 1, &[]);
+    }
+    let mut arrived = 0usize;
+    k.run(usize::MAX, |d, fx| {
+        if d.payload > 0 {
+            // Coordinator counts arrivals for this round.
+            arrived += 1;
+            if arrived == n - 1 {
+                arrived = 0;
+                let round = d.payload;
+                fx.internal(&[(round_var, round)]);
+                for w in 1..n {
+                    fx.send(w, -round, &[]);
+                }
+            }
+        } else {
+            // Worker released: advance the round, maybe re-arrive.
+            let round = -d.payload;
+            fx.set(round_var, round);
+            if (round as usize) < rounds {
+                fx.send(0, round + 1, &[]);
+            }
+        }
+    });
+
+    BarrierTrace {
+        comp: k.finish(),
+        round_var,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_detect::{ef_linear, ModelChecker};
+    use hb_predicates::{Conjunctive, FnPredicate, LocalExpr, Predicate};
+
+    #[test]
+    fn rounds_never_diverge_by_two() {
+        let t = barrier(3, 2, 8);
+        // Violation witness per ordered pair: round_i ≥ round_j + 2 for
+        // some fixed split — conjunctive per threshold value.
+        for i in 0..3 {
+            for j in 0..3 {
+                if i == j {
+                    continue;
+                }
+                for r in 0..=t.rounds as i64 {
+                    let diverged = Conjunctive::new(vec![
+                        (i, LocalExpr::ge(t.round_var, r + 2)),
+                        (j, LocalExpr::le(t.round_var, r)),
+                    ]);
+                    assert!(
+                        !ef_linear(&t.comp, &diverged).holds,
+                        "P{i} two rounds ahead of P{j} at r={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relational_agreement_via_baseline() {
+        let t = barrier(3, 2, 8);
+        let rv = t.round_var;
+        let agree = FnPredicate::new(
+            "within-one",
+            move |comp: &Computation, g: &hb_computation::Cut| {
+                let rounds: Vec<i64> = (0..comp.num_processes())
+                    .map(|i| comp.state_in(g, i).get(rv))
+                    .collect();
+                let lo = rounds.iter().min().unwrap();
+                let hi = rounds.iter().max().unwrap();
+                hi - lo <= 1
+            },
+        );
+        let mc = ModelChecker::new(&t.comp);
+        assert!(mc.ag(&agree));
+        assert!(agree.eval(&t.comp, &t.comp.final_cut()));
+    }
+
+    #[test]
+    fn every_process_reaches_the_last_round() {
+        let t = barrier(4, 3, 5);
+        let f = t.comp.final_cut();
+        for i in 0..4 {
+            assert_eq!(t.comp.state_in(&f, i).get(t.round_var), 3, "P{i}");
+        }
+    }
+}

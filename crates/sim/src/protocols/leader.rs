@@ -1,0 +1,153 @@
+//! Chang–Roberts ring leader election.
+//!
+//! Every process injects its identifier into a unidirectional ring; a
+//! process forwards identifiers larger than its own, swallows smaller
+//! ones, and declares itself leader when its own identifier returns. The
+//! winner then circulates an announcement so every process records the
+//! leader.
+//!
+//! The monitoring property ("processes agree on the current leader",
+//! Section 1 of the paper) is the conjunctive predicate
+//! `⋀_i leader@i = max_id`, and `AF` of it holds on every generated
+//! trace.
+
+use crate::kernel::Kernel;
+use hb_computation::{Computation, VarId};
+
+/// The trace plus handles.
+pub struct LeaderTrace {
+    /// The recorded computation.
+    pub comp: Computation,
+    /// `leader` variable (`-1` until known).
+    pub leader_var: VarId,
+    /// Identifier of each process (a permutation of `0..n`).
+    pub ids: Vec<i64>,
+    /// The winning identifier (`max`).
+    pub winner: i64,
+}
+
+/// Runs Chang–Roberts on `n ≥ 2` processes whose identifiers are the
+/// seed-shuffled permutation of `0..n`.
+pub fn leader_election(n: usize, seed: u64) -> LeaderTrace {
+    assert!(n >= 2, "a ring needs at least two processes");
+    // Seeded permutation of ids (Fisher–Yates on a tiny LCG so the spec is
+    // reproducible without pulling the kernel's RNG).
+    let mut ids: Vec<i64> = (0..n as i64).collect();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        ids.swap(i, j);
+    }
+    let winner = *ids.iter().max().expect("nonempty");
+
+    let mut k = Kernel::new(n, seed);
+    let leader_var = k.declare_var("leader");
+    for i in 0..n {
+        k.init(i, leader_var, -1);
+    }
+
+    // Payload encoding: election message = candidate id (≥ 0);
+    // announcement = -(id + 2) (so -1 never collides).
+    for (i, &id) in ids.iter().enumerate() {
+        k.send(i, (i + 1) % n, id, &[]);
+    }
+
+    let ids_for_handler = ids.clone();
+    k.run(usize::MAX, |d, fx| {
+        let me = ids_for_handler[d.to];
+        let next = (d.to + 1) % ids_for_handler.len();
+        if d.payload >= 0 {
+            let candidate = d.payload;
+            if candidate > me {
+                fx.send(next, candidate, &[]);
+            } else if candidate == me {
+                // Our id survived the whole lap: we are the leader.
+                fx.set(leader_var, me);
+                fx.send(next, -(me + 2), &[]);
+            }
+            // Smaller ids are swallowed.
+        } else {
+            let elected = -d.payload - 2;
+            if me != elected {
+                fx.set(leader_var, elected);
+                fx.send(next, d.payload, &[]);
+            }
+            // The announcement stops when it reaches the leader again.
+        }
+    });
+
+    LeaderTrace {
+        comp: k.finish(),
+        leader_var,
+        ids,
+        winner,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_detect::{af_conjunctive, ef_linear};
+    use hb_predicates::{Conjunctive, LocalExpr, Predicate};
+
+    fn agreement(t: &LeaderTrace) -> Conjunctive {
+        Conjunctive::new(
+            (0..t.comp.num_processes())
+                .map(|i| (i, LocalExpr::eq(t.leader_var, t.winner)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn agreement_is_inevitable() {
+        for seed in [1, 2, 3, 99] {
+            let t = leader_election(4, seed);
+            let agree = agreement(&t);
+            assert!(
+                agree.eval(&t.comp, &t.comp.final_cut()),
+                "seed {seed}: final state disagrees"
+            );
+            assert!(
+                af_conjunctive(&t.comp, &agree).holds,
+                "seed {seed}: agreement not inevitable"
+            );
+        }
+    }
+
+    #[test]
+    fn nobody_elects_a_loser() {
+        let t = leader_election(5, 7);
+        for i in 0..5 {
+            for &id in &t.ids {
+                if id == t.winner {
+                    continue;
+                }
+                let wrong = Conjunctive::new(vec![(i, LocalExpr::eq(t.leader_var, id))]);
+                assert!(
+                    !ef_linear(&t.comp, &wrong).holds,
+                    "P{i} believed loser {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_a_permutation() {
+        let t = leader_election(6, 123);
+        let mut sorted = t.ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<i64>>());
+        assert_eq!(t.winner, 5);
+    }
+
+    #[test]
+    fn different_seeds_change_the_interleaving_not_the_outcome() {
+        let a = leader_election(4, 1);
+        let b = leader_election(4, 2);
+        assert_eq!(a.winner, 3);
+        assert_eq!(b.winner, 3);
+    }
+}

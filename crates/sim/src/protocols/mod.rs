@@ -1,0 +1,18 @@
+//! Protocol library: classic distributed algorithms generating traces
+//! whose correctness properties are the paper's predicate shapes.
+
+mod barrier;
+mod leader;
+mod producer;
+mod ra_mutex;
+mod termination;
+mod token_ring;
+mod two_phase;
+
+pub use barrier::{barrier, BarrierTrace};
+pub use leader::{leader_election, LeaderTrace};
+pub use producer::{producer_consumer, ProducerTrace};
+pub use ra_mutex::{ra_mutex, RaMutexTrace};
+pub use termination::{diffusing_computation, TerminationTrace};
+pub use token_ring::{token_ring_mutex, TokenRingTrace};
+pub use two_phase::{two_phase_commit, TwoPhaseTrace, ABORT, COMMIT, UNDECIDED};

@@ -1,0 +1,164 @@
+//! Two-phase commit — the fault-tolerance workload ("on detecting a
+//! violation of a safety property … one of the processes must be aborted
+//! and restarted", Section 1 of the paper).
+//!
+//! Process 0 coordinates; participants vote on a transaction. The
+//! coordinator commits only on unanimous yes-votes, else aborts, and
+//! broadcasts the decision. The detectable properties:
+//!
+//! * **agreement** — `AG(!(decision@i = COMMIT & decision@j = ABORT))`,
+//!   a conjunctive-pair safety check per `(i, j)`;
+//! * **validity** — if any participant votes no, `EF(decision@i = COMMIT)`
+//!   is false for every `i`;
+//! * **termination** — `AF(⋀_i decision@i ≠ UNDECIDED)`.
+
+use crate::kernel::Kernel;
+use hb_computation::{Computation, VarId};
+
+/// Decision values stored in the `decision` variable.
+pub const UNDECIDED: i64 = 0;
+/// Commit decision.
+pub const COMMIT: i64 = 1;
+/// Abort decision.
+pub const ABORT: i64 = 2;
+
+/// The trace plus handles.
+pub struct TwoPhaseTrace {
+    /// The recorded computation.
+    pub comp: Computation,
+    /// Per-process `vote` (participants only; 1 = yes, 2 = no).
+    pub vote_var: VarId,
+    /// Per-process `decision` (0 undecided, 1 commit, 2 abort).
+    pub decision_var: VarId,
+    /// The votes the participants cast (index 0 is the coordinator's own
+    /// implicit yes).
+    pub votes: Vec<bool>,
+    /// The outcome the protocol must reach.
+    pub expected: i64,
+}
+
+/// Runs one two-phase commit round over `n ≥ 2` processes; `votes[i]`
+/// (for `i ≥ 1`) is participant `i`'s vote.
+pub fn two_phase_commit(n: usize, votes: &[bool], seed: u64) -> TwoPhaseTrace {
+    assert!(n >= 2);
+    assert_eq!(votes.len(), n, "one vote per process (index 0 ignored)");
+    let mut k = Kernel::new(n, seed);
+    let vote_var = k.declare_var("vote");
+    let decision_var = k.declare_var("decision");
+
+    // Phase 1: PREPARE to all participants. Payloads: PREPARE = 1,
+    // YES = 2, NO = 3, COMMIT = 4, ABORT = 5.
+    for p in 1..n {
+        k.send(0, p, 1, &[]);
+    }
+
+    let votes_owned = votes.to_vec();
+    let mut yes = 0usize;
+    let mut replies = 0usize;
+    k.run(usize::MAX, |d, fx| match d.payload {
+        1 => {
+            // Participant votes.
+            let v = votes_owned[d.to];
+            fx.set(vote_var, if v { 1 } else { 2 });
+            fx.send(0, if v { 2 } else { 3 }, &[]);
+        }
+        2 | 3 => {
+            replies += 1;
+            if d.payload == 2 {
+                yes += 1;
+            }
+            if replies == votes_owned.len() - 1 {
+                // Phase 2: decide and broadcast.
+                let decision = if yes == replies { COMMIT } else { ABORT };
+                fx.internal(&[(decision_var, decision)]);
+                for p in 1..votes_owned.len() {
+                    fx.send(p, 3 + decision, &[]);
+                }
+            }
+        }
+        4 => {
+            fx.set(decision_var, COMMIT);
+        }
+        5 => {
+            fx.set(decision_var, ABORT);
+        }
+        other => unreachable!("unknown 2PC payload {other}"),
+    });
+
+    let expected = if votes.iter().skip(1).all(|&v| v) {
+        COMMIT
+    } else {
+        ABORT
+    };
+    TwoPhaseTrace {
+        comp: k.finish(),
+        vote_var,
+        decision_var,
+        votes: votes.to_vec(),
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_detect::{af_conjunctive, ef_linear};
+    use hb_predicates::{Conjunctive, LocalExpr, Predicate};
+
+    #[test]
+    fn unanimous_yes_commits_everywhere() {
+        let t = two_phase_commit(4, &[true, true, true, true], 3);
+        assert_eq!(t.expected, COMMIT);
+        let f = t.comp.final_cut();
+        for i in 0..4 {
+            assert_eq!(t.comp.state_in(&f, i).get(t.decision_var), COMMIT, "P{i}");
+        }
+    }
+
+    #[test]
+    fn any_no_vote_aborts_and_commit_is_unreachable() {
+        let t = two_phase_commit(4, &[true, true, false, true], 9);
+        assert_eq!(t.expected, ABORT);
+        for i in 0..4 {
+            let committed = Conjunctive::new(vec![(i, LocalExpr::eq(t.decision_var, COMMIT))]);
+            assert!(
+                !ef_linear(&t.comp, &committed).holds,
+                "P{i} could observe COMMIT despite a no-vote"
+            );
+        }
+    }
+
+    #[test]
+    fn agreement_holds_on_every_cut() {
+        for votes in [[true, true, true], [true, false, true]] {
+            let t = two_phase_commit(3, &votes, 5);
+            for i in 0..3 {
+                for j in 0..3 {
+                    if i == j {
+                        continue;
+                    }
+                    let split = Conjunctive::new(vec![
+                        (i, LocalExpr::eq(t.decision_var, COMMIT)),
+                        (j, LocalExpr::eq(t.decision_var, ABORT)),
+                    ]);
+                    assert!(
+                        !ef_linear(&t.comp, &split).holds,
+                        "split decision P{i}=commit / P{j}=abort"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn termination_every_process_decides() {
+        let t = two_phase_commit(3, &[true, true, false], 1);
+        let all_decided = Conjunctive::new(
+            (0..3)
+                .map(|i| (i, LocalExpr::ne(t.decision_var, UNDECIDED)))
+                .collect(),
+        );
+        assert!(af_conjunctive(&t.comp, &all_decided).holds);
+        assert!(all_decided.eval(&t.comp, &t.comp.final_cut()));
+    }
+}

@@ -1,0 +1,152 @@
+//! Parameterized random computations — the benchmark workload generator.
+
+use hb_computation::{Computation, ComputationBuilder, MsgToken};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Parameters of a random computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomSpec {
+    /// Number of processes `n`.
+    pub processes: usize,
+    /// Events per process (so `|E| = processes × events_per_process`,
+    /// up to rounding from message pairing).
+    pub events_per_process: usize,
+    /// Percentage (0–100) of events that try to be sends.
+    pub send_percent: u8,
+    /// Variable values are drawn from `0..value_range`.
+    pub value_range: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomSpec {
+    fn default() -> Self {
+        RandomSpec {
+            processes: 4,
+            events_per_process: 16,
+            send_percent: 30,
+            value_range: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a random computation: each process executes
+/// `events_per_process` events; an event is a send with probability
+/// `send_percent`, a receive when something is deliverable to the process,
+/// and internal otherwise. Every event assigns `x` a random value in
+/// `0..value_range`. All sends are eventually received (leftovers drain
+/// into trailing receive events), so the result is a well-formed
+/// happened-before trace with vector clocks.
+pub fn random_computation(spec: RandomSpec) -> Computation {
+    let n = spec.processes;
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut b = ComputationBuilder::new(n);
+    let x = b.var("x");
+
+    // Pending messages with their chosen destination.
+    let mut pending: VecDeque<(MsgToken, usize)> = VecDeque::new();
+    let mut remaining: Vec<usize> = vec![spec.events_per_process; n];
+
+    let total: usize = spec.events_per_process * n;
+    for _ in 0..total {
+        // Pick a process that still owes events, weighted uniformly.
+        let alive: Vec<usize> = (0..n).filter(|&i| remaining[i] > 0).collect();
+        let p = alive[rng.gen_range(0..alive.len())];
+        remaining[p] -= 1;
+        let value = rng.gen_range(0..spec.value_range.max(1));
+
+        // Receive if a message targets us; otherwise maybe send.
+        let deliverable = pending.iter().position(|&(_, dest)| dest == p);
+        if let Some(idx) = deliverable {
+            // Receive with 50% probability so channels linger non-FIFO.
+            if rng.gen_bool(0.5) {
+                let (tok, _) = pending.remove(idx).expect("position exists");
+                b.receive(p, tok).set(x, value).done();
+                continue;
+            }
+        }
+        if n > 1 && rng.gen_range(0..100) < spec.send_percent as u32 {
+            let mut dest = rng.gen_range(0..n - 1);
+            if dest >= p {
+                dest += 1;
+            }
+            let tok = b.send(p).set(x, value).done_send();
+            pending.push_back((tok, dest));
+        } else {
+            b.internal(p).set(x, value).done();
+        }
+    }
+
+    // Drain: append receives for leftover messages at their destinations.
+    while let Some((tok, dest)) = pending.pop_front() {
+        b.receive(dest, tok).done();
+    }
+
+    b.finish().expect("random computation is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_process_and_event_counts() {
+        let spec = RandomSpec {
+            processes: 5,
+            events_per_process: 10,
+            ..Default::default()
+        };
+        let c = random_computation(spec);
+        assert_eq!(c.num_processes(), 5);
+        // At least the planned events; drain receives may add more.
+        assert!(c.num_events() >= 50);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = RandomSpec {
+            seed: 1234,
+            ..Default::default()
+        };
+        assert_eq!(random_computation(spec), random_computation(spec));
+        let other = RandomSpec {
+            seed: 4321,
+            ..Default::default()
+        };
+        assert_ne!(random_computation(spec), random_computation(other));
+    }
+
+    #[test]
+    fn zero_send_percent_yields_no_messages() {
+        let c = random_computation(RandomSpec {
+            send_percent: 0,
+            ..Default::default()
+        });
+        assert!(c.messages().is_empty());
+    }
+
+    #[test]
+    fn heavy_send_percent_yields_messages() {
+        let c = random_computation(RandomSpec {
+            send_percent: 90,
+            seed: 5,
+            ..Default::default()
+        });
+        assert!(!c.messages().is_empty());
+    }
+
+    #[test]
+    fn single_process_works() {
+        let c = random_computation(RandomSpec {
+            processes: 1,
+            events_per_process: 7,
+            ..Default::default()
+        });
+        assert_eq!(c.num_events(), 7);
+        assert!(c.messages().is_empty());
+    }
+}

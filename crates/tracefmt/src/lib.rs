@@ -1,0 +1,72 @@
+//! Trace interchange formats.
+//!
+//! `hbtl` analyzes *recorded* computations, so traces need a durable
+//! on-disk form. This crate provides two:
+//!
+//! * a **JSON format** (serde) — one object with process count, variable
+//!   names, initial valuations, and a topologically ordered event list;
+//!   robust and self-describing, intended for tooling;
+//! * a **line-oriented text format** mirroring the paper's figure
+//!   notation (`event p0 send m0 x=2 # e2`) — convenient to write by
+//!   hand when transcribing a space–time diagram such as Fig. 2(a) or
+//!   Fig. 4(a).
+//!
+//! Both directions validate: imports reject unknown processes, receives
+//! without a preceding send, double receives, and malformed variable
+//! assignments, producing a [`TraceError`] rather than a panic.
+//!
+//! # Example
+//!
+//! ```
+//! // Transcribe the paper's Fig. 2(a) by hand…
+//! let comp = hb_tracefmt::from_text("
+//!     processes 2
+//!     event p0 internal   # e1
+//!     event p0 send m0    # e2
+//!     event p0 internal   # e3
+//!     event p1 internal   # f1
+//!     event p1 recv m0    # f2
+//!     event p1 internal   # f3
+//! ").unwrap();
+//! assert_eq!(comp.num_events(), 6);
+//! // …and round-trip it through JSON.
+//! let again = hb_tracefmt::from_json(&hb_tracefmt::to_json(&comp)).unwrap();
+//! assert_eq!(again.messages(), comp.messages());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod text;
+
+pub use json::{from_json, to_json, TraceEvent, TraceEventKind, TraceFile};
+pub use text::{from_text, to_text};
+
+use std::fmt;
+
+/// Why a trace failed to import.
+#[derive(Debug)]
+pub enum TraceError {
+    /// JSON syntax or shape error.
+    Json(serde_json::Error),
+    /// Structural validation failure (message pairing, process indices…).
+    Invalid(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Json(e) => write!(f, "trace JSON error: {e}"),
+            TraceError::Invalid(msg) => write!(f, "invalid trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Json(e)
+    }
+}

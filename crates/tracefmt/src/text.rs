@@ -1,0 +1,228 @@
+//! The line-oriented text format.
+//!
+//! ```text
+//! # Fig. 2(a) of the paper
+//! processes 2
+//! vars x
+//! init p0 x=1
+//! event p0 internal x=2      # e1
+//! event p0 send m0           # e2
+//! event p0 internal          # e3
+//! event p1 internal          # f1
+//! event p1 recv m0           # f2
+//! event p1 internal          # f3
+//! ```
+//!
+//! `# …` trailing comments become event labels; blank lines and
+//! full-line comments are ignored.
+
+use crate::json::{TraceEvent, TraceEventKind, TraceFile};
+use crate::TraceError;
+use hb_computation::Computation;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a computation in the text format.
+pub fn to_text(comp: &Computation) -> String {
+    let file = TraceFile::from_computation(comp);
+    let mut out = String::new();
+    let _ = writeln!(out, "processes {}", file.processes);
+    if !file.vars.is_empty() {
+        let _ = writeln!(out, "vars {}", file.vars.join(" "));
+    }
+    for (i, init) in file.initial.iter().enumerate() {
+        if init.is_empty() {
+            continue;
+        }
+        let assigns: Vec<String> = init.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let _ = writeln!(out, "init p{} {}", i, assigns.join(" "));
+    }
+    for ev in &file.events {
+        let kind = match ev.kind {
+            TraceEventKind::Internal => "internal".to_string(),
+            TraceEventKind::Send { msg } => format!("send m{msg}"),
+            TraceEventKind::Recv { msg } => format!("recv m{msg}"),
+        };
+        let mut line = format!("event p{} {kind}", ev.p);
+        for (k, v) in &ev.set {
+            let _ = write!(line, " {k}={v}");
+        }
+        if let Some(l) = &ev.label {
+            let _ = write!(line, " # {l}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Parses the text format into a computation.
+pub fn from_text(s: &str) -> Result<Computation, TraceError> {
+    let mut processes: Option<usize> = None;
+    let mut vars: Vec<String> = Vec::new();
+    let mut initial: Vec<BTreeMap<String, i64>> = Vec::new();
+    let mut events: Vec<TraceEvent> = Vec::new();
+
+    let bad = |line_no: usize, msg: &str| TraceError::Invalid(format!("line {line_no}: {msg}"));
+
+    for (idx, raw) in s.lines().enumerate() {
+        let line_no = idx + 1;
+        // Split off a trailing comment; it labels events.
+        let (body, comment) = match raw.split_once('#') {
+            Some((b, c)) => (
+                b.trim(),
+                Some(c.trim().to_string()).filter(|c| !c.is_empty()),
+            ),
+            None => (raw.trim(), None),
+        };
+        if body.is_empty() {
+            continue;
+        }
+        let mut tokens = body.split_whitespace();
+        match tokens.next().expect("nonempty body") {
+            "processes" => {
+                let n: usize = tokens
+                    .next()
+                    .ok_or_else(|| bad(line_no, "missing process count"))?
+                    .parse()
+                    .map_err(|_| bad(line_no, "bad process count"))?;
+                processes = Some(n);
+                initial.resize(n, BTreeMap::new());
+            }
+            "vars" => {
+                vars = tokens.map(str::to_string).collect();
+            }
+            "init" => {
+                let p = parse_proc(tokens.next(), line_no)?;
+                let map = initial
+                    .get_mut(p)
+                    .ok_or_else(|| bad(line_no, "process out of range"))?;
+                for t in tokens {
+                    let (k, v) = parse_assign(t, line_no)?;
+                    map.insert(k, v);
+                }
+            }
+            "event" => {
+                let p = parse_proc(tokens.next(), line_no)?;
+                let kind = match tokens.next() {
+                    Some("internal") => TraceEventKind::Internal,
+                    Some("send") => TraceEventKind::Send {
+                        msg: parse_msg(tokens.next(), line_no)?,
+                    },
+                    Some("recv") => TraceEventKind::Recv {
+                        msg: parse_msg(tokens.next(), line_no)?,
+                    },
+                    _ => return Err(bad(line_no, "expected internal/send/recv")),
+                };
+                let mut set = BTreeMap::new();
+                for t in tokens {
+                    let (k, v) = parse_assign(t, line_no)?;
+                    set.insert(k, v);
+                }
+                events.push(TraceEvent {
+                    p,
+                    kind,
+                    set,
+                    label: comment,
+                });
+            }
+            other => return Err(bad(line_no, &format!("unknown directive '{other}'"))),
+        }
+    }
+
+    let processes = processes
+        .ok_or_else(|| TraceError::Invalid("missing 'processes' directive".to_string()))?;
+    TraceFile {
+        processes,
+        vars,
+        initial,
+        events,
+    }
+    .to_computation()
+}
+
+fn parse_proc(tok: Option<&str>, line_no: usize) -> Result<usize, TraceError> {
+    let t = tok.ok_or_else(|| TraceError::Invalid(format!("line {line_no}: missing process")))?;
+    t.strip_prefix('p')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| TraceError::Invalid(format!("line {line_no}: expected p<index>")))
+}
+
+fn parse_msg(tok: Option<&str>, line_no: usize) -> Result<u32, TraceError> {
+    let t =
+        tok.ok_or_else(|| TraceError::Invalid(format!("line {line_no}: missing message id")))?;
+    t.strip_prefix('m')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| TraceError::Invalid(format!("line {line_no}: expected m<index>")))
+}
+
+fn parse_assign(tok: &str, line_no: usize) -> Result<(String, i64), TraceError> {
+    let (k, v) = tok
+        .split_once('=')
+        .ok_or_else(|| TraceError::Invalid(format!("line {line_no}: expected var=value")))?;
+    let value = v
+        .parse()
+        .map_err(|_| TraceError::Invalid(format!("line {line_no}: bad value '{v}'")))?;
+    Ok((k.to_string(), value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG2: &str = "\
+# Fig. 2(a)
+processes 2
+vars x
+init p0 x=1
+event p0 internal x=2   # e1
+event p0 send m0        # e2
+event p0 internal       # e3
+event p1 internal       # f1
+event p1 recv m0        # f2
+event p1 internal       # f3
+";
+
+    #[test]
+    fn parses_fig2_transcription() {
+        let comp = from_text(FIG2).unwrap();
+        assert_eq!(comp.num_processes(), 2);
+        assert_eq!(comp.num_events(), 6);
+        assert_eq!(comp.messages().len(), 1);
+        let e2 = comp.event_by_label("e2").unwrap();
+        let f2 = comp.event_by_label("f2").unwrap();
+        assert!(comp.happened_before(e2, f2));
+        let x = comp.vars().lookup("x").unwrap();
+        assert_eq!(comp.local_state(0, 0).get(x), 1);
+        assert_eq!(comp.local_state(0, 1).get(x), 2);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let comp = from_text(FIG2).unwrap();
+        let text = to_text(&comp);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.num_events(), comp.num_events());
+        assert_eq!(back.messages(), comp.messages());
+        for e in comp.event_ids() {
+            assert_eq!(back.clock(e), comp.clock(e));
+            assert_eq!(back.event(e).label, comp.event(e).label);
+        }
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let err = from_text("processes 1\nevent p0 explode\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        let err2 = from_text("event p0 internal\n").unwrap_err();
+        assert!(err2.to_string().contains("processes"), "{err2}");
+        let err3 = from_text("processes 1\nevent p9 internal\n").unwrap_err();
+        assert!(err3.to_string().contains("out of range"), "{err3}");
+    }
+
+    #[test]
+    fn full_line_comments_and_blanks_ignored() {
+        let comp = from_text("\n# hello\nprocesses 1\n\nevent p0 internal\n").unwrap();
+        assert_eq!(comp.num_events(), 1);
+        assert_eq!(comp.events_of(0)[0].label, None);
+    }
+}

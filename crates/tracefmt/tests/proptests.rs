@@ -1,0 +1,96 @@
+//! Property tests: both interchange formats round-trip arbitrary
+//! computations exactly (structure, states, labels, causality), and the
+//! parsers never panic on malformed input.
+
+use hb_computation::Computation;
+use hb_sim::{random_computation, RandomSpec};
+use hb_tracefmt::{from_json, from_text, to_json, to_text};
+use proptest::prelude::*;
+
+fn assert_equivalent(a: &Computation, b: &Computation) {
+    assert_eq!(a.num_processes(), b.num_processes());
+    assert_eq!(a.num_events(), b.num_events());
+    for i in 0..a.num_processes() {
+        assert_eq!(a.num_events_of(i), b.num_events_of(i), "P{i}");
+        for s in 0..=a.num_events_of(i) as u32 {
+            assert_eq!(a.local_state(i, s), b.local_state(i, s), "P{i} state {s}");
+        }
+    }
+    // Message pairings as a set (ids may be renumbered).
+    let mut ma = a.messages().to_vec();
+    let mut mb = b.messages().to_vec();
+    ma.sort_by_key(|m| m.send);
+    mb.sort_by_key(|m| m.send);
+    assert_eq!(ma, mb);
+    // Clocks (hence the whole happened-before relation).
+    for e in a.event_ids() {
+        assert_eq!(a.clock(e), b.clock(e), "clock of {e}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn json_round_trip_random_computations(
+        procs in 1usize..5,
+        events in 1usize..12,
+        send in 0u8..80,
+        seed in 0u64..1000,
+    ) {
+        let comp = random_computation(RandomSpec {
+            processes: procs,
+            events_per_process: events,
+            send_percent: send,
+            value_range: 4,
+            seed,
+        });
+        let back = from_json(&to_json(&comp)).expect("round trip");
+        back.validate().expect("reimported trace passes the audit");
+        assert_equivalent(&comp, &back);
+    }
+
+    #[test]
+    fn text_round_trip_random_computations(
+        procs in 1usize..4,
+        events in 1usize..10,
+        send in 0u8..80,
+        seed in 0u64..1000,
+    ) {
+        let comp = random_computation(RandomSpec {
+            processes: procs,
+            events_per_process: events,
+            send_percent: send,
+            value_range: 4,
+            seed,
+        });
+        let back = from_text(&to_text(&comp)).expect("round trip");
+        back.validate().expect("reimported trace passes the audit");
+        assert_equivalent(&comp, &back);
+    }
+
+    #[test]
+    fn json_parser_never_panics(garbage in "\\PC*") {
+        let _ = from_json(&garbage);
+    }
+
+    #[test]
+    fn text_parser_never_panics(garbage in "\\PC*") {
+        let _ = from_text(&garbage);
+    }
+
+    #[test]
+    fn text_parser_never_panics_on_directive_shaped_input(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just("processes 2".to_string()),
+                Just("vars x".to_string()),
+                "(event|init) p[0-9] (internal|send m[0-9]|recv m[0-9])( x=[0-9])?",
+                "[a-z ]{0,20}",
+            ],
+            0..10,
+        )
+    ) {
+        let _ = from_text(&lines.join("\n"));
+    }
+}

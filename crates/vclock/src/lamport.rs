@@ -1,0 +1,73 @@
+//! Lamport scalar logical clocks.
+
+use serde::{Deserialize, Serialize};
+
+/// A Lamport scalar clock.
+///
+/// Guarantees only the forward implication: `e → f ⇒ L(e) < L(f)`. The
+/// simulator uses Lamport timestamps to produce a deterministic total order
+/// of its log records; detection algorithms use [`crate::VectorClock`]
+/// instead, which characterizes happened-before exactly.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LamportClock {
+    time: u64,
+}
+
+impl LamportClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        LamportClock { time: 0 }
+    }
+
+    /// Current value.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Advances for a local or send event; returns the new timestamp.
+    pub fn tick(&mut self) -> u64 {
+        self.time += 1;
+        self.time
+    }
+
+    /// Advances past a received timestamp (`max(local, received) + 1`);
+    /// returns the new timestamp.
+    pub fn receive(&mut self, received: u64) -> u64 {
+        self.time = self.time.max(received) + 1;
+        self.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_is_monotone() {
+        let mut c = LamportClock::new();
+        let a = c.tick();
+        let b = c.tick();
+        assert!(a < b);
+        assert_eq!(c.time(), 2);
+    }
+
+    #[test]
+    fn receive_jumps_past_message_timestamp() {
+        let mut c = LamportClock::new();
+        c.tick(); // 1
+        assert_eq!(c.receive(10), 11);
+        // A stale message still advances the clock by one.
+        assert_eq!(c.receive(3), 12);
+    }
+
+    #[test]
+    fn clocks_order_consistently_with_messages() {
+        let mut p = LamportClock::new();
+        let mut q = LamportClock::new();
+        let send = p.tick();
+        let recv = q.receive(send);
+        assert!(send < recv);
+    }
+}

@@ -1,0 +1,39 @@
+//! Logical clocks for the happened-before model.
+//!
+//! This crate provides the timestamping substrate used throughout `hbtl`:
+//!
+//! * [`VectorClock`] — Mattern/Fidge vector clocks. Comparing two vector
+//!   clocks decides Lamport's happened-before relation between the events
+//!   they stamp, which is the primitive every detection algorithm in the
+//!   paper relies on (`e → f` iff `V(e) < V(f)` componentwise).
+//! * [`LamportClock`] — classic scalar logical clocks, provided for
+//!   completeness and used by the simulator to order log records.
+//! * [`CausalOrd`] — the four-valued outcome of comparing two vector
+//!   clocks: before, after, equal, or concurrent.
+//!
+//! # Example
+//!
+//! ```
+//! use hb_vclock::{CausalOrd, VectorClock};
+//!
+//! // Two processes. P0 sends after its first event; P1 receives.
+//! let mut v0 = VectorClock::new(2);
+//! let mut v1 = VectorClock::new(2);
+//! v0.tick(0);                 // e  = first event on P0 (the send)
+//! v1.tick(1);                 // f0 = an earlier local event on P1
+//! let msg = v0.clone();
+//! v1.merge(&msg);             // f  = the receive on P1
+//! v1.tick(1);
+//! assert_eq!(v0.causal_cmp(&v1), CausalOrd::Before); // e → f
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lamport;
+mod ord;
+mod vector;
+
+pub use lamport::LamportClock;
+pub use ord::CausalOrd;
+pub use vector::VectorClock;

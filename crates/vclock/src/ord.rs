@@ -1,0 +1,90 @@
+//! The four-valued causal comparison result.
+
+use std::cmp::Ordering;
+
+/// Result of comparing two vector clocks under the happened-before order.
+///
+/// Unlike [`std::cmp::Ordering`], causal comparison is a *partial* order:
+/// two timestamps may be [`CausalOrd::Concurrent`], meaning neither event
+/// happened before the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CausalOrd {
+    /// `self` happened before `other` (strictly).
+    Before,
+    /// `other` happened before `self` (strictly).
+    After,
+    /// The two timestamps are identical.
+    Equal,
+    /// Neither happened before the other.
+    Concurrent,
+}
+
+impl CausalOrd {
+    /// Converts to a [`std::cmp::Ordering`] when the clocks are comparable.
+    ///
+    /// Returns `None` for [`CausalOrd::Concurrent`].
+    pub fn to_ordering(self) -> Option<Ordering> {
+        match self {
+            CausalOrd::Before => Some(Ordering::Less),
+            CausalOrd::After => Some(Ordering::Greater),
+            CausalOrd::Equal => Some(Ordering::Equal),
+            CausalOrd::Concurrent => None,
+        }
+    }
+
+    /// The comparison with the operand order flipped.
+    pub fn reverse(self) -> CausalOrd {
+        match self {
+            CausalOrd::Before => CausalOrd::After,
+            CausalOrd::After => CausalOrd::Before,
+            other => other,
+        }
+    }
+
+    /// True iff the relation is `Before` or `Equal`.
+    pub fn is_le(self) -> bool {
+        matches!(self, CausalOrd::Before | CausalOrd::Equal)
+    }
+
+    /// True iff the relation is `After` or `Equal`.
+    pub fn is_ge(self) -> bool {
+        matches!(self, CausalOrd::After | CausalOrd::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_ordering_maps_comparable_cases() {
+        assert_eq!(CausalOrd::Before.to_ordering(), Some(Ordering::Less));
+        assert_eq!(CausalOrd::After.to_ordering(), Some(Ordering::Greater));
+        assert_eq!(CausalOrd::Equal.to_ordering(), Some(Ordering::Equal));
+        assert_eq!(CausalOrd::Concurrent.to_ordering(), None);
+    }
+
+    #[test]
+    fn reverse_is_involutive() {
+        for o in [
+            CausalOrd::Before,
+            CausalOrd::After,
+            CausalOrd::Equal,
+            CausalOrd::Concurrent,
+        ] {
+            assert_eq!(o.reverse().reverse(), o);
+        }
+    }
+
+    #[test]
+    fn le_ge_predicates() {
+        assert!(CausalOrd::Before.is_le());
+        assert!(CausalOrd::Equal.is_le());
+        assert!(!CausalOrd::After.is_le());
+        assert!(!CausalOrd::Concurrent.is_le());
+        assert!(CausalOrd::After.is_ge());
+        assert!(CausalOrd::Equal.is_ge());
+        assert!(!CausalOrd::Before.is_ge());
+        assert!(!CausalOrd::Concurrent.is_ge());
+    }
+}

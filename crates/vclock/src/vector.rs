@@ -1,0 +1,219 @@
+//! Mattern/Fidge vector clocks.
+
+use crate::CausalOrd;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A vector clock over a fixed set of processes.
+///
+/// Component `i` counts the events of process `P_i` known to the carrier of
+/// the clock. For two events `e`, `f` with clocks `V(e)`, `V(f)` the
+/// classical theorem holds: `e → f` (Lamport's happened-before) iff
+/// `V(e) < V(f)` in the componentwise order.
+///
+/// The width (number of processes) is fixed at construction; operations on
+/// clocks of different widths panic, since mixing computations is always a
+/// logic error in this codebase.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    components: Vec<u32>,
+}
+
+impl VectorClock {
+    /// Creates the zero clock for `n` processes.
+    pub fn new(n: usize) -> Self {
+        VectorClock {
+            components: vec![0; n],
+        }
+    }
+
+    /// Builds a clock directly from its components.
+    pub fn from_components(components: Vec<u32>) -> Self {
+        VectorClock { components }
+    }
+
+    /// Number of processes this clock covers.
+    pub fn width(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The component for process `i`.
+    pub fn get(&self, i: usize) -> u32 {
+        self.components[i]
+    }
+
+    /// Sets the component for process `i`.
+    pub fn set(&mut self, i: usize, value: u32) {
+        self.components[i] = value;
+    }
+
+    /// Read-only view of the raw components.
+    pub fn components(&self) -> &[u32] {
+        &self.components
+    }
+
+    /// Advances process `i`'s own component by one (a local event).
+    pub fn tick(&mut self, i: usize) {
+        self.components[i] += 1;
+    }
+
+    /// Componentwise maximum with `other` (message receipt).
+    ///
+    /// # Panics
+    /// Panics if the widths differ.
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(
+            self.width(),
+            other.width(),
+            "cannot merge vector clocks of different widths"
+        );
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Returns the componentwise maximum of two clocks without mutating.
+    pub fn join(&self, other: &VectorClock) -> VectorClock {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Returns the componentwise minimum of two clocks.
+    pub fn meet(&self, other: &VectorClock) -> VectorClock {
+        assert_eq!(self.width(), other.width());
+        VectorClock {
+            components: self
+                .components
+                .iter()
+                .zip(&other.components)
+                .map(|(a, b)| *a.min(b))
+                .collect(),
+        }
+    }
+
+    /// Componentwise `≤` — the reflexive happened-before test.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        assert_eq!(self.width(), other.width());
+        self.components
+            .iter()
+            .zip(&other.components)
+            .all(|(a, b)| a <= b)
+    }
+
+    /// Strict happened-before: `self ≤ other` and `self ≠ other`.
+    pub fn lt(&self, other: &VectorClock) -> bool {
+        self.leq(other) && self.components != other.components
+    }
+
+    /// Full four-valued causal comparison.
+    pub fn causal_cmp(&self, other: &VectorClock) -> CausalOrd {
+        let le = self.leq(other);
+        let ge = other.leq(self);
+        match (le, ge) {
+            (true, true) => CausalOrd::Equal,
+            (true, false) => CausalOrd::Before,
+            (false, true) => CausalOrd::After,
+            (false, false) => CausalOrd::Concurrent,
+        }
+    }
+
+    /// True iff neither clock happened before the other.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        self.causal_cmp(other) == CausalOrd::Concurrent
+    }
+
+    /// Sum of all components — the "rank" of the causal history.
+    pub fn total(&self) -> u64 {
+        self.components.iter().map(|&c| c as u64).sum()
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(cs: &[u32]) -> VectorClock {
+        VectorClock::from_components(cs.to_vec())
+    }
+
+    #[test]
+    fn zero_clock_is_all_zero() {
+        let v = VectorClock::new(3);
+        assert_eq!(v.components(), &[0, 0, 0]);
+        assert_eq!(v.total(), 0);
+        assert_eq!(v.width(), 3);
+    }
+
+    #[test]
+    fn tick_advances_only_own_component() {
+        let mut v = VectorClock::new(3);
+        v.tick(1);
+        v.tick(1);
+        v.tick(2);
+        assert_eq!(v.components(), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max() {
+        let mut a = vc(&[3, 0, 5]);
+        a.merge(&vc(&[1, 4, 2]));
+        assert_eq!(a.components(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn join_meet_are_lattice_ops() {
+        let a = vc(&[3, 0, 5]);
+        let b = vc(&[1, 4, 2]);
+        assert_eq!(a.join(&b).components(), &[3, 4, 5]);
+        assert_eq!(a.meet(&b).components(), &[1, 0, 2]);
+        // absorption
+        assert_eq!(a.join(&a.meet(&b)), a);
+        assert_eq!(a.meet(&a.join(&b)), a);
+    }
+
+    #[test]
+    fn causal_cmp_all_four_cases() {
+        assert_eq!(vc(&[1, 2]).causal_cmp(&vc(&[1, 2])), CausalOrd::Equal);
+        assert_eq!(vc(&[1, 2]).causal_cmp(&vc(&[1, 3])), CausalOrd::Before);
+        assert_eq!(vc(&[1, 3]).causal_cmp(&vc(&[1, 2])), CausalOrd::After);
+        assert_eq!(vc(&[1, 2]).causal_cmp(&vc(&[2, 1])), CausalOrd::Concurrent);
+    }
+
+    #[test]
+    fn message_passing_establishes_happened_before() {
+        let mut sender = VectorClock::new(2);
+        let mut receiver = VectorClock::new(2);
+        sender.tick(0); // send event e
+        let stamp = sender.clone();
+        receiver.merge(&stamp);
+        receiver.tick(1); // receive event f
+        assert!(stamp.lt(&receiver));
+        assert_eq!(stamp.causal_cmp(&receiver), CausalOrd::Before);
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn merge_width_mismatch_panics() {
+        let mut a = VectorClock::new(2);
+        a.merge(&VectorClock::new(3));
+    }
+
+    #[test]
+    fn display_renders_angle_brackets() {
+        assert_eq!(vc(&[1, 0, 7]).to_string(), "⟨1,0,7⟩");
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for vector-clock lattice laws and causal comparison.
+
+use hb_vclock::{CausalOrd, VectorClock};
+use proptest::prelude::*;
+
+fn clock(width: usize) -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u32..16, width).prop_map(VectorClock::from_components)
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative_associative_idempotent(a in clock(4), b in clock(4), c in clock(4)) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        prop_assert_eq!(a.join(&a), a);
+    }
+
+    #[test]
+    fn meet_is_commutative_associative_idempotent(a in clock(4), b in clock(4), c in clock(4)) {
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+        prop_assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
+        prop_assert_eq!(a.meet(&a), a);
+    }
+
+    #[test]
+    fn absorption_laws(a in clock(4), b in clock(4)) {
+        prop_assert_eq!(a.join(&a.meet(&b)), a.clone());
+        prop_assert_eq!(a.meet(&a.join(&b)), a);
+    }
+
+    #[test]
+    fn distributivity(a in clock(3), b in clock(3), c in clock(3)) {
+        prop_assert_eq!(a.meet(&b.join(&c)), a.meet(&b).join(&a.meet(&c)));
+        prop_assert_eq!(a.join(&b.meet(&c)), a.join(&b).meet(&a.join(&c)));
+    }
+
+    #[test]
+    fn causal_cmp_antisymmetric(a in clock(5), b in clock(5)) {
+        let ab = a.causal_cmp(&b);
+        let ba = b.causal_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        match ab {
+            CausalOrd::Equal => prop_assert_eq!(&a, &b),
+            CausalOrd::Before => prop_assert!(a.lt(&b)),
+            CausalOrd::After => prop_assert!(b.lt(&a)),
+            CausalOrd::Concurrent => {
+                prop_assert!(!a.leq(&b));
+                prop_assert!(!b.leq(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn leq_is_a_partial_order(a in clock(4), b in clock(4), c in clock(4)) {
+        prop_assert!(a.leq(&a));
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(a in clock(4), b in clock(4), c in clock(4)) {
+        let j = a.join(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+        if a.leq(&c) && b.leq(&c) {
+            prop_assert!(j.leq(&c));
+        }
+    }
+
+    #[test]
+    fn merge_equals_join(a in clock(4), b in clock(4)) {
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert_eq!(m, a.join(&b));
+    }
+}

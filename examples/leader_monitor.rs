@@ -1,0 +1,73 @@
+//! Monitoring leader election — the paper's second motivation: "a system
+//! that performs leader election may be monitored to ensure that
+//! processes agree on the current leader."
+//!
+//! Runs Chang–Roberts on a ring, then checks:
+//!
+//! * `AF(agreement)` — agreement on the max id is *inevitable* (holds on
+//!   every observation of the trace), via `AF(conjunctive)`;
+//! * no process ever believes a non-winner, via `EF` per (process, id);
+//! * the `E[no-leader U agreement]` until-spec, via Algorithm A3.
+//!
+//! ```text
+//! cargo run --example leader_monitor
+//! ```
+
+use hbtl::detect::{af_conjunctive, ef_linear, eu_conjunctive_linear};
+use hbtl::prelude::*;
+use hbtl::sim::protocols::leader_election;
+
+fn main() {
+    let n = 5;
+    let t = leader_election(n, 7);
+    println!(
+        "ring of {n} processes, ids {:?}, expected winner {}",
+        t.ids, t.winner
+    );
+    println!(
+        "trace: {} events, {} messages",
+        t.comp.num_events(),
+        t.comp.messages().len()
+    );
+
+    // Agreement: every process's `leader` variable equals the winner.
+    let agreement = Conjunctive::new(
+        (0..n)
+            .map(|i| (i, LocalExpr::eq(t.leader_var, t.winner)))
+            .collect(),
+    );
+    let af = af_conjunctive(&t.comp, &agreement);
+    println!("\nAF(all agree on leader {}) = {}", t.winner, af.holds);
+
+    let ef = ef_linear(&t.comp, &agreement);
+    if let Some(cut) = &ef.witness {
+        println!("earliest global state with full agreement: {cut}");
+    }
+
+    // Negative check: nobody ever adopts a losing id.
+    let mut clean = true;
+    for i in 0..n {
+        for &id in t.ids.iter().filter(|&&id| id != t.winner) {
+            let wrong = Conjunctive::new(vec![(i, LocalExpr::eq(t.leader_var, id))]);
+            if ef_linear(&t.comp, &wrong).holds {
+                println!("BUG: P{i} believed loser {id}");
+                clean = false;
+            }
+        }
+    }
+    println!("no process ever adopts a losing id: {clean}");
+
+    // Until-spec via Algorithm A3: the announcement circulates the ring
+    // from the winner, so the winner's ring-predecessor learns last —
+    // some observation keeps it leaderless right up to full agreement.
+    let winner_proc = t.ids.iter().position(|&id| id == t.winner).expect("winner");
+    let last_learner = (winner_proc + n - 1) % n;
+    let still_unaware =
+        Conjunctive::new(vec![(last_learner, LocalExpr::ne(t.leader_var, t.winner))]);
+    let eu = eu_conjunctive_linear(&t.comp, &still_unaware, &agreement);
+    println!(
+        "E[ P{last_learner} unaware U agreement ] = {} (witness path of {} cuts)",
+        eu.holds,
+        eu.witness.map_or(0, |w| w.len())
+    );
+}

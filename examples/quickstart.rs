@@ -1,0 +1,49 @@
+//! Quickstart: record a tiny distributed computation, then ask CTL
+//! questions about it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hbtl::prelude::*;
+
+fn main() {
+    // A two-process trace, built by hand. P0 increments x and sends a
+    // message; P1 receives it and copies the value.
+    let mut b = ComputationBuilder::new(2);
+    let x = b.var("x");
+    b.internal(0).set(x, 1).done();
+    let m = b.send(0).set(x, 2).done_send();
+    b.internal(1).set(x, 7).done();
+    b.receive(1, m).set(x, 2).done();
+    let comp = b.finish().expect("trace is well-formed");
+
+    println!(
+        "computation: {} processes, {} events, {} message(s)",
+        comp.num_processes(),
+        comp.num_events(),
+        comp.messages().len()
+    );
+
+    // Ask questions in the CTL formula language. `x@1` is variable x on
+    // process P1.
+    for spec in [
+        "EF(x@0 = 2 & x@1 = 7)",  // possibly: both at those values at once
+        "AF(x@1 = 2)",            // definitely: P1 ends up with 2
+        "AG(x@0 >= 0)",           // invariant
+        "EG(x@1 != 2)",           // controllable: some run keeps x@1 ≠ 2?
+        "E[ x@1 = 0 U x@0 = 1 ]", // until
+    ] {
+        let f = parse(spec).expect("formula parses");
+        let r = evaluate(&comp, &f).expect("flat fragment");
+        println!("{spec:<28} = {:<5}  [engine: {}]", r.verdict, r.engine);
+    }
+
+    // The same answers are available programmatically, with witnesses:
+    let both = Conjunctive::new(vec![(0, LocalExpr::eq(x, 2)), (1, LocalExpr::eq(x, 7))]);
+    let r = ef_linear(&comp, &both);
+    println!(
+        "\nEF witness: the least cut where both hold is {}",
+        r.witness.expect("holds")
+    );
+}

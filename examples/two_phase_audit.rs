@@ -1,0 +1,111 @@
+//! Auditing two-phase commit — the paper's fault-tolerance motivation:
+//! detect a safety violation so the system can abort and recover.
+//!
+//! Two runs are audited:
+//!
+//! 1. the **correct protocol**: agreement (`no commit next to an abort`)
+//!    is invariant, verified without building the lattice;
+//! 2. a **buggy optimistic participant** that unilaterally commits after
+//!    voting yes, without waiting for the coordinator's decision. When
+//!    another participant votes no, the global state briefly contains a
+//!    committed process next to an aborting one — a violation *no single
+//!    process ever observes locally*, found by `EF` with its witness cut.
+//!
+//! ```text
+//! cargo run --example two_phase_audit
+//! ```
+
+use hbtl::computation::{Computation, ComputationBuilder};
+use hbtl::detect::{af_conjunctive, ef_linear};
+use hbtl::predicates::{Conjunctive, LocalExpr};
+use hbtl::sim::protocols::{two_phase_commit, ABORT, COMMIT, UNDECIDED};
+
+fn main() {
+    // --- The correct protocol ---------------------------------------
+    let t = two_phase_commit(4, &[true, true, false, true], 7);
+    println!(
+        "correct 2PC: votes {:?} → expected outcome {}",
+        &t.votes[1..],
+        if t.expected == COMMIT {
+            "COMMIT"
+        } else {
+            "ABORT"
+        }
+    );
+    let mut agreement = true;
+    for i in 0..4 {
+        for j in 0..4 {
+            if i == j {
+                continue;
+            }
+            let split = Conjunctive::new(vec![
+                (i, LocalExpr::eq(t.decision_var, COMMIT)),
+                (j, LocalExpr::eq(t.decision_var, ABORT)),
+            ]);
+            if ef_linear(&t.comp, &split).holds {
+                agreement = false;
+            }
+        }
+    }
+    println!(
+        "  agreement invariant: {}",
+        if agreement { "OK" } else { "VIOLATED" }
+    );
+    let all_decided = Conjunctive::new(
+        (0..4)
+            .map(|i| (i, LocalExpr::ne(t.decision_var, UNDECIDED)))
+            .collect(),
+    );
+    println!(
+        "  termination inevitable (AF): {}",
+        af_conjunctive(&t.comp, &all_decided).holds
+    );
+
+    // --- The buggy variant -------------------------------------------
+    let (comp, decision) = buggy_two_phase();
+    println!("\nbuggy 2PC (optimistic participant commits early):");
+    let split = Conjunctive::new(vec![
+        (1, LocalExpr::eq(decision, COMMIT)),
+        (2, LocalExpr::eq(decision, ABORT)),
+    ]);
+    match ef_linear(&comp, &split).witness {
+        Some(cut) => {
+            println!("  VIOLATION: P1 committed while P2 aborted, at cut {cut}");
+            println!(
+                "  frontier events: {:?}",
+                comp.frontier(&cut)
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+            );
+        }
+        None => println!("  no violation (unexpected!)"),
+    }
+}
+
+/// Coordinator P0; P1 votes yes and *optimistically* commits at once;
+/// P2 votes no. The coordinator aborts. P1 later corrects itself — but
+/// the damage is a reachable split-decision global state.
+fn buggy_two_phase() -> (Computation, hbtl::computation::VarId) {
+    let mut b = ComputationBuilder::new(3);
+    let decision = b.var("decision");
+    // PREPARE messages.
+    let prep1 = b.send(0).done_send();
+    let prep2 = b.send(0).done_send();
+    // P1: vote yes and commit optimistically (the bug).
+    b.receive(1, prep1).done();
+    let yes = b.send(1).set(decision, COMMIT).done_send();
+    // P2: vote no and abort locally (allowed: a no-voter may abort).
+    b.receive(2, prep2).done();
+    let no = b.send(2).set(decision, ABORT).done_send();
+    // Coordinator collects votes and aborts.
+    b.receive(0, yes).done();
+    b.receive(0, no).set(decision, ABORT).done();
+    let a1 = b.send(0).done_send();
+    let a2 = b.send(0).done_send();
+    // P1 learns the truth and flips to abort; P2 confirms.
+    b.receive(1, a1).set(decision, ABORT).done();
+    b.receive(2, a2).done();
+    let comp = b.finish().expect("well-formed");
+    (comp, decision)
+}

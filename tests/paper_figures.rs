@@ -1,0 +1,144 @@
+//! Golden facts from the paper's figures, as integration tests.
+
+use hbtl::computation::{ComputationBuilder, Cut};
+use hbtl::detect::{eu_conjunctive_linear, ModelChecker};
+use hbtl::lattice::{
+    join_irreducibles_direct, meet_irreducibles_direct, verify_birkhoff, CutLattice,
+};
+use hbtl::predicates::{AndLinear, ChannelsEmpty, Conjunctive, LocalExpr};
+use hbtl::reduction::{random_3cnf, sat_to_eg_gadget, tautology_to_ag_gadget};
+
+fn fig2() -> hbtl::computation::Computation {
+    let mut b = ComputationBuilder::new(2);
+    b.internal(0).label("e1").done();
+    let m = b.send(0).label("e2").done_send();
+    b.internal(0).label("e3").done();
+    b.internal(1).label("f1").done();
+    b.receive(1, m).label("f2").done();
+    b.internal(1).label("f3").done();
+    b.finish().unwrap()
+}
+
+/// Fig. 2(b): the lattice has 12 consistent cuts, |E| = 6 of them
+/// meet-irreducible, and Birkhoff's theorem holds.
+#[test]
+fn fig2_lattice_golden_facts() {
+    let comp = fig2();
+    let lat = CutLattice::build(&comp);
+    assert_eq!(lat.len(), 12);
+    assert_eq!(lat.meet_irreducible_nodes().len(), 6);
+    assert_eq!(lat.join_irreducible_nodes().len(), 6);
+    assert_eq!(lat.meet_irreducible_cuts(), meet_irreducibles_direct(&comp));
+    assert_eq!(lat.join_irreducible_cuts(), join_irreducibles_direct(&comp));
+    assert!(lat.is_distributive_lattice());
+    assert!(verify_birkhoff(&lat));
+}
+
+/// The message e2 → f2 excludes exactly the cuts containing f2 without
+/// e2 (four counter vectors of the 4×4 grid).
+#[test]
+fn fig2_excluded_cuts() {
+    let comp = fig2();
+    let lat = CutLattice::build(&comp);
+    for a in 0..=3u32 {
+        for b in 0..=3u32 {
+            let g = Cut::from_counters(vec![a, b]);
+            let expected = !(b >= 2 && a < 2);
+            assert_eq!(lat.index_of(&g).is_some(), expected, "{g}");
+            assert_eq!(comp.is_consistent(&g), expected, "{g}");
+        }
+    }
+}
+
+fn fig4() -> (
+    hbtl::computation::Computation,
+    Conjunctive,
+    AndLinear<Conjunctive, ChannelsEmpty>,
+) {
+    let mut b = ComputationBuilder::new(3);
+    let x = b.var("x");
+    let z = b.var("z");
+    b.init(2, z, 3);
+    let m1 = b.send(1).label("f1").done_send();
+    let m2 = b.send(1).label("f2").done_send();
+    b.receive(0, m2).set(x, 2).label("e1").done();
+    b.internal(0).set(x, 4).label("e2").done();
+    b.receive(2, m1).set(z, 5).label("g1").done();
+    b.internal(2).set(z, 6).label("g2").done();
+    let comp = b.finish().unwrap();
+    let p = Conjunctive::new(vec![(2, LocalExpr::lt(z, 6)), (0, LocalExpr::lt(x, 4))]);
+    let q = AndLinear(
+        Conjunctive::new(vec![(0, LocalExpr::gt(x, 1))]),
+        ChannelsEmpty,
+    );
+    (comp, p, q)
+}
+
+/// Fig. 4: `E[p U q]` holds, `I_q = {e1, f1, f2, g1}`, the witness path
+/// has `|I_q| + 1` cuts, and the baseline agrees.
+#[test]
+fn fig4_until_golden_facts() {
+    let (comp, p, q) = fig4();
+    let r = eu_conjunctive_linear(&comp, &p, &q);
+    assert!(r.holds);
+    let i_q = r.i_q.unwrap();
+    assert_eq!(i_q, Cut::from_counters(vec![1, 2, 1]));
+    let w = r.witness.unwrap();
+    assert_eq!(w.len(), i_q.rank() as usize + 1);
+    hbtl::detect::witness::verify_eu_witness(&comp, &p, &q, &w).unwrap();
+
+    let mc = ModelChecker::new(&comp);
+    assert!(mc.eu(&p, &q));
+    // The until-formula is *not* trivially true: swapping p for "x ≥ 4"
+    // kills it.
+    let bad_p = Conjunctive::new(vec![(
+        0,
+        LocalExpr::ge(comp.vars().lookup("x").unwrap(), 4),
+    )]);
+    assert!(!eu_conjunctive_linear(&comp, &bad_p, &q).holds);
+    assert!(!mc.eu(&bad_p, &q));
+}
+
+/// Fig. 3: the gadget lattices have exactly `3·2^m` (EG) and `2·2^m`
+/// (AG) cuts, and detection tracks SAT/TAUT on seeded formulas.
+#[test]
+fn fig3_gadget_golden_facts() {
+    for m in [3usize, 5] {
+        let cnf = random_3cnf(m, 2 * m, 42 + m as u64);
+        let expr = cnf.to_expr();
+
+        let (comp_eg, pred_eg) = sat_to_eg_gadget(&expr, m);
+        let mc = ModelChecker::new(&comp_eg);
+        assert_eq!(mc.num_states(), 3 << m);
+        assert_eq!(mc.eg(&pred_eg), expr.brute_force_sat(m).is_some(), "m={m}");
+
+        let (comp_ag, pred_ag) = tautology_to_ag_gadget(&expr, m);
+        let mc = ModelChecker::new(&comp_ag);
+        assert_eq!(mc.num_states(), 2 << m);
+        assert_eq!(mc.ag(&pred_ag), expr.is_tautology(m), "m={m}");
+    }
+}
+
+/// The paper's Table-1 "this paper" cells exercised on Fig. 2 itself:
+/// `EG` and `AG` of a linear predicate over the figure's computation.
+#[test]
+fn a1_a2_on_fig2() {
+    let comp = fig2();
+    let mc = ModelChecker::new(&comp);
+    // "P1 has not overtaken P0 by more than one event" — arbitrary shape,
+    // baseline only.
+    // A conjunctive predicate on the figure: trivially true clauses.
+    let p = Conjunctive::top();
+    assert!(hbtl::detect::eg_conjunctive(&comp, &p).holds);
+    assert!(hbtl::detect::ag_linear(&comp, &p).holds);
+    assert!(mc.eg(&p) && mc.ag(&p));
+    // Channels-empty is regular on the figure; EG fails (the message is
+    // in flight somewhere on every path) — wait: deliver immediately:
+    // e1 e2 f2 … keeps only one cut with transit? The cut right after e2
+    // has m in flight, so EG(channels-empty) is false.
+    assert!(!hbtl::detect::eg_linear(&comp, &ChannelsEmpty).holds);
+    assert!(!mc.eg(&ChannelsEmpty));
+    // But AG fails too, and EF of "channels empty" holds (initial cut).
+    assert!(!hbtl::detect::ag_linear(&comp, &ChannelsEmpty).holds);
+    assert!(hbtl::detect::ef_linear(&comp, &ChannelsEmpty).holds);
+}

@@ -1,0 +1,158 @@
+//! The Table 1 matrix as an executable test: for every predicate class ×
+//! operator cell with a polynomial algorithm, the structural detector
+//! must agree with the explicit-lattice baseline on protocol traces and
+//! random traces.
+
+use hbtl::detect::stable::{af_stable, ag_stable, ef_stable, eg_stable};
+use hbtl::detect::{
+    af_conjunctive, af_disjunctive, ag_disjunctive, ag_linear, au_disjunctive, ef_disjunctive,
+    ef_linear, ef_observer_independent, eg_conjunctive, eg_disjunctive, eg_linear,
+    eu_conjunctive_linear, ModelChecker,
+};
+use hbtl::predicates::{
+    AndLinear, ChannelsEmpty, Conjunctive, Disjunctive, FnPredicate, LocalExpr, Stable,
+};
+use hbtl::prelude::*;
+use hbtl::sim::{random_computation, RandomSpec};
+
+fn traces() -> Vec<Computation> {
+    let mut out = Vec::new();
+    for seed in [3u64, 9, 27] {
+        out.push(random_computation(RandomSpec {
+            processes: 3,
+            events_per_process: 5,
+            send_percent: 35,
+            value_range: 3,
+            seed,
+        }));
+    }
+    out.push(hbtl::sim::protocols::token_ring_mutex(3, 1, 4).comp);
+    out.push(hbtl::sim::protocols::ra_mutex(3, 2).comp);
+    out.push(hbtl::sim::protocols::two_phase_commit(3, &[true, true, false], 2).comp);
+    out
+}
+
+fn first_var(comp: &Computation) -> hbtl::computation::VarId {
+    comp.vars().iter().next().expect("workload variable").0
+}
+
+fn x_conj(comp: &Computation, lit: i64) -> Conjunctive {
+    let x = first_var(comp);
+    Conjunctive::new(
+        (0..comp.num_processes())
+            .map(|i| (i, LocalExpr::le(x, lit)))
+            .collect(),
+    )
+}
+
+fn x_disj(comp: &Computation, lit: i64) -> Disjunctive {
+    let x = first_var(comp);
+    Disjunctive::new(
+        (0..comp.num_processes())
+            .map(|i| (i, LocalExpr::eq(x, lit)))
+            .collect(),
+    )
+}
+
+#[test]
+fn conjunctive_row() {
+    for comp in traces() {
+        let mc = ModelChecker::new(&comp);
+        for lit in 0..3 {
+            let p = x_conj(&comp, lit);
+            assert_eq!(ef_linear(&comp, &p).holds, mc.ef(&p), "EF lit={lit}");
+            assert_eq!(af_conjunctive(&comp, &p).holds, mc.af(&p), "AF lit={lit}");
+            assert_eq!(eg_conjunctive(&comp, &p).holds, mc.eg(&p), "EG lit={lit}");
+            assert_eq!(ag_linear(&comp, &p).holds, mc.ag(&p), "AG lit={lit}");
+        }
+    }
+}
+
+#[test]
+fn disjunctive_row() {
+    for comp in traces() {
+        let mc = ModelChecker::new(&comp);
+        for lit in 0..3 {
+            let p = x_disj(&comp, lit);
+            assert_eq!(ef_disjunctive(&comp, &p).holds, mc.ef(&p), "EF lit={lit}");
+            assert_eq!(af_disjunctive(&comp, &p).holds, mc.af(&p), "AF lit={lit}");
+            assert_eq!(eg_disjunctive(&comp, &p).holds, mc.eg(&p), "EG lit={lit}");
+            assert_eq!(ag_disjunctive(&comp, &p).holds, mc.ag(&p), "AG lit={lit}");
+        }
+    }
+}
+
+#[test]
+fn stable_row() {
+    for comp in traces() {
+        let mc = ModelChecker::new(&comp);
+        // "P0 has executed ≥ k events" is stable for every k.
+        for k in 0..=comp.num_events_of(0) as u32 {
+            let p = Stable(FnPredicate::new(
+                "progress",
+                move |_: &Computation, g: &Cut| g.get(0) >= k,
+            ));
+            assert_eq!(ef_stable(&comp, &p), mc.ef(&p), "EF k={k}");
+            assert_eq!(af_stable(&comp, &p), mc.af(&p), "AF k={k}");
+            assert_eq!(eg_stable(&comp, &p), mc.eg(&p), "EG k={k}");
+            assert_eq!(ag_stable(&comp, &p), mc.ag(&p), "AG k={k}");
+        }
+    }
+}
+
+#[test]
+fn linear_row_with_channel_predicates() {
+    for comp in traces() {
+        let mc = ModelChecker::new(&comp);
+        let p = AndLinear(x_conj(&comp, 2), ChannelsEmpty);
+        assert_eq!(ef_linear(&comp, &p).holds, mc.ef(&p), "EF");
+        assert_eq!(eg_linear(&comp, &p).holds, mc.eg(&p), "EG");
+        assert_eq!(ag_linear(&comp, &p).holds, mc.ag(&p), "AG");
+    }
+}
+
+#[test]
+fn observer_independent_row() {
+    // EF/AF by observation sampling for the two OI subclasses we can
+    // construct: disjunctive and stable.
+    for comp in traces() {
+        let mc = ModelChecker::new(&comp);
+        for lit in 0..3 {
+            let p = x_disj(&comp, lit);
+            let r = ef_observer_independent(&comp, &p);
+            assert_eq!(r.holds, mc.ef(&p));
+            assert_eq!(r.holds, mc.af(&p), "OI: EF ⟺ AF must hold");
+        }
+    }
+}
+
+#[test]
+fn until_row() {
+    for comp in traces() {
+        let mc = ModelChecker::new(&comp);
+        for (pl, ql) in [(0i64, 1i64), (1, 2), (2, 0)] {
+            let p = x_conj(&comp, pl);
+            let q = x_conj(&comp, ql);
+            assert_eq!(
+                eu_conjunctive_linear(&comp, &p, &q).holds,
+                mc.eu(&p, &q),
+                "EU {pl}/{ql}"
+            );
+            let pd = x_disj(&comp, pl);
+            let qd = x_disj(&comp, ql);
+            assert_eq!(
+                au_disjunctive(&comp, &pd, &qd).holds,
+                mc.au(&pd, &qd),
+                "AU {pl}/{ql}"
+            );
+        }
+        // EU with a linear (channel) target.
+        let p = x_conj(&comp, 2);
+        let q = AndLinear(x_conj(&comp, 1), ChannelsEmpty);
+        assert_eq!(
+            eu_conjunctive_linear(&comp, &p, &q).holds,
+            mc.eu(&p, &q),
+            "EU channels"
+        );
+    }
+}
