@@ -1,0 +1,106 @@
+//! Monitor ingestion throughput: events/second through the full
+//! hb-monitor session stack — wire-shaped predicate, causal-delivery
+//! buffer, local-state reconstruction, and the on-line conjunctive
+//! detector — at 2, 8, and 32 processes.
+//!
+//! Two arrival regimes per size: `ordered` (a random linearization, the
+//! buffer passes everything straight through) and `shuffled` (bounded
+//! transport reordering with an 8-event window, so the buffer holds and
+//! cascades). The gap between the two is the price of causal repair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hb_bench::workloads::random;
+use hb_computation::{Computation, EventId};
+use hb_monitor::{Session, SessionLimits};
+use hb_sim::{causal_shuffle, random_linearization};
+use hb_tracefmt::wire::{WireClause, WireMode, WirePredicate};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+/// A conjunctive predicate chosen to stay pending (value never taken),
+/// so the detectors stay active over the whole stream.
+fn predicate(n: usize) -> WirePredicate {
+    WirePredicate {
+        id: "bench".into(),
+        mode: WireMode::Conjunctive,
+        clauses: (0..n)
+            .map(|p| WireClause {
+                process: p,
+                var: "x".into(),
+                op: "=".into(),
+                value: -1,
+            })
+            .collect(),
+    }
+}
+
+/// Pre-resolved replay input: (process, clock components, state map).
+type Feed = Vec<(usize, Vec<u32>, BTreeMap<String, i64>)>;
+
+fn feed(comp: &Computation, order: &[EventId]) -> Feed {
+    order
+        .iter()
+        .map(|&e| {
+            let state = comp.local_state(e.process, e.index as u32 + 1);
+            let set = comp
+                .vars()
+                .iter()
+                .map(|(id, name)| (name.to_string(), state.get(id)))
+                .collect();
+            (e.process, comp.clock(e).components().to_vec(), set)
+        })
+        .collect()
+}
+
+fn replay(n: usize, vars: &[String], pred: &WirePredicate, events: &Feed) -> u64 {
+    let mut session = Session::open(
+        "bench",
+        n,
+        vars,
+        &[],
+        std::slice::from_ref(pred),
+        SessionLimits {
+            buffer_capacity: 1 << 16,
+            ..SessionLimits::default()
+        },
+    )
+    .expect("open");
+    for (p, clock, set) in events {
+        session
+            .event(
+                *p,
+                hb_vclock::VectorClock::from_components(clock.clone()),
+                set,
+            )
+            .expect("event accepted");
+    }
+    session.delivered()
+}
+
+fn bench_monitor_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monitor/throughput");
+    for n in [2usize, 8, 32] {
+        // ~4096 events regardless of the process count.
+        let comp = random(n, 4096 / n);
+        let total = comp.num_events() as u64;
+        let vars: Vec<String> = comp.vars().iter().map(|(_, s)| s.to_string()).collect();
+        let pred = predicate(n);
+        let ordered = feed(&comp, &random_linearization(&comp, 1));
+        let shuffled = feed(&comp, &causal_shuffle(&comp, 1, 8));
+        g.throughput(Throughput::Elements(total));
+        g.bench_with_input(BenchmarkId::new("ordered", n), &n, |b, _| {
+            b.iter(|| black_box(replay(n, &vars, &pred, &ordered)))
+        });
+        g.bench_with_input(BenchmarkId::new("shuffled", n), &n, |b, _| {
+            b.iter(|| black_box(replay(n, &vars, &pred, &shuffled)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_monitor_throughput
+}
+criterion_main!(benches);

@@ -21,6 +21,11 @@
 //! hbtl convert <in> <out>            convert between .json and .txt
 //! hbtl simulate <proto> <out.json>   generate a demo trace
 //!                                    (proto: mutex|leader|termination|pipeline)
+//! hbtl monitor serve <addr>          run the online-detection service
+//! hbtl monitor send <addr> <trace>   replay a trace into a session
+//!                                    (causality-respecting shuffle)
+//! hbtl monitor stats <addr>          query service counters
+//! hbtl monitor shutdown <addr>       stop a running service
 //! ```
 //!
 //! Trace files ending in `.json` use the JSON interchange format; any
@@ -33,6 +38,7 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 mod commands;
+mod monitor_cmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,7 +57,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  hbtl check <trace> \"<formula>\"\n  hbtl info <trace>\n  hbtl dot <trace>\n  hbtl lattice <trace> [limit]\n  hbtl convert <in> <out>\n  hbtl simulate <mutex|leader|termination|pipeline> <out.json>"
+    "usage:\n  hbtl check <trace> \"<formula>\"\n  hbtl info <trace>\n  hbtl dot <trace>\n  hbtl lattice <trace> [limit]\n  hbtl convert <in> <out>\n  hbtl simulate <mutex|leader|termination|pipeline> <out.json>\n  hbtl monitor serve <addr> [--shards N] [--capacity N] [--stats-every SECS]\n  hbtl monitor send <addr> <trace> --session NAME (--conj|--disj \"p:var=v,...\")... [--seed S] [--window W]\n  hbtl monitor stats <addr>\n  hbtl monitor shutdown <addr>"
 }
 
 /// Dispatches a command line; returns the text to print.
@@ -175,6 +181,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 comp.num_events()
             ))
         }
+        Some("monitor") => monitor_cmd::run(&args[1..]),
         _ => Err("missing or unknown command".into()),
     }
 }

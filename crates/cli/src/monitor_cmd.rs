@@ -1,0 +1,325 @@
+//! The `hbtl monitor` subcommand family: the online-detection service.
+//!
+//! ```text
+//! hbtl monitor serve <addr> [--shards N] [--capacity N] [--stats-every SECS]
+//! hbtl monitor send <addr> <trace> --session NAME
+//!                   (--conj SPEC | --disj SPEC)... [--seed S] [--window W]
+//! hbtl monitor stats <addr>
+//! ```
+//!
+//! `send` replays a recorded trace as a live computation would emit it:
+//! a seeded causality-respecting shuffle of the events (bounded
+//! transport reordering on top of a random linearization) streamed over
+//! the wire protocol, with per-process finish markers and a final close.
+//!
+//! A predicate SPEC is comma-separated `process:var op value` clauses,
+//! e.g. `--conj "0:x=2,1:x=1"`. Operators: `= != < <= > >=`.
+
+use hb_computation::{Computation, EventId};
+use hb_monitor::{serve, MonitorConfig, MonitorService, SessionLimits};
+use hb_sim::causal_shuffle;
+use hb_tracefmt::wire::{
+    read_frame, write_frame, ClientMsg, ServerMsg, WireClause, WireMode, WirePredicate, WireVerdict,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Dispatches `hbtl monitor <verb> …`.
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("send") => send_cmd(&args[1..]),
+        Some("stats") => stats_cmd(&args[1..]),
+        Some("shutdown") => {
+            let [addr] = &args[1..] else {
+                return Err("shutdown needs <addr>".into());
+            };
+            shutdown_server(addr)?;
+            Ok("server shut down\n".into())
+        }
+        _ => Err("monitor needs serve|send|stats|shutdown".into()),
+    }
+}
+
+/// Pulls `--flag value` out of an argument list, leaving positionals.
+fn take_flag(rest: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match rest.iter().position(|a| a == flag) {
+        Some(i) if i + 1 < rest.len() => {
+            rest.remove(i);
+            Ok(Some(rest.remove(i)))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+        None => Ok(None),
+    }
+}
+
+fn serve_cmd(args: &[String]) -> Result<String, String> {
+    let mut rest = args.to_vec();
+    let shards = take_flag(&mut rest, "--shards")?
+        .map(|s| s.parse::<usize>().map_err(|_| "bad --shards".to_string()))
+        .transpose()?
+        .unwrap_or(4);
+    let capacity = take_flag(&mut rest, "--capacity")?
+        .map(|s| s.parse::<usize>().map_err(|_| "bad --capacity".to_string()))
+        .transpose()?
+        .unwrap_or(SessionLimits::default().buffer_capacity);
+    let stats_every = take_flag(&mut rest, "--stats-every")?
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| "bad --stats-every".to_string())
+        })
+        .transpose()?;
+    let [addr] = rest.as_slice() else {
+        return Err("serve needs <addr> (e.g. 127.0.0.1:7474)".into());
+    };
+    let listener = TcpListener::bind(addr.as_str()).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    let service = MonitorService::start(MonitorConfig {
+        shards,
+        limits: SessionLimits {
+            buffer_capacity: capacity,
+            ..SessionLimits::default()
+        },
+        stats_interval: stats_every.map(Duration::from_secs),
+    });
+    eprintln!("hb-monitor: listening on {local} ({shards} shards)");
+    serve(listener, service.handle()).map_err(|e| format!("serve: {e}"))?;
+    let stats = service.shutdown();
+    Ok(format!("hb-monitor: shut down\nfinal: {stats}\n"))
+}
+
+/// Parses `process:var op value` (e.g. `0:x>=2`).
+fn parse_clause(src: &str) -> Result<WireClause, String> {
+    let bad = || format!("bad clause '{src}' (want process:var<op>value)");
+    let (proc_part, rest) = src.split_once(':').ok_or_else(bad)?;
+    let process = proc_part.trim().parse::<usize>().map_err(|_| bad())?;
+    // Two-char operators first so `<=` does not parse as `<`.
+    for op in ["<=", ">=", "!=", "==", "=", "<", ">"] {
+        if let Some(i) = rest.find(op) {
+            let var = rest[..i].trim();
+            let value = rest[i + op.len()..]
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| bad())?;
+            if var.is_empty() {
+                return Err(bad());
+            }
+            return Ok(WireClause {
+                process,
+                var: var.to_string(),
+                op: op.to_string(),
+                value,
+            });
+        }
+    }
+    Err(bad())
+}
+
+fn parse_spec(id: String, mode: WireMode, src: &str) -> Result<WirePredicate, String> {
+    let clauses = src
+        .split(',')
+        .map(parse_clause)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(WirePredicate { id, mode, clauses })
+}
+
+/// The full local state after an event, as a wire `set` map. Sending
+/// the complete state (rather than a delta) keeps replay insensitive to
+/// which variables an event actually touched.
+fn state_map(comp: &Computation, e: EventId) -> BTreeMap<String, i64> {
+    let state = comp.local_state(e.process, e.index as u32 + 1);
+    comp.vars()
+        .iter()
+        .map(|(id, name)| (name.to_string(), state.get(id)))
+        .collect()
+}
+
+fn describe_verdict(v: &WireVerdict) -> String {
+    match v {
+        WireVerdict::Detected(cut) => format!(
+            "detected at cut [{}]",
+            cut.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        WireVerdict::Impossible => "impossible".into(),
+        WireVerdict::Pending => "pending".into(),
+    }
+}
+
+fn send_cmd(args: &[String]) -> Result<String, String> {
+    let mut rest = args.to_vec();
+    let session = take_flag(&mut rest, "--session")?.unwrap_or_else(|| "default".to_string());
+    let seed = take_flag(&mut rest, "--seed")?
+        .map(|s| s.parse::<u64>().map_err(|_| "bad --seed".to_string()))
+        .transpose()?
+        .unwrap_or(0);
+    let window = take_flag(&mut rest, "--window")?
+        .map(|s| s.parse::<usize>().map_err(|_| "bad --window".to_string()))
+        .transpose()?
+        .unwrap_or(8);
+    let mut predicates = Vec::new();
+    loop {
+        let next = predicates.len();
+        if let Some(spec) = take_flag(&mut rest, "--conj")? {
+            predicates.push(parse_spec(
+                format!("p{next}"),
+                WireMode::Conjunctive,
+                &spec,
+            )?);
+        } else if let Some(spec) = take_flag(&mut rest, "--disj")? {
+            predicates.push(parse_spec(
+                format!("p{next}"),
+                WireMode::Disjunctive,
+                &spec,
+            )?);
+        } else {
+            break;
+        }
+    }
+    if predicates.is_empty() {
+        return Err("send needs at least one --conj or --disj predicate".into());
+    }
+    let [addr, trace] = rest.as_slice() else {
+        return Err("send needs <addr> <trace> --session NAME (--conj|--disj SPEC)...".into());
+    };
+    let comp = crate::commands::load_trace(trace)?;
+    let n = comp.num_processes();
+
+    let stream = TcpStream::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut w = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut r = BufReader::new(stream);
+    let recv = |r: &mut BufReader<TcpStream>| -> Result<ServerMsg, String> {
+        read_frame::<_, ServerMsg>(r)
+            .map_err(|e| e.to_string())?
+            .ok_or_else(|| "server closed the connection".to_string())
+    };
+
+    // Open: declare shape, initial states, and predicates.
+    let vars: Vec<String> = comp
+        .vars()
+        .iter()
+        .map(|(_, name)| name.to_string())
+        .collect();
+    let initial: Vec<BTreeMap<String, i64>> = (0..n)
+        .map(|p| {
+            let s = comp.local_state(p, 0);
+            comp.vars()
+                .iter()
+                .map(|(id, name)| (name.to_string(), s.get(id)))
+                .collect()
+        })
+        .collect();
+    write_frame(
+        &mut w,
+        &ClientMsg::Open {
+            session: session.clone(),
+            processes: n,
+            vars,
+            initial,
+            predicates,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    match recv(&mut r)? {
+        ServerMsg::Opened { .. } => {}
+        ServerMsg::Error { message, .. } => return Err(format!("open rejected: {message}")),
+        other => return Err(format!("unexpected reply to open: {other:?}")),
+    }
+
+    // Stream the causality-respecting shuffle, then finish each process.
+    let order = causal_shuffle(&comp, seed, window);
+    let total = order.len();
+    for e in order {
+        write_frame(
+            &mut w,
+            &ClientMsg::Event {
+                session: session.clone(),
+                p: e.process,
+                clock: comp.clock(e).components().to_vec(),
+                set: state_map(&comp, e),
+            },
+        )
+        .map_err(|err| err.to_string())?;
+    }
+    for p in 0..n {
+        write_frame(
+            &mut w,
+            &ClientMsg::FinishProcess {
+                session: session.clone(),
+                p,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    write_frame(
+        &mut w,
+        &ClientMsg::Close {
+            session: session.clone(),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    // Collect verdicts until the close acknowledgement.
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sent {total} events over '{session}' (seed {seed}, window {window})"
+    );
+    loop {
+        match recv(&mut r)? {
+            ServerMsg::Verdict {
+                predicate, verdict, ..
+            } => {
+                let _ = writeln!(out, "{predicate}: {}", describe_verdict(&verdict));
+            }
+            ServerMsg::Closed { discarded, .. } => {
+                if discarded > 0 {
+                    let _ = writeln!(out, "warning: {discarded} events discarded at close");
+                }
+                break;
+            }
+            ServerMsg::Error { message, .. } => {
+                let _ = writeln!(out, "server error: {message}");
+            }
+            other => return Err(format!("unexpected server message: {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn stats_cmd(args: &[String]) -> Result<String, String> {
+    let [addr] = args else {
+        return Err("stats needs <addr>".into());
+    };
+    let stream = TcpStream::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut w = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut r = BufReader::new(stream);
+    write_frame(&mut w, &ClientMsg::Stats).map_err(|e| e.to_string())?;
+    match read_frame::<_, ServerMsg>(&mut r).map_err(|e| e.to_string())? {
+        Some(ServerMsg::Stats { counters }) => {
+            let mut out = String::new();
+            for (k, v) in counters {
+                let _ = writeln!(out, "{k:>24}  {v}");
+            }
+            Ok(out)
+        }
+        other => Err(format!("unexpected stats reply: {other:?}")),
+    }
+}
+
+/// Sends a shutdown frame to a running server (used by tests and
+/// scripted benchmarks; exposed as `hbtl monitor stats`' sibling).
+pub fn shutdown_server(addr: &str) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut w = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut r = BufReader::new(stream);
+    write_frame(&mut w, &ClientMsg::Shutdown).map_err(|e| e.to_string())?;
+    // Wait for the acknowledgement so the caller knows the server saw it.
+    let _ = read_frame::<_, ServerMsg>(&mut r);
+    Ok(())
+}

@@ -192,3 +192,109 @@ fn nested_formulas_require_the_flag() {
     );
     assert!(String::from_utf8_lossy(&ok.stdout).contains("baseline"));
 }
+
+#[test]
+fn monitor_serve_send_stats_shutdown_round_trip() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    // Fig. 2(a)-style trace in the text format: the monitor must find
+    // EF(x@0=2 ∧ x@1=1) at the least cut (2,1) even though `send`
+    // replays the events through a causality-respecting shuffle.
+    let trace = tmp("monitor-fig2.txt");
+    std::fs::write(
+        &trace,
+        "processes 2\nvars x\n\
+         event p0 internal x=1\nevent p0 send m0 x=2\nevent p0 internal x=3\n\
+         event p1 internal x=1\nevent p1 recv m0 x=2\nevent p1 internal x=3\n",
+    )
+    .unwrap();
+
+    // Port 0: the server prints the OS-assigned address on stderr.
+    let mut server = hbtl()
+        .args(["monitor", "serve", "127.0.0.1:0"])
+        .stderr(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let mut first_line = String::new();
+    BufReader::new(server.stderr.take().unwrap())
+        .read_line(&mut first_line)
+        .unwrap();
+    let addr = first_line
+        .split_whitespace()
+        .find(|w| w.parse::<std::net::SocketAddr>().is_ok())
+        .expect("address in banner")
+        .to_string();
+
+    let send = hbtl()
+        .args([
+            "monitor",
+            "send",
+            &addr,
+            &trace,
+            "--session",
+            "fig2",
+            "--conj",
+            "0:x=2,1:x=1",
+            "--seed",
+            "11",
+            "--window",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        send.status.success(),
+        "{}",
+        String::from_utf8_lossy(&send.stderr)
+    );
+    let text = String::from_utf8_lossy(&send.stdout);
+    assert!(text.contains("sent 6 events"), "{text}");
+    assert!(text.contains("p0: detected at cut [2, 1]"), "{text}");
+
+    let stats = hbtl().args(["monitor", "stats", &addr]).output().unwrap();
+    assert!(stats.status.success());
+    let stats_text = String::from_utf8_lossy(&stats.stdout);
+    assert!(stats_text.contains("events_ingested"), "{stats_text}");
+    assert!(stats_text.contains("events_delivered  6"), "{stats_text}");
+    assert!(stats_text.contains("events_held  0"), "{stats_text}");
+
+    let down = hbtl()
+        .args(["monitor", "shutdown", &addr])
+        .output()
+        .unwrap();
+    assert!(down.status.success());
+    let status = server.wait().expect("server exits after shutdown");
+    assert!(status.success());
+}
+
+#[test]
+fn monitor_send_rejects_bad_predicate_spec() {
+    let out = hbtl()
+        .args([
+            "monitor",
+            "send",
+            "127.0.0.1:1",
+            "nope.json",
+            "--conj",
+            "zebra",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("bad clause"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn usage_mentions_monitor_commands() {
+    let out = hbtl().output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("monitor serve"), "{text}");
+    assert!(text.contains("monitor send"), "{text}");
+}

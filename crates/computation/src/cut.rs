@@ -1,6 +1,5 @@
 //! Consistent cuts represented as per-process event counters.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A global state of the computation: `cut[i]` is the number of events of
@@ -13,7 +12,7 @@ use std::fmt;
 /// order on counters; joins and meets are componentwise max and min
 /// (set union and intersection), making the consistent cuts of a
 /// computation a finite distributive lattice (Section 2 of the paper).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Cut {
     counters: Vec<u32>,
 }

@@ -1,14 +1,13 @@
 //! Events of a distributed computation.
 
 use crate::state::LocalState;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies an event as (process, position-within-process).
 ///
 /// `index` is zero-based: the `k`-th event executed by process `process`.
 /// In cut terms, event `(i, k)` is *included* in a cut `G` iff `G[i] > k`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId {
     /// The executing process.
     pub process: usize,
@@ -30,7 +29,7 @@ impl fmt::Display for EventId {
 }
 
 /// What an event does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// A purely local event.
     Internal,
@@ -48,7 +47,7 @@ pub enum EventKind {
 
 /// One event: its kind, an optional label (used when rendering the paper's
 /// figures), and the process's local state immediately *after* the event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// What the event does.
     pub kind: EventKind,
@@ -71,7 +70,7 @@ impl Event {
 }
 
 /// A message: the send event and the receive event it pairs with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Message {
     /// The send event.
     pub send: EventId,

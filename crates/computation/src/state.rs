@@ -5,12 +5,11 @@
 //! `i64` vectors indexed by [`VarId`] slots allocated from a per-computation
 //! [`VarTable`], which keeps per-event storage compact for large traces.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// A handle to a declared variable (an index into every [`LocalState`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VarId(pub(crate) u32);
 
 impl VarId {
@@ -30,10 +29,9 @@ impl VarId {
 ///
 /// All processes share one namespace; a variable a process never assigns
 /// simply keeps its initial value (zero unless set) on that process.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VarTable {
     names: Vec<String>,
-    #[serde(skip)]
     index: HashMap<String, VarId>,
 }
 
@@ -99,7 +97,7 @@ impl VarTable {
 /// that structural equality (`==`, hashing) coincides with semantic
 /// equality of the valuation, regardless of how the state was built
 /// (unset variables read as zero).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LocalState {
     values: Vec<i64>,
 }

@@ -39,6 +39,67 @@ pub enum OnlineVerdict {
     Pending,
 }
 
+/// The common surface of on-line detectors, object-safe so a monitoring
+/// service can hold a heterogeneous bag of `Box<dyn OnlineMonitor>`s and
+/// feed them the same delivered stream.
+///
+/// The caller evaluates each process's local clause itself (monitors
+/// never see variable values — exactly the information a distributed
+/// checker would ship) and streams `(process, holds, clock)` triples in
+/// any order consistent with causality, with per-process order
+/// preserved.
+pub trait OnlineMonitor {
+    /// Observes the next local state of process `i`: `holds` is the
+    /// local clause's value in that state, `clock` the vector clock of
+    /// the event that produced it. Returns the verdict after the
+    /// observation.
+    fn observe(&mut self, i: usize, holds: bool, clock: &VectorClock) -> OnlineVerdict;
+
+    /// Declares that process `i` will produce no further states; returns
+    /// the (possibly newly settled) verdict.
+    fn finish_process(&mut self, i: usize) -> OnlineVerdict;
+
+    /// The current verdict.
+    fn verdict(&self) -> &OnlineVerdict;
+
+    /// Whether the verdict can still change with more input.
+    fn is_settled(&self) -> bool {
+        !matches!(self.verdict(), OnlineVerdict::Pending)
+    }
+}
+
+impl OnlineMonitor for OnlineEfConjunctive {
+    fn observe(&mut self, i: usize, holds: bool, clock: &VectorClock) -> OnlineVerdict {
+        OnlineEfConjunctive::observe(self, i, holds, clock);
+        self.verdict.clone()
+    }
+
+    fn finish_process(&mut self, i: usize) -> OnlineVerdict {
+        OnlineEfConjunctive::finish_process(self, i);
+        self.verdict.clone()
+    }
+
+    fn verdict(&self) -> &OnlineVerdict {
+        OnlineEfConjunctive::verdict(self)
+    }
+}
+
+impl OnlineMonitor for OnlineEfDisjunctive {
+    fn observe(&mut self, i: usize, holds: bool, clock: &VectorClock) -> OnlineVerdict {
+        OnlineEfDisjunctive::observe(self, i, holds, clock);
+        self.verdict.clone()
+    }
+
+    fn finish_process(&mut self, i: usize) -> OnlineVerdict {
+        OnlineEfDisjunctive::finish_process(self, i);
+        self.verdict.clone()
+    }
+
+    fn verdict(&self) -> &OnlineVerdict {
+        OnlineEfDisjunctive::verdict(self)
+    }
+}
+
 /// A queued candidate: a local state index and the clock of the event
 /// that produced it (`state 0` carries the zero clock).
 #[derive(Debug, Clone)]
@@ -406,5 +467,47 @@ mod tests {
     fn monitor_with_initially_true_conjunction_detects_empty_cut() {
         let m = OnlineEfConjunctive::new(2, vec![true, true], vec![true, true]);
         assert_eq!(m.verdict(), &OnlineVerdict::Detected(Cut::initial(2)));
+    }
+
+    #[test]
+    fn trait_objects_dispatch_to_both_monitors() {
+        let (comp, x) = mutexish();
+        let n = comp.num_processes();
+        let conj = Conjunctive::new(vec![(0, LocalExpr::eq(x, 2)), (2, LocalExpr::eq(x, 1))]);
+        let disj = Disjunctive::new(vec![(1, LocalExpr::eq(x, 1))]);
+        let participating: Vec<bool> = (0..n)
+            .map(|i| conj.clauses().iter().any(|c| c.process == i))
+            .collect();
+        let conj_init: Vec<bool> = (0..n).map(|i| conj.clause_holds_at(&comp, i, 0)).collect();
+        let disj_init: Vec<bool> = (0..n).map(|i| disj.clause_holds_at(&comp, i, 0)).collect();
+        let conj_holds = |i, s| conj.clause_holds_at(&comp, i, s);
+        let disj_holds = |i, s| disj.clause_holds_at(&comp, i, s);
+        type HoldsFn<'a> = &'a dyn Fn(usize, u32) -> bool;
+        let mut monitors: Vec<(Box<dyn OnlineMonitor>, HoldsFn)> = vec![
+            (
+                Box::new(OnlineEfConjunctive::new(n, participating, conj_init)),
+                &conj_holds,
+            ),
+            (
+                Box::new(OnlineEfDisjunctive::new(n, disj_init)),
+                &disj_holds,
+            ),
+        ];
+        for e in topo_order(&comp) {
+            for (m, holds_at) in monitors.iter_mut() {
+                m.observe(
+                    e.process,
+                    holds_at(e.process, e.index as u32 + 1),
+                    comp.clock(e),
+                );
+            }
+        }
+        for (m, _) in monitors.iter_mut() {
+            for i in 0..n {
+                m.finish_process(i);
+            }
+            assert!(m.is_settled());
+            assert!(matches!(m.verdict(), OnlineVerdict::Detected(_)));
+        }
     }
 }

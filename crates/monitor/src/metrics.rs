@@ -1,0 +1,175 @@
+//! Service observability.
+//!
+//! One [`Metrics`] instance is shared (via `Arc`) by every shard worker,
+//! transport thread, and the stats reporter. All fields are relaxed
+//! atomics — the numbers are monitoring data, not synchronization — so
+//! the hot ingestion path pays one uncontended fetch-add per event.
+//!
+//! Counters only grow; gauges (`sessions_active`, `events_held`) move
+//! both ways and are paired with a monotone high-water mark sampled at
+//! every increase.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Shared counters and gauges for one monitor service.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Events accepted off a transport (before causal buffering).
+    pub events_ingested: AtomicU64,
+    /// Events released by causal buffers to detectors.
+    pub events_delivered: AtomicU64,
+    /// Events currently held back awaiting predecessors (gauge).
+    pub events_held: AtomicU64,
+    /// Most events ever held at once, across all sessions.
+    pub events_held_high_water: AtomicU64,
+    /// Duplicate events rejected.
+    pub events_duplicate: AtomicU64,
+    /// Events refused with backpressure (hold space full, Reject policy).
+    pub events_rejected: AtomicU64,
+    /// Events dropped (hold space full, DropNewest policy).
+    pub events_dropped: AtomicU64,
+    /// Events discarded undelivered at session close.
+    pub events_discarded: AtomicU64,
+    /// Verdicts that settled (Detected or Impossible).
+    pub verdicts_settled: AtomicU64,
+    /// Sessions ever opened.
+    pub sessions_opened: AtomicU64,
+    /// Sessions currently open (gauge).
+    pub sessions_active: AtomicU64,
+    /// Protocol errors answered with `ServerMsg::Error`.
+    pub protocol_errors: AtomicU64,
+}
+
+impl Metrics {
+    /// A fresh, all-zero metrics block.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records `k` events entering a causal hold buffer.
+    pub fn held_add(&self, k: u64) {
+        let now = self.events_held.fetch_add(k, Relaxed) + k;
+        self.events_held_high_water.fetch_max(now, Relaxed);
+    }
+
+    /// Records `k` events leaving a causal hold buffer.
+    pub fn held_sub(&self, k: u64) {
+        self.events_held.fetch_sub(k, Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            events_ingested: self.events_ingested.load(Relaxed),
+            events_delivered: self.events_delivered.load(Relaxed),
+            events_held: self.events_held.load(Relaxed),
+            events_held_high_water: self.events_held_high_water.load(Relaxed),
+            events_duplicate: self.events_duplicate.load(Relaxed),
+            events_rejected: self.events_rejected.load(Relaxed),
+            events_dropped: self.events_dropped.load(Relaxed),
+            events_discarded: self.events_discarded.load(Relaxed),
+            verdicts_settled: self.verdicts_settled.load(Relaxed),
+            sessions_opened: self.sessions_opened.load(Relaxed),
+            sessions_active: self.sessions_active.load(Relaxed),
+            protocol_errors: self.protocol_errors.load(Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Metrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[allow(missing_docs)] // field names mirror `Metrics` one-to-one
+pub struct MetricsSnapshot {
+    pub events_ingested: u64,
+    pub events_delivered: u64,
+    pub events_held: u64,
+    pub events_held_high_water: u64,
+    pub events_duplicate: u64,
+    pub events_rejected: u64,
+    pub events_dropped: u64,
+    pub events_discarded: u64,
+    pub verdicts_settled: u64,
+    pub sessions_opened: u64,
+    pub sessions_active: u64,
+    pub protocol_errors: u64,
+}
+
+impl MetricsSnapshot {
+    /// Name → value, in stable order, for the wire `stats` reply.
+    pub fn to_map(&self) -> BTreeMap<String, u64> {
+        [
+            ("events_ingested", self.events_ingested),
+            ("events_delivered", self.events_delivered),
+            ("events_held", self.events_held),
+            ("events_held_high_water", self.events_held_high_water),
+            ("events_duplicate", self.events_duplicate),
+            ("events_rejected", self.events_rejected),
+            ("events_dropped", self.events_dropped),
+            ("events_discarded", self.events_discarded),
+            ("verdicts_settled", self.verdicts_settled),
+            ("sessions_opened", self.sessions_opened),
+            ("sessions_active", self.sessions_active),
+            ("protocol_errors", self.protocol_errors),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    /// The periodic log-line format: compact `key=value` pairs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ingested={} delivered={} held={} held_hwm={} dup={} rejected={} \
+             dropped={} discarded={} verdicts={} sessions={}/{} errors={}",
+            self.events_ingested,
+            self.events_delivered,
+            self.events_held,
+            self.events_held_high_water,
+            self.events_duplicate,
+            self.events_rejected,
+            self.events_dropped,
+            self.events_discarded,
+            self.verdicts_settled,
+            self.sessions_active,
+            self.sessions_opened,
+            self.protocol_errors,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_water_tracks_maximum() {
+        let m = Metrics::new();
+        m.held_add(3);
+        m.held_sub(2);
+        m.held_add(1);
+        let s = m.snapshot();
+        assert_eq!(s.events_held, 2);
+        assert_eq!(s.events_held_high_water, 3);
+    }
+
+    #[test]
+    fn snapshot_map_covers_every_field() {
+        let m = Metrics::new();
+        m.events_ingested.fetch_add(5, Relaxed);
+        let map = m.snapshot().to_map();
+        assert_eq!(map["events_ingested"], 5);
+        assert_eq!(map.len(), 12);
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let line = Metrics::new().snapshot().to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("ingested=0"));
+    }
+}

@@ -1,0 +1,736 @@
+//! The long-running monitoring service.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  TCP conns ──┐                       ┌── shard worker 0 ── sessions…
+//!  in-process ─┴─ MonitorHandle ──────►├── shard worker 1 ── sessions…
+//!   clients        (route by           └── shard worker k ── sessions…
+//!                   hash(session))            │
+//!                          ▲                  └─ verdicts → client sink
+//!                          └── Arc<Metrics> ◄─┘
+//! ```
+//!
+//! Sessions are sharded across a fixed pool of worker threads by a hash
+//! of the session name, so one session's events are always handled by
+//! one thread (per-session order preserved, no locks on the hot path)
+//! while independent sessions proceed in parallel. Each client supplies
+//! a **sink** channel at open time; verdicts, errors, and close
+//! notifications flow back through it asynchronously.
+//!
+//! Transports are thin: the in-process [`MonitorHandle`] is the service
+//! API, and [`serve`] adapts it to TCP — one reader thread per
+//! connection decoding wire frames, one writer thread encoding sink
+//! messages back. A `shutdown` message (or [`MonitorService::shutdown`])
+//! flushes every session — stranded held events are discarded, final
+//! verdicts are emitted — before the workers exit.
+
+use crate::buffer::IngestError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::session::{Session, SessionError, SessionLimits, VerdictEvent};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hb_detect::online::OnlineVerdict;
+use hb_tracefmt::wire::{self, ClientMsg, ServerMsg, WirePredicate, WireVerdict};
+use hb_vclock::VectorClock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service-wide configuration.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Worker threads; sessions are sharded across them.
+    pub shards: usize,
+    /// Per-session causal-buffer limits.
+    pub limits: SessionLimits,
+    /// Period of the stats log line on stderr; `None` disables it.
+    pub stats_interval: Option<Duration>,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            shards: 4,
+            limits: SessionLimits::default(),
+            stats_interval: None,
+        }
+    }
+}
+
+/// A command routed to a shard worker.
+enum Cmd {
+    Open {
+        session: String,
+        processes: usize,
+        vars: Vec<String>,
+        initial: Vec<BTreeMap<String, i64>>,
+        predicates: Vec<WirePredicate>,
+        sink: Sender<ServerMsg>,
+    },
+    Event {
+        session: String,
+        p: usize,
+        clock: Vec<u32>,
+        set: BTreeMap<String, i64>,
+        /// Errors go here when the session itself is unknown.
+        sink: Sender<ServerMsg>,
+    },
+    Finish {
+        session: String,
+        p: usize,
+        sink: Sender<ServerMsg>,
+    },
+    Close {
+        session: String,
+        sink: Sender<ServerMsg>,
+    },
+    /// Close every remaining session and stop the worker (graceful
+    /// shutdown). Handles may outlive the service, so workers cannot
+    /// rely on channel disconnection to learn about shutdown.
+    Flush,
+}
+
+/// The running service: shard workers plus shared metrics.
+pub struct MonitorService {
+    shards: Vec<Sender<Cmd>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+    stats_stop: Option<Sender<()>>,
+    stats_thread: Option<JoinHandle<()>>,
+}
+
+/// A cheap, cloneable client of a running service.
+#[derive(Clone)]
+pub struct MonitorHandle {
+    shards: Vec<Sender<Cmd>>,
+    metrics: Arc<Metrics>,
+}
+
+impl MonitorService {
+    /// Starts the shard workers (and the stats reporter, if configured).
+    pub fn start(config: MonitorConfig) -> MonitorService {
+        let shards = config.shards.max(1);
+        let metrics = Arc::new(Metrics::new());
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = unbounded();
+            let metrics = Arc::clone(&metrics);
+            let limits = config.limits;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("hb-monitor-shard-{shard}"))
+                    .spawn(move || shard_worker(rx, limits, metrics))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+        let (stats_stop, stats_thread) = match config.stats_interval {
+            Some(period) => {
+                let (stop_tx, stop_rx) = unbounded::<()>();
+                let metrics = Arc::clone(&metrics);
+                let handle = std::thread::Builder::new()
+                    .name("hb-monitor-stats".into())
+                    .spawn(move || loop {
+                        match stop_rx.recv_timeout(period) {
+                            Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                                return
+                            }
+                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                                eprintln!("hb-monitor: {}", metrics.snapshot());
+                            }
+                        }
+                    })
+                    .expect("spawn stats thread");
+                (Some(stop_tx), Some(handle))
+            }
+            None => (None, None),
+        };
+        MonitorService {
+            shards: senders,
+            workers,
+            metrics,
+            stats_stop,
+            stats_thread,
+        }
+    }
+
+    /// A client handle for submitting messages in-process.
+    pub fn handle(&self) -> MonitorHandle {
+        MonitorHandle {
+            shards: self.shards.clone(),
+            metrics: Arc::clone(&self.metrics),
+        }
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Gracefully shuts down: every open session is closed (emitting
+    /// final verdicts into its sink), then the workers exit and join.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        for tx in &self.shards {
+            let _ = tx.send(Cmd::Flush);
+        }
+        self.shards.clear(); // disconnect: workers exit after the flush
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(stop) = self.stats_stop.take() {
+            let _ = stop.send(());
+        }
+        if let Some(t) = self.stats_thread.take() {
+            let _ = t.join();
+        }
+        self.metrics.snapshot()
+    }
+}
+
+impl MonitorHandle {
+    fn shard_of(&self, session: &str) -> &Sender<Cmd> {
+        let mut h = DefaultHasher::new();
+        session.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Submits one client message; responses arrive on `sink`.
+    ///
+    /// `Stats` is answered synchronously from the shared metrics (no
+    /// shard round-trip); `Shutdown` is a transport-level concern and
+    /// answered with `Bye` — shutting the service down is the owner's
+    /// call via [`MonitorService::shutdown`].
+    pub fn submit(&self, msg: ClientMsg, sink: &Sender<ServerMsg>) {
+        match msg {
+            ClientMsg::Open {
+                session,
+                processes,
+                vars,
+                initial,
+                predicates,
+            } => {
+                let _ = self.shard_of(&session).send(Cmd::Open {
+                    session,
+                    processes,
+                    vars,
+                    initial,
+                    predicates,
+                    sink: sink.clone(),
+                });
+            }
+            ClientMsg::Event {
+                session,
+                p,
+                clock,
+                set,
+            } => {
+                let _ = self.shard_of(&session).send(Cmd::Event {
+                    session,
+                    p,
+                    clock,
+                    set,
+                    sink: sink.clone(),
+                });
+            }
+            ClientMsg::FinishProcess { session, p } => {
+                let _ = self.shard_of(&session).send(Cmd::Finish {
+                    session,
+                    p,
+                    sink: sink.clone(),
+                });
+            }
+            ClientMsg::Close { session } => {
+                let _ = self.shard_of(&session).send(Cmd::Close {
+                    session,
+                    sink: sink.clone(),
+                });
+            }
+            ClientMsg::Stats => {
+                let _ = sink.send(ServerMsg::Stats {
+                    counters: self.metrics.snapshot().to_map(),
+                });
+            }
+            ClientMsg::Shutdown => {
+                let _ = sink.send(ServerMsg::Bye);
+            }
+        }
+    }
+
+    /// The shared metrics.
+    pub fn stats(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+/// One session plus the sink registered at its open.
+struct Slot {
+    session: Session,
+    sink: Sender<ServerMsg>,
+}
+
+fn wire_verdict(v: &OnlineVerdict) -> WireVerdict {
+    match v {
+        OnlineVerdict::Detected(cut) => WireVerdict::Detected(cut.counters().to_vec()),
+        OnlineVerdict::Impossible => WireVerdict::Impossible,
+        OnlineVerdict::Pending => WireVerdict::Pending,
+    }
+}
+
+fn send_verdicts(
+    name: &str,
+    verdicts: Vec<VerdictEvent>,
+    sink: &Sender<ServerMsg>,
+    metrics: &Metrics,
+) {
+    for v in verdicts {
+        metrics.verdicts_settled.fetch_add(1, Ordering::Relaxed);
+        let _ = sink.send(ServerMsg::Verdict {
+            session: name.to_string(),
+            predicate: v.predicate,
+            verdict: wire_verdict(&v.verdict),
+        });
+    }
+}
+
+fn close_slot(name: &str, mut slot: Slot, metrics: &Metrics) {
+    let held_before = slot.session.held() as u64;
+    let (verdicts, discarded) = slot.session.close();
+    metrics.held_sub(held_before);
+    metrics
+        .events_discarded
+        .fetch_add(discarded, Ordering::Relaxed);
+    metrics.sessions_active.fetch_sub(1, Ordering::Relaxed);
+    send_verdicts(name, verdicts, &slot.sink, metrics);
+    let _ = slot.sink.send(ServerMsg::Closed {
+        session: name.to_string(),
+        discarded,
+    });
+}
+
+/// The shard worker loop: owns its sessions, applies commands in
+/// arrival order, pushes responses into per-session sinks.
+fn shard_worker(rx: Receiver<Cmd>, limits: SessionLimits, metrics: Arc<Metrics>) {
+    let mut slots: HashMap<String, Slot> = HashMap::new();
+    let err =
+        |sink: &Sender<ServerMsg>, session: Option<&str>, message: String, metrics: &Metrics| {
+            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = sink.send(ServerMsg::Error {
+                session: session.map(str::to_string),
+                message,
+            });
+        };
+    for cmd in rx.iter() {
+        match cmd {
+            Cmd::Open {
+                session,
+                processes,
+                vars,
+                initial,
+                predicates,
+                sink,
+            } => {
+                if slots.contains_key(&session) {
+                    err(
+                        &sink,
+                        Some(&session),
+                        format!("session '{session}' already open"),
+                        &metrics,
+                    );
+                    continue;
+                }
+                match Session::open(&session, processes, &vars, &initial, &predicates, limits) {
+                    Ok(mut s) => {
+                        metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                        metrics.sessions_active.fetch_add(1, Ordering::Relaxed);
+                        let _ = sink.send(ServerMsg::Opened {
+                            session: session.clone(),
+                        });
+                        send_verdicts(&session, s.take_initial_verdicts(), &sink, &metrics);
+                        slots.insert(session, Slot { session: s, sink });
+                    }
+                    Err(e) => err(&sink, Some(&session), e.to_string(), &metrics),
+                }
+            }
+            Cmd::Event {
+                session,
+                p,
+                clock,
+                set,
+                sink,
+            } => {
+                let Some(slot) = slots.get_mut(&session) else {
+                    err(
+                        &sink,
+                        Some(&session),
+                        format!("no such session '{session}'"),
+                        &metrics,
+                    );
+                    continue;
+                };
+                metrics.events_ingested.fetch_add(1, Ordering::Relaxed);
+                let held_before = slot.session.held();
+                let delivered_before = slot.session.delivered();
+                match slot
+                    .session
+                    .event(p, VectorClock::from_components(clock), &set)
+                {
+                    Ok(verdicts) => {
+                        let delivered = slot.session.delivered() - delivered_before;
+                        metrics
+                            .events_delivered
+                            .fetch_add(delivered, Ordering::Relaxed);
+                        let held_now = slot.session.held();
+                        if held_now > held_before {
+                            metrics.held_add((held_now - held_before) as u64);
+                        } else {
+                            metrics.held_sub((held_before - held_now) as u64);
+                        }
+                        send_verdicts(&session, verdicts, &slot.sink, &metrics);
+                    }
+                    Err(e) => {
+                        match &e {
+                            SessionError::Ingest(IngestError::Duplicate { .. }) => {
+                                metrics.events_duplicate.fetch_add(1, Ordering::Relaxed);
+                            }
+                            SessionError::Ingest(IngestError::Overflow { .. }) => {
+                                metrics.events_rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            SessionError::Ingest(IngestError::Dropped) => {
+                                metrics.events_dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {}
+                        }
+                        err(&slot.sink.clone(), Some(&session), e.to_string(), &metrics);
+                    }
+                }
+            }
+            Cmd::Finish { session, p, sink } => {
+                let Some(slot) = slots.get_mut(&session) else {
+                    err(
+                        &sink,
+                        Some(&session),
+                        format!("no such session '{session}'"),
+                        &metrics,
+                    );
+                    continue;
+                };
+                match slot.session.finish_process(p) {
+                    Ok(verdicts) => send_verdicts(&session, verdicts, &slot.sink, &metrics),
+                    Err(e) => err(&slot.sink.clone(), Some(&session), e.to_string(), &metrics),
+                }
+            }
+            Cmd::Close { session, sink } => match slots.remove(&session) {
+                Some(slot) => close_slot(&session, slot, &metrics),
+                None => err(
+                    &sink,
+                    Some(&session),
+                    format!("no such session '{session}'"),
+                    &metrics,
+                ),
+            },
+            Cmd::Flush => break,
+        }
+    }
+    // Reached on Flush or channel disconnect: close every remaining
+    // session so detectors still settle and sinks learn the outcome.
+    for (name, slot) in slots.drain() {
+        close_slot(&name, slot, &metrics);
+    }
+}
+
+// ---- TCP transport --------------------------------------------------------
+
+/// Serves the wire protocol on `listener` until a client sends
+/// `shutdown`. Each connection gets a reader (this function's accept
+/// loop spawns it) and a writer thread draining the connection's sink.
+///
+/// Returns when a `shutdown` frame arrives; the caller then owns the
+/// final [`MonitorService::shutdown`].
+pub fn serve(listener: TcpListener, handle: MonitorHandle) -> std::io::Result<()> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = listener.local_addr()?;
+    let mut conn_threads = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = stream?;
+        let handle = handle.clone();
+        let stop = Arc::clone(&stop);
+        conn_threads.push(std::thread::spawn(move || {
+            let shutdown_requested = serve_connection(stream, handle);
+            if shutdown_requested {
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop.
+                let _ = TcpStream::connect(addr);
+            }
+        }));
+    }
+    for t in conn_threads {
+        let _ = t.join();
+    }
+    Ok(())
+}
+
+/// Handles one connection; returns whether the client asked the whole
+/// service to shut down.
+fn serve_connection(stream: TcpStream, handle: MonitorHandle) -> bool {
+    let peer_write = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    let (sink_tx, sink_rx) = unbounded::<ServerMsg>();
+    let writer = std::thread::spawn(move || {
+        let mut w = BufWriter::new(peer_write);
+        for msg in sink_rx.iter() {
+            let is_bye = matches!(msg, ServerMsg::Bye);
+            if wire::write_frame(&mut w, &msg).is_err() || is_bye {
+                return;
+            }
+        }
+    });
+    let mut r = BufReader::new(stream);
+    let mut shutdown = false;
+    loop {
+        match wire::read_frame::<_, ClientMsg>(&mut r) {
+            Ok(Some(msg)) => {
+                let is_shutdown = matches!(msg, ClientMsg::Shutdown);
+                handle.submit(msg, &sink_tx);
+                if is_shutdown {
+                    shutdown = true;
+                    break;
+                }
+            }
+            Ok(None) => break, // clean disconnect
+            Err(e) => {
+                let _ = sink_tx.send(ServerMsg::Error {
+                    session: None,
+                    message: e.to_string(),
+                });
+                break; // framing is broken; no way to resync safely
+            }
+        }
+    }
+    drop(sink_tx); // writer drains and exits
+    let _ = writer.join();
+    shutdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_tracefmt::wire::{WireClause, WireMode};
+
+    fn fig2_open(session: &str) -> ClientMsg {
+        ClientMsg::Open {
+            session: session.into(),
+            processes: 2,
+            vars: vec!["x0".into(), "x1".into()],
+            initial: vec![],
+            predicates: vec![WirePredicate {
+                id: "ef".into(),
+                mode: WireMode::Conjunctive,
+                clauses: vec![
+                    WireClause {
+                        process: 0,
+                        var: "x0".into(),
+                        op: "=".into(),
+                        value: 2,
+                    },
+                    WireClause {
+                        process: 1,
+                        var: "x1".into(),
+                        op: "=".into(),
+                        value: 1,
+                    },
+                ],
+            }],
+        }
+    }
+
+    fn event(session: &str, p: usize, clock: &[u32], set: &[(&str, i64)]) -> ClientMsg {
+        ClientMsg::Event {
+            session: session.into(),
+            p,
+            clock: clock.to_vec(),
+            set: set.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        }
+    }
+
+    /// Drains the sink until a verdict for `predicate` arrives.
+    fn wait_verdict(rx: &Receiver<ServerMsg>, predicate: &str) -> WireVerdict {
+        for msg in rx.iter() {
+            if let ServerMsg::Verdict {
+                predicate: p,
+                verdict,
+                ..
+            } = msg
+            {
+                if p == predicate {
+                    return verdict;
+                }
+            }
+        }
+        panic!("sink closed without a verdict for '{predicate}'");
+    }
+
+    #[test]
+    fn in_process_session_detects_and_flushes() {
+        let service = MonitorService::start(MonitorConfig::default());
+        let handle = service.handle();
+        let (tx, rx) = unbounded();
+        handle.submit(fig2_open("s"), &tx);
+        assert!(matches!(rx.recv().unwrap(), ServerMsg::Opened { .. }));
+
+        // Shuffled Fig. 2(a): the receive arrives before anything else.
+        handle.submit(event("s", 1, &[2, 2], &[("x1", 2)]), &tx);
+        handle.submit(event("s", 0, &[1, 0], &[("x0", 1)]), &tx);
+        handle.submit(event("s", 1, &[0, 1], &[("x1", 1)]), &tx);
+        handle.submit(event("s", 0, &[2, 0], &[("x0", 2)]), &tx);
+        assert_eq!(wait_verdict(&rx, "ef"), WireVerdict::Detected(vec![2, 1]));
+
+        handle.submit(
+            ClientMsg::Close {
+                session: "s".into(),
+            },
+            &tx,
+        );
+        loop {
+            if let ServerMsg::Closed { discarded, .. } = rx.recv().unwrap() {
+                assert_eq!(discarded, 0);
+                break;
+            }
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.events_ingested, 4);
+        assert_eq!(stats.events_delivered, 4);
+        assert_eq!(stats.events_held, 0);
+        assert!(stats.events_held_high_water >= 1);
+        assert_eq!(stats.verdicts_settled, 1);
+        assert_eq!(stats.sessions_active, 0);
+    }
+
+    #[test]
+    fn shutdown_flushes_open_sessions_with_final_verdicts() {
+        let service = MonitorService::start(MonitorConfig {
+            shards: 2,
+            ..MonitorConfig::default()
+        });
+        let handle = service.handle();
+        let (tx, rx) = unbounded();
+        handle.submit(fig2_open("flushy"), &tx);
+        handle.submit(event("flushy", 1, &[1, 1], &[("x1", 1)]), &tx); // held forever
+        let stats = service.shutdown();
+        assert_eq!(stats.events_held, 0, "flush returns the held gauge to zero");
+        assert_eq!(stats.events_discarded, 1);
+        drop(tx); // our clone would keep the iterator below alive forever
+        let msgs: Vec<ServerMsg> = rx.iter().collect();
+        assert!(msgs.iter().any(|m| matches!(
+            m,
+            ServerMsg::Verdict {
+                verdict: WireVerdict::Impossible,
+                ..
+            }
+        )));
+        assert!(msgs.iter().any(|m| matches!(m, ServerMsg::Closed { .. })));
+    }
+
+    #[test]
+    fn sessions_shard_independently() {
+        let service = MonitorService::start(MonitorConfig {
+            shards: 3,
+            ..MonitorConfig::default()
+        });
+        let handle = service.handle();
+        let mut sinks = Vec::new();
+        for i in 0..6 {
+            let (tx, rx) = unbounded();
+            let name = format!("s{i}");
+            handle.submit(fig2_open(&name), &tx);
+            handle.submit(event(&name, 0, &[1, 0], &[("x0", 2)]), &tx);
+            handle.submit(event(&name, 1, &[0, 1], &[("x1", 1)]), &tx);
+            sinks.push((name, tx, rx));
+        }
+        for (_, _, rx) in &sinks {
+            assert_eq!(wait_verdict(rx, "ef"), WireVerdict::Detected(vec![1, 1]));
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.sessions_opened, 6);
+        assert_eq!(stats.events_ingested, 12);
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let service = MonitorService::start(MonitorConfig::default());
+        let handle = service.handle();
+        let (tx, rx) = unbounded();
+        // Event for a session that does not exist.
+        handle.submit(event("ghost", 0, &[1, 0], &[]), &tx);
+        assert!(matches!(rx.recv().unwrap(), ServerMsg::Error { .. }));
+        // Open, then duplicate open.
+        handle.submit(fig2_open("dup"), &tx);
+        assert!(matches!(rx.recv().unwrap(), ServerMsg::Opened { .. }));
+        handle.submit(fig2_open("dup"), &tx);
+        assert!(matches!(rx.recv().unwrap(), ServerMsg::Error { .. }));
+        // Duplicate event.
+        handle.submit(event("dup", 0, &[1, 0], &[]), &tx);
+        handle.submit(event("dup", 0, &[1, 0], &[]), &tx);
+        assert!(matches!(rx.recv().unwrap(), ServerMsg::Error { .. }));
+        let stats = service.shutdown();
+        assert_eq!(stats.protocol_errors, 3);
+        assert_eq!(stats.events_duplicate, 1);
+    }
+
+    #[test]
+    fn stats_request_answers_inline() {
+        let service = MonitorService::start(MonitorConfig::default());
+        let handle = service.handle();
+        let (tx, rx) = unbounded();
+        handle.submit(ClientMsg::Stats, &tx);
+        match rx.recv().unwrap() {
+            ServerMsg::Stats { counters } => {
+                assert_eq!(counters["events_ingested"], 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let service = MonitorService::start(MonitorConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = service.handle();
+        let server = std::thread::spawn(move || serve(listener, handle).unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w = BufWriter::new(stream.try_clone().unwrap());
+        let mut r = BufReader::new(stream);
+        wire::write_frame(&mut w, &fig2_open("tcp")).unwrap();
+        let opened: ServerMsg = wire::read_frame(&mut r).unwrap().unwrap();
+        assert!(matches!(opened, ServerMsg::Opened { .. }));
+        wire::write_frame(&mut w, &event("tcp", 0, &[1, 0], &[("x0", 2)])).unwrap();
+        wire::write_frame(&mut w, &event("tcp", 1, &[0, 1], &[("x1", 1)])).unwrap();
+        let verdict: ServerMsg = wire::read_frame(&mut r).unwrap().unwrap();
+        match verdict {
+            ServerMsg::Verdict { verdict, .. } => {
+                assert_eq!(verdict, WireVerdict::Detected(vec![1, 1]));
+            }
+            other => panic!("{other:?}"),
+        }
+        wire::write_frame(&mut w, &ClientMsg::Shutdown).unwrap();
+        let bye: ServerMsg = wire::read_frame(&mut r).unwrap().unwrap();
+        assert!(matches!(bye, ServerMsg::Bye));
+        server.join().unwrap();
+        let stats = service.shutdown();
+        assert_eq!(stats.events_ingested, 2);
+    }
+}

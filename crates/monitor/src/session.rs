@@ -1,0 +1,667 @@
+//! Monitoring sessions.
+//!
+//! A session is one monitored computation: a fixed process count, a
+//! variable namespace, and the set of predicates registered when the
+//! session opened. Events flow through the session's [`CausalBuffer`];
+//! each delivered event advances the per-process local state and is
+//! observed by every registered on-line detector. The session — not the
+//! detector — evaluates local clauses, so detectors see only
+//! `(process, holds, clock)` triples, mirroring what a distributed
+//! checker would ship over the network.
+//!
+//! Verdicts are emitted exactly once per predicate, the moment they
+//! settle. [`Session::close`] force-settles everything: stranded held
+//! events are discarded (their causal past can never complete), every
+//! process is declared finished, and any predicate still pending
+//! becomes `Impossible`.
+
+use crate::buffer::{CausalBuffer, IngestError, OverflowPolicy};
+use hb_computation::{LocalState, VarId, VarTable};
+use hb_detect::online::{OnlineEfConjunctive, OnlineEfDisjunctive, OnlineMonitor, OnlineVerdict};
+use hb_predicates::{CmpOp, LocalExpr};
+use hb_tracefmt::wire::{WireClause, WireMode, WirePredicate};
+use hb_vclock::VectorClock;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a session could not be opened or driven.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The open request was malformed (bad predicate, var, process…).
+    BadOpen(String),
+    /// An event referenced something undeclared or arrived after finish.
+    BadEvent(String),
+    /// The causal buffer refused the event.
+    Ingest(IngestError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::BadOpen(m) => write!(f, "bad open: {m}"),
+            SessionError::BadEvent(m) => write!(f, "bad event: {m}"),
+            SessionError::Ingest(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<IngestError> for SessionError {
+    fn from(e: IngestError) -> Self {
+        SessionError::Ingest(e)
+    }
+}
+
+/// A settled (or force-settled) verdict for one predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictEvent {
+    /// The predicate's caller-chosen id.
+    pub predicate: String,
+    /// The verdict.
+    pub verdict: OnlineVerdict,
+}
+
+/// One registered predicate and its detector.
+struct MonitorEntry {
+    id: String,
+    /// Per-process local clause (`None` = the process has no clause).
+    clauses: Vec<Option<LocalExpr>>,
+    monitor: Box<dyn OnlineMonitor + Send>,
+    /// Set once the verdict has been reported.
+    emitted: bool,
+}
+
+/// Limits and policy for a session's causal buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionLimits {
+    /// Maximum held-back events.
+    pub buffer_capacity: usize,
+    /// What to do at capacity.
+    pub policy: OverflowPolicy,
+}
+
+impl Default for SessionLimits {
+    fn default() -> Self {
+        SessionLimits {
+            buffer_capacity: 4096,
+            policy: OverflowPolicy::Reject,
+        }
+    }
+}
+
+/// One monitored computation with its registered detectors.
+pub struct Session {
+    name: String,
+    vars: VarTable,
+    /// Current local state per process (advanced on delivery).
+    states: Vec<LocalState>,
+    buffer: CausalBuffer<Vec<(VarId, i64)>>,
+    monitors: Vec<MonitorEntry>,
+    /// Client-declared stream ends.
+    finished: Vec<bool>,
+    /// Processes whose finish has been forwarded to the detectors.
+    monitor_finished: Vec<bool>,
+    /// Delivered events (for stats and the e2e assertions).
+    delivered: u64,
+    /// Verdicts that settled already at open (initial-cut detections),
+    /// waiting to be collected by the service.
+    pending_initial: Vec<VerdictEvent>,
+}
+
+fn parse_op(op: &str) -> Option<CmpOp> {
+    Some(match op {
+        "=" | "==" => CmpOp::Eq,
+        "!=" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+impl Session {
+    /// Opens a session: validates the predicates against the declared
+    /// variables and process count, builds initial states, and
+    /// instantiates one on-line detector per predicate.
+    pub fn open(
+        name: &str,
+        processes: usize,
+        var_names: &[String],
+        initial: &[BTreeMap<String, i64>],
+        predicates: &[WirePredicate],
+        limits: SessionLimits,
+    ) -> Result<Session, SessionError> {
+        if processes == 0 {
+            return Err(SessionError::BadOpen("zero processes".into()));
+        }
+        if initial.len() > processes {
+            return Err(SessionError::BadOpen(format!(
+                "{} initial maps for {processes} processes",
+                initial.len()
+            )));
+        }
+        let mut vars = VarTable::new();
+        for v in var_names {
+            vars.declare(v);
+        }
+        let mut states = vec![LocalState::zeroed(vars.len()); processes];
+        for (i, init) in initial.iter().enumerate() {
+            for (vname, &value) in init {
+                let id = vars.lookup(vname).ok_or_else(|| {
+                    SessionError::BadOpen(format!("undeclared variable '{vname}' in initial"))
+                })?;
+                states[i].set(id, value);
+            }
+        }
+
+        let mut monitors = Vec::with_capacity(predicates.len());
+        let mut seen_ids = std::collections::BTreeSet::new();
+        for pred in predicates {
+            if !seen_ids.insert(&pred.id) {
+                return Err(SessionError::BadOpen(format!(
+                    "duplicate predicate id '{}'",
+                    pred.id
+                )));
+            }
+            if pred.clauses.is_empty() {
+                return Err(SessionError::BadOpen(format!(
+                    "predicate '{}' has no clauses",
+                    pred.id
+                )));
+            }
+            let mut clauses: Vec<Option<LocalExpr>> = vec![None; processes];
+            for WireClause {
+                process,
+                var,
+                op,
+                value,
+            } in &pred.clauses
+            {
+                if *process >= processes {
+                    return Err(SessionError::BadOpen(format!(
+                        "predicate '{}': process {process} out of range",
+                        pred.id
+                    )));
+                }
+                let id = vars.lookup(var).ok_or_else(|| {
+                    SessionError::BadOpen(format!(
+                        "predicate '{}': undeclared variable '{var}'",
+                        pred.id
+                    ))
+                })?;
+                let cmp = parse_op(op).ok_or_else(|| {
+                    SessionError::BadOpen(format!(
+                        "predicate '{}': unknown operator '{op}'",
+                        pred.id
+                    ))
+                })?;
+                let expr = LocalExpr::Cmp(id, cmp, *value);
+                // Several clauses on one process fold with the mode's
+                // connective.
+                clauses[*process] = Some(match (clauses[*process].take(), pred.mode) {
+                    (None, _) => expr,
+                    (Some(prev), WireMode::Conjunctive) => prev.and(expr),
+                    (Some(prev), WireMode::Disjunctive) => prev.or(expr),
+                });
+            }
+            let initially: Vec<bool> = (0..processes)
+                .map(|i| clauses[i].as_ref().is_some_and(|c| c.eval(&states[i])))
+                .collect();
+            let monitor: Box<dyn OnlineMonitor + Send> = match pred.mode {
+                WireMode::Conjunctive => {
+                    let participating: Vec<bool> = clauses.iter().map(Option::is_some).collect();
+                    Box::new(OnlineEfConjunctive::new(
+                        processes,
+                        participating,
+                        initially,
+                    ))
+                }
+                WireMode::Disjunctive => Box::new(OnlineEfDisjunctive::new(processes, initially)),
+            };
+            monitors.push(MonitorEntry {
+                id: pred.id.clone(),
+                clauses,
+                monitor,
+                emitted: false,
+            });
+        }
+
+        let mut s = Session {
+            name: name.to_string(),
+            vars,
+            states,
+            buffer: CausalBuffer::new(processes, limits.buffer_capacity, limits.policy),
+            monitors,
+            finished: vec![false; processes],
+            monitor_finished: vec![false; processes],
+            delivered: 0,
+            pending_initial: Vec::new(),
+        };
+        // A predicate can already hold in the initial cut.
+        let mut initial_verdicts = Vec::new();
+        s.collect_settled(&mut initial_verdicts);
+        s.pending_initial = initial_verdicts;
+        Ok(s)
+    }
+
+    /// Verdicts that settled at open time (initial-cut detections).
+    pub fn take_initial_verdicts(&mut self) -> Vec<VerdictEvent> {
+        std::mem::take(&mut self.pending_initial)
+    }
+
+    /// The session's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of processes.
+    pub fn processes(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Events currently held in the causal buffer.
+    pub fn held(&self) -> usize {
+        self.buffer.held()
+    }
+
+    /// Events delivered to the detectors so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Ingests one event. On success, returns the verdicts that settled
+    /// as a consequence (usually none).
+    pub fn event(
+        &mut self,
+        p: usize,
+        clock: VectorClock,
+        set: &BTreeMap<String, i64>,
+    ) -> Result<Vec<VerdictEvent>, SessionError> {
+        // Reject events only once the finish reached the detectors: a
+        // declared-finished process may still owe held events their
+        // causal predecessors (reordering can let the finish overtake
+        // earlier events in transit).
+        if p < self.finished.len() && self.monitor_finished[p] {
+            return Err(SessionError::BadEvent(format!(
+                "process {p} already finished"
+            )));
+        }
+        let mut updates = Vec::with_capacity(set.len());
+        for (vname, &value) in set {
+            let id = self
+                .vars
+                .lookup(vname)
+                .ok_or_else(|| SessionError::BadEvent(format!("undeclared variable '{vname}'")))?;
+            updates.push((id, value));
+        }
+        let released = self.buffer.ingest(p, clock, updates)?;
+        let mut verdicts = Vec::new();
+        for d in released {
+            self.delivered += 1;
+            for (var, value) in &d.payload {
+                self.states[d.process].set(*var, *value);
+            }
+            for entry in &mut self.monitors {
+                if entry.emitted {
+                    continue;
+                }
+                let holds = entry.clauses[d.process]
+                    .as_ref()
+                    .is_some_and(|c| c.eval(&self.states[d.process]));
+                entry.monitor.observe(d.process, holds, &d.clock);
+            }
+        }
+        self.collect_settled(&mut verdicts);
+        // A delivery may have drained the last held event of an
+        // already-finished process.
+        self.forward_finishes(&mut verdicts);
+        Ok(verdicts)
+    }
+
+    /// Declares that process `p` will produce no further events.
+    pub fn finish_process(&mut self, p: usize) -> Result<Vec<VerdictEvent>, SessionError> {
+        if p >= self.finished.len() {
+            return Err(SessionError::BadEvent(format!("process {p} out of range")));
+        }
+        self.finished[p] = true;
+        let mut verdicts = Vec::new();
+        self.forward_finishes(&mut verdicts);
+        Ok(verdicts)
+    }
+
+    /// Closes the session: discards stranded held events, declares every
+    /// process finished, and force-settles all remaining predicates.
+    /// Returns the settled verdicts plus the number of discarded events.
+    pub fn close(&mut self) -> (Vec<VerdictEvent>, u64) {
+        let discarded = self.buffer.discard_held().len() as u64;
+        let mut verdicts = Vec::new();
+        for p in 0..self.states.len() {
+            if !self.monitor_finished[p] {
+                self.monitor_finished[p] = true;
+                for entry in &mut self.monitors {
+                    if !entry.emitted {
+                        entry.monitor.finish_process(p);
+                    }
+                }
+            }
+        }
+        self.collect_settled(&mut verdicts);
+        (verdicts, discarded)
+    }
+
+    /// The final verdict of every predicate (settled or not), for the
+    /// close report.
+    pub fn all_verdicts(&self) -> Vec<VerdictEvent> {
+        self.monitors
+            .iter()
+            .map(|e| VerdictEvent {
+                predicate: e.id.clone(),
+                verdict: e.monitor.verdict().clone(),
+            })
+            .collect()
+    }
+
+    /// Forwards client-declared finishes to the detectors once the
+    /// buffer holds nothing more from the process (a held event may
+    /// still be observed later, and detectors reject post-finish
+    /// observations).
+    fn forward_finishes(&mut self, out: &mut Vec<VerdictEvent>) {
+        for p in 0..self.states.len() {
+            if self.finished[p] && !self.monitor_finished[p] && self.buffer.held_from(p) == 0 {
+                self.monitor_finished[p] = true;
+                for entry in &mut self.monitors {
+                    if !entry.emitted {
+                        entry.monitor.finish_process(p);
+                    }
+                }
+            }
+        }
+        self.collect_settled(out);
+    }
+
+    /// Emits newly settled verdicts, once each.
+    fn collect_settled(&mut self, out: &mut Vec<VerdictEvent>) {
+        for entry in &mut self.monitors {
+            if !entry.emitted && entry.monitor.is_settled() {
+                entry.emitted = true;
+                out.push(VerdictEvent {
+                    predicate: entry.id.clone(),
+                    verdict: entry.monitor.verdict().clone(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(c: &[u32]) -> VectorClock {
+        VectorClock::from_components(c.to_vec())
+    }
+
+    fn pred(id: &str, mode: WireMode, clauses: &[(usize, &str, &str, i64)]) -> WirePredicate {
+        WirePredicate {
+            id: id.into(),
+            mode,
+            clauses: clauses
+                .iter()
+                .map(|&(process, var, op, value)| WireClause {
+                    process,
+                    var: var.into(),
+                    op: op.into(),
+                    value,
+                })
+                .collect(),
+        }
+    }
+
+    fn set(pairs: &[(&str, i64)]) -> BTreeMap<String, i64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    /// The paper's Fig. 2(a) shape: P0 runs e1 e2 e3 (e2 a send), P1
+    /// runs f1 f2 f3 (f2 the receive). Conjunction `x0=2 ∧ x1=1` holds
+    /// first at the cut (e2, f1) — `I_p = [2, 1]`.
+    fn fig2_session() -> Session {
+        Session::open(
+            "fig2",
+            2,
+            &["x0".to_string(), "x1".to_string()],
+            &[],
+            &[pred(
+                "ef",
+                WireMode::Conjunctive,
+                &[(0, "x0", "=", 2), (1, "x1", "=", 1)],
+            )],
+            SessionLimits::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn in_order_detection_finds_least_cut() {
+        let mut s = fig2_session();
+        // P1: f1 sets x1=1.
+        assert!(s
+            .event(1, vc(&[0, 1]), &set(&[("x1", 1)]))
+            .unwrap()
+            .is_empty());
+        // P0: e1 sets x0=1.
+        assert!(s
+            .event(0, vc(&[1, 0]), &set(&[("x0", 1)]))
+            .unwrap()
+            .is_empty());
+        // P0: e2 (send) sets x0=2 → detection at [2, 1].
+        let v = s.event(0, vc(&[2, 0]), &set(&[("x0", 2)])).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].predicate, "ef");
+        match &v[0].verdict {
+            OnlineVerdict::Detected(cut) => assert_eq!(cut.counters(), &[2, 1]),
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_order_arrival_same_verdict() {
+        let mut s = fig2_session();
+        // f2 (the receive, clock [2,2]) arrives before everything else.
+        assert!(s
+            .event(1, vc(&[2, 2]), &set(&[("x1", 2)]))
+            .unwrap()
+            .is_empty());
+        assert_eq!(s.held(), 1);
+        assert!(s
+            .event(0, vc(&[1, 0]), &set(&[("x0", 1)]))
+            .unwrap()
+            .is_empty());
+        assert!(s
+            .event(1, vc(&[0, 1]), &set(&[("x1", 1)]))
+            .unwrap()
+            .is_empty());
+        // e2 completes the causal past: cascade delivers e2 then f2, and
+        // the detection fires with the same least cut as in order.
+        let v = s.event(0, vc(&[2, 0]), &set(&[("x0", 2)])).unwrap();
+        assert_eq!(v.len(), 1);
+        match &v[0].verdict {
+            OnlineVerdict::Detected(cut) => assert_eq!(cut.counters(), &[2, 1]),
+            other => panic!("expected detection, got {other:?}"),
+        }
+        assert_eq!(s.held(), 0);
+        assert_eq!(s.delivered(), 4);
+    }
+
+    #[test]
+    fn finish_without_detection_is_impossible() {
+        let mut s = fig2_session();
+        s.event(0, vc(&[1, 0]), &set(&[("x0", 1)])).unwrap();
+        // P0 finished without ever satisfying x0=2, so the conjunction
+        // settles Impossible immediately.
+        let v = s.finish_process(0).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].verdict, OnlineVerdict::Impossible);
+        // Later finishes emit nothing further.
+        assert!(s.finish_process(1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn finish_is_deferred_while_events_are_held() {
+        let mut s = fig2_session();
+        // P1's second event held (its first never arrived)…
+        s.event(1, vc(&[0, 2]), &set(&[("x1", 1)])).unwrap();
+        // …so finishing P1 must not reach the detector yet (the held
+        // event may still be delivered and observed).
+        assert!(s.finish_process(1).unwrap().is_empty());
+        // The missing first event arrives; both deliver; then the
+        // deferred finish lands.
+        s.event(1, vc(&[0, 1]), &set(&[])).unwrap();
+        let v = s.finish_process(0).unwrap();
+        // x1=1 (after f2) but P0 finished without x0=2: impossible.
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].verdict, OnlineVerdict::Impossible);
+    }
+
+    #[test]
+    fn close_discards_stranded_events_and_settles() {
+        let mut s = fig2_session();
+        s.event(1, vc(&[1, 1]), &set(&[("x1", 1)])).unwrap(); // needs e1, never sent
+        assert_eq!(s.held(), 1);
+        let (verdicts, discarded) = s.close();
+        assert_eq!(discarded, 1);
+        assert_eq!(s.held(), 0);
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].verdict, OnlineVerdict::Impossible);
+    }
+
+    #[test]
+    fn event_after_finish_is_rejected() {
+        let mut s = fig2_session();
+        s.finish_process(0).unwrap();
+        let err = s.event(0, vc(&[1, 0]), &set(&[])).unwrap_err();
+        assert!(matches!(err, SessionError::BadEvent(_)));
+    }
+
+    #[test]
+    fn duplicate_event_is_rejected() {
+        let mut s = fig2_session();
+        s.event(0, vc(&[1, 0]), &set(&[("x0", 1)])).unwrap();
+        assert!(matches!(
+            s.event(0, vc(&[1, 0]), &set(&[("x0", 1)])),
+            Err(SessionError::Ingest(IngestError::Duplicate { .. }))
+        ));
+    }
+
+    #[test]
+    fn disjunctive_predicate_fires_on_first_hit() {
+        let mut s = Session::open(
+            "d",
+            2,
+            &["x".to_string()],
+            &[],
+            &[pred(
+                "any",
+                WireMode::Disjunctive,
+                &[(0, "x", ">=", 5), (1, "x", ">=", 5)],
+            )],
+            SessionLimits::default(),
+        )
+        .unwrap();
+        assert!(s
+            .event(0, vc(&[1, 0]), &set(&[("x", 3)]))
+            .unwrap()
+            .is_empty());
+        let v = s.event(1, vc(&[0, 1]), &set(&[("x", 7)])).unwrap();
+        assert_eq!(v.len(), 1);
+        match &v[0].verdict {
+            OnlineVerdict::Detected(cut) => assert_eq!(cut.counters(), &[0, 1]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn initially_true_predicate_settles_at_open() {
+        let mut s = Session::open(
+            "init",
+            2,
+            &["x".to_string()],
+            &[set(&[("x", 1)]), set(&[("x", 1)])],
+            &[pred(
+                "now",
+                WireMode::Conjunctive,
+                &[(0, "x", "=", 1), (1, "x", "=", 1)],
+            )],
+            SessionLimits::default(),
+        )
+        .unwrap();
+        let v = s.take_initial_verdicts();
+        assert_eq!(v.len(), 1);
+        match &v[0].verdict {
+            OnlineVerdict::Detected(cut) => assert_eq!(cut.counters(), &[0, 0]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_validates_predicates() {
+        let bad = |preds: &[WirePredicate]| {
+            Session::open(
+                "b",
+                2,
+                &["x".to_string()],
+                &[],
+                preds,
+                SessionLimits::default(),
+            )
+            .err()
+            .unwrap()
+        };
+        assert!(matches!(
+            bad(&[pred("p", WireMode::Conjunctive, &[(9, "x", "=", 1)])]),
+            SessionError::BadOpen(_)
+        ));
+        assert!(matches!(
+            bad(&[pred("p", WireMode::Conjunctive, &[(0, "y", "=", 1)])]),
+            SessionError::BadOpen(_)
+        ));
+        assert!(matches!(
+            bad(&[pred("p", WireMode::Conjunctive, &[(0, "x", "~", 1)])]),
+            SessionError::BadOpen(_)
+        ));
+        assert!(matches!(
+            bad(&[
+                pred("p", WireMode::Conjunctive, &[(0, "x", "=", 1)]),
+                pred("p", WireMode::Disjunctive, &[(1, "x", "=", 1)]),
+            ]),
+            SessionError::BadOpen(_)
+        ));
+        assert!(matches!(
+            bad(&[pred("p", WireMode::Conjunctive, &[])]),
+            SessionError::BadOpen(_)
+        ));
+    }
+
+    #[test]
+    fn multiple_clauses_on_one_process_fold_with_the_mode() {
+        // Conjunctive: x>=1 ∧ x<=3 on P0.
+        let mut s = Session::open(
+            "fold",
+            1,
+            &["x".to_string()],
+            &[],
+            &[pred(
+                "band",
+                WireMode::Conjunctive,
+                &[(0, "x", ">=", 1), (0, "x", "<=", 3)],
+            )],
+            SessionLimits::default(),
+        )
+        .unwrap();
+        assert!(s.event(0, vc(&[1]), &set(&[("x", 9)])).unwrap().is_empty());
+        let v = s.event(0, vc(&[2]), &set(&[("x", 2)])).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0].verdict, OnlineVerdict::Detected(_)));
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests: replaying a shuffled computation through a monitor
+//! session is equivalent to offline detection on the recorded trace.
+//!
+//! The pipeline under test is the full ingestion stack — wire-shaped
+//! predicates, causal delivery, per-process state reconstruction, and
+//! the on-line detectors — driven by `hb_sim::causal_shuffle`, the
+//! bounded-reordering transport model. The oracle is the offline
+//! `ef_linear` detector on the same computation.
+
+use hb_computation::Computation;
+use hb_detect::ef_linear;
+use hb_detect::online::OnlineVerdict;
+use hb_monitor::{Session, SessionLimits};
+use hb_predicates::{CmpOp, Conjunctive, LocalExpr};
+use hb_sim::{causal_shuffle, random_computation, random_linearization, RandomSpec};
+use hb_tracefmt::wire::{WireClause, WireMode, WirePredicate};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A predicate spec: per-process, `Some(target)` means the clause
+/// `x = target` on that process.
+type Spec = Vec<Option<i64>>;
+
+fn spec(n: usize, value_range: i64) -> impl Strategy<Value = Spec> {
+    // At least one clause: an all-`None` spec is not a predicate (the
+    // session rejects empty clause lists).
+    (
+        prop::collection::vec(prop::option::of(0..value_range), n),
+        0..n,
+        0..value_range,
+    )
+        .prop_map(|(mut sp, anchor, value)| {
+            if sp.iter().all(Option::is_none) {
+                sp[anchor] = Some(value);
+            }
+            sp
+        })
+}
+
+fn wire_predicate(spec: &Spec) -> WirePredicate {
+    WirePredicate {
+        id: "p".into(),
+        mode: WireMode::Conjunctive,
+        clauses: spec
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                t.map(|value| WireClause {
+                    process: i,
+                    var: "x".into(),
+                    op: "=".into(),
+                    value,
+                })
+            })
+            .collect(),
+    }
+}
+
+fn offline_predicate(comp: &Computation, spec: &Spec) -> Conjunctive {
+    let x = comp.vars().lookup("x").expect("sim declares x");
+    Conjunctive::new(
+        spec.iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|v| (i, LocalExpr::Cmp(x, CmpOp::Eq, v))))
+            .collect(),
+    )
+}
+
+/// Replays `comp` into a fresh session in the given arrival order and
+/// returns (final verdict, max held, delivered count).
+fn replay(
+    comp: &Computation,
+    spec: &Spec,
+    order: &[hb_computation::EventId],
+) -> (OnlineVerdict, usize, u64) {
+    let vars: Vec<String> = comp.vars().iter().map(|(_, s)| s.to_string()).collect();
+    let n = comp.num_processes();
+    let initial: Vec<BTreeMap<String, i64>> = (0..n)
+        .map(|p| {
+            let s = comp.local_state(p, 0);
+            comp.vars()
+                .iter()
+                .map(|(id, name)| (name.to_string(), s.get(id)))
+                .collect()
+        })
+        .collect();
+    let mut session = Session::open(
+        "replay",
+        n,
+        &vars,
+        &initial,
+        &[wire_predicate(spec)],
+        SessionLimits::default(),
+    )
+    .expect("open");
+    let mut verdicts = session.take_initial_verdicts();
+    let mut max_held = 0;
+    for e in order {
+        let state = comp.local_state(e.process, e.index as u32 + 1);
+        let set: BTreeMap<String, i64> = comp
+            .vars()
+            .iter()
+            .map(|(id, name)| (name.to_string(), state.get(id)))
+            .collect();
+        verdicts.extend(
+            session
+                .event(e.process, comp.clock(*e).clone(), &set)
+                .expect("replay event accepted"),
+        );
+        max_held = max_held.max(session.held());
+    }
+    for p in 0..n {
+        verdicts.extend(session.finish_process(p).expect("finish"));
+    }
+    assert!(verdicts.len() <= 1, "verdict emitted at most once");
+    let verdict = verdicts
+        .pop()
+        .map(|v| v.verdict)
+        .unwrap_or_else(|| session.all_verdicts()[0].verdict.clone());
+    (verdict, max_held, session.delivered())
+}
+
+fn computation(seed: u64, processes: usize, events: usize) -> Computation {
+    random_computation(RandomSpec {
+        processes,
+        events_per_process: events,
+        send_percent: 35,
+        value_range: 3,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any bounded-window shuffle delivers the whole computation (the
+    /// causal buffer repairs the order) and the online verdict — verdict
+    /// *and* least satisfying cut — matches offline detection.
+    #[test]
+    fn shuffled_replay_matches_offline_ef(
+        seed in 0u64..1_000,
+        shuffle_seed in 0u64..1_000,
+        window in 0usize..16,
+        sp in spec(3, 3),
+    ) {
+        let comp = computation(seed, 3, 6);
+        let p = offline_predicate(&comp, &sp);
+        let offline = ef_linear(&comp, &p);
+        let order = causal_shuffle(&comp, shuffle_seed, window);
+        let (verdict, _, delivered) = replay(&comp, &sp, &order);
+        prop_assert_eq!(delivered as usize, comp.num_events(), "every event delivered");
+        match verdict {
+            OnlineVerdict::Detected(cut) => {
+                prop_assert!(offline.holds);
+                prop_assert_eq!(Some(cut), offline.witness);
+            }
+            OnlineVerdict::Impossible => prop_assert!(!offline.holds),
+            OnlineVerdict::Pending => prop_assert!(false, "finished replay left Pending"),
+        }
+    }
+
+    /// A plain linearization never needs the hold buffer; prefixes are
+    /// consistent cuts by construction.
+    #[test]
+    fn linearized_replay_never_holds(
+        seed in 0u64..1_000,
+        lin_seed in 0u64..1_000,
+        sp in spec(3, 3),
+    ) {
+        let comp = computation(seed, 3, 5);
+        let order = random_linearization(&comp, lin_seed);
+        let (_, max_held, delivered) = replay(&comp, &sp, &order);
+        prop_assert_eq!(max_held, 0, "in-causal-order arrival is never held");
+        prop_assert_eq!(delivered as usize, comp.num_events());
+    }
+
+    /// The verdict is independent of the arrival order: two different
+    /// shuffles of the same computation agree exactly.
+    #[test]
+    fn verdict_is_arrival_order_independent(
+        seed in 0u64..500,
+        s1 in 0u64..500,
+        s2 in 500u64..1_000,
+        sp in spec(3, 3),
+    ) {
+        let comp = computation(seed, 3, 5);
+        let (v1, _, _) = replay(&comp, &sp, &causal_shuffle(&comp, s1, 9));
+        let (v2, _, _) = replay(&comp, &sp, &causal_shuffle(&comp, s2, 3));
+        prop_assert_eq!(v1, v2);
+    }
+}

@@ -28,6 +28,8 @@ mod kernel;
 pub mod live;
 pub mod protocols;
 mod random;
+mod shuffle;
 
 pub use kernel::{Action, Delivery, Effects, Kernel};
 pub use random::{random_computation, RandomSpec};
+pub use shuffle::{causal_shuffle, random_linearization};

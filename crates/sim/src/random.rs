@@ -69,7 +69,7 @@ pub fn random_computation(spec: RandomSpec) -> Computation {
                 continue;
             }
         }
-        if n > 1 && rng.gen_range(0..100) < spec.send_percent as u32 {
+        if n > 1 && rng.gen_range(0..100u32) < spec.send_percent as u32 {
             let mut dest = rng.gen_range(0..n - 1);
             if dest >= p {
                 dest += 1;

@@ -2,19 +2,18 @@
 
 use crate::TraceError;
 use hb_computation::{Computation, ComputationBuilder, EventKind, MsgToken};
-use serde::{Deserialize, Serialize};
+use serde::{help, DeError, Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 
 /// Top-level trace document.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceFile {
     /// Number of processes.
     pub processes: usize,
-    /// Declared variable names (defines slot order).
-    #[serde(default)]
+    /// Declared variable names (defines slot order); optional in the file.
     pub vars: Vec<String>,
-    /// Initial valuations, one map per process (missing = all zero).
-    #[serde(default)]
+    /// Initial valuations, one map per process (missing = all zero);
+    /// optional in the file.
     pub initial: Vec<BTreeMap<String, i64>>,
     /// Events in a topological order (sends before their receives,
     /// per-process order preserved).
@@ -22,25 +21,23 @@ pub struct TraceFile {
 }
 
 /// One event row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Executing process.
     pub p: usize,
-    /// What the event does.
-    #[serde(flatten)]
+    /// What the event does; flattened into the row object as a `kind`
+    /// tag plus an optional `msg` id.
     pub kind: TraceEventKind,
-    /// Variable assignments taking effect at the event.
-    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    /// Variable assignments taking effect at the event; omitted from the
+    /// file when empty.
     pub set: BTreeMap<String, i64>,
-    /// Optional label.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
+    /// Optional label; omitted from the file when absent.
     pub label: Option<String>,
 }
 
 /// Event kinds, tagged by a `kind` field (`"internal"`, `"send"`,
 /// `"recv"`); sends and receives carry a shared message id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "lowercase")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEventKind {
     /// Local event.
     Internal,
@@ -54,6 +51,81 @@ pub enum TraceEventKind {
         /// File-scoped message id.
         msg: u32,
     },
+}
+
+impl Serialize for TraceFile {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("processes".into(), self.processes.to_value()),
+            ("vars".into(), self.vars.to_value()),
+            ("initial".into(), self.initial.to_value()),
+            ("events".into(), self.events.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TraceFile {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        Ok(TraceFile {
+            processes: help::field(v, "processes")?,
+            vars: help::field_or_default(v, "vars")?,
+            initial: help::field_or_default(v, "initial")?,
+            events: help::field(v, "events")?,
+        })
+    }
+}
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![("p".into(), self.p.to_value())];
+        match self.kind {
+            TraceEventKind::Internal => {
+                fields.push(("kind".into(), Value::Str("internal".into())));
+            }
+            TraceEventKind::Send { msg } => {
+                fields.push(("kind".into(), Value::Str("send".into())));
+                fields.push(("msg".into(), msg.to_value()));
+            }
+            TraceEventKind::Recv { msg } => {
+                fields.push(("kind".into(), Value::Str("recv".into())));
+                fields.push(("msg".into(), msg.to_value()));
+            }
+        }
+        if !self.set.is_empty() {
+            fields.push(("set".into(), self.set.to_value()));
+        }
+        if let Some(label) = &self.label {
+            fields.push(("label".into(), label.clone().to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for TraceEvent {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        let kind = match help::field::<String>(v, "kind")?.as_str() {
+            "internal" => TraceEventKind::Internal,
+            "send" => TraceEventKind::Send {
+                msg: help::field(v, "msg")?,
+            },
+            "recv" => TraceEventKind::Recv {
+                msg: help::field(v, "msg")?,
+            },
+            other => {
+                return Err(DeError::msg(format!(
+                    "unknown event kind '{other}' (expected internal, send, or recv)"
+                )))
+            }
+        };
+        Ok(TraceEvent {
+            p: help::field(v, "p")?,
+            kind,
+            set: help::field_or_default(v, "set")?,
+            label: help::field_opt(v, "label")?,
+        })
+    }
 }
 
 impl TraceFile {

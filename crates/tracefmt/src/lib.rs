@@ -11,6 +11,10 @@
 //!   hand when transcribing a space–time diagram such as Fig. 2(a) or
 //!   Fig. 4(a).
 //!
+//! It also defines the [`wire`] module: the framed message protocol the
+//! `hb-monitor` streaming service speaks over TCP or in-process byte
+//! streams.
+//!
 //! Both directions validate: imports reject unknown processes, receives
 //! without a preceding send, double receives, and malformed variable
 //! assignments, producing a [`TraceError`] rather than a panic.
@@ -39,6 +43,7 @@
 
 mod json;
 mod text;
+pub mod wire;
 
 pub use json::{from_json, to_json, TraceEvent, TraceEventKind, TraceFile};
 pub use text::{from_text, to_text};

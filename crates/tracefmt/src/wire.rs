@@ -1,0 +1,626 @@
+//! The monitoring wire protocol.
+//!
+//! `hb-monitor` speaks a line-friendly framed protocol over any byte
+//! stream (TCP socket, pipe, in-memory buffer). Each frame is
+//!
+//! ```text
+//! <decimal byte length> <json>\n
+//! ```
+//!
+//! — the JSON document's byte length, one space, the document itself,
+//! and a terminating newline (not counted by the length). The length
+//! prefix lets readers allocate exactly, reject oversized frames before
+//! reading them, and resynchronize on protocol errors; the trailing
+//! newline keeps a captured stream greppable.
+//!
+//! Client-to-server messages are [`ClientMsg`]; server-to-client are
+//! [`ServerMsg`]. All messages carry a `type` tag. Vector clocks travel
+//! as plain arrays of per-process event counts, predicates as lists of
+//! `{process, var, op, value}` clauses under a `conjunctive` /
+//! `disjunctive` mode — the structured form keeps the protocol
+//! independent of any expression syntax.
+
+use crate::TraceError;
+use serde::{help, DeError, Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+/// Frames larger than this are rejected without being read (16 MiB).
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// How a wire predicate combines its clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// All clauses must hold (one per participating process).
+    Conjunctive,
+    /// Any clause may hold.
+    Disjunctive,
+}
+
+impl WireMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            WireMode::Conjunctive => "conjunctive",
+            WireMode::Disjunctive => "disjunctive",
+        }
+    }
+}
+
+/// One local clause: `var ⊙ value` on `process`.
+///
+/// `op` is one of `=`, `!=`, `<`, `<=`, `>`, `>=` (matching the
+/// `hb_predicates`-crate display syntax); validation happens when the
+/// session is opened, not at parse time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireClause {
+    /// The process whose state is inspected.
+    pub process: usize,
+    /// Variable name (must be declared in the session's `vars`).
+    pub var: String,
+    /// Comparison operator.
+    pub op: String,
+    /// Literal to compare against.
+    pub value: i64,
+}
+
+/// A predicate registered at session open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePredicate {
+    /// Caller-chosen identifier, echoed in verdicts.
+    pub id: String,
+    /// Clause combination mode.
+    pub mode: WireMode,
+    /// The clauses.
+    pub clauses: Vec<WireClause>,
+}
+
+/// A final or intermediate detection verdict on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireVerdict {
+    /// `EF(p)` detected; the least satisfying cut over the delivered
+    /// prefix, as per-process event counts.
+    Detected(Vec<u32>),
+    /// The predicate can no longer hold.
+    Impossible,
+    /// Still undetermined (only reported at session close).
+    Pending,
+}
+
+/// Messages a client sends to the monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Opens a monitoring session.
+    Open {
+        /// Session name; must be unused.
+        session: String,
+        /// Number of processes in the monitored computation.
+        processes: usize,
+        /// Declared variable names.
+        vars: Vec<String>,
+        /// Initial valuations, one map per process (missing = zeros).
+        initial: Vec<BTreeMap<String, i64>>,
+        /// Predicates to detect online.
+        predicates: Vec<WirePredicate>,
+    },
+    /// One observed event: process `p` moved to a new local state.
+    Event {
+        /// Target session.
+        session: String,
+        /// Executing process.
+        p: usize,
+        /// Vector clock of the event (length = session's `processes`).
+        clock: Vec<u32>,
+        /// Variable assignments taking effect at the event.
+        set: BTreeMap<String, i64>,
+    },
+    /// Declares that process `p` will send no further events.
+    FinishProcess {
+        /// Target session.
+        session: String,
+        /// The finished process.
+        p: usize,
+    },
+    /// Closes a session, flushing its buffer and settling verdicts.
+    Close {
+        /// Target session.
+        session: String,
+    },
+    /// Requests a metrics snapshot.
+    Stats,
+    /// Asks the whole service to shut down gracefully.
+    Shutdown,
+}
+
+/// Messages the monitor sends to a client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// The session is open and accepting events.
+    Opened {
+        /// The session name.
+        session: String,
+    },
+    /// A predicate's verdict settled (or was force-settled at close).
+    Verdict {
+        /// The session name.
+        session: String,
+        /// The predicate id from [`ClientMsg::Open`].
+        predicate: String,
+        /// The verdict.
+        verdict: WireVerdict,
+    },
+    /// The session closed; one `Verdict` per predicate precedes this.
+    Closed {
+        /// The session name.
+        session: String,
+        /// Events still undeliverable (dropped) at close.
+        discarded: u64,
+    },
+    /// A metrics snapshot: counter name → value.
+    Stats {
+        /// The counters.
+        counters: BTreeMap<String, u64>,
+    },
+    /// A request failed; the session (if any) is unchanged.
+    Error {
+        /// The session the error concerns, when applicable.
+        session: Option<String>,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Graceful-shutdown acknowledgement; the connection closes next.
+    Bye,
+}
+
+// ---- serialization --------------------------------------------------------
+
+impl Serialize for WireClause {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("process".into(), self.process.to_value()),
+            ("var".into(), self.var.to_value()),
+            ("op".into(), self.op.to_value()),
+            ("value".into(), self.value.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for WireClause {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        Ok(WireClause {
+            process: help::field(v, "process")?,
+            var: help::field(v, "var")?,
+            op: help::field(v, "op")?,
+            value: help::field(v, "value")?,
+        })
+    }
+}
+
+impl Serialize for WirePredicate {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("id".into(), self.id.to_value()),
+            ("mode".into(), self.mode.as_str().to_value()),
+            ("clauses".into(), self.clauses.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for WirePredicate {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        let mode = match help::field::<String>(v, "mode")?.as_str() {
+            "conjunctive" => WireMode::Conjunctive,
+            "disjunctive" => WireMode::Disjunctive,
+            other => {
+                return Err(DeError::msg(format!(
+                    "unknown predicate mode '{other}' (expected conjunctive or disjunctive)"
+                )))
+            }
+        };
+        Ok(WirePredicate {
+            id: help::field(v, "id")?,
+            mode,
+            clauses: help::field(v, "clauses")?,
+        })
+    }
+}
+
+impl Serialize for WireVerdict {
+    fn to_value(&self) -> Value {
+        match self {
+            WireVerdict::Detected(cut) => Value::Object(vec![
+                ("status".into(), "detected".to_value()),
+                ("cut".into(), cut.to_value()),
+            ]),
+            WireVerdict::Impossible => {
+                Value::Object(vec![("status".into(), "impossible".to_value())])
+            }
+            WireVerdict::Pending => Value::Object(vec![("status".into(), "pending".to_value())]),
+        }
+    }
+}
+
+impl Deserialize for WireVerdict {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match help::field::<String>(v, "status")?.as_str() {
+            "detected" => Ok(WireVerdict::Detected(help::field(v, "cut")?)),
+            "impossible" => Ok(WireVerdict::Impossible),
+            "pending" => Ok(WireVerdict::Pending),
+            other => Err(DeError::msg(format!("unknown verdict status '{other}'"))),
+        }
+    }
+}
+
+impl Serialize for ClientMsg {
+    fn to_value(&self) -> Value {
+        match self {
+            ClientMsg::Open {
+                session,
+                processes,
+                vars,
+                initial,
+                predicates,
+            } => Value::Object(vec![
+                ("type".into(), "open".to_value()),
+                ("session".into(), session.to_value()),
+                ("processes".into(), processes.to_value()),
+                ("vars".into(), vars.to_value()),
+                ("initial".into(), initial.to_value()),
+                ("predicates".into(), predicates.to_value()),
+            ]),
+            ClientMsg::Event {
+                session,
+                p,
+                clock,
+                set,
+            } => {
+                let mut fields = vec![
+                    ("type".into(), "event".to_value()),
+                    ("session".into(), session.to_value()),
+                    ("p".into(), p.to_value()),
+                    ("clock".into(), clock.to_value()),
+                ];
+                if !set.is_empty() {
+                    fields.push(("set".into(), set.to_value()));
+                }
+                Value::Object(fields)
+            }
+            ClientMsg::FinishProcess { session, p } => Value::Object(vec![
+                ("type".into(), "finish".to_value()),
+                ("session".into(), session.to_value()),
+                ("p".into(), p.to_value()),
+            ]),
+            ClientMsg::Close { session } => Value::Object(vec![
+                ("type".into(), "close".to_value()),
+                ("session".into(), session.to_value()),
+            ]),
+            ClientMsg::Stats => Value::Object(vec![("type".into(), "stats".to_value())]),
+            ClientMsg::Shutdown => Value::Object(vec![("type".into(), "shutdown".to_value())]),
+        }
+    }
+}
+
+impl Deserialize for ClientMsg {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match help::field::<String>(v, "type")?.as_str() {
+            "open" => Ok(ClientMsg::Open {
+                session: help::field(v, "session")?,
+                processes: help::field(v, "processes")?,
+                vars: help::field_or_default(v, "vars")?,
+                initial: help::field_or_default(v, "initial")?,
+                predicates: help::field_or_default(v, "predicates")?,
+            }),
+            "event" => Ok(ClientMsg::Event {
+                session: help::field(v, "session")?,
+                p: help::field(v, "p")?,
+                clock: help::field(v, "clock")?,
+                set: help::field_or_default(v, "set")?,
+            }),
+            "finish" => Ok(ClientMsg::FinishProcess {
+                session: help::field(v, "session")?,
+                p: help::field(v, "p")?,
+            }),
+            "close" => Ok(ClientMsg::Close {
+                session: help::field(v, "session")?,
+            }),
+            "stats" => Ok(ClientMsg::Stats),
+            "shutdown" => Ok(ClientMsg::Shutdown),
+            other => Err(DeError::msg(format!("unknown client message '{other}'"))),
+        }
+    }
+}
+
+impl Serialize for ServerMsg {
+    fn to_value(&self) -> Value {
+        match self {
+            ServerMsg::Opened { session } => Value::Object(vec![
+                ("type".into(), "opened".to_value()),
+                ("session".into(), session.to_value()),
+            ]),
+            ServerMsg::Verdict {
+                session,
+                predicate,
+                verdict,
+            } => Value::Object(vec![
+                ("type".into(), "verdict".to_value()),
+                ("session".into(), session.to_value()),
+                ("predicate".into(), predicate.to_value()),
+                ("verdict".into(), verdict.to_value()),
+            ]),
+            ServerMsg::Closed { session, discarded } => Value::Object(vec![
+                ("type".into(), "closed".to_value()),
+                ("session".into(), session.to_value()),
+                ("discarded".into(), discarded.to_value()),
+            ]),
+            ServerMsg::Stats { counters } => Value::Object(vec![
+                ("type".into(), "stats".to_value()),
+                ("counters".into(), counters.to_value()),
+            ]),
+            ServerMsg::Error { session, message } => {
+                let mut fields = vec![("type".into(), "error".to_value())];
+                if let Some(s) = session {
+                    fields.push(("session".into(), s.to_value()));
+                }
+                fields.push(("message".into(), message.to_value()));
+                Value::Object(fields)
+            }
+            ServerMsg::Bye => Value::Object(vec![("type".into(), "bye".to_value())]),
+        }
+    }
+}
+
+impl Deserialize for ServerMsg {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match help::field::<String>(v, "type")?.as_str() {
+            "opened" => Ok(ServerMsg::Opened {
+                session: help::field(v, "session")?,
+            }),
+            "verdict" => Ok(ServerMsg::Verdict {
+                session: help::field(v, "session")?,
+                predicate: help::field(v, "predicate")?,
+                verdict: help::field(v, "verdict")?,
+            }),
+            "closed" => Ok(ServerMsg::Closed {
+                session: help::field(v, "session")?,
+                discarded: help::field_or_default(v, "discarded")?,
+            }),
+            "stats" => Ok(ServerMsg::Stats {
+                counters: help::field(v, "counters")?,
+            }),
+            "error" => Ok(ServerMsg::Error {
+                session: help::field_opt(v, "session")?,
+                message: help::field(v, "message")?,
+            }),
+            "bye" => Ok(ServerMsg::Bye),
+            other => Err(DeError::msg(format!("unknown server message '{other}'"))),
+        }
+    }
+}
+
+// ---- framing --------------------------------------------------------------
+
+/// Writes one frame: `<len> <json>\n`.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> std::io::Result<()> {
+    let body = serde_json::to_string(&msg.to_value()).expect("wire values serialize");
+    writeln!(w, "{} {}", body.len(), body)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` signals a clean end of stream.
+///
+/// Returns a [`TraceError::Invalid`] on malformed framing and
+/// [`TraceError::Json`] on malformed JSON inside a well-formed frame.
+pub fn read_frame<R: BufRead, T: Deserialize>(r: &mut R) -> Result<Option<T>, TraceError> {
+    // Length prefix: ASCII digits up to the first space.
+    let mut prefix = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return if prefix.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(TraceError::Invalid("truncated frame header".into()))
+                };
+            }
+            Ok(_) => {}
+            Err(e) => return Err(TraceError::Invalid(format!("read error: {e}"))),
+        }
+        match byte[0] {
+            b' ' => break,
+            b'0'..=b'9' if prefix.len() < 12 => prefix.push(byte[0]),
+            other => {
+                return Err(TraceError::Invalid(format!(
+                    "bad frame header byte 0x{other:02x}"
+                )))
+            }
+        }
+    }
+    let len: usize = std::str::from_utf8(&prefix)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| TraceError::Invalid("bad frame length".into()))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(TraceError::Invalid(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    std::io::Read::read_exact(r, &mut body)
+        .map_err(|e| TraceError::Invalid(format!("truncated frame body: {e}")))?;
+    // The newline terminator.
+    let mut nl = [0u8; 1];
+    std::io::Read::read_exact(r, &mut nl)
+        .map_err(|e| TraceError::Invalid(format!("truncated frame terminator: {e}")))?;
+    if nl[0] != b'\n' {
+        return Err(TraceError::Invalid("frame not newline-terminated".into()));
+    }
+    let text = String::from_utf8(body)
+        .map_err(|_| TraceError::Invalid("frame body is not UTF-8".into()))?;
+    let value = serde_json::parse_value(&text)?;
+    let msg = T::from_value(&value).map_err(serde_json::Error::from)?;
+    Ok(Some(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(msg: T) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let mut r = Cursor::new(buf);
+        let back: T = read_frame(&mut r).unwrap().expect("one frame");
+        assert_eq!(back, msg);
+        assert!(read_frame::<_, T>(&mut r).unwrap().is_none(), "stream ends");
+    }
+
+    #[test]
+    fn client_messages_round_trip() {
+        round_trip(ClientMsg::Open {
+            session: "s1".into(),
+            processes: 3,
+            vars: vec!["x".into(), "y".into()],
+            initial: vec![[("x".to_string(), 5i64)].into_iter().collect()],
+            predicates: vec![WirePredicate {
+                id: "mutex".into(),
+                mode: WireMode::Conjunctive,
+                clauses: vec![
+                    WireClause {
+                        process: 0,
+                        var: "x".into(),
+                        op: "=".into(),
+                        value: 2,
+                    },
+                    WireClause {
+                        process: 2,
+                        var: "x".into(),
+                        op: ">=".into(),
+                        value: 1,
+                    },
+                ],
+            }],
+        });
+        round_trip(ClientMsg::Event {
+            session: "s1".into(),
+            p: 1,
+            clock: vec![0, 2, 1],
+            set: [("x".to_string(), -3i64)].into_iter().collect(),
+        });
+        round_trip(ClientMsg::FinishProcess {
+            session: "s1".into(),
+            p: 2,
+        });
+        round_trip(ClientMsg::Close {
+            session: "s1".into(),
+        });
+        round_trip(ClientMsg::Stats);
+        round_trip(ClientMsg::Shutdown);
+    }
+
+    #[test]
+    fn server_messages_round_trip() {
+        round_trip(ServerMsg::Opened {
+            session: "s1".into(),
+        });
+        round_trip(ServerMsg::Verdict {
+            session: "s1".into(),
+            predicate: "mutex".into(),
+            verdict: WireVerdict::Detected(vec![2, 1, 1]),
+        });
+        round_trip(ServerMsg::Verdict {
+            session: "s1".into(),
+            predicate: "mutex".into(),
+            verdict: WireVerdict::Impossible,
+        });
+        round_trip(ServerMsg::Closed {
+            session: "s1".into(),
+            discarded: 4,
+        });
+        round_trip(ServerMsg::Stats {
+            counters: [("events_ingested".to_string(), 17u64)]
+                .into_iter()
+                .collect(),
+        });
+        round_trip(ServerMsg::Error {
+            session: None,
+            message: "no such session".into(),
+        });
+        round_trip(ServerMsg::Bye);
+    }
+
+    #[test]
+    fn frames_are_length_prefixed_json_lines() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &ClientMsg::Stats).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "16 {\"type\":\"stats\"}\n");
+    }
+
+    #[test]
+    fn multiple_frames_stream() {
+        let mut buf = Vec::new();
+        for p in 0..5usize {
+            write_frame(
+                &mut buf,
+                &ClientMsg::FinishProcess {
+                    session: "s".into(),
+                    p,
+                },
+            )
+            .unwrap();
+        }
+        let mut r = Cursor::new(buf);
+        for p in 0..5usize {
+            let msg: ClientMsg = read_frame(&mut r).unwrap().unwrap();
+            assert_eq!(
+                msg,
+                ClientMsg::FinishProcess {
+                    session: "s".into(),
+                    p
+                }
+            );
+        }
+        assert!(read_frame::<_, ClientMsg>(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_framing() {
+        let cases: &[&[u8]] = &[
+            b"abc {\"type\":\"stats\"}\n", // non-numeric length
+            b"999 {\"type\":\"stats\"}\n", // truncated body
+            b"16 {\"type\":\"stats\"}X",   // missing newline
+            b"3 {}\n",                     // length mismatch eats newline
+        ];
+        for case in cases {
+            let mut r = Cursor::new(case.to_vec());
+            assert!(
+                read_frame::<_, ClientMsg>(&mut r).is_err(),
+                "{:?}",
+                String::from_utf8_lossy(case)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_frame_without_reading_it() {
+        let header = format!("{} ", MAX_FRAME_BYTES + 1);
+        let mut r = Cursor::new(header.into_bytes());
+        let err = read_frame::<_, ClientMsg>(&mut r).unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn rejects_unknown_message_type() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Value::Object(vec![("type".into(), "warp".to_value())]),
+        )
+        .unwrap();
+        let mut r = Cursor::new(buf);
+        assert!(read_frame::<_, ClientMsg>(&mut r).is_err());
+    }
+}

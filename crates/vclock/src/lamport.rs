@@ -1,16 +1,12 @@
 //! Lamport scalar logical clocks.
 
-use serde::{Deserialize, Serialize};
-
 /// A Lamport scalar clock.
 ///
 /// Guarantees only the forward implication: `e → f ⇒ L(e) < L(f)`. The
 /// simulator uses Lamport timestamps to produce a deterministic total order
 /// of its log records; detection algorithms use [`crate::VectorClock`]
 /// instead, which characterizes happened-before exactly.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LamportClock {
     time: u64,
 }

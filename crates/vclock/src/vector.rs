@@ -1,7 +1,6 @@
 //! Mattern/Fidge vector clocks.
 
 use crate::CausalOrd;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A vector clock over a fixed set of processes.
@@ -14,7 +13,7 @@ use std::fmt;
 /// The width (number of processes) is fixed at construction; operations on
 /// clocks of different widths panic, since mixing computations is always a
 /// logic error in this codebase.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VectorClock {
     components: Vec<u32>,
 }

@@ -1,0 +1,87 @@
+//! Vendored, offline subset of `crossbeam`: the `channel` module,
+//! implemented over `std::sync::mpsc`. Only the MPSC shapes this
+//! workspace uses are provided (crossbeam's channels are MPMC; none of
+//! the callers clone receivers).
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { tx }, Receiver { rx })
+    }
+
+    /// The sending half; cloneable.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        tx: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                tx: self.tx.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; errors if the receiver is gone.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            self.tx.send(t)
+        }
+    }
+
+    /// The receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; errors when all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.rx.try_recv()
+        }
+
+        /// Receive with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.rx.recv_timeout(timeout)
+        }
+
+        /// Blocking iterator over received values.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.rx.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_across_threads() {
+        let (tx, rx) = channel::unbounded();
+        std::thread::scope(|s| {
+            for k in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(k).unwrap());
+            }
+            drop(tx);
+            let mut got: Vec<i32> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        });
+    }
+}

@@ -1,0 +1,642 @@
+//! Vendored, offline subset of `proptest`.
+//!
+//! Implements the property-testing surface this workspace uses:
+//! `proptest! { #[test] fn f(x in strat, ...) { ... } }`, integer-range
+//! and tuple strategies, `Just`, `prop_oneof!`, `prop_map`,
+//! `prop_recursive`, `prop::collection::vec`, `any::<bool>()`, and
+//! string strategies generated from a small regex subset.
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-test seed (override with `PROPTEST_SEED`), and
+//! there is **no shrinking** — on failure the harness prints the case
+//! number and seed so the failure replays exactly.
+
+use std::sync::Arc;
+
+pub mod string;
+
+/// The generator driving value production: xoshiro-free SplitMix64,
+/// deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A value-generation strategy.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategies: `f` receives the strategy built so far and
+    /// wraps it one level deeper; depths are mixed so leaves stay
+    /// reachable. (`_desired_size` / `_expected_branch` are accepted for
+    /// API compatibility and ignored.)
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            let deeper = f(cur.clone()).boxed();
+            cur = Union::new(vec![cur, deeper]).boxed();
+        }
+        cur
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+/// Object-safe view of [`Strategy`].
+trait DynStrategy<V> {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased, cheaply-cloneable strategy.
+pub struct BoxedStrategy<V> {
+    inner: Arc<dyn DynStrategy<V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        self.inner.dyn_new_value(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union of the given options; must be nonempty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].new_value(rng)
+    }
+}
+
+// ---- integer ranges -------------------------------------------------------
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "strategy range is empty");
+                let span = (end as i128 - start as i128 + 1) as u64;
+                (start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident $idx:tt),+);)*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+}
+
+// ---- strings (regex subset) ----------------------------------------------
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        string::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        string::generate(self, rng)
+    }
+}
+
+// ---- collections ----------------------------------------------------------
+
+/// `prop::collection` — sized containers of strategy-generated elements.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length bounds for generated containers.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+// ---- arbitrary ------------------------------------------------------------
+
+/// Strategies over `Option<T>`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `Some` from the inner strategy ~3/4 of the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// The strategy returned by [`of`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Generates any `bool`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = std::ops::RangeInclusive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+// ---- config & runner ------------------------------------------------------
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Support used by the `proptest!` expansion.
+pub mod test_runner {
+    /// Prints replay information if a case panics.
+    pub struct CaseGuard {
+        armed: bool,
+        name: &'static str,
+        case: u32,
+        seed: u64,
+    }
+
+    impl CaseGuard {
+        /// Arms the guard for one case.
+        pub fn new(name: &'static str, case: u32, seed: u64) -> Self {
+            CaseGuard {
+                armed: true,
+                name,
+                case,
+                seed,
+            }
+        }
+
+        /// The case completed; stand down.
+        pub fn disarm(mut self) {
+            self.armed = false;
+        }
+    }
+
+    impl Drop for CaseGuard {
+        fn drop(&mut self) {
+            if self.armed && std::thread::panicking() {
+                eprintln!(
+                    "proptest shim: test '{}' failed at case #{} (seed {}; rerun with PROPTEST_SEED={} to replay)",
+                    self.name, self.case, self.seed, self.seed
+                );
+            }
+        }
+    }
+
+    /// The per-test base seed: FNV of the test name, overridable via
+    /// `PROPTEST_SEED`.
+    pub fn base_seed(name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                return v;
+            }
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+// ---- macros ---------------------------------------------------------------
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// expands to a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let __config: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::test_runner::base_seed(stringify!($name));
+            let __strategies = ($($strat,)+);
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::new(
+                    __seed ^ (__case as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                );
+                let __guard =
+                    $crate::test_runner::CaseGuard::new(stringify!($name), __case, __seed);
+                // The body runs in a closure returning `Result`, so
+                // `return Ok(())` skips a case like in real proptest.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    let ($($arg,)+) = __strategies.new_value(&mut __rng);
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(__msg) = __outcome {
+                    panic!("property failed: {__msg}");
+                }
+                __guard.disarm();
+            }
+        }
+    )*};
+}
+
+/// `assert!` under a property-test harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a property-test harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a property-test harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+
+    /// The `prop::` module path used by `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        let s = (0u32..5, -3i64..3, 1usize..=4);
+        for _ in 0..2000 {
+            let (a, b, c) = s.new_value(&mut rng);
+            assert!(a < 5);
+            assert!((-3..3).contains(&b));
+            assert!((1..=4).contains(&c));
+        }
+    }
+
+    #[test]
+    fn union_hits_every_option() {
+        let mut rng = TestRng::new(2);
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.new_value(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::new(3);
+        let s = crate::collection::vec(0u8..10, 2..5);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn recursion_terminates_and_varies() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(n) => {
+                    assert!(*n < 10);
+                    0
+                }
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u8..10).prop_map(Tree::Leaf);
+        let s = leaf.prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+                .boxed()
+        });
+        let mut rng = TestRng::new(4);
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&s.new_value(&mut rng)));
+        }
+        assert!(max_depth >= 1);
+        assert!(max_depth <= 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u32..10, flag in any::<bool>()) {
+            prop_assert!(x < 10);
+            let _ = flag;
+        }
+    }
+}

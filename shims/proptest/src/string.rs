@@ -1,0 +1,272 @@
+//! String generation from a small regex subset.
+//!
+//! Supports the constructs the workspace's property tests use:
+//! literals, `[a-z0-9 ]` classes (ranges and singletons), `(a|b)`
+//! groups with alternation, the quantifiers `*` `+` `?` `{m}` `{m,n}`
+//! `{m,}`, `.`/`\PC` (any printable char), and `\d`/`\w`/`\s` classes.
+//! Unknown constructs degrade to literals — generation never panics.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// Inclusive codepoint ranges.
+    Class(Vec<(char, char)>),
+    /// `.`, `\PC`: any printable character (ASCII + a little unicode).
+    Printable,
+    /// A group: alternatives, each a sequence.
+    Alt(Vec<Vec<Node>>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Unbounded quantifiers draw repetitions from `min..=min + STAR_SLACK`.
+const STAR_SLACK: u32 = 8;
+
+struct RegexParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> RegexParser<'a> {
+    fn parse_alternatives(&mut self) -> Vec<Vec<Node>> {
+        let mut alts = vec![Vec::new()];
+        loop {
+            match self.chars.peek() {
+                None | Some(')') => break,
+                Some('|') => {
+                    self.chars.next();
+                    alts.push(Vec::new());
+                }
+                Some(_) => {
+                    if let Some(node) = self.parse_atom() {
+                        let node = self.parse_quantifier(node);
+                        alts.last_mut().expect("nonempty").push(node);
+                    }
+                }
+            }
+        }
+        alts
+    }
+
+    fn parse_atom(&mut self) -> Option<Node> {
+        match self.chars.next()? {
+            '(' => {
+                let alts = self.parse_alternatives();
+                // Consume the ')' if present; tolerate its absence.
+                if self.chars.peek() == Some(&')') {
+                    self.chars.next();
+                }
+                Some(Node::Alt(alts))
+            }
+            '[' => Some(self.parse_class()),
+            '.' => Some(Node::Printable),
+            '\\' => match self.chars.next() {
+                Some('P') | Some('p') => {
+                    // Property class: single-letter (`\PC`) or braced
+                    // (`\p{...}`) — generate printable text either way.
+                    if let Some('{') = self.chars.next() {
+                        for c in self.chars.by_ref() {
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    }
+                    Some(Node::Printable)
+                }
+                Some('d') => Some(Node::Class(vec![('0', '9')])),
+                Some('w') => Some(Node::Class(vec![
+                    ('a', 'z'),
+                    ('A', 'Z'),
+                    ('0', '9'),
+                    ('_', '_'),
+                ])),
+                Some('s') => Some(Node::Class(vec![(' ', ' '), ('\t', '\t')])),
+                Some(c) => Some(Node::Lit(c)),
+                None => None,
+            },
+            c => Some(Node::Lit(c)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        // A leading '^' (negation) is not supported; treat literally.
+        while let Some(&c) = self.chars.peek() {
+            if c == ']' {
+                self.chars.next();
+                break;
+            }
+            self.chars.next();
+            let lo = if c == '\\' {
+                self.chars.next().unwrap_or('\\')
+            } else {
+                c
+            };
+            if self.chars.peek() == Some(&'-') {
+                self.chars.next();
+                match self.chars.peek() {
+                    Some(&hi) if hi != ']' => {
+                        self.chars.next();
+                        ranges.push((lo, hi.max(lo)));
+                        continue;
+                    }
+                    _ => {
+                        ranges.push((lo, lo));
+                        ranges.push(('-', '-'));
+                        continue;
+                    }
+                }
+            }
+            ranges.push((lo, lo));
+        }
+        if ranges.is_empty() {
+            ranges.push(('a', 'a'));
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self, node: Node) -> Node {
+        match self.chars.peek() {
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(node), 0, STAR_SLACK)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(node), 1, 1 + STAR_SLACK)
+            }
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(node), 0, 1)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut min_txt = String::new();
+                let mut max_txt = String::new();
+                let mut saw_comma = false;
+                for c in self.chars.by_ref() {
+                    match c {
+                        '}' => break,
+                        ',' => saw_comma = true,
+                        d if saw_comma => max_txt.push(d),
+                        d => min_txt.push(d),
+                    }
+                }
+                let min = min_txt.parse::<u32>().unwrap_or(0);
+                let max = if !saw_comma {
+                    min
+                } else {
+                    max_txt.parse::<u32>().unwrap_or(min + STAR_SLACK)
+                };
+                Node::Repeat(Box::new(node), min, max.max(min))
+            }
+            _ => node,
+        }
+    }
+}
+
+/// A pool of printable characters for `.`/`\PC`: mostly ASCII, with a
+/// few multibyte codepoints to exercise UTF-8 handling in parsers.
+const EXOTIC: &[char] = &['é', 'ß', 'λ', '中', '🦀', '\u{a0}', '„', '∀'];
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1));
+            for &(lo, hi) in ranges {
+                let span = (hi as u64) - (lo as u64) + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo as u32 + pick as u32).unwrap_or(lo));
+                    return;
+                }
+                pick -= span;
+            }
+        }
+        Node::Printable => {
+            if rng.below(8) == 0 {
+                out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+            } else {
+                out.push((0x20 + rng.below(0x5f) as u8) as char);
+            }
+        }
+        Node::Alt(alts) => {
+            let alt = &alts[rng.below(alts.len() as u64) as usize];
+            for n in alt {
+                generate_node(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let count = min + rng.below((max - min + 1) as u64) as u32;
+            for _ in 0..count {
+                generate_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generates a string matching (the supported subset of) `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = RegexParser {
+        chars: pattern.chars().peekable(),
+    };
+    let alts = parser.parse_alternatives();
+    let mut out = String::new();
+    let alt = &alts[rng.below(alts.len() as u64) as usize];
+    for node in alt {
+        generate_node(node, rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_patterns_pass_through() {
+        let mut rng = TestRng::new(1);
+        assert_eq!(generate("processes 2", &mut rng), "processes 2");
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = generate("[a-z ]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c == ' '),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn groups_and_alternation() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = generate(
+                "(event|init) p[0-9] (internal|send m[0-9]|recv m[0-9])( x=[0-9])?",
+                &mut rng,
+            );
+            assert!(s.starts_with("event p") || s.starts_with("init p"), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_star_varies() {
+        let mut rng = TestRng::new(4);
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let s = generate("\\PC*", &mut rng);
+            assert!(s.chars().all(|c| c as u32 >= 0x20), "{s:?}");
+            lens.insert(s.chars().count());
+        }
+        assert!(lens.len() > 3);
+    }
+}
