@@ -1,0 +1,131 @@
+//! WAL micro-benchmarks: append throughput per sync policy, and
+//! recovery-scan speed. Prints one JSON object to stdout so CI can
+//! archive the numbers as an artifact and trend them across commits.
+//!
+//! ```text
+//! store_bench [--quick]
+//! ```
+//!
+//! `--quick` shrinks the record counts for smoke runs. Results land on
+//! whatever filesystem backs the system temp directory, so absolute
+//! numbers are machine-dependent — the interesting signal is the ratio
+//! between sync policies and regressions over time.
+
+use hb_store::{Store, StoreOptions, SyncPolicy};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One appended record: a realistic wire-frame-sized JSON-ish payload.
+const PAYLOAD: &[u8] =
+    br#"{"type":"event","session":"bench","p":3,"clock":[41,7,19,88],"set":{"x":12345}}"#;
+
+struct AppendRun {
+    policy: &'static str,
+    records: u64,
+    secs: f64,
+    fsyncs: u64,
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("hb-store-bench")
+        .join(format!("{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_append(policy: SyncPolicy, tag: &'static str, records: u64) -> AppendRun {
+    let dir = bench_dir(tag);
+    let mut store = Store::open(
+        &dir,
+        StoreOptions {
+            sync: policy,
+            ..StoreOptions::default()
+        },
+    )
+    .expect("open bench store");
+    let start = Instant::now();
+    for _ in 0..records {
+        store.append(PAYLOAD).expect("append");
+    }
+    store.sync().expect("final sync");
+    let secs = start.elapsed().as_secs_f64();
+    let fsyncs = store.stats().fsyncs;
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    AppendRun {
+        policy: tag,
+        records,
+        secs,
+        fsyncs,
+    }
+}
+
+/// Time `Store::open`'s full scan over a populated directory — the cost
+/// a crashed monitor pays before it can listen again.
+fn bench_recovery(records: u64) -> (u64, f64) {
+    let dir = bench_dir("recovery");
+    {
+        let mut store = Store::open(
+            &dir,
+            StoreOptions {
+                sync: SyncPolicy::Os,
+                ..StoreOptions::default()
+            },
+        )
+        .expect("open bench store");
+        for _ in 0..records {
+            store.append(PAYLOAD).expect("append");
+        }
+    }
+    let start = Instant::now();
+    let store = Store::open(&dir, StoreOptions::default()).expect("reopen scans");
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(store.recovery_report().records, records);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    (records, secs)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (bulk, fsynced) = if quick { (5_000, 50) } else { (100_000, 500) };
+
+    let runs = [
+        bench_append(SyncPolicy::Os, "os", bulk),
+        bench_append(
+            SyncPolicy::Interval(Duration::from_millis(5)),
+            "interval_5ms",
+            bulk,
+        ),
+        bench_append(SyncPolicy::Always, "always", fsynced),
+    ];
+    let (rec_records, rec_secs) = bench_recovery(bulk);
+
+    // Flat JSON by hand: every value is a number or a fixed tag, so
+    // there is nothing to escape.
+    let mut out = String::from("{\"payload_bytes\":");
+    let _ = write!(out, "{},\"append\":[", PAYLOAD.len());
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"policy\":\"{}\",\"records\":{},\"secs\":{:.6},\"records_per_sec\":{:.1},\"mib_per_sec\":{:.3},\"fsyncs\":{}}}",
+            r.policy,
+            r.records,
+            r.secs,
+            r.records as f64 / r.secs,
+            r.records as f64 * PAYLOAD.len() as f64 / r.secs / (1024.0 * 1024.0),
+            r.fsyncs,
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"recovery\":{{\"records\":{rec_records},\"secs\":{rec_secs:.6},\"records_per_sec\":{:.1}}}}}",
+        rec_records as f64 / rec_secs,
+    );
+    println!("{out}");
+}

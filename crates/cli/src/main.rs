@@ -22,10 +22,16 @@
 //! hbtl simulate <proto> <out.json>   generate a demo trace
 //!                                    (proto: mutex|leader|termination|pipeline)
 //! hbtl monitor serve <addr>          run the online-detection service
+//!                                    (--data-dir makes it durable:
+//!                                    WAL + snapshots + crash recovery)
 //! hbtl monitor send <addr> <trace>   replay a trace into a session
 //!                                    (causality-respecting shuffle)
-//! hbtl monitor stats <addr>          query service counters
+//! hbtl monitor stats <addr>          query service counters (--json)
 //! hbtl monitor shutdown <addr>       stop a running service
+//! hbtl store inspect <dir>           read-only look at a data dir (--json)
+//! hbtl store verify <dir>            CRC-check every WAL record
+//!                                    (--repair truncates a damaged tail)
+//! hbtl store compact <dir>           drop snapshot-covered segments
 //! ```
 //!
 //! Trace files ending in `.json` use the JSON interchange format; any
@@ -39,6 +45,7 @@ use std::process::ExitCode;
 
 mod commands;
 mod monitor_cmd;
+mod store_cmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,7 +64,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  hbtl check <trace> \"<formula>\"\n  hbtl info <trace>\n  hbtl dot <trace>\n  hbtl lattice <trace> [limit]\n  hbtl convert <in> <out>\n  hbtl simulate <mutex|leader|termination|pipeline> <out.json>\n  hbtl monitor serve <addr> [--shards N] [--capacity N] [--stats-every SECS]\n  hbtl monitor send <addr> <trace> --session NAME (--conj|--disj \"p:var=v,...\")... [--seed S] [--window W]\n  hbtl monitor stats <addr>\n  hbtl monitor shutdown <addr>"
+    "usage:\n  hbtl check <trace> \"<formula>\"\n  hbtl info <trace>\n  hbtl dot <trace>\n  hbtl lattice <trace> [limit]\n  hbtl convert <in> <out>\n  hbtl simulate <mutex|leader|termination|pipeline> <out.json>\n  hbtl monitor serve <addr> [--shards N] [--capacity N] [--stats-every SECS]\n                    [--data-dir DIR] [--sync always|os|interval:<ms>] [--snapshot-every N]\n  hbtl monitor send <addr> <trace> --session NAME (--conj|--disj \"p:var=v,...\")... [--seed S] [--window W]\n  hbtl monitor stats <addr> [--json]\n  hbtl monitor shutdown <addr>\n  hbtl store inspect <dir> [--json]\n  hbtl store verify <dir> [--repair] [--json]\n  hbtl store compact <dir>"
 }
 
 /// Dispatches a command line; returns the text to print.
@@ -182,6 +189,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             ))
         }
         Some("monitor") => monitor_cmd::run(&args[1..]),
+        Some("store") => store_cmd::run(&args[1..]),
         _ => Err("missing or unknown command".into()),
     }
 }

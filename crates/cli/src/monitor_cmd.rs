@@ -2,10 +2,18 @@
 //!
 //! ```text
 //! hbtl monitor serve <addr> [--shards N] [--capacity N] [--stats-every SECS]
+//!                   [--data-dir DIR] [--sync always|os|interval:<ms>]
+//!                   [--snapshot-every N]
 //! hbtl monitor send <addr> <trace> --session NAME
 //!                   (--conj SPEC | --disj SPEC)... [--seed S] [--window W]
-//! hbtl monitor stats <addr>
+//! hbtl monitor stats <addr> [--json]
 //! ```
+//!
+//! With `--data-dir`, every accepted message is write-ahead logged
+//! before it is acknowledged and all sessions are snapshotted
+//! periodically; restarting `serve` on the same directory recovers
+//! every open session and resumes exactly where the crash interrupted
+//! it (see `hbtl store` for offline inspection of the directory).
 //!
 //! `send` replays a recorded trace as a live computation would emit it:
 //! a seeded causality-respecting shuffle of the events (bounded
@@ -16,8 +24,9 @@
 //! e.g. `--conj "0:x=2,1:x=1"`. Operators: `= != < <= > >=`.
 
 use hb_computation::{Computation, EventId};
-use hb_monitor::{serve, MonitorConfig, MonitorService, SessionLimits};
+use hb_monitor::{serve, MonitorConfig, MonitorService, PersistConfig, SessionLimits};
 use hb_sim::causal_shuffle;
+use hb_store::{StoreError, SyncPolicy};
 use hb_tracefmt::wire::{
     read_frame, write_frame, ClientMsg, ServerMsg, WireClause, WireMode, WirePredicate, WireVerdict,
 };
@@ -72,19 +81,66 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
                 .map_err(|_| "bad --stats-every".to_string())
         })
         .transpose()?;
+    let data_dir = take_flag(&mut rest, "--data-dir")?;
+    let sync = take_flag(&mut rest, "--sync")?
+        .map(|s| SyncPolicy::parse(&s))
+        .transpose()?;
+    let snapshot_every = take_flag(&mut rest, "--snapshot-every")?
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| "bad --snapshot-every".to_string())
+        })
+        .transpose()?;
+    if data_dir.is_none() && (sync.is_some() || snapshot_every.is_some()) {
+        return Err("--sync and --snapshot-every need --data-dir".into());
+    }
+    let persist = data_dir.map(|dir| {
+        let mut p = PersistConfig::new(dir.into());
+        if let Some(sync) = sync {
+            p.sync = sync;
+        }
+        if let Some(every) = snapshot_every {
+            p.snapshot_every = every.max(1);
+        }
+        p
+    });
     let [addr] = rest.as_slice() else {
         return Err("serve needs <addr> (e.g. 127.0.0.1:7474)".into());
     };
-    let listener = TcpListener::bind(addr.as_str()).map_err(|e| format!("bind {addr}: {e}"))?;
+    let listener = TcpListener::bind(addr.as_str()).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::AddrInUse {
+            format!("bind {addr}: address already in use — is another monitor running there?")
+        } else {
+            format!("bind {addr}: {e}")
+        }
+    })?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
-    let service = MonitorService::start(MonitorConfig {
+    let durable = persist.is_some();
+    let service = MonitorService::open(MonitorConfig {
         shards,
         limits: SessionLimits {
             buffer_capacity: capacity,
             ..SessionLimits::default()
         },
         stats_interval: stats_every.map(Duration::from_secs),
-    });
+        persist,
+    })
+    .map_err(|e| match e {
+        StoreError::Locked { path, pid } => format!(
+            "data directory is locked ({}){} — another monitor owns it; \
+             stop that process or pick a different --data-dir",
+            path.display(),
+            pid.map(|p| format!(" by pid {p}")).unwrap_or_default(),
+        ),
+        other => format!("open data dir: {other}"),
+    })?;
+    if durable {
+        let m = service.metrics();
+        eprintln!(
+            "hb-monitor: recovered {} session(s), replayed {} record(s) in {} ms",
+            m.sessions_recovered, m.recovery_replayed, m.recovery_millis
+        );
+    }
     eprintln!("hb-monitor: listening on {local} ({shards} shards)");
     serve(listener, service.handle()).map_err(|e| format!("serve: {e}"))?;
     let stats = service.shutdown();
@@ -293,8 +349,16 @@ fn send_cmd(args: &[String]) -> Result<String, String> {
 }
 
 fn stats_cmd(args: &[String]) -> Result<String, String> {
-    let [addr] = args else {
-        return Err("stats needs <addr>".into());
+    let mut rest = args.to_vec();
+    let json = match rest.iter().position(|a| a == "--json") {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    };
+    let [addr] = rest.as_slice() else {
+        return Err("stats needs <addr> [--json]".into());
     };
     let stream = TcpStream::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut w = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
@@ -303,8 +367,24 @@ fn stats_cmd(args: &[String]) -> Result<String, String> {
     match read_frame::<_, ServerMsg>(&mut r).map_err(|e| e.to_string())? {
         Some(ServerMsg::Stats { counters }) => {
             let mut out = String::new();
-            for (k, v) in counters {
-                let _ = writeln!(out, "{k:>24}  {v}");
+            if json {
+                // One flat JSON object, counter name → integer value.
+                use serde::Serialize as _;
+                let value = serde::Value::Object(
+                    counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_value()))
+                        .collect(),
+                );
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    serde_json::to_string(&value).map_err(|e| e.to_string())?
+                );
+            } else {
+                for (k, v) in counters {
+                    let _ = writeln!(out, "{k:>24}  {v}");
+                }
             }
             Ok(out)
         }

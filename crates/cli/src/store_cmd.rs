@@ -1,0 +1,90 @@
+//! The `hbtl store` subcommand family: offline tooling for a monitor
+//! data directory.
+//!
+//! ```text
+//! hbtl store inspect <dir> [--json]   list segments/snapshots read-only
+//! hbtl store verify <dir> [--repair] [--json]
+//!                                     CRC-check every record; --repair
+//!                                     locks the store and truncates a
+//!                                     damaged tail
+//! hbtl store compact <dir>            drop segments covered by the
+//!                                     newest snapshot
+//! ```
+//!
+//! `inspect` never locks the directory, so it is safe against a running
+//! monitor (it may see a torn in-flight tail — that is reported, not
+//! repaired). `verify --repair` and `compact` take the store lock and
+//! refuse to run while a monitor owns the directory.
+
+use hb_store::{inspect, render_report, verify, Store, StoreOptions, StoreReport};
+use serde::Serialize as _;
+use std::path::Path;
+
+/// Dispatches `hbtl store <verb> …`.
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("inspect") => inspect_cmd(&args[1..]),
+        Some("verify") => verify_cmd(&args[1..]),
+        Some("compact") => compact_cmd(&args[1..]),
+        _ => Err("store needs inspect|verify|compact".into()),
+    }
+}
+
+fn take_switch(rest: &mut Vec<String>, flag: &str) -> bool {
+    match rest.iter().position(|a| a == flag) {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn render(report: &StoreReport, json: bool) -> String {
+    if json {
+        let mut text = serde_json::to_string(&report.to_value()).expect("store report serializes");
+        text.push('\n');
+        text
+    } else {
+        render_report(report)
+    }
+}
+
+fn inspect_cmd(args: &[String]) -> Result<String, String> {
+    let mut rest = args.to_vec();
+    let json = take_switch(&mut rest, "--json");
+    let [dir] = rest.as_slice() else {
+        return Err("store inspect needs <dir> [--json]".into());
+    };
+    let report = inspect(Path::new(dir)).map_err(|e| e.to_string())?;
+    Ok(render(&report, json))
+}
+
+fn verify_cmd(args: &[String]) -> Result<String, String> {
+    let mut rest = args.to_vec();
+    let json = take_switch(&mut rest, "--json");
+    let repair = take_switch(&mut rest, "--repair");
+    let [dir] = rest.as_slice() else {
+        return Err("store verify needs <dir> [--repair] [--json]".into());
+    };
+    let report = verify(Path::new(dir), repair).map_err(|e| e.to_string())?;
+    let mut out = render(&report, json);
+    if !json && report.bad_bytes == 0 && report.repaired_bytes == 0 {
+        out.push_str("verification passed: every record checks out\n");
+    }
+    Ok(out)
+}
+
+fn compact_cmd(args: &[String]) -> Result<String, String> {
+    let [dir] = args else {
+        return Err("store compact needs <dir>".into());
+    };
+    let mut store =
+        Store::open(Path::new(dir), StoreOptions::default()).map_err(|e| e.to_string())?;
+    let removed = store.compact().map_err(|e| e.to_string())?;
+    let stats = store.stats();
+    Ok(format!(
+        "compacted: removed {removed} segment(s), {} live ({} bytes)\n",
+        stats.segments, stats.live_bytes
+    ))
+}

@@ -66,6 +66,103 @@ pub trait OnlineMonitor {
     fn is_settled(&self) -> bool {
         !matches!(self.verdict(), OnlineVerdict::Pending)
     }
+
+    /// Exports the monitor's full state as plain data, so a monitoring
+    /// service can persist it and later rebuild an equivalent monitor
+    /// with [`restore_monitor`].
+    fn export_state(&self) -> DetectorState;
+}
+
+/// A verdict as plain data (the cut flattened to its counters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerdictState {
+    /// Detected, with the least satisfying cut's counters.
+    Detected(Vec<u32>),
+    /// Settled negative.
+    Impossible,
+    /// Still observing.
+    Pending,
+}
+
+impl VerdictState {
+    /// Flattens a live verdict.
+    pub fn from_verdict(v: &OnlineVerdict) -> VerdictState {
+        match v {
+            OnlineVerdict::Detected(cut) => VerdictState::Detected(cut.counters().to_vec()),
+            OnlineVerdict::Impossible => VerdictState::Impossible,
+            OnlineVerdict::Pending => VerdictState::Pending,
+        }
+    }
+
+    /// Rebuilds the live verdict.
+    pub fn to_verdict(&self) -> OnlineVerdict {
+        match self {
+            VerdictState::Detected(counters) => {
+                OnlineVerdict::Detected(Cut::from_counters(counters.clone()))
+            }
+            VerdictState::Impossible => OnlineVerdict::Impossible,
+            VerdictState::Pending => OnlineVerdict::Pending,
+        }
+    }
+}
+
+/// One queued candidate as plain data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateState {
+    /// Local state index (0 is the initial state).
+    pub state: u32,
+    /// Components of the producing event's vector clock.
+    pub clock: Vec<u32>,
+}
+
+/// Exported state of an [`OnlineEfConjunctive`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveState {
+    /// Process count.
+    pub n: usize,
+    /// Per-process candidate queues, front first.
+    pub queues: Vec<Vec<CandidateState>>,
+    /// Which processes carry a clause.
+    pub participating: Vec<bool>,
+    /// States observed per process.
+    pub seen: Vec<u32>,
+    /// Which processes have finished.
+    pub finished: Vec<bool>,
+    /// The verdict so far.
+    pub verdict: VerdictState,
+}
+
+/// Exported state of an [`OnlineEfDisjunctive`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisjunctiveState {
+    /// States observed per process.
+    pub seen: Vec<u32>,
+    /// Processes not yet finished.
+    pub live: usize,
+    /// The verdict so far.
+    pub verdict: VerdictState,
+}
+
+/// The full state of any on-line detector, as plain data: everything a
+/// service needs to persist a monitor and rebuild it after a crash.
+/// Contains no [`VectorClock`] or [`Cut`] values, only integers and
+/// booleans, so serialization lives entirely with the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectorState {
+    /// An [`OnlineEfConjunctive`].
+    Conjunctive(ConjunctiveState),
+    /// An [`OnlineEfDisjunctive`].
+    Disjunctive(DisjunctiveState),
+}
+
+/// Rebuilds a boxed monitor from exported state; the round trip
+/// `restore_monitor(m.export_state())` yields a monitor observationally
+/// identical to `m`.
+pub fn restore_monitor(state: &DetectorState) -> Box<dyn OnlineMonitor + Send> {
+    match state {
+        DetectorState::Conjunctive(s) => Box::new(OnlineEfConjunctive::from_state(s)),
+        DetectorState::Disjunctive(s) => Box::new(OnlineEfDisjunctive::from_state(s)),
+    }
 }
 
 impl OnlineMonitor for OnlineEfConjunctive {
@@ -82,6 +179,28 @@ impl OnlineMonitor for OnlineEfConjunctive {
     fn verdict(&self) -> &OnlineVerdict {
         OnlineEfConjunctive::verdict(self)
     }
+
+    fn export_state(&self) -> DetectorState {
+        DetectorState::Conjunctive(ConjunctiveState {
+            n: self.n,
+            queues: self
+                .queues
+                .iter()
+                .map(|q| {
+                    q.iter()
+                        .map(|c| CandidateState {
+                            state: c.state,
+                            clock: c.clock.components().to_vec(),
+                        })
+                        .collect()
+                })
+                .collect(),
+            participating: self.participating.clone(),
+            seen: self.seen.clone(),
+            finished: self.finished.clone(),
+            verdict: VerdictState::from_verdict(&self.verdict),
+        })
+    }
 }
 
 impl OnlineMonitor for OnlineEfDisjunctive {
@@ -97,6 +216,14 @@ impl OnlineMonitor for OnlineEfDisjunctive {
 
     fn verdict(&self) -> &OnlineVerdict {
         OnlineEfDisjunctive::verdict(self)
+    }
+
+    fn export_state(&self) -> DetectorState {
+        DetectorState::Disjunctive(DisjunctiveState {
+            seen: self.seen.clone(),
+            live: self.live,
+            verdict: VerdictState::from_verdict(&self.verdict),
+        })
     }
 }
 
@@ -156,6 +283,29 @@ impl OnlineEfConjunctive {
         }
         m.recheck();
         m
+    }
+
+    /// Rebuilds a monitor from exported state.
+    pub fn from_state(s: &ConjunctiveState) -> Self {
+        OnlineEfConjunctive {
+            n: s.n,
+            queues: s
+                .queues
+                .iter()
+                .map(|q| {
+                    q.iter()
+                        .map(|c| Candidate {
+                            state: c.state,
+                            clock: VectorClock::from_components(c.clock.clone()),
+                        })
+                        .collect()
+                })
+                .collect(),
+            participating: s.participating.clone(),
+            seen: s.seen.clone(),
+            finished: s.finished.clone(),
+            verdict: s.verdict.to_verdict(),
+        }
     }
 
     /// Observes the next local state of process `i`: `holds` is the local
@@ -275,6 +425,15 @@ impl OnlineEfDisjunctive {
             m.verdict = OnlineVerdict::Detected(Cut::initial(n));
         }
         m
+    }
+
+    /// Rebuilds a monitor from exported state.
+    pub fn from_state(s: &DisjunctiveState) -> Self {
+        OnlineEfDisjunctive {
+            seen: s.seen.clone(),
+            live: s.live,
+            verdict: s.verdict.to_verdict(),
+        }
     }
 
     /// Observes the next local state of process `i`.
@@ -467,6 +626,62 @@ mod tests {
     fn monitor_with_initially_true_conjunction_detects_empty_cut() {
         let m = OnlineEfConjunctive::new(2, vec![true, true], vec![true, true]);
         assert_eq!(m.verdict(), &OnlineVerdict::Detected(Cut::initial(2)));
+    }
+
+    #[test]
+    fn export_restore_round_trip_preserves_behavior() {
+        let (comp, x) = mutexish();
+        let n = comp.num_processes();
+        let p = Conjunctive::new(vec![(0, LocalExpr::eq(x, 2)), (2, LocalExpr::eq(x, 1))]);
+        let participating: Vec<bool> = (0..n)
+            .map(|i| p.clauses().iter().any(|c| c.process == i))
+            .collect();
+        let initially: Vec<bool> = (0..n).map(|i| p.clause_holds_at(&comp, i, 0)).collect();
+        let order = topo_order(&comp);
+        // Stream the first half, export, restore, stream the rest; the
+        // verdict must match an uninterrupted run.
+        let mut whole = OnlineEfConjunctive::new(n, participating.clone(), initially.clone());
+        let mut first = OnlineEfConjunctive::new(n, participating, initially);
+        let mid = order.len() / 2;
+        for &e in &order[..mid] {
+            let holds = p.clause_holds_at(&comp, e.process, e.index as u32 + 1);
+            whole.observe(e.process, holds, comp.clock(e));
+            first.observe(e.process, holds, comp.clock(e));
+        }
+        let exported = OnlineMonitor::export_state(&first);
+        drop(first);
+        let mut resumed = restore_monitor(&exported);
+        assert_eq!(resumed.export_state(), exported, "export is stable");
+        for &e in &order[mid..] {
+            let holds = p.clause_holds_at(&comp, e.process, e.index as u32 + 1);
+            whole.observe(e.process, holds, comp.clock(e));
+            resumed.observe(e.process, holds, comp.clock(e));
+        }
+        for i in 0..n {
+            whole.finish_process(i);
+            resumed.finish_process(i);
+        }
+        assert_eq!(whole.verdict(), OnlineMonitor::verdict(resumed.as_ref()));
+        assert!(matches!(whole.verdict(), OnlineVerdict::Detected(_)));
+    }
+
+    #[test]
+    fn disjunctive_export_restore_round_trip() {
+        let mut m = OnlineEfDisjunctive::new(3, vec![false, false, false]);
+        m.observe(1, false, &VectorClock::from_components(vec![0, 1, 0]));
+        let exported = OnlineMonitor::export_state(&m);
+        let mut resumed = restore_monitor(&exported);
+        assert_eq!(resumed.export_state(), exported);
+        // Fire on the restored copy; the cut comes from the clock.
+        let v = resumed.observe(2, true, &VectorClock::from_components(vec![0, 1, 1]));
+        assert_eq!(
+            v,
+            OnlineVerdict::Detected(Cut::from_counters(vec![0, 1, 1]))
+        );
+        // A settled verdict survives the round trip too.
+        let again = restore_monitor(&resumed.export_state());
+        assert!(again.is_settled());
+        assert_eq!(OnlineMonitor::verdict(again.as_ref()), &v);
     }
 
     #[test]

@@ -22,15 +22,21 @@
 //!   threads, an in-process client handle, a TCP wire-protocol
 //!   transport (see [`hb_tracefmt::wire`]), atomic [`metrics`], and
 //!   graceful shutdown that flushes every session to a final verdict.
+//! - [`persist`] — durable state: with a data directory configured, the
+//!   service write-ahead-logs every client message (via [`hb_store`])
+//!   before acknowledging it and snapshots all sessions periodically,
+//!   so a crashed monitor restarts exactly where it stopped.
 
 #![warn(missing_docs)]
 
 pub mod buffer;
 pub mod metrics;
+pub mod persist;
 pub mod service;
 pub mod session;
 
 pub use buffer::{CausalBuffer, Delivered, IngestError, OverflowPolicy};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use persist::{PersistConfig, ServiceSnapshot, SessionSnapshot};
 pub use service::{serve, MonitorConfig, MonitorHandle, MonitorService};
 pub use session::{Session, SessionError, SessionLimits, VerdictEvent};

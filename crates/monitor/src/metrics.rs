@@ -40,6 +40,27 @@ pub struct Metrics {
     pub sessions_active: AtomicU64,
     /// Protocol errors answered with `ServerMsg::Error`.
     pub protocol_errors: AtomicU64,
+    /// WAL records appended since this process started (gauge, mirrors
+    /// the store's counter).
+    pub wal_records: AtomicU64,
+    /// WAL bytes appended since this process started.
+    pub wal_bytes: AtomicU64,
+    /// Explicit WAL fsyncs performed.
+    pub wal_fsyncs: AtomicU64,
+    /// Slowest WAL fsync observed, in microseconds (high-water).
+    pub wal_fsync_max_micros: AtomicU64,
+    /// Snapshots written since this process started.
+    pub snapshots_written: AtomicU64,
+    /// Unix time of the latest snapshot (gauge; 0 = none yet).
+    pub snapshot_unix_secs: AtomicU64,
+    /// Sessions rebuilt from the snapshot at startup.
+    pub sessions_recovered: AtomicU64,
+    /// WAL records replayed at startup.
+    pub recovery_replayed: AtomicU64,
+    /// Wall-clock milliseconds the startup recovery took.
+    pub recovery_millis: AtomicU64,
+    /// Bytes truncated off a torn or corrupt WAL tail at startup.
+    pub recovery_truncated_bytes: AtomicU64,
 }
 
 impl Metrics {
@@ -74,6 +95,16 @@ impl Metrics {
             sessions_opened: self.sessions_opened.load(Relaxed),
             sessions_active: self.sessions_active.load(Relaxed),
             protocol_errors: self.protocol_errors.load(Relaxed),
+            wal_records: self.wal_records.load(Relaxed),
+            wal_bytes: self.wal_bytes.load(Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Relaxed),
+            wal_fsync_max_micros: self.wal_fsync_max_micros.load(Relaxed),
+            snapshots_written: self.snapshots_written.load(Relaxed),
+            snapshot_unix_secs: self.snapshot_unix_secs.load(Relaxed),
+            sessions_recovered: self.sessions_recovered.load(Relaxed),
+            recovery_replayed: self.recovery_replayed.load(Relaxed),
+            recovery_millis: self.recovery_millis.load(Relaxed),
+            recovery_truncated_bytes: self.recovery_truncated_bytes.load(Relaxed),
         }
     }
 }
@@ -94,6 +125,16 @@ pub struct MetricsSnapshot {
     pub sessions_opened: u64,
     pub sessions_active: u64,
     pub protocol_errors: u64,
+    pub wal_records: u64,
+    pub wal_bytes: u64,
+    pub wal_fsyncs: u64,
+    pub wal_fsync_max_micros: u64,
+    pub snapshots_written: u64,
+    pub snapshot_unix_secs: u64,
+    pub sessions_recovered: u64,
+    pub recovery_replayed: u64,
+    pub recovery_millis: u64,
+    pub recovery_truncated_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -112,6 +153,16 @@ impl MetricsSnapshot {
             ("sessions_opened", self.sessions_opened),
             ("sessions_active", self.sessions_active),
             ("protocol_errors", self.protocol_errors),
+            ("wal_records", self.wal_records),
+            ("wal_bytes", self.wal_bytes),
+            ("wal_fsyncs", self.wal_fsyncs),
+            ("wal_fsync_max_micros", self.wal_fsync_max_micros),
+            ("snapshots_written", self.snapshots_written),
+            ("snapshot_unix_secs", self.snapshot_unix_secs),
+            ("sessions_recovered", self.sessions_recovered),
+            ("recovery_replayed", self.recovery_replayed),
+            ("recovery_millis", self.recovery_millis),
+            ("recovery_truncated_bytes", self.recovery_truncated_bytes),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
@@ -125,7 +176,8 @@ impl fmt::Display for MetricsSnapshot {
         write!(
             f,
             "ingested={} delivered={} held={} held_hwm={} dup={} rejected={} \
-             dropped={} discarded={} verdicts={} sessions={}/{} errors={}",
+             dropped={} discarded={} verdicts={} sessions={}/{} errors={} \
+             wal={}r/{}B snapshots={}",
             self.events_ingested,
             self.events_delivered,
             self.events_held,
@@ -138,6 +190,9 @@ impl fmt::Display for MetricsSnapshot {
             self.sessions_active,
             self.sessions_opened,
             self.protocol_errors,
+            self.wal_records,
+            self.wal_bytes,
+            self.snapshots_written,
         )
     }
 }
@@ -163,7 +218,7 @@ mod tests {
         m.events_ingested.fetch_add(5, Relaxed);
         let map = m.snapshot().to_map();
         assert_eq!(map["events_ingested"], 5);
-        assert_eq!(map.len(), 12);
+        assert_eq!(map.len(), 22);
     }
 
     #[test]

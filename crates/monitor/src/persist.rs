@@ -1,0 +1,427 @@
+//! Durable state: what the monitor writes into snapshots.
+//!
+//! The WAL records are plain wire-protocol [`ClientMsg`] frames — the
+//! monitor's input, logged before it is acknowledged — so replay is
+//! just re-submitting the input. Snapshots bound the replay: a
+//! [`ServiceSnapshot`] serializes every open session completely (local
+//! states, causal-buffer frontier and held events, each detector's
+//! exported state and emitted flags), and the store only replays
+//! records appended after it.
+//!
+//! Everything here is plain data serialized as JSON: no vector-clock or
+//! detector types cross the persistence boundary, only integers,
+//! strings, and booleans, mirroring [`hb_detect::online::DetectorState`].
+//!
+//! [`ClientMsg`]: hb_tracefmt::wire::ClientMsg
+
+use hb_detect::online::{
+    CandidateState, ConjunctiveState, DetectorState, DisjunctiveState, VerdictState,
+};
+use hb_store::SyncPolicy;
+use hb_tracefmt::wire::WirePredicate;
+use serde::{help, DeError, Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Durability configuration for a monitor service.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// The store directory (created if missing).
+    pub dir: PathBuf,
+    /// When appended records reach the disk.
+    pub sync: SyncPolicy,
+    /// Write a snapshot (and compact) every this many WAL records.
+    pub snapshot_every: u64,
+    /// WAL segment rotation size.
+    pub segment_bytes: u64,
+}
+
+impl PersistConfig {
+    /// Sensible defaults for a data directory.
+    pub fn new(dir: PathBuf) -> Self {
+        PersistConfig {
+            dir,
+            sync: SyncPolicy::Interval(std::time::Duration::from_millis(5)),
+            snapshot_every: 10_000,
+            segment_bytes: 8 << 20,
+        }
+    }
+}
+
+/// One held (not yet causally deliverable) event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeldEventSnapshot {
+    /// The producing process.
+    pub process: usize,
+    /// The event's vector clock components.
+    pub clock: Vec<u32>,
+    /// The event's variable updates, by name.
+    pub set: BTreeMap<String, i64>,
+}
+
+/// One registered predicate's detector, frozen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorSnapshot {
+    /// The predicate's caller-chosen id.
+    pub id: String,
+    /// Whether the settled verdict was already reported.
+    pub emitted: bool,
+    /// The detector's exported state.
+    pub state: DetectorState,
+}
+
+/// One open session, frozen mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    /// Session name.
+    pub name: String,
+    /// Process count.
+    pub processes: usize,
+    /// Variable names, in declaration (id) order.
+    pub vars: Vec<String>,
+    /// The predicates registered at open.
+    pub predicates: Vec<WirePredicate>,
+    /// Per-process local variable values, in id order.
+    pub states: Vec<Vec<i64>>,
+    /// The causal buffer's delivered frontier.
+    pub frontier: Vec<u32>,
+    /// Held events, in arrival order.
+    pub held: Vec<HeldEventSnapshot>,
+    /// Client-declared stream ends.
+    pub finished: Vec<bool>,
+    /// Finishes already forwarded to the detectors.
+    pub monitor_finished: Vec<bool>,
+    /// Events delivered so far.
+    pub delivered: u64,
+    /// Each predicate's detector, in registration order.
+    pub monitors: Vec<MonitorSnapshot>,
+}
+
+/// Every open session of a service, frozen at one WAL position.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// The open sessions.
+    pub sessions: Vec<SessionSnapshot>,
+}
+
+impl ServiceSnapshot {
+    /// Serializes to the snapshot payload format (JSON).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("snapshot serializes")
+    }
+
+    /// Parses a snapshot payload.
+    pub fn from_json(payload: &[u8]) -> Result<ServiceSnapshot, String> {
+        let text = std::str::from_utf8(payload).map_err(|e| format!("snapshot not UTF-8: {e}"))?;
+        let value = serde_json::parse_value(text).map_err(|e| format!("snapshot JSON: {e}"))?;
+        ServiceSnapshot::from_value(&value).map_err(|e| format!("snapshot shape: {e}"))
+    }
+}
+
+// ---- serde ---------------------------------------------------------------
+
+fn verdict_to_value(v: &VerdictState) -> Value {
+    match v {
+        VerdictState::Detected(cut) => Value::Object(vec![
+            ("kind".into(), "detected".to_string().to_value()),
+            ("cut".into(), cut.to_value()),
+        ]),
+        VerdictState::Impossible => {
+            Value::Object(vec![("kind".into(), "impossible".to_string().to_value())])
+        }
+        VerdictState::Pending => {
+            Value::Object(vec![("kind".into(), "pending".to_string().to_value())])
+        }
+    }
+}
+
+fn verdict_from_value(v: &Value) -> Result<VerdictState, DeError> {
+    let kind: String = help::field(v, "kind")?;
+    match kind.as_str() {
+        "detected" => Ok(VerdictState::Detected(help::field(v, "cut")?)),
+        "impossible" => Ok(VerdictState::Impossible),
+        "pending" => Ok(VerdictState::Pending),
+        other => Err(DeError::msg(format!("unknown verdict kind '{other}'"))),
+    }
+}
+
+fn candidate_to_value(c: &CandidateState) -> Value {
+    Value::Object(vec![
+        ("state".into(), c.state.to_value()),
+        ("clock".into(), c.clock.to_value()),
+    ])
+}
+
+fn candidate_from_value(v: &Value) -> Result<CandidateState, DeError> {
+    Ok(CandidateState {
+        state: help::field(v, "state")?,
+        clock: help::field(v, "clock")?,
+    })
+}
+
+fn detector_to_value(d: &DetectorState) -> Value {
+    match d {
+        DetectorState::Conjunctive(s) => Value::Object(vec![
+            ("kind".into(), "conjunctive".to_string().to_value()),
+            ("n".into(), s.n.to_value()),
+            (
+                "queues".into(),
+                Value::Array(
+                    s.queues
+                        .iter()
+                        .map(|q| Value::Array(q.iter().map(candidate_to_value).collect()))
+                        .collect(),
+                ),
+            ),
+            ("participating".into(), s.participating.to_value()),
+            ("seen".into(), s.seen.to_value()),
+            ("finished".into(), s.finished.to_value()),
+            ("verdict".into(), verdict_to_value(&s.verdict)),
+        ]),
+        DetectorState::Disjunctive(s) => Value::Object(vec![
+            ("kind".into(), "disjunctive".to_string().to_value()),
+            ("seen".into(), s.seen.to_value()),
+            ("live".into(), s.live.to_value()),
+            ("verdict".into(), verdict_to_value(&s.verdict)),
+        ]),
+    }
+}
+
+fn detector_from_value(v: &Value) -> Result<DetectorState, DeError> {
+    let kind: String = help::field(v, "kind")?;
+    match kind.as_str() {
+        "conjunctive" => {
+            let queues_value = v
+                .get("queues")
+                .ok_or_else(|| DeError::msg("missing field 'queues'"))?;
+            let Value::Array(queue_values) = queues_value else {
+                return Err(DeError::expected("array", queues_value));
+            };
+            let mut queues = Vec::with_capacity(queue_values.len());
+            for qv in queue_values {
+                let Value::Array(cands) = qv else {
+                    return Err(DeError::expected("array", qv));
+                };
+                queues.push(
+                    cands
+                        .iter()
+                        .map(candidate_from_value)
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+            }
+            let verdict = verdict_from_value(
+                v.get("verdict")
+                    .ok_or_else(|| DeError::msg("missing field 'verdict'"))?,
+            )?;
+            Ok(DetectorState::Conjunctive(ConjunctiveState {
+                n: help::field(v, "n")?,
+                queues,
+                participating: help::field(v, "participating")?,
+                seen: help::field(v, "seen")?,
+                finished: help::field(v, "finished")?,
+                verdict,
+            }))
+        }
+        "disjunctive" => {
+            let verdict = verdict_from_value(
+                v.get("verdict")
+                    .ok_or_else(|| DeError::msg("missing field 'verdict'"))?,
+            )?;
+            Ok(DetectorState::Disjunctive(DisjunctiveState {
+                seen: help::field(v, "seen")?,
+                live: help::field(v, "live")?,
+                verdict,
+            }))
+        }
+        other => Err(DeError::msg(format!("unknown detector kind '{other}'"))),
+    }
+}
+
+impl Serialize for HeldEventSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("process".into(), self.process.to_value()),
+            ("clock".into(), self.clock.to_value()),
+            ("set".into(), self.set.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for HeldEventSnapshot {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        Ok(HeldEventSnapshot {
+            process: help::field(v, "process")?,
+            clock: help::field(v, "clock")?,
+            set: help::field_or_default(v, "set")?,
+        })
+    }
+}
+
+impl Serialize for MonitorSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("id".into(), self.id.to_value()),
+            ("emitted".into(), self.emitted.to_value()),
+            ("state".into(), detector_to_value(&self.state)),
+        ])
+    }
+}
+
+impl Deserialize for MonitorSnapshot {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        Ok(MonitorSnapshot {
+            id: help::field(v, "id")?,
+            emitted: help::field(v, "emitted")?,
+            state: detector_from_value(
+                v.get("state")
+                    .ok_or_else(|| DeError::msg("missing field 'state'"))?,
+            )?,
+        })
+    }
+}
+
+impl Serialize for SessionSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), self.name.to_value()),
+            ("processes".into(), self.processes.to_value()),
+            ("vars".into(), self.vars.to_value()),
+            ("predicates".into(), self.predicates.to_value()),
+            ("states".into(), self.states.to_value()),
+            ("frontier".into(), self.frontier.to_value()),
+            ("held".into(), self.held.to_value()),
+            ("finished".into(), self.finished.to_value()),
+            ("monitor_finished".into(), self.monitor_finished.to_value()),
+            ("delivered".into(), self.delivered.to_value()),
+            ("monitors".into(), self.monitors.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SessionSnapshot {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        Ok(SessionSnapshot {
+            name: help::field(v, "name")?,
+            processes: help::field(v, "processes")?,
+            vars: help::field_or_default(v, "vars")?,
+            predicates: help::field_or_default(v, "predicates")?,
+            states: help::field_or_default(v, "states")?,
+            frontier: help::field_or_default(v, "frontier")?,
+            held: help::field_or_default(v, "held")?,
+            finished: help::field_or_default(v, "finished")?,
+            monitor_finished: help::field_or_default(v, "monitor_finished")?,
+            delivered: help::field_or_default(v, "delivered")?,
+            monitors: help::field_or_default(v, "monitors")?,
+        })
+    }
+}
+
+impl Serialize for ServiceSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("version".into(), 1u32.to_value()),
+            ("sessions".into(), self.sessions.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ServiceSnapshot {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        let version: u32 = help::field(v, "version")?;
+        if version != 1 {
+            return Err(DeError::msg(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        Ok(ServiceSnapshot {
+            sessions: help::field_or_default(v, "sessions")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_tracefmt::wire::{WireClause, WireMode};
+
+    fn sample() -> ServiceSnapshot {
+        ServiceSnapshot {
+            sessions: vec![SessionSnapshot {
+                name: "s".into(),
+                processes: 2,
+                vars: vec!["x0".into(), "x1".into()],
+                predicates: vec![WirePredicate {
+                    id: "ef".into(),
+                    mode: WireMode::Conjunctive,
+                    clauses: vec![WireClause {
+                        process: 0,
+                        var: "x0".into(),
+                        op: "=".into(),
+                        value: 2,
+                    }],
+                }],
+                states: vec![vec![1, 0], vec![0, 1]],
+                frontier: vec![2, 1],
+                held: vec![HeldEventSnapshot {
+                    process: 1,
+                    clock: vec![2, 3],
+                    set: [("x1".to_string(), 7i64)].into_iter().collect(),
+                }],
+                finished: vec![true, false],
+                monitor_finished: vec![false, false],
+                delivered: 3,
+                monitors: vec![
+                    MonitorSnapshot {
+                        id: "ef".into(),
+                        emitted: false,
+                        state: DetectorState::Conjunctive(ConjunctiveState {
+                            n: 2,
+                            queues: vec![
+                                vec![CandidateState {
+                                    state: 2,
+                                    clock: vec![2, 0],
+                                }],
+                                vec![],
+                            ],
+                            participating: vec![true, false],
+                            seen: vec![2, 1],
+                            finished: vec![false, false],
+                            verdict: VerdictState::Pending,
+                        }),
+                    },
+                    MonitorSnapshot {
+                        id: "any".into(),
+                        emitted: true,
+                        state: DetectorState::Disjunctive(DisjunctiveState {
+                            seen: vec![2, 1],
+                            live: 2,
+                            verdict: VerdictState::Detected(vec![2, 0]),
+                        }),
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn service_snapshot_round_trips_through_json() {
+        let snap = sample();
+        let json = snap.to_json();
+        let back = ServiceSnapshot::from_json(json.as_bytes()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn bad_payloads_are_rejected_with_messages() {
+        assert!(ServiceSnapshot::from_json(b"\xFF\xFE").is_err());
+        assert!(ServiceSnapshot::from_json(b"not json").is_err());
+        assert!(ServiceSnapshot::from_json(b"{\"version\":9}").is_err());
+        let bad_kind = r#"{"version":1,"sessions":[{"name":"s","processes":1,
+            "monitors":[{"id":"p","emitted":false,"state":{"kind":"quantum"}}]}]}"#;
+        assert!(ServiceSnapshot::from_json(bad_kind.as_bytes()).is_err());
+    }
+}

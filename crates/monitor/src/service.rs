@@ -7,8 +7,10 @@
 //!  in-process ─┴─ MonitorHandle ──────►├── shard worker 1 ── sessions…
 //!   clients        (route by           └── shard worker k ── sessions…
 //!                   hash(session))            │
-//!                          ▲                  └─ verdicts → client sink
-//!                          └── Arc<Metrics> ◄─┘
+//!                      │   ▲                  └─ verdicts → client sink
+//!                      ▼   └── Arc<Metrics> ◄─┘
+//!                  hb-store WAL
+//!                  (when --data-dir is set)
 //! ```
 //!
 //! Sessions are sharded across a fixed pool of worker threads by a hash
@@ -17,6 +19,21 @@
 //! while independent sessions proceed in parallel. Each client supplies
 //! a **sink** channel at open time; verdicts, errors, and close
 //! notifications flow back through it asynchronously.
+//!
+//! # Durability
+//!
+//! With a [`PersistConfig`], every session-mutating client message is
+//! appended to an [`hb_store`] write-ahead log *before* it is routed to
+//! a shard — the WAL is the input tape, and replaying it reproduces the
+//! service state. Periodic snapshots (every `snapshot_every` records)
+//! freeze all sessions at a known WAL position so recovery replays only
+//! the tail; covered segments are compacted away. Opening a service on
+//! an existing data directory *is* crash recovery: the newest valid
+//! snapshot is restored, the tail replayed, and the rebuilt sessions
+//! handed to the shard workers before any new input is accepted.
+//! Recovered sessions keep running detectors; the first client message
+//! that touches one re-attaches its reply sink and re-reports any
+//! verdict that settled before the crash.
 //!
 //! Transports are thin: the in-process [`MonitorHandle`] is the service
 //! API, and [`serve`] adapts it to TCP — one reader thread per
@@ -27,12 +44,16 @@
 
 use crate::buffer::IngestError;
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::persist::{PersistConfig, ServiceSnapshot, SessionSnapshot};
 use crate::session::{Session, SessionError, SessionLimits, VerdictEvent};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hb_detect::online::OnlineVerdict;
+use hb_store::{Store, StoreError, StoreOptions};
 use hb_tracefmt::wire::{self, ClientMsg, ServerMsg, WirePredicate, WireVerdict};
 use hb_vclock::VectorClock;
-use std::collections::hash_map::DefaultHasher;
+use parking_lot::Mutex;
+use serde::{Deserialize as _, Serialize as _};
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::io::{BufReader, BufWriter};
@@ -40,17 +61,20 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
 
 /// Service-wide configuration.
 #[derive(Debug, Clone)]
 pub struct MonitorConfig {
-    /// Worker threads; sessions are sharded across them.
+    /// Worker threads; sessions are sharded across them. Zero means one.
     pub shards: usize,
     /// Per-session causal-buffer limits.
     pub limits: SessionLimits,
     /// Period of the stats log line on stderr; `None` disables it.
     pub stats_interval: Option<Duration>,
+    /// Write-ahead logging and crash recovery; `None` keeps the service
+    /// purely in-memory.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for MonitorConfig {
@@ -59,6 +83,7 @@ impl Default for MonitorConfig {
             shards: 4,
             limits: SessionLimits::default(),
             stats_interval: None,
+            persist: None,
         }
     }
 }
@@ -90,17 +115,34 @@ enum Cmd {
         session: String,
         sink: Sender<ServerMsg>,
     },
+    /// Freeze every session on this shard and reply with the batch.
+    /// The sender holds the WAL lock while waiting, so everything the
+    /// shard saw before this command is — by construction — at a lower
+    /// WAL position than the snapshot will claim.
+    Snapshot { reply: Sender<Vec<SessionSnapshot>> },
     /// Close every remaining session and stop the worker (graceful
     /// shutdown). Handles may outlive the service, so workers cannot
     /// rely on channel disconnection to learn about shutdown.
     Flush,
 }
 
+/// The write-ahead log plus its snapshot cadence, behind one lock: an
+/// append and its routing to a shard happen under the lock, so the WAL
+/// order and the shard queue order never disagree.
+struct WalInner {
+    store: Store,
+    since_snapshot: u64,
+    snapshot_every: u64,
+}
+
+type SharedWal = Arc<Mutex<WalInner>>;
+
 /// The running service: shard workers plus shared metrics.
 pub struct MonitorService {
     shards: Vec<Sender<Cmd>>,
     workers: Vec<JoinHandle<()>>,
     metrics: Arc<Metrics>,
+    wal: Option<SharedWal>,
     stats_stop: Option<Sender<()>>,
     stats_thread: Option<JoinHandle<()>>,
 }
@@ -110,23 +152,213 @@ pub struct MonitorService {
 pub struct MonitorHandle {
     shards: Vec<Sender<Cmd>>,
     metrics: Arc<Metrics>,
+    wal: Option<SharedWal>,
+}
+
+fn shard_index_of(session: &str, shards: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    session.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+fn unix_now_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// A sink whose receiver is already gone: sends are silently dropped.
+/// Recovered sessions start with one until a client re-attaches.
+fn dead_sink() -> Sender<ServerMsg> {
+    unbounded().0
+}
+
+/// Re-applies one replayed WAL record to the recovering session map.
+/// Errors are ignored: they were reported to the original client when
+/// the record was first acknowledged, and replay must be idempotent
+/// over them.
+fn apply_replayed(msg: ClientMsg, sessions: &mut HashMap<String, Session>, limits: SessionLimits) {
+    match msg {
+        ClientMsg::Open {
+            session,
+            processes,
+            vars,
+            initial,
+            predicates,
+        } => {
+            if let Entry::Vacant(slot) = sessions.entry(session) {
+                if let Ok(mut s) =
+                    Session::open(slot.key(), processes, &vars, &initial, &predicates, limits)
+                {
+                    let _ = s.take_initial_verdicts();
+                    slot.insert(s);
+                }
+            }
+        }
+        ClientMsg::Event {
+            session,
+            p,
+            clock,
+            set,
+        } => {
+            if let Some(s) = sessions.get_mut(&session) {
+                let _ = s.event(p, VectorClock::from_components(clock), &set);
+            }
+        }
+        ClientMsg::FinishProcess { session, p } => {
+            if let Some(s) = sessions.get_mut(&session) {
+                let _ = s.finish_process(p);
+            }
+        }
+        ClientMsg::Close { session } => {
+            sessions.remove(&session);
+        }
+        ClientMsg::Stats | ClientMsg::Shutdown => {}
+    }
+}
+
+/// Runs the snapshot barrier: asks every shard for its frozen sessions,
+/// writes the combined snapshot at the current WAL position, and
+/// compacts covered segments. Called with the WAL lock held, so no new
+/// record can slip between the position claimed and the state captured.
+fn snapshot_barrier(
+    shards: &[Sender<Cmd>],
+    metrics: &Metrics,
+    inner: &mut WalInner,
+) -> Result<(), StoreError> {
+    let (reply_tx, reply_rx) = unbounded();
+    let mut expected = 0;
+    for tx in shards {
+        if tx
+            .send(Cmd::Snapshot {
+                reply: reply_tx.clone(),
+            })
+            .is_ok()
+        {
+            expected += 1;
+        }
+    }
+    drop(reply_tx);
+    let mut sessions = Vec::new();
+    for _ in 0..expected {
+        match reply_rx.recv() {
+            Ok(mut batch) => sessions.append(&mut batch),
+            Err(_) => {
+                return Err(StoreError::Corrupt(
+                    "shard worker exited during snapshot".into(),
+                ))
+            }
+        }
+    }
+    sessions.sort_by(|a, b| a.name.cmp(&b.name));
+    let snap = ServiceSnapshot { sessions };
+    inner.store.write_snapshot(snap.to_json().as_bytes())?;
+    inner.store.compact()?;
+    inner.since_snapshot = 0;
+    metrics.snapshots_written.fetch_add(1, Ordering::Relaxed);
+    metrics
+        .snapshot_unix_secs
+        .store(unix_now_secs(), Ordering::Relaxed);
+    Ok(())
 }
 
 impl MonitorService {
-    /// Starts the shard workers (and the stats reporter, if configured).
+    /// Starts a service that cannot fail to start (no persistence, or
+    /// the caller accepts a panic on storage errors). Prefer
+    /// [`MonitorService::open`] when a data directory is configured.
     pub fn start(config: MonitorConfig) -> MonitorService {
+        MonitorService::open(config).expect("start monitor service")
+    }
+
+    /// Opens the service: recovers durable state (when configured),
+    /// then starts the shard workers — pre-seeded with the recovered
+    /// sessions — and the stats reporter.
+    ///
+    /// Fails only on storage problems: a data directory locked by a
+    /// running process ([`StoreError::Locked`]), I/O errors, or a
+    /// snapshot too damaged to parse ([`StoreError::Corrupt`] — a
+    /// damaged WAL *tail* is repaired silently, but a snapshot that
+    /// exists and lies is refused rather than guessed at).
+    pub fn open(config: MonitorConfig) -> Result<MonitorService, StoreError> {
         let shards = config.shards.max(1);
         let metrics = Arc::new(Metrics::new());
+
+        // Recovery happens before the first worker spawns: the rebuilt
+        // sessions are handed over as worker initial state, so no new
+        // input can interleave with the replay.
+        let mut initial: Vec<Vec<Session>> = (0..shards).map(|_| Vec::new()).collect();
+        let wal: Option<SharedWal> = match &config.persist {
+            None => None,
+            Some(p) => {
+                let started = Instant::now();
+                let store = Store::open(
+                    &p.dir,
+                    StoreOptions {
+                        segment_bytes: p.segment_bytes,
+                        sync: p.sync,
+                    },
+                )?;
+                let mut sessions: HashMap<String, Session> = HashMap::new();
+                let mut from_seq = 0;
+                if let Some((seq, payload)) = store.load_snapshot()? {
+                    let snap = ServiceSnapshot::from_json(&payload).map_err(StoreError::Corrupt)?;
+                    for s in &snap.sessions {
+                        let restored = Session::restore(s, config.limits).map_err(|e| {
+                            StoreError::Corrupt(format!("restore session '{}': {e}", s.name))
+                        })?;
+                        sessions.insert(s.name.clone(), restored);
+                    }
+                    from_seq = seq;
+                }
+                let mut replayed = 0u64;
+                for rec in store.replay(from_seq) {
+                    let (seq, payload) = rec?;
+                    let text = std::str::from_utf8(&payload).map_err(|e| {
+                        StoreError::Corrupt(format!("wal record {seq} is not UTF-8: {e}"))
+                    })?;
+                    let value = serde_json::parse_value(text)
+                        .map_err(|e| StoreError::Corrupt(format!("wal record {seq}: {e}")))?;
+                    let msg = ClientMsg::from_value(&value)
+                        .map_err(|e| StoreError::Corrupt(format!("wal record {seq}: {e}")))?;
+                    apply_replayed(msg, &mut sessions, config.limits);
+                    replayed += 1;
+                }
+                let report = store.recovery_report();
+                metrics
+                    .sessions_recovered
+                    .store(sessions.len() as u64, Ordering::Relaxed);
+                metrics.recovery_replayed.store(replayed, Ordering::Relaxed);
+                metrics
+                    .recovery_truncated_bytes
+                    .store(report.truncated_bytes, Ordering::Relaxed);
+                metrics
+                    .recovery_millis
+                    .store(started.elapsed().as_millis() as u64, Ordering::Relaxed);
+                if let Some(secs) = store.stats().snapshot_unix_secs {
+                    metrics.snapshot_unix_secs.store(secs, Ordering::Relaxed);
+                }
+                for (name, session) in sessions {
+                    initial[shard_index_of(&name, shards)].push(session);
+                }
+                Some(Arc::new(Mutex::new(WalInner {
+                    store,
+                    since_snapshot: 0,
+                    snapshot_every: p.snapshot_every.max(1),
+                })))
+            }
+        };
+
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        for shard in 0..shards {
+        for (shard, seed) in initial.into_iter().enumerate() {
             let (tx, rx) = unbounded();
             let metrics = Arc::clone(&metrics);
             let limits = config.limits;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("hb-monitor-shard-{shard}"))
-                    .spawn(move || shard_worker(rx, limits, metrics))
+                    .spawn(move || shard_worker(rx, limits, metrics, seed))
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -152,13 +384,14 @@ impl MonitorService {
             }
             None => (None, None),
         };
-        MonitorService {
+        Ok(MonitorService {
             shards: senders,
             workers,
             metrics,
+            wal,
             stats_stop,
             stats_thread,
-        }
+        })
     }
 
     /// A client handle for submitting messages in-process.
@@ -166,6 +399,7 @@ impl MonitorService {
         MonitorHandle {
             shards: self.shards.clone(),
             metrics: Arc::clone(&self.metrics),
+            wal: self.wal.clone(),
         }
     }
 
@@ -176,6 +410,9 @@ impl MonitorService {
 
     /// Gracefully shuts down: every open session is closed (emitting
     /// final verdicts into its sink), then the workers exit and join.
+    /// With persistence, an **empty** snapshot is written last — a
+    /// graceful shutdown resolves every session, so a later restart has
+    /// nothing to recover and must not resurrect them.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         for tx in &self.shards {
             let _ = tx.send(Cmd::Flush);
@@ -183,6 +420,17 @@ impl MonitorService {
         self.shards.clear(); // disconnect: workers exit after the flush
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if let Some(wal) = self.wal.take() {
+            let mut inner = wal.lock();
+            let done = ServiceSnapshot::default();
+            if let Err(e) = inner
+                .store
+                .write_snapshot(done.to_json().as_bytes())
+                .and_then(|()| inner.store.compact().map(|_| ()))
+            {
+                eprintln!("hb-monitor: final snapshot failed: {e}");
+            }
         }
         if let Some(stop) = self.stats_stop.take() {
             let _ = stop.send(());
@@ -195,70 +443,127 @@ impl MonitorService {
 }
 
 impl MonitorHandle {
-    fn shard_of(&self, session: &str) -> &Sender<Cmd> {
-        let mut h = DefaultHasher::new();
-        session.hash(&mut h);
-        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    fn shard_index(&self, session: &str) -> usize {
+        shard_index_of(session, self.shards.len())
     }
 
     /// Submits one client message; responses arrive on `sink`.
+    ///
+    /// With persistence, session-mutating messages are appended to the
+    /// WAL **before** they are routed to a shard — by the time any
+    /// effect of the message is observable, its record is in the log.
+    /// An append failure refuses the message with `ServerMsg::Error`
+    /// instead of processing input that would be lost by a crash.
     ///
     /// `Stats` is answered synchronously from the shared metrics (no
     /// shard round-trip); `Shutdown` is a transport-level concern and
     /// answered with `Bye` — shutting the service down is the owner's
     /// call via [`MonitorService::shutdown`].
     pub fn submit(&self, msg: ClientMsg, sink: &Sender<ServerMsg>) {
-        match msg {
+        match &msg {
+            ClientMsg::Stats => {
+                let _ = sink.send(ServerMsg::Stats {
+                    counters: self.metrics.snapshot().to_map(),
+                });
+                return;
+            }
+            ClientMsg::Shutdown => {
+                let _ = sink.send(ServerMsg::Bye);
+                return;
+            }
+            _ => {}
+        }
+        let payload = self
+            .wal
+            .as_ref()
+            .map(|_| serde_json::to_string(&msg.to_value()).expect("wire message serializes"));
+        let (shard, cmd) = match msg {
             ClientMsg::Open {
                 session,
                 processes,
                 vars,
                 initial,
                 predicates,
-            } => {
-                let _ = self.shard_of(&session).send(Cmd::Open {
+            } => (
+                self.shard_index(&session),
+                Cmd::Open {
                     session,
                     processes,
                     vars,
                     initial,
                     predicates,
                     sink: sink.clone(),
-                });
-            }
+                },
+            ),
             ClientMsg::Event {
                 session,
                 p,
                 clock,
                 set,
-            } => {
-                let _ = self.shard_of(&session).send(Cmd::Event {
+            } => (
+                self.shard_index(&session),
+                Cmd::Event {
                     session,
                     p,
                     clock,
                     set,
                     sink: sink.clone(),
-                });
-            }
-            ClientMsg::FinishProcess { session, p } => {
-                let _ = self.shard_of(&session).send(Cmd::Finish {
+                },
+            ),
+            ClientMsg::FinishProcess { session, p } => (
+                self.shard_index(&session),
+                Cmd::Finish {
                     session,
                     p,
                     sink: sink.clone(),
-                });
-            }
-            ClientMsg::Close { session } => {
-                let _ = self.shard_of(&session).send(Cmd::Close {
+                },
+            ),
+            ClientMsg::Close { session } => (
+                self.shard_index(&session),
+                Cmd::Close {
                     session,
                     sink: sink.clone(),
-                });
+                },
+            ),
+            ClientMsg::Stats | ClientMsg::Shutdown => unreachable!("answered above"),
+        };
+        match (&self.wal, payload) {
+            (Some(wal), Some(payload)) => {
+                let mut inner = wal.lock();
+                if let Err(e) = inner.store.append(payload.as_bytes()) {
+                    self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = sink.send(ServerMsg::Error {
+                        session: None,
+                        message: format!("write-ahead log append failed: {e}"),
+                    });
+                    return;
+                }
+                // Route while still holding the lock: a concurrent
+                // snapshot barrier must not run between this record's
+                // append and its arrival in the shard queue.
+                let _ = self.shards[shard].send(cmd);
+                let stats = inner.store.stats();
+                self.metrics
+                    .wal_records
+                    .store(stats.appended_records, Ordering::Relaxed);
+                self.metrics
+                    .wal_bytes
+                    .store(stats.appended_bytes, Ordering::Relaxed);
+                self.metrics
+                    .wal_fsyncs
+                    .store(stats.fsyncs, Ordering::Relaxed);
+                self.metrics
+                    .wal_fsync_max_micros
+                    .store(stats.fsync_max_micros, Ordering::Relaxed);
+                inner.since_snapshot += 1;
+                if inner.since_snapshot >= inner.snapshot_every {
+                    if let Err(e) = snapshot_barrier(&self.shards, &self.metrics, &mut inner) {
+                        eprintln!("hb-monitor: snapshot failed: {e}");
+                    }
+                }
             }
-            ClientMsg::Stats => {
-                let _ = sink.send(ServerMsg::Stats {
-                    counters: self.metrics.snapshot().to_map(),
-                });
-            }
-            ClientMsg::Shutdown => {
-                let _ = sink.send(ServerMsg::Bye);
+            _ => {
+                let _ = self.shards[shard].send(cmd);
             }
         }
     }
@@ -269,10 +574,15 @@ impl MonitorHandle {
     }
 }
 
-/// One session plus the sink registered at its open.
+/// One session plus the sink registered at its open (or re-attached
+/// after recovery).
 struct Slot {
     session: Session,
     sink: Sender<ServerMsg>,
+    /// False for a session rebuilt by crash recovery that no client has
+    /// spoken to yet: its sink is dead, and settled verdicts have not
+    /// been shown to the post-restart client.
+    attached: bool,
 }
 
 fn wire_verdict(v: &OnlineVerdict) -> WireVerdict {
@@ -299,6 +609,26 @@ fn send_verdicts(
     }
 }
 
+/// First client contact with a recovered session: adopt the client's
+/// sink and re-report everything that settled before the crash (the
+/// client that originally received those verdicts is gone).
+fn attach(slot: &mut Slot, name: &str, sink: &Sender<ServerMsg>) {
+    if slot.attached {
+        return;
+    }
+    slot.sink = sink.clone();
+    slot.attached = true;
+    for v in slot.session.all_verdicts() {
+        if !matches!(v.verdict, OnlineVerdict::Pending) {
+            let _ = slot.sink.send(ServerMsg::Verdict {
+                session: name.to_string(),
+                predicate: v.predicate,
+                verdict: wire_verdict(&v.verdict),
+            });
+        }
+    }
+}
+
 fn close_slot(name: &str, mut slot: Slot, metrics: &Metrics) {
     let held_before = slot.session.held() as u64;
     let (verdicts, discarded) = slot.session.close();
@@ -315,9 +645,28 @@ fn close_slot(name: &str, mut slot: Slot, metrics: &Metrics) {
 }
 
 /// The shard worker loop: owns its sessions, applies commands in
-/// arrival order, pushes responses into per-session sinks.
-fn shard_worker(rx: Receiver<Cmd>, limits: SessionLimits, metrics: Arc<Metrics>) {
+/// arrival order, pushes responses into per-session sinks. `seed` holds
+/// sessions rebuilt by crash recovery; they start detached.
+fn shard_worker(
+    rx: Receiver<Cmd>,
+    limits: SessionLimits,
+    metrics: Arc<Metrics>,
+    seed: Vec<Session>,
+) {
     let mut slots: HashMap<String, Slot> = HashMap::new();
+    for session in seed {
+        metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        metrics.sessions_active.fetch_add(1, Ordering::Relaxed);
+        metrics.held_add(session.held() as u64);
+        slots.insert(
+            session.name().to_string(),
+            Slot {
+                session,
+                sink: dead_sink(),
+                attached: false,
+            },
+        );
+    }
     let err =
         |sink: &Sender<ServerMsg>, session: Option<&str>, message: String, metrics: &Metrics| {
             metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -353,7 +702,14 @@ fn shard_worker(rx: Receiver<Cmd>, limits: SessionLimits, metrics: Arc<Metrics>)
                             session: session.clone(),
                         });
                         send_verdicts(&session, s.take_initial_verdicts(), &sink, &metrics);
-                        slots.insert(session, Slot { session: s, sink });
+                        slots.insert(
+                            session,
+                            Slot {
+                                session: s,
+                                sink,
+                                attached: true,
+                            },
+                        );
                     }
                     Err(e) => err(&sink, Some(&session), e.to_string(), &metrics),
                 }
@@ -374,6 +730,7 @@ fn shard_worker(rx: Receiver<Cmd>, limits: SessionLimits, metrics: Arc<Metrics>)
                     );
                     continue;
                 };
+                attach(slot, &session, &sink);
                 metrics.events_ingested.fetch_add(1, Ordering::Relaxed);
                 let held_before = slot.session.held();
                 let delivered_before = slot.session.delivered();
@@ -421,13 +778,17 @@ fn shard_worker(rx: Receiver<Cmd>, limits: SessionLimits, metrics: Arc<Metrics>)
                     );
                     continue;
                 };
+                attach(slot, &session, &sink);
                 match slot.session.finish_process(p) {
                     Ok(verdicts) => send_verdicts(&session, verdicts, &slot.sink, &metrics),
                     Err(e) => err(&slot.sink.clone(), Some(&session), e.to_string(), &metrics),
                 }
             }
             Cmd::Close { session, sink } => match slots.remove(&session) {
-                Some(slot) => close_slot(&session, slot, &metrics),
+                Some(mut slot) => {
+                    attach(&mut slot, &session, &sink);
+                    close_slot(&session, slot, &metrics);
+                }
                 None => err(
                     &sink,
                     Some(&session),
@@ -435,6 +796,9 @@ fn shard_worker(rx: Receiver<Cmd>, limits: SessionLimits, metrics: Arc<Metrics>)
                     &metrics,
                 ),
             },
+            Cmd::Snapshot { reply } => {
+                let _ = reply.send(slots.values().map(|s| s.session.snapshot()).collect());
+            }
             Cmd::Flush => break,
         }
     }
@@ -526,7 +890,9 @@ fn serve_connection(stream: TcpStream, handle: MonitorHandle) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hb_store::SyncPolicy;
     use hb_tracefmt::wire::{WireClause, WireMode};
+    use std::path::PathBuf;
 
     fn fig2_open(session: &str) -> ClientMsg {
         ClientMsg::Open {
@@ -732,5 +1098,131 @@ mod tests {
         server.join().unwrap();
         let stats = service.shutdown();
         assert_eq!(stats.events_ingested, 2);
+    }
+
+    // ---- persistence ------------------------------------------------------
+
+    fn persist_config(name: &str) -> PersistConfig {
+        let dir: PathBuf = std::env::temp_dir()
+            .join("hb-monitor-service-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        PersistConfig {
+            sync: SyncPolicy::Os,
+            ..PersistConfig::new(dir)
+        }
+    }
+
+    #[test]
+    fn wal_replay_rebuilds_sessions_after_a_crash() {
+        let config = MonitorConfig {
+            persist: Some(persist_config("replay")),
+            ..MonitorConfig::default()
+        };
+        {
+            let service = MonitorService::open(config.clone()).unwrap();
+            let handle = service.handle();
+            let (tx, rx) = unbounded();
+            handle.submit(fig2_open("s"), &tx);
+            assert!(matches!(rx.recv().unwrap(), ServerMsg::Opened { .. }));
+            handle.submit(event("s", 1, &[0, 1], &[("x1", 1)]), &tx);
+            handle.submit(event("s", 0, &[1, 0], &[("x0", 1)]), &tx);
+            // "Crash": drop everything without shutdown. The appends
+            // already happened in submit, so the WAL has all three
+            // records; no graceful state is written.
+            drop(handle);
+            drop(service);
+        }
+        let service = MonitorService::open(config).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.sessions_recovered, 1);
+        assert_eq!(m.recovery_replayed, 3, "open + two events");
+        let handle = service.handle();
+        let (tx, rx) = unbounded();
+        // Resume the stream exactly where it stopped: the recovered
+        // session still has x1=1 delivered, so e2 completes detection.
+        handle.submit(event("s", 0, &[2, 0], &[("x0", 2)]), &tx);
+        assert_eq!(wait_verdict(&rx, "ef"), WireVerdict::Detected(vec![2, 1]));
+        service.shutdown();
+    }
+
+    #[test]
+    fn snapshots_bound_replay_and_settled_verdicts_are_reemitted() {
+        let mut persist = persist_config("snapshot");
+        persist.snapshot_every = 3;
+        let config = MonitorConfig {
+            shards: 2,
+            persist: Some(persist),
+            ..MonitorConfig::default()
+        };
+        {
+            let service = MonitorService::open(config.clone()).unwrap();
+            let handle = service.handle();
+            let (tx, rx) = unbounded();
+            handle.submit(fig2_open("s"), &tx);
+            handle.submit(event("s", 1, &[0, 1], &[("x1", 1)]), &tx);
+            handle.submit(event("s", 0, &[1, 0], &[("x0", 1)]), &tx);
+            handle.submit(event("s", 0, &[2, 0], &[("x0", 2)]), &tx);
+            assert_eq!(wait_verdict(&rx, "ef"), WireVerdict::Detected(vec![2, 1]));
+            assert!(service.metrics().snapshots_written >= 1);
+            drop(handle);
+            drop(service); // crash
+        }
+        let service = MonitorService::open(config).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.sessions_recovered, 1);
+        assert!(
+            m.recovery_replayed < 4,
+            "snapshot should bound the replay, got {}",
+            m.recovery_replayed
+        );
+        // First contact with the recovered session re-reports the
+        // verdict that settled before the crash.
+        let handle = service.handle();
+        let (tx, rx) = unbounded();
+        handle.submit(
+            ClientMsg::Close {
+                session: "s".into(),
+            },
+            &tx,
+        );
+        assert_eq!(wait_verdict(&rx, "ef"), WireVerdict::Detected(vec![2, 1]));
+        service.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_leaves_nothing_to_recover() {
+        let config = MonitorConfig {
+            persist: Some(persist_config("graceful")),
+            ..MonitorConfig::default()
+        };
+        let service = MonitorService::open(config.clone()).unwrap();
+        let handle = service.handle();
+        let (tx, _rx) = unbounded();
+        handle.submit(fig2_open("s"), &tx);
+        handle.submit(event("s", 0, &[1, 0], &[("x0", 1)]), &tx);
+        drop(handle); // release the WAL before reopening below
+        service.shutdown();
+
+        let service = MonitorService::open(config).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.sessions_recovered, 0, "shutdown resolved every session");
+        assert_eq!(m.recovery_replayed, 0, "the final snapshot covers the log");
+        service.shutdown();
+    }
+
+    #[test]
+    fn second_service_on_the_same_data_dir_is_refused() {
+        let config = MonitorConfig {
+            persist: Some(persist_config("locked")),
+            ..MonitorConfig::default()
+        };
+        let service = MonitorService::open(config.clone()).unwrap();
+        match MonitorService::open(config) {
+            Err(StoreError::Locked { .. }) => {}
+            Err(other) => panic!("expected Locked, got {other:?}"),
+            Ok(_) => panic!("second open must be refused"),
+        }
+        service.shutdown();
     }
 }

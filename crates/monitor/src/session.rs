@@ -16,8 +16,11 @@
 //! becomes `Impossible`.
 
 use crate::buffer::{CausalBuffer, IngestError, OverflowPolicy};
+use crate::persist::{HeldEventSnapshot, MonitorSnapshot, SessionSnapshot};
 use hb_computation::{LocalState, VarId, VarTable};
-use hb_detect::online::{OnlineEfConjunctive, OnlineEfDisjunctive, OnlineMonitor, OnlineVerdict};
+use hb_detect::online::{
+    restore_monitor, OnlineEfConjunctive, OnlineEfDisjunctive, OnlineMonitor, OnlineVerdict,
+};
 use hb_predicates::{CmpOp, LocalExpr};
 use hb_tracefmt::wire::{WireClause, WireMode, WirePredicate};
 use hb_vclock::VectorClock;
@@ -94,6 +97,8 @@ impl Default for SessionLimits {
 pub struct Session {
     name: String,
     vars: VarTable,
+    /// The predicates as registered at open (retained for snapshots).
+    predicates: Vec<WirePredicate>,
     /// Current local state per process (advanced on delivery).
     states: Vec<LocalState>,
     buffer: CausalBuffer<Vec<(VarId, i64)>>,
@@ -231,6 +236,7 @@ impl Session {
         let mut s = Session {
             name: name.to_string(),
             vars,
+            predicates: predicates.to_vec(),
             states,
             buffer: CausalBuffer::new(processes, limits.buffer_capacity, limits.policy),
             monitors,
@@ -249,6 +255,111 @@ impl Session {
     /// Verdicts that settled at open time (initial-cut detections).
     pub fn take_initial_verdicts(&mut self) -> Vec<VerdictEvent> {
         std::mem::take(&mut self.pending_initial)
+    }
+
+    /// Freezes the session's full state for persistence.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            name: self.name.clone(),
+            processes: self.states.len(),
+            vars: self.vars.iter().map(|(_, n)| n.to_string()).collect(),
+            predicates: self.predicates.clone(),
+            states: self.states.iter().map(|s| s.values().to_vec()).collect(),
+            frontier: self.buffer.frontier().to_vec(),
+            held: self
+                .buffer
+                .held_events()
+                .map(|(process, clock, set)| HeldEventSnapshot {
+                    process,
+                    clock: clock.components().to_vec(),
+                    set: set
+                        .iter()
+                        .map(|(id, v)| (self.vars.name(*id).to_string(), *v))
+                        .collect(),
+                })
+                .collect(),
+            finished: self.finished.clone(),
+            monitor_finished: self.monitor_finished.clone(),
+            delivered: self.delivered,
+            monitors: self
+                .monitors
+                .iter()
+                .map(|e| MonitorSnapshot {
+                    id: e.id.clone(),
+                    emitted: e.emitted,
+                    state: e.monitor.export_state(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a session from a snapshot: re-validates the predicates
+    /// through the normal open path, then overwrites states, buffer,
+    /// and detector internals with the frozen values.
+    pub fn restore(snap: &SessionSnapshot, limits: SessionLimits) -> Result<Session, SessionError> {
+        let shape = |what: &str| {
+            SessionError::BadOpen(format!(
+                "snapshot of session '{}': inconsistent {what}",
+                snap.name
+            ))
+        };
+        let mut s = Session::open(
+            &snap.name,
+            snap.processes,
+            &snap.vars,
+            &[],
+            &snap.predicates,
+            limits,
+        )?;
+        if snap.states.len() != snap.processes
+            || snap.frontier.len() != snap.processes
+            || snap.finished.len() != snap.processes
+            || snap.monitor_finished.len() != snap.processes
+        {
+            return Err(shape("per-process vectors"));
+        }
+        s.states = snap
+            .states
+            .iter()
+            .map(|v| LocalState::from_values(v.clone()))
+            .collect();
+        let mut held = Vec::with_capacity(snap.held.len());
+        for h in &snap.held {
+            if h.process >= snap.processes || h.clock.len() != snap.processes {
+                return Err(shape("held event"));
+            }
+            let mut set = Vec::with_capacity(h.set.len());
+            for (vname, &value) in &h.set {
+                let id = s.vars.lookup(vname).ok_or_else(|| shape("held variable"))?;
+                set.push((id, value));
+            }
+            held.push((
+                h.process,
+                VectorClock::from_components(h.clock.clone()),
+                set,
+            ));
+        }
+        s.buffer = CausalBuffer::restore(
+            snap.frontier.clone(),
+            held,
+            limits.buffer_capacity,
+            limits.policy,
+        );
+        if snap.monitors.len() != s.monitors.len() {
+            return Err(shape("monitor count"));
+        }
+        for (entry, m) in s.monitors.iter_mut().zip(&snap.monitors) {
+            if entry.id != m.id {
+                return Err(shape("monitor order"));
+            }
+            entry.monitor = restore_monitor(&m.state);
+            entry.emitted = m.emitted;
+        }
+        s.finished = snap.finished.clone();
+        s.monitor_finished = snap.monitor_finished.clone();
+        s.delivered = snap.delivered;
+        s.pending_initial.clear();
+        Ok(s)
     }
 
     /// The session's name.
@@ -641,6 +752,74 @@ mod tests {
             bad(&[pred("p", WireMode::Conjunctive, &[])]),
             SessionError::BadOpen(_)
         ));
+    }
+
+    #[test]
+    fn snapshot_restore_mid_run_resumes_to_the_same_verdict() {
+        // Freeze mid-run with a held event and a pending predicate, then
+        // finish both the original and the restored copy identically.
+        let mut original = fig2_session();
+        original.event(1, vc(&[0, 1]), &set(&[("x1", 1)])).unwrap();
+        original.event(1, vc(&[2, 2]), &set(&[("x1", 2)])).unwrap(); // held
+        assert_eq!(original.held(), 1);
+
+        let snap = original.snapshot();
+        let mut restored = Session::restore(&snap, SessionLimits::default()).unwrap();
+        assert_eq!(restored.snapshot(), snap, "snapshot is stable");
+        assert_eq!(restored.held(), 1);
+        assert_eq!(restored.delivered(), 1);
+
+        for s in [&mut original, &mut restored] {
+            assert!(s
+                .event(0, vc(&[1, 0]), &set(&[("x0", 1)]))
+                .unwrap()
+                .is_empty());
+            let v = s.event(0, vc(&[2, 0]), &set(&[("x0", 2)])).unwrap();
+            assert_eq!(v.len(), 1);
+            match &v[0].verdict {
+                OnlineVerdict::Detected(cut) => assert_eq!(cut.counters(), &[2, 1]),
+                other => panic!("expected detection, got {other:?}"),
+            }
+        }
+        assert_eq!(original.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    fn restore_preserves_emitted_flags_and_settled_verdicts() {
+        let mut s = fig2_session();
+        s.event(1, vc(&[0, 1]), &set(&[("x1", 1)])).unwrap();
+        s.event(0, vc(&[1, 0]), &set(&[("x0", 1)])).unwrap();
+        let v = s.event(0, vc(&[2, 0]), &set(&[("x0", 2)])).unwrap();
+        assert_eq!(v.len(), 1);
+
+        let restored = Session::restore(&s.snapshot(), SessionLimits::default()).unwrap();
+        // The settled verdict is still visible…
+        let all = restored.all_verdicts();
+        assert!(matches!(all[0].verdict, OnlineVerdict::Detected(_)));
+        // …but was already emitted, so closing emits nothing new.
+        let mut restored = restored;
+        let (verdicts, discarded) = restored.close();
+        assert!(verdicts.is_empty());
+        assert_eq!(discarded, 0);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let s = fig2_session();
+        let good = s.snapshot();
+        let mut bad = good.clone();
+        bad.frontier = vec![0];
+        assert!(Session::restore(&bad, SessionLimits::default()).is_err());
+        let mut bad = good.clone();
+        bad.monitors.clear();
+        assert!(Session::restore(&bad, SessionLimits::default()).is_err());
+        let mut bad = good;
+        bad.held.push(crate::persist::HeldEventSnapshot {
+            process: 7,
+            clock: vec![1, 1],
+            set: Default::default(),
+        });
+        assert!(Session::restore(&bad, SessionLimits::default()).is_err());
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! # hb-store: durable write-ahead trace storage
+//!
+//! A segmented, CRC-checked, append-only log plus snapshot files, built
+//! for the online happened-before monitor: every ingested wire frame is
+//! appended (and, per [`SyncPolicy`], fsynced) before
+//! it is acknowledged, so a crashed monitor restarts by loading the
+//! latest snapshot and replaying the log tail — no acknowledged event
+//! is ever silently lost.
+//!
+//! The layout of a store directory:
+//!
+//! ```text
+//! data/
+//!   LOCK                      exclusive-owner PID (see [`lock`])
+//!   MANIFEST.json             live segments + covering snapshot
+//!   wal-<first_seq>.seg       record frames behind a 16-byte header
+//!   snap-<next_seq>.snap      opaque monitor state, CRC-framed
+//! ```
+//!
+//! Design invariants:
+//!
+//! - **Self-describing files.** Segment and snapshot files embed their
+//!   own sequence numbers; the manifest is an accelerator, never the
+//!   sole source of truth.
+//! - **Torn ≠ corrupt.** A record cut short by a crash mid-write is
+//!   expected and silently truncated on open; a record whose CRC fails
+//!   is corruption, and everything after it is untrusted and dropped.
+//! - **Atomic installs.** Manifest and snapshot updates go through
+//!   `tmp → fsync → rename → dir fsync`, so readers only ever see the
+//!   previous or the next version, never a partial one.
+//! - **Bounded allocation.** A damaged length header can claim
+//!   anything; readers never allocate more than the bytes actually
+//!   remaining in the file (and never more than
+//!   [`record::MAX_RECORD_BYTES`]).
+
+pub mod crc;
+pub mod inspect;
+pub mod lock;
+pub mod manifest;
+pub mod record;
+pub mod segment;
+pub mod snapshot;
+pub mod wal;
+
+pub use inspect::{inspect, render_report, verify, StoreReport};
+pub use lock::DirLock;
+pub use wal::{RecoveryReport, Store, StoreOptions, SyncPolicy, WalStats};
+
+use std::path::PathBuf;
+
+/// Everything that can go wrong inside the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O operation failed; `context` says which.
+    Io {
+        /// What the store was doing.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// On-disk data failed validation (bad magic, CRC mismatch, …).
+    Corrupt(String),
+    /// The directory is exclusively held by another process.
+    Locked {
+        /// The lock file.
+        path: PathBuf,
+        /// The holder's PID, when readable.
+        pid: Option<u32>,
+    },
+}
+
+impl StoreError {
+    /// Wraps an I/O error with what the store was doing at the time.
+    pub fn io(context: String, source: std::io::Error) -> StoreError {
+        StoreError::Io { context, source }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "{context}: {source}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+            StoreError::Locked { path, pid } => match pid {
+                Some(pid) => write!(
+                    f,
+                    "store is locked by running process {pid} ({})",
+                    path.display()
+                ),
+                None => write!(f, "store is locked ({})", path.display()),
+            },
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

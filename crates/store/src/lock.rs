@@ -1,0 +1,144 @@
+//! The data-directory lock.
+//!
+//! Two monitor processes appending to one WAL would interleave records
+//! and corrupt both; the lock makes the second opener fail fast with a
+//! clear error instead. The lock is a `LOCK` file holding the owner's
+//! PID, created with `create_new` (O_EXCL) so creation itself is the
+//! atomic claim. A crashed owner (SIGKILL leaves the file behind) is
+//! detected by probing `/proc/<pid>` and its stale lock is reclaimed —
+//! exactly the case the crash-recovery path must survive.
+
+use crate::StoreError;
+use std::path::{Path, PathBuf};
+
+/// The lock file name inside a store directory.
+pub const LOCK_FILE: &str = "LOCK";
+
+/// An exclusive claim on a store directory, released on drop.
+#[derive(Debug)]
+pub struct DirLock {
+    path: PathBuf,
+}
+
+/// Whether a process with this PID is currently alive.
+fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        // Our own PID: the lock is held by a live handle in this very
+        // process (a double open), never stale.
+        return true;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        // Without a portable liveness probe, assume alive (safe side).
+        let _ = pid;
+        true
+    }
+}
+
+impl DirLock {
+    /// Claims `dir`, reclaiming a stale lock left by a dead process.
+    pub fn acquire(dir: &Path) -> Result<DirLock, StoreError> {
+        let path = dir.join(LOCK_FILE);
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(f) => {
+                    use std::io::Write as _;
+                    let mut f = f;
+                    let _ = writeln!(f, "{}", std::process::id());
+                    let _ = f.sync_all();
+                    return Ok(DirLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid_alive(pid) => {
+                            return Err(StoreError::Locked {
+                                path: path.clone(),
+                                pid: Some(pid),
+                            });
+                        }
+                        // Dead holder (or unreadable PID): reclaim once.
+                        _ => {
+                            if std::fs::remove_file(&path).is_err() {
+                                return Err(StoreError::Locked {
+                                    path: path.clone(),
+                                    pid: holder,
+                                });
+                            }
+                        }
+                    }
+                }
+                Err(e) => return Err(StoreError::io(format!("create lock {}", path.display()), e)),
+            }
+        }
+        Err(StoreError::Locked { path, pid: None })
+    }
+
+    /// The lock file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("hb-store-lock-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn lock_is_exclusive_and_released_on_drop() {
+        let dir = tmpdir("exclusive");
+        let lock = DirLock::acquire(&dir).unwrap();
+        // Simulate a *live* contender by writing a PID that exists:
+        // our own parent is not reliably probeable, so instead assert
+        // against the actual error shape using a fake live file after
+        // releasing ours.
+        drop(lock);
+        assert!(!dir.join(LOCK_FILE).exists(), "drop removes the lock file");
+        let _again = DirLock::acquire(&dir).unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn stale_lock_from_dead_pid_is_reclaimed() {
+        let dir = tmpdir("stale");
+        // PID 0 never names a real userspace process.
+        std::fs::write(dir.join(LOCK_FILE), b"0\n").unwrap();
+        let lock = DirLock::acquire(&dir).expect("stale lock reclaimed");
+        drop(lock);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_lock_refuses_with_the_holder_pid() {
+        let dir = tmpdir("live");
+        // PID 1 (init) is always alive on Linux.
+        std::fs::write(dir.join(LOCK_FILE), b"1\n").unwrap();
+        match DirLock::acquire(&dir) {
+            Err(StoreError::Locked { pid, .. }) => assert_eq!(pid, Some(1)),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The on-disk record framing.
+//!
+//! Every payload the store persists — a WAL entry or a snapshot body —
+//! travels in the same self-checking frame:
+//!
+//! ```text
+//! u32 LE payload length | u32 LE CRC-32(payload) | payload bytes
+//! ```
+//!
+//! The fixed 8-byte header lets a scanner distinguish the three ways a
+//! log can end after a crash:
+//!
+//! * **clean end** — the file stops exactly on a record boundary;
+//! * **torn write** — the file stops mid-header or mid-payload (the
+//!   process died between `write` and completion); everything before
+//!   the torn record is intact and the tail is truncated;
+//! * **corruption** — the header parses but the CRC does not match (or
+//!   the declared length is absurd); the scan stops there, exactly like
+//!   a torn write, because nothing after an unverifiable record can be
+//!   trusted to be aligned.
+
+use crate::crc::crc32;
+use std::io::{self, Read, Write};
+
+/// Records larger than this are rejected at append and treated as
+/// corruption when scanned (matches `hb_tracefmt::wire::MAX_FRAME_BYTES`).
+pub const MAX_RECORD_BYTES: usize = 16 << 20;
+
+/// The framing overhead per record (length + CRC).
+pub const RECORD_HEADER_BYTES: u64 = 8;
+
+/// What a scanner found at the current position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordOutcome {
+    /// A complete, CRC-verified record.
+    Record(Vec<u8>),
+    /// A clean end of file on a record boundary.
+    Eof,
+    /// The file ends mid-record: `bytes` partial bytes follow the last
+    /// good record.
+    Torn {
+        /// Partial bytes after the last complete record.
+        bytes: u64,
+    },
+    /// The record at this position fails its CRC (or declares an
+    /// impossible length): `bytes` is what remains of the file from the
+    /// bad record onward.
+    Corrupt {
+        /// Bytes from the bad record to the end of the file.
+        bytes: u64,
+    },
+}
+
+/// Appends one framed record; returns the bytes written.
+pub fn write_record<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<u64> {
+    if payload.len() > MAX_RECORD_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "record of {} bytes exceeds the {MAX_RECORD_BYTES}-byte limit",
+                payload.len()
+            ),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(RECORD_HEADER_BYTES + payload.len() as u64)
+}
+
+/// Fills `buf` from `r`, returning how many bytes were read before EOF.
+fn read_up_to<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads the next record, classifying any irregular ending.
+///
+/// `remaining` is the number of bytes left in the file from the current
+/// position (used to report how large a corrupt tail is without reading
+/// it all).
+pub fn read_record<R: Read>(r: &mut R, remaining: u64) -> io::Result<RecordOutcome> {
+    let mut header = [0u8; RECORD_HEADER_BYTES as usize];
+    let got = read_up_to(r, &mut header)?;
+    if got == 0 {
+        return Ok(RecordOutcome::Eof);
+    }
+    if got < header.len() {
+        return Ok(RecordOutcome::Torn { bytes: got as u64 });
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_RECORD_BYTES {
+        // A flipped bit in the length field would otherwise ask for a
+        // gigantic allocation; classify without reading further.
+        return Ok(RecordOutcome::Corrupt { bytes: remaining });
+    }
+    // Never allocate more than the file can still provide: a torn
+    // header may declare more payload than exists.
+    let mut payload = vec![0u8; len.min(remaining.saturating_sub(RECORD_HEADER_BYTES) as usize)];
+    let got = read_up_to(r, &mut payload)?;
+    if got < len {
+        return Ok(RecordOutcome::Torn {
+            bytes: RECORD_HEADER_BYTES + got as u64,
+        });
+    }
+    if crc32(&payload) != crc {
+        return Ok(RecordOutcome::Corrupt { bytes: remaining });
+    }
+    Ok(RecordOutcome::Record(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read_all(data: &[u8]) -> Vec<RecordOutcome> {
+        let mut r = Cursor::new(data);
+        let mut out = Vec::new();
+        loop {
+            let remaining = data.len() as u64 - r.position();
+            let o = read_record(&mut r, remaining).unwrap();
+            let done = !matches!(o, RecordOutcome::Record(_));
+            out.push(o);
+            if done {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"alpha").unwrap();
+        write_record(&mut buf, b"").unwrap();
+        write_record(&mut buf, b"gamma").unwrap();
+        let out = read_all(&buf);
+        assert_eq!(
+            out,
+            vec![
+                RecordOutcome::Record(b"alpha".to_vec()),
+                RecordOutcome::Record(b"".to_vec()),
+                RecordOutcome::Record(b"gamma".to_vec()),
+                RecordOutcome::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn torn_header_and_torn_payload_are_reported() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"payload").unwrap();
+        let full = buf.len();
+        // Cut inside the *second* record's header…
+        write_record(&mut buf, b"next").unwrap();
+        buf.truncate(full + 3);
+        assert_eq!(
+            read_all(&buf),
+            vec![
+                RecordOutcome::Record(b"payload".to_vec()),
+                RecordOutcome::Torn { bytes: 3 },
+            ]
+        );
+        // …and inside its payload.
+        buf.truncate(full);
+        write_record(&mut buf, b"next").unwrap();
+        buf.truncate(full + 10); // 8 header + 2 of 4 payload bytes
+        assert_eq!(
+            read_all(&buf),
+            vec![
+                RecordOutcome::Record(b"payload".to_vec()),
+                RecordOutcome::Torn { bytes: 10 },
+            ]
+        );
+    }
+
+    #[test]
+    fn bit_flip_in_payload_is_corrupt() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"sensitive").unwrap();
+        let n = buf.len();
+        buf[n - 3] ^= 0x10;
+        assert_eq!(
+            read_all(&buf),
+            vec![RecordOutcome::Corrupt { bytes: n as u64 }]
+        );
+    }
+
+    #[test]
+    fn absurd_length_is_corrupt_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(read_all(&buf), vec![RecordOutcome::Corrupt { bytes: 8 }]);
+    }
+
+    #[test]
+    fn oversized_append_is_refused() {
+        let mut sink = Vec::new();
+        let big = vec![0u8; MAX_RECORD_BYTES + 1];
+        assert!(write_record(&mut sink, &big).is_err());
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn declared_length_beyond_file_is_torn_not_overallocated() {
+        // Header claims 1 MiB but only 5 payload bytes exist; the
+        // reader must not allocate 1 MiB of zeros it can never fill.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1_048_576u32).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(b"stub!");
+        assert_eq!(read_all(&buf), vec![RecordOutcome::Torn { bytes: 13 }]);
+    }
+}

@@ -1,0 +1,348 @@
+//! Segment files.
+//!
+//! The WAL is a sequence of bounded **segments**, each an append-only
+//! file of [`record`](crate::record) frames behind a 16-byte header:
+//!
+//! ```text
+//! b"HBWALSG1" | u64 LE first_seq
+//! ```
+//!
+//! `first_seq` is the global sequence number of the segment's first
+//! record, which makes every segment self-describing: the set of
+//! segment files alone (names are also derived from `first_seq`)
+//! reconstructs the manifest if it is ever lost, and retention can drop
+//! whole files once a snapshot covers their range.
+
+use crate::record::{read_record, RecordOutcome};
+use crate::StoreError;
+use std::fs::File;
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The segment file magic.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"HBWALSG1";
+
+/// The fixed segment header size.
+pub const SEGMENT_HEADER_BYTES: u64 = 16;
+
+/// `wal-<first_seq, hex>.seg`.
+pub fn segment_file_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:016x}.seg")
+}
+
+/// Parses a segment file name back to its `first_seq`.
+pub fn parse_segment_file_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Creates a fresh segment and writes its header.
+pub fn create_segment(dir: &Path, first_seq: u64) -> Result<(PathBuf, File), StoreError> {
+    let path = dir.join(segment_file_name(first_seq));
+    let mut f = File::create(&path)
+        .map_err(|e| StoreError::io(format!("create segment {}", path.display()), e))?;
+    f.write_all(&SEGMENT_MAGIC)
+        .and_then(|()| f.write_all(&first_seq.to_le_bytes()))
+        .map_err(|e| StoreError::io(format!("write header of {}", path.display()), e))?;
+    Ok((path, f))
+}
+
+/// How a scanned segment ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailState {
+    /// The last record is complete and verified.
+    Clean,
+    /// `bytes` of a partially written record follow the last good one.
+    Torn(u64),
+    /// `bytes` from an unverifiable record to the end of the file.
+    Corrupt(u64),
+}
+
+impl TailState {
+    /// Bytes past the last trustworthy record.
+    pub fn bad_bytes(self) -> u64 {
+        match self {
+            TailState::Clean => 0,
+            TailState::Torn(b) | TailState::Corrupt(b) => b,
+        }
+    }
+}
+
+/// A streaming reader over one segment's records.
+pub struct SegmentReader {
+    path: PathBuf,
+    reader: BufReader<File>,
+    /// Sequence number of the next record.
+    next_seq: u64,
+    /// File offset of the next record.
+    offset: u64,
+    /// Total file length.
+    len: u64,
+    tail: Option<TailState>,
+}
+
+impl SegmentReader {
+    /// Opens a segment, validating its header (and that the name agrees
+    /// with the embedded `first_seq`).
+    pub fn open(path: &Path) -> Result<SegmentReader, StoreError> {
+        let f = File::open(path)
+            .map_err(|e| StoreError::io(format!("open segment {}", path.display()), e))?;
+        let len = f
+            .metadata()
+            .map_err(|e| StoreError::io(format!("stat {}", path.display()), e))?
+            .len();
+        let mut reader = BufReader::new(f);
+        let mut header = [0u8; SEGMENT_HEADER_BYTES as usize];
+        reader
+            .read_exact(&mut header)
+            .map_err(|_| StoreError::Corrupt(format!("{}: segment header torn", path.display())))?;
+        if header[..8] != SEGMENT_MAGIC {
+            return Err(StoreError::Corrupt(format!(
+                "{}: bad segment magic",
+                path.display()
+            )));
+        }
+        let first_seq = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        if let Some(named) = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(parse_segment_file_name)
+        {
+            if named != first_seq {
+                return Err(StoreError::Corrupt(format!(
+                    "{}: header first_seq {first_seq} disagrees with file name",
+                    path.display()
+                )));
+            }
+        }
+        Ok(SegmentReader {
+            path: path.to_path_buf(),
+            reader,
+            next_seq: first_seq,
+            offset: SEGMENT_HEADER_BYTES,
+            len,
+            tail: None,
+        })
+    }
+
+    /// The segment file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Sequence number of the next record this reader would yield.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// File offset of the next record (= the valid-prefix length once
+    /// the scan has ended).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// How the segment ended; `None` until the scan reaches the end.
+    pub fn tail(&self) -> Option<TailState> {
+        self.tail
+    }
+
+    /// The next record, or `None` at the (clean, torn, or corrupt) end.
+    #[allow(clippy::should_implement_trait)] // fallible, not an Iterator
+    pub fn next(&mut self) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        if self.tail.is_some() {
+            return Ok(None);
+        }
+        let remaining = self.len - self.offset;
+        match read_record(&mut self.reader, remaining)
+            .map_err(|e| StoreError::io(format!("read {}", self.path.display()), e))?
+        {
+            RecordOutcome::Record(payload) => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.offset += crate::record::RECORD_HEADER_BYTES + payload.len() as u64;
+                Ok(Some((seq, payload)))
+            }
+            RecordOutcome::Eof => {
+                self.tail = Some(TailState::Clean);
+                Ok(None)
+            }
+            RecordOutcome::Torn { bytes } => {
+                self.tail = Some(TailState::Torn(bytes));
+                Ok(None)
+            }
+            RecordOutcome::Corrupt { bytes } => {
+                self.tail = Some(TailState::Corrupt(bytes));
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// A fully scanned segment: record count and how it ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentScan {
+    /// The segment's first record sequence number.
+    pub first_seq: u64,
+    /// Complete, verified records.
+    pub records: u64,
+    /// Offset one past the last good record (the valid-prefix length).
+    pub valid_bytes: u64,
+    /// How the file ends.
+    pub tail: TailState,
+}
+
+/// Scans a whole segment without retaining payloads.
+pub fn scan_segment(path: &Path) -> Result<SegmentScan, StoreError> {
+    let mut r = SegmentReader::open(path)?;
+    let first_seq = r.next_seq();
+    while r.next()?.is_some() {}
+    Ok(SegmentScan {
+        first_seq,
+        records: r.next_seq() - first_seq,
+        valid_bytes: r.offset(),
+        tail: r.tail().expect("scan ran to the end"),
+    })
+}
+
+/// Truncates a segment to its valid prefix; returns the bytes removed.
+pub fn truncate_tail(path: &Path, scan: &SegmentScan) -> Result<u64, StoreError> {
+    let bad = scan.tail.bad_bytes();
+    if bad == 0 {
+        return Ok(0);
+    }
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| StoreError::io(format!("open {} for truncation", path.display()), e))?;
+    f.set_len(scan.valid_bytes)
+        .and_then(|()| f.sync_all())
+        .map_err(|e| StoreError::io(format!("truncate {}", path.display()), e))?;
+    Ok(bad)
+}
+
+/// Opens a segment for appending, positioned at `valid_bytes`.
+pub fn open_for_append(path: &Path, valid_bytes: u64) -> Result<File, StoreError> {
+    let mut f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| StoreError::io(format!("open {} for append", path.display()), e))?;
+    f.seek(SeekFrom::Start(valid_bytes))
+        .map_err(|e| StoreError::io(format!("seek {}", path.display()), e))?;
+    Ok(f)
+}
+
+/// Lists the segment files in `dir`, ordered by `first_seq`.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_file_name) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_by_key(|&(seq, _)| seq);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::write_record;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("hb-store-segment-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(
+            parse_segment_file_name(&segment_file_name(0x1234)),
+            Some(0x1234)
+        );
+        assert_eq!(parse_segment_file_name("wal-xyz.seg"), None);
+        assert_eq!(parse_segment_file_name("snap-0.snap"), None);
+    }
+
+    #[test]
+    fn write_scan_and_read_back() {
+        let dir = tmpdir("roundtrip");
+        let (path, mut f) = create_segment(&dir, 7).unwrap();
+        for payload in [b"one".as_slice(), b"two", b"three"] {
+            write_record(&mut f, payload).unwrap();
+        }
+        f.sync_all().unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.first_seq, 7);
+        assert_eq!(scan.records, 3);
+        assert_eq!(scan.tail, TailState::Clean);
+
+        let mut r = SegmentReader::open(&path).unwrap();
+        assert_eq!(r.next().unwrap(), Some((7, b"one".to_vec())));
+        assert_eq!(r.next().unwrap(), Some((8, b"two".to_vec())));
+        assert_eq!(r.next().unwrap(), Some((9, b"three".to_vec())));
+        assert_eq!(r.next().unwrap(), None);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated() {
+        let dir = tmpdir("torn");
+        let (path, mut f) = create_segment(&dir, 0).unwrap();
+        write_record(&mut f, b"keep me").unwrap();
+        write_record(&mut f, b"torn away").unwrap();
+        f.sync_all().unwrap();
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Chop 5 bytes off the final record.
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 5).unwrap();
+        drop(f);
+
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.records, 1);
+        assert!(matches!(scan.tail, TailState::Torn(_)));
+        let removed = truncate_tail(&path, &scan).unwrap();
+        assert!(removed > 0);
+        let rescan = scan_segment(&path).unwrap();
+        assert_eq!(rescan.records, 1);
+        assert_eq!(rescan.tail, TailState::Clean);
+    }
+
+    #[test]
+    fn corrupt_record_stops_the_scan() {
+        let dir = tmpdir("corrupt");
+        let (path, mut f) = create_segment(&dir, 0).unwrap();
+        write_record(&mut f, b"good").unwrap();
+        let corrupt_at = SEGMENT_HEADER_BYTES + 8 + 4;
+        write_record(&mut f, b"later-bad").unwrap();
+        write_record(&mut f, b"unreachable").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        // Flip one payload bit of the middle record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[corrupt_at as usize + 8 + 2] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.records, 1);
+        assert_eq!(scan.valid_bytes, corrupt_at);
+        assert!(matches!(scan.tail, TailState::Corrupt(_)));
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let dir = tmpdir("magic");
+        let path = dir.join(segment_file_name(0));
+        std::fs::write(&path, b"NOTAWAL!\0\0\0\0\0\0\0\0records").unwrap();
+        assert!(matches!(
+            SegmentReader::open(&path),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,155 @@
+//! Snapshot files.
+//!
+//! A snapshot captures the monitor's full state *as of* a WAL position:
+//! replay resumes at `next_seq`, and every record below it is covered
+//! (and therefore reclaimable by compaction). The payload is opaque to
+//! the store — the monitor serializes its sessions however it likes —
+//! and is wrapped in the same CRC-checked record frame the WAL uses:
+//!
+//! ```text
+//! b"HBSNAP01" | u64 LE next_seq | u32 LE len | u32 LE crc | payload
+//! ```
+//!
+//! Snapshots are written to a temporary file, fsynced, and renamed into
+//! place, so a crash mid-snapshot leaves the previous snapshot intact;
+//! a snapshot that fails its CRC on load is ignored the same way (the
+//! store falls back to full-log replay).
+
+use crate::record::{read_record, write_record, RecordOutcome};
+use crate::StoreError;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// The snapshot file magic.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"HBSNAP01";
+
+/// `snap-<next_seq, hex>.snap`.
+pub fn snapshot_file_name(next_seq: u64) -> String {
+    format!("snap-{next_seq:016x}.snap")
+}
+
+/// Parses a snapshot file name back to its `next_seq`.
+pub fn parse_snapshot_file_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Durably writes a snapshot; returns its file name.
+pub fn write_snapshot_file(
+    dir: &Path,
+    next_seq: u64,
+    payload: &[u8],
+) -> Result<String, StoreError> {
+    let name = snapshot_file_name(next_seq);
+    let tmp = dir.join(format!("{name}.tmp"));
+    let path = dir.join(&name);
+    let io = |what: &str, e| StoreError::io(format!("{what} {}", tmp.display()), e);
+    let mut f = std::fs::File::create(&tmp).map_err(|e| io("create", e))?;
+    f.write_all(&SNAPSHOT_MAGIC)
+        .and_then(|()| f.write_all(&next_seq.to_le_bytes()))
+        .map_err(|e| io("write header of", e))?;
+    write_record(&mut f, payload).map_err(|e| io("write body of", e))?;
+    f.sync_all().map_err(|e| io("sync", e))?;
+    drop(f);
+    std::fs::rename(&tmp, &path)
+        .and_then(|()| std::fs::File::open(dir)?.sync_all())
+        .map_err(|e| StoreError::io(format!("install {}", path.display()), e))?;
+    Ok(name)
+}
+
+/// Loads and verifies a snapshot: `(next_seq, payload)`.
+pub fn read_snapshot(path: &Path) -> Result<(u64, Vec<u8>), StoreError> {
+    let mut f = std::fs::File::open(path)
+        .map_err(|e| StoreError::io(format!("open snapshot {}", path.display()), e))?;
+    let len = f
+        .metadata()
+        .map_err(|e| StoreError::io(format!("stat {}", path.display()), e))?
+        .len();
+    let mut header = [0u8; 16];
+    f.read_exact(&mut header)
+        .map_err(|_| StoreError::Corrupt(format!("{}: snapshot header torn", path.display())))?;
+    if header[..8] != SNAPSHOT_MAGIC {
+        return Err(StoreError::Corrupt(format!(
+            "{}: bad snapshot magic",
+            path.display()
+        )));
+    }
+    let next_seq = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    match read_record(&mut f, len - 16)
+        .map_err(|e| StoreError::io(format!("read {}", path.display()), e))?
+    {
+        RecordOutcome::Record(payload) => Ok((next_seq, payload)),
+        other => Err(StoreError::Corrupt(format!(
+            "{}: snapshot body unreadable ({other:?})",
+            path.display()
+        ))),
+    }
+}
+
+/// Lists the snapshot files in `dir`, ordered by `next_seq`.
+pub fn list_snapshots(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry
+            .file_name()
+            .to_str()
+            .and_then(parse_snapshot_file_name)
+        {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_by_key(|&(seq, _)| seq);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("hb-store-snapshot-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let name = write_snapshot_file(&dir, 42, b"session state blob").unwrap();
+        assert_eq!(parse_snapshot_file_name(&name), Some(42));
+        let (seq, payload) = read_snapshot(&dir.join(&name)).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(payload, b"session state blob");
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected() {
+        let dir = tmpdir("corrupt");
+        let name = write_snapshot_file(&dir, 7, b"precious").unwrap();
+        let path = dir.join(&name);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_snapshot(&path), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn no_tmp_residue_after_write() {
+        let dir = tmpdir("tmp");
+        write_snapshot_file(&dir, 1, b"x").unwrap();
+        let residue: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(residue.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end store lifecycle: many appends across rotations, snapshots
+//! and compaction, simulated crashes with torn tails, and verification.
+
+use hb_store::{inspect, verify, Store, StoreOptions, SyncPolicy};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hb-store-e2e").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(segment_bytes: u64) -> StoreOptions {
+    StoreOptions {
+        segment_bytes,
+        sync: SyncPolicy::Os,
+    }
+}
+
+fn payload(seq: u64, len: usize) -> Vec<u8> {
+    (0..len).map(|i| (seq as usize + i) as u8).collect()
+}
+
+#[test]
+fn lifecycle_with_random_sizes_snapshots_and_reopens() {
+    let dir = tmpdir("lifecycle");
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let mut expected: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut snap_at = 0u64;
+
+    for round in 0..4 {
+        let mut store = Store::open(&dir, opts(512)).unwrap();
+        assert_eq!(store.next_seq(), expected.len() as u64, "round {round}");
+        assert_eq!(store.recovery_report().truncated_bytes, 0);
+        for _ in 0..50 {
+            let len = rng.gen_range(0..120usize);
+            let body = payload(store.next_seq(), len);
+            let seq = store.append(&body).unwrap();
+            expected.push((seq, body));
+        }
+        if round == 1 {
+            // Snapshot + compact mid-history: replay must still cover
+            // everything from the snapshot point on.
+            store.write_snapshot(b"opaque monitor state").unwrap();
+            snap_at = store.next_seq();
+            store.compact().unwrap();
+        }
+        let from = snap_at;
+        let got: Vec<_> = store.replay(from).map(Result::unwrap).collect();
+        assert_eq!(got, expected[from as usize..], "round {round}");
+    }
+
+    let report = inspect(&dir).unwrap();
+    assert_eq!(report.next_seq, expected.len() as u64);
+    assert_eq!(report.bad_bytes, 0);
+    assert!(!report.corrupt);
+    assert_eq!(report.snapshots.len(), 1);
+    assert!(report.snapshots[0].valid);
+}
+
+#[test]
+fn torn_tail_then_verify_repair_then_reopen() {
+    let dir = tmpdir("torn-verify");
+    {
+        let mut store = Store::open(&dir, opts(1 << 20)).unwrap();
+        for i in 0..10u64 {
+            store.append(&payload(i, 40)).unwrap();
+        }
+    }
+    // Tear the final record mid-payload, as a crash during write would.
+    let (_, seg) = hb_store::segment::list_segments(&dir)
+        .unwrap()
+        .pop()
+        .unwrap();
+    let len = std::fs::metadata(&seg).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&seg)
+        .unwrap()
+        .set_len(len - 17)
+        .unwrap();
+
+    let dry = verify(&dir, false).unwrap();
+    assert_eq!(dry.records, 9);
+    assert!(dry.bad_bytes > 0 && !dry.corrupt);
+
+    let fixed = verify(&dir, true).unwrap();
+    assert!(fixed.repaired_bytes > 0);
+
+    // Clean reopen: nothing left to truncate, seq 9 is reassigned.
+    let mut store = Store::open(&dir, opts(1 << 20)).unwrap();
+    assert_eq!(store.recovery_report().truncated_bytes, 0);
+    assert_eq!(store.append(b"replacement").unwrap(), 9);
+}
+
+#[test]
+fn bit_rot_mid_log_drops_everything_after_it() {
+    let dir = tmpdir("bit-rot");
+    {
+        let mut store = Store::open(&dir, opts(256)).unwrap();
+        for i in 0..30u64 {
+            store.append(&payload(i, 32)).unwrap();
+        }
+        assert!(store.stats().segments >= 3);
+    }
+    // Corrupt one byte early in the SECOND segment.
+    let segs = hb_store::segment::list_segments(&dir).unwrap();
+    let (second_first_seq, second) = segs[1].clone();
+    let mut bytes = std::fs::read(&second).unwrap();
+    bytes[hb_store::segment::SEGMENT_HEADER_BYTES as usize + 8 + 1] ^= 0x10;
+    std::fs::write(&second, &bytes).unwrap();
+
+    let store = Store::open(&dir, opts(256)).unwrap();
+    let report = store.recovery_report();
+    assert!(report.corrupt);
+    assert!(report.dropped_segments > 0);
+    // Every record before the rot survives; nothing after it does.
+    assert_eq!(store.next_seq(), second_first_seq);
+    let got: Vec<_> = store.replay(0).map(Result::unwrap).collect();
+    assert_eq!(got.len() as u64, second_first_seq);
+    for (i, (seq, body)) in got.iter().enumerate() {
+        assert_eq!(*seq, i as u64);
+        assert_eq!(*body, payload(*seq, 32));
+    }
+}
+
+#[test]
+fn verify_reports_zero_corruption_on_cleanly_flushed_log() {
+    let dir = tmpdir("clean-verify");
+    {
+        let mut store = Store::open(
+            &dir,
+            StoreOptions {
+                segment_bytes: 1024,
+                sync: SyncPolicy::Always,
+            },
+        )
+        .unwrap();
+        for i in 0..25u64 {
+            store.append(&payload(i, 64)).unwrap();
+        }
+    }
+    let report = verify(&dir, false).unwrap();
+    assert_eq!(report.records, 25);
+    assert_eq!(report.bad_bytes, 0);
+    assert!(!report.corrupt);
+    assert!(report.segments.iter().all(|s| s.tail == "clean"));
+}

@@ -446,9 +446,21 @@ pub fn read_frame<R: BufRead, T: Deserialize>(r: &mut R) -> Result<Option<T>, Tr
             "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
         )));
     }
-    let mut body = vec![0u8; len];
-    std::io::Read::read_exact(r, &mut body)
+    // Read through `take` instead of pre-allocating `len` bytes: the
+    // length prefix is attacker-controlled, and a frame that *claims*
+    // 16 MiB but delivers 10 bytes must cost 10 bytes, not 16 MiB.
+    use std::io::Read as _;
+    let mut body = Vec::new();
+    let got = r
+        .by_ref()
+        .take(len as u64)
+        .read_to_end(&mut body)
         .map_err(|e| TraceError::Invalid(format!("truncated frame body: {e}")))?;
+    if got < len {
+        return Err(TraceError::Invalid(format!(
+            "truncated frame body: got {got} of {len} bytes"
+        )));
+    }
     // The newline terminator.
     let mut nl = [0u8; 1];
     std::io::Read::read_exact(r, &mut nl)

@@ -1,0 +1,155 @@
+//! Adversarial property tests for the wire protocol.
+//!
+//! The frame reader faces bytes from the network; these tests feed it
+//! truncated frames, bit-flipped frames, frames whose length prefix
+//! lies, and raw garbage, and require an error (or clean EOF) every
+//! time — never a panic, and never an allocation sized by an
+//! attacker-controlled length prefix that the peer does not back with
+//! actual bytes.
+
+use hb_tracefmt::wire::{read_frame, write_frame, ClientMsg, MAX_FRAME_BYTES};
+use hb_tracefmt::TraceError;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::io::Cursor;
+
+/// A representative message whose encoded size varies with the inputs.
+fn sample_msg(p: usize, clock: Vec<u32>, vals: Vec<i64>) -> ClientMsg {
+    let set: BTreeMap<String, i64> = vals
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (format!("x{i}"), v))
+        .collect();
+    ClientMsg::Event {
+        session: "sess".into(),
+        p,
+        clock,
+        set,
+    }
+}
+
+fn encode(msg: &ClientMsg) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, msg).expect("encode");
+    buf
+}
+
+/// Drains a reader until it stops yielding frames; panics bubble up.
+fn drain(bytes: &[u8]) {
+    let mut r = Cursor::new(bytes);
+    loop {
+        match read_frame::<_, ClientMsg>(&mut r) {
+            Ok(Some(_)) => {}
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_frames_are_errors(
+        p in 0usize..4,
+        clock in prop::collection::vec(0u32..9, 1..6),
+        vals in prop::collection::vec(-4i64..5, 0..4),
+        cut_seed in 0usize..10_000,
+    ) {
+        let frame = encode(&sample_msg(p, clock, vals));
+        // Cut strictly inside the frame: somewhere in the header, the
+        // body, or just before the newline terminator.
+        let cut = cut_seed % frame.len();
+        let mut r = Cursor::new(&frame[..cut]);
+        match read_frame::<_, ClientMsg>(&mut r) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only an empty stream is a clean EOF"),
+            Ok(Some(_)) => prop_assert!(false, "a truncated frame must not parse"),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(
+        p in 0usize..4,
+        clock in prop::collection::vec(0u32..9, 1..6),
+        vals in prop::collection::vec(-4i64..5, 0..4),
+        flip_seed in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let mut frame = encode(&sample_msg(p, clock, vals));
+        let at = flip_seed % frame.len();
+        frame[at] ^= 1 << bit;
+        // A flip in a JSON integer can still parse; the contract is
+        // only "no panic, and the stream always terminates".
+        drain(&frame);
+    }
+
+    #[test]
+    fn short_bodies_behind_honest_lengths_are_truncation_errors(
+        claimed in 64usize..MAX_FRAME_BYTES,
+        body in prop::collection::vec(32u8..127, 0..24),
+    ) {
+        // The header passes the size check, but the peer hangs up after
+        // a few bytes (always fewer than claimed, by construction). The
+        // reader must report truncation after reading only what arrived
+        // — not allocate `claimed` bytes up front.
+        let mut frame = format!("{claimed} ").into_bytes();
+        frame.extend_from_slice(&body);
+        let mut r = Cursor::new(frame);
+        match read_frame::<_, ClientMsg>(&mut r) {
+            Err(TraceError::Invalid(msg)) => {
+                prop_assert!(msg.contains("truncated frame body"), "{}", msg);
+            }
+            other => prop_assert!(false, "expected truncation error, got {:?}", other.map(|_| "frame")),
+        }
+    }
+
+    #[test]
+    fn oversized_length_claims_are_rejected_before_reading(
+        excess in 1usize..1_000_000,
+        body in prop::collection::vec(32u8..127, 0..16),
+    ) {
+        let claimed = MAX_FRAME_BYTES + excess;
+        let mut frame = format!("{claimed} ").into_bytes();
+        frame.extend_from_slice(&body);
+        let mut r = Cursor::new(frame);
+        match read_frame::<_, ClientMsg>(&mut r) {
+            Err(TraceError::Invalid(msg)) => {
+                prop_assert!(msg.contains("exceeds"), "{}", msg);
+            }
+            other => prop_assert!(false, "expected size rejection, got {:?}", other.map(|_| "frame")),
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..200)) {
+        drain(&bytes);
+    }
+
+    #[test]
+    fn corruption_in_one_frame_does_not_break_earlier_frames(
+        p in 0usize..4,
+        clock in prop::collection::vec(0u32..9, 1..6),
+        damage in 0u8..=255,
+    ) {
+        // One good frame followed by damage: the good frame must still
+        // be delivered before the error surfaces.
+        let good = sample_msg(p, clock, vec![1, 2]);
+        let mut stream = encode(&good);
+        stream.push(damage);
+        stream.extend_from_slice(b"garbage trailing bytes");
+        let mut r = Cursor::new(stream);
+        let first = read_frame::<_, ClientMsg>(&mut r).expect("first frame is intact");
+        prop_assert_eq!(first, Some(good));
+        prop_assert!(drain_rest(&mut r));
+    }
+}
+
+/// Reads to exhaustion; true when the stream ended via error or EOF.
+fn drain_rest(r: &mut Cursor<Vec<u8>>) -> bool {
+    loop {
+        match read_frame::<_, ClientMsg>(r) {
+            Ok(Some(_)) => {}
+            Ok(None) | Err(_) => return true,
+        }
+    }
+}
