@@ -1,0 +1,129 @@
+//! The `hbtl gateway` subcommand family: the multi-backend front door.
+//!
+//! ```text
+//! hbtl gateway serve <addr> --backend <addr> [--backend <addr>]...
+//!                    [--pool N] [--journal-limit N] [--stats-every SECS]
+//! hbtl gateway drain <addr> <backend> [--retry N]
+//! hbtl gateway stats <addr> [--json | --prometheus] [--retry N]
+//! ```
+//!
+//! `serve` routes every session to one of the named `hb-monitor`
+//! backends by rendezvous hashing, journals each session's frames, and
+//! fails sessions over (with replay and verdict dedup) when a backend
+//! dies. `drain` moves one backend to the removed state once its live
+//! sessions close — the reply arrives only after removal, so scripts
+//! can chain it with stopping the process. `stats` merges the gateway's
+//! own counters with every reachable backend's. A gateway is stopped
+//! like a monitor: `hbtl monitor shutdown <addr>` (the wire frame is
+//! the same).
+
+use crate::monitor_cmd::{
+    connect_retry, fetch_stats, render_stats, take_flag, take_retry, take_switch,
+};
+use hb_gateway::{GatewayConfig, GatewayService};
+use hb_tracefmt::wire::{read_frame, write_frame, ClientMsg, ServerMsg};
+use std::io::{BufReader, BufWriter};
+use std::net::TcpListener;
+use std::time::Duration;
+
+/// Dispatches `hbtl gateway <verb> …`.
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("drain") => drain_cmd(&args[1..]),
+        Some("stats") => stats_cmd(&args[1..]),
+        _ => Err("gateway needs serve|drain|stats".into()),
+    }
+}
+
+fn serve_cmd(args: &[String]) -> Result<String, String> {
+    let mut rest = args.to_vec();
+    let mut backends = Vec::new();
+    while let Some(b) = take_flag(&mut rest, "--backend")? {
+        backends.push(b);
+    }
+    let pool = take_flag(&mut rest, "--pool")?
+        .map(|s| s.parse::<usize>().map_err(|_| "bad --pool".to_string()))
+        .transpose()?;
+    let journal_limit = take_flag(&mut rest, "--journal-limit")?
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| "bad --journal-limit".to_string())
+        })
+        .transpose()?;
+    let stats_every = take_flag(&mut rest, "--stats-every")?
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| "bad --stats-every".to_string())
+        })
+        .transpose()?;
+    let [addr] = rest.as_slice() else {
+        return Err("serve needs <addr> --backend <addr> [--backend <addr>]...".into());
+    };
+    let mut config = GatewayConfig {
+        backends,
+        stats_interval: stats_every.map(Duration::from_secs),
+        ..GatewayConfig::default()
+    };
+    if let Some(pool) = pool {
+        config.pool_size = pool;
+    }
+    if let Some(limit) = journal_limit {
+        config.journal_limit = limit;
+    }
+    let n = config.backends.len();
+    let listener = TcpListener::bind(addr.as_str()).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::AddrInUse {
+            format!("bind {addr}: address already in use — is another gateway running there?")
+        } else {
+            format!("bind {addr}: {e}")
+        }
+    })?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    let service = GatewayService::start(config)?;
+    eprintln!("hb-gateway: listening on {local} ({n} backends)");
+    service.serve(listener).map_err(|e| format!("serve: {e}"))?;
+    let stats = service.shutdown();
+    Ok(format!("hb-gateway: shut down\nfinal: {stats}\n"))
+}
+
+fn drain_cmd(args: &[String]) -> Result<String, String> {
+    let mut rest = args.to_vec();
+    let retries = take_retry(&mut rest)?;
+    let [addr, backend] = rest.as_slice() else {
+        return Err("drain needs <gateway-addr> <backend-addr> [--retry N]".into());
+    };
+    let stream = connect_retry(addr, retries)?;
+    let mut w = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut r = BufReader::new(stream);
+    write_frame(
+        &mut w,
+        &ClientMsg::Drain {
+            backend: backend.clone(),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    // The reply blocks until every session on the backend has closed.
+    match read_frame::<_, ServerMsg>(&mut r).map_err(|e| e.to_string())? {
+        Some(ServerMsg::Drained { backend, sessions }) => Ok(format!(
+            "drained {backend}: waited out {sessions} session(s); backend removed\n"
+        )),
+        Some(ServerMsg::Error { message, .. }) => Err(format!("drain rejected: {message}")),
+        other => Err(format!("unexpected drain reply: {other:?}")),
+    }
+}
+
+fn stats_cmd(args: &[String]) -> Result<String, String> {
+    let mut rest = args.to_vec();
+    let json = take_switch(&mut rest, "--json");
+    let prometheus = take_switch(&mut rest, "--prometheus");
+    let retries = take_retry(&mut rest)?;
+    let [addr] = rest.as_slice() else {
+        return Err("stats needs <addr> [--json | --prometheus] [--retry N]".into());
+    };
+    if json && prometheus {
+        return Err("--json and --prometheus are mutually exclusive".into());
+    }
+    let counters = fetch_stats(addr, retries)?;
+    render_stats(&counters, json, prometheus)
+}

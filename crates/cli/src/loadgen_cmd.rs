@@ -1,0 +1,427 @@
+//! `hbtl loadgen` — a swarm load generator for the online-detection
+//! service (monitor or gateway; both speak the same wire protocol).
+//!
+//! ```text
+//! hbtl loadgen <addr> [--workers M] [--sessions N] [--processes P]
+//!              [--events E] [--predicates K] [--window W] [--seed S] [--json]
+//! hbtl loadgen --compare [--workers M] ... [--json]
+//! ```
+//!
+//! M workers each drive N sessions over one pipelined connection:
+//! every session is a seeded `hb-sim` random computation streamed as a
+//! causality-respecting shuffle, monitored for K conjunctive predicates
+//! that never hold (`x = -1` on every process) — the detector does full
+//! work on every event and settles only at close. Reported: session and
+//! event throughput plus open→closed latency percentiles, as text or
+//! JSON (the shape `store_bench` uses, for CI artifact diffing).
+//!
+//! `--compare` needs no running servers: it benchmarks a self-hosted
+//! single monitor against a self-hosted gateway over two monitors with
+//! the *same* workload, and reports the throughput ratio.
+
+use crate::monitor_cmd::{shutdown_server, state_map, take_flag, take_switch};
+use hb_computation::{Computation, EventId};
+use hb_gateway::{dial, GatewayConfig, GatewayService, RetryPolicy};
+use hb_monitor::{MonitorConfig, MonitorService};
+use hb_sim::{causal_shuffle, random_computation, RandomSpec};
+use hb_tracefmt::wire::{
+    read_frame, write_frame, ClientMsg, ServerMsg, WireClause, WireMode, WirePredicate,
+};
+use std::fmt::Write as _;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+/// The workload shape, fixed up front so repeated runs are identical.
+#[derive(Debug, Clone)]
+struct LoadSpec {
+    workers: usize,
+    sessions_per_worker: usize,
+    processes: usize,
+    events_per_process: usize,
+    predicates: usize,
+    window: usize,
+    seed: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            workers: 4,
+            sessions_per_worker: 4,
+            processes: 4,
+            events_per_process: 32,
+            predicates: 4,
+            window: 8,
+            seed: 1,
+        }
+    }
+}
+
+/// One pre-generated session: name, computation, delivery order.
+struct SessionPlan {
+    name: String,
+    comp: Computation,
+    order: Vec<EventId>,
+}
+
+/// Aggregate results of one load run.
+struct LoadResult {
+    sessions: usize,
+    events: usize,
+    wall: Duration,
+    /// Open→closed per session, sorted ascending, in milliseconds.
+    latencies_ms: Vec<f64>,
+}
+
+impl LoadResult {
+    fn sessions_per_sec(&self) -> f64 {
+        self.sessions as f64 / self.wall.as_secs_f64()
+    }
+
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64()
+    }
+
+    fn percentile(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.latencies_ms.len() - 1) as f64 * q / 100.0).round() as usize;
+        self.latencies_ms[idx]
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"sessions\":{},\"events\":{},\"wall_secs\":{:.4},\
+             \"sessions_per_sec\":{:.2},\"events_per_sec\":{:.1},\
+             \"latency_ms\":{{\"p50\":{:.2},\"p90\":{:.2},\"p99\":{:.2},\"max\":{:.2}}}}}",
+            self.sessions,
+            self.events,
+            self.wall.as_secs_f64(),
+            self.sessions_per_sec(),
+            self.events_per_sec(),
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+            self.percentile(100.0),
+        )
+    }
+
+    fn to_text(&self, label: &str) -> String {
+        format!(
+            "{label}: {} sessions, {} events in {:.3}s → {:.1} sessions/s, {:.0} events/s\n\
+             {label}: open→closed latency p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms, max {:.1} ms\n",
+            self.sessions,
+            self.events,
+            self.wall.as_secs_f64(),
+            self.sessions_per_sec(),
+            self.events_per_sec(),
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+            self.percentile(100.0),
+        )
+    }
+}
+
+/// Deterministically builds every worker's session plans.
+fn build_plans(spec: &LoadSpec) -> Vec<Vec<SessionPlan>> {
+    (0..spec.workers)
+        .map(|w| {
+            (0..spec.sessions_per_worker)
+                .map(|s| {
+                    let seed = spec
+                        .seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((w * spec.sessions_per_worker + s) as u64);
+                    let comp = random_computation(RandomSpec {
+                        processes: spec.processes,
+                        events_per_process: spec.events_per_process,
+                        send_percent: 30,
+                        value_range: 4,
+                        seed,
+                    });
+                    let order = causal_shuffle(&comp, seed ^ 0xdead_beef, spec.window);
+                    SessionPlan {
+                        name: format!("lg-{w}-{s}"),
+                        comp,
+                        order,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Predicates that never settle early: `x = -1` on every process while
+/// values are drawn from `0..range` — the detector advances through the
+/// whole computation for each of them.
+fn impossible_predicates(spec: &LoadSpec) -> Vec<WirePredicate> {
+    (0..spec.predicates)
+        .map(|k| WirePredicate {
+            id: format!("p{k}"),
+            mode: WireMode::Conjunctive,
+            clauses: (0..spec.processes)
+                .map(|p| WireClause {
+                    process: p,
+                    var: "x".into(),
+                    op: "=".into(),
+                    value: -1,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Drives every worker against `addr` and merges their measurements.
+fn run_load(addr: &str, plans: &[Vec<SessionPlan>], spec: &LoadSpec) -> Result<LoadResult, String> {
+    let predicates = impossible_predicates(spec);
+    let started = Instant::now();
+    let results: Vec<Result<Vec<f64>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|sessions| {
+                let predicates = predicates.clone();
+                scope.spawn(move || drive_worker(addr, sessions, &predicates))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("worker panicked".into())))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut latencies_ms = Vec::new();
+    for r in results {
+        latencies_ms.extend(r?);
+    }
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    Ok(LoadResult {
+        sessions: plans.iter().map(Vec::len).sum(),
+        events: plans.iter().flatten().map(|p| p.order.len()).sum(),
+        wall,
+        latencies_ms,
+    })
+}
+
+/// One worker: a single handshaken connection, sessions driven
+/// back-to-back, frames pipelined within each session.
+fn drive_worker(
+    addr: &str,
+    sessions: &[SessionPlan],
+    predicates: &[WirePredicate],
+) -> Result<Vec<f64>, String> {
+    let mut conn = dial(addr, &RetryPolicy::with_retries(3))?;
+    let mut latencies = Vec::with_capacity(sessions.len());
+    for plan in sessions {
+        let t0 = Instant::now();
+        let n = plan.comp.num_processes();
+        write_frame(
+            &mut conn.writer,
+            &ClientMsg::Open {
+                session: plan.name.clone(),
+                processes: n,
+                vars: vec!["x".into()],
+                initial: vec![],
+                predicates: predicates.to_vec(),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        for &e in &plan.order {
+            write_frame(
+                &mut conn.writer,
+                &ClientMsg::Event {
+                    session: plan.name.clone(),
+                    p: e.process,
+                    clock: plan.comp.clock(e).components().to_vec(),
+                    set: state_map(&plan.comp, e),
+                },
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        for p in 0..n {
+            write_frame(
+                &mut conn.writer,
+                &ClientMsg::FinishProcess {
+                    session: plan.name.clone(),
+                    p,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        write_frame(
+            &mut conn.writer,
+            &ClientMsg::Close {
+                session: plan.name.clone(),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        let mut verdicts = 0usize;
+        loop {
+            match read_frame::<_, ServerMsg>(&mut conn.reader)
+                .map_err(|e| e.to_string())?
+                .ok_or_else(|| "server closed the connection".to_string())?
+            {
+                ServerMsg::Opened { .. } => {}
+                ServerMsg::Verdict { .. } => verdicts += 1,
+                ServerMsg::Closed { .. } => break,
+                ServerMsg::Error { message, .. } => {
+                    return Err(format!("server error on {}: {message}", plan.name));
+                }
+                other => return Err(format!("unexpected frame: {other:?}")),
+            }
+        }
+        if verdicts != predicates.len() {
+            return Err(format!(
+                "{}: expected {} verdicts, saw {verdicts}",
+                plan.name,
+                predicates.len()
+            ));
+        }
+        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    Ok(latencies)
+}
+
+// ---- self-hosted servers for --compare ------------------------------------
+
+struct HostedMonitor {
+    addr: String,
+    service: MonitorService,
+    thread: std::thread::JoinHandle<()>,
+}
+
+fn host_monitor() -> Result<HostedMonitor, String> {
+    let service = MonitorService::start(MonitorConfig::default());
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| e.to_string())?
+        .to_string();
+    let handle = service.handle();
+    let thread = std::thread::spawn(move || {
+        let _ = hb_monitor::serve(listener, handle);
+    });
+    Ok(HostedMonitor {
+        addr,
+        service,
+        thread,
+    })
+}
+
+impl HostedMonitor {
+    fn stop(self) -> Result<(), String> {
+        shutdown_server(&self.addr, 0)?;
+        self.thread.join().map_err(|_| "monitor serve panicked")?;
+        self.service.shutdown();
+        Ok(())
+    }
+}
+
+fn compare_cmd(spec: &LoadSpec, json: bool) -> Result<String, String> {
+    let plans = build_plans(spec);
+
+    // Leg 1: every worker against one monitor, directly.
+    let single_result = {
+        let m = host_monitor()?;
+        let r = run_load(&m.addr, &plans, spec)?;
+        m.stop()?;
+        r
+    };
+
+    // Leg 2: the same workload through a gateway over two monitors.
+    let gateway_result = {
+        let a = host_monitor()?;
+        let b = host_monitor()?;
+        let gw = std::sync::Arc::new(GatewayService::start(GatewayConfig {
+            backends: vec![a.addr.clone(), b.addr.clone()],
+            ..GatewayConfig::default()
+        })?);
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+        let gw_addr = listener
+            .local_addr()
+            .map_err(|e| e.to_string())?
+            .to_string();
+        let gw_thread = {
+            let gw = std::sync::Arc::clone(&gw);
+            std::thread::spawn(move || {
+                let _ = gw.serve(listener);
+            })
+        };
+        let r = run_load(&gw_addr, &plans, spec)?;
+        shutdown_server(&gw_addr, 0)?;
+        gw_thread.join().map_err(|_| "gateway serve panicked")?;
+        // Tear the gateway down *before* stopping the backends: its pool
+        // connections must close or the monitors' accept loops would
+        // block joining the connection threads that serve them.
+        let gw = std::sync::Arc::try_unwrap(gw).map_err(|_| "gateway still referenced")?;
+        let _ = gw.shutdown();
+        a.stop()?;
+        b.stop()?;
+        r
+    };
+
+    let speedup = gateway_result.sessions_per_sec() / single_result.sessions_per_sec();
+    if json {
+        Ok(format!(
+            "{{\"workers\":{},\"single\":{},\"gateway\":{},\"speedup\":{speedup:.3}}}\n",
+            spec.workers,
+            single_result.to_json(),
+            gateway_result.to_json(),
+        ))
+    } else {
+        let mut out = String::new();
+        out.push_str(&single_result.to_text("single-monitor"));
+        out.push_str(&gateway_result.to_text("gateway+2-backends"));
+        let _ = writeln!(out, "speedup: {speedup:.2}x (gateway vs single)");
+        Ok(out)
+    }
+}
+
+/// Dispatches `hbtl loadgen …`.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut rest = args.to_vec();
+    let compare = take_switch(&mut rest, "--compare");
+    let json = take_switch(&mut rest, "--json");
+    let mut spec = LoadSpec::default();
+    if let Some(v) = take_flag(&mut rest, "--workers")? {
+        spec.workers = v.parse().map_err(|_| "bad --workers")?;
+    }
+    if let Some(v) = take_flag(&mut rest, "--sessions")? {
+        spec.sessions_per_worker = v.parse().map_err(|_| "bad --sessions")?;
+    }
+    if let Some(v) = take_flag(&mut rest, "--processes")? {
+        spec.processes = v.parse().map_err(|_| "bad --processes")?;
+    }
+    if let Some(v) = take_flag(&mut rest, "--events")? {
+        spec.events_per_process = v.parse().map_err(|_| "bad --events")?;
+    }
+    if let Some(v) = take_flag(&mut rest, "--predicates")? {
+        spec.predicates = v.parse().map_err(|_| "bad --predicates")?;
+    }
+    if let Some(v) = take_flag(&mut rest, "--window")? {
+        spec.window = v.parse().map_err(|_| "bad --window")?;
+    }
+    if let Some(v) = take_flag(&mut rest, "--seed")? {
+        spec.seed = v.parse().map_err(|_| "bad --seed")?;
+    }
+    if spec.workers == 0 || spec.sessions_per_worker == 0 || spec.predicates == 0 {
+        return Err("--workers, --sessions, and --predicates must be at least 1".into());
+    }
+    if compare {
+        let [] = rest.as_slice() else {
+            return Err("--compare hosts its own servers; no <addr> expected".into());
+        };
+        return compare_cmd(&spec, json);
+    }
+    let [addr] = rest.as_slice() else {
+        return Err("loadgen needs <addr> (or --compare)".into());
+    };
+    let plans = build_plans(&spec);
+    let result = run_load(addr, &plans, &spec)?;
+    if json {
+        Ok(format!("{}\n", result.to_json()))
+    } else {
+        Ok(result.to_text("loadgen"))
+    }
+}

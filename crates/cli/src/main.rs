@@ -26,8 +26,18 @@
 //!                                    WAL + snapshots + crash recovery)
 //! hbtl monitor send <addr> <trace>   replay a trace into a session
 //!                                    (causality-respecting shuffle)
-//! hbtl monitor stats <addr>          query service counters (--json)
+//! hbtl monitor stats <addr>          query service counters
+//!                                    (--json | --prometheus)
 //! hbtl monitor shutdown <addr>       stop a running service
+//! hbtl gateway serve <addr>          front a fleet of monitors: route
+//!                                    sessions by rendezvous hash, fail
+//!                                    over with journal replay when a
+//!                                    backend dies (--backend ADDR ...)
+//! hbtl gateway drain <addr> <b>      retire one backend gracefully
+//! hbtl gateway stats <addr>          gateway + summed backend counters
+//!                                    (--json | --prometheus)
+//! hbtl loadgen <addr>                swarm load generator; --compare
+//!                                    benchmarks gateway vs one monitor
 //! hbtl store inspect <dir>           read-only look at a data dir (--json)
 //! hbtl store verify <dir>            CRC-check every WAL record
 //!                                    (--repair truncates a damaged tail)
@@ -44,7 +54,10 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 mod commands;
+mod gateway_cmd;
+mod loadgen_cmd;
 mod monitor_cmd;
+mod prom;
 mod store_cmd;
 
 fn main() -> ExitCode {
@@ -64,7 +77,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  hbtl check <trace> \"<formula>\"\n  hbtl info <trace>\n  hbtl dot <trace>\n  hbtl lattice <trace> [limit]\n  hbtl convert <in> <out>\n  hbtl simulate <mutex|leader|termination|pipeline> <out.json>\n  hbtl monitor serve <addr> [--shards N] [--capacity N] [--stats-every SECS]\n                    [--data-dir DIR] [--sync always|os|interval:<ms>] [--snapshot-every N]\n  hbtl monitor send <addr> <trace> --session NAME (--conj|--disj \"p:var=v,...\")... [--seed S] [--window W]\n  hbtl monitor stats <addr> [--json]\n  hbtl monitor shutdown <addr>\n  hbtl store inspect <dir> [--json]\n  hbtl store verify <dir> [--repair] [--json]\n  hbtl store compact <dir>"
+    "usage:\n  hbtl check <trace> \"<formula>\"\n  hbtl info <trace>\n  hbtl dot <trace>\n  hbtl lattice <trace> [limit]\n  hbtl convert <in> <out>\n  hbtl simulate <mutex|leader|termination|pipeline> <out.json>\n  hbtl monitor serve <addr> [--shards N] [--capacity N] [--stats-every SECS]\n                    [--data-dir DIR] [--sync always|os|interval:<ms>] [--snapshot-every N]\n  hbtl monitor send <addr> <trace> --session NAME (--conj|--disj \"p:var=v,...\")... [--seed S] [--window W] [--retry N]\n  hbtl monitor stats <addr> [--json | --prometheus] [--retry N]\n  hbtl monitor shutdown <addr> [--retry N]\n  hbtl gateway serve <addr> --backend <addr> [--backend <addr>]... [--pool N] [--journal-limit N] [--stats-every SECS]\n  hbtl gateway drain <addr> <backend> [--retry N]\n  hbtl gateway stats <addr> [--json | --prometheus] [--retry N]\n  hbtl loadgen <addr> [--workers M] [--sessions N] [--processes P] [--events E] [--predicates K] [--json]\n  hbtl loadgen --compare [--workers M] [--sessions N] ... [--json]\n  hbtl store inspect <dir> [--json]\n  hbtl store verify <dir> [--repair] [--json]\n  hbtl store compact <dir>"
 }
 
 /// Dispatches a command line; returns the text to print.
@@ -189,6 +202,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
             ))
         }
         Some("monitor") => monitor_cmd::run(&args[1..]),
+        Some("gateway") => gateway_cmd::run(&args[1..]),
+        Some("loadgen") => loadgen_cmd::run(&args[1..]),
         Some("store") => store_cmd::run(&args[1..]),
         _ => Err("missing or unknown command".into()),
     }

@@ -6,8 +6,14 @@
 //!                   [--snapshot-every N]
 //! hbtl monitor send <addr> <trace> --session NAME
 //!                   (--conj SPEC | --disj SPEC)... [--seed S] [--window W]
-//! hbtl monitor stats <addr> [--json]
+//!                   [--retry N]
+//! hbtl monitor stats <addr> [--json | --prometheus] [--retry N]
+//! hbtl monitor shutdown <addr> [--retry N]
 //! ```
+//!
+//! `--retry N` retries the initial connect up to N extra times with
+//! capped exponential backoff and jitter — for scripts that race a
+//! `serve` that is still binding, and for riding out a gateway failover.
 //!
 //! With `--data-dir`, every accepted message is write-ahead logged
 //! before it is acknowledged and all sessions are snapshotted
@@ -24,11 +30,13 @@
 //! e.g. `--conj "0:x=2,1:x=1"`. Operators: `= != < <= > >=`.
 
 use hb_computation::{Computation, EventId};
+use hb_gateway::{connect_with_retry, RetryPolicy};
 use hb_monitor::{serve, MonitorConfig, MonitorService, PersistConfig, SessionLimits};
 use hb_sim::causal_shuffle;
 use hb_store::{StoreError, SyncPolicy};
 use hb_tracefmt::wire::{
-    read_frame, write_frame, ClientMsg, ServerMsg, WireClause, WireMode, WirePredicate, WireVerdict,
+    self, read_frame, write_frame, ClientMsg, ServerMsg, WireClause, WireMode, WirePredicate,
+    WireVerdict,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -43,10 +51,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("send") => send_cmd(&args[1..]),
         Some("stats") => stats_cmd(&args[1..]),
         Some("shutdown") => {
-            let [addr] = &args[1..] else {
-                return Err("shutdown needs <addr>".into());
+            let mut rest = args[1..].to_vec();
+            let retries = take_retry(&mut rest)?;
+            let [addr] = rest.as_slice() else {
+                return Err("shutdown needs <addr> [--retry N]".into());
             };
-            shutdown_server(addr)?;
+            shutdown_server(addr, retries)?;
             Ok("server shut down\n".into())
         }
         _ => Err("monitor needs serve|send|stats|shutdown".into()),
@@ -54,7 +64,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
 }
 
 /// Pulls `--flag value` out of an argument list, leaving positionals.
-fn take_flag(rest: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+pub(crate) fn take_flag(rest: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
     match rest.iter().position(|a| a == flag) {
         Some(i) if i + 1 < rest.len() => {
             rest.remove(i);
@@ -63,6 +73,67 @@ fn take_flag(rest: &mut Vec<String>, flag: &str) -> Result<Option<String>, Strin
         Some(_) => Err(format!("{flag} needs a value")),
         None => Ok(None),
     }
+}
+
+/// Parses `--retry N` (default 0: a single attempt).
+pub(crate) fn take_retry(rest: &mut Vec<String>) -> Result<u32, String> {
+    Ok(take_flag(rest, "--retry")?
+        .map(|s| s.parse::<u32>().map_err(|_| "bad --retry".to_string()))
+        .transpose()?
+        .unwrap_or(0))
+}
+
+/// Connects with `retries` extra attempts (backoff + jitter) — the same
+/// dialer the gateway uses for its backends.
+pub(crate) fn connect_retry(addr: &str, retries: u32) -> Result<TcpStream, String> {
+    connect_with_retry(addr, &RetryPolicy::with_retries(retries))
+}
+
+/// One `stats` request/reply exchange.
+pub(crate) fn fetch_stats(addr: &str, retries: u32) -> Result<BTreeMap<String, u64>, String> {
+    let stream = connect_retry(addr, retries)?;
+    let mut w = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut r = BufReader::new(stream);
+    write_frame(&mut w, &ClientMsg::Stats).map_err(|e| e.to_string())?;
+    match read_frame::<_, ServerMsg>(&mut r).map_err(|e| e.to_string())? {
+        Some(ServerMsg::Stats { counters }) => Ok(counters),
+        other => Err(format!("unexpected stats reply: {other:?}")),
+    }
+}
+
+/// Renders a counter map as aligned text, flat JSON, or Prometheus
+/// text exposition.
+pub(crate) fn render_stats(
+    counters: &BTreeMap<String, u64>,
+    json: bool,
+    prometheus: bool,
+) -> Result<String, String> {
+    if json && prometheus {
+        return Err("--json and --prometheus are mutually exclusive".into());
+    }
+    let mut out = String::new();
+    if prometheus {
+        out.push_str(&crate::prom::render(counters));
+    } else if json {
+        // One flat JSON object, counter name → integer value.
+        use serde::Serialize as _;
+        let value = serde::Value::Object(
+            counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            serde_json::to_string(&value).map_err(|e| e.to_string())?
+        );
+    } else {
+        for (k, v) in counters {
+            let _ = writeln!(out, "{k:>24}  {v}");
+        }
+    }
+    Ok(out)
 }
 
 fn serve_cmd(args: &[String]) -> Result<String, String> {
@@ -185,7 +256,7 @@ fn parse_spec(id: String, mode: WireMode, src: &str) -> Result<WirePredicate, St
 /// The full local state after an event, as a wire `set` map. Sending
 /// the complete state (rather than a delta) keeps replay insensitive to
 /// which variables an event actually touched.
-fn state_map(comp: &Computation, e: EventId) -> BTreeMap<String, i64> {
+pub(crate) fn state_map(comp: &Computation, e: EventId) -> BTreeMap<String, i64> {
     let state = comp.local_state(e.process, e.index as u32 + 1);
     comp.vars()
         .iter()
@@ -240,13 +311,14 @@ fn send_cmd(args: &[String]) -> Result<String, String> {
     if predicates.is_empty() {
         return Err("send needs at least one --conj or --disj predicate".into());
     }
+    let retries = take_retry(&mut rest)?;
     let [addr, trace] = rest.as_slice() else {
         return Err("send needs <addr> <trace> --session NAME (--conj|--disj SPEC)...".into());
     };
     let comp = crate::commands::load_trace(trace)?;
     let n = comp.num_processes();
 
-    let stream = TcpStream::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    let stream = connect_retry(addr, retries)?;
     let mut w = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut r = BufReader::new(stream);
     let recv = |r: &mut BufReader<TcpStream>| -> Result<ServerMsg, String> {
@@ -254,6 +326,20 @@ fn send_cmd(args: &[String]) -> Result<String, String> {
             .map_err(|e| e.to_string())?
             .ok_or_else(|| "server closed the connection".to_string())
     };
+
+    // Version handshake: announce ours, confirm the server's is usable.
+    write_frame(
+        &mut w,
+        &ClientMsg::Hello {
+            version: wire::WIRE_VERSION,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    match recv(&mut r)? {
+        ServerMsg::Welcome { version } => wire::check_version(version)?,
+        ServerMsg::Error { message, .. } => return Err(format!("handshake rejected: {message}")),
+        other => return Err(format!("unexpected reply to hello: {other:?}")),
+    }
 
     // Open: declare shape, initial states, and predicates.
     let vars: Vec<String> = comp
@@ -348,54 +434,36 @@ fn send_cmd(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-fn stats_cmd(args: &[String]) -> Result<String, String> {
-    let mut rest = args.to_vec();
-    let json = match rest.iter().position(|a| a == "--json") {
+/// Takes a bare `--flag` (no value); returns whether it was present.
+pub(crate) fn take_switch(rest: &mut Vec<String>, flag: &str) -> bool {
+    match rest.iter().position(|a| a == flag) {
         Some(i) => {
             rest.remove(i);
             true
         }
         None => false,
-    };
-    let [addr] = rest.as_slice() else {
-        return Err("stats needs <addr> [--json]".into());
-    };
-    let stream = TcpStream::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut w = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut r = BufReader::new(stream);
-    write_frame(&mut w, &ClientMsg::Stats).map_err(|e| e.to_string())?;
-    match read_frame::<_, ServerMsg>(&mut r).map_err(|e| e.to_string())? {
-        Some(ServerMsg::Stats { counters }) => {
-            let mut out = String::new();
-            if json {
-                // One flat JSON object, counter name → integer value.
-                use serde::Serialize as _;
-                let value = serde::Value::Object(
-                    counters
-                        .iter()
-                        .map(|(k, v)| (k.clone(), v.to_value()))
-                        .collect(),
-                );
-                let _ = writeln!(
-                    out,
-                    "{}",
-                    serde_json::to_string(&value).map_err(|e| e.to_string())?
-                );
-            } else {
-                for (k, v) in counters {
-                    let _ = writeln!(out, "{k:>24}  {v}");
-                }
-            }
-            Ok(out)
-        }
-        other => Err(format!("unexpected stats reply: {other:?}")),
     }
+}
+
+fn stats_cmd(args: &[String]) -> Result<String, String> {
+    let mut rest = args.to_vec();
+    let json = take_switch(&mut rest, "--json");
+    let prometheus = take_switch(&mut rest, "--prometheus");
+    let retries = take_retry(&mut rest)?;
+    let [addr] = rest.as_slice() else {
+        return Err("stats needs <addr> [--json | --prometheus] [--retry N]".into());
+    };
+    if json && prometheus {
+        return Err("--json and --prometheus are mutually exclusive".into());
+    }
+    let counters = fetch_stats(addr, retries)?;
+    render_stats(&counters, json, prometheus)
 }
 
 /// Sends a shutdown frame to a running server (used by tests and
 /// scripted benchmarks; exposed as `hbtl monitor stats`' sibling).
-pub fn shutdown_server(addr: &str) -> Result<(), String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+pub fn shutdown_server(addr: &str, retries: u32) -> Result<(), String> {
+    let stream = connect_retry(addr, retries)?;
     let mut w = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut r = BufReader::new(stream);
     write_frame(&mut w, &ClientMsg::Shutdown).map_err(|e| e.to_string())?;

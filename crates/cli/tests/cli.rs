@@ -298,3 +298,57 @@ fn usage_mentions_monitor_commands() {
     assert!(text.contains("monitor serve"), "{text}");
     assert!(text.contains("monitor send"), "{text}");
 }
+
+#[test]
+fn usage_mentions_gateway_and_loadgen_commands() {
+    let out = hbtl().output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("gateway serve"), "{text}");
+    assert!(text.contains("gateway drain"), "{text}");
+    assert!(text.contains("loadgen"), "{text}");
+    assert!(text.contains("--retry"), "{text}");
+    assert!(text.contains("--prometheus"), "{text}");
+}
+
+#[test]
+fn gateway_serve_requires_a_backend() {
+    let out = hbtl()
+        .args(["gateway", "serve", "127.0.0.1:0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--backend"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn stats_flags_are_mutually_exclusive() {
+    let out = hbtl()
+        .args(["monitor", "stats", "127.0.0.1:1", "--json", "--prometheus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn bad_retry_value_is_rejected() {
+    let out = hbtl()
+        .args(["monitor", "stats", "127.0.0.1:1", "--retry", "lots"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("bad --retry"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

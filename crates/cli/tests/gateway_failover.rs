@@ -1,0 +1,308 @@
+//! Failover acceptance test for the gateway, end to end over real
+//! processes.
+//!
+//! Two `hbtl monitor serve` backends sit behind one `hbtl gateway
+//! serve` process. A client streams half of Fig. 2(a) into a session,
+//! then the backend that owns the session is SIGKILLed — no shutdown
+//! hook, no session flush. The gateway must re-place the session on the
+//! survivor, replay its journal, and finish the trace so that the
+//! client sees exactly one verdict (equal to the offline detector's
+//! least cut) and exactly one `Closed` — no duplicates, nothing lost.
+
+#![cfg(unix)]
+
+use hb_computation::{Computation, ComputationBuilder, VarId};
+use hb_detect::ef_linear;
+use hb_gateway::rendezvous;
+use hb_predicates::{CmpOp, Conjunctive, LocalExpr};
+use hb_sim::causal_shuffle;
+use hb_tracefmt::wire::{
+    read_frame, write_frame, ClientMsg, ServerMsg, WireClause, WireMode, WirePredicate, WireVerdict,
+};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Fig. 2(a) of the paper.
+fn fig2a() -> (Computation, VarId, VarId) {
+    let mut b = ComputationBuilder::new(2);
+    let x0 = b.var("x0");
+    let x1 = b.var("x1");
+    b.internal(0).label("e1").set(x0, 1).done();
+    let m = b.send(0).label("e2").set(x0, 2).done_send();
+    b.internal(0).label("e3").set(x0, 3).done();
+    b.internal(1).label("f1").set(x1, 1).done();
+    b.receive(1, m).label("f2").set(x1, 2).done();
+    b.internal(1).label("f3").set(x1, 3).done();
+    (b.finish().expect("fig 2(a) is well-formed"), x0, x1)
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns an `hbtl` server subcommand on port 0 and parses the actual
+/// address from the startup banner — no port-picking races.
+fn spawn_server(args: &[&str]) -> Server {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hbtl"))
+        .args(args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("hbtl spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let addr = loop {
+        let mut line = String::new();
+        if stderr.read_line(&mut line).expect("read banner") == 0 {
+            let status = child.wait().expect("child reaped");
+            panic!("server exited before listening: {status}");
+        }
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address in banner")
+                .to_string();
+        }
+    };
+    // Let the banner keep flowing to nowhere rather than filling a pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while stderr.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+    Server { child, addr }
+}
+
+fn spawn_monitor() -> Server {
+    spawn_server(&["monitor", "serve", "127.0.0.1:0"])
+}
+
+fn spawn_gateway(backends: &[&str]) -> Server {
+    let mut args = vec!["gateway", "serve", "127.0.0.1:0"];
+    for b in backends {
+        args.push("--backend");
+        args.push(b);
+    }
+    // Probe fast so the test does not wait out the default backoff.
+    spawn_server(&args)
+}
+
+fn connect(addr: &str) -> (BufWriter<TcpStream>, BufReader<TcpStream>) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                s.set_read_timeout(Some(Duration::from_secs(30)))
+                    .expect("read timeout");
+                let w = BufWriter::new(s.try_clone().expect("clone stream"));
+                return (w, BufReader::new(s));
+            }
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("connect {addr}: {e}"),
+        }
+    }
+}
+
+fn recv(r: &mut BufReader<TcpStream>) -> ServerMsg {
+    read_frame::<_, ServerMsg>(r)
+        .expect("well-formed frame")
+        .expect("server still connected")
+}
+
+fn event_msg(session: &str, comp: &Computation, e: hb_computation::EventId) -> ClientMsg {
+    let state = comp.local_state(e.process, e.index as u32 + 1);
+    let set: BTreeMap<String, i64> = comp
+        .vars()
+        .iter()
+        .map(|(id, name)| (name.to_string(), state.get(id)))
+        .collect();
+    ClientMsg::Event {
+        session: session.into(),
+        p: e.process,
+        clock: comp.clock(e).components().to_vec(),
+        set,
+    }
+}
+
+/// A session name the gateway's rendezvous hash places on `target`.
+fn name_on(addrs: &[&str], target: usize) -> String {
+    for i in 0.. {
+        let name = format!("failover-{i}");
+        let picked = rendezvous::pick(addrs.iter().enumerate().map(|(j, a)| (j, *a)), &name);
+        if picked == Some(target) {
+            return name;
+        }
+    }
+    unreachable!()
+}
+
+fn gateway_stats(addr: &str) -> BTreeMap<String, u64> {
+    let (mut w, mut r) = connect(addr);
+    write_frame(&mut w, &ClientMsg::Stats).expect("stats frame");
+    match recv(&mut r) {
+        ServerMsg::Stats { counters } => counters,
+        other => panic!("expected stats, got {other:?}"),
+    }
+}
+
+#[test]
+fn sigkill_owner_backend_mid_trace_fails_over_without_verdict_loss() {
+    let (comp, x0, x1) = fig2a();
+
+    // Offline ground truth on the complete trace.
+    let p = Conjunctive::new(vec![
+        (0, LocalExpr::Cmp(x0, CmpOp::Eq, 2)),
+        (1, LocalExpr::Cmp(x1, CmpOp::Eq, 1)),
+    ]);
+    let offline = ef_linear(&comp, &p);
+    assert!(offline.holds);
+    let least = offline.witness.expect("witness cut");
+    assert_eq!(least.counters(), &[2, 1]);
+
+    let backend_a = spawn_monitor();
+    let backend_b = spawn_monitor();
+    let addrs = [backend_a.addr.as_str(), backend_b.addr.as_str()];
+    let gateway = spawn_gateway(&addrs);
+
+    // Place the session on backend A by name, so the test knows which
+    // process to kill without reaching into the gateway.
+    let session = name_on(&addrs, 0);
+
+    let (mut w, mut r) = connect(&gateway.addr);
+    write_frame(
+        &mut w,
+        &ClientMsg::Open {
+            session: session.clone(),
+            processes: 2,
+            vars: vec!["x0".into(), "x1".into()],
+            initial: vec![],
+            predicates: vec![WirePredicate {
+                id: "ef".into(),
+                mode: WireMode::Conjunctive,
+                clauses: vec![
+                    WireClause {
+                        process: 0,
+                        var: "x0".into(),
+                        op: "=".into(),
+                        value: 2,
+                    },
+                    WireClause {
+                        process: 1,
+                        var: "x1".into(),
+                        op: "=".into(),
+                        value: 1,
+                    },
+                ],
+            }],
+        },
+    )
+    .expect("open frame");
+    assert!(matches!(recv(&mut r), ServerMsg::Opened { .. }));
+
+    let order = causal_shuffle(&comp, 0xfa11, 4);
+    let (first_half, second_half) = order.split_at(order.len() / 2);
+    for e in first_half {
+        write_frame(&mut w, &event_msg(&session, &comp, *e)).expect("event frame");
+    }
+    // Settle the pipeline: a stats exchange proves the gateway has
+    // dispatched everything the client sent so far.
+    let before = gateway_stats(&gateway.addr);
+    assert!(before.get("gateway_sessions_routed") >= Some(&1));
+
+    // SIGKILL the owner — abrupt death, no session flush.
+    let mut owner = backend_a;
+    owner.child.kill().expect("sigkill backend");
+    owner.child.wait().expect("reap backend");
+
+    // Finish the trace through the same client connection. The gateway
+    // notices the dead backend (send error or reader EOF), re-places
+    // the session on the survivor, and replays the journal.
+    for e in second_half {
+        write_frame(&mut w, &event_msg(&session, &comp, *e)).expect("event frame");
+    }
+    write_frame(
+        &mut w,
+        &ClientMsg::Close {
+            session: session.clone(),
+        },
+    )
+    .expect("close frame");
+
+    let mut verdicts: Vec<(String, WireVerdict)> = Vec::new();
+    let mut closes = 0usize;
+    while closes == 0 {
+        match recv(&mut r) {
+            ServerMsg::Verdict {
+                predicate, verdict, ..
+            } => verdicts.push((predicate, verdict)),
+            ServerMsg::Closed { discarded, .. } => {
+                assert_eq!(discarded, 0, "the shuffle is a permutation");
+                closes += 1;
+            }
+            ServerMsg::Error { message, .. } => panic!("gateway error: {message}"),
+            other => panic!("unexpected message: {other:?}"),
+        }
+    }
+
+    // Exactly one verdict — the failover replay must not re-announce —
+    // and it equals the offline least satisfying cut.
+    assert_eq!(verdicts.len(), 1, "verdicts: {verdicts:?}");
+    assert_eq!(verdicts[0].0, "ef");
+    assert_eq!(
+        verdicts[0].1,
+        WireVerdict::Detected(least.counters().to_vec())
+    );
+
+    // The gateway accounted the failover and replay.
+    let after = gateway_stats(&gateway.addr);
+    assert!(
+        after
+            .get("gateway_sessions_failed_over")
+            .copied()
+            .unwrap_or(0)
+            >= 1,
+        "stats: {after:?}"
+    );
+    assert!(
+        after.get("gateway_frames_replayed").copied().unwrap_or(0) >= 1,
+        "stats: {after:?}"
+    );
+    assert_eq!(after.get("gateway_backends_healthy"), Some(&1));
+
+    // A fresh session still works against the degraded fleet.
+    let (mut w2, mut r2) = connect(&gateway.addr);
+    write_frame(
+        &mut w2,
+        &ClientMsg::Open {
+            session: "post-failover".into(),
+            processes: 2,
+            vars: vec!["x0".into(), "x1".into()],
+            initial: vec![],
+            predicates: vec![],
+        },
+    )
+    .expect("open frame");
+    assert!(matches!(recv(&mut r2), ServerMsg::Opened { .. }));
+    write_frame(
+        &mut w2,
+        &ClientMsg::Close {
+            session: "post-failover".into(),
+        },
+    )
+    .expect("close frame");
+    assert!(matches!(recv(&mut r2), ServerMsg::Closed { .. }));
+}

@@ -1,0 +1,188 @@
+//! Dialing with retry, backoff, and the protocol handshake.
+//!
+//! Every outbound TCP connection in the system goes through here: the
+//! gateway's backend pool, its health probes, and the `hbtl` client
+//! commands (`monitor send --retry`, `loadgen`). Retries use capped
+//! exponential backoff with jitter so a thundering herd of reconnecting
+//! clients spreads out instead of synchronizing on the retry schedule.
+
+use hb_tracefmt::wire::{self, ClientMsg, ServerMsg};
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::time::{Duration, SystemTime};
+
+/// How hard to try before giving up on an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total connection attempts (minimum 1).
+    pub attempts: u32,
+    /// Delay before the second attempt; doubles each retry.
+    pub base: Duration,
+    /// Ceiling on any single delay.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `retries` *extra* attempts beyond the first try —
+    /// the shape of the CLI's `--retry N` flag.
+    pub fn with_retries(retries: u32) -> Self {
+        RetryPolicy {
+            attempts: retries.saturating_add(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff before attempt `attempt` (1-based; attempt 0 is
+    /// immediate): `min(cap, base·2^(attempt−1))`, scaled by a jitter
+    /// factor in [0.5, 1.0] so simultaneous dialers desynchronize.
+    pub fn delay(&self, attempt: u32, jitter_seed: u64) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.cap);
+        // SplitMix64 over the seed; map the top bits onto [0.5, 1.0).
+        let mut z = jitter_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let frac = 0.5 + (z >> 40) as f64 / (1u64 << 24) as f64 / 2.0;
+        exp.mul_f64(frac)
+    }
+}
+
+/// A per-call jitter seed: wall-clock nanos XOR the address bytes, so
+/// two processes retrying the same backend at the same instant still
+/// pick different delays.
+fn jitter_seed(addr: &str) -> u64 {
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    addr.bytes()
+        .fold(nanos, |h, b| h.rotate_left(7) ^ u64::from(b))
+}
+
+/// Connects with retry; no handshake (any protocol version of peer).
+pub fn connect_with_retry(addr: &str, policy: &RetryPolicy) -> Result<TcpStream, String> {
+    let attempts = policy.attempts.max(1);
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        std::thread::sleep(policy.delay(attempt, jitter_seed(addr).wrapping_add(attempt.into())));
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                // Frames are small and request/reply-shaped; Nagle would
+                // serialize every exchange on a delayed-ACK round trip.
+                let _ = s.set_nodelay(true);
+                return Ok(s);
+            }
+            Err(e) => last = e.to_string(),
+        }
+    }
+    Err(format!(
+        "connect {addr}: {last} (after {attempts} attempts)"
+    ))
+}
+
+/// A dialed, handshaken connection. The reader **must** be reused by
+/// the caller — bytes the server sent after `Welcome` may already sit
+/// in its buffer, so constructing a second `BufReader` over the stream
+/// would lose them.
+pub struct Dialed {
+    /// Buffered writer half.
+    pub writer: BufWriter<TcpStream>,
+    /// Buffered reader half (already past the `Welcome` frame).
+    pub reader: BufReader<TcpStream>,
+    /// An unbuffered clone for out-of-band shutdown.
+    pub stream: TcpStream,
+}
+
+/// Connects with retry and performs the `Hello`/`Welcome` version
+/// handshake. Doubles as the health probe: a peer that completes it is
+/// alive, speaks the protocol, and accepts our version.
+pub fn dial(addr: &str, policy: &RetryPolicy) -> Result<Dialed, String> {
+    let stream = connect_with_retry(addr, policy)?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    wire::write_frame(
+        &mut writer,
+        &ClientMsg::Hello {
+            version: wire::WIRE_VERSION,
+        },
+    )
+    .map_err(|e| format!("handshake {addr}: {e}"))?;
+    match wire::read_frame::<_, ServerMsg>(&mut reader) {
+        Ok(Some(ServerMsg::Welcome { version })) => {
+            wire::check_version(version).map_err(|m| format!("handshake {addr}: {m}"))?;
+        }
+        Ok(Some(ServerMsg::Error { message, .. })) => {
+            return Err(format!("handshake {addr}: {message}"));
+        }
+        Ok(Some(other)) => {
+            return Err(format!("handshake {addr}: unexpected reply {other:?}"));
+        }
+        Ok(None) => return Err(format!("handshake {addr}: peer closed the connection")),
+        Err(e) => return Err(format!("handshake {addr}: {e}")),
+    }
+    Ok(Dialed {
+        writer,
+        reader,
+        stream,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_capped_and_grow() {
+        let p = RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+        };
+        let mut prev = Duration::ZERO;
+        for attempt in 1..8 {
+            let d = p.delay(attempt, 42);
+            assert!(d <= Duration::from_millis(100), "attempt {attempt}: {d:?}");
+            // Jitter is in [0.5, 1.0), so the *floor* still grows until
+            // the cap: 2^(a-1)·base/2 ≥ previous cap/2 ordering holds.
+            assert!(d >= Duration::from_millis(5), "attempt {attempt}: {d:?}");
+            if attempt <= 3 {
+                assert!(d >= prev / 4, "backoff collapsed at {attempt}");
+            }
+            prev = d;
+        }
+        assert_eq!(p.delay(0, 7), Duration::ZERO);
+    }
+
+    #[test]
+    fn with_retries_counts_the_first_attempt() {
+        assert_eq!(RetryPolicy::with_retries(0).attempts, 1);
+        assert_eq!(RetryPolicy::with_retries(3).attempts, 4);
+    }
+
+    #[test]
+    fn connect_failure_reports_attempts() {
+        // Reserved-port refusals fail fast; keep the policy tiny anyway.
+        let p = RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+        };
+        let err = connect_with_retry("127.0.0.1:1", &p).unwrap_err();
+        assert!(err.contains("after 2 attempts"), "{err}");
+    }
+}

@@ -1,0 +1,102 @@
+//! The bounded per-session frame journal.
+//!
+//! Failover replay needs every frame the client has sent for a session
+//! — the `open` plus all events, finishes, and a possible `close` — in
+//! order. The journal records them as they are forwarded. It is
+//! **bounded**: a session that outgrows the limit stops journaling and
+//! becomes non-replayable (on backend loss it is reported to the client
+//! and dropped, rather than silently replayed from a truncated prefix,
+//! which would corrupt detector state on the new backend).
+
+use hb_tracefmt::wire::ClientMsg;
+
+/// An ordered, bounded record of one session's client frames.
+#[derive(Debug)]
+pub struct SessionJournal {
+    frames: Vec<ClientMsg>,
+    limit: usize,
+    overflowed: bool,
+}
+
+impl SessionJournal {
+    /// An empty journal holding at most `limit` frames.
+    pub fn new(limit: usize) -> Self {
+        SessionJournal {
+            frames: Vec::new(),
+            limit: limit.max(1),
+            overflowed: false,
+        }
+    }
+
+    /// Records one frame; returns `false` once the journal has
+    /// overflowed (the frame is *not* recorded — a truncated journal
+    /// must never masquerade as a complete one).
+    pub fn push(&mut self, frame: ClientMsg) -> bool {
+        if self.overflowed {
+            return false;
+        }
+        if self.frames.len() >= self.limit {
+            self.overflowed = true;
+            self.frames.clear();
+            self.frames.shrink_to_fit();
+            return false;
+        }
+        self.frames.push(frame);
+        true
+    }
+
+    /// Whether the limit was ever hit (the journal is then empty and
+    /// permanently unusable for replay).
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// The recorded frames, oldest first.
+    pub fn frames(&self) -> &[ClientMsg] {
+        &self.frames
+    }
+
+    /// Frames currently recorded.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(p: usize) -> ClientMsg {
+        ClientMsg::FinishProcess {
+            session: "s".into(),
+            p,
+        }
+    }
+
+    #[test]
+    fn records_in_order_up_to_the_limit() {
+        let mut j = SessionJournal::new(3);
+        assert!(j.push(frame(0)));
+        assert!(j.push(frame(1)));
+        assert!(j.push(frame(2)));
+        assert_eq!(j.len(), 3);
+        assert!(!j.overflowed());
+        assert_eq!(j.frames()[1], frame(1));
+    }
+
+    #[test]
+    fn overflow_discards_everything_permanently() {
+        let mut j = SessionJournal::new(2);
+        assert!(j.push(frame(0)));
+        assert!(j.push(frame(1)));
+        assert!(!j.push(frame(2)), "limit hit");
+        assert!(j.overflowed());
+        assert!(j.is_empty(), "a truncated journal must not replay");
+        assert!(!j.push(frame(3)), "overflow is sticky");
+    }
+}

@@ -1,0 +1,45 @@
+//! # hb-gateway
+//!
+//! A TCP front door for a fleet of `hb-monitor` backends. Clients speak
+//! the ordinary [`hb_tracefmt::wire`] protocol to one address; the
+//! gateway places each session on a backend by rendezvous hashing over
+//! the session name, forwards frames over pooled pipelined connections,
+//! and replays a bounded per-session journal onto a surviving backend
+//! when one dies mid-session — deduplicating verdicts so clients never
+//! observe the failover.
+//!
+//! The pieces:
+//!
+//! - [`rendezvous`] — stable highest-random-weight placement;
+//!   removing a backend only remaps the sessions that were on it.
+//! - [`dial`] — retrying dials with capped exponential backoff and
+//!   jitter, plus the `Hello`/`Welcome` version handshake (which
+//!   doubles as the health probe).
+//! - [`journal`] — the bounded per-session frame record that makes
+//!   replay possible and refuses to replay a truncated prefix.
+//! - [`metrics`] — relaxed-atomic counters in the monitor's style.
+//! - [`service`] — the runtime: routing, pools, backpressure,
+//!   failover, drain, and aggregated stats fan-out.
+//!
+//! ```no_run
+//! use hb_gateway::service::{GatewayConfig, GatewayService};
+//!
+//! let gw = GatewayService::start(GatewayConfig {
+//!     backends: vec!["127.0.0.1:7601".into(), "127.0.0.2:7602".into()],
+//!     ..GatewayConfig::default()
+//! }).unwrap();
+//! let listener = std::net::TcpListener::bind("127.0.0.1:7575").unwrap();
+//! gw.serve(listener).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dial;
+pub mod journal;
+pub mod metrics;
+pub mod rendezvous;
+pub mod service;
+
+pub use dial::{connect_with_retry, dial, RetryPolicy};
+pub use metrics::{GatewayMetrics, GatewaySnapshot};
+pub use service::{GatewayConfig, GatewayService};

@@ -1,0 +1,206 @@
+//! Gateway observability, mirroring `hb_monitor::metrics` in style: one
+//! shared block of relaxed atomics, a point-in-time snapshot, a stable
+//! `name → value` map for the wire `stats` reply, and a one-line
+//! `Display` for periodic logging.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Shared counters and gauges for one gateway.
+#[derive(Debug, Default)]
+pub struct GatewayMetrics {
+    /// Client connections currently open (gauge).
+    pub clients_connected: AtomicU64,
+    /// Client connections ever accepted.
+    pub clients_total: AtomicU64,
+    /// Sessions placed on a backend (each session counted once at open).
+    pub sessions_routed: AtomicU64,
+    /// Sessions currently routed and not yet closed (gauge).
+    pub sessions_active: AtomicU64,
+    /// Sessions moved to a new backend after their backend was lost.
+    pub sessions_failed_over: AtomicU64,
+    /// Sessions dropped because failover was impossible (journal
+    /// overflow, or no healthy backend to land on).
+    pub sessions_dropped: AtomicU64,
+    /// Client frames forwarded to a backend (first transmission only).
+    pub frames_forwarded: AtomicU64,
+    /// Frames re-sent from a journal during failover replay.
+    pub frames_replayed: AtomicU64,
+    /// Frames currently held across all session journals (gauge).
+    pub journal_frames: AtomicU64,
+    /// Sessions whose journal hit its limit and became non-replayable.
+    pub journal_overflows: AtomicU64,
+    /// Verdicts forwarded to clients.
+    pub verdicts_forwarded: AtomicU64,
+    /// Verdicts suppressed because the client had already seen that
+    /// predicate settle (failover replay re-detection).
+    pub verdicts_deduped: AtomicU64,
+    /// Backend connections dialed (pool fills and redials).
+    pub backend_dials: AtomicU64,
+    /// Backend dial attempts that failed outright.
+    pub backend_dial_failures: AtomicU64,
+    /// Backend connection losses that triggered failure handling.
+    pub backend_failures: AtomicU64,
+    /// Backends currently healthy (gauge).
+    pub backends_healthy: AtomicU64,
+    /// Health probes sent to down backends.
+    pub probes_sent: AtomicU64,
+    /// Drains requested.
+    pub drains_started: AtomicU64,
+    /// Drains that ran to completion (backend removed).
+    pub drains_completed: AtomicU64,
+    /// Forwards that found the backend pipeline full and had to wait —
+    /// each one is a moment client reading stalled (backpressure).
+    pub backpressure_stalls: AtomicU64,
+    /// Aggregated stats fan-outs served.
+    pub stats_fanouts: AtomicU64,
+    /// Client-visible protocol errors answered by the gateway itself.
+    pub protocol_errors: AtomicU64,
+}
+
+impl GatewayMetrics {
+    /// A fresh, all-zero metrics block.
+    pub fn new() -> Self {
+        GatewayMetrics::default()
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> GatewaySnapshot {
+        GatewaySnapshot {
+            clients_connected: self.clients_connected.load(Relaxed),
+            clients_total: self.clients_total.load(Relaxed),
+            sessions_routed: self.sessions_routed.load(Relaxed),
+            sessions_active: self.sessions_active.load(Relaxed),
+            sessions_failed_over: self.sessions_failed_over.load(Relaxed),
+            sessions_dropped: self.sessions_dropped.load(Relaxed),
+            frames_forwarded: self.frames_forwarded.load(Relaxed),
+            frames_replayed: self.frames_replayed.load(Relaxed),
+            journal_frames: self.journal_frames.load(Relaxed),
+            journal_overflows: self.journal_overflows.load(Relaxed),
+            verdicts_forwarded: self.verdicts_forwarded.load(Relaxed),
+            verdicts_deduped: self.verdicts_deduped.load(Relaxed),
+            backend_dials: self.backend_dials.load(Relaxed),
+            backend_dial_failures: self.backend_dial_failures.load(Relaxed),
+            backend_failures: self.backend_failures.load(Relaxed),
+            backends_healthy: self.backends_healthy.load(Relaxed),
+            probes_sent: self.probes_sent.load(Relaxed),
+            drains_started: self.drains_started.load(Relaxed),
+            drains_completed: self.drains_completed.load(Relaxed),
+            backpressure_stalls: self.backpressure_stalls.load(Relaxed),
+            stats_fanouts: self.stats_fanouts.load(Relaxed),
+            protocol_errors: self.protocol_errors.load(Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`GatewayMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[allow(missing_docs)] // field names mirror `GatewayMetrics` one-to-one
+pub struct GatewaySnapshot {
+    pub clients_connected: u64,
+    pub clients_total: u64,
+    pub sessions_routed: u64,
+    pub sessions_active: u64,
+    pub sessions_failed_over: u64,
+    pub sessions_dropped: u64,
+    pub frames_forwarded: u64,
+    pub frames_replayed: u64,
+    pub journal_frames: u64,
+    pub journal_overflows: u64,
+    pub verdicts_forwarded: u64,
+    pub verdicts_deduped: u64,
+    pub backend_dials: u64,
+    pub backend_dial_failures: u64,
+    pub backend_failures: u64,
+    pub backends_healthy: u64,
+    pub probes_sent: u64,
+    pub drains_started: u64,
+    pub drains_completed: u64,
+    pub backpressure_stalls: u64,
+    pub stats_fanouts: u64,
+    pub protocol_errors: u64,
+}
+
+impl GatewaySnapshot {
+    /// Name → value, in stable order, for the wire `stats` reply. Names
+    /// are prefixed `gateway_` so a merged reply cannot collide with
+    /// backend counter names.
+    pub fn to_map(&self) -> BTreeMap<String, u64> {
+        [
+            ("gateway_clients_connected", self.clients_connected),
+            ("gateway_clients_total", self.clients_total),
+            ("gateway_sessions_routed", self.sessions_routed),
+            ("gateway_sessions_active", self.sessions_active),
+            ("gateway_sessions_failed_over", self.sessions_failed_over),
+            ("gateway_sessions_dropped", self.sessions_dropped),
+            ("gateway_frames_forwarded", self.frames_forwarded),
+            ("gateway_frames_replayed", self.frames_replayed),
+            ("gateway_journal_frames", self.journal_frames),
+            ("gateway_journal_overflows", self.journal_overflows),
+            ("gateway_verdicts_forwarded", self.verdicts_forwarded),
+            ("gateway_verdicts_deduped", self.verdicts_deduped),
+            ("gateway_backend_dials", self.backend_dials),
+            ("gateway_backend_dial_failures", self.backend_dial_failures),
+            ("gateway_backend_failures", self.backend_failures),
+            ("gateway_backends_healthy", self.backends_healthy),
+            ("gateway_probes_sent", self.probes_sent),
+            ("gateway_drains_started", self.drains_started),
+            ("gateway_drains_completed", self.drains_completed),
+            ("gateway_backpressure_stalls", self.backpressure_stalls),
+            ("gateway_stats_fanouts", self.stats_fanouts),
+            ("gateway_protocol_errors", self.protocol_errors),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+    }
+}
+
+impl fmt::Display for GatewaySnapshot {
+    /// The periodic log-line format: compact `key=value` pairs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "clients={}/{} sessions={}/{} failed_over={} dropped={} \
+             forwarded={} replayed={} journal={} dedup={} backends_up={} \
+             failures={} stalls={} errors={}",
+            self.clients_connected,
+            self.clients_total,
+            self.sessions_active,
+            self.sessions_routed,
+            self.sessions_failed_over,
+            self.sessions_dropped,
+            self.frames_forwarded,
+            self.frames_replayed,
+            self.journal_frames,
+            self.verdicts_deduped,
+            self.backends_healthy,
+            self.backend_failures,
+            self.backpressure_stalls,
+            self.protocol_errors,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_map_covers_every_field() {
+        let m = GatewayMetrics::new();
+        m.sessions_routed.fetch_add(7, Relaxed);
+        let map = m.snapshot().to_map();
+        assert_eq!(map["gateway_sessions_routed"], 7);
+        assert_eq!(map.len(), 22);
+        assert!(map.keys().all(|k| k.starts_with("gateway_")));
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let line = GatewayMetrics::new().snapshot().to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("sessions=0/0"));
+    }
+}

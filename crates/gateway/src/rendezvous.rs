@@ -1,0 +1,107 @@
+//! Rendezvous (highest-random-weight) hashing.
+//!
+//! Each session is routed to the eligible backend with the highest
+//! `weight(backend, session)`. The weight function is a fixed hash —
+//! deterministic across processes and builds — so every gateway replica
+//! agrees on placement without coordination, and removing one backend
+//! only remaps the sessions that were on it (the defining property that
+//! makes failover cheap: survivors keep their assignments).
+
+/// The SplitMix64 finalizer: a cheap, well-mixed bijection on `u64`.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The placement weight of `session` on `backend` (an FNV-1a hash of
+/// `backend ‖ 0xff ‖ session`, finalized with SplitMix64). Stable: not
+/// derived from `DefaultHasher`, whose keys the standard library does
+/// not promise across processes.
+pub fn weight(backend: &str, session: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in backend.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h = (h ^ 0xff).wrapping_mul(0x0000_0100_0000_01b3);
+    for &b in session.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix(h)
+}
+
+/// Picks the eligible backend with the highest weight for `session`.
+///
+/// `backends` yields `(index, addr)` pairs for the *eligible* set only
+/// (healthy, not draining); the caller filters. Ties break toward the
+/// lower index so the choice is total. Returns `None` when the set is
+/// empty.
+pub fn pick<'a, I>(backends: I, session: &str) -> Option<usize>
+where
+    I: IntoIterator<Item = (usize, &'a str)>,
+{
+    backends
+        .into_iter()
+        .map(|(i, addr)| (weight(addr, session), i))
+        // max_by_key keeps the *last* maximum; compare on (weight, Reverse(i))
+        .max_by_key(|&(w, i)| (w, std::cmp::Reverse(i)))
+        .map(|(_, i)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BACKENDS: [&str; 3] = ["10.0.0.1:7575", "10.0.0.2:7575", "10.0.0.3:7575"];
+
+    fn eligible(skip: Option<usize>) -> Vec<(usize, &'static str)> {
+        BACKENDS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != skip)
+            .map(|(i, &a)| (i, a))
+            .collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        for s in 0..50 {
+            let session = format!("session-{s}");
+            let a = pick(eligible(None), &session);
+            let b = pick(eligible(None), &session);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn removal_only_remaps_the_removed_backends_sessions() {
+        for s in 0..200 {
+            let session = format!("session-{s}");
+            let before = pick(eligible(None), &session).unwrap();
+            let after = pick(eligible(Some(0)), &session).unwrap();
+            if before != 0 {
+                assert_eq!(before, after, "surviving placement moved for {session}");
+            } else {
+                assert_ne!(after, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_backends() {
+        let mut counts = [0usize; 3];
+        for s in 0..600 {
+            let session = format!("session-{s}");
+            counts[pick(eligible(None), &session).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // 600 sessions over 3 backends: each should get a real share.
+            assert!(c > 100, "backend {i} got only {c} of 600 sessions");
+        }
+    }
+
+    #[test]
+    fn empty_set_has_no_pick() {
+        assert_eq!(pick(Vec::new(), "s"), None);
+    }
+}

@@ -1,0 +1,955 @@
+//! The gateway runtime.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                       ┌────────────────────────────┐  pool (K conns,
+//!  client conns ──────► │  route by rendezvous hash  │  bounded pipelines)
+//!   (wire frames)       │  over the session name     ├──────► backend 0
+//!                       │                            ├──────► backend 1
+//!    journals ◄──────── │  per-session frame journal │   …
+//!    (bounded)          └─────────────┬──────────────┘──────► backend N−1
+//!                                     │         ▲
+//!                              keeper thread: health probes,
+//!                              failover replay, drain progress
+//! ```
+//!
+//! Every client frame that names a session is (1) appended to that
+//! session's bounded journal and (2) forwarded to the backend the
+//! session is placed on, over a pooled connection whose pipeline is a
+//! *bounded* channel — when a backend stops draining its pipeline, the
+//! forwarding client thread blocks, which stops reading that client's
+//! socket: backpressure propagates to the source instead of buffering
+//! without limit.
+//!
+//! # Failover
+//!
+//! A lost backend connection marks the whole backend down (exactly
+//! once), kills its pool, and wakes the keeper. Every session placed
+//! there is re-placed by rendezvous over the surviving healthy
+//! backends and its journal replayed — the new backend sees the same
+//! `open`/`event` stream the old one did, re-runs detection, and
+//! re-settles the same verdicts. The gateway suppresses verdicts the
+//! client has already seen ([`SessionEntry::settled`]), so a client
+//! never observes a duplicate. A session whose journal overflowed its
+//! bound is *dropped with an explicit error* instead of being replayed
+//! from a truncated prefix (which would silently corrupt detector
+//! state). Down backends are probed with capped exponential backoff
+//! and rejoin the eligible set when the `Hello`/`Welcome` handshake
+//! succeeds again.
+//!
+//! # Draining
+//!
+//! `drain` moves a backend through `Healthy → Draining → Removed`:
+//! draining backends accept no new placements (fresh sessions and
+//! failovers both skip them) but keep serving their live sessions;
+//! when the last one closes, the backend is removed and its pool torn
+//! down. The reply ([`ServerMsg::Drained`]) is sent only after removal,
+//! so scripts can chain `drain` and process shutdown safely.
+
+use crate::dial::{self, RetryPolicy};
+use crate::journal::SessionJournal;
+use crate::metrics::{GatewayMetrics, GatewaySnapshot};
+use crate::rendezvous;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use hb_tracefmt::wire::{self, ClientMsg, ServerMsg};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io::BufWriter;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Gateway-wide configuration.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Backend addresses (at least one); order is cosmetic — placement
+    /// is by rendezvous hash, not position.
+    pub backends: Vec<String>,
+    /// Connections kept per backend; sessions spread across them.
+    pub pool_size: usize,
+    /// Frames in flight per pooled connection before the forwarding
+    /// thread blocks (the backpressure bound).
+    pub pipeline_depth: usize,
+    /// Frames journaled per session before it becomes non-replayable.
+    pub journal_limit: usize,
+    /// First health-probe delay after a backend is lost; doubles per
+    /// failed probe up to `probe_cap`.
+    pub probe_initial: Duration,
+    /// Ceiling on the probe backoff.
+    pub probe_cap: Duration,
+    /// Retry policy for backend dials on the forwarding path.
+    pub dial_retry: RetryPolicy,
+    /// Period of the stats log line on stderr; `None` disables it.
+    pub stats_interval: Option<Duration>,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            backends: Vec::new(),
+            pool_size: 2,
+            pipeline_depth: 256,
+            journal_limit: 8192,
+            probe_initial: Duration::from_millis(50),
+            probe_cap: Duration::from_secs(2),
+            dial_retry: RetryPolicy {
+                attempts: 2,
+                base: Duration::from_millis(25),
+                cap: Duration::from_millis(200),
+            },
+            stats_interval: None,
+        }
+    }
+}
+
+/// Where a backend stands in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Health {
+    /// Eligible for new placements and failover targets.
+    Healthy,
+    /// Lost; probed with backoff until it answers the handshake again.
+    Down { failures: u32, next_probe_ms: u64 },
+    /// No new placements; live sessions run to completion.
+    Draining,
+    /// Gone (drained to empty, or died while draining).
+    Removed,
+}
+
+/// One pooled connection to a backend.
+struct Conn {
+    tx: Sender<ClientMsg>,
+    stream: TcpStream,
+    generation: u64,
+}
+
+/// One backend and its connection pool.
+struct Backend {
+    addr: String,
+    health: Mutex<Health>,
+    slots: Vec<Mutex<Option<Conn>>>,
+    generation: AtomicU64,
+}
+
+/// One routed session.
+struct SessionEntry {
+    name: String,
+    backend: usize,
+    slot: usize,
+    sink: Sender<ServerMsg>,
+    journal: SessionJournal,
+    /// Predicates whose verdict was already forwarded to the client —
+    /// the failover dedup set.
+    settled: BTreeSet<String>,
+    opened_sent: bool,
+    closed_sent: bool,
+}
+
+enum KeeperMsg {
+    BackendLost(usize),
+    Stop,
+}
+
+struct Inner {
+    config: GatewayConfig,
+    backends: Vec<Backend>,
+    sessions: Mutex<HashMap<String, Arc<Mutex<SessionEntry>>>>,
+    metrics: Arc<GatewayMetrics>,
+    keeper_tx: Sender<KeeperMsg>,
+    stop: AtomicBool,
+    /// Monotonic clock base for `Health::Down::next_probe_ms`.
+    epoch: Instant,
+}
+
+/// The running gateway: routing state plus the keeper thread.
+pub struct GatewayService {
+    inner: Arc<Inner>,
+    keeper: Option<JoinHandle<()>>,
+}
+
+// Lock-order discipline (deadlock freedom): the sessions map lock is
+// never held while acquiring an entry lock or sending to a backend;
+// an entry lock MAY be held while taking the map lock (drop path) or
+// while blocking on a bounded pipeline (the backpressure stall), whose
+// drain never needs any gateway lock.
+
+fn slot_of(session: &str, pool: usize) -> usize {
+    (rendezvous::weight("slot", session) % pool.max(1) as u64) as usize
+}
+
+impl GatewayService {
+    /// Validates the configuration and starts the keeper. Backends are
+    /// assumed healthy until a dial fails — pools are filled lazily.
+    pub fn start(mut config: GatewayConfig) -> Result<GatewayService, String> {
+        if config.backends.is_empty() {
+            return Err("gateway needs at least one --backend address".into());
+        }
+        config.backends.dedup();
+        let mut seen = BTreeSet::new();
+        for addr in &config.backends {
+            if !seen.insert(addr.clone()) {
+                return Err(format!("duplicate backend address '{addr}'"));
+            }
+        }
+        config.pool_size = config.pool_size.max(1);
+        config.pipeline_depth = config.pipeline_depth.max(1);
+        let metrics = Arc::new(GatewayMetrics::new());
+        metrics
+            .backends_healthy
+            .store(config.backends.len() as u64, Relaxed);
+        let backends = config
+            .backends
+            .iter()
+            .map(|addr| Backend {
+                addr: addr.clone(),
+                health: Mutex::new(Health::Healthy),
+                slots: (0..config.pool_size).map(|_| Mutex::new(None)).collect(),
+                generation: AtomicU64::new(0),
+            })
+            .collect();
+        let (keeper_tx, keeper_rx) = unbounded();
+        let inner = Arc::new(Inner {
+            config,
+            backends,
+            sessions: Mutex::new(HashMap::new()),
+            metrics,
+            keeper_tx,
+            stop: AtomicBool::new(false),
+            epoch: Instant::now(),
+        });
+        let keeper = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("hb-gateway-keeper".into())
+                .spawn(move || keeper_loop(&inner, &keeper_rx))
+                .expect("spawn keeper thread")
+        };
+        Ok(GatewayService {
+            inner,
+            keeper: Some(keeper),
+        })
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> GatewaySnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// The aggregated stats map: gateway counters plus every healthy
+    /// backend's counters summed key-wise (what the wire `stats`
+    /// request answers with).
+    pub fn aggregated_stats(&self) -> BTreeMap<String, u64> {
+        aggregate_stats(&self.inner)
+    }
+
+    /// Serves the wire protocol until a client sends `shutdown`.
+    /// Mirrors [`hb_monitor::service::serve`]: one reader thread per
+    /// connection, one writer thread draining its sink.
+    pub fn serve(&self, listener: TcpListener) -> std::io::Result<()> {
+        let addr = listener.local_addr()?;
+        let mut conn_threads = Vec::new();
+        for stream in listener.incoming() {
+            if self.inner.stop.load(Relaxed) {
+                break;
+            }
+            let stream = stream?;
+            // Small request/reply frames; Nagle would stall each
+            // exchange on a delayed-ACK round trip.
+            let _ = stream.set_nodelay(true);
+            let inner = Arc::clone(&self.inner);
+            conn_threads.push(std::thread::spawn(move || {
+                let shutdown_requested = serve_connection(stream, &inner);
+                if shutdown_requested {
+                    inner.stop.store(true, Relaxed);
+                    // Unblock the accept loop.
+                    let _ = TcpStream::connect(addr);
+                }
+            }));
+        }
+        for t in conn_threads {
+            let _ = t.join();
+        }
+        Ok(())
+    }
+
+    /// Stops the keeper and tears down every backend connection.
+    /// Backends themselves keep running — stopping them is the
+    /// operator's call, not the gateway's.
+    pub fn shutdown(mut self) -> GatewaySnapshot {
+        self.inner.stop.store(true, Relaxed);
+        let _ = self.inner.keeper_tx.send(KeeperMsg::Stop);
+        if let Some(k) = self.keeper.take() {
+            let _ = k.join();
+        }
+        for b in 0..self.inner.backends.len() {
+            kill_conns(&self.inner, b);
+        }
+        self.inner.metrics.snapshot()
+    }
+}
+
+// ---- placement and forwarding ---------------------------------------------
+
+fn pick_backend(inner: &Inner, session: &str) -> Option<usize> {
+    rendezvous::pick(
+        inner
+            .backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| *b.health.lock() == Health::Healthy)
+            .map(|(i, b)| (i, b.addr.as_str())),
+        session,
+    )
+}
+
+/// Returns a sender for backend `b`'s pool slot, dialing on demand.
+fn ensure_conn(inner: &Arc<Inner>, b: usize, slot: usize) -> Result<Sender<ClientMsg>, String> {
+    let backend = &inner.backends[b];
+    let mut guard = backend.slots[slot].lock();
+    if let Some(conn) = guard.as_ref() {
+        return Ok(conn.tx.clone());
+    }
+    inner.metrics.backend_dials.fetch_add(1, Relaxed);
+    let dialed = match dial::dial(&backend.addr, &inner.config.dial_retry) {
+        Ok(d) => d,
+        Err(e) => {
+            inner.metrics.backend_dial_failures.fetch_add(1, Relaxed);
+            return Err(e);
+        }
+    };
+    let generation = backend.generation.fetch_add(1, Relaxed) + 1;
+    let (tx, rx) = bounded::<ClientMsg>(inner.config.pipeline_depth);
+    {
+        let mut writer = dialed.writer;
+        std::thread::Builder::new()
+            .name(format!("hb-gateway-b{b}s{slot}-w"))
+            .spawn(move || {
+                for msg in rx.iter() {
+                    if wire::write_frame(&mut writer, &msg).is_err() {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn pool writer");
+    }
+    {
+        let inner = Arc::clone(inner);
+        let mut reader = dialed.reader;
+        std::thread::Builder::new()
+            .name(format!("hb-gateway-b{b}s{slot}-r"))
+            .spawn(move || {
+                while let Ok(Some(msg)) = wire::read_frame::<_, ServerMsg>(&mut reader) {
+                    dispatch(&inner, msg);
+                }
+                on_conn_down(&inner, b, slot, generation);
+            })
+            .expect("spawn pool reader");
+    }
+    *guard = Some(Conn {
+        tx: tx.clone(),
+        stream: dialed.stream,
+        generation,
+    });
+    Ok(tx)
+}
+
+/// Clears a pool slot and shuts its socket down (idempotent).
+fn clear_slot(inner: &Inner, b: usize, slot: usize) {
+    let mut guard = inner.backends[b].slots[slot].lock();
+    if let Some(conn) = guard.take() {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+}
+
+fn kill_conns(inner: &Inner, b: usize) {
+    for slot in 0..inner.backends[b].slots.len() {
+        clear_slot(inner, b, slot);
+    }
+}
+
+/// Sends one frame down a pool pipeline; `try_send` first so a full
+/// pipeline is *counted* as a backpressure stall before blocking.
+fn send_to_backend(
+    inner: &Arc<Inner>,
+    b: usize,
+    slot: usize,
+    frame: ClientMsg,
+) -> Result<(), String> {
+    let tx = ensure_conn(inner, b, slot)?;
+    match tx.try_send(frame) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Full(frame)) => {
+            inner.metrics.backpressure_stalls.fetch_add(1, Relaxed);
+            tx.send(frame)
+                .map_err(|_| "backend connection closed".to_string())
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            clear_slot(inner, b, slot);
+            Err("backend connection closed".to_string())
+        }
+    }
+}
+
+/// Marks backend `b` failed exactly once; returns whether this call won
+/// the race (and therefore owns pool teardown + keeper notification).
+fn report_backend_down(inner: &Arc<Inner>, b: usize) {
+    let newly_down = {
+        let mut h = inner.backends[b].health.lock();
+        match *h {
+            Health::Healthy => {
+                *h = Health::Down {
+                    failures: 0,
+                    next_probe_ms: now_ms(inner) + inner.config.probe_initial.as_millis() as u64,
+                };
+                inner.metrics.backends_healthy.fetch_sub(1, Relaxed);
+                true
+            }
+            // A draining backend that dies is simply gone: its sessions
+            // fail over and the drain completes trivially.
+            Health::Draining => {
+                *h = Health::Removed;
+                true
+            }
+            Health::Down { .. } | Health::Removed => false,
+        }
+    };
+    if newly_down {
+        inner.metrics.backend_failures.fetch_add(1, Relaxed);
+        kill_conns(inner, b);
+        let _ = inner.keeper_tx.send(KeeperMsg::BackendLost(b));
+    }
+}
+
+fn now_ms(inner: &Inner) -> u64 {
+    inner.epoch.elapsed().as_millis() as u64
+}
+
+fn on_conn_down(inner: &Arc<Inner>, b: usize, slot: usize, generation: u64) {
+    {
+        let mut guard = inner.backends[b].slots[slot].lock();
+        if let Some(conn) = guard.as_ref() {
+            if conn.generation == generation {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                *guard = None;
+            }
+        }
+    }
+    if inner.stop.load(Relaxed) {
+        return; // gateway teardown closes conns on purpose
+    }
+    report_backend_down(inner, b);
+}
+
+/// Journals one frame with gauge accounting.
+fn journal_frame(inner: &Inner, e: &mut SessionEntry, frame: ClientMsg) {
+    let before = e.journal.len() as u64;
+    let was_overflowed = e.journal.overflowed();
+    if e.journal.push(frame) {
+        inner.metrics.journal_frames.fetch_add(1, Relaxed);
+    } else if !was_overflowed {
+        inner.metrics.journal_overflows.fetch_add(1, Relaxed);
+        inner.metrics.journal_frames.fetch_sub(before, Relaxed);
+    }
+}
+
+/// Journals and forwards one client frame; a dead backend triggers
+/// failover with journal replay. Caller holds the entry lock.
+fn forward_frame(inner: &Arc<Inner>, e: &mut SessionEntry, frame: ClientMsg) {
+    journal_frame(inner, e, frame.clone());
+    match send_to_backend(inner, e.backend, e.slot, frame) {
+        Ok(()) => {
+            inner.metrics.frames_forwarded.fetch_add(1, Relaxed);
+        }
+        Err(_) => {
+            report_backend_down(inner, e.backend);
+            reroute_session(inner, e);
+        }
+    }
+}
+
+/// Removes a session with a client-visible explanation and a synthetic
+/// `Closed` so waiting clients unblock. Caller holds the entry lock.
+fn drop_session(inner: &Inner, e: &mut SessionEntry, message: String) {
+    if e.closed_sent {
+        return;
+    }
+    e.closed_sent = true;
+    inner.metrics.sessions_dropped.fetch_add(1, Relaxed);
+    inner.metrics.sessions_active.fetch_sub(1, Relaxed);
+    inner
+        .metrics
+        .journal_frames
+        .fetch_sub(e.journal.len() as u64, Relaxed);
+    let _ = e.sink.send(ServerMsg::Error {
+        session: Some(e.name.clone()),
+        message,
+    });
+    let _ = e.sink.send(ServerMsg::Closed {
+        session: e.name.clone(),
+        discarded: 0,
+    });
+    inner.sessions.lock().remove(&e.name);
+}
+
+/// Re-places one session on a healthy backend and replays its journal.
+/// Caller holds the entry lock.
+fn reroute_session(inner: &Arc<Inner>, e: &mut SessionEntry) {
+    if e.closed_sent {
+        return;
+    }
+    if e.journal.overflowed() {
+        drop_session(
+            inner,
+            e,
+            format!(
+                "backend lost and the journal for session '{}' overflowed \
+                 its {}-frame bound; the session cannot be replayed",
+                e.name, inner.config.journal_limit
+            ),
+        );
+        return;
+    }
+    for _ in 0..inner.backends.len() {
+        let Some(nb) = pick_backend(inner, &e.name) else {
+            break;
+        };
+        e.backend = nb;
+        e.slot = slot_of(&e.name, inner.config.pool_size);
+        let frames = e.journal.frames().to_vec();
+        let count = frames.len() as u64;
+        let mut replayed_all = true;
+        for frame in frames {
+            if send_to_backend(inner, nb, e.slot, frame).is_err() {
+                replayed_all = false;
+                break;
+            }
+        }
+        if replayed_all {
+            inner.metrics.sessions_failed_over.fetch_add(1, Relaxed);
+            inner.metrics.frames_replayed.fetch_add(count, Relaxed);
+            return;
+        }
+        report_backend_down(inner, nb);
+    }
+    drop_session(
+        inner,
+        e,
+        format!(
+            "no healthy backend available to fail session '{}' over to",
+            e.name
+        ),
+    );
+}
+
+// ---- backend → client dispatch --------------------------------------------
+
+fn entry_of(inner: &Inner, session: &str) -> Option<Arc<Mutex<SessionEntry>>> {
+    inner.sessions.lock().get(session).cloned()
+}
+
+/// Routes one backend message to the owning client, deduplicating what
+/// a failover replay would otherwise repeat (`Opened`, settled
+/// verdicts, `Closed`).
+fn dispatch(inner: &Arc<Inner>, msg: ServerMsg) {
+    match msg {
+        ServerMsg::Opened { session } => {
+            if let Some(arc) = entry_of(inner, &session) {
+                let mut e = arc.lock();
+                if !e.opened_sent {
+                    e.opened_sent = true;
+                    let _ = e.sink.send(ServerMsg::Opened { session });
+                }
+            }
+        }
+        ServerMsg::Verdict {
+            session,
+            predicate,
+            verdict,
+        } => {
+            if let Some(arc) = entry_of(inner, &session) {
+                let mut e = arc.lock();
+                if e.settled.contains(&predicate) {
+                    inner.metrics.verdicts_deduped.fetch_add(1, Relaxed);
+                } else {
+                    e.settled.insert(predicate.clone());
+                    inner.metrics.verdicts_forwarded.fetch_add(1, Relaxed);
+                    let _ = e.sink.send(ServerMsg::Verdict {
+                        session,
+                        predicate,
+                        verdict,
+                    });
+                }
+            }
+        }
+        ServerMsg::Closed { session, discarded } => {
+            let removed = inner.sessions.lock().remove(&session);
+            if let Some(arc) = removed {
+                let mut e = arc.lock();
+                if !e.closed_sent {
+                    e.closed_sent = true;
+                    inner.metrics.sessions_active.fetch_sub(1, Relaxed);
+                    inner
+                        .metrics
+                        .journal_frames
+                        .fetch_sub(e.journal.len() as u64, Relaxed);
+                    let _ = e.sink.send(ServerMsg::Closed { session, discarded });
+                }
+            }
+        }
+        ServerMsg::Error {
+            session: Some(session),
+            message,
+        } => {
+            // Errors are forwarded, not deduplicated: a replay that
+            // re-triggers one (e.g. a duplicate event the client really
+            // sent) repeats it, which is honest.
+            if let Some(arc) = entry_of(inner, &session) {
+                let e = arc.lock();
+                let _ = e.sink.send(ServerMsg::Error {
+                    session: Some(session),
+                    message,
+                });
+            }
+        }
+        // Not session-routable: handshake echoes, stats replies on a
+        // pooled connection, goodbye frames.
+        ServerMsg::Error { session: None, .. }
+        | ServerMsg::Welcome { .. }
+        | ServerMsg::Drained { .. }
+        | ServerMsg::Stats { .. }
+        | ServerMsg::Bye => {}
+    }
+}
+
+// ---- the keeper -----------------------------------------------------------
+
+/// Background maintenance: failover of idle sessions on lost backends,
+/// health probes with backoff, and the optional periodic stats line.
+fn keeper_loop(inner: &Arc<Inner>, rx: &Receiver<KeeperMsg>) {
+    let mut last_stats = Instant::now();
+    loop {
+        match rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(KeeperMsg::BackendLost(b)) => failover_backend_sessions(inner, b),
+            Ok(KeeperMsg::Stop) => return,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+        }
+        if inner.stop.load(Relaxed) {
+            return;
+        }
+        probe_down_backends(inner);
+        if let Some(period) = inner.config.stats_interval {
+            if last_stats.elapsed() >= period {
+                last_stats = Instant::now();
+                eprintln!("hb-gateway: {}", inner.metrics.snapshot());
+            }
+        }
+    }
+}
+
+/// Moves every session still placed on a lost backend. Sessions whose
+/// client threads already rerouted them are skipped (their backend
+/// index moved on).
+fn failover_backend_sessions(inner: &Arc<Inner>, b: usize) {
+    let entries: Vec<Arc<Mutex<SessionEntry>>> = {
+        let map = inner.sessions.lock();
+        map.values().cloned().collect()
+    };
+    for arc in entries {
+        let mut e = arc.lock();
+        if e.backend == b && !e.closed_sent {
+            reroute_session(inner, &mut e);
+        }
+    }
+}
+
+/// Probes every down backend whose backoff has elapsed; a completed
+/// handshake restores eligibility.
+fn probe_down_backends(inner: &Arc<Inner>) {
+    let probe_policy = RetryPolicy {
+        attempts: 1,
+        ..RetryPolicy::default()
+    };
+    for backend in &inner.backends {
+        let due = {
+            let h = backend.health.lock();
+            match *h {
+                Health::Down { next_probe_ms, .. } => next_probe_ms <= now_ms(inner),
+                _ => false,
+            }
+        };
+        if !due {
+            continue;
+        }
+        inner.metrics.probes_sent.fetch_add(1, Relaxed);
+        let alive = dial::dial(&backend.addr, &probe_policy).is_ok();
+        let mut h = backend.health.lock();
+        if let Health::Down { failures, .. } = *h {
+            if alive {
+                *h = Health::Healthy;
+                inner.metrics.backends_healthy.fetch_add(1, Relaxed);
+                eprintln!("hb-gateway: backend {} is healthy again", backend.addr);
+            } else {
+                let failures = failures.saturating_add(1);
+                let backoff = inner
+                    .config
+                    .probe_initial
+                    .saturating_mul(1u32 << failures.min(16))
+                    .min(inner.config.probe_cap);
+                *h = Health::Down {
+                    failures,
+                    next_probe_ms: now_ms(inner) + backoff.as_millis() as u64,
+                };
+            }
+        }
+    }
+}
+
+// ---- stats aggregation and drain ------------------------------------------
+
+/// One short-lived stats exchange with a backend.
+fn fetch_backend_stats(addr: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut dialed = dial::dial(
+        addr,
+        &RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        },
+    )?;
+    dialed
+        .stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .map_err(|e| e.to_string())?;
+    wire::write_frame(&mut dialed.writer, &ClientMsg::Stats).map_err(|e| e.to_string())?;
+    match wire::read_frame::<_, ServerMsg>(&mut dialed.reader) {
+        Ok(Some(ServerMsg::Stats { counters })) => Ok(counters),
+        other => Err(format!("unexpected stats reply from {addr}: {other:?}")),
+    }
+}
+
+/// Gateway counters plus every reachable backend's counters, summed.
+fn aggregate_stats(inner: &Arc<Inner>) -> BTreeMap<String, u64> {
+    inner.metrics.stats_fanouts.fetch_add(1, Relaxed);
+    let mut merged = inner.metrics.snapshot().to_map();
+    let mut total = 0u64;
+    let mut reporting = 0u64;
+    for backend in &inner.backends {
+        let health = *backend.health.lock();
+        if health == Health::Removed {
+            continue;
+        }
+        total += 1;
+        if matches!(health, Health::Down { .. }) {
+            continue;
+        }
+        if let Ok(counters) = fetch_backend_stats(&backend.addr) {
+            reporting += 1;
+            for (k, v) in counters {
+                *merged.entry(k).or_insert(0) += v;
+            }
+        }
+    }
+    merged.insert("gateway_backends_total".into(), total);
+    merged.insert("gateway_backends_reporting".into(), reporting);
+    merged
+}
+
+fn count_sessions_on(inner: &Inner, b: usize) -> u64 {
+    let entries: Vec<Arc<Mutex<SessionEntry>>> = inner.sessions.lock().values().cloned().collect();
+    entries
+        .into_iter()
+        .filter(|arc| {
+            let e = arc.lock();
+            e.backend == b && !e.closed_sent
+        })
+        .count() as u64
+}
+
+/// The drain state machine: `Healthy → Draining`, wait for the live
+/// session count to reach zero, then `→ Removed`. Blocks the calling
+/// (client connection) thread; progress is visible in the stats.
+fn drain_backend(inner: &Arc<Inner>, addr: &str) -> Result<u64, String> {
+    let b = inner
+        .backends
+        .iter()
+        .position(|x| x.addr == addr && *x.health.lock() != Health::Removed)
+        .ok_or_else(|| format!("unknown or already removed backend '{addr}'"))?;
+    inner.metrics.drains_started.fetch_add(1, Relaxed);
+    {
+        let mut h = inner.backends[b].health.lock();
+        match *h {
+            Health::Healthy => {
+                *h = Health::Draining;
+                inner.metrics.backends_healthy.fetch_sub(1, Relaxed);
+            }
+            // A down backend holds no reachable sessions; the keeper is
+            // already failing them over. Draining just waits that out.
+            Health::Down { .. } => *h = Health::Draining,
+            Health::Draining => {}
+            Health::Removed => unreachable!("filtered above"),
+        }
+    }
+    let live = count_sessions_on(inner, b);
+    loop {
+        if count_sessions_on(inner, b) == 0 {
+            break;
+        }
+        if inner.stop.load(Relaxed) {
+            return Err("gateway is shutting down".into());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    {
+        let mut h = inner.backends[b].health.lock();
+        *h = Health::Removed;
+    }
+    kill_conns(inner, b);
+    inner.metrics.drains_completed.fetch_add(1, Relaxed);
+    Ok(live)
+}
+
+// ---- the client-facing transport ------------------------------------------
+
+/// Handles one client connection; returns whether the client asked the
+/// gateway to shut down.
+fn serve_connection(stream: TcpStream, inner: &Arc<Inner>) -> bool {
+    inner.metrics.clients_total.fetch_add(1, Relaxed);
+    inner.metrics.clients_connected.fetch_add(1, Relaxed);
+    let peer_write = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            inner.metrics.clients_connected.fetch_sub(1, Relaxed);
+            return false;
+        }
+    };
+    let (sink_tx, sink_rx) = unbounded::<ServerMsg>();
+    let writer = std::thread::spawn(move || {
+        let mut w = BufWriter::new(peer_write);
+        for msg in sink_rx.iter() {
+            let is_bye = matches!(msg, ServerMsg::Bye);
+            if wire::write_frame(&mut w, &msg).is_err() || is_bye {
+                return;
+            }
+        }
+    });
+    let mut r = std::io::BufReader::new(stream);
+    let mut shutdown = false;
+    loop {
+        match wire::read_frame::<_, ClientMsg>(&mut r) {
+            Ok(Some(msg)) => {
+                let is_shutdown = matches!(msg, ClientMsg::Shutdown);
+                handle_client_msg(inner, msg, &sink_tx);
+                if is_shutdown {
+                    shutdown = true;
+                    break;
+                }
+            }
+            Ok(None) => break, // clean disconnect; routed sessions stay
+            Err(e) => {
+                let _ = sink_tx.send(ServerMsg::Error {
+                    session: None,
+                    message: e.to_string(),
+                });
+                break;
+            }
+        }
+    }
+    drop(sink_tx);
+    let _ = writer.join();
+    inner.metrics.clients_connected.fetch_sub(1, Relaxed);
+    shutdown
+}
+
+fn client_error(inner: &Inner, sink: &Sender<ServerMsg>, session: Option<String>, message: String) {
+    inner.metrics.protocol_errors.fetch_add(1, Relaxed);
+    let _ = sink.send(ServerMsg::Error { session, message });
+}
+
+/// The gateway's frame handler — the routing counterpart of
+/// `MonitorHandle::submit`.
+fn handle_client_msg(inner: &Arc<Inner>, msg: ClientMsg, sink: &Sender<ServerMsg>) {
+    match msg {
+        ClientMsg::Hello { version } => match wire::check_version(version) {
+            Ok(()) => {
+                let _ = sink.send(ServerMsg::Welcome {
+                    version: wire::WIRE_VERSION,
+                });
+            }
+            Err(message) => client_error(inner, sink, None, message),
+        },
+        ClientMsg::Stats => {
+            let _ = sink.send(ServerMsg::Stats {
+                counters: aggregate_stats(inner),
+            });
+        }
+        ClientMsg::Drain { backend } => match drain_backend(inner, &backend) {
+            Ok(sessions) => {
+                let _ = sink.send(ServerMsg::Drained { backend, sessions });
+            }
+            Err(message) => client_error(inner, sink, None, message),
+        },
+        ClientMsg::Shutdown => {
+            let _ = sink.send(ServerMsg::Bye);
+        }
+        ClientMsg::Open { ref session, .. } => {
+            let name = session.clone();
+            let Some(b) = pick_backend(inner, &name) else {
+                client_error(
+                    inner,
+                    sink,
+                    Some(name),
+                    "no healthy backend to place the session on".into(),
+                );
+                return;
+            };
+            let entry = Arc::new(Mutex::new(SessionEntry {
+                name: name.clone(),
+                backend: b,
+                slot: slot_of(&name, inner.config.pool_size),
+                sink: sink.clone(),
+                journal: SessionJournal::new(inner.config.journal_limit),
+                settled: BTreeSet::new(),
+                opened_sent: false,
+                closed_sent: false,
+            }));
+            {
+                let mut map = inner.sessions.lock();
+                if map.contains_key(&name) {
+                    drop(map);
+                    client_error(
+                        inner,
+                        sink,
+                        Some(name.clone()),
+                        format!("session '{name}' already open at the gateway"),
+                    );
+                    return;
+                }
+                map.insert(name.clone(), Arc::clone(&entry));
+            }
+            inner.metrics.sessions_routed.fetch_add(1, Relaxed);
+            inner.metrics.sessions_active.fetch_add(1, Relaxed);
+            let mut e = entry.lock();
+            forward_frame(inner, &mut e, msg);
+        }
+        ClientMsg::Event { ref session, .. }
+        | ClientMsg::FinishProcess { ref session, .. }
+        | ClientMsg::Close { ref session } => {
+            let Some(arc) = entry_of(inner, session) else {
+                client_error(
+                    inner,
+                    sink,
+                    Some(session.clone()),
+                    format!("no such session '{session}' at the gateway"),
+                );
+                return;
+            };
+            let mut e = arc.lock();
+            // Adopt the caller's sink: a client that reconnects after a
+            // drop takes over the reply stream, monitor-attach style.
+            e.sink = sink.clone();
+            forward_frame(inner, &mut e, msg);
+        }
+    }
+}

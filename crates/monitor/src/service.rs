@@ -214,7 +214,11 @@ fn apply_replayed(msg: ClientMsg, sessions: &mut HashMap<String, Session>, limit
         ClientMsg::Close { session } => {
             sessions.remove(&session);
         }
-        ClientMsg::Stats | ClientMsg::Shutdown => {}
+        // Answered inline by `submit`, never written to the WAL.
+        ClientMsg::Stats
+        | ClientMsg::Shutdown
+        | ClientMsg::Hello { .. }
+        | ClientMsg::Drain { .. } => {}
     }
 }
 
@@ -471,6 +475,36 @@ impl MonitorHandle {
                 let _ = sink.send(ServerMsg::Bye);
                 return;
             }
+            // Version handshake: also the gateway's health probe, so it
+            // must stay cheap and side-effect free.
+            ClientMsg::Hello { version } => {
+                match wire::check_version(*version) {
+                    Ok(()) => {
+                        let _ = sink.send(ServerMsg::Welcome {
+                            version: wire::WIRE_VERSION,
+                        });
+                    }
+                    Err(message) => {
+                        self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = sink.send(ServerMsg::Error {
+                            session: None,
+                            message,
+                        });
+                    }
+                }
+                return;
+            }
+            ClientMsg::Drain { backend } => {
+                self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = sink.send(ServerMsg::Error {
+                    session: None,
+                    message: format!(
+                        "cannot drain '{backend}': this is a monitor backend, \
+                         not a gateway — point `hbtl gateway drain` at the gateway"
+                    ),
+                });
+                return;
+            }
             _ => {}
         }
         let payload = self
@@ -525,7 +559,10 @@ impl MonitorHandle {
                     sink: sink.clone(),
                 },
             ),
-            ClientMsg::Stats | ClientMsg::Shutdown => unreachable!("answered above"),
+            ClientMsg::Stats
+            | ClientMsg::Shutdown
+            | ClientMsg::Hello { .. }
+            | ClientMsg::Drain { .. } => unreachable!("answered above"),
         };
         match (&self.wal, payload) {
             (Some(wal), Some(payload)) => {
@@ -826,6 +863,9 @@ pub fn serve(listener: TcpListener, handle: MonitorHandle) -> std::io::Result<()
             break;
         }
         let stream = stream?;
+        // Small request/reply frames; Nagle would stall each exchange on
+        // a delayed-ACK round trip.
+        let _ = stream.set_nodelay(true);
         let handle = handle.clone();
         let stop = Arc::clone(&stop);
         conn_threads.push(std::thread::spawn(move || {
@@ -1052,6 +1092,51 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.protocol_errors, 3);
         assert_eq!(stats.events_duplicate, 1);
+    }
+
+    #[test]
+    fn hello_handshake_negotiates_version() {
+        let service = MonitorService::start(MonitorConfig::default());
+        let handle = service.handle();
+        let (tx, rx) = unbounded();
+        handle.submit(
+            ClientMsg::Hello {
+                version: wire::WIRE_VERSION,
+            },
+            &tx,
+        );
+        assert_eq!(
+            rx.recv().unwrap(),
+            ServerMsg::Welcome {
+                version: wire::WIRE_VERSION
+            }
+        );
+        // A future version is refused with the canonical message…
+        handle.submit(
+            ClientMsg::Hello {
+                version: wire::WIRE_VERSION + 1,
+            },
+            &tx,
+        );
+        match rx.recv().unwrap() {
+            ServerMsg::Error { message, .. } => {
+                assert!(
+                    message.contains("unsupported protocol version"),
+                    "{message}"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // …and a version-1 peer that never says hello still works: the
+        // handshake is optional (see in_process_session_detects_and_flushes).
+        handle.submit(
+            ClientMsg::Drain {
+                backend: "127.0.0.1:1".into(),
+            },
+            &tx,
+        );
+        assert!(matches!(rx.recv().unwrap(), ServerMsg::Error { .. }));
+        service.shutdown();
     }
 
     #[test]

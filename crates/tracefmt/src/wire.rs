@@ -28,6 +28,34 @@ use std::io::{BufRead, Write};
 /// Frames larger than this are rejected without being read (16 MiB).
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
 
+/// The protocol version this build speaks.
+///
+/// Version history:
+/// * **1** — the original `hb-monitor` protocol: no handshake; the
+///   first client frame is `open`/`event`/`stats`/….
+/// * **2** — adds the optional [`ClientMsg::Hello`] / [`ServerMsg::Welcome`]
+///   handshake and the gateway admin frames ([`ClientMsg::Drain`],
+///   [`ServerMsg::Drained`]).
+pub const WIRE_VERSION: u32 = 2;
+
+/// The oldest peer version still accepted. A client that never sends
+/// `Hello` is treated as this version — version-1 peers predate the
+/// handshake entirely, so their absence of one must stay legal.
+pub const MIN_WIRE_VERSION: u32 = 1;
+
+/// Validates a peer's announced protocol version; the `Err` carries the
+/// exact message a server should answer with before ignoring the peer.
+pub fn check_version(version: u32) -> Result<(), String> {
+    if (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
+        Ok(())
+    } else {
+        Err(format!(
+            "unsupported protocol version {version} (this peer speaks \
+             {MIN_WIRE_VERSION} through {WIRE_VERSION})"
+        ))
+    }
+}
+
 /// How a wire predicate combines its clauses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireMode {
@@ -89,6 +117,25 @@ pub enum WireVerdict {
 /// Messages a client sends to the monitor.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientMsg {
+    /// Version handshake: announces the client's protocol version.
+    ///
+    /// Optional — a peer whose first frame is anything else is assumed
+    /// to speak [`MIN_WIRE_VERSION`]. A server answers with
+    /// [`ServerMsg::Welcome`] on a supported version and
+    /// [`ServerMsg::Error`] (`unsupported protocol version …`) otherwise.
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        version: u32,
+    },
+    /// Asks a gateway to drain one backend: stop placing new sessions
+    /// on it, wait for its live sessions to close, then remove it.
+    /// Answered with [`ServerMsg::Drained`] when complete. A plain
+    /// monitor answers with an error — draining is a routing-layer
+    /// concept.
+    Drain {
+        /// The backend's address, exactly as registered at serve time.
+        backend: String,
+    },
     /// Opens a monitoring session.
     Open {
         /// Session name; must be unused.
@@ -134,6 +181,21 @@ pub enum ClientMsg {
 /// Messages the monitor sends to a client.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServerMsg {
+    /// Handshake acknowledgement: the server's protocol version (which
+    /// may be lower than the client announced — the client decides
+    /// whether to continue).
+    Welcome {
+        /// The server's [`WIRE_VERSION`].
+        version: u32,
+    },
+    /// A [`ClientMsg::Drain`] completed: the backend held no more live
+    /// sessions and was removed from the routing set.
+    Drained {
+        /// The drained backend's address.
+        backend: String,
+        /// Sessions that were still live when the drain started.
+        sessions: u64,
+    },
     /// The session is open and accepting events.
     Opened {
         /// The session name.
@@ -255,6 +317,14 @@ impl Deserialize for WireVerdict {
 impl Serialize for ClientMsg {
     fn to_value(&self) -> Value {
         match self {
+            ClientMsg::Hello { version } => Value::Object(vec![
+                ("type".into(), "hello".to_value()),
+                ("version".into(), version.to_value()),
+            ]),
+            ClientMsg::Drain { backend } => Value::Object(vec![
+                ("type".into(), "drain".to_value()),
+                ("backend".into(), backend.to_value()),
+            ]),
             ClientMsg::Open {
                 session,
                 processes,
@@ -304,6 +374,12 @@ impl Serialize for ClientMsg {
 impl Deserialize for ClientMsg {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match help::field::<String>(v, "type")?.as_str() {
+            "hello" => Ok(ClientMsg::Hello {
+                version: help::field(v, "version")?,
+            }),
+            "drain" => Ok(ClientMsg::Drain {
+                backend: help::field(v, "backend")?,
+            }),
             "open" => Ok(ClientMsg::Open {
                 session: help::field(v, "session")?,
                 processes: help::field(v, "processes")?,
@@ -334,6 +410,15 @@ impl Deserialize for ClientMsg {
 impl Serialize for ServerMsg {
     fn to_value(&self) -> Value {
         match self {
+            ServerMsg::Welcome { version } => Value::Object(vec![
+                ("type".into(), "welcome".to_value()),
+                ("version".into(), version.to_value()),
+            ]),
+            ServerMsg::Drained { backend, sessions } => Value::Object(vec![
+                ("type".into(), "drained".to_value()),
+                ("backend".into(), backend.to_value()),
+                ("sessions".into(), sessions.to_value()),
+            ]),
             ServerMsg::Opened { session } => Value::Object(vec![
                 ("type".into(), "opened".to_value()),
                 ("session".into(), session.to_value()),
@@ -373,6 +458,13 @@ impl Serialize for ServerMsg {
 impl Deserialize for ServerMsg {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match help::field::<String>(v, "type")?.as_str() {
+            "welcome" => Ok(ServerMsg::Welcome {
+                version: help::field(v, "version")?,
+            }),
+            "drained" => Ok(ServerMsg::Drained {
+                backend: help::field(v, "backend")?,
+                sessions: help::field_or_default(v, "sessions")?,
+            }),
             "opened" => Ok(ServerMsg::Opened {
                 session: help::field(v, "session")?,
             }),
@@ -530,6 +622,12 @@ mod tests {
         });
         round_trip(ClientMsg::Stats);
         round_trip(ClientMsg::Shutdown);
+        round_trip(ClientMsg::Hello {
+            version: WIRE_VERSION,
+        });
+        round_trip(ClientMsg::Drain {
+            backend: "127.0.0.1:7575".into(),
+        });
     }
 
     #[test]
@@ -561,6 +659,22 @@ mod tests {
             message: "no such session".into(),
         });
         round_trip(ServerMsg::Bye);
+        round_trip(ServerMsg::Welcome {
+            version: WIRE_VERSION,
+        });
+        round_trip(ServerMsg::Drained {
+            backend: "127.0.0.1:7575".into(),
+            sessions: 3,
+        });
+    }
+
+    #[test]
+    fn version_window_is_enforced() {
+        assert!(check_version(MIN_WIRE_VERSION).is_ok());
+        assert!(check_version(WIRE_VERSION).is_ok());
+        let err = check_version(WIRE_VERSION + 1).unwrap_err();
+        assert!(err.contains("unsupported protocol version"), "{err}");
+        assert!(check_version(0).is_err());
     }
 
     #[test]

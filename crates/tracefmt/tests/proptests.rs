@@ -4,8 +4,10 @@
 
 use hb_computation::Computation;
 use hb_sim::{random_computation, RandomSpec};
+use hb_tracefmt::wire::{read_frame, write_frame, ClientMsg, ServerMsg};
 use hb_tracefmt::{from_json, from_text, to_json, to_text};
 use proptest::prelude::*;
+use std::io::Cursor;
 
 fn assert_equivalent(a: &Computation, b: &Computation) {
     assert_eq!(a.num_processes(), b.num_processes());
@@ -77,6 +79,77 @@ proptest! {
     #[test]
     fn text_parser_never_panics(garbage in "\\PC*") {
         let _ = from_text(&garbage);
+    }
+
+    // Wire-frame round trips for the version-2 additions: the
+    // handshake pair and the gateway admin pair. Arbitrary versions,
+    // backend addresses, and counts must survive encode → decode
+    // byte-exactly in meaning.
+
+    #[test]
+    fn hello_welcome_round_trip(version in 0u32..u32::MAX) {
+        let hello = ClientMsg::Hello { version };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &hello).expect("encode hello");
+        let back = read_frame::<_, ClientMsg>(&mut Cursor::new(&buf))
+            .expect("decode hello")
+            .expect("one frame");
+        prop_assert_eq!(back, hello);
+
+        let welcome = ServerMsg::Welcome { version };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &welcome).expect("encode welcome");
+        let back = read_frame::<_, ServerMsg>(&mut Cursor::new(&buf))
+            .expect("decode welcome")
+            .expect("one frame");
+        prop_assert_eq!(back, welcome);
+    }
+
+    #[test]
+    fn drain_drained_round_trip(
+        backend in "[\\x20-\\x7e]{0,40}",
+        sessions in 0u64..=i64::MAX as u64,
+    ) {
+        let drain = ClientMsg::Drain { backend: backend.clone() };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &drain).expect("encode drain");
+        let back = read_frame::<_, ClientMsg>(&mut Cursor::new(&buf))
+            .expect("decode drain")
+            .expect("one frame");
+        prop_assert_eq!(back, drain);
+
+        let drained = ServerMsg::Drained { backend, sessions };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &drained).expect("encode drained");
+        let back = read_frame::<_, ServerMsg>(&mut Cursor::new(&buf))
+            .expect("decode drained")
+            .expect("one frame");
+        prop_assert_eq!(back, drained);
+    }
+
+    #[test]
+    fn handshake_frames_interleave_with_v1_traffic(
+        version in 0u32..u32::MAX,
+        backend in "[a-z0-9.:]{1,24}",
+        sessions in 0u64..1000,
+    ) {
+        // A v2 conversation mixes handshake, admin, and v1 frames on
+        // one stream; framing must keep them independent.
+        let msgs = vec![
+            ServerMsg::Welcome { version },
+            ServerMsg::Drained { backend, sessions },
+            ServerMsg::Bye,
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).expect("encode");
+        }
+        let mut r = Cursor::new(&buf);
+        for m in &msgs {
+            let back = read_frame::<_, ServerMsg>(&mut r).expect("decode").expect("frame");
+            prop_assert_eq!(&back, m);
+        }
+        prop_assert_eq!(read_frame::<_, ServerMsg>(&mut r).expect("eof"), None);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! attacker-controlled length prefix that the peer does not back with
 //! actual bytes.
 
-use hb_tracefmt::wire::{read_frame, write_frame, ClientMsg, MAX_FRAME_BYTES};
+use hb_tracefmt::wire::{read_frame, write_frame, ClientMsg, ServerMsg, MAX_FRAME_BYTES};
 use hb_tracefmt::TraceError;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -123,6 +123,64 @@ proptest! {
     #[test]
     fn arbitrary_garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..200)) {
         drain(&bytes);
+    }
+
+    // The version-2 frames (handshake and gateway admin) face the same
+    // adversary as the rest of the protocol.
+
+    #[test]
+    fn truncated_v2_frames_are_errors(
+        version in 0u32..u32::MAX,
+        backend in "[a-z0-9.:]{1,24}",
+        which in 0usize..2,
+        cut_seed in 0usize..10_000,
+    ) {
+        let frame = match which {
+            0 => encode(&ClientMsg::Hello { version }),
+            _ => encode(&ClientMsg::Drain { backend }),
+        };
+        let cut = cut_seed % frame.len();
+        let mut r = Cursor::new(&frame[..cut]);
+        match read_frame::<_, ClientMsg>(&mut r) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only an empty stream is a clean EOF"),
+            Ok(Some(_)) => prop_assert!(false, "a truncated frame must not parse"),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn bit_flipped_v2_server_frames_never_panic(
+        version in 0u32..u32::MAX,
+        backend in "[a-z0-9.:]{1,24}",
+        sessions in 0u64..=i64::MAX as u64,
+        which in 0usize..2,
+        flip_seed in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let mut frame = Vec::new();
+        let msg = match which {
+            0 => ServerMsg::Welcome { version },
+            _ => ServerMsg::Drained { backend, sessions },
+        };
+        write_frame(&mut frame, &msg).expect("encode");
+        let at = flip_seed % frame.len();
+        frame[at] ^= 1 << bit;
+        let mut r = Cursor::new(&frame[..]);
+        while let Ok(Some(_)) = read_frame::<_, ServerMsg>(&mut r) {}
+    }
+
+    #[test]
+    fn wrong_direction_v2_frames_are_errors_not_panics(
+        version in 0u32..u32::MAX,
+    ) {
+        // A server frame fed to the client-message decoder (and vice
+        // versa) is a peer bug; the decoder must refuse it gracefully.
+        let mut welcome = Vec::new();
+        write_frame(&mut welcome, &ServerMsg::Welcome { version }).expect("encode");
+        prop_assert!(read_frame::<_, ClientMsg>(&mut Cursor::new(&welcome)).is_err());
+
+        let hello = encode(&ClientMsg::Hello { version });
+        prop_assert!(read_frame::<_, ServerMsg>(&mut Cursor::new(&hello)).is_err());
     }
 
     #[test]

@@ -8,18 +8,50 @@ pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { tx }, Receiver { rx })
+        (
+            Sender {
+                tx: Tx::Unbounded(tx),
+            },
+            Receiver { rx },
+        )
+    }
+
+    /// Creates a bounded channel: `send` blocks while `cap` values are
+    /// in flight (the backpressure point the gateway relies on).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                tx: Tx::Bounded(tx),
+            },
+            Receiver { rx },
+        )
+    }
+
+    #[derive(Debug)]
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+            }
+        }
     }
 
     /// The sending half; cloneable.
     #[derive(Debug)]
     pub struct Sender<T> {
-        tx: mpsc::Sender<T>,
+        tx: Tx<T>,
     }
 
     impl<T> Clone for Sender<T> {
@@ -31,9 +63,22 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Sends a value; errors if the receiver is gone.
+        /// Sends a value; blocks while a bounded channel is full; errors
+        /// if the receiver is gone.
         pub fn send(&self, t: T) -> Result<(), SendError<T>> {
-            self.tx.send(t)
+            match &self.tx {
+                Tx::Unbounded(tx) => tx.send(t),
+                Tx::Bounded(tx) => tx.send(t),
+            }
+        }
+
+        /// Non-blocking send; `Full` only ever comes from a bounded
+        /// channel.
+        pub fn try_send(&self, t: T) -> Result<(), TrySendError<T>> {
+            match &self.tx {
+                Tx::Unbounded(tx) => tx.send(t).map_err(|e| TrySendError::Disconnected(e.0)),
+                Tx::Bounded(tx) => tx.try_send(t),
+            }
         }
     }
 
@@ -83,5 +128,20 @@ mod tests {
             got.sort_unstable();
             assert_eq!(got, vec![0, 1, 2, 3]);
         });
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = channel::bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(
+            tx.try_send(3),
+            Err(channel::TrySendError::Full(3))
+        ));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        let got: Vec<i32> = [rx.recv().unwrap(), rx.recv().unwrap()].to_vec();
+        assert_eq!(got, vec![2, 3]);
     }
 }
