@@ -15,18 +15,22 @@
 //! event throughput plus open→closed latency percentiles, as text or
 //! JSON (the shape `store_bench` uses, for CI artifact diffing).
 //!
+//! Sessions are driven through hb-sdk (`SessionBuilder`, `emit`,
+//! `close_reclaim`), so loadgen exercises the exact client stack a real
+//! instrumented program uses — the wire frames, batching, and ack
+//! barriers all come from the SDK's flusher, not hand-rolled here.
+//!
 //! `--compare` needs no running servers: it benchmarks a self-hosted
 //! single monitor against a self-hosted gateway over two monitors with
 //! the *same* workload, and reports the throughput ratio.
 
 use crate::monitor_cmd::{shutdown_server, state_map, take_flag, take_switch};
 use hb_computation::{Computation, EventId};
-use hb_gateway::{dial, GatewayConfig, GatewayService, RetryPolicy};
+use hb_gateway::{GatewayConfig, GatewayService};
 use hb_monitor::{MonitorConfig, MonitorService};
+use hb_sdk::transport::TcpTransport;
+use hb_sdk::{RetryPolicy, SessionBuilder, Transport, WireClause, WireMode, WirePredicate};
 use hb_sim::{causal_shuffle, random_computation, RandomSpec};
-use hb_tracefmt::wire::{
-    read_frame, write_frame, ClientMsg, ServerMsg, WireClause, WireMode, WirePredicate,
-};
 use std::fmt::Write as _;
 use std::net::TcpListener;
 use std::time::{Duration, Instant};
@@ -205,77 +209,46 @@ fn run_load(addr: &str, plans: &[Vec<SessionPlan>], spec: &LoadSpec) -> Result<L
 }
 
 /// One worker: a single handshaken connection, sessions driven
-/// back-to-back, frames pipelined within each session.
+/// back-to-back through the SDK (`close_reclaim` hands the transport
+/// from one session to the next, so frames stay pipelined on one
+/// socket exactly as before).
 fn drive_worker(
     addr: &str,
     sessions: &[SessionPlan],
     predicates: &[WirePredicate],
 ) -> Result<Vec<f64>, String> {
-    let mut conn = dial(addr, &RetryPolicy::with_retries(3))?;
+    let mut transport: Box<dyn Transport> = Box::new(
+        TcpTransport::dial(addr, RetryPolicy::with_retries(3)).map_err(|e| e.to_string())?,
+    );
     let mut latencies = Vec::with_capacity(sessions.len());
     for plan in sessions {
         let t0 = Instant::now();
-        let n = plan.comp.num_processes();
-        write_frame(
-            &mut conn.writer,
-            &ClientMsg::Open {
-                session: plan.name.clone(),
-                processes: n,
-                vars: vec!["x".into()],
-                initial: vec![],
-                predicates: predicates.to_vec(),
-            },
-        )
-        .map_err(|e| e.to_string())?;
+        let mut builder = SessionBuilder::new(&plan.name, plan.comp.num_processes()).var("x");
+        for p in predicates {
+            builder = builder.predicate(p.clone());
+        }
+        let (session, _tracers) = builder.open(transport).map_err(|e| e.to_string())?;
         for &e in &plan.order {
-            write_frame(
-                &mut conn.writer,
-                &ClientMsg::Event {
-                    session: plan.name.clone(),
-                    p: e.process,
-                    clock: plan.comp.clock(e).components().to_vec(),
-                    set: state_map(&plan.comp, e),
-                },
-            )
-            .map_err(|e| e.to_string())?;
-        }
-        for p in 0..n {
-            write_frame(
-                &mut conn.writer,
-                &ClientMsg::FinishProcess {
-                    session: plan.name.clone(),
-                    p,
-                },
-            )
-            .map_err(|e| e.to_string())?;
-        }
-        write_frame(
-            &mut conn.writer,
-            &ClientMsg::Close {
-                session: plan.name.clone(),
-            },
-        )
-        .map_err(|e| e.to_string())?;
-        let mut verdicts = 0usize;
-        loop {
-            match read_frame::<_, ServerMsg>(&mut conn.reader)
-                .map_err(|e| e.to_string())?
-                .ok_or_else(|| "server closed the connection".to_string())?
-            {
-                ServerMsg::Opened { .. } => {}
-                ServerMsg::Verdict { .. } => verdicts += 1,
-                ServerMsg::Closed { .. } => break,
-                ServerMsg::Error { message, .. } => {
-                    return Err(format!("server error on {}: {message}", plan.name));
-                }
-                other => return Err(format!("unexpected frame: {other:?}")),
+            let accepted = session.emit(
+                e.process,
+                plan.comp.clock(e).components().to_vec(),
+                state_map(&plan.comp, e),
+            );
+            if !accepted {
+                return Err(format!("{}: event dropped by the SDK queue", plan.name));
             }
         }
-        if verdicts != predicates.len() {
+        let (report, reclaimed) = session.close_reclaim().map_err(|e| e.to_string())?;
+        transport = reclaimed;
+        if let Some(message) = report.errors.first() {
+            return Err(format!("server error on {}: {message}", plan.name));
+        }
+        if report.verdicts.len() != predicates.len() {
             return Err(format!(
-                "{}: expected {} verdicts, saw {verdicts}",
+                "{}: expected {} verdicts, saw {}",
                 plan.name,
-                predicates.len()
+                predicates.len(),
+                report.verdicts.len()
             ));
         }
         latencies.push(t0.elapsed().as_secs_f64() * 1e3);

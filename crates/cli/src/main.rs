@@ -57,7 +57,6 @@ mod commands;
 mod gateway_cmd;
 mod loadgen_cmd;
 mod monitor_cmd;
-mod prom;
 mod store_cmd;
 
 fn main() -> ExitCode {

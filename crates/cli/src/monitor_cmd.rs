@@ -30,10 +30,10 @@
 //! e.g. `--conj "0:x=2,1:x=1"`. Operators: `= != < <= > >=`.
 
 use hb_computation::{Computation, EventId};
-use hb_gateway::{connect_with_retry, RetryPolicy};
 use hb_monitor::{serve, MonitorConfig, MonitorService, PersistConfig, SessionLimits};
 use hb_sim::causal_shuffle;
 use hb_store::{StoreError, SyncPolicy};
+use hb_tracefmt::dial::{connect_with_retry, RetryPolicy};
 use hb_tracefmt::wire::{
     self, read_frame, write_frame, ClientMsg, ServerMsg, WireClause, WireMode, WirePredicate,
     WireVerdict,
@@ -113,7 +113,7 @@ pub(crate) fn render_stats(
     }
     let mut out = String::new();
     if prometheus {
-        out.push_str(&crate::prom::render(counters));
+        out.push_str(&hb_tracefmt::prom::render(counters));
     } else if json {
         // One flat JSON object, counter name → integer value.
         use serde::Serialize as _;

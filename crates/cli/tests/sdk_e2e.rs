@@ -1,0 +1,237 @@
+//! End-to-end acceptance test for the instrumentation SDK: a real
+//! multi-threaded program, traced with `hb_sdk`, streams to a real
+//! `hbtl monitor serve --data-dir` process that is SIGKILLed and
+//! restarted mid-trace. The SDK must reconnect, re-attach the
+//! recovered session, replay its unacknowledged tail, and settle to
+//! exactly the verdicts the offline detector computes on the same
+//! computation.
+//!
+//! The program is a three-process token ring: each round, P0 sends a
+//! token to P1, P1 forwards to P2, P2 returns it to P0, every hop
+//! recorded through the traced-channel wrappers. The offline twin is
+//! the identical event sequence built with `ComputationBuilder`; both
+//! follow the Fidge/Mattern stamping discipline, so their clocks — and
+//! therefore their least satisfying cuts — must agree.
+
+#![cfg(unix)]
+
+use hb_computation::{Computation, ComputationBuilder};
+use hb_detect::ef_linear;
+use hb_predicates::{CmpOp, Conjunctive, LocalExpr};
+use hb_sdk::channel::traced_channel;
+use hb_sdk::{SessionBuilder, Tracer, WireVerdict};
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const ROUNDS: usize = 4;
+/// The ring pauses (and the monitor dies) after this round.
+const KILL_AFTER_ROUND: usize = 2;
+/// Events per round: two per process (P0 send+recv, P1 recv+send,
+/// P2 recv+send).
+const EVENTS_PER_ROUND: usize = 6;
+
+/// The offline twin of the traced ring below — same events, same
+/// values, same message topology.
+fn offline_ring() -> Computation {
+    let mut b = ComputationBuilder::new(3);
+    let x = b.var("x");
+    for r in 1..=ROUNDS as i64 {
+        let v = 10 * r;
+        let m1 = b.send(0).set(x, v).done_send();
+        b.receive(1, m1).set(x, v + 1).done();
+        let m2 = b.send(1).set(x, v + 2).done_send();
+        b.receive(2, m2).set(x, v + 3).done();
+        let m3 = b.send(2).set(x, v + 4).done_send();
+        b.receive(0, m3).set(x, v + 5).done();
+    }
+    b.finish().expect("the ring is well-formed")
+}
+
+/// Runs the instrumented ring on three real threads. Every thread
+/// parks on `pause` twice at the end of round [`KILL_AFTER_ROUND`]; the
+/// test thread joins both waits to kill and restart the monitor while
+/// the program is quiescent.
+fn run_ring(mut tracers: Vec<Tracer>, pause: Arc<Barrier>) -> Vec<std::thread::JoinHandle<()>> {
+    let mut t2 = tracers.pop().expect("tracer for p2");
+    let mut t1 = tracers.pop().expect("tracer for p1");
+    let mut t0 = tracers.pop().expect("tracer for p0");
+    let (tx01, rx01) = traced_channel::<i64>();
+    let (tx12, rx12) = traced_channel::<i64>();
+    let (tx20, rx20) = traced_channel::<i64>();
+    let (b0, b1, b2) = (Arc::clone(&pause), Arc::clone(&pause), pause);
+    let h0 = std::thread::spawn(move || {
+        for r in 1..=ROUNDS {
+            let v = 10 * r as i64;
+            tx01.send_with(&mut t0, v, &[("x", v)]).expect("p1 alive");
+            rx20.recv_with(&mut t0, &[("x", v + 5)]).expect("p2 sent");
+            if r == KILL_AFTER_ROUND {
+                b0.wait();
+                b0.wait();
+            }
+        }
+    });
+    let h1 = std::thread::spawn(move || {
+        for r in 1..=ROUNDS {
+            let v = 10 * r as i64;
+            rx01.recv_with(&mut t1, &[("x", v + 1)]).expect("p0 sent");
+            tx12.send_with(&mut t1, v, &[("x", v + 2)])
+                .expect("p2 alive");
+            if r == KILL_AFTER_ROUND {
+                b1.wait();
+                b1.wait();
+            }
+        }
+    });
+    let h2 = std::thread::spawn(move || {
+        for r in 1..=ROUNDS {
+            let v = 10 * r as i64;
+            rx12.recv_with(&mut t2, &[("x", v + 3)]).expect("p1 sent");
+            tx20.send_with(&mut t2, v, &[("x", v + 4)])
+                .expect("p0 alive");
+            if r == KILL_AFTER_ROUND {
+                b2.wait();
+                b2.wait();
+            }
+        }
+    });
+    vec![h0, h1, h2]
+}
+
+/// Spawns `hbtl monitor serve` on a fixed address (so the SDK's
+/// reconnect finds the restarted process) and waits for its banner.
+/// The caller owns the child: the test kills and reaps it explicitly
+/// on every path.
+#[allow(clippy::zombie_processes)]
+fn spawn_server(addr: &str, data_dir: &Path) -> Child {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hbtl"))
+        .args([
+            "monitor",
+            "serve",
+            addr,
+            "--data-dir",
+            &data_dir.to_string_lossy(),
+            "--sync",
+            "always",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("hbtl spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    loop {
+        let mut line = String::new();
+        if stderr.read_line(&mut line).expect("read banner") == 0 {
+            let status = child.wait().expect("child reaped");
+            panic!("server exited before listening: {status}");
+        }
+        if line.contains("listening on ") {
+            return child;
+        }
+    }
+}
+
+/// A free TCP port the restarted server can re-bind.
+fn reserve_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("bind ephemeral")
+        .local_addr()
+        .expect("local addr")
+        .port()
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hbtl-sdk-e2e").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn instrumented_ring_survives_monitor_sigkill_and_matches_offline() {
+    // Offline ground truth. The goal predicate names two concurrent
+    // states of round 2 — P0 holding x=20 (its round-2 send) while P2
+    // still holds x=14 (its round-1 return) — so detection requires an
+    // actual consistent-cut search, not just a local scan.
+    let comp = offline_ring();
+    let x = comp.vars().lookup("x").expect("ring declares x");
+    let goal = Conjunctive::new(vec![
+        (0, LocalExpr::Cmp(x, CmpOp::Eq, 20)),
+        (2, LocalExpr::Cmp(x, CmpOp::Eq, 14)),
+    ]);
+    let offline = ef_linear(&comp, &goal);
+    assert!(offline.holds, "the goal cut exists in the ring");
+    let least = offline.witness.expect("witness cut");
+
+    let data_dir = fresh_dir("ring");
+    let addr = format!("127.0.0.1:{}", reserve_port());
+    let child = spawn_server(&addr, &data_dir);
+
+    // The default ack_every (256) far exceeds the trace, so nothing is
+    // acknowledged before the crash and the reconnect must replay the
+    // *entire* prefix.
+    let (session, tracers) = SessionBuilder::new("ring", 3)
+        .var("x")
+        .conjunctive("goal", &[(0, "x", "=", 20), (2, "x", "=", 14)])
+        .conjunctive("never", &[(0, "x", "=", -1)])
+        .connect(&addr)
+        .expect("open over TCP");
+
+    let pause = Arc::new(Barrier::new(4));
+    let handles = run_ring(tracers, Arc::clone(&pause));
+
+    // First barrier: the program is quiescent at the end of the kill
+    // round. Wait for the flusher to have written everything produced
+    // so far — otherwise the kill proves nothing about replay.
+    pause.wait();
+    let sent_target = (KILL_AFTER_ROUND * EVENTS_PER_ROUND) as u64;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while session.metrics().events_sent < sent_target {
+        assert!(
+            Instant::now() < deadline,
+            "flusher never drained the first half: {:?}",
+            session.metrics()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // SIGKILL: no shutdown hook, no final snapshot. Restart on the
+    // same address and data directory.
+    let mut child = child;
+    child.kill().expect("sigkill");
+    child.wait().expect("reap");
+    let mut child = spawn_server(&addr, &data_dir);
+
+    // Second barrier: release the ring for the remaining rounds. The
+    // flusher discovers the dead peer, re-dials, re-attaches the
+    // recovered session, and replays the unacknowledged tail.
+    pause.wait();
+    for h in handles {
+        h.join().expect("ring thread");
+    }
+
+    let report = session.close().expect("close settles across the crash");
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert_eq!(report.discarded, 0, "replay restores every event");
+    assert!(
+        !report.recreated,
+        "a durable server re-attaches the recovered session instead of recreating it"
+    );
+    assert_eq!(report.verdicts.len(), 2);
+    assert_eq!(
+        report.verdicts["goal"],
+        WireVerdict::Detected(least.counters().to_vec()),
+        "online least cut across the crash equals offline detection"
+    );
+    assert_eq!(report.verdicts["never"], WireVerdict::Impossible);
+    let m = report.metrics;
+    assert!(m.reconnects >= 1, "the crash forced a reconnect: {m:?}");
+    assert!(m.events_resent > 0, "the unacked tail was replayed: {m:?}");
+    assert_eq!(m.events_enqueued, (ROUNDS * EVENTS_PER_ROUND) as u64);
+    assert_eq!(m.events_dropped, 0);
+
+    child.kill().expect("cleanup kill");
+    child.wait().expect("cleanup reap");
+}

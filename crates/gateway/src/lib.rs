@@ -12,9 +12,11 @@
 //!
 //! - [`rendezvous`] — stable highest-random-weight placement;
 //!   removing a backend only remaps the sessions that were on it.
-//! - [`dial`] — retrying dials with capped exponential backoff and
-//!   jitter, plus the `Hello`/`Welcome` version handshake (which
-//!   doubles as the health probe).
+//! - [`dial`] — re-exported from [`hb_tracefmt::dial`]: retrying dials
+//!   with capped exponential backoff and jitter, plus the
+//!   `Hello`/`Welcome` version handshake (which doubles as the health
+//!   probe). Shared with the CLI's `--retry` flag and the hb-sdk
+//!   flusher so the whole system backs off the same way.
 //! - [`journal`] — the bounded per-session frame record that makes
 //!   replay possible and refuses to replay a truncated prefix.
 //! - [`metrics`] — relaxed-atomic counters in the monitor's style.
@@ -34,12 +36,11 @@
 
 #![warn(missing_docs)]
 
-pub mod dial;
+pub use hb_tracefmt::dial;
 pub mod journal;
 pub mod metrics;
 pub mod rendezvous;
 pub mod service;
 
-pub use dial::{connect_with_retry, dial, RetryPolicy};
 pub use metrics::{GatewayMetrics, GatewaySnapshot};
 pub use service::{GatewayConfig, GatewayService};

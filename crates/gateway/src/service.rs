@@ -30,7 +30,7 @@
 //! backends and its journal replayed — the new backend sees the same
 //! `open`/`event` stream the old one did, re-runs detection, and
 //! re-settles the same verdicts. The gateway suppresses verdicts the
-//! client has already seen ([`SessionEntry::settled`]), so a client
+//! client has already seen (`SessionEntry::settled`), so a client
 //! never observes a duplicate. A session whose journal overflowed its
 //! bound is *dropped with an explicit error* instead of being replayed
 //! from a truncated prefix (which would silently corrupt detector
@@ -245,7 +245,7 @@ impl GatewayService {
     }
 
     /// Serves the wire protocol until a client sends `shutdown`.
-    /// Mirrors [`hb_monitor::service::serve`]: one reader thread per
+    /// Mirrors `hb_monitor::service::serve`: one reader thread per
     /// connection, one writer thread draining its sink.
     pub fn serve(&self, listener: TcpListener) -> std::io::Result<()> {
         let addr = listener.local_addr()?;

@@ -55,6 +55,9 @@ pub struct Metrics {
     pub snapshot_unix_secs: AtomicU64,
     /// Sessions rebuilt from the snapshot at startup.
     pub sessions_recovered: AtomicU64,
+    /// Recovered sessions a post-restart client re-attached to (its
+    /// first message naming the session adopts its reply sink).
+    pub sessions_reattached: AtomicU64,
     /// WAL records replayed at startup.
     pub recovery_replayed: AtomicU64,
     /// Wall-clock milliseconds the startup recovery took.
@@ -102,6 +105,7 @@ impl Metrics {
             snapshots_written: self.snapshots_written.load(Relaxed),
             snapshot_unix_secs: self.snapshot_unix_secs.load(Relaxed),
             sessions_recovered: self.sessions_recovered.load(Relaxed),
+            sessions_reattached: self.sessions_reattached.load(Relaxed),
             recovery_replayed: self.recovery_replayed.load(Relaxed),
             recovery_millis: self.recovery_millis.load(Relaxed),
             recovery_truncated_bytes: self.recovery_truncated_bytes.load(Relaxed),
@@ -132,6 +136,7 @@ pub struct MetricsSnapshot {
     pub snapshots_written: u64,
     pub snapshot_unix_secs: u64,
     pub sessions_recovered: u64,
+    pub sessions_reattached: u64,
     pub recovery_replayed: u64,
     pub recovery_millis: u64,
     pub recovery_truncated_bytes: u64,
@@ -160,6 +165,7 @@ impl MetricsSnapshot {
             ("snapshots_written", self.snapshots_written),
             ("snapshot_unix_secs", self.snapshot_unix_secs),
             ("sessions_recovered", self.sessions_recovered),
+            ("sessions_reattached", self.sessions_reattached),
             ("recovery_replayed", self.recovery_replayed),
             ("recovery_millis", self.recovery_millis),
             ("recovery_truncated_bytes", self.recovery_truncated_bytes),
@@ -218,7 +224,7 @@ mod tests {
         m.events_ingested.fetch_add(5, Relaxed);
         let map = m.snapshot().to_map();
         assert_eq!(map["events_ingested"], 5);
-        assert_eq!(map.len(), 22);
+        assert_eq!(map.len(), 23);
     }
 
     #[test]

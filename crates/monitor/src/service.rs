@@ -649,12 +649,13 @@ fn send_verdicts(
 /// First client contact with a recovered session: adopt the client's
 /// sink and re-report everything that settled before the crash (the
 /// client that originally received those verdicts is gone).
-fn attach(slot: &mut Slot, name: &str, sink: &Sender<ServerMsg>) {
+fn attach(slot: &mut Slot, name: &str, sink: &Sender<ServerMsg>, metrics: &Metrics) {
     if slot.attached {
         return;
     }
     slot.sink = sink.clone();
     slot.attached = true;
+    metrics.sessions_reattached.fetch_add(1, Ordering::Relaxed);
     for v in slot.session.all_verdicts() {
         if !matches!(v.verdict, OnlineVerdict::Pending) {
             let _ = slot.sink.send(ServerMsg::Verdict {
@@ -767,7 +768,7 @@ fn shard_worker(
                     );
                     continue;
                 };
-                attach(slot, &session, &sink);
+                attach(slot, &session, &sink, &metrics);
                 metrics.events_ingested.fetch_add(1, Ordering::Relaxed);
                 let held_before = slot.session.held();
                 let delivered_before = slot.session.delivered();
@@ -815,7 +816,7 @@ fn shard_worker(
                     );
                     continue;
                 };
-                attach(slot, &session, &sink);
+                attach(slot, &session, &sink, &metrics);
                 match slot.session.finish_process(p) {
                     Ok(verdicts) => send_verdicts(&session, verdicts, &slot.sink, &metrics),
                     Err(e) => err(&slot.sink.clone(), Some(&session), e.to_string(), &metrics),
@@ -823,7 +824,7 @@ fn shard_worker(
             }
             Cmd::Close { session, sink } => match slots.remove(&session) {
                 Some(mut slot) => {
-                    attach(&mut slot, &session, &sink);
+                    attach(&mut slot, &session, &sink, &metrics);
                     close_slot(&session, slot, &metrics);
                 }
                 None => err(

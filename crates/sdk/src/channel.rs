@@ -1,0 +1,95 @@
+//! Instrumented `std::sync::mpsc` wrappers.
+//!
+//! For programs whose "distributed processes" are threads, the traced
+//! channel makes propagation invisible: `send` records a send event on
+//! the sender's tracer and tags the payload with its [`CausalContext`];
+//! `recv` records a receive event on the receiver's tracer after
+//! merging the sender's context back in. Application code moves plain
+//! `T`s; the causal metadata rides alongside.
+
+use crate::context::CausalContext;
+use crate::tracer::Tracer;
+use std::sync::mpsc::{self, RecvError, RecvTimeoutError, SendError, TryRecvError};
+use std::time::Duration;
+
+/// Creates an unbounded traced channel.
+pub fn traced_channel<T>() -> (TracedSender<T>, TracedReceiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (TracedSender { tx }, TracedReceiver { rx })
+}
+
+/// The sending half; cloneable like `mpsc::Sender`.
+pub struct TracedSender<T> {
+    tx: mpsc::Sender<(CausalContext, T)>,
+}
+
+impl<T> Clone for TracedSender<T> {
+    fn clone(&self) -> Self {
+        TracedSender {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<T> TracedSender<T> {
+    /// Records a send event on `tracer` (no variable updates) and
+    /// sends the tagged value.
+    pub fn send(&self, tracer: &mut Tracer, value: T) -> Result<(), SendError<T>> {
+        self.send_with(tracer, value, &[])
+    }
+
+    /// Like [`send`](Self::send), with variable updates applied at the
+    /// send event. The event is recorded even if the receiver is gone
+    /// — the local action happened either way.
+    pub fn send_with(
+        &self,
+        tracer: &mut Tracer,
+        value: T,
+        updates: &[(&str, i64)],
+    ) -> Result<(), SendError<T>> {
+        let ctx = tracer.send(updates);
+        self.tx
+            .send((ctx, value))
+            .map_err(|SendError((_, value))| SendError(value))
+    }
+}
+
+/// The receiving half.
+pub struct TracedReceiver<T> {
+    rx: mpsc::Receiver<(CausalContext, T)>,
+}
+
+impl<T> TracedReceiver<T> {
+    /// Blocks for the next value, recording a receive event on
+    /// `tracer` (no variable updates).
+    pub fn recv(&self, tracer: &mut Tracer) -> Result<T, RecvError> {
+        self.recv_with(tracer, &[])
+    }
+
+    /// Like [`recv`](Self::recv), with variable updates applied at the
+    /// receive event.
+    pub fn recv_with(&self, tracer: &mut Tracer, updates: &[(&str, i64)]) -> Result<T, RecvError> {
+        let (ctx, value) = self.rx.recv()?;
+        tracer.receive(&ctx, updates);
+        Ok(value)
+    }
+
+    /// Non-blocking receive; records a receive event only when a value
+    /// actually arrived.
+    pub fn try_recv(&self, tracer: &mut Tracer) -> Result<T, TryRecvError> {
+        let (ctx, value) = self.rx.try_recv()?;
+        tracer.receive(&ctx, &[]);
+        Ok(value)
+    }
+
+    /// Receive with a timeout; records a receive event only on success.
+    pub fn recv_timeout(
+        &self,
+        tracer: &mut Tracer,
+        timeout: Duration,
+    ) -> Result<T, RecvTimeoutError> {
+        let (ctx, value) = self.rx.recv_timeout(timeout)?;
+        tracer.receive(&ctx, &[]);
+        Ok(value)
+    }
+}

@@ -1,0 +1,88 @@
+//! Causal context propagation — the SDK's analogue of a W3C
+//! `traceparent` header.
+//!
+//! A [`CausalContext`] is the vector clock of a send event. The sender
+//! attaches it to the outgoing message (in-process: carried by value
+//! through the traced channels; cross-process: [`CausalContext::inject`]
+//! renders it as a header string and [`CausalContext::extract`] parses
+//! it back). The receiver merges it into its own clock, which is what
+//! makes the happened-before relation observable to the monitor.
+
+use crate::SdkError;
+use hb_vclock::VectorClock;
+
+/// The causal metadata a message carries from send to receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalContext {
+    clock: VectorClock,
+}
+
+impl CausalContext {
+    /// The conventional header/key name for an injected context, for
+    /// programs that propagate it through message envelopes or RPC
+    /// metadata maps.
+    pub const HEADER: &'static str = "hbtl-causal-context";
+
+    pub(crate) fn new(clock: VectorClock) -> Self {
+        CausalContext { clock }
+    }
+
+    /// The send event's vector clock.
+    pub fn clock(&self) -> &VectorClock {
+        &self.clock
+    }
+
+    /// Renders the context as a compact header value: the clock
+    /// components joined by commas (`"2,1,0"`).
+    pub fn inject(&self) -> String {
+        self.clock
+            .components()
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses a value produced by [`inject`](Self::inject).
+    pub fn extract(value: &str) -> Result<Self, SdkError> {
+        let trimmed = value.trim();
+        if trimmed.is_empty() {
+            return Err(SdkError::Session("empty causal context".into()));
+        }
+        let components = trimmed
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse::<u32>()
+                    .map_err(|_| SdkError::Session(format!("bad causal context '{value}'")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CausalContext::new(VectorClock::from_components(components)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_extract_round_trip() {
+        let ctx = CausalContext::new(VectorClock::from_components(vec![2, 1, 0]));
+        let header = ctx.inject();
+        assert_eq!(header, "2,1,0");
+        assert_eq!(CausalContext::extract(&header).unwrap(), ctx);
+    }
+
+    #[test]
+    fn extract_rejects_garbage() {
+        assert!(CausalContext::extract("").is_err());
+        assert!(CausalContext::extract("1,x,3").is_err());
+        assert!(CausalContext::extract("1;2").is_err());
+    }
+
+    #[test]
+    fn extract_tolerates_whitespace() {
+        let ctx = CausalContext::extract(" 1, 2 ,3 ").unwrap();
+        assert_eq!(ctx.clock().components(), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,360 @@
+//! The background flusher: drains the event queue in batches, tracks
+//! acknowledgement barriers, and survives server restarts.
+//!
+//! ## Delivery model
+//!
+//! The flusher provides **at-least-once** delivery. Every event
+//! written to the transport stays in an `unacked` log until a barrier
+//! confirms it: after `ack_every` events the flusher sends a `Stats`
+//! request, and because the server processes a connection's frames in
+//! order, the `Stats` reply proves everything sent before it was
+//! ingested (and, under `--data-dir`, WAL-ed). Barriers are FIFO, so
+//! each reply retires a known prefix of the log.
+//!
+//! ## Reconnect and re-attach
+//!
+//! When a send fails or the reader thread reports the peer gone, the
+//! flusher re-dials through the shared jittered-backoff dialer and
+//! replays: the original `Open` (a durable server answers "already
+//! open" — benign, it proves the session survived; a fresh server
+//! recreates it), then the whole unacked tail, then a new barrier.
+//! Events the server already ingested are rejected as duplicates,
+//! which the monitor treats idempotently — also benign. Anything the
+//! crash destroyed is thereby restored from the client side.
+
+use crate::metrics::SdkMetrics;
+use crate::queue::{EventRec, Item};
+use crate::session::{CloseReport, SessionConfig};
+use crate::transport::Transport;
+use hb_tracefmt::wire::{ClientMsg, ServerMsg, WireVerdict};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Control-plane messages from the session to its flusher.
+pub(crate) enum Ctrl {
+    /// Drain everything, close on the server, reply with the report.
+    Close {
+        reply: crossbeam::channel::Sender<Result<CloseReport, String>>,
+    },
+}
+
+/// Server error substrings that are expected artifacts of re-attach
+/// and at-least-once replay, not failures.
+const BENIGN_ERRORS: &[&str] = &["already open", "duplicate event", "already finished"];
+
+/// Full reconnect cycles (dial + replay) before the session is
+/// declared failed. Each cycle already spends the transport's own
+/// retry budget dialing.
+const MAX_RECOVERY_ROUNDS: u32 = 5;
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn(
+    transport: Box<dyn Transport>,
+    open_msg: ClientMsg,
+    session: String,
+    processes: usize,
+    cfg: SessionConfig,
+    metrics: Arc<SdkMetrics>,
+    events: crossbeam::channel::Receiver<Item>,
+    ctrl: crossbeam::channel::Receiver<Ctrl>,
+) -> JoinHandle<Box<dyn Transport>> {
+    let flusher = Flusher {
+        transport,
+        open_msg,
+        session: session.clone(),
+        processes,
+        cfg,
+        metrics,
+        events,
+        ctrl,
+        unacked: VecDeque::new(),
+        barriers: VecDeque::new(),
+        since_ack: 0,
+        verdicts: BTreeMap::new(),
+        errors: Vec::new(),
+        closed_discarded: None,
+        recreated: false,
+        failed: None,
+    };
+    std::thread::Builder::new()
+        .name(format!("hb-sdk-flush-{session}"))
+        .spawn(move || flusher.run())
+        .expect("spawn flusher thread")
+}
+
+struct Flusher {
+    transport: Box<dyn Transport>,
+    open_msg: ClientMsg,
+    session: String,
+    processes: usize,
+    cfg: SessionConfig,
+    metrics: Arc<SdkMetrics>,
+    events: crossbeam::channel::Receiver<Item>,
+    ctrl: crossbeam::channel::Receiver<Ctrl>,
+    /// Events written but not yet covered by a confirmed barrier.
+    unacked: VecDeque<ClientMsg>,
+    /// Outstanding barriers: how many unacked-log entries each covers.
+    barriers: VecDeque<usize>,
+    /// Events since the last barrier was sent.
+    since_ack: usize,
+    verdicts: BTreeMap<String, WireVerdict>,
+    errors: Vec<String>,
+    closed_discarded: Option<u64>,
+    recreated: bool,
+    /// Set once recovery is exhausted; further events are counted as
+    /// dropped so blocked producers drain instead of deadlocking.
+    failed: Option<String>,
+}
+
+impl Flusher {
+    fn run(mut self) -> Box<dyn Transport> {
+        loop {
+            match self.events.recv_timeout(Duration::from_millis(10)) {
+                Ok(item) => self.collect_and_send(item),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    // Session and tracers gone; only a Close can follow.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            self.drain_replies();
+            if self.failed.is_none() && !self.transport.healthy() {
+                self.reconnect_and_replay();
+            }
+            if let Ok(Ctrl::Close { reply }) = self.ctrl.try_recv() {
+                let result = self.do_close();
+                let _ = reply.send(result);
+                return self.transport;
+            }
+        }
+    }
+
+    /// Pulls up to a batch out of the queue and forwards it.
+    fn collect_and_send(&mut self, first: Item) {
+        let mut batch = Vec::new();
+        if let Item::Event(rec) = first {
+            batch.push(rec);
+        }
+        while batch.len() < self.cfg.batch_max {
+            match self.events.try_recv() {
+                Ok(Item::Event(rec)) => batch.push(rec),
+                Ok(Item::Wake) | Err(_) => break,
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        self.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        for rec in batch {
+            self.forward(rec);
+        }
+    }
+
+    fn forward(&mut self, rec: EventRec) {
+        self.metrics.queued.fetch_sub(1, Ordering::Relaxed);
+        if self.failed.is_some() {
+            self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let msg = ClientMsg::Event {
+            session: self.session.clone(),
+            p: rec.p,
+            clock: rec.clock,
+            set: rec.set,
+        };
+        if self.send_or_recover(&msg) {
+            self.unacked.push_back(msg);
+            self.metrics.sent.fetch_add(1, Ordering::Relaxed);
+            self.since_ack += 1;
+            if self.since_ack >= self.cfg.ack_every {
+                self.barrier();
+            }
+        } else {
+            self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Sends an acknowledgement barrier covering the current unacked
+    /// log.
+    fn barrier(&mut self) {
+        if self.send_or_recover(&ClientMsg::Stats) {
+            self.barriers.push_back(self.unacked.len());
+            self.since_ack = 0;
+        }
+    }
+
+    /// Writes one frame; on failure runs a full reconnect-and-replay
+    /// cycle and retries once. Returns `false` only when the session
+    /// has failed for good.
+    fn send_or_recover(&mut self, msg: &ClientMsg) -> bool {
+        if self.failed.is_some() {
+            return false;
+        }
+        if self.transport.send(msg).is_ok() {
+            return true;
+        }
+        if self.reconnect_and_replay() {
+            match self.transport.send(msg) {
+                Ok(()) => return true,
+                Err(e) => self.fail(e),
+            }
+        }
+        false
+    }
+
+    /// Re-dials and replays `Open` + the unacked tail + a fresh
+    /// barrier. Returns `true` once the connection is usable again.
+    fn reconnect_and_replay(&mut self) -> bool {
+        let mut last = String::new();
+        for _ in 0..MAX_RECOVERY_ROUNDS {
+            self.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = self.transport.reconnect() {
+                last = e;
+                continue; // the transport's own policy already backed off
+            }
+            // Replies to pre-crash barriers will never arrive; the
+            // replay below re-covers the whole log with a new one.
+            self.barriers.clear();
+            self.since_ack = 0;
+            match self.replay() {
+                Ok(()) => return true,
+                Err(e) => last = e,
+            }
+        }
+        self.fail(format!(
+            "gave up on {} after {MAX_RECOVERY_ROUNDS} recovery rounds: {last}",
+            self.transport.describe()
+        ));
+        false
+    }
+
+    fn replay(&mut self) -> Result<(), String> {
+        self.transport.send(&self.open_msg)?;
+        for msg in &self.unacked {
+            self.transport.send(msg)?;
+            self.metrics.resent.fetch_add(1, Ordering::Relaxed);
+        }
+        self.transport.send(&ClientMsg::Stats)?;
+        self.barriers.push_back(self.unacked.len());
+        Ok(())
+    }
+
+    fn drain_replies(&mut self) {
+        while let Some(msg) = self.transport.poll() {
+            match msg {
+                ServerMsg::Opened { .. } => {
+                    // Only reachable via replay: the server had no
+                    // trace of the session, so it was rebuilt from the
+                    // unacked tail.
+                    self.recreated = true;
+                }
+                ServerMsg::Verdict {
+                    predicate, verdict, ..
+                } => {
+                    self.metrics.verdicts.fetch_add(1, Ordering::Relaxed);
+                    let settled = matches!(
+                        self.verdicts.get(&predicate),
+                        Some(v) if *v != WireVerdict::Pending
+                    );
+                    // A settled verdict is final; a recreated session
+                    // replaying a partial trace must not unsettle it.
+                    if !settled {
+                        self.verdicts.insert(predicate, verdict);
+                    }
+                }
+                ServerMsg::Closed { discarded, .. } => {
+                    self.closed_discarded = Some(discarded);
+                }
+                ServerMsg::Stats { .. } => {
+                    self.metrics.acks.fetch_add(1, Ordering::Relaxed);
+                    if let Some(covered) = self.barriers.pop_front() {
+                        let covered = covered.min(self.unacked.len());
+                        self.unacked.drain(..covered);
+                    }
+                }
+                ServerMsg::Error { message, .. } => {
+                    if BENIGN_ERRORS.iter().any(|b| message.contains(b)) {
+                        continue;
+                    }
+                    self.metrics.server_errors.fetch_add(1, Ordering::Relaxed);
+                    if self.errors.len() < 32 {
+                        self.errors.push(message);
+                    }
+                }
+                ServerMsg::Welcome { .. } | ServerMsg::Drained { .. } | ServerMsg::Bye => {}
+            }
+        }
+    }
+
+    fn do_close(&mut self) -> Result<CloseReport, String> {
+        // Everything still queued goes out first.
+        loop {
+            match self.events.try_recv() {
+                Ok(Item::Event(rec)) => self.forward(rec),
+                Ok(Item::Wake) => continue,
+                Err(_) => break,
+            }
+        }
+        if let Some(reason) = &self.failed {
+            return Err(reason.clone());
+        }
+        // Barrier the tail so a crash inside the close window can't
+        // lose events, then finish every process and close.
+        self.barrier();
+        self.send_finish_and_close();
+        let deadline = Instant::now() + self.cfg.close_timeout;
+        while self.closed_discarded.is_none() {
+            self.drain_replies();
+            if let Some(reason) = &self.failed {
+                return Err(reason.clone());
+            }
+            if self.closed_discarded.is_some() {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "no close acknowledgement from {} within {:?}",
+                    self.transport.describe(),
+                    self.cfg.close_timeout
+                ));
+            }
+            if !self.transport.healthy() {
+                if self.reconnect_and_replay() {
+                    // The replay restored the event tail; repeat the
+                    // finish/close sequence on the new connection.
+                    self.send_finish_and_close();
+                }
+            } else {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        Ok(CloseReport {
+            verdicts: std::mem::take(&mut self.verdicts),
+            discarded: self.closed_discarded.unwrap_or(0),
+            recreated: self.recreated,
+            errors: std::mem::take(&mut self.errors),
+            metrics: self.metrics.snapshot(),
+        })
+    }
+
+    fn send_finish_and_close(&mut self) {
+        for p in 0..self.processes {
+            self.send_or_recover(&ClientMsg::FinishProcess {
+                session: self.session.clone(),
+                p,
+            });
+        }
+        self.send_or_recover(&ClientMsg::Close {
+            session: self.session.clone(),
+        });
+    }
+
+    fn fail(&mut self, reason: String) {
+        if self.failed.is_none() {
+            self.failed = Some(reason);
+        }
+    }
+}

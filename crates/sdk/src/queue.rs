@@ -1,0 +1,91 @@
+//! The bounded hand-off between application threads and the flusher.
+//!
+//! Tracers must never do I/O on the application's critical path, so
+//! they push onto a bounded channel and the background flusher drains
+//! it. What happens when the flusher falls behind is an explicit
+//! policy, and every lost event is counted.
+
+use crate::metrics::SdkMetrics;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// What a tracer does when the event queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Block the application thread until the flusher drains (lossless
+    /// backpressure; the default).
+    #[default]
+    Block,
+    /// Drop the new event and count it in `events_dropped` (bounded
+    /// latency; the trace develops gaps the monitor will report as
+    /// undeliverable events).
+    DropNewest,
+}
+
+/// One recorded event, queued for the flusher.
+#[derive(Debug)]
+pub(crate) struct EventRec {
+    pub p: usize,
+    pub clock: Vec<u32>,
+    pub set: BTreeMap<String, i64>,
+}
+
+/// Queue items: events, plus a wake nudge so `close()` doesn't wait
+/// out the flusher's poll interval.
+#[derive(Debug)]
+pub(crate) enum Item {
+    Event(EventRec),
+    Wake,
+}
+
+/// The enqueue half, cloned into every tracer (and the session, for
+/// the raw replay API).
+#[derive(Clone)]
+pub(crate) struct EventQueue {
+    tx: crossbeam::channel::Sender<Item>,
+    policy: OverflowPolicy,
+    metrics: Arc<SdkMetrics>,
+}
+
+impl EventQueue {
+    pub(crate) fn new(
+        tx: crossbeam::channel::Sender<Item>,
+        policy: OverflowPolicy,
+        metrics: Arc<SdkMetrics>,
+    ) -> Self {
+        EventQueue {
+            tx,
+            policy,
+            metrics,
+        }
+    }
+
+    /// Enqueues one event under the overflow policy. Returns `false`
+    /// (and counts a drop) if the event was lost — queue full under
+    /// `DropNewest`, or flusher already gone.
+    pub(crate) fn push(&self, rec: EventRec) -> bool {
+        self.metrics.enqueued.fetch_add(1, Ordering::Relaxed);
+        // Count the event *before* it becomes visible to the flusher,
+        // or its decrement could land first and underflow the gauge.
+        let depth = self.metrics.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics
+            .queue_high_water
+            .fetch_max(depth, Ordering::Relaxed);
+        let accepted = match self.policy {
+            OverflowPolicy::Block => self.tx.send(Item::Event(rec)).is_ok(),
+            OverflowPolicy::DropNewest => self.tx.try_send(Item::Event(rec)).is_ok(),
+        };
+        if !accepted {
+            self.metrics.queued.fetch_sub(1, Ordering::Relaxed);
+            self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        accepted
+    }
+
+    /// Nudges the flusher out of its poll sleep (never blocks, never
+    /// counts as an event).
+    pub(crate) fn wake(&self) {
+        let _ = self.tx.try_send(Item::Wake);
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-process vector-clock bookkeeping.
+//!
+//! A [`Tracer`] is owned by exactly one logical process (usually a
+//! thread). Every observable action ticks the process's own clock
+//! component *before* the event is recorded, matching the Fidge/
+//! Mattern convention the offline pipeline uses: an event's clock
+//! includes itself.
+
+use crate::context::CausalContext;
+use crate::queue::{EventQueue, EventRec};
+use hb_vclock::VectorClock;
+use std::collections::BTreeMap;
+
+/// The per-process handle that stamps and records events.
+///
+/// Not `Clone` and not shareable: one tracer is one process, and its
+/// clock must advance from a single thread at a time (move it into the
+/// thread that plays that process).
+pub struct Tracer {
+    process: usize,
+    clock: VectorClock,
+    queue: EventQueue,
+}
+
+impl Tracer {
+    pub(crate) fn new(process: usize, width: usize, queue: EventQueue) -> Self {
+        Tracer {
+            process,
+            clock: VectorClock::new(width),
+            queue,
+        }
+    }
+
+    /// The process index this tracer plays.
+    pub fn process(&self) -> usize {
+        self.process
+    }
+
+    /// The clock of the last recorded event (all zeros before the
+    /// first one).
+    pub fn clock(&self) -> &VectorClock {
+        &self.clock
+    }
+
+    /// Records a local (internal) event applying the given variable
+    /// updates, e.g. `tracer.record(&[("x", 2)])`. An empty slice is a
+    /// pure control event.
+    pub fn record(&mut self, updates: &[(&str, i64)]) {
+        self.clock.tick(self.process);
+        self.emit(updates);
+    }
+
+    /// Records a message-send event and returns the [`CausalContext`]
+    /// to attach to the outgoing message. The receiver passes it to
+    /// [`receive`](Self::receive) (or use the [`crate::channel`]
+    /// wrappers, which carry it automatically).
+    #[must_use = "attach the returned context to the outgoing message"]
+    pub fn send(&mut self, updates: &[(&str, i64)]) -> CausalContext {
+        self.clock.tick(self.process);
+        self.emit(updates);
+        CausalContext::new(self.clock.clone())
+    }
+
+    /// Records a message-receive event: merges the sender's context
+    /// into this process's clock (component-wise max), then ticks and
+    /// records. This is the only place causality crosses processes.
+    pub fn receive(&mut self, ctx: &CausalContext, updates: &[(&str, i64)]) {
+        self.clock.merge(ctx.clock());
+        self.clock.tick(self.process);
+        self.emit(updates);
+    }
+
+    fn emit(&mut self, updates: &[(&str, i64)]) {
+        let set: BTreeMap<String, i64> = updates
+            .iter()
+            .map(|&(var, value)| (var.to_string(), value))
+            .collect();
+        self.queue.push(EventRec {
+            p: self.process,
+            clock: self.clock.components().to_vec(),
+            set,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SdkMetrics;
+    use crate::queue::{Item, OverflowPolicy};
+    use std::sync::Arc;
+
+    fn tracer_pair() -> (Tracer, Tracer, crossbeam::channel::Receiver<Item>) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let metrics = Arc::new(SdkMetrics::default());
+        let q = EventQueue::new(tx, OverflowPolicy::Block, metrics);
+        (Tracer::new(0, 2, q.clone()), Tracer::new(1, 2, q), rx)
+    }
+
+    #[test]
+    fn clocks_follow_the_fidge_mattern_discipline() {
+        let (mut t0, mut t1, rx) = tracer_pair();
+        t0.record(&[("x", 1)]);
+        assert_eq!(t0.clock().components(), &[1, 0]);
+        let ctx = t0.send(&[]);
+        assert_eq!(ctx.clock().components(), &[2, 0]);
+        t1.record(&[]);
+        t1.receive(&ctx, &[("y", 5)]);
+        // merge([0,1],[2,0]) = [2,1], then tick(1) → [2,2]
+        assert_eq!(t1.clock().components(), &[2, 2]);
+
+        let recs: Vec<_> = (0..4)
+            .map(|_| match rx.try_recv().unwrap() {
+                Item::Event(e) => e,
+                Item::Wake => panic!("unexpected wake"),
+            })
+            .collect();
+        assert_eq!(recs[0].clock, vec![1, 0]);
+        assert_eq!(recs[0].set["x"], 1);
+        assert_eq!(recs[3].p, 1);
+        assert_eq!(recs[3].clock, vec![2, 2]);
+        assert_eq!(recs[3].set["y"], 5);
+    }
+
+    #[test]
+    fn context_survives_inject_extract_between_tracers() {
+        let (mut t0, mut t1, _rx) = tracer_pair();
+        let header = t0.send(&[("x", 7)]).inject();
+        let ctx = CausalContext::extract(&header).unwrap();
+        t1.receive(&ctx, &[]);
+        assert_eq!(t1.clock().components(), &[1, 1]);
+    }
+}

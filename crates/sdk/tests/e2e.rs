@@ -1,0 +1,228 @@
+//! SDK acceptance tests against an in-process monitor — no sockets.
+//!
+//! The `ChannelTransport` plugs the flusher straight into a
+//! `MonitorHandle`, so these tests exercise the full client stack
+//! (tracers → queue → flusher → wire messages → monitor → verdicts)
+//! deterministically, including the reconnect/replay machinery via a
+//! fault-injecting transport wrapper.
+
+use hb_monitor::{MonitorConfig, MonitorService};
+use hb_sdk::channel::traced_channel;
+use hb_sdk::transport::{ChannelTransport, Transport};
+use hb_sdk::{CloseReport, OverflowPolicy, SessionBuilder, Tracer, WireVerdict};
+use hb_tracefmt::wire::ClientMsg;
+use std::time::Duration;
+
+/// An in-process transport bound to a fresh monitor service.
+fn monitor_transport(service: &MonitorService) -> ChannelTransport {
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let handle = service.handle();
+    ChannelTransport::new(move |msg| handle.submit(msg, &tx), rx)
+}
+
+/// The paper's Fig. 2(a) computation, played by two real threads over
+/// a traced channel: P0 runs x0=1, send(x0=2), x0=3; P1 runs x1=1,
+/// recv(x1=2), x1=3.
+fn run_fig2a(mut tracers: Vec<Tracer>) {
+    let mut t1 = tracers.pop().expect("tracer for p1");
+    let mut t0 = tracers.pop().expect("tracer for p0");
+    let (tx, rx) = traced_channel::<()>();
+    let h0 = std::thread::spawn(move || {
+        t0.record(&[("x0", 1)]);
+        tx.send_with(&mut t0, (), &[("x0", 2)]).expect("p1 alive");
+        t0.record(&[("x0", 3)]);
+    });
+    let h1 = std::thread::spawn(move || {
+        t1.record(&[("x1", 1)]);
+        rx.recv_with(&mut t1, &[("x1", 2)]).expect("p0 sent");
+        t1.record(&[("x1", 3)]);
+    });
+    h0.join().expect("p0 thread");
+    h1.join().expect("p1 thread");
+}
+
+fn fig2a_builder(name: &str) -> SessionBuilder {
+    SessionBuilder::new(name, 2)
+        .var("x0")
+        .var("x1")
+        .conjunctive("phi", &[(0, "x0", "=", 2), (1, "x1", "=", 1)])
+        .conjunctive("never", &[(0, "x0", "=", -1), (1, "x1", "=", -1)])
+}
+
+fn assert_fig2a_verdicts(report: &CloseReport) {
+    assert_eq!(report.verdicts.len(), 2, "one verdict per predicate");
+    // The offline least satisfying cut for x0=2 ∧ x1=1 is [e1 e2 | f1].
+    assert_eq!(report.verdicts["phi"], WireVerdict::Detected(vec![2, 1]));
+    assert_eq!(report.verdicts["never"], WireVerdict::Impossible);
+}
+
+#[test]
+fn traced_threads_detect_the_fig2a_cut() {
+    let service = MonitorService::start(MonitorConfig::default());
+    let transport = monitor_transport(&service);
+    let (session, tracers) = fig2a_builder("fig2a").open(Box::new(transport)).unwrap();
+    run_fig2a(tracers);
+    let report = session.close().expect("clean close");
+    assert_fig2a_verdicts(&report);
+    assert_eq!(report.discarded, 0);
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert!(!report.recreated);
+    service.shutdown();
+}
+
+#[test]
+fn metrics_account_for_every_event() {
+    let service = MonitorService::start(MonitorConfig::default());
+    let transport = monitor_transport(&service);
+    let (session, tracers) = fig2a_builder("fig2a-metrics")
+        .open(Box::new(transport))
+        .unwrap();
+    run_fig2a(tracers);
+    let report = session.metrics();
+    // 6 events entered the queue; the flusher may still be draining,
+    // but nothing was dropped.
+    assert_eq!(report.events_enqueued, 6);
+    assert_eq!(report.events_dropped, 0);
+    let report = session.close().expect("clean close");
+    assert!(report.errors.is_empty());
+    service.shutdown();
+}
+
+#[test]
+fn prometheus_exposition_renders_sdk_counters() {
+    let service = MonitorService::start(MonitorConfig::default());
+    let transport = monitor_transport(&service);
+    let (session, tracers) = fig2a_builder("fig2a-prom")
+        .open(Box::new(transport))
+        .unwrap();
+    run_fig2a(tracers);
+    let text = session.metrics().prometheus();
+    assert!(text.contains("# TYPE hbtl_sdk_events_enqueued counter"));
+    assert!(text.contains("# TYPE hbtl_sdk_events_queued gauge"));
+    assert!(text.contains("hbtl_sdk_events_enqueued 6"));
+    session.close().expect("clean close");
+    service.shutdown();
+}
+
+/// Slows every `Event` frame down so the bounded queue overflows.
+struct SlowTransport {
+    inner: ChannelTransport,
+    delay: Duration,
+}
+
+impl Transport for SlowTransport {
+    fn send(&mut self, msg: &ClientMsg) -> Result<(), String> {
+        if matches!(msg, ClientMsg::Event { .. }) {
+            std::thread::sleep(self.delay);
+        }
+        self.inner.send(msg)
+    }
+    fn poll(&mut self) -> Option<hb_tracefmt::wire::ServerMsg> {
+        self.inner.poll()
+    }
+    fn reconnect(&mut self) -> Result<(), String> {
+        self.inner.reconnect()
+    }
+    fn describe(&self) -> String {
+        "slow in-process".into()
+    }
+}
+
+#[test]
+fn drop_newest_overflow_is_counted_not_blocking() {
+    let service = MonitorService::start(MonitorConfig::default());
+    let transport = SlowTransport {
+        inner: monitor_transport(&service),
+        delay: Duration::from_millis(2),
+    };
+    let (session, mut tracers) = SessionBuilder::new("overflow", 1)
+        .var("x")
+        .conjunctive("never", &[(0, "x", "=", -1)])
+        .queue_capacity(4)
+        .overflow(OverflowPolicy::DropNewest)
+        .open(Box::new(transport))
+        .unwrap();
+    let mut t0 = tracers.pop().unwrap();
+    let total = 200u64;
+    for i in 0..total {
+        t0.record(&[("x", i as i64)]);
+        // Pause occasionally so the flusher frees a slot: the next
+        // event then enters the queue *after* a dropped predecessor,
+        // creating the causal gap this test is about.
+        if i % 50 == 0 {
+            std::thread::sleep(Duration::from_millis(8));
+        }
+    }
+    let snap = session.metrics();
+    assert_eq!(snap.events_enqueued, total);
+    assert!(
+        snap.events_dropped > 0,
+        "a 2ms/event transport must overflow a 4-slot queue: {snap:?}"
+    );
+    let report = session.close().expect("close succeeds despite drops");
+    // Dropped events leave causal gaps, so the monitor holds the
+    // successors back and discards them at close.
+    assert!(report.discarded > 0, "{report:?}");
+    // Everything enqueued was either sent or dropped, and nothing is
+    // left in the queue after close.
+    let m = report.metrics;
+    assert_eq!(m.events_enqueued, m.events_sent + m.events_dropped);
+    assert_eq!(m.events_queued, 0);
+    service.shutdown();
+}
+
+/// Fails exactly one `send` to force a reconnect-and-replay cycle.
+struct FlakyTransport {
+    inner: ChannelTransport,
+    fail_at: usize,
+    sent: usize,
+    tripped: bool,
+}
+
+impl Transport for FlakyTransport {
+    fn send(&mut self, msg: &ClientMsg) -> Result<(), String> {
+        self.sent += 1;
+        if !self.tripped && self.sent == self.fail_at {
+            self.tripped = true;
+            return Err("injected connection loss".into());
+        }
+        self.inner.send(msg)
+    }
+    fn poll(&mut self) -> Option<hb_tracefmt::wire::ServerMsg> {
+        self.inner.poll()
+    }
+    fn reconnect(&mut self) -> Result<(), String> {
+        self.inner.reconnect()
+    }
+    fn describe(&self) -> String {
+        "flaky in-process".into()
+    }
+}
+
+#[test]
+fn reconnect_replays_the_unacked_tail_without_corrupting_verdicts() {
+    let service = MonitorService::start(MonitorConfig::default());
+    let transport = FlakyTransport {
+        inner: monitor_transport(&service),
+        // Frame 1 is the Open; fail on an event a few frames later.
+        fail_at: 4,
+        sent: 0,
+        tripped: false,
+    };
+    // ack_every high: nothing is acked before the failure, so the
+    // whole prefix must be replayed.
+    let (session, tracers) = fig2a_builder("flaky")
+        .ack_every(1000)
+        .open(Box::new(transport))
+        .unwrap();
+    run_fig2a(tracers);
+    let report = session.close().expect("close settles through the replay");
+    assert_fig2a_verdicts(&report);
+    // The monitor never lost the session, so replaying the Open and
+    // the tail produced only benign already-open/duplicate errors.
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert!(!report.recreated);
+    assert_eq!(report.metrics.reconnects, 1, "{:?}", report.metrics);
+    assert!(report.metrics.events_resent > 0, "{:?}", report.metrics);
+    service.shutdown();
+}

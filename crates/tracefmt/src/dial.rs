@@ -1,12 +1,13 @@
 //! Dialing with retry, backoff, and the protocol handshake.
 //!
 //! Every outbound TCP connection in the system goes through here: the
-//! gateway's backend pool, its health probes, and the `hbtl` client
-//! commands (`monitor send --retry`, `loadgen`). Retries use capped
-//! exponential backoff with jitter so a thundering herd of reconnecting
-//! clients spreads out instead of synchronizing on the retry schedule.
+//! gateway's backend pool, its health probes, the `hbtl` client
+//! commands (`monitor send --retry`, `loadgen`), and the hb-sdk
+//! flusher's reconnect loop. Retries use capped exponential backoff
+//! with jitter so a thundering herd of reconnecting clients spreads
+//! out instead of synchronizing on the retry schedule.
 
-use hb_tracefmt::wire::{self, ClientMsg, ServerMsg};
+use crate::wire::{self, ClientMsg, ServerMsg};
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::time::{Duration, SystemTime};

@@ -13,7 +13,9 @@
 //!
 //! It also defines the [`wire`] module: the framed message protocol the
 //! `hb-monitor` streaming service speaks over TCP or in-process byte
-//! streams.
+//! streams — plus two small protocol-adjacent utilities every client
+//! shares: the jittered-backoff [`dial`] helpers and the Prometheus
+//! text renderer in [`prom`].
 //!
 //! Both directions validate: imports reject unknown processes, receives
 //! without a preceding send, double receives, and malformed variable
@@ -41,7 +43,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dial;
 mod json;
+pub mod prom;
 mod text;
 pub mod wire;
 

@@ -1,14 +1,15 @@
 //! Prometheus text exposition (version 0.0.4) for the wire `stats`
 //! counter maps — what `hbtl monitor stats --prometheus` and
-//! `hbtl gateway stats --prometheus` print, ready for a scrape
+//! `hbtl gateway stats --prometheus` print, and what the hb-sdk
+//! client metrics snapshot renders through, ready for a scrape
 //! sidecar or `curl | promtool check metrics`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Counter names that are point-in-time levels, not monotone counts.
-/// Matched after stripping the gateway's `gateway_` prefix so both
-/// services share one list.
+/// Matched after stripping the gateway's `gateway_` and the SDK's
+/// `sdk_` prefixes so all three emitters share one list.
 const GAUGES: &[&str] = &[
     "sessions_active",
     "events_held",
@@ -18,6 +19,8 @@ const GAUGES: &[&str] = &[
     "backends_healthy",
     "backends_total",
     "backends_reporting",
+    "events_queued",
+    "queue_high_water",
 ];
 
 /// Renders one `# TYPE` line and one sample per counter, namespaced
@@ -25,7 +28,10 @@ const GAUGES: &[&str] = &[
 pub fn render(counters: &BTreeMap<String, u64>) -> String {
     let mut out = String::new();
     for (name, value) in counters {
-        let base = name.strip_prefix("gateway_").unwrap_or(name);
+        let base = name
+            .strip_prefix("gateway_")
+            .or_else(|| name.strip_prefix("sdk_"))
+            .unwrap_or(name);
         let kind = if GAUGES.contains(&base) {
             "gauge"
         } else {

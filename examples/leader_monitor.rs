@@ -2,60 +2,159 @@
 //! that performs leader election may be monitored to ensure that
 //! processes agree on the current leader."
 //!
-//! Runs Chang–Roberts on a ring, then checks:
+//! A real Chang–Roberts election runs on four threads, instrumented
+//! with [`hbtl::sdk`] tracers and traced channels, streaming live to a
+//! monitor that checks:
 //!
-//! * `AF(agreement)` — agreement on the max id is *inevitable* (holds on
-//!   every observation of the trace), via `AF(conjunctive)`;
-//! * no process ever believes a non-winner, via `EF` per (process, id);
-//! * the `E[no-leader U agreement]` until-spec, via Algorithm A3.
+//! * `EF(agreement)` — some consistent cut has every process agreeing
+//!   on the max id (the monitor fires the moment it becomes possible);
+//! * no process ever believes a non-winner, via an `EF` that must
+//!   settle `Impossible`.
+//!
+//! The offline detectors then analyse a simulated election for the
+//! richer properties that need the full recorded trace: `AF(agreement)`
+//! (inevitability) and the `E[no-leader U agreement]` until-spec.
 //!
 //! ```text
 //! cargo run --example leader_monitor
 //! ```
 
+use hb_monitor::{MonitorConfig, MonitorService};
 use hbtl::detect::{af_conjunctive, ef_linear, eu_conjunctive_linear};
 use hbtl::prelude::*;
+use hbtl::sdk::channel::{traced_channel, TracedReceiver, TracedSender};
+use hbtl::sdk::transport::ChannelTransport;
+use hbtl::sdk::{SessionBuilder, Tracer, WireVerdict};
 use hbtl::sim::protocols::leader_election;
 
+/// Ring messages: election tokens carry a candidate id, the winner's
+/// announcement circulates once.
+#[derive(Clone, Copy)]
+enum Token {
+    Elect(i64),
+    Announce(i64),
+}
+
+/// One Chang–Roberts participant: forward larger ids, drop smaller
+/// ones, win on your own id coming back, adopt and forward the
+/// announcement.
+fn participant(my_id: i64, mut tracer: Tracer, tx: TracedSender<Token>, rx: TracedReceiver<Token>) {
+    tx.send_with(&mut tracer, Token::Elect(my_id), &[])
+        .expect("ring alive");
+    loop {
+        let token = rx.recv_with(&mut tracer, &[]).expect("ring alive");
+        match token {
+            Token::Elect(id) if id > my_id => {
+                tx.send_with(&mut tracer, Token::Elect(id), &[])
+                    .expect("ring alive");
+            }
+            Token::Elect(id) if id == my_id => {
+                // Our own id survived the whole ring: we are the leader.
+                tracer.record(&[("leader", my_id)]);
+                tx.send_with(&mut tracer, Token::Announce(my_id), &[])
+                    .expect("ring alive");
+            }
+            Token::Elect(_) => {} // smaller id: swallowed
+            Token::Announce(id) if id == my_id => return, // came full circle
+            Token::Announce(id) => {
+                tracer.record(&[("leader", id)]);
+                tx.send_with(&mut tracer, Token::Announce(id), &[])
+                    .expect("ring alive");
+                return; // edges are FIFO: nothing we still need follows
+            }
+        }
+    }
+}
+
 fn main() {
-    let n = 5;
+    let ids = [3i64, 7, 2, 5];
+    let winner = *ids.iter().max().expect("non-empty ring");
+    let n = ids.len();
+    println!("live ring of {n} threads, ids {ids:?}, expected winner {winner}");
+
+    let service = MonitorService::start(MonitorConfig::default());
+    let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+    let handle = service.handle();
+    let transport = ChannelTransport::new(move |msg| handle.submit(msg, &reply_tx), reply_rx);
+
+    let mut builder = SessionBuilder::new("election", n)
+        .var("leader")
+        .conjunctive(
+            "agreement",
+            &(0..n)
+                .map(|i| (i, "leader", "=", winner))
+                .collect::<Vec<_>>(),
+        );
+    // Every process starts leaderless, and nobody may ever adopt a
+    // losing id.
+    for i in 0..n {
+        builder = builder.init(i, "leader", -1);
+    }
+    for &loser in ids.iter().filter(|&&id| id != winner) {
+        builder = builder.disjunctive(
+            &format!("believes_{loser}"),
+            &(0..n)
+                .map(|i| (i, "leader", "=", loser))
+                .collect::<Vec<_>>(),
+        );
+    }
+    let (session, tracers) = builder
+        .open(Box::new(transport))
+        .expect("monitor accepts the session");
+
+    // Wire the ring: thread i sends to thread (i+1) % n.
+    let (mut txs, mut rxs) = (Vec::new(), Vec::new());
+    for _ in 0..n {
+        let (tx, rx) = traced_channel::<Token>();
+        txs.push(Some(tx));
+        rxs.push(Some(rx));
+    }
+    let mut threads = Vec::new();
+    for (i, tracer) in tracers.into_iter().enumerate() {
+        let tx = txs[(i + 1) % n].take().expect("each edge used once");
+        let rx = rxs[i].take().expect("each mailbox used once");
+        let my_id = ids[i];
+        threads.push(std::thread::spawn(move || {
+            participant(my_id, tracer, tx, rx)
+        }));
+    }
+    for t in threads {
+        t.join().expect("participant thread");
+    }
+
+    let report = session.close().expect("clean close");
+    println!("streamed {} events; verdicts:", report.metrics.events_sent);
+    for (id, verdict) in &report.verdicts {
+        let ok = match (id.as_str(), verdict) {
+            ("agreement", WireVerdict::Detected(_)) => "✓",
+            ("agreement", _) => "✗",
+            (_, WireVerdict::Impossible) => "✓", // believes_* must never happen
+            (_, _) => "✗",
+        };
+        println!("  {ok} EF({id}) = {verdict:?}");
+    }
+    service.shutdown();
+
+    // Offline analyses that need the complete recorded trace: run the
+    // simulator's election and check inevitability and the until-spec.
     let t = leader_election(n, 7);
     println!(
-        "ring of {n} processes, ids {:?}, expected winner {}",
-        t.ids, t.winner
-    );
-    println!(
-        "trace: {} events, {} messages",
+        "\noffline trace (simulated): {} events, {} messages, winner {}",
         t.comp.num_events(),
-        t.comp.messages().len()
+        t.comp.messages().len(),
+        t.winner
     );
-
-    // Agreement: every process's `leader` variable equals the winner.
     let agreement = Conjunctive::new(
         (0..n)
             .map(|i| (i, LocalExpr::eq(t.leader_var, t.winner)))
             .collect(),
     );
     let af = af_conjunctive(&t.comp, &agreement);
-    println!("\nAF(all agree on leader {}) = {}", t.winner, af.holds);
-
+    println!("AF(all agree on leader {}) = {}", t.winner, af.holds);
     let ef = ef_linear(&t.comp, &agreement);
     if let Some(cut) = &ef.witness {
         println!("earliest global state with full agreement: {cut}");
     }
-
-    // Negative check: nobody ever adopts a losing id.
-    let mut clean = true;
-    for i in 0..n {
-        for &id in t.ids.iter().filter(|&&id| id != t.winner) {
-            let wrong = Conjunctive::new(vec![(i, LocalExpr::eq(t.leader_var, id))]);
-            if ef_linear(&t.comp, &wrong).holds {
-                println!("BUG: P{i} believed loser {id}");
-                clean = false;
-            }
-        }
-    }
-    println!("no process ever adopts a losing id: {clean}");
 
     // Until-spec via Algorithm A3: the announcement circulates the ring
     // from the winner, so the winner's ring-predecessor learns last —

@@ -1,9 +1,10 @@
 //! On-line monitoring of real threads — the paper's two future-work
-//! items composed: live vector-clock tracing of an actual concurrent
-//! execution, feeding the **on-line** `EF(conjunctive)` detector, which
-//! fires the moment the predicate becomes possible (no lattice, no
-//! offline pass — though we run the offline algorithm afterwards to show
-//! they agree).
+//! items composed, now through the instrumentation SDK: two actual
+//! worker threads trace themselves with [`hbtl::sdk`] tracers, stream
+//! their events to a live monitor, and the **on-line** detector fires
+//! the moment the predicate becomes possible (no lattice, no offline
+//! pass — though we run the offline algorithm afterwards on a mirrored
+//! trace to show they agree).
 //!
 //! Scenario: two workers guard a resource with an optimistic lock; the
 //! monitor watches for "both hold the lock", a conjunctive predicate.
@@ -12,102 +13,87 @@
 //! cargo run --example online_monitor
 //! ```
 
+use hb_monitor::{MonitorConfig, MonitorService};
 use hbtl::detect::ef_linear;
-use hbtl::detect::online::{OnlineEfConjunctive, OnlineVerdict};
-use hbtl::predicates::{Conjunctive, LocalExpr};
-use hbtl::sim::live::LiveRecorder;
+use hbtl::predicates::{CmpOp, Conjunctive, LocalExpr};
+use hbtl::prelude::ComputationBuilder;
+use hbtl::sdk::channel::traced_channel;
+use hbtl::sdk::transport::ChannelTransport;
+use hbtl::sdk::{SessionBuilder, WireVerdict};
 
 fn main() {
-    let (rec, mut handles) = LiveRecorder::new(2);
-    let lock = rec.var("lock");
-    let (tx01, rx01) = crossbeam_channelish();
-    let (tx10, rx10) = crossbeam_channelish();
+    // A live monitor, attached in-process (swap `ChannelTransport` for
+    // `SessionBuilder::connect("host:port")` to stream to a real
+    // `hbtl monitor serve`).
+    let service = MonitorService::start(MonitorConfig::default());
+    let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+    let handle = service.handle();
+    let transport = ChannelTransport::new(move |msg| handle.submit(msg, &reply_tx), reply_rx);
 
-    let mut h1 = handles.pop().expect("handle 1");
-    let mut h0 = handles.pop().expect("handle 0");
+    let (session, mut tracers) = SessionBuilder::new("optimistic-lock", 2)
+        .var("lock")
+        .conjunctive("both_locked", &[(0, "lock", "=", 1), (1, "lock", "=", 1)])
+        .open(Box::new(transport))
+        .expect("monitor accepts the session");
 
-    // Each worker: announce, take the lock optimistically, work, release,
-    // then acknowledge the peer's announcement.
+    // Each worker: announce itself, take the lock optimistically, work,
+    // release, then acknowledge the peer's announcement. The traced
+    // channels carry the causal context automatically.
+    let mut t1 = tracers.pop().expect("tracer 1");
+    let mut t0 = tracers.pop().expect("tracer 0");
+    let (tx01, rx01) = traced_channel::<()>();
+    let (tx10, rx10) = traced_channel::<()>();
     std::thread::scope(|s| {
         s.spawn(move || {
-            let announce = h0.send(&[]);
-            tx01.send(announce).unwrap();
-            h0.internal(&[(lock, 1)]); // optimistic acquire
-            h0.internal(&[(lock, 0)]); // release
-            let peer = rx10.recv().unwrap();
-            h0.receive(peer, &[]);
-            h0.finish();
+            tx01.send_with(&mut t0, (), &[]).expect("peer alive");
+            t0.record(&[("lock", 1)]); // optimistic acquire
+            t0.record(&[("lock", 0)]); // release
+            rx10.recv_with(&mut t0, &[]).expect("peer announced");
         });
         s.spawn(move || {
-            let announce = h1.send(&[]);
-            tx10.send(announce).unwrap();
-            h1.internal(&[(lock, 1)]);
-            h1.internal(&[(lock, 0)]);
-            let peer = rx01.recv().unwrap();
-            h1.receive(peer, &[]);
-            h1.finish();
+            tx10.send_with(&mut t1, (), &[]).expect("peer alive");
+            t1.record(&[("lock", 1)]);
+            t1.record(&[("lock", 0)]);
+            rx01.recv_with(&mut t1, &[]).expect("peer announced");
         });
     });
 
-    let comp = rec.finish().expect("all threads finished");
+    // Drain, finish, and collect the settled verdicts.
+    let report = session.close().expect("clean close");
     println!(
-        "recorded live trace: {} events, {} messages",
-        comp.num_events(),
-        comp.messages().len()
+        "streamed {} events to the monitor ({} batches)",
+        report.metrics.events_sent, report.metrics.batches_flushed
     );
+    match &report.verdicts["both_locked"] {
+        WireVerdict::Detected(cut) => {
+            println!("MONITOR FIRED: both hold the lock at cut {cut:?}");
+        }
+        other => println!("monitor verdict: {other:?}"),
+    }
+    service.shutdown();
 
-    // Replay the recorded states through the on-line monitor, exactly as
-    // a checker process consuming the instrumented streams would.
+    // Offline confirmation on the mirrored trace: the workers'
+    // interleaving is deterministic per process, so the same
+    // computation can be rebuilt and checked with Chase–Garg.
+    let mut b = ComputationBuilder::new(2);
+    let lock = b.var("lock");
+    let a0 = b.send(0).done_send();
+    b.internal(0).set(lock, 1).done();
+    b.internal(0).set(lock, 0).done();
+    let a1 = b.send(1).done_send();
+    b.internal(1).set(lock, 1).done();
+    b.internal(1).set(lock, 0).done();
+    b.receive(0, a1).done();
+    b.receive(1, a0).done();
+    let comp = b.finish().expect("mirror is well-formed");
     let both = Conjunctive::new(vec![
-        (0, LocalExpr::eq(lock, 1)),
-        (1, LocalExpr::eq(lock, 1)),
+        (0, LocalExpr::Cmp(lock, CmpOp::Eq, 1)),
+        (1, LocalExpr::Cmp(lock, CmpOp::Eq, 1)),
     ]);
-    let mut monitor = OnlineEfConjunctive::new(2, vec![true, true], vec![false, false]);
-    let mut fired_at = None;
-    let mut observed = 0usize;
-    let mut cut = comp.initial_cut();
-    let final_cut = comp.final_cut();
-    while cut != final_cut {
-        let i = (0..2)
-            .find(|&i| comp.can_advance(&cut, i))
-            .expect("enabled");
-        let e = hbtl::computation::EventId::new(i, cut.get(i) as usize);
-        let holds = both.clause_holds_at(&comp, i, cut.get(i) + 1);
-        monitor.observe(i, holds, comp.clock(e));
-        observed += 1;
-        if fired_at.is_none() {
-            if let OnlineVerdict::Detected(c) = monitor.verdict() {
-                fired_at = Some((observed, c.clone()));
-            }
-        }
-        cut = cut.advanced(i);
-    }
-    monitor.finish_process(0);
-    monitor.finish_process(1);
-
-    match fired_at {
-        Some((k, c)) => {
-            println!(
-                "MONITOR FIRED after {k}/{} events: both hold the lock at cut {c}",
-                comp.num_events()
-            );
-        }
-        None => println!("monitor never fired"),
-    }
-
-    // Offline confirmation.
     let offline = ef_linear(&comp, &both);
     println!(
         "offline Chase–Garg agrees: EF(both locked) = {} (I_p = {:?})",
         offline.holds,
         offline.witness.map(|c| c.to_string())
     );
-}
-
-/// crossbeam channels, renamed so the example reads naturally.
-fn crossbeam_channelish() -> (
-    crossbeam::channel::Sender<hbtl::sim::live::LiveMsg>,
-    crossbeam::channel::Receiver<hbtl::sim::live::LiveMsg>,
-) {
-    crossbeam::channel::unbounded()
 }

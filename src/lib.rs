@@ -22,6 +22,7 @@
 //! | [`sim`] | `hb-sim` | protocol simulator, random traces |
 //! | [`reduction`] | `hb-reduction` | the NP-hardness gadgets |
 //! | [`tracefmt`] | `hb-tracefmt` | JSON/text trace interchange |
+//! | [`sdk`] | `hb-sdk` | instrumentation SDK: tracers, traced channels, live streaming |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@ pub use hb_detect as detect;
 pub use hb_lattice as lattice;
 pub use hb_predicates as predicates;
 pub use hb_reduction as reduction;
+pub use hb_sdk as sdk;
 pub use hb_sim as sim;
 pub use hb_slicer as slicer;
 pub use hb_tracefmt as tracefmt;
