@@ -484,6 +484,7 @@ fn drop_session(inner: &Inner, e: &mut SessionEntry, message: String) {
         .fetch_sub(e.journal.len() as u64, Relaxed);
     let _ = e.sink.send(ServerMsg::Error {
         session: Some(e.name.clone()),
+        kind: None,
         message,
     });
     let _ = e.sink.send(ServerMsg::Closed {
@@ -600,15 +601,18 @@ fn dispatch(inner: &Arc<Inner>, msg: ServerMsg) {
         }
         ServerMsg::Error {
             session: Some(session),
+            kind,
             message,
         } => {
             // Errors are forwarded, not deduplicated: a replay that
             // re-triggers one (e.g. a duplicate event the client really
-            // sent) repeats it, which is honest.
+            // sent) repeats it, which is honest. The backend's kind
+            // classification rides along untouched.
             if let Some(arc) = entry_of(inner, &session) {
                 let e = arc.lock();
                 let _ = e.sink.send(ServerMsg::Error {
                     session: Some(session),
+                    kind,
                     message,
                 });
             }
@@ -850,6 +854,7 @@ fn serve_connection(stream: TcpStream, inner: &Arc<Inner>) -> bool {
             Err(e) => {
                 let _ = sink_tx.send(ServerMsg::Error {
                     session: None,
+                    kind: None,
                     message: e.to_string(),
                 });
                 break;
@@ -862,9 +867,19 @@ fn serve_connection(stream: TcpStream, inner: &Arc<Inner>) -> bool {
     shutdown
 }
 
-fn client_error(inner: &Inner, sink: &Sender<ServerMsg>, session: Option<String>, message: String) {
+fn client_error(
+    inner: &Inner,
+    sink: &Sender<ServerMsg>,
+    session: Option<String>,
+    kind: Option<&str>,
+    message: String,
+) {
     inner.metrics.protocol_errors.fetch_add(1, Relaxed);
-    let _ = sink.send(ServerMsg::Error { session, message });
+    let _ = sink.send(ServerMsg::Error {
+        session,
+        kind: kind.map(str::to_string),
+        message,
+    });
 }
 
 /// The gateway's frame handler — the routing counterpart of
@@ -877,7 +892,7 @@ fn handle_client_msg(inner: &Arc<Inner>, msg: ClientMsg, sink: &Sender<ServerMsg
                     version: wire::WIRE_VERSION,
                 });
             }
-            Err(message) => client_error(inner, sink, None, message),
+            Err(message) => client_error(inner, sink, None, None, message),
         },
         ClientMsg::Stats => {
             let _ = sink.send(ServerMsg::Stats {
@@ -888,7 +903,7 @@ fn handle_client_msg(inner: &Arc<Inner>, msg: ClientMsg, sink: &Sender<ServerMsg
             Ok(sessions) => {
                 let _ = sink.send(ServerMsg::Drained { backend, sessions });
             }
-            Err(message) => client_error(inner, sink, None, message),
+            Err(message) => client_error(inner, sink, None, None, message),
         },
         ClientMsg::Shutdown => {
             let _ = sink.send(ServerMsg::Bye);
@@ -900,6 +915,7 @@ fn handle_client_msg(inner: &Arc<Inner>, msg: ClientMsg, sink: &Sender<ServerMsg
                     inner,
                     sink,
                     Some(name),
+                    None,
                     "no healthy backend to place the session on".into(),
                 );
                 return;
@@ -922,6 +938,7 @@ fn handle_client_msg(inner: &Arc<Inner>, msg: ClientMsg, sink: &Sender<ServerMsg
                         inner,
                         sink,
                         Some(name.clone()),
+                        Some(wire::error_kind::ALREADY_OPEN),
                         format!("session '{name}' already open at the gateway"),
                     );
                     return;
@@ -941,6 +958,7 @@ fn handle_client_msg(inner: &Arc<Inner>, msg: ClientMsg, sink: &Sender<ServerMsg
                     inner,
                     sink,
                     Some(session.clone()),
+                    None,
                     format!("no such session '{session}' at the gateway"),
                 );
                 return;

@@ -267,7 +267,9 @@ fn collect_until_closed(
                 open -= 1;
             }
             ServerMsg::Opened { .. } => {}
-            ServerMsg::Error { session, message } => {
+            ServerMsg::Error {
+                session, message, ..
+            } => {
                 panic!("gateway error for {session:?}: {message}")
             }
             other => panic!("unexpected frame: {other:?}"),
@@ -396,7 +398,9 @@ fn backend_death_mid_session_fails_over_without_duplicate_or_lost_verdicts() {
             } => verdicts.push((predicate, verdict)),
             ServerMsg::Closed { .. } => closes += 1,
             ServerMsg::Opened { .. } => {}
-            ServerMsg::Error { session, message } => {
+            ServerMsg::Error {
+                session, message, ..
+            } => {
                 panic!("gateway error for {session:?}: {message}")
             }
             other => panic!("unexpected frame: {other:?}"),
@@ -429,7 +433,9 @@ fn hello_handshake_accepts_supported_and_rejects_future_versions() {
     }
     client.send(&ClientMsg::Hello { version: 99 });
     match client.recv() {
-        ServerMsg::Error { session, message } => {
+        ServerMsg::Error {
+            session, message, ..
+        } => {
             assert_eq!(session, None);
             assert!(
                 message.contains("unsupported protocol version 99"),
@@ -527,7 +533,9 @@ fn no_healthy_backend_is_reported_not_hung() {
     let mut client = Client::connect(&gw_addr);
     client.send(&open_msg("nb-0"));
     match client.recv() {
-        ServerMsg::Error { session, message } => {
+        ServerMsg::Error {
+            session, message, ..
+        } => {
             assert_eq!(session.as_deref(), Some("nb-0"));
             assert!(message.contains("no healthy backend"), "{message}");
         }

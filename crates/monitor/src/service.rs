@@ -488,6 +488,7 @@ impl MonitorHandle {
                         self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
                         let _ = sink.send(ServerMsg::Error {
                             session: None,
+                            kind: None,
                             message,
                         });
                     }
@@ -498,6 +499,7 @@ impl MonitorHandle {
                 self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 let _ = sink.send(ServerMsg::Error {
                     session: None,
+                    kind: None,
                     message: format!(
                         "cannot drain '{backend}': this is a monitor backend, \
                          not a gateway — point `hbtl gateway drain` at the gateway"
@@ -571,6 +573,7 @@ impl MonitorHandle {
                     self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     let _ = sink.send(ServerMsg::Error {
                         session: None,
+                        kind: None,
                         message: format!("write-ahead log append failed: {e}"),
                     });
                     return;
@@ -667,6 +670,19 @@ fn attach(slot: &mut Slot, name: &str, sink: &Sender<ServerMsg>, metrics: &Metri
     }
 }
 
+/// The machine-readable [`wire::error_kind`] for a session error, when
+/// one exists. Replay artifacts of at-least-once clients get kinds so
+/// those clients can classify them without parsing message text.
+fn error_kind_of(e: &SessionError) -> Option<&'static str> {
+    match e {
+        SessionError::AlreadyFinished(_) => Some(wire::error_kind::ALREADY_FINISHED),
+        SessionError::Ingest(IngestError::Duplicate { .. }) => {
+            Some(wire::error_kind::DUPLICATE_EVENT)
+        }
+        _ => None,
+    }
+}
+
 fn close_slot(name: &str, mut slot: Slot, metrics: &Metrics) {
     let held_before = slot.session.held() as u64;
     let (verdicts, discarded) = slot.session.close();
@@ -705,14 +721,18 @@ fn shard_worker(
             },
         );
     }
-    let err =
-        |sink: &Sender<ServerMsg>, session: Option<&str>, message: String, metrics: &Metrics| {
-            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            let _ = sink.send(ServerMsg::Error {
-                session: session.map(str::to_string),
-                message,
-            });
-        };
+    let err = |sink: &Sender<ServerMsg>,
+               session: Option<&str>,
+               kind: Option<&str>,
+               message: String,
+               metrics: &Metrics| {
+        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        let _ = sink.send(ServerMsg::Error {
+            session: session.map(str::to_string),
+            kind: kind.map(str::to_string),
+            message,
+        });
+    };
     for cmd in rx.iter() {
         match cmd {
             Cmd::Open {
@@ -727,6 +747,7 @@ fn shard_worker(
                     err(
                         &sink,
                         Some(&session),
+                        Some(wire::error_kind::ALREADY_OPEN),
                         format!("session '{session}' already open"),
                         &metrics,
                     );
@@ -749,7 +770,13 @@ fn shard_worker(
                             },
                         );
                     }
-                    Err(e) => err(&sink, Some(&session), e.to_string(), &metrics),
+                    Err(e) => err(
+                        &sink,
+                        Some(&session),
+                        error_kind_of(&e),
+                        e.to_string(),
+                        &metrics,
+                    ),
                 }
             }
             Cmd::Event {
@@ -763,6 +790,7 @@ fn shard_worker(
                     err(
                         &sink,
                         Some(&session),
+                        None,
                         format!("no such session '{session}'"),
                         &metrics,
                     );
@@ -802,7 +830,13 @@ fn shard_worker(
                             }
                             _ => {}
                         }
-                        err(&slot.sink.clone(), Some(&session), e.to_string(), &metrics);
+                        err(
+                            &slot.sink.clone(),
+                            Some(&session),
+                            error_kind_of(&e),
+                            e.to_string(),
+                            &metrics,
+                        );
                     }
                 }
             }
@@ -811,6 +845,7 @@ fn shard_worker(
                     err(
                         &sink,
                         Some(&session),
+                        None,
                         format!("no such session '{session}'"),
                         &metrics,
                     );
@@ -819,7 +854,13 @@ fn shard_worker(
                 attach(slot, &session, &sink, &metrics);
                 match slot.session.finish_process(p) {
                     Ok(verdicts) => send_verdicts(&session, verdicts, &slot.sink, &metrics),
-                    Err(e) => err(&slot.sink.clone(), Some(&session), e.to_string(), &metrics),
+                    Err(e) => err(
+                        &slot.sink.clone(),
+                        Some(&session),
+                        error_kind_of(&e),
+                        e.to_string(),
+                        &metrics,
+                    ),
                 }
             }
             Cmd::Close { session, sink } => match slots.remove(&session) {
@@ -830,6 +871,7 @@ fn shard_worker(
                 None => err(
                     &sink,
                     Some(&session),
+                    None,
                     format!("no such session '{session}'"),
                     &metrics,
                 ),
@@ -917,6 +959,7 @@ fn serve_connection(stream: TcpStream, handle: MonitorHandle) -> bool {
             Err(e) => {
                 let _ = sink_tx.send(ServerMsg::Error {
                     session: None,
+                    kind: None,
                     message: e.to_string(),
                 });
                 break; // framing is broken; no way to resync safely
@@ -1093,6 +1136,54 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.protocol_errors, 3);
         assert_eq!(stats.events_duplicate, 1);
+    }
+
+    /// The SDK's flusher classifies replay artifacts by the `kind`
+    /// field, so the exact constants the service emits are contract,
+    /// not cosmetics (the message texts are free to change).
+    #[test]
+    fn replay_artifact_errors_carry_machine_readable_kinds() {
+        let service = MonitorService::start(MonitorConfig::default());
+        let handle = service.handle();
+        let (tx, rx) = unbounded();
+        handle.submit(fig2_open("kinds"), &tx);
+        assert!(matches!(rx.recv().unwrap(), ServerMsg::Opened { .. }));
+        // A replayed open, a replayed event, and an event after finish —
+        // the three benign at-least-once artifacts.
+        handle.submit(fig2_open("kinds"), &tx);
+        handle.submit(event("kinds", 0, &[1, 0], &[]), &tx);
+        handle.submit(event("kinds", 0, &[1, 0], &[]), &tx);
+        handle.submit(
+            ClientMsg::FinishProcess {
+                session: "kinds".into(),
+                p: 0,
+            },
+            &tx,
+        );
+        handle.submit(event("kinds", 0, &[2, 0], &[]), &tx);
+        // An unknown session is a real error: no kind.
+        handle.submit(event("ghost", 0, &[1, 0], &[]), &tx);
+        service.shutdown();
+        let mut session_kinds = Vec::new();
+        let mut ghost_kinds = Vec::new();
+        while let Ok(msg) = rx.try_recv() {
+            if let ServerMsg::Error { session, kind, .. } = msg {
+                match session.as_deref() {
+                    Some("kinds") => session_kinds.push(kind),
+                    Some("ghost") => ghost_kinds.push(kind),
+                    other => panic!("error for unexpected session {other:?}"),
+                }
+            }
+        }
+        assert_eq!(
+            session_kinds,
+            [
+                Some(wire::error_kind::ALREADY_OPEN.to_string()),
+                Some(wire::error_kind::DUPLICATE_EVENT.to_string()),
+                Some(wire::error_kind::ALREADY_FINISHED.to_string()),
+            ]
+        );
+        assert_eq!(ghost_kinds, [None]);
     }
 
     #[test]

@@ -32,8 +32,14 @@ use std::fmt;
 pub enum SessionError {
     /// The open request was malformed (bad predicate, var, process…).
     BadOpen(String),
-    /// An event referenced something undeclared or arrived after finish.
+    /// An event referenced something undeclared or was otherwise
+    /// malformed.
     BadEvent(String),
+    /// An event arrived for a process already declared finished — a
+    /// distinct variant (not a `BadEvent` string) so the service can
+    /// tag it with a machine-readable error kind: an at-least-once
+    /// client replaying a close window triggers it benignly.
+    AlreadyFinished(usize),
     /// The causal buffer refused the event.
     Ingest(IngestError),
 }
@@ -43,6 +49,9 @@ impl fmt::Display for SessionError {
         match self {
             SessionError::BadOpen(m) => write!(f, "bad open: {m}"),
             SessionError::BadEvent(m) => write!(f, "bad event: {m}"),
+            SessionError::AlreadyFinished(p) => {
+                write!(f, "bad event: process {p} already finished")
+            }
             SessionError::Ingest(e) => write!(f, "{e}"),
         }
     }
@@ -395,9 +404,7 @@ impl Session {
         // causal predecessors (reordering can let the finish overtake
         // earlier events in transit).
         if p < self.finished.len() && self.monitor_finished[p] {
-            return Err(SessionError::BadEvent(format!(
-                "process {p} already finished"
-            )));
+            return Err(SessionError::AlreadyFinished(p));
         }
         let mut updates = Vec::with_capacity(set.len());
         for (vname, &value) in set {
@@ -652,7 +659,7 @@ mod tests {
         let mut s = fig2_session();
         s.finish_process(0).unwrap();
         let err = s.event(0, vc(&[1, 0]), &set(&[])).unwrap_err();
-        assert!(matches!(err, SessionError::BadEvent(_)));
+        assert!(matches!(err, SessionError::AlreadyFinished(0)));
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! confirms it: after `ack_every` events the flusher sends a `Stats`
 //! request, and because the server processes a connection's frames in
 //! order, the `Stats` reply proves everything sent before it was
-//! ingested (and, under `--data-dir`, WAL-ed). Barriers are FIFO, so
-//! each reply retires a known prefix of the log.
+//! ingested (and, under `--data-dir`, WAL-ed). Barriers are FIFO and
+//! each records the *delta* it covers — the events sent between the
+//! previous barrier and itself — so each reply retires exactly that
+//! prefix of the log, never events sent after its `Stats` frame.
 //!
 //! ## Reconnect and re-attach
 //!
@@ -26,7 +28,7 @@ use crate::metrics::SdkMetrics;
 use crate::queue::{EventRec, Item};
 use crate::session::{CloseReport, SessionConfig};
 use crate::transport::Transport;
-use hb_tracefmt::wire::{ClientMsg, ServerMsg, WireVerdict};
+use hb_tracefmt::wire::{error_kind, ClientMsg, ServerMsg, WireVerdict};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -42,8 +44,16 @@ pub(crate) enum Ctrl {
 }
 
 /// Server error substrings that are expected artifacts of re-attach
-/// and at-least-once replay, not failures.
+/// and at-least-once replay, not failures. Fallback classification
+/// only: servers speaking current wire v2 tag these errors with a
+/// machine-readable [`error_kind`], and the substrings are consulted
+/// solely for older peers whose errors carry no kind.
 const BENIGN_ERRORS: &[&str] = &["already open", "duplicate event", "already finished"];
+
+/// How long the close-path drain keeps waiting once the channel reads
+/// empty but the `queued` gauge says a producer's send is still in
+/// flight (it is incremented before the send becomes visible).
+const CLOSE_DRAIN_STALL: Duration = Duration::from_millis(250);
 
 /// Full reconnect cycles (dial + replay) before the session is
 /// declared failed. Each cycle already spends the transport's own
@@ -177,11 +187,16 @@ impl Flusher {
         }
     }
 
-    /// Sends an acknowledgement barrier covering the current unacked
-    /// log.
+    /// Sends an acknowledgement barrier covering the events sent since
+    /// the previous barrier. Recording the delta (not the cumulative
+    /// log length) keeps multiple outstanding barriers correct: each
+    /// reply retires only events sent *before* its `Stats` frame, so an
+    /// older barrier's reply can never retire events a newer frame has
+    /// yet to prove ingested.
     fn barrier(&mut self) {
         if self.send_or_recover(&ClientMsg::Stats) {
-            self.barriers.push_back(self.unacked.len());
+            let outstanding: usize = self.barriers.iter().sum();
+            self.barriers.push_back(self.unacked.len() - outstanding);
             self.since_ack = 0;
         }
     }
@@ -270,13 +285,26 @@ impl Flusher {
                 }
                 ServerMsg::Stats { .. } => {
                     self.metrics.acks.fetch_add(1, Ordering::Relaxed);
+                    // Barriers record deltas, so the outstanding sum
+                    // never exceeds the log and each reply retires
+                    // exactly the prefix its barrier proved.
                     if let Some(covered) = self.barriers.pop_front() {
-                        let covered = covered.min(self.unacked.len());
-                        self.unacked.drain(..covered);
+                        debug_assert!(
+                            covered <= self.unacked.len(),
+                            "barrier covers {covered} of {} unacked events",
+                            self.unacked.len()
+                        );
+                        self.unacked.drain(..covered.min(self.unacked.len()));
                     }
                 }
-                ServerMsg::Error { message, .. } => {
-                    if BENIGN_ERRORS.iter().any(|b| message.contains(b)) {
+                ServerMsg::Error { kind, message, .. } => {
+                    let benign = match kind.as_deref() {
+                        Some(k) => error_kind::is_benign_replay(k),
+                        // Older peers tag nothing; match their known
+                        // message texts as a fallback.
+                        None => BENIGN_ERRORS.iter().any(|b| message.contains(b)),
+                    };
+                    if benign {
                         continue;
                     }
                     self.metrics.server_errors.fetch_add(1, Ordering::Relaxed);
@@ -290,12 +318,31 @@ impl Flusher {
     }
 
     fn do_close(&mut self) -> Result<CloseReport, String> {
-        // Everything still queued goes out first.
+        // Everything still queued goes out first. An empty channel
+        // alone is not "drained": a Block-policy producer parked on a
+        // full queue completes its send only after this loop frees a
+        // slot, and the `queued` gauge (incremented before the send
+        // becomes visible) is what counts that in-flight event. Keep
+        // draining until the gauge reaches zero, with a stall bound in
+        // case a producer died between the increment and the send —
+        // once this thread returns, the channel disconnects and such a
+        // send fails cleanly, counted as dropped by the queue.
+        let mut last_progress = Instant::now();
         loop {
             match self.events.try_recv() {
-                Ok(Item::Event(rec)) => self.forward(rec),
+                Ok(Item::Event(rec)) => {
+                    self.forward(rec);
+                    last_progress = Instant::now();
+                }
                 Ok(Item::Wake) => continue,
-                Err(_) => break,
+                Err(_) => {
+                    if self.metrics.queued.load(Ordering::Relaxed) == 0
+                        || last_progress.elapsed() >= CLOSE_DRAIN_STALL
+                    {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                }
             }
         }
         if let Some(reason) = &self.failed {
@@ -356,5 +403,160 @@ impl Flusher {
         if self.failed.is_none() {
             self.failed = Some(reason);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// A transport whose replies the test scripts by hand: sends always
+    /// succeed and are recorded, polls pop the scripted reply queue.
+    struct ScriptedTransport {
+        sent: Arc<Mutex<Vec<ClientMsg>>>,
+        replies: Arc<Mutex<VecDeque<ServerMsg>>>,
+    }
+
+    impl Transport for ScriptedTransport {
+        fn send(&mut self, msg: &ClientMsg) -> Result<(), String> {
+            self.sent.lock().unwrap().push(msg.clone());
+            Ok(())
+        }
+        fn poll(&mut self) -> Option<ServerMsg> {
+            self.replies.lock().unwrap().pop_front()
+        }
+        fn reconnect(&mut self) -> Result<(), String> {
+            Ok(())
+        }
+        fn describe(&self) -> String {
+            "scripted".into()
+        }
+    }
+
+    struct Script {
+        sent: Arc<Mutex<Vec<ClientMsg>>>,
+        replies: Arc<Mutex<VecDeque<ServerMsg>>>,
+    }
+
+    /// A flusher driven directly (no thread, no channels in play) so
+    /// tests control exactly when replies arrive.
+    fn test_flusher(ack_every: usize) -> (Flusher, Script) {
+        let sent = Arc::new(Mutex::new(Vec::new()));
+        let replies = Arc::new(Mutex::new(VecDeque::new()));
+        let transport = ScriptedTransport {
+            sent: Arc::clone(&sent),
+            replies: Arc::clone(&replies),
+        };
+        // The senders are dropped: these tests drive the flusher's
+        // methods directly and never enter `run`/`do_close`.
+        let (_tx, events) = crossbeam::channel::bounded::<Item>(1);
+        let (_ctx, ctrl) = crossbeam::channel::unbounded::<Ctrl>();
+        let flusher = Flusher {
+            transport: Box::new(transport),
+            open_msg: ClientMsg::Open {
+                session: "t".into(),
+                processes: 1,
+                vars: vec!["x".into()],
+                initial: vec![BTreeMap::new()],
+                predicates: vec![],
+            },
+            session: "t".into(),
+            processes: 1,
+            cfg: SessionConfig {
+                ack_every,
+                ..SessionConfig::default()
+            },
+            metrics: Arc::new(SdkMetrics::default()),
+            events,
+            ctrl,
+            unacked: VecDeque::new(),
+            barriers: VecDeque::new(),
+            since_ack: 0,
+            verdicts: BTreeMap::new(),
+            errors: Vec::new(),
+            closed_discarded: None,
+            recreated: false,
+            failed: None,
+        };
+        (flusher, Script { sent, replies })
+    }
+
+    fn push_event(f: &mut Flusher, i: u32) {
+        f.metrics.queued.fetch_add(1, Ordering::Relaxed);
+        f.forward(EventRec {
+            p: 0,
+            clock: vec![i + 1],
+            set: BTreeMap::new(),
+        });
+    }
+
+    fn stats_reply() -> ServerMsg {
+        ServerMsg::Stats {
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// The review scenario: two outstanding barriers plus events sent
+    /// after the second one. Each reply must retire only the prefix its
+    /// own barrier proved — the tail sent after the last `Stats` frame
+    /// stays unacked (cumulative accounting drained it, losing those
+    /// events on a post-reply crash).
+    #[test]
+    fn overlapping_barriers_retire_only_proven_prefixes() {
+        let (mut f, script) = test_flusher(2);
+        for i in 0..4 {
+            push_event(&mut f, i);
+        }
+        assert_eq!(f.barriers, [2, 2]);
+        push_event(&mut f, 4);
+        assert_eq!(f.unacked.len(), 5);
+
+        script.replies.lock().unwrap().push_back(stats_reply());
+        f.drain_replies();
+        assert_eq!(f.unacked.len(), 3, "first reply retires its two events");
+
+        script.replies.lock().unwrap().push_back(stats_reply());
+        f.drain_replies();
+        assert_eq!(
+            f.unacked.len(),
+            1,
+            "the event sent after the second barrier is not yet proven"
+        );
+        assert!(f.barriers.is_empty());
+    }
+
+    /// Replay collapses the outstanding barriers into one that covers
+    /// the whole log; barriers sent afterwards go back to deltas.
+    #[test]
+    fn replay_rebuilds_full_coverage_then_deltas() {
+        let (mut f, script) = test_flusher(2);
+        for i in 0..5 {
+            push_event(&mut f, i);
+        }
+        assert_eq!(f.barriers, [2, 2]);
+
+        assert!(f.reconnect_and_replay());
+        assert_eq!(f.barriers, [5], "one barrier re-covers the whole log");
+        let resent = script
+            .sent
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|m| matches!(m, ClientMsg::Open { .. }))
+            .count();
+        assert_eq!(resent, 1, "replay re-sends the open");
+
+        for i in 5..7 {
+            push_event(&mut f, i);
+        }
+        assert_eq!(f.barriers, [5, 2]);
+
+        for _ in 0..2 {
+            script.replies.lock().unwrap().push_back(stats_reply());
+        }
+        f.drain_replies();
+        assert!(f.unacked.is_empty());
+        assert!(f.barriers.is_empty());
     }
 }

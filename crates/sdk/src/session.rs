@@ -277,8 +277,11 @@ pub struct CloseReport {
 type ShutdownOutcome = (Result<CloseReport, String>, Box<dyn Transport>);
 
 /// An open monitoring session: owns the queue and the background
-/// flusher. Dropping it closes best-effort; call
-/// [`close`](Self::close) to observe the verdicts.
+/// flusher. Dropping it closes best-effort — the drop waits at most
+/// two seconds before detaching, leaving the flusher to finish (or
+/// time out) in the background rather than blocking the dropping
+/// thread behind reconnect backoff. Call [`close`](Self::close) to
+/// wait the full `close_timeout` and observe the verdicts.
 pub struct SdkSession {
     name: String,
     close_timeout: Duration,
@@ -348,10 +351,30 @@ impl SdkSession {
     }
 }
 
+/// Bound on how long an implicit `Drop` waits for the flusher to
+/// settle the close. Plenty for the happy path (a reachable server
+/// settles in milliseconds); an unreachable one would otherwise hold
+/// the dropping thread for `close_timeout` plus reconnect backoff.
+const DROP_CLOSE_WAIT: Duration = Duration::from_secs(2);
+
 impl Drop for SdkSession {
     fn drop(&mut self) {
-        if !self.closed {
-            let _ = self.shutdown();
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let Some(handle) = self.flusher.take() else {
+            return;
+        };
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        if self.ctrl.send(Ctrl::Close { reply: reply_tx }).is_err() {
+            return;
+        }
+        self.queue.wake();
+        // Best-effort: join only if the flusher settles quickly;
+        // otherwise detach and let it drain/time out on its own.
+        if reply_rx.recv_timeout(DROP_CLOSE_WAIT).is_ok() {
+            let _ = handle.join();
         }
     }
 }

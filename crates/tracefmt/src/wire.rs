@@ -226,11 +226,41 @@ pub enum ServerMsg {
     Error {
         /// The session the error concerns, when applicable.
         session: Option<String>,
+        /// Machine-readable classification — one of the [`error_kind`]
+        /// constants — when the server recognized the cause. Absent
+        /// from unclassified errors and from peers predating the
+        /// field; clients must not parse `message` when a kind is
+        /// available.
+        kind: Option<String>,
         /// Human-readable cause.
         message: String,
     },
     /// Graceful-shutdown acknowledgement; the connection closes next.
     Bye,
+}
+
+/// Machine-readable values for the `kind` field of [`ServerMsg::Error`].
+///
+/// Clients that replay frames for at-least-once delivery (the SDK
+/// flusher, the gateway's failover journal) must tell expected replay
+/// artifacts apart from real failures. Matching these constants is
+/// stable; the human-readable `message` is free to be reworded.
+pub mod error_kind {
+    /// `Open` named a session that is already open. On a re-attach
+    /// replay this is the proof the session survived the restart.
+    pub const ALREADY_OPEN: &str = "already_open";
+    /// An event the causal buffer has already delivered (expected when
+    /// the unacked tail is replayed).
+    pub const DUPLICATE_EVENT: &str = "duplicate_event";
+    /// An event or finish for a process already declared finished
+    /// (expected when a close window is replayed).
+    pub const ALREADY_FINISHED: &str = "already_finished";
+
+    /// `true` for kinds that are expected artifacts of at-least-once
+    /// replay and re-attach rather than failures.
+    pub fn is_benign_replay(kind: &str) -> bool {
+        matches!(kind, ALREADY_OPEN | DUPLICATE_EVENT | ALREADY_FINISHED)
+    }
 }
 
 // ---- serialization --------------------------------------------------------
@@ -442,10 +472,17 @@ impl Serialize for ServerMsg {
                 ("type".into(), "stats".to_value()),
                 ("counters".into(), counters.to_value()),
             ]),
-            ServerMsg::Error { session, message } => {
+            ServerMsg::Error {
+                session,
+                kind,
+                message,
+            } => {
                 let mut fields = vec![("type".into(), "error".to_value())];
                 if let Some(s) = session {
                     fields.push(("session".into(), s.to_value()));
+                }
+                if let Some(k) = kind {
+                    fields.push(("kind".into(), k.to_value()));
                 }
                 fields.push(("message".into(), message.to_value()));
                 Value::Object(fields)
@@ -482,6 +519,7 @@ impl Deserialize for ServerMsg {
             }),
             "error" => Ok(ServerMsg::Error {
                 session: help::field_opt(v, "session")?,
+                kind: help::field_opt(v, "kind")?,
                 message: help::field(v, "message")?,
             }),
             "bye" => Ok(ServerMsg::Bye),
@@ -656,7 +694,13 @@ mod tests {
         });
         round_trip(ServerMsg::Error {
             session: None,
+            kind: None,
             message: "no such session".into(),
+        });
+        round_trip(ServerMsg::Error {
+            session: Some("s1".into()),
+            kind: Some(error_kind::DUPLICATE_EVENT.into()),
+            message: "duplicate event 3 of process 1".into(),
         });
         round_trip(ServerMsg::Bye);
         round_trip(ServerMsg::Welcome {
@@ -666,6 +710,31 @@ mod tests {
             backend: "127.0.0.1:7575".into(),
             sessions: 3,
         });
+    }
+
+    #[test]
+    fn only_replay_artifact_kinds_are_benign() {
+        assert!(error_kind::is_benign_replay(error_kind::ALREADY_OPEN));
+        assert!(error_kind::is_benign_replay(error_kind::DUPLICATE_EVENT));
+        assert!(error_kind::is_benign_replay(error_kind::ALREADY_FINISHED));
+        assert!(!error_kind::is_benign_replay("wal_append_failed"));
+        assert!(!error_kind::is_benign_replay(""));
+    }
+
+    #[test]
+    fn v1_error_frames_without_kind_still_parse() {
+        let mut buf = Vec::new();
+        let body = r#"{"type":"error","session":"s1","message":"no such session 's1'"}"#;
+        buf.extend_from_slice(format!("{} {}\n", body.len(), body).as_bytes());
+        let msg: ServerMsg = read_frame(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(
+            msg,
+            ServerMsg::Error {
+                session: Some("s1".into()),
+                kind: None,
+                message: "no such session 's1'".into(),
+            }
+        );
     }
 
     #[test]
