@@ -7,15 +7,26 @@
 //! buffer passes everything straight through) and `shuffled` (bounded
 //! transport reordering with an 8-event window, so the buffer holds and
 //! cascades). The gap between the two is the price of causal repair.
+//!
+//! A second group, `monitor/wire`, measures the same ingestion through
+//! a real TCP socket and the full frame codec — once as one `event`
+//! frame per event and once coalesced into 64-event wire-v3 `events`
+//! frames. Framing and syscalls dominate that path, so the batched
+//! variant is where the v3 batch frame earns its keep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hb_bench::workloads::random;
 use hb_computation::{Computation, EventId};
-use hb_monitor::{Session, SessionLimits};
+use hb_monitor::{MonitorConfig, MonitorService, Session, SessionLimits};
 use hb_sim::{causal_shuffle, random_linearization};
-use hb_tracefmt::wire::{WireClause, WireMode, WirePredicate};
+use hb_tracefmt::wire::{
+    read_frame, write_frame, ClientMsg, EventFrame, ServerMsg, WireClause, WireMode, WirePredicate,
+    WIRE_VERSION,
+};
 use std::collections::BTreeMap;
 use std::hint::black_box;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
 
 /// A conjunctive predicate chosen to stay pending (value never taken),
 /// so the detectors stay active over the whole stream.
@@ -98,9 +109,149 @@ fn bench_monitor_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// Streams one full session over an already-handshaken connection:
+/// `chunk = 1` writes one `event` frame per event, larger chunks write
+/// wire-v3 `events` frames. Returns once the server confirms the close,
+/// so a measured iteration covers ingestion end to end.
+#[allow(clippy::too_many_arguments)]
+fn stream_session(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    n: usize,
+    vars: &[String],
+    pred: &WirePredicate,
+    frames: &[EventFrame],
+    chunk: usize,
+    next: &mut u64,
+) -> u64 {
+    let session = format!("wb-{next}");
+    *next += 1;
+    write_frame(
+        writer,
+        &ClientMsg::Open {
+            session: session.clone(),
+            processes: n,
+            vars: vars.to_vec(),
+            initial: Vec::new(),
+            predicates: vec![pred.clone()],
+        },
+    )
+    .expect("open frame");
+    match read_frame::<_, ServerMsg>(reader).expect("open reply") {
+        Some(ServerMsg::Opened { .. }) => {}
+        other => panic!("expected opened, got {other:?}"),
+    }
+    if chunk <= 1 {
+        for f in frames {
+            write_frame(writer, &f.clone().into_event(&session)).expect("event frame");
+        }
+    } else {
+        for c in frames.chunks(chunk) {
+            write_frame(
+                writer,
+                &ClientMsg::Events {
+                    session: session.clone(),
+                    events: c.to_vec(),
+                },
+            )
+            .expect("events frame");
+        }
+    }
+    write_frame(writer, &ClientMsg::Close { session }).expect("close frame");
+    loop {
+        match read_frame::<_, ServerMsg>(reader).expect("close replies") {
+            Some(ServerMsg::Closed { .. }) => return frames.len() as u64,
+            Some(ServerMsg::Verdict { .. }) => {}
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+}
+
+fn bench_wire_batching(c: &mut Criterion) {
+    let n = 8usize;
+    let comp = random(n, 4096 / n);
+    let total = comp.num_events() as u64;
+    let vars: Vec<String> = comp.vars().iter().map(|(_, s)| s.to_string()).collect();
+    let pred = predicate(n);
+    let frames: Vec<EventFrame> = random_linearization(&comp, 1)
+        .iter()
+        .map(|&e| {
+            let state = comp.local_state(e.process, e.index as u32 + 1);
+            EventFrame {
+                p: e.process,
+                clock: comp.clock(e).components().to_vec(),
+                set: comp
+                    .vars()
+                    .iter()
+                    .map(|(id, name)| (name.to_string(), state.get(id)))
+                    .collect(),
+            }
+        })
+        .collect();
+
+    // A live monitor behind a real socket; the serve thread outlives the
+    // benchmark and dies with the process.
+    let service = MonitorService::start(MonitorConfig::default());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let handle = service.handle();
+    std::thread::spawn(move || {
+        let _ = hb_monitor::serve(listener, handle);
+    });
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    write_frame(
+        &mut writer,
+        &ClientMsg::Hello {
+            version: WIRE_VERSION,
+        },
+    )
+    .expect("hello");
+    match read_frame::<_, ServerMsg>(&mut reader).expect("welcome") {
+        Some(ServerMsg::Welcome { .. }) => {}
+        other => panic!("expected welcome, got {other:?}"),
+    }
+
+    let mut next = 0u64;
+    let mut g = c.benchmark_group("monitor/wire");
+    g.throughput(Throughput::Elements(total));
+    g.bench_function("singles", |b| {
+        b.iter(|| {
+            black_box(stream_session(
+                &mut writer,
+                &mut reader,
+                n,
+                &vars,
+                &pred,
+                &frames,
+                1,
+                &mut next,
+            ))
+        })
+    });
+    g.bench_function("batch64", |b| {
+        b.iter(|| {
+            black_box(stream_session(
+                &mut writer,
+                &mut reader,
+                n,
+                &vars,
+                &pred,
+                &frames,
+                64,
+                &mut next,
+            ))
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_monitor_throughput
+    targets = bench_monitor_throughput, bench_wire_batching
 }
 criterion_main!(benches);

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! hbtl loadgen <addr> [--workers M] [--sessions N] [--processes P]
-//!              [--events E] [--predicates K] [--window W] [--seed S] [--json]
+//!              [--events E] [--predicates K] [--window W] [--seed S]
+//!              [--batch B] [--json]
 //! hbtl loadgen --compare [--workers M] ... [--json]
 //! ```
 //!
@@ -19,6 +20,11 @@
 //! `close_reclaim`), so loadgen exercises the exact client stack a real
 //! instrumented program uses — the wire frames, batching, and ack
 //! barriers all come from the SDK's flusher, not hand-rolled here.
+//!
+//! `--batch B` sets the SDK's flush-batch cap. The default of 1 keeps
+//! every event in its own `event` frame; `--batch 64` lets the flusher
+//! coalesce up to 64 events into one wire-v3 `events` frame, which is
+//! the knob the batched-vs-unbatched CI comparison turns.
 //!
 //! `--compare` needs no running servers: it benchmarks a self-hosted
 //! single monitor against a self-hosted gateway over two monitors with
@@ -45,6 +51,8 @@ struct LoadSpec {
     predicates: usize,
     window: usize,
     seed: u64,
+    /// SDK flush-batch cap; 1 = one `event` frame per event.
+    batch: usize,
 }
 
 impl Default for LoadSpec {
@@ -57,6 +65,7 @@ impl Default for LoadSpec {
             predicates: 4,
             window: 8,
             seed: 1,
+            batch: 1,
         }
     }
 }
@@ -72,6 +81,7 @@ struct SessionPlan {
 struct LoadResult {
     sessions: usize,
     events: usize,
+    batch: usize,
     wall: Duration,
     /// Open→closed per session, sorted ascending, in milliseconds.
     latencies_ms: Vec<f64>,
@@ -96,11 +106,12 @@ impl LoadResult {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"sessions\":{},\"events\":{},\"wall_secs\":{:.4},\
+            "{{\"sessions\":{},\"events\":{},\"batch\":{},\"wall_secs\":{:.4},\
              \"sessions_per_sec\":{:.2},\"events_per_sec\":{:.1},\
              \"latency_ms\":{{\"p50\":{:.2},\"p90\":{:.2},\"p99\":{:.2},\"max\":{:.2}}}}}",
             self.sessions,
             self.events,
+            self.batch,
             self.wall.as_secs_f64(),
             self.sessions_per_sec(),
             self.events_per_sec(),
@@ -186,7 +197,7 @@ fn run_load(addr: &str, plans: &[Vec<SessionPlan>], spec: &LoadSpec) -> Result<L
             .iter()
             .map(|sessions| {
                 let predicates = predicates.clone();
-                scope.spawn(move || drive_worker(addr, sessions, &predicates))
+                scope.spawn(move || drive_worker(addr, sessions, &predicates, spec.batch))
             })
             .collect();
         handles
@@ -203,6 +214,7 @@ fn run_load(addr: &str, plans: &[Vec<SessionPlan>], spec: &LoadSpec) -> Result<L
     Ok(LoadResult {
         sessions: plans.iter().map(Vec::len).sum(),
         events: plans.iter().flatten().map(|p| p.order.len()).sum(),
+        batch: spec.batch,
         wall,
         latencies_ms,
     })
@@ -216,6 +228,7 @@ fn drive_worker(
     addr: &str,
     sessions: &[SessionPlan],
     predicates: &[WirePredicate],
+    batch: usize,
 ) -> Result<Vec<f64>, String> {
     let mut transport: Box<dyn Transport> = Box::new(
         TcpTransport::dial(addr, RetryPolicy::with_retries(3)).map_err(|e| e.to_string())?,
@@ -223,7 +236,9 @@ fn drive_worker(
     let mut latencies = Vec::with_capacity(sessions.len());
     for plan in sessions {
         let t0 = Instant::now();
-        let mut builder = SessionBuilder::new(&plan.name, plan.comp.num_processes()).var("x");
+        let mut builder = SessionBuilder::new(&plan.name, plan.comp.num_processes())
+            .var("x")
+            .batch_max(batch);
         for p in predicates {
             builder = builder.predicate(p.clone());
         }
@@ -378,8 +393,14 @@ pub fn run(args: &[String]) -> Result<String, String> {
     if let Some(v) = take_flag(&mut rest, "--seed")? {
         spec.seed = v.parse().map_err(|_| "bad --seed")?;
     }
+    if let Some(v) = take_flag(&mut rest, "--batch")? {
+        spec.batch = v.parse().map_err(|_| "bad --batch")?;
+    }
     if spec.workers == 0 || spec.sessions_per_worker == 0 || spec.predicates == 0 {
         return Err("--workers, --sessions, and --predicates must be at least 1".into());
+    }
+    if spec.batch == 0 {
+        return Err("--batch must be at least 1".into());
     }
     if compare {
         let [] = rest.as_slice() else {

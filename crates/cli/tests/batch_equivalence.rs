@@ -1,0 +1,288 @@
+//! Differential equivalence for wire batching: the same simulated
+//! computations stream through a live `hbtl monitor serve` process
+//! twice — once with the SDK's flush batching enabled (`--batch 64`
+//! semantics, `batch_max(64)`) and once frame-per-event
+//! (`batch_max(1)`) — and both runs must settle to verdict sequences
+//! that are **byte-identical** to each other and to the sequence the
+//! offline oracle (`ef_linear`) predicts.
+//!
+//! Batching is a transport concern; this test is the lock that keeps it
+//! one. Each leg gets its own freshly spawned monitor on its own port,
+//! so the two legs can use identical session names and the comparison
+//! covers every byte of every `verdict` frame, session field included.
+
+#![cfg(unix)]
+
+use hb_computation::{Computation, EventId};
+use hb_detect::ef_linear;
+use hb_predicates::{CmpOp, Conjunctive, LocalExpr};
+use hb_sdk::{SessionBuilder, WireVerdict};
+use hb_sim::{causal_shuffle, random_computation, RandomSpec};
+use hb_tracefmt::wire::{read_frame, write_frame, ClientMsg, ServerMsg, WIRE_VERSION};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+
+const PROCESSES: usize = 4;
+const EVENTS_PER_PROCESS: usize = 64;
+const SESSIONS: usize = 3;
+/// The batched leg's flush cap — the `--batch 64` of the CI comparison.
+const BATCH: usize = 64;
+
+/// One pre-planned session: the computation, a causality-respecting
+/// delivery order, and the verdict map the offline oracle predicts.
+struct Plan {
+    name: String,
+    comp: Computation,
+    order: Vec<EventId>,
+    expected: BTreeMap<String, WireVerdict>,
+}
+
+/// Conjunctive `x = k` on processes 0 and 1 for k in 0..3 (each may or
+/// may not have a satisfying cut — the oracle decides), plus an
+/// impossible all-process `x = -1` that forces the detector through the
+/// entire computation.
+fn predicate_clauses(comp: &Computation) -> Vec<(String, Vec<(usize, i64)>)> {
+    let mut preds: Vec<(String, Vec<(usize, i64)>)> = (0..3)
+        .map(|k| (format!("p{k}"), vec![(0, k as i64), (1, k as i64)]))
+        .collect();
+    preds.push((
+        "nope".into(),
+        (0..comp.num_processes()).map(|p| (p, -1)).collect(),
+    ));
+    preds
+}
+
+/// What the online monitor must settle to, per the offline detector:
+/// the least satisfying cut when `EF(φ)` holds, `Impossible` once the
+/// whole (finite) computation is delivered and no cut satisfied it.
+fn oracle_verdicts(comp: &Computation) -> BTreeMap<String, WireVerdict> {
+    let x = comp.vars().lookup("x").expect("sim computations declare x");
+    predicate_clauses(comp)
+        .into_iter()
+        .map(|(id, clauses)| {
+            let goal = Conjunctive::new(
+                clauses
+                    .into_iter()
+                    .map(|(p, v)| (p, LocalExpr::Cmp(x, CmpOp::Eq, v)))
+                    .collect(),
+            );
+            let offline = ef_linear(comp, &goal);
+            let verdict = match offline.witness {
+                Some(least) if offline.holds => WireVerdict::Detected(least.counters().to_vec()),
+                _ => WireVerdict::Impossible,
+            };
+            (id, verdict)
+        })
+        .collect()
+}
+
+fn build_plans() -> Vec<Plan> {
+    (0..SESSIONS as u64)
+        .map(|s| {
+            let comp = random_computation(RandomSpec {
+                processes: PROCESSES,
+                events_per_process: EVENTS_PER_PROCESS,
+                send_percent: 30,
+                value_range: 4,
+                seed: 0xeb_u64.wrapping_add(s * 7919),
+            });
+            let order = causal_shuffle(&comp, s ^ 0xbeef, 8);
+            let expected = oracle_verdicts(&comp);
+            Plan {
+                name: format!("s{s}"),
+                comp,
+                order,
+                expected,
+            }
+        })
+        .collect()
+}
+
+/// The full state map at an event, exactly as an instrumented program
+/// would report it.
+fn state_map(comp: &Computation, e: EventId) -> BTreeMap<String, i64> {
+    let state = comp.local_state(e.process, e.index as u32 + 1);
+    comp.vars()
+        .iter()
+        .map(|(id, name)| (name.to_string(), state.get(id)))
+        .collect()
+}
+
+/// Serializes a settled verdict map as the wire frames the server sends
+/// at close, in predicate order. Two runs agree iff these bytes agree.
+fn verdict_bytes(session: &str, verdicts: &BTreeMap<String, WireVerdict>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for (predicate, verdict) in verdicts {
+        write_frame(
+            &mut buf,
+            &ServerMsg::Verdict {
+                session: session.to_string(),
+                predicate: predicate.clone(),
+                verdict: verdict.clone(),
+            },
+        )
+        .expect("verdict frames encode");
+    }
+    buf
+}
+
+/// Spawns `hbtl monitor serve` on a fresh port and waits for its
+/// banner. No data dir: durability is not under test here.
+#[allow(clippy::zombie_processes)]
+fn spawn_monitor() -> (Child, String) {
+    let port = TcpListener::bind("127.0.0.1:0")
+        .expect("bind ephemeral")
+        .local_addr()
+        .expect("local addr")
+        .port();
+    let addr = format!("127.0.0.1:{port}");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hbtl"))
+        .args(["monitor", "serve", &addr])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("hbtl spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    loop {
+        let mut line = String::new();
+        if stderr.read_line(&mut line).expect("read banner") == 0 {
+            let status = child.wait().expect("child reaped");
+            panic!("server exited before listening: {status}");
+        }
+        if line.contains("listening on ") {
+            return (child, addr);
+        }
+    }
+}
+
+/// Fetches the server's counters over a raw handshaken connection.
+fn fetch_counters(addr: &str) -> BTreeMap<String, u64> {
+    let stream = TcpStream::connect(addr).expect("connect for stats");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    write_frame(
+        &mut writer,
+        &ClientMsg::Hello {
+            version: WIRE_VERSION,
+        },
+    )
+    .expect("hello");
+    match read_frame::<_, ServerMsg>(&mut reader).expect("welcome frame") {
+        Some(ServerMsg::Welcome { .. }) => {}
+        other => panic!("expected welcome, got {other:?}"),
+    }
+    write_frame(&mut writer, &ClientMsg::Stats).expect("stats request");
+    match read_frame::<_, ServerMsg>(&mut reader).expect("stats frame") {
+        Some(ServerMsg::Stats { counters }) => counters,
+        other => panic!("expected stats, got {other:?}"),
+    }
+}
+
+/// What one leg produced: the concatenated verdict frames of every
+/// session (in plan order) and the SDK/server-side frame accounting.
+struct LegOutcome {
+    bytes: Vec<u8>,
+    wire_batches_sent: u64,
+    server_counters: BTreeMap<String, u64>,
+}
+
+/// Streams every plan through a fresh live monitor with the given
+/// flush-batch cap and collects the settled verdict sequence.
+fn run_leg(batch: usize) -> LegOutcome {
+    let (mut child, addr) = spawn_monitor();
+    let plans = build_plans();
+    let mut bytes = Vec::new();
+    let mut wire_batches_sent = 0;
+    for plan in &plans {
+        let mut builder = SessionBuilder::new(&plan.name, plan.comp.num_processes())
+            .var("x")
+            .batch_max(batch);
+        for (id, clauses) in predicate_clauses(&plan.comp) {
+            let clauses: Vec<(usize, &str, &str, i64)> =
+                clauses.iter().map(|&(p, v)| (p, "x", "=", v)).collect();
+            builder = builder.conjunctive(&id, &clauses);
+        }
+        let (session, _tracers) = builder.connect(&addr).expect("open over TCP");
+        for &e in &plan.order {
+            let accepted = session.emit(
+                e.process,
+                plan.comp.clock(e).components().to_vec(),
+                state_map(&plan.comp, e),
+            );
+            assert!(accepted, "{}: event dropped by the SDK queue", plan.name);
+        }
+        let report = session.close().expect("close settles");
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(report.discarded, 0, "every event deliverable");
+        wire_batches_sent += report.metrics.wire_batches_sent;
+        bytes.extend(verdict_bytes(&plan.name, &report.verdicts));
+    }
+    let server_counters = fetch_counters(&addr);
+    child.kill().expect("cleanup kill");
+    child.wait().expect("cleanup reap");
+    LegOutcome {
+        bytes,
+        wire_batches_sent,
+        server_counters,
+    }
+}
+
+#[test]
+fn batched_and_unbatched_streams_settle_to_identical_verdict_bytes() {
+    // Offline ground truth, serialized to the exact bytes a correct
+    // server must have sent at close.
+    let plans = build_plans();
+    let oracle: Vec<u8> = plans
+        .iter()
+        .flat_map(|p| verdict_bytes(&p.name, &p.expected))
+        .collect();
+    // Guard against a degenerate fixture: the workload must exercise
+    // both verdict kinds or the equivalence proves little.
+    let all_expected: Vec<&WireVerdict> = plans.iter().flat_map(|p| p.expected.values()).collect();
+    assert!(
+        all_expected
+            .iter()
+            .any(|v| matches!(v, WireVerdict::Detected(_))),
+        "at least one predicate should be detected"
+    );
+    assert!(
+        all_expected
+            .iter()
+            .any(|v| matches!(v, &&WireVerdict::Impossible)),
+        "at least one predicate should be impossible"
+    );
+
+    let batched = run_leg(BATCH);
+    let unbatched = run_leg(1);
+
+    // The differential claim, byte for byte.
+    assert_eq!(
+        batched.bytes, unbatched.bytes,
+        "batched and unbatched verdict sequences must be byte-identical"
+    );
+    assert_eq!(
+        batched.bytes, oracle,
+        "online verdict sequence must be byte-identical to the offline oracle"
+    );
+
+    // And the two legs really took different wire paths.
+    let total: u64 = plans.iter().map(|p| p.order.len() as u64).sum();
+    assert_eq!(unbatched.wire_batches_sent, 0, "batch_max(1) never batches");
+    assert!(
+        batched.wire_batches_sent > 0,
+        "the batched leg should coalesce at least one events frame"
+    );
+    assert_eq!(batched.server_counters["events_ingested"], total);
+    assert_eq!(unbatched.server_counters["events_ingested"], total);
+    assert!(
+        batched.server_counters["batches_ingested"] > 0,
+        "the batched leg's monitor should see events frames: {:?}",
+        batched.server_counters
+    );
+    assert_eq!(
+        unbatched.server_counters["batches_ingested"], 0,
+        "the unbatched leg's monitor should see only singles"
+    );
+}

@@ -1,0 +1,367 @@
+//! The wire-version compatibility matrix for batched `events` frames.
+//!
+//! Wire v3 introduced batching behind handshake negotiation, and every
+//! mixed-fleet pairing has a prescribed behavior:
+//!
+//! | client        | server              | expectation                    |
+//! |---------------|---------------------|--------------------------------|
+//! | v3 SDK        | v1 / v2 monitor     | downgrade; single frames only  |
+//! | v2 client     | v3 monitor          | welcomed at v2, works as ever  |
+//! | v3 client     | v3 monitor          | one batch = one atomic ingest  |
+//! | any           | pre-v3 + `events`   | "unknown client message" error |
+//! | v3 client     | v3 gateway → v3 mon | batch relays unsplit           |
+//! | v3 client     | v3 gateway → v2 mon | gateway splits per backend     |
+//!
+//! Old builds are emulated with the `wire_version` config knob, which
+//! caps the handshake and refuses the frames that version lacked.
+
+use hb_gateway::service::{GatewayConfig, GatewayService};
+use hb_monitor::{MonitorConfig, MonitorService};
+use hb_sdk::{SessionBuilder, WireVerdict};
+use hb_tracefmt::wire::{
+    self, read_frame, write_frame, ClientMsg, EventFrame, ServerMsg, WireClause, WireMode,
+    WirePredicate,
+};
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+// ---- fixture --------------------------------------------------------------
+
+/// The two-process, two-event computation every pairing replays: P0 and
+/// P1 each take one concurrent step setting `x = 1`. The conjunctive
+/// goal `x=1 @ 0 AND x=1 @ 1` is first satisfied at the cut `[1, 1]`.
+const LEAST_CUT: [u32; 2] = [1, 1];
+
+fn frames() -> Vec<EventFrame> {
+    vec![
+        EventFrame {
+            p: 0,
+            clock: vec![1, 0],
+            set: [("x".to_string(), 1)].into_iter().collect(),
+        },
+        EventFrame {
+            p: 1,
+            clock: vec![0, 1],
+            set: [("x".to_string(), 1)].into_iter().collect(),
+        },
+    ]
+}
+
+fn goal_pred() -> WirePredicate {
+    WirePredicate {
+        id: "goal".into(),
+        mode: WireMode::Conjunctive,
+        clauses: (0..2)
+            .map(|p| WireClause {
+                process: p,
+                var: "x".into(),
+                op: "=".into(),
+                value: 1,
+            })
+            .collect(),
+    }
+}
+
+fn open_msg(session: &str) -> ClientMsg {
+    ClientMsg::Open {
+        session: session.into(),
+        processes: 2,
+        vars: vec!["x".into()],
+        initial: vec![],
+        predicates: vec![goal_pred()],
+    }
+}
+
+// ---- servers --------------------------------------------------------------
+
+/// A monitor emulating a `wire_version` build, serving on loopback.
+fn start_monitor(wire_version: u32) -> (String, MonitorService) {
+    let svc = MonitorService::start(MonitorConfig {
+        shards: 2,
+        wire_version,
+        ..MonitorConfig::default()
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind monitor");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let handle = svc.handle();
+    std::thread::spawn(move || {
+        let _ = hb_monitor::serve(listener, handle);
+    });
+    (addr, svc)
+}
+
+fn start_gateway(backend: String) -> (String, Arc<GatewayService>) {
+    let gw = Arc::new(
+        GatewayService::start(GatewayConfig {
+            backends: vec![backend],
+            ..GatewayConfig::default()
+        })
+        .expect("gateway starts"),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind gateway");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let serving = Arc::clone(&gw);
+    std::thread::spawn(move || {
+        let _ = serving.serve(listener);
+    });
+    (addr, gw)
+}
+
+// ---- raw wire client ------------------------------------------------------
+
+/// A hand-driven client pinned to whatever frames the test writes — the
+/// stand-in for builds older (or newer) than the SDK would emulate.
+struct Client {
+    w: BufWriter<TcpStream>,
+    r: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        Client {
+            w: BufWriter::new(stream.try_clone().expect("clone")),
+            r: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, msg: &ClientMsg) {
+        write_frame(&mut self.w, msg).expect("send frame");
+    }
+
+    fn recv(&mut self) -> ServerMsg {
+        read_frame::<_, ServerMsg>(&mut self.r)
+            .expect("read frame")
+            .expect("peer still open")
+    }
+
+    /// Reads until `Closed`, returning the settled verdicts seen.
+    fn drain_to_close(&mut self) -> BTreeMap<String, WireVerdict> {
+        let mut verdicts = BTreeMap::new();
+        loop {
+            match self.recv() {
+                ServerMsg::Verdict {
+                    predicate, verdict, ..
+                } => {
+                    verdicts.insert(predicate, verdict);
+                }
+                ServerMsg::Closed { .. } => return verdicts,
+                ServerMsg::Error { message, .. } => panic!("server error: {message}"),
+                _ => {}
+            }
+        }
+    }
+
+    fn finish_and_close(&mut self, session: &str) -> BTreeMap<String, WireVerdict> {
+        for p in 0..2 {
+            self.send(&ClientMsg::FinishProcess {
+                session: session.into(),
+                p,
+            });
+        }
+        self.send(&ClientMsg::Close {
+            session: session.into(),
+        });
+        self.drain_to_close()
+    }
+}
+
+/// Drives the fixture through the SDK against `addr` and returns the
+/// close report's verdict plus the SDK's wire-batch counter.
+fn run_sdk_session(addr: &str, name: &str) -> (WireVerdict, u64) {
+    let (session, _tracers) = SessionBuilder::new(name, 2)
+        .var("x")
+        .conjunctive("goal", &[(0, "x", "=", 1), (1, "x", "=", 1)])
+        .batch_max(8)
+        .connect(addr)
+        .expect("open over TCP");
+    for e in frames() {
+        assert!(session.emit(e.p, e.clock, e.set), "emit accepted");
+    }
+    let report = session.close().expect("close settles");
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert_eq!(report.discarded, 0);
+    (
+        report.verdicts["goal"].clone(),
+        report.metrics.wire_batches_sent,
+    )
+}
+
+// ---- the matrix -----------------------------------------------------------
+
+/// v3 SDK against a v2 monitor: the dial walks down one version, the
+/// flusher never writes an `events` frame, and the verdict is the same.
+#[test]
+fn v3_sdk_falls_back_to_singles_against_a_v2_monitor() {
+    let (addr, svc) = start_monitor(2);
+    let (verdict, wire_batches) = run_sdk_session(&addr, "compat-v2");
+    assert_eq!(verdict, WireVerdict::Detected(LEAST_CUT.to_vec()));
+    assert_eq!(wire_batches, 0, "no events frame to a v2 peer");
+    let m = svc.metrics();
+    assert_eq!(m.batches_ingested, 0);
+    assert_eq!(m.events_ingested, 2);
+    // Exactly one protocol error: the refused `hello {v3}` that made
+    // the dial walk down. Nothing after the handshake errors.
+    assert_eq!(m.protocol_errors, 1);
+    svc.shutdown();
+}
+
+/// v3 SDK against a v1 monitor: the dial walks the whole window down.
+#[test]
+fn v3_sdk_falls_back_to_singles_against_a_v1_monitor() {
+    let (addr, svc) = start_monitor(1);
+    let (verdict, wire_batches) = run_sdk_session(&addr, "compat-v1");
+    assert_eq!(verdict, WireVerdict::Detected(LEAST_CUT.to_vec()));
+    assert_eq!(wire_batches, 0, "no events frame to a v1 peer");
+    let m = svc.metrics();
+    assert_eq!(m.batches_ingested, 0);
+    assert_eq!(m.events_ingested, 2);
+    svc.shutdown();
+}
+
+/// A v2 client against a v3 monitor: negotiation echoes the client's
+/// version, and the v2 frame set works exactly as before.
+#[test]
+fn v2_client_is_welcomed_at_v2_by_a_v3_monitor() {
+    let (addr, svc) = start_monitor(wire::WIRE_VERSION);
+    let mut client = Client::connect(&addr);
+    client.send(&ClientMsg::Hello { version: 2 });
+    match client.recv() {
+        ServerMsg::Welcome { version } => assert_eq!(version, 2, "echo, not the server max"),
+        other => panic!("expected welcome, got {other:?}"),
+    }
+    client.send(&open_msg("compat-old-client"));
+    assert!(matches!(client.recv(), ServerMsg::Opened { .. }));
+    for e in frames() {
+        client.send(&e.into_event("compat-old-client"));
+    }
+    let verdicts = client.finish_and_close("compat-old-client");
+    assert_eq!(
+        verdicts["goal"],
+        WireVerdict::Detected(LEAST_CUT.to_vec()),
+        "a v2 client is served the same verdicts"
+    );
+    assert_eq!(svc.metrics().batches_ingested, 0);
+    svc.shutdown();
+}
+
+/// One `events` frame on a v3 monitor: ingested as one atomic batch
+/// (one batch counter tick, every member counted and delivered).
+#[test]
+fn a_batch_ingests_atomically_on_a_v3_monitor() {
+    let (addr, svc) = start_monitor(wire::WIRE_VERSION);
+    let mut client = Client::connect(&addr);
+    client.send(&ClientMsg::Hello {
+        version: wire::WIRE_VERSION,
+    });
+    match client.recv() {
+        ServerMsg::Welcome { version } => assert_eq!(version, wire::WIRE_VERSION),
+        other => panic!("expected welcome, got {other:?}"),
+    }
+    client.send(&open_msg("compat-batch"));
+    assert!(matches!(client.recv(), ServerMsg::Opened { .. }));
+    client.send(&ClientMsg::Events {
+        session: "compat-batch".into(),
+        events: frames(),
+    });
+    let verdicts = client.finish_and_close("compat-batch");
+    assert_eq!(verdicts["goal"], WireVerdict::Detected(LEAST_CUT.to_vec()));
+    let m = svc.metrics();
+    assert_eq!(m.batches_ingested, 1, "the frame counts once as a batch");
+    assert_eq!(m.events_ingested, 2, "and twice as events");
+    assert_eq!(m.events_delivered, 2);
+    svc.shutdown();
+}
+
+/// A pre-v3 server refuses an `events` frame the way an old build
+/// would: "unknown client message", counted as a protocol error.
+#[test]
+fn a_pre_v3_server_refuses_events_frames() {
+    let (addr, svc) = start_monitor(2);
+    let mut client = Client::connect(&addr);
+    client.send(&ClientMsg::Hello { version: 2 });
+    assert!(matches!(client.recv(), ServerMsg::Welcome { version: 2 }));
+    client.send(&open_msg("compat-refused"));
+    assert!(matches!(client.recv(), ServerMsg::Opened { .. }));
+    client.send(&ClientMsg::Events {
+        session: "compat-refused".into(),
+        events: frames(),
+    });
+    match client.recv() {
+        ServerMsg::Error { message, .. } => {
+            assert!(
+                message.contains("unknown client message 'events'"),
+                "{message}"
+            );
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    let m = svc.metrics();
+    assert_eq!(m.events_ingested, 0, "nothing from the refused batch lands");
+    assert!(m.protocol_errors >= 1);
+    svc.shutdown();
+}
+
+/// A batch through the gateway to a current backend relays unsplit:
+/// the backend sees exactly one `events` frame.
+#[test]
+fn gateway_relays_batches_unsplit_to_a_v3_backend() {
+    let (backend_addr, backend) = start_monitor(wire::WIRE_VERSION);
+    let (gw_addr, gw) = start_gateway(backend_addr);
+    let mut client = Client::connect(&gw_addr);
+    client.send(&ClientMsg::Hello {
+        version: wire::WIRE_VERSION,
+    });
+    assert!(matches!(client.recv(), ServerMsg::Welcome { .. }));
+    client.send(&open_msg("compat-gw-v3"));
+    assert!(matches!(client.recv(), ServerMsg::Opened { .. }));
+    client.send(&ClientMsg::Events {
+        session: "compat-gw-v3".into(),
+        events: frames(),
+    });
+    let verdicts = client.finish_and_close("compat-gw-v3");
+    assert_eq!(verdicts["goal"], WireVerdict::Detected(LEAST_CUT.to_vec()));
+    let m = backend.metrics();
+    assert_eq!(m.batches_ingested, 1, "the relay does not split the frame");
+    assert_eq!(m.events_ingested, 2);
+    drop(gw);
+    backend.shutdown();
+}
+
+/// The same batch through the gateway to a v2 backend: the gateway's
+/// writer downgrades it to single `event` frames for that connection,
+/// so an old backend in a mixed fleet still gets every event.
+#[test]
+fn gateway_splits_batches_for_a_v2_backend() {
+    let (backend_addr, backend) = start_monitor(2);
+    let (gw_addr, gw) = start_gateway(backend_addr);
+    let mut client = Client::connect(&gw_addr);
+    client.send(&ClientMsg::Hello {
+        version: wire::WIRE_VERSION,
+    });
+    // The gateway still welcomes v3 — the downgrade is per backend
+    // connection, invisible to the client.
+    assert!(matches!(
+        client.recv(),
+        ServerMsg::Welcome { version } if version == wire::WIRE_VERSION
+    ));
+    client.send(&open_msg("compat-gw-v2"));
+    assert!(matches!(client.recv(), ServerMsg::Opened { .. }));
+    client.send(&ClientMsg::Events {
+        session: "compat-gw-v2".into(),
+        events: frames(),
+    });
+    let verdicts = client.finish_and_close("compat-gw-v2");
+    assert_eq!(verdicts["goal"], WireVerdict::Detected(LEAST_CUT.to_vec()));
+    let m = backend.metrics();
+    assert_eq!(m.batches_ingested, 0, "the backend never sees a batch");
+    assert_eq!(m.events_ingested, 2, "but it sees every member");
+    // The gateway's own pool dial walked down once (refused hello at
+    // v3); past the handshake the split relay is error-free.
+    assert_eq!(m.protocol_errors, 1);
+    drop(gw);
+    backend.shutdown();
+}

@@ -90,6 +90,27 @@ mod tests {
     }
 
     #[test]
+    fn a_batch_is_one_journal_frame() {
+        use hb_tracefmt::wire::EventFrame;
+        let mut j = SessionJournal::new(2);
+        let batch = ClientMsg::Events {
+            session: "s".into(),
+            events: (0..64)
+                .map(|i| EventFrame {
+                    p: 0,
+                    clock: vec![i + 1],
+                    set: Default::default(),
+                })
+                .collect(),
+        };
+        assert!(j.push(batch.clone()));
+        assert_eq!(j.len(), 1, "a batch journals unsplit");
+        assert!(j.push(frame(0)));
+        assert!(!j.push(batch), "the bound counts frames, not events");
+        assert!(j.overflowed());
+    }
+
+    #[test]
     fn overflow_discards_everything_permanently() {
         let mut j = SessionJournal::new(2);
         assert!(j.push(frame(0)));

@@ -84,6 +84,11 @@ pub struct GatewayConfig {
     pub dial_retry: RetryPolicy,
     /// Period of the stats log line on stderr; `None` disables it.
     pub stats_interval: Option<Duration>,
+    /// The highest protocol version this gateway speaks to its clients
+    /// — normally [`wire::WIRE_VERSION`]. Lowering it emulates an older
+    /// gateway (refusing newer `hello`s and, below 3, the batched
+    /// `events` frame) for compatibility tests.
+    pub wire_version: u32,
 }
 
 impl Default for GatewayConfig {
@@ -101,6 +106,7 @@ impl Default for GatewayConfig {
                 cap: Duration::from_millis(200),
             },
             stats_interval: None,
+            wire_version: wire::WIRE_VERSION,
         }
     }
 }
@@ -323,11 +329,24 @@ fn ensure_conn(inner: &Arc<Inner>, b: usize, slot: usize) -> Result<Sender<Clien
     let (tx, rx) = bounded::<ClientMsg>(inner.config.pipeline_depth);
     {
         let mut writer = dialed.writer;
+        // Batches normally relay unsplit, but a backend that welcomed a
+        // pre-3 version has no `events` decoder — downgrade at the last
+        // moment, on this connection only, so a mixed-version fleet
+        // still fails over freely.
+        let peer_version = dialed.peer_version;
         std::thread::Builder::new()
             .name(format!("hb-gateway-b{b}s{slot}-w"))
             .spawn(move || {
                 for msg in rx.iter() {
-                    if wire::write_frame(&mut writer, &msg).is_err() {
+                    let ok = match msg {
+                        ClientMsg::Events { session, events } if peer_version < 3 => {
+                            events.into_iter().all(|e| {
+                                wire::write_frame(&mut writer, &e.into_event(&session)).is_ok()
+                            })
+                        }
+                        msg => wire::write_frame(&mut writer, &msg).is_ok(),
+                    };
+                    if !ok {
                         return;
                     }
                 }
@@ -886,14 +905,14 @@ fn client_error(
 /// `MonitorHandle::submit`.
 fn handle_client_msg(inner: &Arc<Inner>, msg: ClientMsg, sink: &Sender<ServerMsg>) {
     match msg {
-        ClientMsg::Hello { version } => match wire::check_version(version) {
-            Ok(()) => {
-                let _ = sink.send(ServerMsg::Welcome {
-                    version: wire::WIRE_VERSION,
-                });
+        ClientMsg::Hello { version } => {
+            match wire::negotiate_version(version, inner.config.wire_version) {
+                Ok(version) => {
+                    let _ = sink.send(ServerMsg::Welcome { version });
+                }
+                Err(message) => client_error(inner, sink, None, None, message),
             }
-            Err(message) => client_error(inner, sink, None, None, message),
-        },
+        }
         ClientMsg::Stats => {
             let _ = sink.send(ServerMsg::Stats {
                 counters: aggregate_stats(inner),
@@ -950,7 +969,22 @@ fn handle_client_msg(inner: &Arc<Inner>, msg: ClientMsg, sink: &Sender<ServerMsg
             let mut e = entry.lock();
             forward_frame(inner, &mut e, msg);
         }
+        // A pre-v3 gateway would fail to decode an `events` frame;
+        // emulate its answer so compatibility tests stay honest. (The
+        // SDK never triggers this — it falls back after the handshake.)
+        ClientMsg::Events { .. } if inner.config.wire_version < 3 => {
+            client_error(
+                inner,
+                sink,
+                None,
+                None,
+                "unknown client message 'events'".into(),
+            );
+        }
+        // A batch journals and relays as ONE frame — it re-chunks
+        // nowhere between the SDK and the backend's WAL.
         ClientMsg::Event { ref session, .. }
+        | ClientMsg::Events { ref session, .. }
         | ClientMsg::FinishProcess { ref session, .. }
         | ClientMsg::Close { ref session } => {
             let Some(arc) = entry_of(inner, session) else {

@@ -424,8 +424,17 @@ fn hello_handshake_accepts_supported_and_rejects_future_versions() {
     let (gw_addr, _gw) = start_gateway(vec![addr_a]);
 
     let mut client = Client::connect(&gw_addr);
+    // Negotiation echoes the client's version (capped at the server's
+    // own), so an old client is welcomed at the version it can speak.
     client.send(&ClientMsg::Hello {
         version: wire::MIN_WIRE_VERSION,
+    });
+    match client.recv() {
+        ServerMsg::Welcome { version } => assert_eq!(version, wire::MIN_WIRE_VERSION),
+        other => panic!("expected welcome, got {other:?}"),
+    }
+    client.send(&ClientMsg::Hello {
+        version: wire::WIRE_VERSION,
     });
     match client.recv() {
         ServerMsg::Welcome { version } => assert_eq!(version, wire::WIRE_VERSION),

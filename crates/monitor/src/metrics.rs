@@ -18,6 +18,9 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 pub struct Metrics {
     /// Events accepted off a transport (before causal buffering).
     pub events_ingested: AtomicU64,
+    /// Batched `events` frames accepted (wire v3); their members are
+    /// also counted individually in `events_ingested`.
+    pub batches_ingested: AtomicU64,
     /// Events released by causal buffers to detectors.
     pub events_delivered: AtomicU64,
     /// Events currently held back awaiting predecessors (gauge).
@@ -87,6 +90,7 @@ impl Metrics {
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             events_ingested: self.events_ingested.load(Relaxed),
+            batches_ingested: self.batches_ingested.load(Relaxed),
             events_delivered: self.events_delivered.load(Relaxed),
             events_held: self.events_held.load(Relaxed),
             events_held_high_water: self.events_held_high_water.load(Relaxed),
@@ -118,6 +122,7 @@ impl Metrics {
 #[allow(missing_docs)] // field names mirror `Metrics` one-to-one
 pub struct MetricsSnapshot {
     pub events_ingested: u64,
+    pub batches_ingested: u64,
     pub events_delivered: u64,
     pub events_held: u64,
     pub events_held_high_water: u64,
@@ -147,6 +152,7 @@ impl MetricsSnapshot {
     pub fn to_map(&self) -> BTreeMap<String, u64> {
         [
             ("events_ingested", self.events_ingested),
+            ("batches_ingested", self.batches_ingested),
             ("events_delivered", self.events_delivered),
             ("events_held", self.events_held),
             ("events_held_high_water", self.events_held_high_water),
@@ -224,7 +230,7 @@ mod tests {
         m.events_ingested.fetch_add(5, Relaxed);
         let map = m.snapshot().to_map();
         assert_eq!(map["events_ingested"], 5);
-        assert_eq!(map.len(), 23);
+        assert_eq!(map.len(), 24);
     }
 
     #[test]

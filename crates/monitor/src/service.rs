@@ -75,6 +75,12 @@ pub struct MonitorConfig {
     /// Write-ahead logging and crash recovery; `None` keeps the service
     /// purely in-memory.
     pub persist: Option<PersistConfig>,
+    /// The highest protocol version this service speaks — normally
+    /// [`wire::WIRE_VERSION`]. Lowering it makes the service behave
+    /// like an older build (refusing newer `hello`s and, below 3, the
+    /// batched `events` frame); compatibility tests use this to pit a
+    /// current SDK against yesterday's server.
+    pub wire_version: u32,
 }
 
 impl Default for MonitorConfig {
@@ -84,6 +90,7 @@ impl Default for MonitorConfig {
             limits: SessionLimits::default(),
             stats_interval: None,
             persist: None,
+            wire_version: wire::WIRE_VERSION,
         }
     }
 }
@@ -104,6 +111,15 @@ enum Cmd {
         clock: Vec<u32>,
         set: BTreeMap<String, i64>,
         /// Errors go here when the session itself is unknown.
+        sink: Sender<ServerMsg>,
+    },
+    /// A wire-v3 batch: WAL-appended atomically by the handle, then
+    /// delivered here as one command whose members feed the causal
+    /// buffer one at a time — verdicts are identical to the unbatched
+    /// stream by construction.
+    EventBatch {
+        session: String,
+        events: Vec<wire::EventFrame>,
         sink: Sender<ServerMsg>,
     },
     Finish {
@@ -145,6 +161,7 @@ pub struct MonitorService {
     wal: Option<SharedWal>,
     stats_stop: Option<Sender<()>>,
     stats_thread: Option<JoinHandle<()>>,
+    wire_version: u32,
 }
 
 /// A cheap, cloneable client of a running service.
@@ -153,6 +170,7 @@ pub struct MonitorHandle {
     shards: Vec<Sender<Cmd>>,
     metrics: Arc<Metrics>,
     wal: Option<SharedWal>,
+    wire_version: u32,
 }
 
 fn shard_index_of(session: &str, shards: usize) -> usize {
@@ -204,6 +222,13 @@ fn apply_replayed(msg: ClientMsg, sessions: &mut HashMap<String, Session>, limit
         } => {
             if let Some(s) = sessions.get_mut(&session) {
                 let _ = s.event(p, VectorClock::from_components(clock), &set);
+            }
+        }
+        ClientMsg::Events { session, events } => {
+            if let Some(s) = sessions.get_mut(&session) {
+                for e in events {
+                    let _ = s.event(e.p, VectorClock::from_components(e.clock), &e.set);
+                }
             }
         }
         ClientMsg::FinishProcess { session, p } => {
@@ -395,6 +420,9 @@ impl MonitorService {
             wal,
             stats_stop,
             stats_thread,
+            wire_version: config
+                .wire_version
+                .clamp(wire::MIN_WIRE_VERSION, wire::WIRE_VERSION),
         })
     }
 
@@ -404,6 +432,7 @@ impl MonitorService {
             shards: self.shards.clone(),
             metrics: Arc::clone(&self.metrics),
             wal: self.wal.clone(),
+            wire_version: self.wire_version,
         }
     }
 
@@ -478,11 +507,9 @@ impl MonitorHandle {
             // Version handshake: also the gateway's health probe, so it
             // must stay cheap and side-effect free.
             ClientMsg::Hello { version } => {
-                match wire::check_version(*version) {
-                    Ok(()) => {
-                        let _ = sink.send(ServerMsg::Welcome {
-                            version: wire::WIRE_VERSION,
-                        });
+                match wire::negotiate_version(*version, self.wire_version) {
+                    Ok(version) => {
+                        let _ = sink.send(ServerMsg::Welcome { version });
                     }
                     Err(message) => {
                         self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -504,6 +531,19 @@ impl MonitorHandle {
                         "cannot drain '{backend}': this is a monitor backend, \
                          not a gateway — point `hbtl gateway drain` at the gateway"
                     ),
+                });
+                return;
+            }
+            // A pre-v3 build has no `events` decoder; answering the way
+            // its parser would keeps the emulation honest for
+            // compatibility tests (the SDK never triggers this — it
+            // falls back to single frames after the handshake).
+            ClientMsg::Events { .. } if self.wire_version < 3 => {
+                self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = sink.send(ServerMsg::Error {
+                    session: None,
+                    kind: None,
+                    message: "unknown client message 'events'".into(),
                 });
                 return;
             }
@@ -543,6 +583,17 @@ impl MonitorHandle {
                     p,
                     clock,
                     set,
+                    sink: sink.clone(),
+                },
+            ),
+            // One WAL record for the whole batch (already serialized
+            // above), one shard command: the append is atomic, delivery
+            // below is per-event.
+            ClientMsg::Events { session, events } => (
+                self.shard_index(&session),
+                Cmd::EventBatch {
+                    session,
+                    events,
                     sink: sink.clone(),
                 },
             ),
@@ -683,6 +734,60 @@ fn error_kind_of(e: &SessionError) -> Option<&'static str> {
     }
 }
 
+/// Feeds one event into an attached slot's causal buffer and reports
+/// the outcome — the shared per-event path of `Cmd::Event` and every
+/// member of a `Cmd::EventBatch`.
+fn ingest_one(
+    name: &str,
+    slot: &mut Slot,
+    p: usize,
+    clock: Vec<u32>,
+    set: BTreeMap<String, i64>,
+    metrics: &Metrics,
+) {
+    metrics.events_ingested.fetch_add(1, Ordering::Relaxed);
+    let held_before = slot.session.held();
+    let delivered_before = slot.session.delivered();
+    match slot
+        .session
+        .event(p, VectorClock::from_components(clock), &set)
+    {
+        Ok(verdicts) => {
+            let delivered = slot.session.delivered() - delivered_before;
+            metrics
+                .events_delivered
+                .fetch_add(delivered, Ordering::Relaxed);
+            let held_now = slot.session.held();
+            if held_now > held_before {
+                metrics.held_add((held_now - held_before) as u64);
+            } else {
+                metrics.held_sub((held_before - held_now) as u64);
+            }
+            send_verdicts(name, verdicts, &slot.sink, metrics);
+        }
+        Err(e) => {
+            match &e {
+                SessionError::Ingest(IngestError::Duplicate { .. }) => {
+                    metrics.events_duplicate.fetch_add(1, Ordering::Relaxed);
+                }
+                SessionError::Ingest(IngestError::Overflow { .. }) => {
+                    metrics.events_rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                SessionError::Ingest(IngestError::Dropped) => {
+                    metrics.events_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = slot.sink.send(ServerMsg::Error {
+                session: Some(name.to_string()),
+                kind: error_kind_of(&e).map(str::to_string),
+                message: e.to_string(),
+            });
+        }
+    }
+}
+
 fn close_slot(name: &str, mut slot: Slot, metrics: &Metrics) {
     let held_before = slot.session.held() as u64;
     let (verdicts, discarded) = slot.session.close();
@@ -797,47 +902,27 @@ fn shard_worker(
                     continue;
                 };
                 attach(slot, &session, &sink, &metrics);
-                metrics.events_ingested.fetch_add(1, Ordering::Relaxed);
-                let held_before = slot.session.held();
-                let delivered_before = slot.session.delivered();
-                match slot
-                    .session
-                    .event(p, VectorClock::from_components(clock), &set)
-                {
-                    Ok(verdicts) => {
-                        let delivered = slot.session.delivered() - delivered_before;
-                        metrics
-                            .events_delivered
-                            .fetch_add(delivered, Ordering::Relaxed);
-                        let held_now = slot.session.held();
-                        if held_now > held_before {
-                            metrics.held_add((held_now - held_before) as u64);
-                        } else {
-                            metrics.held_sub((held_before - held_now) as u64);
-                        }
-                        send_verdicts(&session, verdicts, &slot.sink, &metrics);
-                    }
-                    Err(e) => {
-                        match &e {
-                            SessionError::Ingest(IngestError::Duplicate { .. }) => {
-                                metrics.events_duplicate.fetch_add(1, Ordering::Relaxed);
-                            }
-                            SessionError::Ingest(IngestError::Overflow { .. }) => {
-                                metrics.events_rejected.fetch_add(1, Ordering::Relaxed);
-                            }
-                            SessionError::Ingest(IngestError::Dropped) => {
-                                metrics.events_dropped.fetch_add(1, Ordering::Relaxed);
-                            }
-                            _ => {}
-                        }
-                        err(
-                            &slot.sink.clone(),
-                            Some(&session),
-                            error_kind_of(&e),
-                            e.to_string(),
-                            &metrics,
-                        );
-                    }
+                ingest_one(&session, slot, p, clock, set, &metrics);
+            }
+            Cmd::EventBatch {
+                session,
+                events,
+                sink,
+            } => {
+                let Some(slot) = slots.get_mut(&session) else {
+                    err(
+                        &sink,
+                        Some(&session),
+                        None,
+                        format!("no such session '{session}'"),
+                        &metrics,
+                    );
+                    continue;
+                };
+                attach(slot, &session, &sink, &metrics);
+                metrics.batches_ingested.fetch_add(1, Ordering::Relaxed);
+                for e in events {
+                    ingest_one(&session, slot, e.p, e.clock, e.set, &metrics);
                 }
             }
             Cmd::Finish { session, p, sink } => {

@@ -23,12 +23,23 @@
 //! Events the server already ingested are rejected as duplicates,
 //! which the monitor treats idempotently — also benign. Anything the
 //! crash destroyed is thereby restored from the client side.
+//!
+//! ## Wire batching
+//!
+//! Against a peer that negotiated wire version 3, a multi-event flush
+//! goes out as batched `events` frames, chunked under `batch_max`
+//! events and roughly `batch_bytes` bytes each. The unacked log still
+//! records members one event at a time: barrier deltas count events
+//! regardless of how frames grouped them, and a reconnect replay
+//! regroups the tail for whatever peer the re-dial landed on — which
+//! after a failover may be an older build that takes only single
+//! `event` frames.
 
 use crate::metrics::SdkMetrics;
 use crate::queue::{EventRec, Item};
 use crate::session::{CloseReport, SessionConfig};
 use crate::transport::Transport;
-use hb_tracefmt::wire::{error_kind, ClientMsg, ServerMsg, WireVerdict};
+use hb_tracefmt::wire::{self, error_kind, ClientMsg, ServerMsg, WireVerdict};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -157,9 +168,101 @@ impl Flusher {
         if batch.is_empty() {
             return;
         }
+        self.dispatch(batch);
+    }
+
+    /// Whether this connection's peer accepts batched `events` frames.
+    /// Consulted per flush rather than cached: a reconnect may have
+    /// landed on a peer speaking a different version.
+    fn batching(&self) -> bool {
+        self.cfg.batch_max >= 2 && self.transport.peer_version() >= 3
+    }
+
+    /// Sends one flush batch — grouped into `events` frames against a
+    /// batching peer, one `event` frame each otherwise.
+    fn dispatch(&mut self, batch: Vec<EventRec>) {
         self.metrics.batches.fetch_add(1, Ordering::Relaxed);
-        for rec in batch {
-            self.forward(rec);
+        if self.batching() && batch.len() > 1 {
+            self.forward_batch(batch);
+        } else {
+            for rec in batch {
+                self.forward(rec);
+            }
+        }
+    }
+
+    /// Forwards a multi-event flush as `events` frames chunked under
+    /// the count and byte caps. The unacked log records the members
+    /// individually, so acknowledgement and replay stay in units of
+    /// events no matter how frames grouped them on the way out.
+    fn forward_batch(&mut self, recs: Vec<EventRec>) {
+        let total = recs.len() as u64;
+        self.metrics.queued.fetch_sub(total, Ordering::Relaxed);
+        if self.failed.is_some() {
+            self.metrics.dropped.fetch_add(total, Ordering::Relaxed);
+            return;
+        }
+        let mut chunks = Vec::new();
+        let mut chunk: Vec<wire::EventFrame> = Vec::new();
+        let mut bytes = 0usize;
+        for rec in recs {
+            let frame = wire::EventFrame {
+                p: rec.p,
+                clock: rec.clock,
+                set: rec.set,
+            };
+            let size = approx_frame_bytes(&frame);
+            if !chunk.is_empty()
+                && (chunk.len() >= self.cfg.batch_max || bytes + size > self.cfg.batch_bytes)
+            {
+                chunks.push(std::mem::take(&mut chunk));
+                bytes = 0;
+            }
+            bytes += size;
+            chunk.push(frame);
+        }
+        if !chunk.is_empty() {
+            chunks.push(chunk);
+        }
+        for chunk in chunks {
+            self.send_chunk(chunk);
+        }
+    }
+
+    /// Sends one chunk — a plain `event` frame for a lone member, an
+    /// `events` frame otherwise — then moves the members into the
+    /// unacked log one event at a time.
+    fn send_chunk(&mut self, chunk: Vec<wire::EventFrame>) {
+        let n = chunk.len();
+        let msg = if n == 1 {
+            chunk
+                .into_iter()
+                .next()
+                .expect("chunk of one")
+                .into_event(&self.session)
+        } else {
+            ClientMsg::Events {
+                session: self.session.clone(),
+                events: chunk,
+            }
+        };
+        if !self.send_or_recover(&msg) {
+            self.metrics.dropped.fetch_add(n as u64, Ordering::Relaxed);
+            return;
+        }
+        match msg {
+            ClientMsg::Events { session, events } => {
+                self.metrics.wire_batches.fetch_add(1, Ordering::Relaxed);
+                for e in events {
+                    self.unacked.push_back(e.into_event(&session));
+                }
+            }
+            single => self.unacked.push_back(single),
+        }
+        self.metrics.sent.fetch_add(n as u64, Ordering::Relaxed);
+        self.since_ack += n;
+        if self.since_ack >= self.cfg.ack_every {
+            self.barrier();
         }
     }
 
@@ -248,13 +351,74 @@ impl Flusher {
 
     fn replay(&mut self) -> Result<(), String> {
         self.transport.send(&self.open_msg)?;
-        for msg in &self.unacked {
-            self.transport.send(msg)?;
-            self.metrics.resent.fetch_add(1, Ordering::Relaxed);
+        // The frames that originally carried the tail are gone; the log
+        // stores events, not frames, precisely so the replay is free to
+        // regroup them for whatever peer this connection reached.
+        for msg in self.rechunk_unacked() {
+            self.transport.send(&msg)?;
+            if let ClientMsg::Events { ref events, .. } = msg {
+                self.metrics.wire_batches.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .resent
+                    .fetch_add(events.len() as u64, Ordering::Relaxed);
+            } else {
+                self.metrics.resent.fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.transport.send(&ClientMsg::Stats)?;
         self.barriers.push_back(self.unacked.len());
         Ok(())
+    }
+
+    /// The unacked tail regrouped for the current peer: consecutive
+    /// event frames coalesce into `events` chunks under the count and
+    /// byte caps when the peer batches, and pass through one-for-one
+    /// when it does not.
+    fn rechunk_unacked(&self) -> Vec<ClientMsg> {
+        if !self.batching() || self.unacked.len() < 2 {
+            return self.unacked.iter().cloned().collect();
+        }
+        fn flush(out: &mut Vec<ClientMsg>, chunk: &mut Vec<wire::EventFrame>, session: &str) {
+            match chunk.len() {
+                0 => {}
+                1 => out.push(chunk.pop().expect("chunk of one").into_event(session)),
+                _ => out.push(ClientMsg::Events {
+                    session: session.to_string(),
+                    events: std::mem::take(chunk),
+                }),
+            }
+        }
+        let mut out = Vec::new();
+        let mut chunk: Vec<wire::EventFrame> = Vec::new();
+        let mut bytes = 0usize;
+        for msg in &self.unacked {
+            match msg {
+                ClientMsg::Event { p, clock, set, .. } => {
+                    let frame = wire::EventFrame {
+                        p: *p,
+                        clock: clock.clone(),
+                        set: set.clone(),
+                    };
+                    let size = approx_frame_bytes(&frame);
+                    if !chunk.is_empty()
+                        && (chunk.len() >= self.cfg.batch_max
+                            || bytes + size > self.cfg.batch_bytes)
+                    {
+                        flush(&mut out, &mut chunk, &self.session);
+                        bytes = 0;
+                    }
+                    bytes += size;
+                    chunk.push(frame);
+                }
+                other => {
+                    flush(&mut out, &mut chunk, &self.session);
+                    bytes = 0;
+                    out.push(other.clone());
+                }
+            }
+        }
+        flush(&mut out, &mut chunk, &self.session);
+        out
     }
 
     fn drain_replies(&mut self) {
@@ -328,14 +492,25 @@ impl Flusher {
         // once this thread returns, the channel disconnects and such a
         // send fails cleanly, counted as dropped by the queue.
         let mut last_progress = Instant::now();
+        let mut buffer: Vec<EventRec> = Vec::new();
         loop {
             match self.events.try_recv() {
                 Ok(Item::Event(rec)) => {
-                    self.forward(rec);
+                    buffer.push(rec);
+                    if buffer.len() >= self.cfg.batch_max {
+                        self.dispatch(std::mem::take(&mut buffer));
+                    }
                     last_progress = Instant::now();
                 }
                 Ok(Item::Wake) => continue,
                 Err(_) => {
+                    // Buffered events still count in the `queued` gauge
+                    // (dispatch is what decrements it), so flush them
+                    // before consulting the gauge.
+                    if !buffer.is_empty() {
+                        self.dispatch(std::mem::take(&mut buffer));
+                        continue;
+                    }
                     if self.metrics.queued.load(Ordering::Relaxed) == 0
                         || last_progress.elapsed() >= CLOSE_DRAIN_STALL
                     {
@@ -406,6 +581,14 @@ impl Flusher {
     }
 }
 
+/// Rough pre-serialization size of one batch member, used to hold an
+/// `events` frame near the configured byte budget without serializing
+/// twice: JSON scaffolding, a decimal-plus-comma width per clock
+/// component, and each set entry's key plus a decimal value.
+fn approx_frame_bytes(frame: &wire::EventFrame) -> usize {
+    32 + 12 * frame.clock.len() + frame.set.keys().map(|k| k.len() + 24).sum::<usize>()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +599,7 @@ mod tests {
     struct ScriptedTransport {
         sent: Arc<Mutex<Vec<ClientMsg>>>,
         replies: Arc<Mutex<VecDeque<ServerMsg>>>,
+        peer_version: u32,
     }
 
     impl Transport for ScriptedTransport {
@@ -429,6 +613,9 @@ mod tests {
         fn reconnect(&mut self) -> Result<(), String> {
             Ok(())
         }
+        fn peer_version(&self) -> u32 {
+            self.peer_version
+        }
         fn describe(&self) -> String {
             "scripted".into()
         }
@@ -439,18 +626,22 @@ mod tests {
         replies: Arc<Mutex<VecDeque<ServerMsg>>>,
     }
 
-    /// A flusher driven directly (no thread, no channels in play) so
-    /// tests control exactly when replies arrive.
-    fn test_flusher(ack_every: usize) -> (Flusher, Script) {
+    /// A flusher driven directly (no thread in play) so tests control
+    /// exactly when replies arrive. The returned sender feeds the event
+    /// channel for tests that exercise `collect_and_send`.
+    fn test_flusher_with(
+        cfg: SessionConfig,
+        peer_version: u32,
+        queue_cap: usize,
+    ) -> (Flusher, Script, crossbeam::channel::Sender<Item>) {
         let sent = Arc::new(Mutex::new(Vec::new()));
         let replies = Arc::new(Mutex::new(VecDeque::new()));
         let transport = ScriptedTransport {
             sent: Arc::clone(&sent),
             replies: Arc::clone(&replies),
+            peer_version,
         };
-        // The senders are dropped: these tests drive the flusher's
-        // methods directly and never enter `run`/`do_close`.
-        let (_tx, events) = crossbeam::channel::bounded::<Item>(1);
+        let (tx, events) = crossbeam::channel::bounded::<Item>(queue_cap);
         let (_ctx, ctrl) = crossbeam::channel::unbounded::<Ctrl>();
         let flusher = Flusher {
             transport: Box::new(transport),
@@ -463,10 +654,7 @@ mod tests {
             },
             session: "t".into(),
             processes: 1,
-            cfg: SessionConfig {
-                ack_every,
-                ..SessionConfig::default()
-            },
+            cfg,
             metrics: Arc::new(SdkMetrics::default()),
             events,
             ctrl,
@@ -479,7 +667,18 @@ mod tests {
             recreated: false,
             failed: None,
         };
-        (flusher, Script { sent, replies })
+        (flusher, Script { sent, replies }, tx)
+    }
+
+    fn test_flusher(ack_every: usize) -> (Flusher, Script) {
+        let cfg = SessionConfig {
+            ack_every,
+            ..SessionConfig::default()
+        };
+        // The sender is dropped: these tests drive the flusher's
+        // methods directly and never enter `run`/`do_close`.
+        let (flusher, script, _tx) = test_flusher_with(cfg, 3, 1);
+        (flusher, script)
     }
 
     fn push_event(f: &mut Flusher, i: u32) {
@@ -558,5 +757,163 @@ mod tests {
         f.drain_replies();
         assert!(f.unacked.is_empty());
         assert!(f.barriers.is_empty());
+    }
+
+    fn recs(range: std::ops::Range<u32>) -> Vec<EventRec> {
+        range
+            .map(|i| EventRec {
+                p: 0,
+                clock: vec![i + 1],
+                set: BTreeMap::new(),
+            })
+            .collect()
+    }
+
+    /// Feeds a batch through `dispatch` the way `collect_and_send`
+    /// would, keeping the queued gauge consistent.
+    fn push_batch(f: &mut Flusher, range: std::ops::Range<u32>) {
+        let batch = recs(range);
+        f.metrics
+            .queued
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        f.dispatch(batch);
+    }
+
+    /// Barriers straddling batch boundaries: each `Stats` reply must
+    /// retire exactly the whole-batch delta its own barrier covered,
+    /// even when a batch's events split across two barriers' coverage.
+    #[test]
+    fn overlapping_barriers_retire_whole_batch_deltas() {
+        let cfg = SessionConfig {
+            ack_every: 4,
+            batch_max: 4,
+            ..SessionConfig::default()
+        };
+        let (mut f, script, _tx) = test_flusher_with(cfg, 3, 1);
+        // Six events arrive in one flush: chunks of 4 and 2. The first
+        // chunk trips the barrier; the second leaves since_ack at 2.
+        push_batch(&mut f, 0..6);
+        assert_eq!(f.barriers, [4]);
+        assert_eq!(f.unacked.len(), 6);
+        // Two more events: since_ack reaches 4 again, second barrier
+        // covers the delta (2 + 2), not the cumulative log.
+        push_batch(&mut f, 6..8);
+        assert_eq!(f.barriers, [4, 4]);
+
+        let events_frames = script
+            .sent
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|m| matches!(m, ClientMsg::Events { .. }))
+            .count();
+        assert_eq!(events_frames, 3, "chunks of 4, 2, and 2");
+        assert_eq!(f.metrics.snapshot().wire_batches_sent, 3);
+        assert_eq!(f.metrics.snapshot().events_sent, 8);
+
+        script.replies.lock().unwrap().push_back(stats_reply());
+        f.drain_replies();
+        assert_eq!(f.unacked.len(), 4, "first reply retires the first chunk");
+        script.replies.lock().unwrap().push_back(stats_reply());
+        f.drain_replies();
+        assert!(f.unacked.is_empty());
+    }
+
+    /// Reconnect replay regroups the per-event unacked log into fresh
+    /// `events` frames under the caps — the original frame boundaries
+    /// are gone and irrelevant.
+    #[test]
+    fn replay_rechunks_the_unacked_tail() {
+        let cfg = SessionConfig {
+            ack_every: 100,
+            batch_max: 2,
+            ..SessionConfig::default()
+        };
+        let (mut f, script, _tx) = test_flusher_with(cfg, 3, 1);
+        // Five singles in the log (sent below the batching threshold).
+        for i in 0..5 {
+            push_event(&mut f, i);
+        }
+        assert_eq!(f.unacked.len(), 5);
+        script.sent.lock().unwrap().clear();
+
+        assert!(f.reconnect_and_replay());
+        let sent = script.sent.lock().unwrap().clone();
+        let shapes: Vec<&str> = sent
+            .iter()
+            .map(|m| match m {
+                ClientMsg::Open { .. } => "open",
+                ClientMsg::Events { events, .. } if events.len() == 2 => "events2",
+                ClientMsg::Event { .. } => "event",
+                ClientMsg::Stats => "stats",
+                other => panic!("unexpected replay frame {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            shapes,
+            ["open", "events2", "events2", "event", "stats"],
+            "the tail regroups as 2+2+1 under batch_max=2"
+        );
+        assert_eq!(f.barriers, [5], "one barrier re-covers the whole log");
+        assert_eq!(f.metrics.snapshot().events_resent, 5);
+        assert_eq!(f.unacked.len(), 5, "the log itself stays per-event");
+    }
+
+    /// Against a pre-v3 peer the same flush goes out as single `event`
+    /// frames — transparent fallback, no `events` frame ever written.
+    #[test]
+    fn pre_v3_peer_gets_single_frames() {
+        let cfg = SessionConfig {
+            ack_every: 100,
+            batch_max: 4,
+            ..SessionConfig::default()
+        };
+        let (mut f, script, _tx) = test_flusher_with(cfg, 2, 1);
+        push_batch(&mut f, 0..3);
+        let sent = script.sent.lock().unwrap();
+        assert_eq!(sent.len(), 3);
+        assert!(sent.iter().all(|m| matches!(m, ClientMsg::Event { .. })));
+        drop(sent);
+        assert_eq!(f.metrics.snapshot().wire_batches_sent, 0);
+        assert_eq!(f.metrics.snapshot().events_sent, 3);
+        assert_eq!(f.unacked.len(), 3);
+    }
+
+    /// `DropNewest` accounting when only part of an intended batch fit
+    /// in the queue: the overflow is counted dropped at enqueue, the
+    /// queued remainder still flushes as one batch, and no event is
+    /// double-counted.
+    #[test]
+    fn drop_newest_accounts_for_a_partially_queued_batch() {
+        use crate::queue::{EventQueue, OverflowPolicy};
+        let cfg = SessionConfig {
+            ack_every: 100,
+            batch_max: 8,
+            ..SessionConfig::default()
+        };
+        let (mut f, script, tx) = test_flusher_with(cfg, 3, 2);
+        let queue = EventQueue::new(tx, OverflowPolicy::DropNewest, Arc::clone(&f.metrics));
+        let mut accepted = 0;
+        for rec in recs(0..5) {
+            if queue.push(rec) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 2, "the queue holds two; three overflow");
+        let snap = f.metrics.snapshot();
+        assert_eq!(snap.events_enqueued, 5);
+        assert_eq!(snap.events_dropped, 3);
+
+        let first = f.events.try_recv().expect("queued event");
+        f.collect_and_send(first);
+        let snap = f.metrics.snapshot();
+        assert_eq!(snap.events_sent, 2, "only what was queued is sent");
+        assert_eq!(snap.events_dropped, 3, "flushing drops nothing more");
+        assert_eq!(snap.events_queued, 0);
+        let sent = script.sent.lock().unwrap();
+        assert!(
+            matches!(&sent[..], [ClientMsg::Events { events, .. }] if events.len() == 2),
+            "the queued remainder flushes as one batch: {sent:?}"
+        );
     }
 }

@@ -18,6 +18,7 @@ pub struct SdkMetrics {
     pub(crate) resent: AtomicU64,
     pub(crate) dropped: AtomicU64,
     pub(crate) batches: AtomicU64,
+    pub(crate) wire_batches: AtomicU64,
     pub(crate) acks: AtomicU64,
     pub(crate) reconnects: AtomicU64,
     pub(crate) server_errors: AtomicU64,
@@ -36,6 +37,7 @@ impl SdkMetrics {
             events_resent: get(&self.resent),
             events_dropped: get(&self.dropped),
             batches_flushed: get(&self.batches),
+            wire_batches_sent: get(&self.wire_batches),
             acks_received: get(&self.acks),
             reconnects: get(&self.reconnects),
             server_errors: get(&self.server_errors),
@@ -61,6 +63,10 @@ pub struct SdkSnapshot {
     pub events_dropped: u64,
     /// Flush batches written.
     pub batches_flushed: u64,
+    /// Batched `events` wire frames written (wire v3 peers only; a
+    /// flush batch may chunk into several, and stays 0 against older
+    /// peers where every event goes as its own frame).
+    pub wire_batches_sent: u64,
     /// Acknowledgement barriers confirmed by the server.
     pub acks_received: u64,
     /// Times the flusher re-dialed after losing the connection.
@@ -85,6 +91,7 @@ impl SdkSnapshot {
         put("events_resent", self.events_resent);
         put("events_dropped", self.events_dropped);
         put("batches_flushed", self.batches_flushed);
+        put("wire_batches_sent", self.wire_batches_sent);
         put("acks_received", self.acks_received);
         put("reconnects", self.reconnects);
         put("server_errors", self.server_errors);

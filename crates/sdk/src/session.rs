@@ -29,8 +29,14 @@ pub struct SessionConfig {
     pub queue_capacity: usize,
     /// What tracers do when the queue is full.
     pub overflow: OverflowPolicy,
-    /// Maximum events written per flush batch.
+    /// Maximum events written per flush batch — and, against a wire-v3
+    /// peer, per batched `events` frame.
     pub batch_max: usize,
+    /// Approximate byte budget per batched `events` frame (estimated
+    /// before serialization). A flush batch whose events exceed it is
+    /// chunked into several frames. Only consulted when the peer
+    /// negotiated wire version 3 or newer.
+    pub batch_bytes: usize,
     /// Events between acknowledgement barriers. Smaller = less resent
     /// on reconnect; larger = fewer round trips.
     pub ack_every: usize,
@@ -49,6 +55,7 @@ impl Default for SessionConfig {
             queue_capacity: 4096,
             overflow: OverflowPolicy::Block,
             batch_max: 128,
+            batch_bytes: 256 * 1024,
             ack_every: 256,
             retry: RetryPolicy {
                 attempts: 20,
@@ -166,6 +173,14 @@ impl SessionBuilder {
     /// Sets the acknowledgement-barrier interval.
     pub fn ack_every(mut self, events: usize) -> Self {
         self.config.ack_every = events.max(1);
+        self
+    }
+
+    /// Sets the flush-batch event cap. `1` disables wire batching
+    /// entirely: every event goes as its own `event` frame even to a
+    /// v3 peer.
+    pub fn batch_max(mut self, events: usize) -> Self {
+        self.config.batch_max = events.max(1);
         self
     }
 

@@ -42,6 +42,12 @@ impl Transport for CaptureTransport {
             ClientMsg::Event { p, clock, .. } => {
                 self.captured.lock().unwrap().push((*p, clock.clone()));
             }
+            ClientMsg::Events { events, .. } => {
+                let mut captured = self.captured.lock().unwrap();
+                for e in events {
+                    captured.push((e.p, e.clock.clone()));
+                }
+            }
             ClientMsg::Stats => self.replies.push_back(ServerMsg::Stats {
                 counters: BTreeMap::new(),
             }),

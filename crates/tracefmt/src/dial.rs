@@ -107,39 +107,63 @@ pub struct Dialed {
     pub reader: BufReader<TcpStream>,
     /// An unbuffered clone for out-of-band shutdown.
     pub stream: TcpStream,
+    /// The protocol version the handshake settled on — the lesser of
+    /// what we announced and what the peer welcomed. Senders consult it
+    /// before using frames the peer may not know (batched `events` need
+    /// 3 or newer).
+    pub peer_version: u32,
 }
 
 /// Connects with retry and performs the `Hello`/`Welcome` version
 /// handshake. Doubles as the health probe: a peer that completes it is
 /// alive, speaks the protocol, and accepts our version.
+///
+/// Negotiation walks downward: we announce [`wire::WIRE_VERSION`]
+/// first; a server that refuses it (`unsupported protocol version …`)
+/// keeps the connection, so we re-hello with the next-lower version
+/// until one is welcomed or the window is exhausted. A version-1 peer
+/// predates the handshake entirely and answers `unknown client
+/// message 'hello'`; if it leaves the connection usable we proceed at
+/// version 1 with no welcome.
 pub fn dial(addr: &str, policy: &RetryPolicy) -> Result<Dialed, String> {
     let stream = connect_with_retry(addr, policy)?;
     let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    wire::write_frame(
-        &mut writer,
-        &ClientMsg::Hello {
-            version: wire::WIRE_VERSION,
-        },
-    )
-    .map_err(|e| format!("handshake {addr}: {e}"))?;
-    match wire::read_frame::<_, ServerMsg>(&mut reader) {
-        Ok(Some(ServerMsg::Welcome { version })) => {
-            wire::check_version(version).map_err(|m| format!("handshake {addr}: {m}"))?;
+    let mut announce = wire::WIRE_VERSION;
+    let peer_version = loop {
+        wire::write_frame(&mut writer, &ClientMsg::Hello { version: announce })
+            .map_err(|e| format!("handshake {addr}: {e}"))?;
+        match wire::read_frame::<_, ServerMsg>(&mut reader) {
+            Ok(Some(ServerMsg::Welcome { version })) => {
+                wire::check_version(version).map_err(|m| format!("handshake {addr}: {m}"))?;
+                break version.min(wire::WIRE_VERSION);
+            }
+            Ok(Some(ServerMsg::Error { message, .. }))
+                if message.contains("unsupported protocol version")
+                    && announce > wire::MIN_WIRE_VERSION =>
+            {
+                announce -= 1;
+            }
+            Ok(Some(ServerMsg::Error { message, .. }))
+                if message.contains("unknown client message") =>
+            {
+                break wire::MIN_WIRE_VERSION;
+            }
+            Ok(Some(ServerMsg::Error { message, .. })) => {
+                return Err(format!("handshake {addr}: {message}"));
+            }
+            Ok(Some(other)) => {
+                return Err(format!("handshake {addr}: unexpected reply {other:?}"));
+            }
+            Ok(None) => return Err(format!("handshake {addr}: peer closed the connection")),
+            Err(e) => return Err(format!("handshake {addr}: {e}")),
         }
-        Ok(Some(ServerMsg::Error { message, .. })) => {
-            return Err(format!("handshake {addr}: {message}"));
-        }
-        Ok(Some(other)) => {
-            return Err(format!("handshake {addr}: unexpected reply {other:?}"));
-        }
-        Ok(None) => return Err(format!("handshake {addr}: peer closed the connection")),
-        Err(e) => return Err(format!("handshake {addr}: {e}")),
-    }
+    };
     Ok(Dialed {
         writer,
         reader,
         stream,
+        peer_version,
     })
 }
 

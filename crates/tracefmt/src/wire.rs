@@ -36,7 +36,11 @@ pub const MAX_FRAME_BYTES: usize = 16 << 20;
 /// * **2** — adds the optional [`ClientMsg::Hello`] / [`ServerMsg::Welcome`]
 ///   handshake and the gateway admin frames ([`ClientMsg::Drain`],
 ///   [`ServerMsg::Drained`]).
-pub const WIRE_VERSION: u32 = 2;
+/// * **3** — adds the batched [`ClientMsg::Events`] frame. Batching is
+///   negotiated: a server echoes the client's version in `welcome`
+///   (capped at its own), and a client only sends `events` frames to a
+///   peer that welcomed version 3 or newer.
+pub const WIRE_VERSION: u32 = 3;
 
 /// The oldest peer version still accepted. A client that never sends
 /// `Hello` is treated as this version — version-1 peers predate the
@@ -46,12 +50,23 @@ pub const MIN_WIRE_VERSION: u32 = 1;
 /// Validates a peer's announced protocol version; the `Err` carries the
 /// exact message a server should answer with before ignoring the peer.
 pub fn check_version(version: u32) -> Result<(), String> {
-    if (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
-        Ok(())
+    negotiate_version(version, WIRE_VERSION).map(|_| ())
+}
+
+/// Server-side handshake: validates a client's announced version
+/// against the highest version this server speaks (`max`, normally
+/// [`WIRE_VERSION`]) and returns the version to echo in
+/// [`ServerMsg::Welcome`] — the client's own, so an older client is
+/// never welcomed with a number it would refuse. The `Err` carries the
+/// exact message to answer with before ignoring the peer; a client
+/// seeing it retries the handshake with its next-lower version.
+pub fn negotiate_version(version: u32, max: u32) -> Result<u32, String> {
+    if (MIN_WIRE_VERSION..=max).contains(&version) {
+        Ok(version)
     } else {
         Err(format!(
             "unsupported protocol version {version} (this peer speaks \
-             {MIN_WIRE_VERSION} through {WIRE_VERSION})"
+             {MIN_WIRE_VERSION} through {max})"
         ))
     }
 }
@@ -114,6 +129,33 @@ pub enum WireVerdict {
     Pending,
 }
 
+/// One event inside a [`ClientMsg::Events`] batch: the per-event
+/// fields of [`ClientMsg::Event`] minus the session name, which the
+/// batch carries once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventFrame {
+    /// Executing process.
+    pub p: usize,
+    /// Vector clock of the event (length = session's `processes`).
+    pub clock: Vec<u32>,
+    /// Variable assignments taking effect at the event.
+    pub set: BTreeMap<String, i64>,
+}
+
+impl EventFrame {
+    /// Rewraps this frame as the single-event message it abbreviates —
+    /// how a relay downgrades a batch for a pre-v3 backend, and how a
+    /// receiver feeds batch members through its per-event path.
+    pub fn into_event(self, session: &str) -> ClientMsg {
+        ClientMsg::Event {
+            session: session.to_string(),
+            p: self.p,
+            clock: self.clock,
+            set: self.set,
+        }
+    }
+}
+
 /// Messages a client sends to the monitor.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientMsg {
@@ -159,6 +201,19 @@ pub enum ClientMsg {
         clock: Vec<u32>,
         /// Variable assignments taking effect at the event.
         set: BTreeMap<String, i64>,
+    },
+    /// A batch of observed events for one session, in send order.
+    ///
+    /// Wire version 3. Semantically identical to sending each member as
+    /// a [`ClientMsg::Event`] in sequence — batching is purely a
+    /// transport optimization and must never change verdicts. A batch
+    /// is never empty; receivers reject zero-length batches so a
+    /// corrupted length field cannot smuggle a no-op frame.
+    Events {
+        /// Target session.
+        session: String,
+        /// The events, oldest first. Never empty.
+        events: Vec<EventFrame>,
     },
     /// Declares that process `p` will send no further events.
     FinishProcess {
@@ -344,6 +399,30 @@ impl Deserialize for WireVerdict {
     }
 }
 
+impl Serialize for EventFrame {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("p".into(), self.p.to_value()),
+            ("clock".into(), self.clock.to_value()),
+        ];
+        if !self.set.is_empty() {
+            fields.push(("set".into(), self.set.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for EventFrame {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        Ok(EventFrame {
+            p: help::field(v, "p")?,
+            clock: help::field(v, "clock")?,
+            set: help::field_or_default(v, "set")?,
+        })
+    }
+}
+
 impl Serialize for ClientMsg {
     fn to_value(&self) -> Value {
         match self {
@@ -386,6 +465,11 @@ impl Serialize for ClientMsg {
                 }
                 Value::Object(fields)
             }
+            ClientMsg::Events { session, events } => Value::Object(vec![
+                ("type".into(), "events".to_value()),
+                ("session".into(), session.to_value()),
+                ("events".into(), events.to_value()),
+            ]),
             ClientMsg::FinishProcess { session, p } => Value::Object(vec![
                 ("type".into(), "finish".to_value()),
                 ("session".into(), session.to_value()),
@@ -423,6 +507,16 @@ impl Deserialize for ClientMsg {
                 clock: help::field(v, "clock")?,
                 set: help::field_or_default(v, "set")?,
             }),
+            "events" => {
+                let events: Vec<EventFrame> = help::field(v, "events")?;
+                if events.is_empty() {
+                    return Err(DeError::msg("empty event batch"));
+                }
+                Ok(ClientMsg::Events {
+                    session: help::field(v, "session")?,
+                    events,
+                })
+            }
             "finish" => Ok(ClientMsg::FinishProcess {
                 session: help::field(v, "session")?,
                 p: help::field(v, "p")?,
@@ -710,6 +804,88 @@ mod tests {
             backend: "127.0.0.1:7575".into(),
             sessions: 3,
         });
+    }
+
+    #[test]
+    fn event_batches_round_trip() {
+        round_trip(ClientMsg::Events {
+            session: "s1".into(),
+            events: vec![
+                EventFrame {
+                    p: 0,
+                    clock: vec![1, 0, 0],
+                    set: [("x".to_string(), 7i64)].into_iter().collect(),
+                },
+                EventFrame {
+                    p: 2,
+                    clock: vec![1, 0, 1],
+                    set: BTreeMap::new(),
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn zero_length_batch_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Value::Object(vec![
+                ("type".into(), "events".to_value()),
+                ("session".into(), "s1".to_value()),
+                ("events".into(), Vec::<EventFrame>::new().to_value()),
+            ]),
+        )
+        .unwrap();
+        let err = read_frame::<_, ClientMsg>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("empty event batch"), "{err}");
+    }
+
+    #[test]
+    fn batch_members_match_their_single_frame_form() {
+        let frame = EventFrame {
+            p: 1,
+            clock: vec![0, 3],
+            set: [("y".to_string(), -1i64)].into_iter().collect(),
+        };
+        let single = frame.clone().into_event("s");
+        // A batch member serializes exactly like the event body it
+        // abbreviates: same fields, same empty-`set` omission.
+        let member = serde_json::to_string(&frame.to_value()).unwrap();
+        assert_eq!(member, r#"{"p":1,"clock":[0,3],"set":{"y":-1}}"#);
+        assert_eq!(
+            single,
+            ClientMsg::Event {
+                session: "s".into(),
+                p: 1,
+                clock: vec![0, 3],
+                set: [("y".to_string(), -1i64)].into_iter().collect(),
+            }
+        );
+        let bare = EventFrame {
+            p: 0,
+            clock: vec![1],
+            set: BTreeMap::new(),
+        };
+        assert_eq!(
+            serde_json::to_string(&bare.to_value()).unwrap(),
+            r#"{"p":0,"clock":[1]}"#
+        );
+    }
+
+    #[test]
+    fn negotiation_echoes_the_client_version() {
+        assert_eq!(negotiate_version(MIN_WIRE_VERSION, WIRE_VERSION), Ok(1));
+        assert_eq!(negotiate_version(2, WIRE_VERSION), Ok(2));
+        assert_eq!(
+            negotiate_version(WIRE_VERSION, WIRE_VERSION),
+            Ok(WIRE_VERSION)
+        );
+        // A v2-era server refuses a v3 hello; the client downgrades.
+        let err = negotiate_version(3, 2).unwrap_err();
+        assert!(err.contains("1 through 2"), "{err}");
+        assert!(negotiate_version(0, WIRE_VERSION).is_err());
+        assert!(negotiate_version(WIRE_VERSION + 1, WIRE_VERSION).is_err());
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! attacker-controlled length prefix that the peer does not back with
 //! actual bytes.
 
-use hb_tracefmt::wire::{read_frame, write_frame, ClientMsg, ServerMsg, MAX_FRAME_BYTES};
+use hb_tracefmt::wire::{
+    read_frame, write_frame, ClientMsg, EventFrame, ServerMsg, MAX_FRAME_BYTES,
+};
 use hb_tracefmt::TraceError;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -32,6 +34,20 @@ fn encode(msg: &ClientMsg) -> Vec<u8> {
     let mut buf = Vec::new();
     write_frame(&mut buf, msg).expect("encode");
     buf
+}
+
+/// A batched `events` frame with `n` members sharing a clock shape.
+fn sample_batch(n: usize, clock: &[u32]) -> ClientMsg {
+    ClientMsg::Events {
+        session: "sess".into(),
+        events: (0..n)
+            .map(|i| EventFrame {
+                p: i % 3,
+                clock: clock.to_vec(),
+                set: [(format!("x{i}"), i as i64)].into_iter().collect(),
+            })
+            .collect(),
+    }
 }
 
 /// Drains a reader until it stops yielding frames; panics bubble up.
@@ -123,6 +139,83 @@ proptest! {
     #[test]
     fn arbitrary_garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..200)) {
         drain(&bytes);
+    }
+
+    // The batched wire-v3 `events` frame faces the same adversary.
+
+    #[test]
+    fn batched_frames_round_trip_and_truncations_are_errors(
+        n in 1usize..32,
+        clock in prop::collection::vec(0u32..9, 1..5),
+        cut_seed in 0usize..10_000,
+    ) {
+        let frame = encode(&sample_batch(n, &clock));
+        // Intact: parses back to the same batch.
+        let mut r = Cursor::new(&frame[..]);
+        prop_assert_eq!(
+            read_frame::<_, ClientMsg>(&mut r).expect("intact batch"),
+            Some(sample_batch(n, &clock))
+        );
+        // Cut strictly inside: possibly mid-member — never a partial
+        // batch, always an error (or clean EOF at cut 0).
+        let cut = cut_seed % frame.len();
+        let mut r = Cursor::new(&frame[..cut]);
+        match read_frame::<_, ClientMsg>(&mut r) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only an empty stream is a clean EOF"),
+            Ok(Some(_)) => prop_assert!(false, "a truncated batch must not parse"),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn batched_frames_with_oversized_length_claims_are_rejected(
+        excess in 1usize..1_000_000,
+        n in 1usize..8,
+    ) {
+        // An honest batch body behind a lying, over-limit length prefix:
+        // rejected on the prefix alone, before any allocation.
+        let body = {
+            let mut encoded = encode(&sample_batch(n, &[1, 2]));
+            let space = encoded.iter().position(|&b| b == b' ').expect("header");
+            encoded.drain(..=space);
+            encoded
+        };
+        let mut frame = format!("{} ", MAX_FRAME_BYTES + excess).into_bytes();
+        frame.extend_from_slice(&body);
+        let mut r = Cursor::new(frame);
+        match read_frame::<_, ClientMsg>(&mut r) {
+            Err(TraceError::Invalid(msg)) => {
+                prop_assert!(msg.contains("exceeds"), "{}", msg);
+            }
+            other => prop_assert!(false, "expected size rejection, got {:?}", other.map(|_| "frame")),
+        }
+    }
+
+    #[test]
+    fn zero_length_batches_are_rejected_wherever_they_appear(
+        session in "[a-z]{1,12}",
+    ) {
+        // An empty batch is a protocol violation, not a no-op: build the
+        // JSON by hand since the writer has no reason to emit one.
+        let json = format!("{{\"type\":\"events\",\"session\":\"{session}\",\"events\":[]}}");
+        let mut frame = format!("{} ", json.len() + 1).into_bytes();
+        frame.extend_from_slice(json.as_bytes());
+        frame.push(b'\n');
+        let mut r = Cursor::new(frame);
+        prop_assert!(read_frame::<_, ClientMsg>(&mut r).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_batches_never_panic(
+        n in 1usize..8,
+        clock in prop::collection::vec(0u32..9, 1..5),
+        flip_seed in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let mut frame = encode(&sample_batch(n, &clock));
+        let at = flip_seed % frame.len();
+        frame[at] ^= 1 << bit;
+        drain(&frame);
     }
 
     // The version-2 frames (handshake and gateway admin) face the same
