@@ -42,6 +42,7 @@ fn predicate(n: usize) -> WirePredicate {
                 value: -1,
             })
             .collect(),
+        pattern: None,
     }
 }
 

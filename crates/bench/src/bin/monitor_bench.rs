@@ -1,0 +1,209 @@
+//! Monitor wire-path benchmark: events/second through a live monitor
+//! behind a real TCP socket and the full frame codec. Prints one JSON
+//! object to stdout so CI can archive it (`BENCH_monitor.json`) and
+//! trend it across commits.
+//!
+//! ```text
+//! monitor_bench [--quick]
+//! ```
+//!
+//! Three modes over the same random trace:
+//! - `singles`  — one `event` frame per event, a conjunctive predicate
+//! - `batch64`  — 64-event wire-v3 `events` frames, same predicate
+//! - `pattern`  — one `event` frame per event, a 3-atom pattern
+//!   predicate, so the predictive detector's wire-path overhead is
+//!   directly comparable against `singles`.
+
+use hb_monitor::{MonitorConfig, MonitorService};
+use hb_sim::{random_computation, random_linearization, RandomSpec};
+use hb_tracefmt::wire::{
+    read_frame, write_frame, ClientMsg, EventFrame, ServerMsg, WireAtom, WireClause, WireMode,
+    WirePattern, WirePredicate, WIRE_VERSION,
+};
+use std::fmt::Write as _;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+const PROCESSES: usize = 8;
+
+/// A conjunctive predicate chosen to stay pending (value never taken),
+/// so the detector stays active over the whole stream.
+fn state_predicate() -> WirePredicate {
+    WirePredicate {
+        id: "bench".into(),
+        mode: WireMode::Conjunctive,
+        clauses: (0..PROCESSES)
+            .map(|p| WireClause {
+                process: p,
+                var: "x".into(),
+                op: "=".into(),
+                value: -1,
+            })
+            .collect(),
+        pattern: None,
+    }
+}
+
+/// `x=1 -> x=2 -> x=3`: values come from `0..32`, so atoms match ~3% of
+/// events and the Pareto-frontier machinery does realistic work.
+fn pattern_predicate() -> WirePredicate {
+    WirePredicate {
+        id: "bench".into(),
+        mode: WireMode::Pattern,
+        clauses: Vec::new(),
+        pattern: Some(WirePattern {
+            atoms: (1..=3)
+                .map(|value| WireAtom {
+                    process: None,
+                    var: "x".into(),
+                    op: "=".into(),
+                    value,
+                    causal: false,
+                })
+                .collect(),
+        }),
+    }
+}
+
+/// Streams one full session over an already-handshaken connection and
+/// waits for the close acknowledgement, so a measured run covers
+/// ingestion end to end. `chunk = 1` writes single `event` frames.
+fn stream_session(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    pred: &WirePredicate,
+    frames: &[EventFrame],
+    chunk: usize,
+    next: &mut u64,
+) {
+    let session = format!("mb-{next}");
+    *next += 1;
+    write_frame(
+        writer,
+        &ClientMsg::Open {
+            session: session.clone(),
+            processes: PROCESSES,
+            vars: vec!["x".into()],
+            initial: Vec::new(),
+            predicates: vec![pred.clone()],
+        },
+    )
+    .expect("open frame");
+    match read_frame::<_, ServerMsg>(reader).expect("open reply") {
+        Some(ServerMsg::Opened { .. }) => {}
+        other => panic!("expected opened, got {other:?}"),
+    }
+    if chunk <= 1 {
+        for f in frames {
+            write_frame(writer, &f.clone().into_event(&session)).expect("event frame");
+        }
+    } else {
+        for c in frames.chunks(chunk) {
+            write_frame(
+                writer,
+                &ClientMsg::Events {
+                    session: session.clone(),
+                    events: c.to_vec(),
+                },
+            )
+            .expect("events frame");
+        }
+    }
+    write_frame(writer, &ClientMsg::Close { session }).expect("close frame");
+    loop {
+        match read_frame::<_, ServerMsg>(reader).expect("close replies") {
+            Some(ServerMsg::Closed { .. }) => return,
+            Some(ServerMsg::Verdict { .. }) => {}
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let per_process = if quick { 64 } else { 1024 };
+    let comp = random_computation(RandomSpec {
+        processes: PROCESSES,
+        events_per_process: per_process,
+        send_percent: 30,
+        value_range: 32,
+        seed: 7,
+    });
+    let x = comp.vars().iter().next().expect("the x variable").0;
+    let frames: Vec<EventFrame> = random_linearization(&comp, 1)
+        .iter()
+        .map(|&e| EventFrame {
+            p: e.process,
+            clock: comp.clock(e).components().to_vec(),
+            set: [(
+                "x".to_string(),
+                comp.local_state(e.process, e.index as u32 + 1).get(x),
+            )]
+            .into_iter()
+            .collect(),
+        })
+        .collect();
+
+    // A live monitor behind a real socket; the serve thread dies with
+    // the process.
+    let service = MonitorService::start(MonitorConfig::default());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let handle = service.handle();
+    std::thread::spawn(move || {
+        let _ = hb_monitor::serve(listener, handle);
+    });
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    write_frame(
+        &mut writer,
+        &ClientMsg::Hello {
+            version: WIRE_VERSION,
+        },
+    )
+    .expect("hello");
+    match read_frame::<_, ServerMsg>(&mut reader).expect("welcome") {
+        Some(ServerMsg::Welcome { .. }) => {}
+        other => panic!("expected welcome, got {other:?}"),
+    }
+
+    let mut next = 0u64;
+    let modes: [(&str, WirePredicate, usize); 3] = [
+        ("singles", state_predicate(), 1),
+        ("batch64", state_predicate(), 64),
+        ("pattern", pattern_predicate(), 1),
+    ];
+    let iters = if quick { 2 } else { 5 };
+    let mut out = String::from("{\"group\":\"monitor/wire\",");
+    let _ = write!(
+        out,
+        "\"processes\":{PROCESSES},\"events\":{},\"runs\":[",
+        frames.len()
+    );
+    for (i, (mode, pred, chunk)) in modes.iter().enumerate() {
+        // Warm-up session, then best-of-n to shave scheduler noise.
+        stream_session(&mut writer, &mut reader, pred, &frames, *chunk, &mut next);
+        let mut best = f64::MAX;
+        for _ in 0..iters {
+            let start = Instant::now();
+            stream_session(&mut writer, &mut reader, pred, &frames, *chunk, &mut next);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"mode\":\"{mode}\",\"secs\":{:.6},\"events_per_sec\":{:.1},\"ns_per_event\":{:.1}}}",
+            best,
+            frames.len() as f64 / best,
+            best * 1e9 / frames.len() as f64,
+        );
+    }
+    out.push_str("]}");
+    println!("{out}");
+}

@@ -1,0 +1,129 @@
+//! Predictive pattern-matcher benchmark: amortized per-event cost as
+//! trace length grows 10×. Prints one JSON object to stdout so CI can
+//! archive it (`BENCH_pattern.json`) and trend it across commits.
+//!
+//! ```text
+//! pattern_bench [--quick]
+//! ```
+//!
+//! The matcher's claim is amortized O(1) per event (for a fixed pattern
+//! and process count): candidate lists are append-only, eligibility is
+//! a binary search over a true suffix, and frontier inserts are
+//! dominance-filtered antichains. The headline number is `flatness` —
+//! the max/min ratio of ns/event across a 10× length sweep — which
+//! should stay near 1.0 (CI accepts the cost being flat within ±20%).
+
+use hb_detect::online::OnlineMonitor;
+use hb_pattern::PredictiveMatcher;
+use hb_sim::{causal_shuffle, random_computation, RandomSpec};
+use hb_vclock::VectorClock;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const PROCESSES: usize = 4;
+/// Three linearized atoms over `x`; values are drawn from `0..32`, so
+/// each atom matches ~3% of events — rare enough that chains stay
+/// meaningful, common enough that the frontier machinery does work.
+const ATOM_VALUES: [i64; 3] = [1, 2, 3];
+
+struct Run {
+    events: usize,
+    secs: f64,
+}
+
+impl Run {
+    fn ns_per_event(&self) -> f64 {
+        self.secs * 1e9 / self.events as f64
+    }
+}
+
+/// One timed sweep: `total` events through a fresh matcher, delivered
+/// in a causality-respecting shuffle. The workload (computation, masks,
+/// delivery order) is pre-resolved outside the timed region.
+fn run(total: usize, seed: u64) -> Run {
+    let comp = random_computation(RandomSpec {
+        processes: PROCESSES,
+        events_per_process: total / PROCESSES,
+        send_percent: 20,
+        value_range: 32,
+        seed,
+    });
+    let x = comp.vars().iter().next().expect("the x variable").0;
+    let feed: Vec<(usize, u64, VectorClock)> = causal_shuffle(&comp, seed ^ 0xfeed, 8)
+        .into_iter()
+        .map(|e| {
+            let v = comp.local_state(e.process, e.index as u32 + 1).get(x);
+            let mask = ATOM_VALUES
+                .iter()
+                .enumerate()
+                .filter(|&(_, &value)| v == value)
+                .fold(0u64, |m, (k, _)| m | 1 << k);
+            (e.process, mask, comp.clock(e).clone())
+        })
+        .collect();
+
+    let mut matcher = PredictiveMatcher::new(PROCESSES, vec![false; ATOM_VALUES.len()]);
+    let start = Instant::now();
+    for (p, mask, clock) in &feed {
+        matcher.observe_atoms(*p, *mask, clock);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(matcher.verdict());
+    Run {
+        events: feed.len(),
+        secs,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let base: usize = if quick { 10_000 } else { 300_000 };
+    // A 10× sweep in roughly-geometric steps.
+    let lengths = [base, base * 3, base * 10];
+
+    // Warm up allocator, caches, and CPU clocks so no length is
+    // penalized by first-touch or ramp-up costs.
+    let _ = run(base, 99);
+
+    // Three interleaved rounds, median per length: interleaving spreads
+    // thermal and frequency drift evenly across lengths instead of
+    // letting it bias whichever one ran first.
+    let mut samples: Vec<Vec<Run>> = lengths.iter().map(|_| Vec::new()).collect();
+    for _ in 0..3 {
+        for (i, &n) in lengths.iter().enumerate() {
+            samples[i].push(run(n, 7));
+        }
+    }
+    let runs: Vec<Run> = samples
+        .into_iter()
+        .map(|mut s| {
+            s.sort_by(|a, b| a.secs.total_cmp(&b.secs));
+            s.swap_remove(s.len() / 2)
+        })
+        .collect();
+    let (min, max) = runs.iter().fold((f64::MAX, 0.0f64), |(lo, hi), r| {
+        (lo.min(r.ns_per_event()), hi.max(r.ns_per_event()))
+    });
+
+    let mut out = String::from("{\"group\":\"pattern\",");
+    let _ = write!(
+        out,
+        "\"processes\":{PROCESSES},\"atoms\":{},\"runs\":[",
+        ATOM_VALUES.len()
+    );
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"events\":{},\"secs\":{:.6},\"events_per_sec\":{:.1},\"ns_per_event\":{:.1}}}",
+            r.events,
+            r.secs,
+            r.events as f64 / r.secs,
+            r.ns_per_event(),
+        );
+    }
+    let _ = write!(out, "],\"flatness\":{:.3}}}", max / min);
+    println!("{out}");
+}

@@ -4,9 +4,20 @@
 //! ```text
 //! hbtl loadgen <addr> [--workers M] [--sessions N] [--processes P]
 //!              [--events E] [--predicates K] [--window W] [--seed S]
-//!              [--batch B] [--json]
+//!              [--batch B] [--scenario ordering-violation]
+//!              [--violation-rate PCT] [--json]
 //! hbtl loadgen --compare [--workers M] ... [--json]
 //! ```
+//!
+//! `--scenario ordering-violation` switches the workload to two-process
+//! sessions carrying a `unlock=1 -> lock=1` **pattern** predicate: each
+//! session emits a lock on process 0 and an unlock on process 1, and
+//! with probability `--violation-rate` percent (default 30) the unlock
+//! is planted *concurrent* with the lock instead of causally after it —
+//! a causally-reorderable inversion the delivered order never exhibits,
+//! which the predictive detector must still flag. Loadgen knows each
+//! session's ground truth and fails loudly on any wrong verdict, so the
+//! scenario doubles as an end-to-end differential check under load.
 //!
 //! M workers each drive N sessions over one pipelined connection:
 //! every session is a seeded `hb-sim` random computation streamed as a
@@ -31,15 +42,31 @@
 //! the *same* workload, and reports the throughput ratio.
 
 use crate::monitor_cmd::{shutdown_server, state_map, take_flag, take_switch};
-use hb_computation::{Computation, EventId};
 use hb_gateway::{GatewayConfig, GatewayService};
 use hb_monitor::{MonitorConfig, MonitorService};
 use hb_sdk::transport::TcpTransport;
-use hb_sdk::{RetryPolicy, SessionBuilder, Transport, WireClause, WireMode, WirePredicate};
+use hb_sdk::{
+    RetryPolicy, SessionBuilder, Transport, WireAtom, WireClause, WireMode, WirePattern,
+    WirePredicate, WireVerdict,
+};
 use hb_sim::{causal_shuffle, random_computation, RandomSpec};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::net::TcpListener;
 use std::time::{Duration, Instant};
+
+/// Which workload the generator plants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    /// Random computations with never-holding conjunctive predicates.
+    Impossible,
+    /// Two-process lock/unlock sessions with a pattern predicate and a
+    /// percentage of planted causally-reorderable inversions.
+    OrderingViolation {
+        /// Percent of sessions with a planted inversion.
+        rate: u32,
+    },
+}
 
 /// The workload shape, fixed up front so repeated runs are identical.
 #[derive(Debug, Clone)]
@@ -53,6 +80,7 @@ struct LoadSpec {
     seed: u64,
     /// SDK flush-batch cap; 1 = one `event` frame per event.
     batch: usize,
+    scenario: Scenario,
 }
 
 impl Default for LoadSpec {
@@ -66,15 +94,21 @@ impl Default for LoadSpec {
             window: 8,
             seed: 1,
             batch: 1,
+            scenario: Scenario::Impossible,
         }
     }
 }
 
-/// One pre-generated session: name, computation, delivery order.
+/// One pre-generated session: name, shape, and the events to emit (in
+/// emit order — the SDK stamps nothing; clocks are part of the plan).
 struct SessionPlan {
     name: String,
-    comp: Computation,
-    order: Vec<EventId>,
+    processes: usize,
+    events: Vec<(usize, Vec<u32>, BTreeMap<String, i64>)>,
+    /// Pattern scenarios know their ground truth: `Some(true)` = the
+    /// session's pattern predicate must settle Detected, `Some(false)`
+    /// = Impossible. `None` = no per-session expectation.
+    expect_detected: Option<bool>,
 }
 
 /// Aggregate results of one load run.
@@ -139,28 +173,26 @@ impl LoadResult {
     }
 }
 
+/// The per-session seed: the run seed mixed with the session index.
+fn session_seed(spec: &LoadSpec, w: usize, s: usize) -> u64 {
+    spec.seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((w * spec.sessions_per_worker + s) as u64)
+}
+
 /// Deterministically builds every worker's session plans.
 fn build_plans(spec: &LoadSpec) -> Vec<Vec<SessionPlan>> {
     (0..spec.workers)
         .map(|w| {
             (0..spec.sessions_per_worker)
                 .map(|s| {
-                    let seed = spec
-                        .seed
-                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                        .wrapping_add((w * spec.sessions_per_worker + s) as u64);
-                    let comp = random_computation(RandomSpec {
-                        processes: spec.processes,
-                        events_per_process: spec.events_per_process,
-                        send_percent: 30,
-                        value_range: 4,
-                        seed,
-                    });
-                    let order = causal_shuffle(&comp, seed ^ 0xdead_beef, spec.window);
-                    SessionPlan {
-                        name: format!("lg-{w}-{s}"),
-                        comp,
-                        order,
+                    let seed = session_seed(spec, w, s);
+                    let name = format!("lg-{w}-{s}");
+                    match spec.scenario {
+                        Scenario::Impossible => random_plan(spec, seed, name),
+                        Scenario::OrderingViolation { rate } => {
+                            ordering_violation_plan(spec, seed, rate, name)
+                        }
                     }
                 })
                 .collect()
@@ -168,36 +200,143 @@ fn build_plans(spec: &LoadSpec) -> Vec<Vec<SessionPlan>> {
         .collect()
 }
 
-/// Predicates that never settle early: `x = -1` on every process while
-/// values are drawn from `0..range` — the detector advances through the
-/// whole computation for each of them.
-fn impossible_predicates(spec: &LoadSpec) -> Vec<WirePredicate> {
-    (0..spec.predicates)
-        .map(|k| WirePredicate {
-            id: format!("p{k}"),
-            mode: WireMode::Conjunctive,
-            clauses: (0..spec.processes)
-                .map(|p| WireClause {
-                    process: p,
-                    var: "x".into(),
-                    op: "=".into(),
-                    value: -1,
-                })
-                .collect(),
-        })
-        .collect()
+/// The default workload: a seeded random computation streamed as a
+/// causality-respecting shuffle of full-state events.
+fn random_plan(spec: &LoadSpec, seed: u64, name: String) -> SessionPlan {
+    let comp = random_computation(RandomSpec {
+        processes: spec.processes,
+        events_per_process: spec.events_per_process,
+        send_percent: 30,
+        value_range: 4,
+        seed,
+    });
+    let order = causal_shuffle(&comp, seed ^ 0xdead_beef, spec.window);
+    SessionPlan {
+        name,
+        processes: spec.processes,
+        events: order
+            .into_iter()
+            .map(|e| {
+                (
+                    e.process,
+                    comp.clock(e).components().to_vec(),
+                    state_map(&comp, e),
+                )
+            })
+            .collect(),
+        expect_detected: None,
+    }
+}
+
+/// The ordering-violation workload: process 0 emits `lock=1` as its
+/// first event, process 1 emits `unlock=1` as its first — causally
+/// *after* the lock in a clean session, *concurrent* with it in a
+/// planted one. Everything else is filler that matches no atom. The
+/// emit order always shows the lock first, so in a planted session the
+/// inversion exists only in the causal reordering, never in the
+/// delivered interleaving.
+fn ordering_violation_plan(spec: &LoadSpec, seed: u64, rate: u32, name: String) -> SessionPlan {
+    let planted = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) % 100 < u64::from(rate);
+    let e = spec.events_per_process.max(1);
+    let mut events = Vec::with_capacity(2 * e);
+    let set = |pairs: &[(&str, i64)]| -> BTreeMap<String, i64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    };
+    // Process 0: lock first, then filler.
+    for k in 1..=e {
+        let payload = if k == 1 {
+            set(&[("lock", 1)])
+        } else {
+            set(&[("x", k as i64)])
+        };
+        events.push((0, vec![k as u32, 0], payload));
+    }
+    // Process 1: unlock first (receiving the lock unless planted), then
+    // filler along the same line.
+    let cross = u32::from(!planted);
+    for k in 1..=e {
+        let payload = if k == 1 {
+            set(&[("unlock", 1)])
+        } else {
+            set(&[("x", k as i64)])
+        };
+        events.push((1, vec![cross, k as u32], payload));
+    }
+    SessionPlan {
+        name,
+        processes: 2,
+        events,
+        expect_detected: Some(planted),
+    }
+}
+
+/// The scenario's predicate set, shared by every session.
+fn scenario_predicates(spec: &LoadSpec) -> Vec<WirePredicate> {
+    match spec.scenario {
+        // Predicates that never settle early: `x = -1` on every process
+        // while values are drawn from `0..range` — the detector does
+        // full work on every event and settles only at close.
+        Scenario::Impossible => (0..spec.predicates)
+            .map(|k| WirePredicate {
+                id: format!("p{k}"),
+                mode: WireMode::Conjunctive,
+                clauses: (0..spec.processes)
+                    .map(|p| WireClause {
+                        process: p,
+                        var: "x".into(),
+                        op: "=".into(),
+                        value: -1,
+                    })
+                    .collect(),
+                pattern: None,
+            })
+            .collect(),
+        // One pattern predicate: an unlock linearizable before a lock.
+        Scenario::OrderingViolation { .. } => vec![WirePredicate {
+            id: "inv".into(),
+            mode: WireMode::Pattern,
+            clauses: Vec::new(),
+            pattern: Some(WirePattern {
+                atoms: vec![
+                    WireAtom {
+                        process: None,
+                        var: "unlock".into(),
+                        op: "=".into(),
+                        value: 1,
+                        causal: false,
+                    },
+                    WireAtom {
+                        process: None,
+                        var: "lock".into(),
+                        op: "=".into(),
+                        value: 1,
+                        causal: false,
+                    },
+                ],
+            }),
+        }],
+    }
+}
+
+/// The variables a scenario's sessions declare.
+fn scenario_vars(spec: &LoadSpec) -> &'static [&'static str] {
+    match spec.scenario {
+        Scenario::Impossible => &["x"],
+        Scenario::OrderingViolation { .. } => &["x", "unlock", "lock"],
+    }
 }
 
 /// Drives every worker against `addr` and merges their measurements.
 fn run_load(addr: &str, plans: &[Vec<SessionPlan>], spec: &LoadSpec) -> Result<LoadResult, String> {
-    let predicates = impossible_predicates(spec);
+    let predicates = scenario_predicates(spec);
+    let vars = scenario_vars(spec);
     let started = Instant::now();
     let results: Vec<Result<Vec<f64>, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = plans
             .iter()
             .map(|sessions| {
                 let predicates = predicates.clone();
-                scope.spawn(move || drive_worker(addr, sessions, &predicates, spec.batch))
+                scope.spawn(move || drive_worker(addr, sessions, &predicates, vars, spec.batch))
             })
             .collect();
         handles
@@ -213,7 +352,7 @@ fn run_load(addr: &str, plans: &[Vec<SessionPlan>], spec: &LoadSpec) -> Result<L
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
     Ok(LoadResult {
         sessions: plans.iter().map(Vec::len).sum(),
-        events: plans.iter().flatten().map(|p| p.order.len()).sum(),
+        events: plans.iter().flatten().map(|p| p.events.len()).sum(),
         batch: spec.batch,
         wall,
         latencies_ms,
@@ -228,6 +367,7 @@ fn drive_worker(
     addr: &str,
     sessions: &[SessionPlan],
     predicates: &[WirePredicate],
+    vars: &[&str],
     batch: usize,
 ) -> Result<Vec<f64>, String> {
     let mut transport: Box<dyn Transport> = Box::new(
@@ -236,19 +376,16 @@ fn drive_worker(
     let mut latencies = Vec::with_capacity(sessions.len());
     for plan in sessions {
         let t0 = Instant::now();
-        let mut builder = SessionBuilder::new(&plan.name, plan.comp.num_processes())
-            .var("x")
-            .batch_max(batch);
+        let mut builder = SessionBuilder::new(&plan.name, plan.processes).batch_max(batch);
+        for v in vars {
+            builder = builder.var(v);
+        }
         for p in predicates {
             builder = builder.predicate(p.clone());
         }
         let (session, _tracers) = builder.open(transport).map_err(|e| e.to_string())?;
-        for &e in &plan.order {
-            let accepted = session.emit(
-                e.process,
-                plan.comp.clock(e).components().to_vec(),
-                state_map(&plan.comp, e),
-            );
+        for (process, clock, payload) in &plan.events {
+            let accepted = session.emit(*process, clock.clone(), payload.clone());
             if !accepted {
                 return Err(format!("{}: event dropped by the SDK queue", plan.name));
             }
@@ -265,6 +402,18 @@ fn drive_worker(
                 predicates.len(),
                 report.verdicts.len()
             ));
+        }
+        // Pattern scenarios know each session's ground truth: a wrong
+        // verdict is a detector bug, not a load artifact — fail loudly.
+        if let Some(expect) = plan.expect_detected {
+            let got = matches!(report.verdicts.get("inv"), Some(WireVerdict::Detected(_)));
+            if got != expect {
+                return Err(format!(
+                    "{}: pattern verdict mismatch — expected detected={expect}, got {:?}",
+                    plan.name,
+                    report.verdicts.get("inv")
+                ));
+            }
         }
         latencies.push(t0.elapsed().as_secs_f64() * 1e3);
     }
@@ -395,6 +544,33 @@ pub fn run(args: &[String]) -> Result<String, String> {
     }
     if let Some(v) = take_flag(&mut rest, "--batch")? {
         spec.batch = v.parse().map_err(|_| "bad --batch")?;
+    }
+    let scenario = take_flag(&mut rest, "--scenario")?;
+    let rate = take_flag(&mut rest, "--violation-rate")?;
+    match scenario.as_deref() {
+        None => {
+            if rate.is_some() {
+                return Err("--violation-rate needs --scenario ordering-violation".into());
+            }
+        }
+        Some("ordering-violation") => {
+            let rate = match rate {
+                Some(v) => {
+                    let pct: u32 = v.parse().map_err(|_| "bad --violation-rate")?;
+                    if pct > 100 {
+                        return Err("--violation-rate is a percent (0..=100)".into());
+                    }
+                    pct
+                }
+                None => 30,
+            };
+            spec.scenario = Scenario::OrderingViolation { rate };
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown --scenario '{other}' (expected: ordering-violation)"
+            ));
+        }
     }
     if spec.workers == 0 || spec.sessions_per_worker == 0 || spec.predicates == 0 {
         return Err("--workers, --sessions, and --predicates must be at least 1".into());

@@ -25,7 +25,9 @@
 //!                                    (--data-dir makes it durable:
 //!                                    WAL + snapshots + crash recovery)
 //! hbtl monitor send <addr> <trace>   replay a trace into a session
-//!                                    (causality-respecting shuffle)
+//!                                    (causality-respecting shuffle;
+//!                                    --pattern registers a predictive
+//!                                    pattern predicate)
 //! hbtl monitor stats <addr>          query service counters
 //!                                    (--json | --prometheus)
 //! hbtl monitor shutdown <addr>       stop a running service
@@ -37,7 +39,11 @@
 //! hbtl gateway stats <addr>          gateway + summed backend counters
 //!                                    (--json | --prometheus)
 //! hbtl loadgen <addr>                swarm load generator; --compare
-//!                                    benchmarks gateway vs one monitor
+//!                                    benchmarks gateway vs one monitor;
+//!                                    --scenario ordering-violation
+//!                                    plants causally-reorderable
+//!                                    inversions under a pattern
+//!                                    predicate and checks every verdict
 //! hbtl store inspect <dir>           read-only look at a data dir (--json)
 //! hbtl store verify <dir>            CRC-check every WAL record
 //!                                    (--repair truncates a damaged tail)
@@ -76,7 +82,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  hbtl check <trace> \"<formula>\"\n  hbtl info <trace>\n  hbtl dot <trace>\n  hbtl lattice <trace> [limit]\n  hbtl convert <in> <out>\n  hbtl simulate <mutex|leader|termination|pipeline> <out.json>\n  hbtl monitor serve <addr> [--shards N] [--capacity N] [--stats-every SECS]\n                    [--data-dir DIR] [--sync always|os|interval:<ms>] [--snapshot-every N] [--wire-version V]\n  hbtl monitor send <addr> <trace> --session NAME (--conj|--disj \"p:var=v,...\")... [--seed S] [--window W] [--retry N]\n  hbtl monitor stats <addr> [--json | --prometheus] [--retry N]\n  hbtl monitor shutdown <addr> [--retry N]\n  hbtl gateway serve <addr> --backend <addr> [--backend <addr>]... [--pool N] [--journal-limit N] [--stats-every SECS]\n  hbtl gateway drain <addr> <backend> [--retry N]\n  hbtl gateway stats <addr> [--json | --prometheus] [--retry N]\n  hbtl loadgen <addr> [--workers M] [--sessions N] [--processes P] [--events E] [--predicates K] [--batch B] [--json]\n  hbtl loadgen --compare [--workers M] [--sessions N] ... [--json]\n  hbtl store inspect <dir> [--json]\n  hbtl store verify <dir> [--repair] [--json]\n  hbtl store compact <dir>"
+    "usage:\n  hbtl check <trace> \"<formula>\"\n  hbtl info <trace>\n  hbtl dot <trace>\n  hbtl lattice <trace> [limit]\n  hbtl convert <in> <out>\n  hbtl simulate <mutex|leader|termination|pipeline> <out.json>\n  hbtl monitor serve <addr> [--shards N] [--capacity N] [--stats-every SECS]\n                    [--data-dir DIR] [--sync always|os|interval:<ms>] [--snapshot-every N] [--wire-version V]\n  hbtl monitor send <addr> <trace> --session NAME (--conj|--disj \"p:var=v,...\" | --pattern \"a=1 -> b=2\")...\n                    [--seed S] [--window W] [--retry N]\n  hbtl monitor stats <addr> [--json | --prometheus] [--retry N]\n  hbtl monitor shutdown <addr> [--retry N]\n  hbtl gateway serve <addr> --backend <addr> [--backend <addr>]... [--pool N] [--journal-limit N] [--stats-every SECS]\n  hbtl gateway drain <addr> <backend> [--retry N]\n  hbtl gateway stats <addr> [--json | --prometheus] [--retry N]\n  hbtl loadgen <addr> [--workers M] [--sessions N] [--processes P] [--events E] [--predicates K] [--batch B]\n                    [--scenario ordering-violation] [--violation-rate PCT] [--json]\n  hbtl loadgen --compare [--workers M] [--sessions N] ... [--json]\n  hbtl store inspect <dir> [--json]\n  hbtl store verify <dir> [--repair] [--json]\n  hbtl store compact <dir>"
 }
 
 /// Dispatches a command line; returns the text to print.

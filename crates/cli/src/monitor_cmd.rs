@@ -5,8 +5,8 @@
 //!                   [--data-dir DIR] [--sync always|os|interval:<ms>]
 //!                   [--snapshot-every N] [--wire-version V]
 //! hbtl monitor send <addr> <trace> --session NAME
-//!                   (--conj SPEC | --disj SPEC)... [--seed S] [--window W]
-//!                   [--retry N]
+//!                   (--conj SPEC | --disj SPEC | --pattern SPEC)...
+//!                   [--seed S] [--window W] [--retry N]
 //! hbtl monitor stats <addr> [--json | --prometheus] [--retry N]
 //! hbtl monitor shutdown <addr> [--retry N]
 //! ```
@@ -26,8 +26,15 @@
 //! transport reordering on top of a random linearization) streamed over
 //! the wire protocol, with per-process finish markers and a final close.
 //!
-//! A predicate SPEC is comma-separated `process:var op value` clauses,
-//! e.g. `--conj "0:x=2,1:x=1"`. Operators: `= != < <= > >=`.
+//! A `--conj`/`--disj` SPEC is comma-separated `process:var op value`
+//! clauses, e.g. `--conj "0:x=2,1:x=1"`. Operators: `= != < <= > >=`.
+//! A `--pattern` SPEC is the hb-pattern grammar — atoms joined by `->`
+//! (linearized-after) or `~>` (causally-after), e.g.
+//! `--pattern "unlock=1 -> lock=1"` — matched against event *deltas*
+//! predictively, over every linearization of the causal order. Note
+//! `send` replays full state maps per event, so every still-set
+//! variable re-matches at each event; patterns over monotone flags
+//! (e.g. `err=1` written once) behave as expected.
 
 use hb_computation::{Computation, EventId};
 use hb_monitor::{serve, MonitorConfig, MonitorService, PersistConfig, SessionLimits};
@@ -260,7 +267,12 @@ fn parse_spec(id: String, mode: WireMode, src: &str) -> Result<WirePredicate, St
         .split(',')
         .map(parse_clause)
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(WirePredicate { id, mode, clauses })
+    Ok(WirePredicate {
+        id,
+        mode,
+        clauses,
+        pattern: None,
+    })
 }
 
 /// The full local state after an event, as a wire `set` map. Sending
@@ -314,12 +326,20 @@ fn send_cmd(args: &[String]) -> Result<String, String> {
                 WireMode::Disjunctive,
                 &spec,
             )?);
+        } else if let Some(spec) = take_flag(&mut rest, "--pattern")? {
+            let pattern = hb_pattern::parse_pattern(&spec)?;
+            predicates.push(WirePredicate {
+                id: format!("p{next}"),
+                mode: WireMode::Pattern,
+                clauses: Vec::new(),
+                pattern: Some(pattern),
+            });
         } else {
             break;
         }
     }
     if predicates.is_empty() {
-        return Err("send needs at least one --conj or --disj predicate".into());
+        return Err("send needs at least one --conj, --disj, or --pattern predicate".into());
     }
     let retries = take_retry(&mut rest)?;
     let [addr, trace] = rest.as_slice() else {

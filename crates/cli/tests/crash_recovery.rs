@@ -174,6 +174,7 @@ fn sigkill_mid_trace_then_recover_matches_offline_least_cut() {
                             value: 1,
                         },
                     ],
+                    pattern: None,
                 }],
             },
         )

@@ -207,6 +207,7 @@ fn sigkill_owner_backend_mid_trace_fails_over_without_verdict_loss() {
                         value: 1,
                     },
                 ],
+                pattern: None,
             }],
         },
     )

@@ -1,0 +1,306 @@
+//! Predictive pattern detection, end-to-end, across a crash.
+//!
+//! The acceptance differential for hb-pattern: a real `hbtl monitor
+//! serve --data-dir` process registers pattern predicates, ingests half
+//! a random trace over TCP, is SIGKILLed mid-session (exercising
+//! export/restore of the Pareto-frontier detector state through WAL
+//! replay and snapshots), restarts on the same directory, receives the
+//! rest — and for every trace in the corpus its online verdict equals
+//! the brute-force linearization-enumeration oracle run offline on the
+//! complete event set. The oracle enumerates linear extensions
+//! directly and never uses the pairwise chain lemma the online
+//! algorithm is built on, so agreement checks the lemma too.
+
+#![cfg(unix)]
+
+use hb_computation::Computation;
+use hb_pattern::{linearization_oracle, PatternEvent};
+use hb_sim::{causal_shuffle, random_computation, RandomSpec};
+use hb_tracefmt::wire::{
+    read_frame, write_frame, ClientMsg, ServerMsg, WireAtom, WireMode, WirePattern, WirePredicate,
+    WireVerdict,
+};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The two patterns every trace is checked against: one purely
+/// linearized chain and one with a causally-ordered (`~>`) edge.
+/// Values come from `0..3`, so both verdicts occur across the corpus.
+const PATTERNS: [(&str, &[(i64, bool)]); 2] = [
+    ("lin", &[(1, false), (2, false)]), // x=1 -> x=2
+    ("caus", &[(2, false), (0, true)]), // x=2 ~> x=0
+];
+
+fn wire_patterns() -> Vec<WirePredicate> {
+    PATTERNS
+        .iter()
+        .map(|(id, atoms)| WirePredicate {
+            id: (*id).into(),
+            mode: WireMode::Pattern,
+            clauses: Vec::new(),
+            pattern: Some(WirePattern {
+                atoms: atoms
+                    .iter()
+                    .map(|&(value, causal)| WireAtom {
+                        process: None,
+                        var: "x".into(),
+                        op: "=".into(),
+                        value,
+                        causal,
+                    })
+                    .collect(),
+            }),
+        })
+        .collect()
+}
+
+/// The value an event writes to `x` — every random-computation event
+/// sets it, so the emitted delta is exactly `{x: value}`.
+fn written_value(comp: &Computation, e: hb_computation::EventId) -> i64 {
+    let x = comp.vars().iter().next().expect("the x variable").0;
+    comp.local_state(e.process, e.index as u32 + 1).get(x)
+}
+
+/// Ground truth for one predicate on the complete trace, by brute
+/// force over linear extensions.
+fn oracle_verdict(comp: &Computation, atoms: &[(i64, bool)]) -> bool {
+    let causal: Vec<bool> = atoms.iter().map(|&(_, c)| c).collect();
+    let events: Vec<PatternEvent> = comp
+        .event_ids()
+        .map(|id| {
+            let v = written_value(comp, id);
+            let mask = atoms
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(value, _))| v == value)
+                .fold(0u64, |m, (k, _)| m | 1 << k);
+            PatternEvent {
+                process: id.process,
+                clock: comp.clock(id).components().to_vec(),
+                mask,
+            }
+        })
+        .collect();
+    linearization_oracle(&causal, &events, 50_000_000).expect("budget suffices for 9 events")
+}
+
+// ---- server process + raw wire client (the crash_recovery idiom) ----------
+
+struct Server {
+    child: Child,
+    addr: String,
+    stderr: BufReader<std::process::ChildStderr>,
+}
+
+fn spawn_server(data_dir: &Path) -> Server {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hbtl"))
+        .args([
+            "monitor",
+            "serve",
+            "127.0.0.1:0",
+            "--data-dir",
+            &data_dir.to_string_lossy(),
+            "--sync",
+            "always",
+            "--snapshot-every",
+            "4",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("hbtl spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let addr = loop {
+        let mut line = String::new();
+        if stderr.read_line(&mut line).expect("read banner") == 0 {
+            let status = child.wait().expect("child reaped");
+            panic!("server exited before listening: {status}");
+        }
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address in banner")
+                .to_string();
+        }
+    };
+    Server {
+        child,
+        addr,
+        stderr,
+    }
+}
+
+fn connect(addr: &str) -> (BufWriter<TcpStream>, BufReader<TcpStream>) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                let w = BufWriter::new(s.try_clone().expect("clone stream"));
+                return (w, BufReader::new(s));
+            }
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("connect {addr}: {e}"),
+        }
+    }
+}
+
+fn recv(r: &mut BufReader<TcpStream>) -> ServerMsg {
+    read_frame::<_, ServerMsg>(r)
+        .expect("well-formed frame")
+        .expect("server still connected")
+}
+
+fn event_msg(comp: &Computation, e: hb_computation::EventId) -> ClientMsg {
+    ClientMsg::Event {
+        session: "pattern".into(),
+        p: e.process,
+        clock: comp.clock(e).components().to_vec(),
+        set: [("x".to_string(), written_value(comp, e))]
+            .into_iter()
+            .collect(),
+    }
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hbtl-pattern-e2e").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs one trace through open → half the events → SIGKILL → restart →
+/// rest → finish → close, returning the settled verdict per predicate.
+fn run_trace_with_crash(comp: &Computation, seed: u64) -> BTreeMap<String, WireVerdict> {
+    let data_dir = fresh_dir(&format!("seed-{seed}"));
+    let order = causal_shuffle(comp, seed ^ 0xbeef, 4);
+    let (first_half, second_half) = order.split_at(order.len() / 2);
+
+    let server = spawn_server(&data_dir);
+    {
+        let (mut w, mut r) = connect(&server.addr);
+        write_frame(
+            &mut w,
+            &ClientMsg::Open {
+                session: "pattern".into(),
+                processes: comp.num_processes(),
+                vars: vec!["x".into()],
+                initial: vec![],
+                predicates: wire_patterns(),
+            },
+        )
+        .expect("open frame");
+        assert!(matches!(recv(&mut r), ServerMsg::Opened { .. }));
+        for e in first_half {
+            write_frame(&mut w, &event_msg(comp, *e)).expect("event frame");
+        }
+        // Durability barrier (see crash_recovery.rs): a verdict for an
+        // already-detected pattern may race the stats reply.
+        write_frame(&mut w, &ClientMsg::Stats).expect("stats frame");
+        loop {
+            match recv(&mut r) {
+                ServerMsg::Stats { .. } => break,
+                ServerMsg::Verdict { .. } => {}
+                other => panic!("unexpected message before stats: {other:?}"),
+            }
+        }
+    }
+
+    let mut child = server.child;
+    child.kill().expect("sigkill");
+    child.wait().expect("reap");
+    drop(server.stderr);
+
+    let mut server = spawn_server(&data_dir);
+    let verdicts = {
+        let (mut w, mut r) = connect(&server.addr);
+        for e in second_half {
+            write_frame(&mut w, &event_msg(comp, *e)).expect("event frame");
+        }
+        // A pattern stays Pending until every process is finished (a
+        // future event could still extend a chain), so finish them all
+        // before closing.
+        for p in 0..comp.num_processes() {
+            write_frame(
+                &mut w,
+                &ClientMsg::FinishProcess {
+                    session: "pattern".into(),
+                    p,
+                },
+            )
+            .expect("finish frame");
+        }
+        write_frame(
+            &mut w,
+            &ClientMsg::Close {
+                session: "pattern".into(),
+            },
+        )
+        .expect("close frame");
+        let mut verdicts = BTreeMap::new();
+        loop {
+            match recv(&mut r) {
+                ServerMsg::Verdict {
+                    predicate, verdict, ..
+                } => {
+                    verdicts.insert(predicate, verdict);
+                }
+                ServerMsg::Closed { discarded, .. } => {
+                    assert_eq!(discarded, 0, "the shuffle is a permutation");
+                    break;
+                }
+                ServerMsg::Error { message, .. } => panic!("server error: {message}"),
+                other => panic!("unexpected message: {other:?}"),
+            }
+        }
+        verdicts
+    };
+
+    let (mut w, mut r) = connect(&server.addr);
+    write_frame(&mut w, &ClientMsg::Shutdown).expect("shutdown frame");
+    let _ = read_frame::<_, ServerMsg>(&mut r);
+    server.child.wait().expect("graceful exit");
+    verdicts
+}
+
+#[test]
+fn pattern_verdicts_across_sigkill_match_the_linearization_oracle() {
+    // Per-outcome coverage so the corpus can't silently degenerate into
+    // all-Detected (or all-Impossible) and prove nothing.
+    let mut saw = BTreeMap::from([(true, 0u32), (false, 0u32)]);
+    for seed in 0..6u64 {
+        let comp = random_computation(RandomSpec {
+            processes: 3,
+            events_per_process: 3,
+            send_percent: 40,
+            value_range: 3,
+            seed,
+        });
+        let online = run_trace_with_crash(&comp, seed);
+        assert_eq!(online.len(), PATTERNS.len(), "one verdict per pattern");
+        for (id, atoms) in PATTERNS {
+            let expected = oracle_verdict(&comp, atoms);
+            *saw.get_mut(&expected).expect("both keys present") += 1;
+            let got = match &online[id] {
+                WireVerdict::Detected(_) => true,
+                WireVerdict::Impossible => false,
+                WireVerdict::Pending => panic!("{id} still pending after close (seed {seed})"),
+            };
+            assert_eq!(
+                got, expected,
+                "seed {seed}, pattern {id}: online disagrees with the \
+                 linearization-enumeration oracle"
+            );
+        }
+    }
+    assert!(
+        saw[&true] > 0 && saw[&false] > 0,
+        "corpus must exercise both verdicts, saw {saw:?}"
+    );
+}

@@ -12,12 +12,19 @@
 //! | v3 client     | v3 gateway → v3 mon | batch relays unsplit           |
 //! | v3 client     | v3 gateway → v2 mon | gateway splits per backend     |
 //!
+//! Wire v4 added pattern predicates, with its own pairing rules:
+//!
+//! | client          | server          | expectation                      |
+//! |-----------------|-----------------|----------------------------------|
+//! | v4 SDK pattern  | v2 monitor      | typed `unsupported_predicate`    |
+//! | v4 SDK pattern  | gateway → v4 mon| relayed opaquely, verdict flows  |
+//!
 //! Old builds are emulated with the `wire_version` config knob, which
 //! caps the handshake and refuses the frames that version lacked.
 
 use hb_gateway::service::{GatewayConfig, GatewayService};
 use hb_monitor::{MonitorConfig, MonitorService};
-use hb_sdk::{SessionBuilder, WireVerdict};
+use hb_sdk::{SdkError, SessionBuilder, WireVerdict};
 use hb_tracefmt::wire::{
     self, read_frame, write_frame, ClientMsg, EventFrame, ServerMsg, WireClause, WireMode,
     WirePredicate,
@@ -61,6 +68,7 @@ fn goal_pred() -> WirePredicate {
                 value: 1,
             })
             .collect(),
+        pattern: None,
     }
 }
 
@@ -203,9 +211,10 @@ fn v3_sdk_falls_back_to_singles_against_a_v2_monitor() {
     let m = svc.metrics();
     assert_eq!(m.batches_ingested, 0);
     assert_eq!(m.events_ingested, 2);
-    // Exactly one protocol error: the refused `hello {v3}` that made
-    // the dial walk down. Nothing after the handshake errors.
-    assert_eq!(m.protocol_errors, 1);
+    // Exactly two protocol errors: the refused `hello {v4}` and
+    // `hello {v3}` that walked the dial down to v2. Nothing after the
+    // handshake errors.
+    assert_eq!(m.protocol_errors, 2);
     svc.shutdown();
 }
 
@@ -359,9 +368,65 @@ fn gateway_splits_batches_for_a_v2_backend() {
     let m = backend.metrics();
     assert_eq!(m.batches_ingested, 0, "the backend never sees a batch");
     assert_eq!(m.events_ingested, 2, "but it sees every member");
-    // The gateway's own pool dial walked down once (refused hello at
-    // v3); past the handshake the split relay is error-free.
-    assert_eq!(m.protocol_errors, 1);
+    // The gateway's own pool dial walked down twice (refused hellos at
+    // v4 and v3); past the handshake the split relay is error-free.
+    assert_eq!(m.protocol_errors, 2);
+    drop(gw);
+    backend.shutdown();
+}
+
+/// A pattern predicate against an emulated pre-v4 monitor: the open is
+/// refused with the machine-readable `unsupported_predicate` kind and
+/// the SDK surfaces the typed [`SdkError::UnsupportedPredicate`] — no
+/// message-substring sniffing anywhere on the path, so a caller can
+/// reliably retry without the offending predicate.
+#[test]
+fn pattern_predicate_against_a_v2_monitor_is_a_typed_clean_failure() {
+    let (addr, svc) = start_monitor(2);
+    let result = SessionBuilder::new("compat-pattern-v2", 2)
+        .var("lock")
+        .var("unlock")
+        .pattern("inv", "unlock=1 -> lock=1")
+        .expect("the spec itself parses")
+        .connect(&addr);
+    match result {
+        Err(SdkError::UnsupportedPredicate(m)) => {
+            assert!(m.contains("wire v4"), "message names the version: {m}");
+        }
+        Err(other) => panic!("expected UnsupportedPredicate, got {other:?}"),
+        Ok(_) => panic!("expected UnsupportedPredicate, got an open session"),
+    }
+    // One refused hello (the dial walking down) plus the refused open.
+    assert!(svc.metrics().protocol_errors >= 2);
+    svc.shutdown();
+}
+
+/// A pattern predicate through the gateway to a current backend: the
+/// gateway relays the open opaquely — no pattern-specific code on its
+/// path — and the predictive verdict flows back end-to-end.
+#[test]
+fn gateway_relays_pattern_predicates_transparently() {
+    let (backend_addr, backend) = start_monitor(wire::WIRE_VERSION);
+    let (gw_addr, gw) = start_gateway(backend_addr);
+    let (session, _tracers) = SessionBuilder::new("compat-gw-pattern", 2)
+        .var("lock")
+        .var("unlock")
+        .pattern("inv", "unlock=1 -> lock=1")
+        .expect("the spec parses")
+        .connect(&gw_addr)
+        .expect("open through the gateway");
+    // Lock on P0, then a *concurrent* unlock on P1: the delivered order
+    // never shows the inversion, only a causal reordering does — the
+    // predictive detector must still flag it.
+    let set = |k: &str| [(k.to_string(), 1i64)].into_iter().collect();
+    assert!(session.emit(0, vec![1, 0], set("lock")));
+    assert!(session.emit(1, vec![0, 1], set("unlock")));
+    let report = session.close().expect("close settles");
+    assert!(
+        matches!(report.verdicts["inv"], WireVerdict::Detected(_)),
+        "got {:?}",
+        report.verdicts["inv"]
+    );
     drop(gw);
     backend.shutdown();
 }

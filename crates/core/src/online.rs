@@ -55,6 +55,16 @@ pub trait OnlineMonitor {
     /// observation.
     fn observe(&mut self, i: usize, holds: bool, clock: &VectorClock) -> OnlineVerdict;
 
+    /// Observes the next event of process `i` as a **labeled** event:
+    /// bit `k` of `mask` is set when the event matches atom `k` of the
+    /// monitor's pattern. State-predicate monitors have one implicit
+    /// atom — the local clause — so the default folds the mask down to
+    /// [`OnlineMonitor::observe`]'s boolean; pattern monitors override
+    /// this with the real per-atom dispatch.
+    fn observe_atoms(&mut self, i: usize, mask: u64, clock: &VectorClock) -> OnlineVerdict {
+        self.observe(i, mask != 0, clock)
+    }
+
     /// Declares that process `i` will produce no further states; returns
     /// the (possibly newly settled) verdict.
     fn finish_process(&mut self, i: usize) -> OnlineVerdict;
@@ -143,6 +153,41 @@ pub struct DisjunctiveState {
     pub verdict: VerdictState,
 }
 
+/// One Pareto-frontier entry of a predictive pattern matcher, as plain
+/// data: the witness chain's clock join and the clock of its last event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternChainState {
+    /// Componentwise join of the chain's event clocks.
+    pub join: Vec<u32>,
+    /// Clock of the chain's last (highest-atom) event.
+    pub last: Vec<u32>,
+}
+
+/// Exported state of a predictive pattern matcher (`hb-pattern`'s
+/// `PredictiveMatcher`). Defined here so [`DetectorState`] can carry it
+/// through the same persistence path as the state-predicate detectors;
+/// the matcher itself lives in the `hb-pattern` crate, which depends on
+/// this one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternState {
+    /// Process count.
+    pub n: usize,
+    /// Per-atom causal-edge flags (`causal[k]` links atom `k-1` → `k`;
+    /// `causal[0]` is always `false`). Length is the pattern length `d`.
+    pub causal: Vec<bool>,
+    /// `frontiers[k]` holds the minimal `k`-chains, `0 ≤ k ≤ d`.
+    pub frontiers: Vec<Vec<PatternChainState>>,
+    /// `candidates[k][p]`: clocks of process-`p` events matching atom
+    /// `k`, in arrival (= causal, per process) order.
+    pub candidates: Vec<Vec<Vec<Vec<u32>>>>,
+    /// Which processes have finished.
+    pub finished: Vec<bool>,
+    /// Events observed per process.
+    pub seen: Vec<u32>,
+    /// The verdict so far.
+    pub verdict: VerdictState,
+}
+
 /// The full state of any on-line detector, as plain data: everything a
 /// service needs to persist a monitor and rebuild it after a crash.
 /// Contains no [`VectorClock`] or [`Cut`] values, only integers and
@@ -153,15 +198,26 @@ pub enum DetectorState {
     Conjunctive(ConjunctiveState),
     /// An [`OnlineEfDisjunctive`].
     Disjunctive(DisjunctiveState),
+    /// An `hb-pattern` `PredictiveMatcher`.
+    Pattern(PatternState),
 }
 
 /// Rebuilds a boxed monitor from exported state; the round trip
 /// `restore_monitor(m.export_state())` yields a monitor observationally
 /// identical to `m`.
+///
+/// # Panics
+///
+/// On [`DetectorState::Pattern`]: the matcher type lives in the
+/// `hb-pattern` crate (which depends on this one), so callers holding
+/// pattern state must dispatch to `hb_pattern::restore_any` instead.
 pub fn restore_monitor(state: &DetectorState) -> Box<dyn OnlineMonitor + Send> {
     match state {
         DetectorState::Conjunctive(s) => Box::new(OnlineEfConjunctive::from_state(s)),
         DetectorState::Disjunctive(s) => Box::new(OnlineEfDisjunctive::from_state(s)),
+        DetectorState::Pattern(_) => {
+            panic!("pattern detectors are restored by hb_pattern::restore_any")
+        }
     }
 }
 

@@ -59,6 +59,7 @@ fn ef_pred() -> WirePredicate {
                 value: 1,
             },
         ],
+        pattern: None,
     }
 }
 

@@ -9,6 +9,7 @@
 //! both ways and are paired with a monotone high-water mark sampled at
 //! every increase.
 
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -67,6 +68,11 @@ pub struct Metrics {
     pub recovery_millis: AtomicU64,
     /// Bytes truncated off a torn or corrupt WAL tail at startup.
     pub recovery_truncated_bytes: AtomicU64,
+    /// Per-predicate settled-verdict counts, keyed
+    /// `verdicts.<state|pattern>.<predicate>.<detected|impossible>`.
+    /// A mutex, not an atomic: verdicts settle at most once per
+    /// predicate, far off the hot ingestion path.
+    pub verdict_counts: Mutex<BTreeMap<String, u64>>,
 }
 
 impl Metrics {
@@ -84,6 +90,19 @@ impl Metrics {
     /// Records `k` events leaving a causal hold buffer.
     pub fn held_sub(&self, k: u64) {
         self.events_held.fetch_sub(k, Relaxed);
+    }
+
+    /// Records one settled verdict under its per-predicate stats key.
+    /// The key family separates pattern predicates from state
+    /// predicates so `stats --json` can break the two apart.
+    pub fn record_verdict(&self, predicate: &str, pattern: bool, detected: bool) {
+        let family = if pattern { "pattern" } else { "state" };
+        let outcome = if detected { "detected" } else { "impossible" };
+        *self
+            .verdict_counts
+            .lock()
+            .entry(format!("verdicts.{family}.{predicate}.{outcome}"))
+            .or_insert(0) += 1;
     }
 
     /// A point-in-time copy of every counter.
@@ -113,6 +132,7 @@ impl Metrics {
             recovery_replayed: self.recovery_replayed.load(Relaxed),
             recovery_millis: self.recovery_millis.load(Relaxed),
             recovery_truncated_bytes: self.recovery_truncated_bytes.load(Relaxed),
+            verdicts: self.verdict_counts.lock().clone(),
         }
     }
 }
@@ -145,6 +165,7 @@ pub struct MetricsSnapshot {
     pub recovery_replayed: u64,
     pub recovery_millis: u64,
     pub recovery_truncated_bytes: u64,
+    pub verdicts: BTreeMap<String, u64>,
 }
 
 impl MetricsSnapshot {
@@ -178,6 +199,7 @@ impl MetricsSnapshot {
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
+        .chain(self.verdicts.iter().map(|(k, &v)| (k.clone(), v)))
         .collect()
     }
 }
@@ -231,6 +253,18 @@ mod tests {
         let map = m.snapshot().to_map();
         assert_eq!(map["events_ingested"], 5);
         assert_eq!(map.len(), 24);
+    }
+
+    #[test]
+    fn per_predicate_verdicts_ride_along_in_the_stats_map() {
+        let m = Metrics::new();
+        m.record_verdict("inv", true, true);
+        m.record_verdict("inv", true, true);
+        m.record_verdict("goal", false, false);
+        let map = m.snapshot().to_map();
+        assert_eq!(map["verdicts.pattern.inv.detected"], 2);
+        assert_eq!(map["verdicts.state.goal.impossible"], 1);
+        assert_eq!(map.len(), 26);
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! [`ClientMsg`]: hb_tracefmt::wire::ClientMsg
 
 use hb_detect::online::{
-    CandidateState, ConjunctiveState, DetectorState, DisjunctiveState, VerdictState,
+    CandidateState, ConjunctiveState, DetectorState, DisjunctiveState, PatternChainState,
+    PatternState, VerdictState,
 };
 use hb_store::SyncPolicy;
 use hb_tracefmt::wire::WirePredicate;
@@ -159,6 +160,20 @@ fn candidate_from_value(v: &Value) -> Result<CandidateState, DeError> {
     })
 }
 
+fn chain_to_value(c: &PatternChainState) -> Value {
+    Value::Object(vec![
+        ("join".into(), c.join.to_value()),
+        ("last".into(), c.last.to_value()),
+    ])
+}
+
+fn chain_from_value(v: &Value) -> Result<PatternChainState, DeError> {
+    Ok(PatternChainState {
+        join: help::field(v, "join")?,
+        last: help::field(v, "last")?,
+    })
+}
+
 fn detector_to_value(d: &DetectorState) -> Value {
     match d {
         DetectorState::Conjunctive(s) => Value::Object(vec![
@@ -182,6 +197,24 @@ fn detector_to_value(d: &DetectorState) -> Value {
             ("kind".into(), "disjunctive".to_string().to_value()),
             ("seen".into(), s.seen.to_value()),
             ("live".into(), s.live.to_value()),
+            ("verdict".into(), verdict_to_value(&s.verdict)),
+        ]),
+        DetectorState::Pattern(s) => Value::Object(vec![
+            ("kind".into(), "pattern".to_string().to_value()),
+            ("n".into(), s.n.to_value()),
+            ("causal".into(), s.causal.to_value()),
+            (
+                "frontiers".into(),
+                Value::Array(
+                    s.frontiers
+                        .iter()
+                        .map(|f| Value::Array(f.iter().map(chain_to_value).collect()))
+                        .collect(),
+                ),
+            ),
+            ("candidates".into(), s.candidates.to_value()),
+            ("finished".into(), s.finished.to_value()),
+            ("seen".into(), s.seen.to_value()),
             ("verdict".into(), verdict_to_value(&s.verdict)),
         ]),
     }
@@ -230,6 +263,39 @@ fn detector_from_value(v: &Value) -> Result<DetectorState, DeError> {
             Ok(DetectorState::Disjunctive(DisjunctiveState {
                 seen: help::field(v, "seen")?,
                 live: help::field(v, "live")?,
+                verdict,
+            }))
+        }
+        "pattern" => {
+            let frontiers_value = v
+                .get("frontiers")
+                .ok_or_else(|| DeError::msg("missing field 'frontiers'"))?;
+            let Value::Array(frontier_values) = frontiers_value else {
+                return Err(DeError::expected("array", frontiers_value));
+            };
+            let mut frontiers = Vec::with_capacity(frontier_values.len());
+            for fv in frontier_values {
+                let Value::Array(chains) = fv else {
+                    return Err(DeError::expected("array", fv));
+                };
+                frontiers.push(
+                    chains
+                        .iter()
+                        .map(chain_from_value)
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+            }
+            let verdict = verdict_from_value(
+                v.get("verdict")
+                    .ok_or_else(|| DeError::msg("missing field 'verdict'"))?,
+            )?;
+            Ok(DetectorState::Pattern(PatternState {
+                n: help::field(v, "n")?,
+                causal: help::field(v, "causal")?,
+                frontiers,
+                candidates: help::field(v, "candidates")?,
+                finished: help::field(v, "finished")?,
+                seen: help::field(v, "seen")?,
                 verdict,
             }))
         }
@@ -363,6 +429,7 @@ mod tests {
                         op: "=".into(),
                         value: 2,
                     }],
+                    pattern: None,
                 }],
                 states: vec![vec![1, 0], vec![0, 1]],
                 frontier: vec![2, 1],
@@ -400,6 +467,32 @@ mod tests {
                             seen: vec![2, 1],
                             live: 2,
                             verdict: VerdictState::Detected(vec![2, 0]),
+                        }),
+                    },
+                    MonitorSnapshot {
+                        id: "inv".into(),
+                        emitted: false,
+                        state: DetectorState::Pattern(PatternState {
+                            n: 2,
+                            causal: vec![false, true],
+                            frontiers: vec![
+                                vec![PatternChainState {
+                                    join: vec![0, 0],
+                                    last: vec![0, 0],
+                                }],
+                                vec![PatternChainState {
+                                    join: vec![2, 0],
+                                    last: vec![2, 0],
+                                }],
+                                vec![],
+                            ],
+                            candidates: vec![
+                                vec![vec![vec![2, 0]], vec![]],
+                                vec![vec![], vec![vec![1, 3]]],
+                            ],
+                            finished: vec![false, true],
+                            seen: vec![2, 1],
+                            verdict: VerdictState::Pending,
                         }),
                     },
                 ],

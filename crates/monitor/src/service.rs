@@ -49,7 +49,7 @@ use crate::session::{Session, SessionError, SessionLimits, VerdictEvent};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hb_detect::online::OnlineVerdict;
 use hb_store::{Store, StoreError, StoreOptions};
-use hb_tracefmt::wire::{self, ClientMsg, ServerMsg, WirePredicate, WireVerdict};
+use hb_tracefmt::wire::{self, ClientMsg, ServerMsg, WireMode, WirePredicate, WireVerdict};
 use hb_vclock::VectorClock;
 use parking_lot::Mutex;
 use serde::{Deserialize as _, Serialize as _};
@@ -547,6 +547,30 @@ impl MonitorHandle {
                 });
                 return;
             }
+            // Pattern predicates joined the wire in v4. A pre-v4 build
+            // would refuse the unknown mode at the parser; we answer
+            // with a machine-readable kind so dialers can classify the
+            // downgrade without scraping message text.
+            ClientMsg::Open {
+                session,
+                predicates,
+                ..
+            } if self.wire_version < 4
+                && predicates
+                    .iter()
+                    .any(|p| p.mode == WireMode::Pattern || p.pattern.is_some()) =>
+            {
+                self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = sink.send(ServerMsg::Error {
+                    session: Some(session.clone()),
+                    kind: Some(wire::error_kind::UNSUPPORTED_PREDICATE.to_string()),
+                    message: format!(
+                        "pattern predicates need wire v4; this monitor speaks v{}",
+                        self.wire_version
+                    ),
+                });
+                return;
+            }
             _ => {}
         }
         let payload = self
@@ -692,6 +716,11 @@ fn send_verdicts(
 ) {
     for v in verdicts {
         metrics.verdicts_settled.fetch_add(1, Ordering::Relaxed);
+        metrics.record_verdict(
+            &v.predicate,
+            v.pattern,
+            matches!(v.verdict, OnlineVerdict::Detected(_)),
+        );
         let _ = sink.send(ServerMsg::Verdict {
             session: name.to_string(),
             predicate: v.predicate,
@@ -1086,6 +1115,7 @@ mod tests {
                         value: 1,
                     },
                 ],
+                pattern: None,
             }],
         }
     }
@@ -1114,6 +1144,88 @@ mod tests {
             }
         }
         panic!("sink closed without a verdict for '{predicate}'");
+    }
+
+    fn pattern_open(session: &str) -> ClientMsg {
+        use hb_tracefmt::wire::{WireAtom, WirePattern};
+        ClientMsg::Open {
+            session: session.into(),
+            processes: 2,
+            vars: vec!["unlock".into(), "lock".into()],
+            initial: vec![],
+            predicates: vec![WirePredicate {
+                id: "inv".into(),
+                mode: WireMode::Pattern,
+                clauses: vec![],
+                pattern: Some(WirePattern {
+                    atoms: vec![
+                        WireAtom {
+                            process: Some(1),
+                            var: "unlock".into(),
+                            op: "=".into(),
+                            value: 1,
+                            causal: false,
+                        },
+                        WireAtom {
+                            process: Some(0),
+                            var: "lock".into(),
+                            op: "=".into(),
+                            value: 1,
+                            causal: false,
+                        },
+                    ],
+                }),
+            }],
+        }
+    }
+
+    #[test]
+    fn pattern_sessions_detect_and_count_in_stats() {
+        let service = MonitorService::start(MonitorConfig::default());
+        let handle = service.handle();
+        let (tx, rx) = unbounded();
+        handle.submit(pattern_open("s"), &tx);
+        assert!(matches!(rx.recv().unwrap(), ServerMsg::Opened { .. }));
+
+        // The delivered order shows lock before unlock, but the two are
+        // concurrent — the predictive matcher flags the inversion.
+        handle.submit(event("s", 0, &[1, 0], &[("lock", 1)]), &tx);
+        handle.submit(event("s", 1, &[0, 1], &[("unlock", 1)]), &tx);
+        assert!(matches!(wait_verdict(&rx, "inv"), WireVerdict::Detected(_)));
+
+        let stats = service.shutdown();
+        assert_eq!(stats.verdicts_settled, 1);
+        assert_eq!(stats.verdicts["verdicts.pattern.inv.detected"], 1);
+    }
+
+    #[test]
+    fn pre_v4_monitors_refuse_pattern_opens_with_a_typed_error() {
+        let service = MonitorService::start(MonitorConfig {
+            wire_version: 2,
+            ..MonitorConfig::default()
+        });
+        let handle = service.handle();
+        let (tx, rx) = unbounded();
+        handle.submit(pattern_open("s"), &tx);
+        match rx.recv().unwrap() {
+            ServerMsg::Error {
+                session,
+                kind,
+                message,
+            } => {
+                assert_eq!(session.as_deref(), Some("s"));
+                assert_eq!(
+                    kind.as_deref(),
+                    Some(wire::error_kind::UNSUPPORTED_PREDICATE)
+                );
+                assert!(message.contains("wire v4"));
+            }
+            other => panic!("expected a typed error, got {other:?}"),
+        }
+        // Clause predicates still open fine on the same connection.
+        handle.submit(fig2_open("s2"), &tx);
+        assert!(matches!(rx.recv().unwrap(), ServerMsg::Opened { .. }));
+        service.shutdown();
     }
 
     #[test]

@@ -18,9 +18,8 @@
 use crate::buffer::{CausalBuffer, IngestError, OverflowPolicy};
 use crate::persist::{HeldEventSnapshot, MonitorSnapshot, SessionSnapshot};
 use hb_computation::{LocalState, VarId, VarTable};
-use hb_detect::online::{
-    restore_monitor, OnlineEfConjunctive, OnlineEfDisjunctive, OnlineMonitor, OnlineVerdict,
-};
+use hb_detect::online::{OnlineEfConjunctive, OnlineEfDisjunctive, OnlineMonitor, OnlineVerdict};
+use hb_pattern::PredictiveMatcher;
 use hb_predicates::{CmpOp, LocalExpr};
 use hb_tracefmt::wire::{WireClause, WireMode, WirePredicate};
 use hb_vclock::VectorClock;
@@ -70,15 +69,33 @@ impl From<IngestError> for SessionError {
 pub struct VerdictEvent {
     /// The predicate's caller-chosen id.
     pub predicate: String,
+    /// Whether the predicate is a pattern predicate (drives the
+    /// per-predicate stats keys, which distinguish the two families).
+    pub pattern: bool,
     /// The verdict.
     pub verdict: OnlineVerdict,
+}
+
+/// One atom of a pattern predicate, resolved against the session's
+/// variable table at open time.
+struct CompiledAtom {
+    /// `None` = the atom matches on any process.
+    process: Option<usize>,
+    var: VarId,
+    op: CmpOp,
+    value: i64,
 }
 
 /// One registered predicate and its detector.
 struct MonitorEntry {
     id: String,
     /// Per-process local clause (`None` = the process has no clause).
+    /// Empty for pattern predicates, which carry `atoms` instead.
     clauses: Vec<Option<LocalExpr>>,
+    /// Pattern atoms (`Some` iff the predicate's mode is `Pattern`).
+    /// Atoms are matched against an event's **assignments**, not the
+    /// accumulated local state: a pattern names things that *happen*.
+    atoms: Option<Vec<CompiledAtom>>,
     monitor: Box<dyn OnlineMonitor + Send>,
     /// Set once the verdict has been reported.
     emitted: bool,
@@ -179,6 +196,17 @@ impl Session {
                     pred.id
                 )));
             }
+            if pred.mode == WireMode::Pattern {
+                let entry = Self::open_pattern(pred, processes, &vars)?;
+                monitors.push(entry);
+                continue;
+            }
+            if pred.pattern.is_some() {
+                return Err(SessionError::BadOpen(format!(
+                    "predicate '{}': a pattern body requires mode 'pattern'",
+                    pred.id
+                )));
+            }
             if pred.clauses.is_empty() {
                 return Err(SessionError::BadOpen(format!(
                     "predicate '{}' has no clauses",
@@ -218,6 +246,7 @@ impl Session {
                     (None, _) => expr,
                     (Some(prev), WireMode::Conjunctive) => prev.and(expr),
                     (Some(prev), WireMode::Disjunctive) => prev.or(expr),
+                    (Some(_), WireMode::Pattern) => unreachable!("handled above"),
                 });
             }
             let initially: Vec<bool> = (0..processes)
@@ -233,10 +262,12 @@ impl Session {
                     ))
                 }
                 WireMode::Disjunctive => Box::new(OnlineEfDisjunctive::new(processes, initially)),
+                WireMode::Pattern => unreachable!("handled above"),
             };
             monitors.push(MonitorEntry {
                 id: pred.id.clone(),
                 clauses,
+                atoms: None,
                 monitor,
                 emitted: false,
             });
@@ -259,6 +290,62 @@ impl Session {
         s.collect_settled(&mut initial_verdicts);
         s.pending_initial = initial_verdicts;
         Ok(s)
+    }
+
+    /// Validates a pattern predicate and instantiates its predictive
+    /// matcher.
+    fn open_pattern(
+        pred: &WirePredicate,
+        processes: usize,
+        vars: &VarTable,
+    ) -> Result<MonitorEntry, SessionError> {
+        let bad = |m: String| SessionError::BadOpen(format!("predicate '{}': {m}", pred.id));
+        if !pred.clauses.is_empty() {
+            return Err(bad("pattern predicates take no clauses".into()));
+        }
+        let pattern = pred
+            .pattern
+            .as_ref()
+            .ok_or_else(|| bad("mode 'pattern' without a pattern body".into()))?;
+        if pattern.atoms.is_empty() {
+            return Err(bad("empty pattern".into()));
+        }
+        if pattern.atoms.len() > 64 {
+            return Err(bad(format!(
+                "{} atoms; the label mask caps patterns at 64",
+                pattern.atoms.len()
+            )));
+        }
+        if pattern.atoms[0].causal {
+            return Err(bad(
+                "the first atom has no predecessor to be causally after".into(),
+            ));
+        }
+        let mut atoms = Vec::with_capacity(pattern.atoms.len());
+        for a in &pattern.atoms {
+            if let Some(p) = a.process {
+                if p >= processes {
+                    return Err(bad(format!("process {p} out of range")));
+                }
+            }
+            let var = vars
+                .lookup(&a.var)
+                .ok_or_else(|| bad(format!("undeclared variable '{}'", a.var)))?;
+            let op = parse_op(&a.op).ok_or_else(|| bad(format!("unknown operator '{}'", a.op)))?;
+            atoms.push(CompiledAtom {
+                process: a.process,
+                var,
+                op,
+                value: a.value,
+            });
+        }
+        Ok(MonitorEntry {
+            id: pred.id.clone(),
+            clauses: Vec::new(),
+            atoms: Some(atoms),
+            monitor: Box::new(PredictiveMatcher::from_wire(processes, pattern)),
+            emitted: false,
+        })
     }
 
     /// Verdicts that settled at open time (initial-cut detections).
@@ -361,7 +448,7 @@ impl Session {
             if entry.id != m.id {
                 return Err(shape("monitor order"));
             }
-            entry.monitor = restore_monitor(&m.state);
+            entry.monitor = hb_pattern::restore_any(&m.state);
             entry.emitted = m.emitted;
         }
         s.finished = snap.finished.clone();
@@ -425,10 +512,28 @@ impl Session {
                 if entry.emitted {
                     continue;
                 }
-                let holds = entry.clauses[d.process]
-                    .as_ref()
-                    .is_some_and(|c| c.eval(&self.states[d.process]));
-                entry.monitor.observe(d.process, holds, &d.clock);
+                if let Some(atoms) = &entry.atoms {
+                    // Pattern atoms match the event's assignments — the
+                    // deltas, not the accumulated state.
+                    let mut mask = 0u64;
+                    for (k, a) in atoms.iter().enumerate() {
+                        if a.process.is_some_and(|p| p != d.process) {
+                            continue;
+                        }
+                        if d.payload
+                            .iter()
+                            .any(|&(var, value)| var == a.var && a.op.apply(value, a.value))
+                        {
+                            mask |= 1 << k;
+                        }
+                    }
+                    entry.monitor.observe_atoms(d.process, mask, &d.clock);
+                } else {
+                    let holds = entry.clauses[d.process]
+                        .as_ref()
+                        .is_some_and(|c| c.eval(&self.states[d.process]));
+                    entry.monitor.observe(d.process, holds, &d.clock);
+                }
             }
         }
         self.collect_settled(&mut verdicts);
@@ -476,6 +581,7 @@ impl Session {
             .iter()
             .map(|e| VerdictEvent {
                 predicate: e.id.clone(),
+                pattern: e.atoms.is_some(),
                 verdict: e.monitor.verdict().clone(),
             })
             .collect()
@@ -506,6 +612,7 @@ impl Session {
                 entry.emitted = true;
                 out.push(VerdictEvent {
                     predicate: entry.id.clone(),
+                    pattern: entry.atoms.is_some(),
                     verdict: entry.monitor.verdict().clone(),
                 });
             }
@@ -534,6 +641,30 @@ mod tests {
                     value,
                 })
                 .collect(),
+            pattern: None,
+        }
+    }
+
+    /// An anonymous-process two-atom pattern `a=1 -> b=1` (optionally
+    /// with a causal second edge).
+    fn pattern_pred(id: &str, atoms: &[(Option<usize>, &str, i64, bool)]) -> WirePredicate {
+        use hb_tracefmt::wire::{WireAtom, WirePattern};
+        WirePredicate {
+            id: id.into(),
+            mode: WireMode::Pattern,
+            clauses: Vec::new(),
+            pattern: Some(WirePattern {
+                atoms: atoms
+                    .iter()
+                    .map(|&(process, var, value, causal)| WireAtom {
+                        process,
+                        var: var.into(),
+                        op: "=".into(),
+                        value,
+                        causal,
+                    })
+                    .collect(),
+            }),
         }
     }
 
@@ -759,6 +890,148 @@ mod tests {
             bad(&[pred("p", WireMode::Conjunctive, &[])]),
             SessionError::BadOpen(_)
         ));
+    }
+
+    /// Two processes sharing `unlock`/`lock` flags: the session must
+    /// flag the unlock/lock inversion even though the delivered order
+    /// (lock before unlock) never exhibits it — the two are concurrent.
+    fn inversion_session() -> Session {
+        Session::open(
+            "inv",
+            2,
+            &["unlock".to_string(), "lock".to_string()],
+            &[],
+            &[pattern_pred(
+                "inversion",
+                &[(Some(1), "unlock", 1, false), (Some(0), "lock", 1, false)],
+            )],
+            SessionLimits::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pattern_predicts_a_reordering_the_delivered_order_never_shows() {
+        let mut s = inversion_session();
+        // P0 locks first (delivered order: lock, then unlock)…
+        assert!(s
+            .event(0, vc(&[1, 0]), &set(&[("lock", 1)]))
+            .unwrap()
+            .is_empty());
+        // …but P1's unlock is *concurrent*, so some linearization puts
+        // it first: the inversion fires the moment the unlock arrives.
+        let v = s.event(1, vc(&[0, 1]), &set(&[("unlock", 1)])).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].predicate, "inversion");
+        assert!(matches!(v[0].verdict, OnlineVerdict::Detected(_)));
+    }
+
+    #[test]
+    fn pattern_respects_happened_before() {
+        let mut s = inversion_session();
+        // P1 unlocks…
+        s.event(1, vc(&[0, 1]), &set(&[("unlock", 0)])).unwrap();
+        // …and P0's lock causally *follows* a plain P1 event, while the
+        // unlock=1 event causally follows the lock: no linearization
+        // has unlock=1 before lock=1.
+        s.event(0, vc(&[1, 1]), &set(&[("lock", 1)])).unwrap();
+        s.event(1, vc(&[1, 2]), &set(&[("unlock", 1)])).unwrap();
+        let mut verdicts = s.finish_process(0).unwrap();
+        verdicts.extend(s.finish_process(1).unwrap());
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].verdict, OnlineVerdict::Impossible);
+    }
+
+    #[test]
+    fn pattern_atoms_match_deltas_not_state() {
+        // P0 sets x=1 once; a later event leaves x alone. The pattern
+        // x=1 -> x=1 needs *two events* assigning x=1, so carrying the
+        // value in the state must not fire it.
+        let mut s = Session::open(
+            "deltas",
+            1,
+            &["x".to_string(), "y".to_string()],
+            &[],
+            &[pattern_pred(
+                "twice",
+                &[(None, "x", 1, false), (None, "x", 1, false)],
+            )],
+            SessionLimits::default(),
+        )
+        .unwrap();
+        s.event(0, vc(&[1]), &set(&[("x", 1)])).unwrap();
+        s.event(0, vc(&[2]), &set(&[("y", 5)])).unwrap();
+        let v = s.finish_process(0).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].verdict, OnlineVerdict::Impossible);
+    }
+
+    #[test]
+    fn pattern_open_validation() {
+        let bad = |preds: &[WirePredicate]| {
+            Session::open(
+                "b",
+                2,
+                &["x".to_string()],
+                &[],
+                preds,
+                SessionLimits::default(),
+            )
+            .err()
+            .unwrap()
+        };
+        // Undeclared variable.
+        assert!(matches!(
+            bad(&[pattern_pred("p", &[(None, "y", 1, false)])]),
+            SessionError::BadOpen(_)
+        ));
+        // Process out of range.
+        assert!(matches!(
+            bad(&[pattern_pred("p", &[(Some(9), "x", 1, false)])]),
+            SessionError::BadOpen(_)
+        ));
+        // Leading causal edge.
+        assert!(matches!(
+            bad(&[pattern_pred("p", &[(None, "x", 1, true)])]),
+            SessionError::BadOpen(_)
+        ));
+        // Pattern mode without a body.
+        let headless = WirePredicate {
+            id: "p".into(),
+            mode: WireMode::Pattern,
+            clauses: Vec::new(),
+            pattern: None,
+        };
+        assert!(matches!(bad(&[headless]), SessionError::BadOpen(_)));
+        // A pattern body on a clause mode.
+        let mut mixed = pattern_pred("p", &[(None, "x", 1, false)]);
+        mixed.mode = WireMode::Conjunctive;
+        mixed.clauses = vec![WireClause {
+            process: 0,
+            var: "x".into(),
+            op: "=".into(),
+            value: 1,
+        }];
+        assert!(matches!(bad(&[mixed]), SessionError::BadOpen(_)));
+    }
+
+    #[test]
+    fn pattern_snapshot_restore_mid_run_resumes_to_the_same_verdict() {
+        let mut original = inversion_session();
+        original
+            .event(0, vc(&[1, 0]), &set(&[("lock", 1)]))
+            .unwrap();
+
+        let snap = original.snapshot();
+        let mut restored = Session::restore(&snap, SessionLimits::default()).unwrap();
+        assert_eq!(restored.snapshot(), snap, "snapshot is stable");
+
+        for s in [&mut original, &mut restored] {
+            let v = s.event(1, vc(&[0, 1]), &set(&[("unlock", 1)])).unwrap();
+            assert_eq!(v.len(), 1);
+            assert!(matches!(v[0].verdict, OnlineVerdict::Detected(_)));
+        }
+        assert_eq!(original.snapshot(), restored.snapshot());
     }
 
     #[test]

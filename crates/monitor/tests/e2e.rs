@@ -85,6 +85,7 @@ fn shuffled_fig2a_matches_offline_least_cut() {
                         value: 1,
                     },
                 ],
+                pattern: None,
             }],
         },
         &tx,
@@ -177,6 +178,7 @@ fn shuffled_fig2a_impossible_predicate_settles_at_close() {
                         value: 3,
                     },
                 ],
+                pattern: None,
             }],
         },
         &tx,

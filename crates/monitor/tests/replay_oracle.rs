@@ -53,6 +53,7 @@ fn wire_predicate(spec: &Spec) -> WirePredicate {
                 })
             })
             .collect(),
+        pattern: None,
     }
 }
 

@@ -1,0 +1,58 @@
+//! Predictive monitoring against pattern regular languages.
+//!
+//! The rest of this workspace detects **state** predicates: does some
+//! consistent cut of the happened-before model satisfy a boolean
+//! formula over process states? This crate detects **event patterns**
+//! in the style of Ang–Mathur (*Predictive Monitoring against Pattern
+//! Regular Languages*): given a pattern `Σ* a₁ Σ* a₂ … Σ* a_d Σ*` over
+//! labeled events, does **any** linearization of the observed partial
+//! order contain events matching `a₁ … a_d` in that order? The match
+//! need not occur in the order events were delivered — the detector is
+//! *predictive*, flagging ordering violations (an unlock/lock
+//! inversion, a use of a resource concurrent with its release) that the
+//! one interleaving the monitor happened to observe did not exhibit.
+//!
+//! # The pairwise lemma
+//!
+//! Everything rests on one fact about linearizations. Distinct events
+//! `x₁ … x_d` appear in that order in **some** linearization of a
+//! happened-before order `→` iff
+//!
+//! > for every `i < j`: `¬(x_j → x_i)`.
+//!
+//! *Necessity* is immediate — a linearization extends `→`. For
+//! *sufficiency*, add the edges `x_i → x_{i+1}` to the partial order:
+//! any cycle in the result would have to travel backwards through some
+//! `→`-path from an `x_j` to an `x_i` with `i < j` (the added edges all
+//! point forward along the chain, and `→` is transitively closed), which
+//! the premise forbids. The extended relation is acyclic, so it has a
+//! linearization, and that linearization orders the chain as required.
+//!
+//! With vector clocks, `¬(e → x)` is the one-component test
+//! `C_x[p_e] < C_e[p_e]`; over a whole chain with clock join `W`
+//! (componentwise max), event `e` on process `p` can be appended iff
+//! `W[p] < C_e[p]` — a chain's *entire* extension behavior is captured
+//! by its join (plus its last event's clock, for `~>` edges that demand
+//! causal order between consecutive atoms). This is what makes an
+//! amortized-constant online detector possible: see [`matcher`].
+//!
+//! # Layers
+//!
+//! * [`spec`] — the textual pattern grammar
+//!   (`1:unlock=1 -> 0:lock=1`), parsed to the wire-level
+//!   [`hb_tracefmt::wire::WirePattern`].
+//! * [`matcher`] — [`PredictiveMatcher`], the online detector: a
+//!   Pareto frontier of minimal chain joins per pattern slot.
+//! * [`oracle`] — two independent brute-force oracles for differential
+//!   testing: [`chain_oracle`] enumerates candidate chains and applies
+//!   the pairwise lemma; [`linearization_oracle`] enumerates actual
+//!   linearizations and never invokes the lemma at all, so it checks
+//!   the lemma itself.
+
+pub mod matcher;
+pub mod oracle;
+pub mod spec;
+
+pub use matcher::{restore_any, restore_pattern, PredictiveMatcher};
+pub use oracle::{chain_oracle, linearization_oracle, PatternEvent};
+pub use spec::{format_pattern, parse_pattern};

@@ -1,0 +1,229 @@
+//! Brute-force ground truth for differential testing.
+//!
+//! Two oracles with independent failure modes:
+//!
+//! * [`chain_oracle`] enumerates every d-tuple of distinct matching
+//!   events and applies the pairwise lemma (crate docs). Fast enough
+//!   for every proptest trace; shares the lemma with the online
+//!   matcher but none of its incremental machinery.
+//! * [`linearization_oracle`] enumerates actual linearizations of the
+//!   partial order by backtracking, threading the set of reachable
+//!   pattern-match states through each prefix. It never invokes the
+//!   lemma, so agreement between the two oracles *tests the lemma*,
+//!   and agreement with the matcher tests the frontier algorithm.
+//!   Linearization counts explode combinatorially, so the search is
+//!   budget-capped and answers `None` when the budget runs out.
+
+/// One observed event, as the oracles see it: where it ran, its vector
+/// clock, and which pattern atoms it matches (bit `k` = atom `k`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternEvent {
+    /// Executing process.
+    pub process: usize,
+    /// The event's vector clock.
+    pub clock: Vec<u32>,
+    /// Atom-match bitmask.
+    pub mask: u64,
+}
+
+/// `a` happened before `b` (strictly): the one-component vector-clock
+/// test `C_a[p_a] ≤ C_b[p_a]`, for distinct events.
+fn hb(a: &PatternEvent, b: &PatternEvent) -> bool {
+    // Distinct events always carry distinct clocks (each counts itself
+    // in its own component), so clock equality doubles as identity.
+    a.clock[a.process] <= b.clock[a.process] && a.clock != b.clock
+}
+
+/// Does some linearization of `events` match the pattern? Decided by
+/// chain enumeration plus the pairwise lemma: events `x₁ … x_d` work
+/// iff they are distinct, `¬(x_j → x_i)` for all `i < j`, and every
+/// `~>` edge (`causal[k]`) has `x_{k-1} → x_k`.
+pub fn chain_oracle(causal: &[bool], events: &[PatternEvent]) -> bool {
+    let mut chosen = Vec::with_capacity(causal.len());
+    chains(causal, events, &mut chosen)
+}
+
+fn chains(causal: &[bool], events: &[PatternEvent], chosen: &mut Vec<usize>) -> bool {
+    let k = chosen.len();
+    if k == causal.len() {
+        return true;
+    }
+    for (idx, e) in events.iter().enumerate() {
+        if e.mask >> k & 1 == 0 || chosen.contains(&idx) {
+            continue;
+        }
+        // No earlier pick may be in this event's causal future.
+        if chosen.iter().any(|&i| hb(e, &events[i])) {
+            continue;
+        }
+        if causal[k] && !hb(&events[*chosen.last().expect("k >= 1 when causal")], e) {
+            continue;
+        }
+        chosen.push(idx);
+        if chains(causal, events, chosen) {
+            return true;
+        }
+        chosen.pop();
+    }
+    false
+}
+
+/// Does some linearization of `events` match the pattern? Decided by
+/// enumerating linearizations directly — no pairwise lemma anywhere.
+///
+/// `budget` bounds the number of search nodes; `None` means the budget
+/// ran out before an answer was reached (callers should shrink the
+/// trace or raise the budget, never treat it as a verdict).
+pub fn linearization_oracle(
+    causal: &[bool],
+    events: &[PatternEvent],
+    mut budget: usize,
+) -> Option<bool> {
+    let mut delivered = vec![false; events.len()];
+    // Reachable match states after the current prefix: atoms matched so
+    // far, plus the index of the last matched event (for `~>` edges).
+    let start = vec![(0usize, None)];
+    lin(
+        causal,
+        events,
+        &mut delivered,
+        events.len(),
+        &start,
+        &mut budget,
+    )
+}
+
+fn lin(
+    causal: &[bool],
+    events: &[PatternEvent],
+    delivered: &mut Vec<bool>,
+    remaining: usize,
+    states: &[(usize, Option<usize>)],
+    budget: &mut usize,
+) -> Option<bool> {
+    let d = causal.len();
+    if states.iter().any(|&(k, _)| k == d) {
+        return Some(true);
+    }
+    if remaining == 0 {
+        return Some(false);
+    }
+    if *budget == 0 {
+        return None;
+    }
+    *budget -= 1;
+    let mut exhausted = false;
+    for idx in 0..events.len() {
+        if delivered[idx] {
+            continue;
+        }
+        // Only events whose causal predecessors are all delivered may
+        // come next — this is what makes the enumeration range exactly
+        // over linearizations of the happened-before order.
+        let enabled =
+            (0..events.len()).all(|j| j == idx || delivered[j] || !hb(&events[j], &events[idx]));
+        if !enabled {
+            continue;
+        }
+        // Advance the match states: the new event may extend any state
+        // expecting an atom it carries (or be skipped — states persist).
+        let mut next = states.to_vec();
+        for &(k, last) in states {
+            if k < d && events[idx].mask >> k & 1 == 1 {
+                let causal_ok =
+                    !causal[k] || matches!(last, Some(l) if hb(&events[l], &events[idx]));
+                let state = (k + 1, Some(idx));
+                if causal_ok && !next.contains(&state) {
+                    next.push(state);
+                }
+            }
+        }
+        delivered[idx] = true;
+        let sub = lin(causal, events, delivered, remaining - 1, &next, budget);
+        delivered[idx] = false;
+        match sub {
+            Some(true) => return Some(true),
+            Some(false) => {}
+            None => exhausted = true,
+        }
+    }
+    if exhausted {
+        None
+    } else {
+        Some(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(process: usize, clock: &[u32], mask: u64) -> PatternEvent {
+        PatternEvent {
+            process,
+            clock: clock.to_vec(),
+            mask,
+        }
+    }
+
+    #[test]
+    fn both_oracles_see_the_concurrent_inversion() {
+        // Concurrent lock (atom 1) and unlock (atom 0): matchable.
+        let events = [ev(0, &[1, 0], 0b10), ev(1, &[0, 1], 0b01)];
+        assert!(chain_oracle(&[false, false], &events));
+        assert_eq!(
+            linearization_oracle(&[false, false], &events, 10_000),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn both_oracles_respect_happened_before() {
+        // lock → unlock causally: the inversion cannot linearize.
+        let events = [ev(0, &[1, 0], 0b10), ev(1, &[1, 1], 0b01)];
+        assert!(!chain_oracle(&[false, false], &events));
+        assert_eq!(
+            linearization_oracle(&[false, false], &events, 10_000),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn causal_edges_demand_happened_before() {
+        let concurrent = [ev(0, &[1, 0], 0b01), ev(1, &[0, 1], 0b10)];
+        assert!(chain_oracle(&[false, false], &concurrent));
+        assert!(!chain_oracle(&[false, true], &concurrent));
+        assert_eq!(
+            linearization_oracle(&[false, true], &concurrent, 10_000),
+            Some(false)
+        );
+        let ordered = [ev(0, &[1, 0], 0b01), ev(1, &[1, 1], 0b10)];
+        assert!(chain_oracle(&[false, true], &ordered));
+        assert_eq!(
+            linearization_oracle(&[false, true], &ordered, 10_000),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn an_exhausted_budget_is_not_a_verdict() {
+        let events: Vec<PatternEvent> = (0..8)
+            .map(|p| {
+                ev(
+                    p,
+                    &{
+                        let mut c = vec![0u32; 8];
+                        c[p] = 1;
+                        c
+                    },
+                    0,
+                )
+            })
+            .collect();
+        assert_eq!(linearization_oracle(&[false], &events, 3), None);
+        assert_eq!(
+            linearization_oracle(&[false], &events, 1_000_000),
+            Some(false)
+        );
+    }
+}

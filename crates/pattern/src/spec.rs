@@ -1,0 +1,171 @@
+//! The textual pattern grammar.
+//!
+//! ```text
+//! PATTERN := ATOM ( ARROW ATOM )*
+//! ARROW   := "->"              linearized-after (some linearization)
+//!          | "~>"              causally-after   (happened-before)
+//! ATOM    := [ PROCESS ":" ] VAR OP VALUE      no internal whitespace
+//! OP      := "=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+//! ```
+//!
+//! Tokens are whitespace-separated, so `1:unlock=1 -> 0:lock=1` reads
+//! "an event on process 1 setting `unlock` to 1, then — in some
+//! causally-consistent reordering — an event on process 0 setting
+//! `lock` to 1". A leading `PROCESS:` pins the atom to one process;
+//! without it the atom matches on any process. Atoms inspect the
+//! event's **assignments** (what the event set), not the accumulated
+//! process state.
+
+use hb_tracefmt::wire::{WireAtom, WirePattern};
+
+/// Parses the textual grammar into a wire pattern.
+pub fn parse_pattern(text: &str) -> Result<WirePattern, String> {
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    if tokens.is_empty() {
+        return Err("empty pattern".into());
+    }
+    let mut atoms = Vec::new();
+    let mut expect_atom = true;
+    let mut causal_next = false;
+    for tok in tokens {
+        if expect_atom {
+            let mut atom = parse_atom(tok)?;
+            atom.causal = causal_next;
+            atoms.push(atom);
+            expect_atom = false;
+        } else {
+            causal_next = match tok {
+                "->" => false,
+                "~>" => true,
+                other => return Err(format!("expected '->' or '~>', found '{other}'")),
+            };
+            expect_atom = true;
+        }
+    }
+    if expect_atom {
+        return Err("pattern ends with a dangling arrow".into());
+    }
+    if atoms.len() > 64 {
+        return Err(format!(
+            "pattern has {} atoms; the label mask caps patterns at 64",
+            atoms.len()
+        ));
+    }
+    Ok(WirePattern { atoms })
+}
+
+fn parse_atom(tok: &str) -> Result<WireAtom, String> {
+    let op_at = tok
+        .find(['=', '!', '<', '>'])
+        .ok_or_else(|| format!("atom '{tok}' has no comparison operator"))?;
+    let (lhs, rest) = tok.split_at(op_at);
+    let op_len = match rest.as_bytes() {
+        [b'=' | b'!' | b'<' | b'>', b'=', ..] => 2,
+        [b'=' | b'<' | b'>', ..] => 1,
+        _ => return Err(format!("atom '{tok}' has a malformed operator")),
+    };
+    let (op, value_text) = rest.split_at(op_len);
+    let value: i64 = value_text
+        .parse()
+        .map_err(|_| format!("atom '{tok}' has a non-integer value '{value_text}'"))?;
+    let (process, var) = match lhs.split_once(':') {
+        Some((p, var)) => {
+            let p: usize = p
+                .parse()
+                .map_err(|_| format!("atom '{tok}' has a non-numeric process '{p}'"))?;
+            (Some(p), var)
+        }
+        None => (None, lhs),
+    };
+    if var.is_empty() {
+        return Err(format!("atom '{tok}' names no variable"));
+    }
+    Ok(WireAtom {
+        process,
+        var: var.to_string(),
+        op: op.to_string(),
+        value,
+        causal: false,
+    })
+}
+
+/// Renders a wire pattern back into the grammar; `parse_pattern ∘
+/// format_pattern` is the identity on parsed patterns (modulo `==` vs
+/// `=` and whitespace, which parse to the same atom).
+pub fn format_pattern(pattern: &WirePattern) -> String {
+    let mut out = String::new();
+    for (i, atom) in pattern.atoms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(if atom.causal { " ~> " } else { " -> " });
+        }
+        if let Some(p) = atom.process {
+            out.push_str(&format!("{p}:"));
+        }
+        out.push_str(&format!("{}{}{}", atom.var, atom.op, atom.value));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_canonical_inversion() {
+        let p = parse_pattern("1:unlock=1 -> 0:lock=1").unwrap();
+        assert_eq!(p.atoms.len(), 2);
+        assert_eq!(p.atoms[0].process, Some(1));
+        assert_eq!(p.atoms[0].var, "unlock");
+        assert_eq!(p.atoms[0].op, "=");
+        assert_eq!(p.atoms[0].value, 1);
+        assert!(!p.atoms[0].causal);
+        assert_eq!(p.atoms[1].process, Some(0));
+        assert!(!p.atoms[1].causal);
+    }
+
+    #[test]
+    fn parses_wildcards_causal_edges_and_every_operator() {
+        let p = parse_pattern("req>=2 ~> 3:ack!=0 -> done<5").unwrap();
+        assert_eq!(p.atoms.len(), 3);
+        assert_eq!(p.atoms[0].process, None);
+        assert_eq!(p.atoms[0].op, ">=");
+        assert!(p.atoms[1].causal, "~> marks the *second* atom causal");
+        assert_eq!(p.atoms[1].process, Some(3));
+        assert_eq!(p.atoms[1].op, "!=");
+        assert!(!p.atoms[2].causal);
+        assert_eq!(p.atoms[2].op, "<");
+        assert_eq!(p.atoms[2].value, 5);
+    }
+
+    #[test]
+    fn negative_values_parse() {
+        let p = parse_pattern("x=-3").unwrap();
+        assert_eq!(p.atoms[0].value, -3);
+    }
+
+    #[test]
+    fn round_trips_through_format() {
+        for text in ["1:unlock=1 -> 0:lock=1", "req>=2 ~> 3:ack!=0 -> done<5"] {
+            let p = parse_pattern(text).unwrap();
+            assert_eq!(format_pattern(&p), text);
+            assert_eq!(parse_pattern(&format_pattern(&p)).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_patterns() {
+        for bad in [
+            "",
+            "->",
+            "x=1 ->",
+            "x=1 => y=2",
+            "x~1",
+            ":x=1",
+            "p:x=1",
+            "x=one",
+            "0:=1",
+        ] {
+            assert!(parse_pattern(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+}

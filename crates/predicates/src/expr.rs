@@ -21,7 +21,8 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn apply(self, a: i64, b: i64) -> bool {
+    /// `a ⊙ b` for this operator.
+    pub fn apply(self, a: i64, b: i64) -> bool {
         match self {
             CmpOp::Eq => a == b,
             CmpOp::Ne => a != b,

@@ -76,7 +76,9 @@ pub use transport::Transport;
 // Re-exported so callers can build predicates and read verdicts
 // without importing `hb_tracefmt` themselves.
 pub use hb_tracefmt::dial::RetryPolicy;
-pub use hb_tracefmt::wire::{WireClause, WireMode, WirePredicate, WireVerdict};
+pub use hb_tracefmt::wire::{
+    WireAtom, WireClause, WireMode, WirePattern, WirePredicate, WireVerdict,
+};
 
 use std::fmt;
 
@@ -87,6 +89,11 @@ pub enum SdkError {
     Transport(String),
     /// The server rejected a request (bad open, undeclared variable…).
     Session(String),
+    /// The server is too old for a registered predicate (a pattern
+    /// predicate against a pre-v4 monitor). Classified from the error's
+    /// machine-readable `kind`, never from message text, so callers can
+    /// reliably retry without the offending predicate.
+    UnsupportedPredicate(String),
     /// The session was already closed (or its flusher is gone).
     Closed,
 }
@@ -96,6 +103,7 @@ impl fmt::Display for SdkError {
         match self {
             SdkError::Transport(m) => write!(f, "transport: {m}"),
             SdkError::Session(m) => write!(f, "session: {m}"),
+            SdkError::UnsupportedPredicate(m) => write!(f, "unsupported predicate: {m}"),
             SdkError::Closed => write!(f, "session already closed"),
         }
     }

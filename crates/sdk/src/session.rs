@@ -14,7 +14,9 @@ use crate::tracer::Tracer;
 use crate::transport::{TcpTransport, Transport};
 use crate::SdkError;
 use hb_tracefmt::dial::RetryPolicy;
-use hb_tracefmt::wire::{ClientMsg, ServerMsg, WireClause, WireMode, WirePredicate, WireVerdict};
+use hb_tracefmt::wire::{
+    self, ClientMsg, ServerMsg, WireClause, WireMode, WirePredicate, WireVerdict,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -142,8 +144,25 @@ impl SessionBuilder {
                     value,
                 })
                 .collect(),
+            pattern: None,
         });
         self
+    }
+
+    /// Registers a pattern predicate from the textual grammar, e.g.
+    /// `"1:unlock=1 -> 0:lock=1"` (see `hb_pattern::parse_pattern`).
+    /// Pattern predicates need a wire-v4 monitor; older peers refuse
+    /// the open with [`SdkError::UnsupportedPredicate`].
+    pub fn pattern(mut self, id: &str, spec: &str) -> Result<Self, SdkError> {
+        let pattern = hb_pattern::parse_pattern(spec)
+            .map_err(|e| SdkError::Session(format!("pattern '{id}': {e}")))?;
+        self.predicates.push(WirePredicate {
+            id: id.to_string(),
+            mode: WireMode::Pattern,
+            clauses: Vec::new(),
+            pattern: Some(pattern),
+        });
+        Ok(self)
     }
 
     /// Replaces the whole config.
@@ -248,7 +267,15 @@ fn wait_for_opened(
     loop {
         match transport.poll() {
             Some(ServerMsg::Opened { .. }) => return Ok(()),
-            Some(ServerMsg::Error { message, .. }) => return Err(SdkError::Session(message)),
+            Some(ServerMsg::Error { kind, message, .. }) => {
+                // Classify on the machine-readable kind only — message
+                // text is for humans and free to change.
+                return if kind.as_deref() == Some(wire::error_kind::UNSUPPORTED_PREDICATE) {
+                    Err(SdkError::UnsupportedPredicate(message))
+                } else {
+                    Err(SdkError::Session(message))
+                };
+            }
             Some(_) => continue, // stray Welcome/Stats from a reclaimed transport
             None => {
                 if !transport.healthy() {

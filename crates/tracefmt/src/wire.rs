@@ -40,7 +40,13 @@ pub const MAX_FRAME_BYTES: usize = 16 << 20;
 ///   negotiated: a server echoes the client's version in `welcome`
 ///   (capped at its own), and a client only sends `events` frames to a
 ///   peer that welcomed version 3 or newer.
-pub const WIRE_VERSION: u32 = 3;
+/// * **4** — adds pattern predicates: [`WirePredicate`] grows a
+///   `pattern` mode carrying a [`WirePattern`] (a regular event pattern
+///   for predictive monitoring). A pre-v4 server answers an `open`
+///   carrying one with an error of kind
+///   [`error_kind::UNSUPPORTED_PREDICATE`], so clients degrade cleanly
+///   without parsing the message text.
+pub const WIRE_VERSION: u32 = 4;
 
 /// The oldest peer version still accepted. A client that never sends
 /// `Hello` is treated as this version — version-1 peers predate the
@@ -78,6 +84,9 @@ pub enum WireMode {
     Conjunctive,
     /// Any clause may hold.
     Disjunctive,
+    /// A regular event pattern over the predicate's [`WirePattern`];
+    /// clauses are unused. Wire version 4.
+    Pattern,
 }
 
 impl WireMode {
@@ -85,6 +94,7 @@ impl WireMode {
         match self {
             WireMode::Conjunctive => "conjunctive",
             WireMode::Disjunctive => "disjunctive",
+            WireMode::Pattern => "pattern",
         }
     }
 }
@@ -106,6 +116,41 @@ pub struct WireClause {
     pub value: i64,
 }
 
+/// One atom of a [`WirePattern`]: an event label plus the ordering
+/// constraint linking it to the previous atom.
+///
+/// An event **matches** the atom when its `set` map assigns `var` a
+/// value for which `var ⊙ value` holds (the atom inspects the event's
+/// own assignments — what happened at the event — not the accumulated
+/// process state) and, when `process` is given, the event executed on
+/// that process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireAtom {
+    /// Restrict matches to this process; `None` matches any process.
+    pub process: Option<usize>,
+    /// Variable name (must be declared in the session's `vars`).
+    pub var: String,
+    /// Comparison operator, as in [`WireClause`].
+    pub op: String,
+    /// Literal to compare against.
+    pub value: i64,
+    /// `true` when this atom must be *causally* after the previous one
+    /// (happened-before, written `~>`), not merely after it in some
+    /// linearization (written `->`). Must be `false` on the first atom.
+    pub causal: bool,
+}
+
+/// A pattern predicate body: the regular language `Σ* a₁ Σ* a₂ … Σ* a_d
+/// Σ*` over labeled events. The monitor detects the pattern when **some
+/// linearization** of the observed computation contains events matching
+/// `a₁ … a_d` in order (predictive monitoring: the match need not occur
+/// in the delivered order, only in a causally-consistent reordering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePattern {
+    /// The atoms, in matching order. Never empty; at most 64.
+    pub atoms: Vec<WireAtom>,
+}
+
 /// A predicate registered at session open.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WirePredicate {
@@ -113,8 +158,10 @@ pub struct WirePredicate {
     pub id: String,
     /// Clause combination mode.
     pub mode: WireMode,
-    /// The clauses.
+    /// The clauses (state predicates; empty for pattern predicates).
     pub clauses: Vec<WireClause>,
+    /// The event pattern (`Some` iff `mode` is [`WireMode::Pattern`]).
+    pub pattern: Option<WirePattern>,
 }
 
 /// A final or intermediate detection verdict on the wire.
@@ -310,6 +357,11 @@ pub mod error_kind {
     /// An event or finish for a process already declared finished
     /// (expected when a close window is replayed).
     pub const ALREADY_FINISHED: &str = "already_finished";
+    /// `Open` registered a predicate kind this peer does not support
+    /// (a pattern predicate on a pre-v4 monitor). NOT a replay
+    /// artifact: the client must drop the predicate or fail the open,
+    /// never retry it verbatim.
+    pub const UNSUPPORTED_PREDICATE: &str = "unsupported_predicate";
 
     /// `true` for kinds that are expected artifacts of at-least-once
     /// replay and re-attach rather than failures.
@@ -343,13 +395,63 @@ impl Deserialize for WireClause {
     }
 }
 
+impl Serialize for WireAtom {
+    fn to_value(&self) -> Value {
+        let mut fields = Vec::new();
+        if let Some(p) = self.process {
+            fields.push(("process".into(), p.to_value()));
+        }
+        fields.push(("var".into(), self.var.to_value()));
+        fields.push(("op".into(), self.op.to_value()));
+        fields.push(("value".into(), self.value.to_value()));
+        if self.causal {
+            fields.push(("causal".into(), self.causal.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for WireAtom {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        Ok(WireAtom {
+            process: help::field_opt(v, "process")?,
+            var: help::field(v, "var")?,
+            op: help::field(v, "op")?,
+            value: help::field(v, "value")?,
+            causal: help::field_or_default(v, "causal")?,
+        })
+    }
+}
+
+impl Serialize for WirePattern {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![("atoms".into(), self.atoms.to_value())])
+    }
+}
+
+impl Deserialize for WirePattern {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        let atoms: Vec<WireAtom> = help::field(v, "atoms")?;
+        if atoms.is_empty() {
+            return Err(DeError::msg("empty pattern"));
+        }
+        Ok(WirePattern { atoms })
+    }
+}
+
 impl Serialize for WirePredicate {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("id".into(), self.id.to_value()),
             ("mode".into(), self.mode.as_str().to_value()),
             ("clauses".into(), self.clauses.to_value()),
-        ])
+        ];
+        if let Some(p) = &self.pattern {
+            fields.push(("pattern".into(), p.to_value()));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -359,16 +461,25 @@ impl Deserialize for WirePredicate {
         let mode = match help::field::<String>(v, "mode")?.as_str() {
             "conjunctive" => WireMode::Conjunctive,
             "disjunctive" => WireMode::Disjunctive,
+            // A v3-era decoder fails right here on a pattern predicate —
+            // the natural wire-level guard for genuinely old builds.
+            "pattern" => WireMode::Pattern,
             other => {
                 return Err(DeError::msg(format!(
-                    "unknown predicate mode '{other}' (expected conjunctive or disjunctive)"
+                    "unknown predicate mode '{other}' (expected conjunctive, \
+                     disjunctive, or pattern)"
                 )))
             }
         };
+        let pattern: Option<WirePattern> = help::field_opt(v, "pattern")?;
+        if matches!(mode, WireMode::Pattern) && pattern.is_none() {
+            return Err(DeError::msg("pattern predicate without a pattern body"));
+        }
         Ok(WirePredicate {
             id: help::field(v, "id")?,
             mode,
-            clauses: help::field(v, "clauses")?,
+            clauses: help::field_or_default(v, "clauses")?,
+            pattern,
         })
     }
 }
@@ -720,24 +831,50 @@ mod tests {
             processes: 3,
             vars: vec!["x".into(), "y".into()],
             initial: vec![[("x".to_string(), 5i64)].into_iter().collect()],
-            predicates: vec![WirePredicate {
-                id: "mutex".into(),
-                mode: WireMode::Conjunctive,
-                clauses: vec![
-                    WireClause {
-                        process: 0,
-                        var: "x".into(),
-                        op: "=".into(),
-                        value: 2,
-                    },
-                    WireClause {
-                        process: 2,
-                        var: "x".into(),
-                        op: ">=".into(),
-                        value: 1,
-                    },
-                ],
-            }],
+            predicates: vec![
+                WirePredicate {
+                    id: "mutex".into(),
+                    mode: WireMode::Conjunctive,
+                    clauses: vec![
+                        WireClause {
+                            process: 0,
+                            var: "x".into(),
+                            op: "=".into(),
+                            value: 2,
+                        },
+                        WireClause {
+                            process: 2,
+                            var: "x".into(),
+                            op: ">=".into(),
+                            value: 1,
+                        },
+                    ],
+                    pattern: None,
+                },
+                WirePredicate {
+                    id: "inversion".into(),
+                    mode: WireMode::Pattern,
+                    clauses: vec![],
+                    pattern: Some(WirePattern {
+                        atoms: vec![
+                            WireAtom {
+                                process: Some(1),
+                                var: "x".into(),
+                                op: "=".into(),
+                                value: 0,
+                                causal: false,
+                            },
+                            WireAtom {
+                                process: None,
+                                var: "y".into(),
+                                op: ">=".into(),
+                                value: 2,
+                                causal: true,
+                            },
+                        ],
+                    }),
+                },
+            ],
         });
         round_trip(ClientMsg::Event {
             session: "s1".into(),
@@ -895,6 +1032,75 @@ mod tests {
         assert!(error_kind::is_benign_replay(error_kind::ALREADY_FINISHED));
         assert!(!error_kind::is_benign_replay("wal_append_failed"));
         assert!(!error_kind::is_benign_replay(""));
+        // Refused predicates are real failures — retrying the same open
+        // against the same peer can never succeed.
+        assert!(!error_kind::is_benign_replay(
+            error_kind::UNSUPPORTED_PREDICATE
+        ));
+    }
+
+    #[test]
+    fn pattern_predicates_round_trip_and_omit_default_fields() {
+        let pred = WirePredicate {
+            id: "inv".into(),
+            mode: WireMode::Pattern,
+            clauses: vec![],
+            pattern: Some(WirePattern {
+                atoms: vec![
+                    WireAtom {
+                        process: None,
+                        var: "unlock".into(),
+                        op: "=".into(),
+                        value: 1,
+                        causal: false,
+                    },
+                    WireAtom {
+                        process: Some(0),
+                        var: "lock".into(),
+                        op: "=".into(),
+                        value: 1,
+                        causal: false,
+                    },
+                ],
+            }),
+        };
+        round_trip(pred.clone());
+        // A wildcard, non-causal atom serializes without `process` or
+        // `causal` keys — old captures stay greppable and minimal.
+        let json = serde_json::to_string(&pred.to_value()).unwrap();
+        assert_eq!(
+            json,
+            r#"{"id":"inv","mode":"pattern","clauses":[],"pattern":{"atoms":[{"var":"unlock","op":"=","value":1},{"process":0,"var":"lock","op":"=","value":1}]}}"#
+        );
+    }
+
+    #[test]
+    fn pattern_mode_requires_a_pattern_body() {
+        let mut buf = Vec::new();
+        let body = r#"{"id":"p","mode":"pattern","clauses":[]}"#;
+        buf.extend_from_slice(format!("{} {}\n", body.len(), body).as_bytes());
+        let err = read_frame::<_, WirePredicate>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("without a pattern body"), "{err}");
+    }
+
+    #[test]
+    fn empty_patterns_are_rejected() {
+        let mut buf = Vec::new();
+        let body = r#"{"id":"p","mode":"pattern","clauses":[],"pattern":{"atoms":[]}}"#;
+        buf.extend_from_slice(format!("{} {}\n", body.len(), body).as_bytes());
+        let err = read_frame::<_, WirePredicate>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("empty pattern"), "{err}");
+    }
+
+    #[test]
+    fn v3_decoders_would_refuse_pattern_mode_by_name() {
+        // The guard a genuinely old build relies on: an unknown mode
+        // string fails the predicate decode with a named-mode error.
+        let mut buf = Vec::new();
+        let body = r#"{"id":"p","mode":"regex","clauses":[]}"#;
+        buf.extend_from_slice(format!("{} {}\n", body.len(), body).as_bytes());
+        let err = read_frame::<_, WirePredicate>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("unknown predicate mode"), "{err}");
     }
 
     #[test]

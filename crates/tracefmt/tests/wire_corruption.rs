@@ -8,7 +8,8 @@
 //! actual bytes.
 
 use hb_tracefmt::wire::{
-    read_frame, write_frame, ClientMsg, EventFrame, ServerMsg, MAX_FRAME_BYTES,
+    read_frame, write_frame, ClientMsg, EventFrame, ServerMsg, WireAtom, WireMode, WirePattern,
+    WirePredicate, MAX_FRAME_BYTES,
 };
 use hb_tracefmt::TraceError;
 use proptest::prelude::*;
@@ -47,6 +48,35 @@ fn sample_batch(n: usize, clock: &[u32]) -> ClientMsg {
                 set: [(format!("x{i}"), i as i64)].into_iter().collect(),
             })
             .collect(),
+    }
+}
+
+/// An `open` frame registering one wire-v4 pattern predicate whose
+/// encoded size varies with the inputs.
+fn sample_pattern_open(atoms: Vec<(Option<usize>, i64, bool)>) -> ClientMsg {
+    let atoms: Vec<WireAtom> = atoms
+        .into_iter()
+        .enumerate()
+        .map(|(i, (process, value, causal))| WireAtom {
+            process,
+            var: format!("x{i}"),
+            op: if value % 2 == 0 { "=" } else { ">=" }.into(),
+            value,
+            // The first atom has no predecessor edge to be causal about.
+            causal: causal && i > 0,
+        })
+        .collect();
+    ClientMsg::Open {
+        session: "sess".into(),
+        processes: 3,
+        vars: (0..atoms.len()).map(|i| format!("x{i}")).collect(),
+        initial: vec![],
+        predicates: vec![WirePredicate {
+            id: "pat".into(),
+            mode: WireMode::Pattern,
+            clauses: vec![],
+            pattern: Some(WirePattern { atoms }),
+        }],
     }
 }
 
@@ -216,6 +246,96 @@ proptest! {
         let at = flip_seed % frame.len();
         frame[at] ^= 1 << bit;
         drain(&frame);
+    }
+
+    // The wire-v4 pattern predicate spec faces the same adversary.
+
+    #[test]
+    fn pattern_opens_round_trip_and_truncations_are_errors(
+        atoms in prop::collection::vec(
+            (prop::option::of(0usize..3), -4i64..5, any::<bool>()),
+            1..6,
+        ),
+        cut_seed in 0usize..10_000,
+    ) {
+        let msg = sample_pattern_open(atoms);
+        let frame = encode(&msg);
+        // Intact: parses back to the same open, pattern included.
+        let mut r = Cursor::new(&frame[..]);
+        prop_assert_eq!(
+            read_frame::<_, ClientMsg>(&mut r).expect("intact open"),
+            Some(msg)
+        );
+        // Cut strictly inside — possibly mid-atom: never a partial
+        // pattern, always an error (or clean EOF at cut 0).
+        let cut = cut_seed % frame.len();
+        let mut r = Cursor::new(&frame[..cut]);
+        match read_frame::<_, ClientMsg>(&mut r) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only an empty stream is a clean EOF"),
+            Ok(Some(_)) => prop_assert!(false, "a truncated open must not parse"),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn bit_flipped_pattern_opens_never_panic(
+        atoms in prop::collection::vec(
+            (prop::option::of(0usize..3), -4i64..5, any::<bool>()),
+            1..6,
+        ),
+        flip_seed in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let mut frame = encode(&sample_pattern_open(atoms));
+        let at = flip_seed % frame.len();
+        frame[at] ^= 1 << bit;
+        drain(&frame);
+    }
+
+    #[test]
+    fn pattern_opens_with_oversized_length_claims_are_rejected(
+        excess in 1usize..1_000_000,
+        atoms in prop::collection::vec(
+            (prop::option::of(0usize..3), -4i64..5, any::<bool>()),
+            1..4,
+        ),
+    ) {
+        // An honest pattern-open body behind a lying, over-limit length
+        // prefix: rejected on the prefix alone, before any allocation.
+        let body = {
+            let mut encoded = encode(&sample_pattern_open(atoms));
+            let space = encoded.iter().position(|&b| b == b' ').expect("header");
+            encoded.drain(..=space);
+            encoded
+        };
+        let mut frame = format!("{} ", MAX_FRAME_BYTES + excess).into_bytes();
+        frame.extend_from_slice(&body);
+        let mut r = Cursor::new(frame);
+        match read_frame::<_, ClientMsg>(&mut r) {
+            Err(TraceError::Invalid(msg)) => {
+                prop_assert!(msg.contains("exceeds"), "{}", msg);
+            }
+            other => prop_assert!(false, "expected size rejection, got {:?}", other.map(|_| "frame")),
+        }
+    }
+
+    #[test]
+    fn empty_atom_lists_are_rejected_wherever_they_appear(
+        session in "[a-z]{1,12}",
+    ) {
+        // A pattern with no atoms is a protocol violation, not a no-op:
+        // build the JSON by hand since the writer has no reason to emit
+        // one.
+        let json = format!(
+            "{{\"type\":\"open\",\"session\":\"{session}\",\"processes\":2,\
+             \"vars\":[\"x\"],\"initial\":[],\"predicates\":[{{\"id\":\"p\",\
+             \"mode\":\"pattern\",\"clauses\":[],\"pattern\":{{\"atoms\":[]}}}}]}}"
+        );
+        let mut frame = format!("{} ", json.len()).into_bytes();
+        frame.extend_from_slice(json.as_bytes());
+        frame.push(b'\n');
+        let mut r = Cursor::new(frame);
+        prop_assert!(read_frame::<_, ClientMsg>(&mut r).is_err());
     }
 
     // The version-2 frames (handshake and gateway admin) face the same
