@@ -14,13 +14,13 @@
 //!   predicate, so the predictive detector's wire-path overhead is
 //!   directly comparable against `singles`.
 
+use hb_bench::report::{BenchReport, BenchRun};
 use hb_monitor::{MonitorConfig, MonitorService};
 use hb_sim::{random_computation, random_linearization, RandomSpec};
 use hb_tracefmt::wire::{
     read_frame, write_frame, ClientMsg, EventFrame, ServerMsg, WireAtom, WireClause, WireMode,
     WirePattern, WirePredicate, WIRE_VERSION,
 };
-use std::fmt::Write as _;
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::time::Instant;
@@ -178,13 +178,10 @@ fn main() {
         ("pattern", pattern_predicate(), 1),
     ];
     let iters = if quick { 2 } else { 5 };
-    let mut out = String::from("{\"group\":\"monitor/wire\",");
-    let _ = write!(
-        out,
-        "\"processes\":{PROCESSES},\"events\":{},\"runs\":[",
-        frames.len()
-    );
-    for (i, (mode, pred, chunk)) in modes.iter().enumerate() {
+    let mut report = BenchReport::new("monitor/wire")
+        .meta("processes", PROCESSES as u64)
+        .meta("events", frames.len() as u64);
+    for (mode, pred, chunk) in &modes {
         // Warm-up session, then best-of-n to shave scheduler noise.
         stream_session(&mut writer, &mut reader, pred, &frames, *chunk, &mut next);
         let mut best = f64::MAX;
@@ -193,17 +190,7 @@ fn main() {
             stream_session(&mut writer, &mut reader, pred, &frames, *chunk, &mut next);
             best = best.min(start.elapsed().as_secs_f64());
         }
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "{{\"mode\":\"{mode}\",\"secs\":{:.6},\"events_per_sec\":{:.1},\"ns_per_event\":{:.1}}}",
-            best,
-            frames.len() as f64 / best,
-            best * 1e9 / frames.len() as f64,
-        );
+        report.push(BenchRun::new(*mode, frames.len() as u64, best));
     }
-    out.push_str("]}");
-    println!("{out}");
+    println!("{}", report.to_json());
 }

@@ -12,12 +12,15 @@
 //! dominance-filtered antichains. The headline number is `flatness` —
 //! the max/min ratio of ns/event across a 10× length sweep — which
 //! should stay near 1.0 (CI accepts the cost being flat within ±20%).
+//!
+//! Output uses the shared `BENCH_*.json` record schema from
+//! `hb_bench::report`.
 
+use hb_bench::report::{BenchReport, BenchRun};
 use hb_detect::online::OnlineMonitor;
 use hb_pattern::PredictiveMatcher;
 use hb_sim::{causal_shuffle, random_computation, RandomSpec};
 use hb_vclock::VectorClock;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 const PROCESSES: usize = 4;
@@ -29,12 +32,6 @@ const ATOM_VALUES: [i64; 3] = [1, 2, 3];
 struct Run {
     events: usize,
     secs: f64,
-}
-
-impl Run {
-    fn ns_per_event(&self) -> f64 {
-        self.secs * 1e9 / self.events as f64
-    }
 }
 
 /// One timed sweep: `total` events through a fresh matcher, delivered
@@ -94,36 +91,17 @@ fn main() {
             samples[i].push(run(n, 7));
         }
     }
-    let runs: Vec<Run> = samples
-        .into_iter()
-        .map(|mut s| {
-            s.sort_by(|a, b| a.secs.total_cmp(&b.secs));
-            s.swap_remove(s.len() / 2)
-        })
-        .collect();
-    let (min, max) = runs.iter().fold((f64::MAX, 0.0f64), |(lo, hi), r| {
-        (lo.min(r.ns_per_event()), hi.max(r.ns_per_event()))
-    });
-
-    let mut out = String::from("{\"group\":\"pattern\",");
-    let _ = write!(
-        out,
-        "\"processes\":{PROCESSES},\"atoms\":{},\"runs\":[",
-        ATOM_VALUES.len()
-    );
-    for (i, r) in runs.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "{{\"events\":{},\"secs\":{:.6},\"events_per_sec\":{:.1},\"ns_per_event\":{:.1}}}",
-            r.events,
+    let mut report = BenchReport::new("pattern")
+        .meta("processes", PROCESSES as u64)
+        .meta("atoms", ATOM_VALUES.len() as u64);
+    for mut s in samples {
+        s.sort_by(|a, b| a.secs.total_cmp(&b.secs));
+        let r = s.swap_remove(s.len() / 2);
+        report.push(BenchRun::new(
+            format!("n{}", r.events),
+            r.events as u64,
             r.secs,
-            r.events as f64 / r.secs,
-            r.ns_per_event(),
-        );
+        ));
     }
-    let _ = write!(out, "],\"flatness\":{:.3}}}", max / min);
-    println!("{out}");
+    println!("{}", report.to_json());
 }

@@ -1,0 +1,172 @@
+//! Slicing-filter benchmark: per-event cost and detector-work
+//! reduction of the online slicer fronting a conjunctive monitor, on a
+//! sparse-predicate workload. Prints one JSON object to stdout in the
+//! shared `BENCH_*.json` schema so CI can archive it
+//! (`BENCH_slice.json`) and trend it across commits.
+//!
+//! ```text
+//! slice_bench [--quick]
+//! ```
+//!
+//! The workload is the sparse-predicate scenario: values are drawn
+//! from `0..32` and the predicate wants `x = 31` on every process but
+//! one (and an impossible `x = -1` on that one, so it never settles no
+//! matter the stream length), so only ~3% of events touch a true local
+//! clause. The slicer admits
+//! just those (plus the retreat bookkeeping), and the detector's
+//! lattice work runs on the slice instead of the full computation —
+//! `reduction_ratio` is events-in over events reaching the detector.
+//!
+//! Each sweep length runs a sliced and an unsliced `Session` over the
+//! identical pre-built event stream (five interleaved rounds, median,
+//! like `pattern_bench`), so `unsliced_ns_per_event` rides along for a
+//! direct cost comparison. `flatness` (max/min ns-per-event across the
+//! 10x sweep) near 1.0 confirms the filter stays O(1) per event.
+
+use hb_bench::report::{BenchReport, BenchRun};
+use hb_monitor::{Session, SessionLimits};
+use hb_sim::{random_computation, random_linearization, RandomSpec};
+use hb_tracefmt::wire::{WireClause, WireMode, WirePredicate};
+use hb_vclock::VectorClock;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const PROCESSES: usize = 8;
+
+/// `x = 31` on every process but the first, `x = -1` on process 0,
+/// with values drawn from `0..32`: each live clause is true on ~3% of
+/// events, and the p0 clause can never be true, so the monitor stays
+/// pending over the whole stream no matter how long it runs (a cut
+/// with all clauses true at once would otherwise show up eventually
+/// on multi-hundred-thousand-event sweeps and settle the predicate).
+fn sparse_predicate() -> WirePredicate {
+    WirePredicate {
+        id: "sparse".into(),
+        mode: WireMode::Conjunctive,
+        clauses: (0..PROCESSES)
+            .map(|p| WireClause {
+                process: p,
+                var: "x".into(),
+                op: "=".into(),
+                value: if p == 0 { -1 } else { 31 },
+            })
+            .collect(),
+        pattern: None,
+    }
+}
+
+/// One pre-built causally consistent stream.
+type Stream = Vec<(usize, Vec<u32>, BTreeMap<String, i64>)>;
+
+fn build_stream(total_events: usize, seed: u64) -> Stream {
+    let comp = random_computation(RandomSpec {
+        processes: PROCESSES,
+        events_per_process: total_events / PROCESSES,
+        send_percent: 30,
+        value_range: 32,
+        seed,
+    });
+    let x = comp.vars().iter().next().expect("the x variable").0;
+    random_linearization(&comp, seed ^ 0x5eed)
+        .iter()
+        .map(|&e| {
+            (
+                e.process,
+                comp.clock(e).components().to_vec(),
+                [(
+                    "x".to_string(),
+                    comp.local_state(e.process, e.index as u32 + 1).get(x),
+                )]
+                .into_iter()
+                .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Streams every event through a fresh session and returns the wall
+/// time plus the slicer's (events_in, events_filtered) totals — (0, 0)
+/// for the unsliced leg.
+fn run_leg(stream: &Stream, sliced: bool) -> (f64, u64, u64) {
+    let limits = SessionLimits {
+        slice: sliced,
+        ..SessionLimits::default()
+    };
+    let mut session = Session::open(
+        "slice-bench",
+        PROCESSES,
+        &["x".to_string()],
+        &[],
+        &[sparse_predicate()],
+        limits,
+    )
+    .expect("open session");
+    let start = Instant::now();
+    for (p, clock, set) in stream {
+        let verdicts = session
+            .event(*p, VectorClock::from_components(clock.clone()), set)
+            .expect("ingest event");
+        assert!(verdicts.is_empty(), "sparse predicate settled early");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let (mut events_in, mut events_filtered) = (0, 0);
+    for (_, d_in, d_filtered) in session.take_slice_stats() {
+        events_in += d_in;
+        events_filtered += d_filtered;
+    }
+    (secs, events_in, events_filtered)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let base = if quick { 8_000 } else { 200_000 };
+    let lengths = [base, 3 * base, 10 * base];
+    let rounds = 5;
+
+    let streams: Vec<Stream> = lengths
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| build_stream(n, 11 + i as u64))
+        .collect();
+
+    // Warm-up, then interleaved rounds so drift hits every length and
+    // both legs equally.
+    let _ = run_leg(&streams[0], true);
+    let mut sliced_secs = vec![Vec::new(); lengths.len()];
+    let mut unsliced_secs = vec![Vec::new(); lengths.len()];
+    let mut stats = vec![(0u64, 0u64); lengths.len()];
+    for _ in 0..rounds {
+        for (i, stream) in streams.iter().enumerate() {
+            let (secs, events_in, events_filtered) = run_leg(stream, true);
+            sliced_secs[i].push(secs);
+            stats[i] = (events_in, events_filtered);
+            let (secs, _, _) = run_leg(stream, false);
+            unsliced_secs[i].push(secs);
+        }
+    }
+
+    let mut report = BenchReport::new("slice").meta("processes", PROCESSES as u64);
+    for (i, stream) in streams.iter().enumerate() {
+        let (events_in, events_filtered) = stats[i];
+        let kept = events_in.saturating_sub(events_filtered).max(1);
+        let unsliced = median(unsliced_secs[i].clone());
+        report.push(
+            BenchRun::new(
+                format!("n{}", stream.len()),
+                stream.len() as u64,
+                median(sliced_secs[i].clone()),
+            )
+            .with("reduction_ratio", events_in as f64 / kept as f64)
+            .with(
+                "unsliced_ns_per_event",
+                unsliced * 1e9 / stream.len() as f64,
+            ),
+        );
+    }
+    println!("{}", report.to_json());
+}

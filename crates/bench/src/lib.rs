@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod report;
 pub mod workloads;
 
 use std::time::{Duration, Instant};

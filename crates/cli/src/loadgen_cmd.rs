@@ -4,10 +4,19 @@
 //! ```text
 //! hbtl loadgen <addr> [--workers M] [--sessions N] [--processes P]
 //!              [--events E] [--predicates K] [--window W] [--seed S]
-//!              [--batch B] [--scenario ordering-violation]
+//!              [--batch B] [--scenario ordering-violation|sparse-predicate]
 //!              [--violation-rate PCT] [--json]
 //! hbtl loadgen --compare [--workers M] ... [--json]
 //! ```
+//!
+//! `--scenario sparse-predicate` draws values from `0..32` and monitors
+//! `x = 31` on every process, so only ~3% of events touch a true local
+//! clause — the workload the slicing ingest filter exists for. After
+//! the run, loadgen fetches the server's stats and reports the
+//! aggregate slice reduction (detector events cut); when the server
+//! has slicing on, a reduction below 5x fails the run, so the scenario
+//! doubles as an end-to-end check that the filter actually carries its
+//! weight under load.
 //!
 //! `--scenario ordering-violation` switches the workload to two-process
 //! sessions carrying a `unlock=1 -> lock=1` **pattern** predicate: each
@@ -41,7 +50,7 @@
 //! single monitor against a self-hosted gateway over two monitors with
 //! the *same* workload, and reports the throughput ratio.
 
-use crate::monitor_cmd::{shutdown_server, state_map, take_flag, take_switch};
+use crate::monitor_cmd::{fetch_stats, shutdown_server, state_map, take_flag, take_switch};
 use hb_gateway::{GatewayConfig, GatewayService};
 use hb_monitor::{MonitorConfig, MonitorService};
 use hb_sdk::transport::TcpTransport;
@@ -66,6 +75,10 @@ enum Scenario {
         /// Percent of sessions with a planted inversion.
         rate: u32,
     },
+    /// Random computations over `0..32` with `x = 31` conjunctive
+    /// predicates: ~3% of events touch a true local clause, so the
+    /// slicing ingest filter should cut detector work ≥5x.
+    SparsePredicate,
 }
 
 /// The workload shape, fixed up front so repeated runs are identical.
@@ -173,6 +186,40 @@ impl LoadResult {
     }
 }
 
+/// Aggregate slice reduction from a server's stats counters: total
+/// events entering the slicing filters over total reaching the
+/// detectors. `None` when no slice counters exist (slicing off, or a
+/// server predating the filter).
+fn slice_reduction(counters: &BTreeMap<String, u64>) -> Option<f64> {
+    let (mut events_in, mut filtered) = (0u64, 0u64);
+    for (key, &v) in counters {
+        if let Some(rest) = key.strip_prefix("slice.") {
+            if rest.ends_with(".events_in") {
+                events_in += v;
+            } else if rest.ends_with(".events_filtered") {
+                filtered += v;
+            }
+        }
+    }
+    (events_in > 0).then(|| events_in as f64 / events_in.saturating_sub(filtered).max(1) as f64)
+}
+
+/// Fetches the server's stats and enforces the sparse-predicate
+/// scenario's promise: slicing, when the server has it on, must cut
+/// detector work at least 5x. `None` = the server isn't slicing.
+fn check_slice_reduction(addr: &str) -> Result<Option<f64>, String> {
+    let counters = fetch_stats(addr, 0)?;
+    let Some(ratio) = slice_reduction(&counters) else {
+        return Ok(None);
+    };
+    if ratio < 5.0 {
+        return Err(format!(
+            "sparse-predicate: slice reduction {ratio:.2}x is below the 5x floor"
+        ));
+    }
+    Ok(Some(ratio))
+}
+
 /// The per-session seed: the run seed mixed with the session index.
 fn session_seed(spec: &LoadSpec, w: usize, s: usize) -> u64 {
     spec.seed
@@ -189,7 +236,8 @@ fn build_plans(spec: &LoadSpec) -> Vec<Vec<SessionPlan>> {
                     let seed = session_seed(spec, w, s);
                     let name = format!("lg-{w}-{s}");
                     match spec.scenario {
-                        Scenario::Impossible => random_plan(spec, seed, name),
+                        Scenario::Impossible => random_plan(spec, seed, name, 4),
+                        Scenario::SparsePredicate => random_plan(spec, seed, name, 32),
                         Scenario::OrderingViolation { rate } => {
                             ordering_violation_plan(spec, seed, rate, name)
                         }
@@ -201,13 +249,15 @@ fn build_plans(spec: &LoadSpec) -> Vec<Vec<SessionPlan>> {
 }
 
 /// The default workload: a seeded random computation streamed as a
-/// causality-respecting shuffle of full-state events.
-fn random_plan(spec: &LoadSpec, seed: u64, name: String) -> SessionPlan {
+/// causality-respecting shuffle of full-state events. `value_range`
+/// sets how sparse any given value is — 4 for the impossible-predicate
+/// scenario, 32 for the sparse-predicate one.
+fn random_plan(spec: &LoadSpec, seed: u64, name: String, value_range: i64) -> SessionPlan {
     let comp = random_computation(RandomSpec {
         processes: spec.processes,
         events_per_process: spec.events_per_process,
         send_percent: 30,
-        value_range: 4,
+        value_range,
         seed,
     });
     let order = causal_shuffle(&comp, seed ^ 0xdead_beef, spec.window);
@@ -270,27 +320,36 @@ fn ordering_violation_plan(spec: &LoadSpec, seed: u64, rate: u32, name: String) 
     }
 }
 
+/// `K` conjunctive predicates wanting `x = value` on every process.
+fn conjunctive_predicates(spec: &LoadSpec, value: i64) -> Vec<WirePredicate> {
+    (0..spec.predicates)
+        .map(|k| WirePredicate {
+            id: format!("p{k}"),
+            mode: WireMode::Conjunctive,
+            clauses: (0..spec.processes)
+                .map(|p| WireClause {
+                    process: p,
+                    var: "x".into(),
+                    op: "=".into(),
+                    value,
+                })
+                .collect(),
+            pattern: None,
+        })
+        .collect()
+}
+
 /// The scenario's predicate set, shared by every session.
 fn scenario_predicates(spec: &LoadSpec) -> Vec<WirePredicate> {
     match spec.scenario {
         // Predicates that never settle early: `x = -1` on every process
         // while values are drawn from `0..range` — the detector does
         // full work on every event and settles only at close.
-        Scenario::Impossible => (0..spec.predicates)
-            .map(|k| WirePredicate {
-                id: format!("p{k}"),
-                mode: WireMode::Conjunctive,
-                clauses: (0..spec.processes)
-                    .map(|p| WireClause {
-                        process: p,
-                        var: "x".into(),
-                        op: "=".into(),
-                        value: -1,
-                    })
-                    .collect(),
-                pattern: None,
-            })
-            .collect(),
+        Scenario::Impossible => conjunctive_predicates(spec, -1),
+        // Sparse but reachable: `x = 31` with values drawn from `0..32`
+        // — each local clause holds on ~3% of events, so the slicing
+        // filter admits a trickle and the detector works on the slice.
+        Scenario::SparsePredicate => conjunctive_predicates(spec, 31),
         // One pattern predicate: an unlock linearizable before a lock.
         Scenario::OrderingViolation { .. } => vec![WirePredicate {
             id: "inv".into(),
@@ -321,7 +380,7 @@ fn scenario_predicates(spec: &LoadSpec) -> Vec<WirePredicate> {
 /// The variables a scenario's sessions declare.
 fn scenario_vars(spec: &LoadSpec) -> &'static [&'static str] {
     match spec.scenario {
-        Scenario::Impossible => &["x"],
+        Scenario::Impossible | Scenario::SparsePredicate => &["x"],
         Scenario::OrderingViolation { .. } => &["x", "unlock", "lock"],
     }
 }
@@ -458,12 +517,19 @@ impl HostedMonitor {
 fn compare_cmd(spec: &LoadSpec, json: bool) -> Result<String, String> {
     let plans = build_plans(spec);
 
-    // Leg 1: every worker against one monitor, directly.
-    let single_result = {
+    // Leg 1: every worker against one monitor, directly. The hosted
+    // monitor slices by default, so the sparse scenario's reduction
+    // floor is checked here before the server goes away.
+    let (single_result, reduction) = {
         let m = host_monitor()?;
         let r = run_load(&m.addr, &plans, spec)?;
+        let reduction = if spec.scenario == Scenario::SparsePredicate {
+            check_slice_reduction(&m.addr)?
+        } else {
+            None
+        };
         m.stop()?;
-        r
+        (r, reduction)
     };
 
     // Leg 2: the same workload through a gateway over two monitors.
@@ -500,8 +566,11 @@ fn compare_cmd(spec: &LoadSpec, json: bool) -> Result<String, String> {
 
     let speedup = gateway_result.sessions_per_sec() / single_result.sessions_per_sec();
     if json {
+        let slice = reduction
+            .map(|r| format!(",\"slice_reduction\":{r:.2}"))
+            .unwrap_or_default();
         Ok(format!(
-            "{{\"workers\":{},\"single\":{},\"gateway\":{},\"speedup\":{speedup:.3}}}\n",
+            "{{\"workers\":{},\"single\":{},\"gateway\":{},\"speedup\":{speedup:.3}{slice}}}\n",
             spec.workers,
             single_result.to_json(),
             gateway_result.to_json(),
@@ -511,6 +580,9 @@ fn compare_cmd(spec: &LoadSpec, json: bool) -> Result<String, String> {
         out.push_str(&single_result.to_text("single-monitor"));
         out.push_str(&gateway_result.to_text("gateway+2-backends"));
         let _ = writeln!(out, "speedup: {speedup:.2}x (gateway vs single)");
+        if let Some(r) = reduction {
+            let _ = writeln!(out, "slice reduction: {r:.1}x (detector events cut)");
+        }
         Ok(out)
     }
 }
@@ -566,9 +638,15 @@ pub fn run(args: &[String]) -> Result<String, String> {
             };
             spec.scenario = Scenario::OrderingViolation { rate };
         }
+        Some("sparse-predicate") => {
+            if rate.is_some() {
+                return Err("--violation-rate needs --scenario ordering-violation".into());
+            }
+            spec.scenario = Scenario::SparsePredicate;
+        }
         Some(other) => {
             return Err(format!(
-                "unknown --scenario '{other}' (expected: ordering-violation)"
+                "unknown --scenario '{other}' (expected: ordering-violation, sparse-predicate)"
             ));
         }
     }
@@ -589,9 +667,30 @@ pub fn run(args: &[String]) -> Result<String, String> {
     };
     let plans = build_plans(&spec);
     let result = run_load(addr, &plans, &spec)?;
-    if json {
-        Ok(format!("{}\n", result.to_json()))
+    let reduction = if spec.scenario == Scenario::SparsePredicate {
+        check_slice_reduction(addr)?
     } else {
-        Ok(result.to_text("loadgen"))
+        None
+    };
+    if json {
+        Ok(match reduction {
+            Some(r) => format!(
+                "{{\"load\":{},\"slice_reduction\":{r:.2}}}\n",
+                result.to_json()
+            ),
+            None => format!("{}\n", result.to_json()),
+        })
+    } else {
+        let mut out = result.to_text("loadgen");
+        match (spec.scenario, reduction) {
+            (_, Some(r)) => {
+                let _ = writeln!(out, "slice reduction: {r:.1}x (detector events cut)");
+            }
+            (Scenario::SparsePredicate, None) => {
+                let _ = writeln!(out, "slice reduction: n/a (server has slicing off)");
+            }
+            _ => {}
+        }
+        Ok(out)
     }
 }

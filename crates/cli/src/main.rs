@@ -31,6 +31,10 @@
 //! hbtl monitor stats <addr>          query service counters
 //!                                    (--json | --prometheus)
 //! hbtl monitor shutdown <addr>       stop a running service
+//! hbtl slice inspect <trace>         offline slice w.r.t. a conjunctive
+//!                                    predicate: Birkhoff cuts I_p/F_p,
+//!                                    slice size vs the cut-lattice
+//!                                    bound (--conj "p:var=v,..."; --json)
 //! hbtl gateway serve <addr>          front a fleet of monitors: route
 //!                                    sessions by rendezvous hash, fail
 //!                                    over with journal replay when a
@@ -43,7 +47,9 @@
 //!                                    --scenario ordering-violation
 //!                                    plants causally-reorderable
 //!                                    inversions under a pattern
-//!                                    predicate and checks every verdict
+//!                                    predicate and checks every verdict;
+//!                                    --scenario sparse-predicate checks
+//!                                    the slicing filter's ≥5x reduction
 //! hbtl store inspect <dir>           read-only look at a data dir (--json)
 //! hbtl store verify <dir>            CRC-check every WAL record
 //!                                    (--repair truncates a damaged tail)
@@ -63,6 +69,7 @@ mod commands;
 mod gateway_cmd;
 mod loadgen_cmd;
 mod monitor_cmd;
+mod slice_cmd;
 mod store_cmd;
 
 fn main() -> ExitCode {
@@ -82,7 +89,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  hbtl check <trace> \"<formula>\"\n  hbtl info <trace>\n  hbtl dot <trace>\n  hbtl lattice <trace> [limit]\n  hbtl convert <in> <out>\n  hbtl simulate <mutex|leader|termination|pipeline> <out.json>\n  hbtl monitor serve <addr> [--shards N] [--capacity N] [--stats-every SECS]\n                    [--data-dir DIR] [--sync always|os|interval:<ms>] [--snapshot-every N] [--wire-version V]\n  hbtl monitor send <addr> <trace> --session NAME (--conj|--disj \"p:var=v,...\" | --pattern \"a=1 -> b=2\")...\n                    [--seed S] [--window W] [--retry N]\n  hbtl monitor stats <addr> [--json | --prometheus] [--retry N]\n  hbtl monitor shutdown <addr> [--retry N]\n  hbtl gateway serve <addr> --backend <addr> [--backend <addr>]... [--pool N] [--journal-limit N] [--stats-every SECS]\n  hbtl gateway drain <addr> <backend> [--retry N]\n  hbtl gateway stats <addr> [--json | --prometheus] [--retry N]\n  hbtl loadgen <addr> [--workers M] [--sessions N] [--processes P] [--events E] [--predicates K] [--batch B]\n                    [--scenario ordering-violation] [--violation-rate PCT] [--json]\n  hbtl loadgen --compare [--workers M] [--sessions N] ... [--json]\n  hbtl store inspect <dir> [--json]\n  hbtl store verify <dir> [--repair] [--json]\n  hbtl store compact <dir>"
+    "usage:\n  hbtl check <trace> \"<formula>\"\n  hbtl info <trace>\n  hbtl dot <trace>\n  hbtl lattice <trace> [limit]\n  hbtl convert <in> <out>\n  hbtl simulate <mutex|leader|termination|pipeline> <out.json>\n  hbtl monitor serve <addr> [--shards N] [--capacity N] [--stats-every SECS]\n                    [--data-dir DIR] [--sync always|os|interval:<ms>] [--snapshot-every N] [--wire-version V]\n  hbtl monitor send <addr> <trace> --session NAME (--conj|--disj \"p:var=v,...\" | --pattern \"a=1 -> b=2\")...\n                    [--seed S] [--window W] [--retry N]\n  hbtl monitor stats <addr> [--json | --prometheus] [--retry N]\n  hbtl monitor shutdown <addr> [--retry N]\n  hbtl slice inspect <trace> --conj \"p:var=v,...\" [--json]\n  hbtl gateway serve <addr> --backend <addr> [--backend <addr>]... [--pool N] [--journal-limit N] [--stats-every SECS]\n  hbtl gateway drain <addr> <backend> [--retry N]\n  hbtl gateway stats <addr> [--json | --prometheus] [--retry N]\n  hbtl loadgen <addr> [--workers M] [--sessions N] [--processes P] [--events E] [--predicates K] [--batch B]\n                    [--scenario ordering-violation|sparse-predicate] [--violation-rate PCT] [--json]\n  hbtl loadgen --compare [--workers M] [--sessions N] ... [--json]\n  hbtl store inspect <dir> [--json]\n  hbtl store verify <dir> [--repair] [--json]\n  hbtl store compact <dir>"
 }
 
 /// Dispatches a command line; returns the text to print.
@@ -207,6 +214,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             ))
         }
         Some("monitor") => monitor_cmd::run(&args[1..]),
+        Some("slice") => slice_cmd::run(&args[1..]),
         Some("gateway") => gateway_cmd::run(&args[1..]),
         Some("loadgen") => loadgen_cmd::run(&args[1..]),
         Some("store") => store_cmd::run(&args[1..]),

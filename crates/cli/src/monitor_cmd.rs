@@ -3,7 +3,7 @@
 //! ```text
 //! hbtl monitor serve <addr> [--shards N] [--capacity N] [--stats-every SECS]
 //!                   [--data-dir DIR] [--sync always|os|interval:<ms>]
-//!                   [--snapshot-every N] [--wire-version V]
+//!                   [--snapshot-every N] [--wire-version V] [--no-slice]
 //! hbtl monitor send <addr> <trace> --session NAME
 //!                   (--conj SPEC | --disj SPEC | --pattern SPEC)...
 //!                   [--seed S] [--window W] [--retry N]
@@ -20,6 +20,15 @@
 //! periodically; restarting `serve` on the same directory recovers
 //! every open session and resumes exactly where the crash interrupted
 //! it (see `hbtl store` for offline inspection of the directory).
+//!
+//! Regular (conjunctive) predicates are detected on their computation
+//! slice: an ingest filter drops slice-irrelevant events before the
+//! detector (verdicts are provably unchanged). `--no-slice` turns the
+//! filter off — the differential test suite uses it to pit sliced and
+//! unsliced servers against each other. `stats --json` reports the
+//! per-predicate filter counters plus a derived
+//! `slice.<pred>.reduction_ratio` (events in ÷ events reaching the
+//! detector).
 //!
 //! `send` replays a recorded trace as a live computation would emit it:
 //! a seeded causality-respecting shuffle of the events (bounded
@@ -122,14 +131,32 @@ pub(crate) fn render_stats(
     if prometheus {
         out.push_str(&hb_tracefmt::prom::render(counters));
     } else if json {
-        // One flat JSON object, counter name → integer value.
+        // One flat JSON object, counter name → integer value, plus a
+        // derived float `slice.<pred>.reduction_ratio` per sliced
+        // predicate: events in ÷ events that reached the detector.
         use serde::Serialize as _;
-        let value = serde::Value::Object(
-            counters
-                .iter()
-                .map(|(k, v)| (k.clone(), v.to_value()))
-                .collect(),
-        );
+        let mut entries: Vec<(String, serde::Value)> = counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        for (k, &events_in) in counters.range("slice.".to_string()..) {
+            let Some(pred) = k
+                .strip_prefix("slice.")
+                .and_then(|r| r.strip_suffix(".events_in"))
+            else {
+                continue;
+            };
+            let filtered = counters
+                .get(&format!("slice.{pred}.events_filtered"))
+                .copied()
+                .unwrap_or(0);
+            let kept = events_in.saturating_sub(filtered).max(1);
+            entries.push((
+                format!("slice.{pred}.reduction_ratio"),
+                serde::Value::Float(events_in as f64 / kept as f64),
+            ));
+        }
+        let value = serde::Value::Object(entries);
         let _ = writeln!(
             out,
             "{}",
@@ -172,6 +199,7 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
     if data_dir.is_none() && (sync.is_some() || snapshot_every.is_some()) {
         return Err("--sync and --snapshot-every need --data-dir".into());
     }
+    let no_slice = take_switch(&mut rest, "--no-slice");
     // Compatibility-testing knob: serve as if this were an older build
     // (caps the handshake and refuses frames that version lacked).
     let wire_version = take_flag(&mut rest, "--wire-version")?
@@ -207,6 +235,7 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
         shards,
         limits: SessionLimits {
             buffer_capacity: capacity,
+            slice: !no_slice,
             ..SessionLimits::default()
         },
         stats_interval: stats_every.map(Duration::from_secs),
@@ -236,7 +265,7 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
 }
 
 /// Parses `process:var op value` (e.g. `0:x>=2`).
-fn parse_clause(src: &str) -> Result<WireClause, String> {
+pub(crate) fn parse_clause(src: &str) -> Result<WireClause, String> {
     let bad = || format!("bad clause '{src}' (want process:var<op>value)");
     let (proc_part, rest) = src.split_once(':').ok_or_else(bad)?;
     let process = proc_part.trim().parse::<usize>().map_err(|_| bad())?;

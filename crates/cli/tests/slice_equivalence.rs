@@ -1,0 +1,460 @@
+//! Differential equivalence for computation slicing: the same
+//! simulated computations stream through a live `hbtl monitor serve`
+//! process twice — once with the slicing ingest filter on (the
+//! default) and once with `--no-slice` — and both runs must settle to
+//! verdict sequences that are **byte-identical** to each other and to
+//! the sequence the offline oracle (`ef_linear`) predicts.
+//!
+//! Slicing is a monitor-local optimisation; this test is the lock that
+//! keeps it one. A second scenario SIGKILLs the sliced durable server
+//! mid-stream and restarts it on the same data directory: the filter
+//! state rides the WAL snapshots, so the verdicts across the crash
+//! still match the oracle byte for byte.
+
+#![cfg(unix)]
+
+use hb_computation::{Computation, EventId};
+use hb_detect::ef_linear;
+use hb_predicates::{CmpOp, Conjunctive, LocalExpr};
+use hb_sdk::{SessionBuilder, WireVerdict};
+use hb_sim::{causal_shuffle, random_computation, RandomSpec};
+use hb_tracefmt::wire::{read_frame, write_frame, ClientMsg, ServerMsg, WIRE_VERSION};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const PROCESSES: usize = 4;
+const EVENTS_PER_PROCESS: usize = 48;
+const SESSIONS: usize = 3;
+
+/// One pre-planned session: the computation, a causality-respecting
+/// delivery order, and the verdict map the offline oracle predicts.
+struct Plan {
+    name: String,
+    comp: Computation,
+    order: Vec<EventId>,
+    expected: BTreeMap<String, WireVerdict>,
+}
+
+/// Conjunctive `x = k` on processes 0 and 1 for k in 0..3 — with
+/// `value_range` 6 most events leave the clauses false, so the filter
+/// has real work to do — plus an impossible all-process `x = -1`
+/// whose events are *all* filtered (the detector learns the verdict
+/// purely from skips and finishes).
+fn predicate_clauses(comp: &Computation) -> Vec<(String, Vec<(usize, i64)>)> {
+    let mut preds: Vec<(String, Vec<(usize, i64)>)> = (0..3)
+        .map(|k| (format!("p{k}"), vec![(0, k as i64), (1, k as i64)]))
+        .collect();
+    preds.push((
+        "nope".into(),
+        (0..comp.num_processes()).map(|p| (p, -1)).collect(),
+    ));
+    preds
+}
+
+/// What the online monitor must settle to, per the offline detector.
+fn oracle_verdicts(comp: &Computation) -> BTreeMap<String, WireVerdict> {
+    let x = comp.vars().lookup("x").expect("sim computations declare x");
+    predicate_clauses(comp)
+        .into_iter()
+        .map(|(id, clauses)| {
+            let goal = Conjunctive::new(
+                clauses
+                    .into_iter()
+                    .map(|(p, v)| (p, LocalExpr::Cmp(x, CmpOp::Eq, v)))
+                    .collect(),
+            );
+            let offline = ef_linear(comp, &goal);
+            let verdict = match offline.witness {
+                Some(least) if offline.holds => WireVerdict::Detected(least.counters().to_vec()),
+                _ => WireVerdict::Impossible,
+            };
+            (id, verdict)
+        })
+        .collect()
+}
+
+fn build_plans() -> Vec<Plan> {
+    (0..SESSIONS as u64)
+        .map(|s| {
+            let comp = random_computation(RandomSpec {
+                processes: PROCESSES,
+                events_per_process: EVENTS_PER_PROCESS,
+                send_percent: 30,
+                value_range: 6,
+                seed: 0x51_1ce_u64.wrapping_add(s * 7919),
+            });
+            let order = causal_shuffle(&comp, s ^ 0x5eed, 8);
+            let expected = oracle_verdicts(&comp);
+            Plan {
+                name: format!("s{s}"),
+                comp,
+                order,
+                expected,
+            }
+        })
+        .collect()
+}
+
+/// The full state map at an event, exactly as an instrumented program
+/// would report it.
+fn state_map(comp: &Computation, e: EventId) -> BTreeMap<String, i64> {
+    let state = comp.local_state(e.process, e.index as u32 + 1);
+    comp.vars()
+        .iter()
+        .map(|(id, name)| (name.to_string(), state.get(id)))
+        .collect()
+}
+
+/// Serializes a settled verdict map as the wire frames the server sends
+/// at close, in predicate order. Two runs agree iff these bytes agree.
+fn verdict_bytes(session: &str, verdicts: &BTreeMap<String, WireVerdict>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for (predicate, verdict) in verdicts {
+        write_frame(
+            &mut buf,
+            &ServerMsg::Verdict {
+                session: session.to_string(),
+                predicate: predicate.clone(),
+                verdict: verdict.clone(),
+            },
+        )
+        .expect("verdict frames encode");
+    }
+    buf
+}
+
+/// Spawns `hbtl monitor serve` with extra flags and waits for its
+/// banner, returning the actual listening address.
+#[allow(clippy::zombie_processes)]
+fn spawn_monitor(extra: &[&str]) -> (Child, String) {
+    let port = TcpListener::bind("127.0.0.1:0")
+        .expect("bind ephemeral")
+        .local_addr()
+        .expect("local addr")
+        .port();
+    let addr = format!("127.0.0.1:{port}");
+    let mut args = vec!["monitor", "serve", addr.as_str()];
+    args.extend_from_slice(extra);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hbtl"))
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("hbtl spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    loop {
+        let mut line = String::new();
+        if stderr.read_line(&mut line).expect("read banner") == 0 {
+            let status = child.wait().expect("child reaped");
+            panic!("server exited before listening: {status}");
+        }
+        if line.contains("listening on ") {
+            return (child, addr);
+        }
+    }
+}
+
+/// Fetches the server's counters over a raw handshaken connection.
+fn fetch_counters(addr: &str) -> BTreeMap<String, u64> {
+    let stream = TcpStream::connect(addr).expect("connect for stats");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    write_frame(
+        &mut writer,
+        &ClientMsg::Hello {
+            version: WIRE_VERSION,
+        },
+    )
+    .expect("hello");
+    match read_frame::<_, ServerMsg>(&mut reader).expect("welcome frame") {
+        Some(ServerMsg::Welcome { .. }) => {}
+        other => panic!("expected welcome, got {other:?}"),
+    }
+    write_frame(&mut writer, &ClientMsg::Stats).expect("stats request");
+    match read_frame::<_, ServerMsg>(&mut reader).expect("stats frame") {
+        Some(ServerMsg::Stats { counters }) => counters,
+        other => panic!("expected stats, got {other:?}"),
+    }
+}
+
+/// What one leg produced: the concatenated settled-verdict frames of
+/// every session (in plan order) and the server-side counters.
+struct LegOutcome {
+    bytes: Vec<u8>,
+    server_counters: BTreeMap<String, u64>,
+}
+
+/// Streams every plan through a fresh live monitor spawned with the
+/// given flags and collects the settled verdict sequence over the SDK.
+fn run_leg(extra: &[&str]) -> LegOutcome {
+    let (mut child, addr) = spawn_monitor(extra);
+    let plans = build_plans();
+    let mut bytes = Vec::new();
+    for plan in &plans {
+        let mut builder = SessionBuilder::new(&plan.name, plan.comp.num_processes()).var("x");
+        for (id, clauses) in predicate_clauses(&plan.comp) {
+            let clauses: Vec<(usize, &str, &str, i64)> =
+                clauses.iter().map(|&(p, v)| (p, "x", "=", v)).collect();
+            builder = builder.conjunctive(&id, &clauses);
+        }
+        let (session, _tracers) = builder.connect(&addr).expect("open over TCP");
+        for &e in &plan.order {
+            let accepted = session.emit(
+                e.process,
+                plan.comp.clock(e).components().to_vec(),
+                state_map(&plan.comp, e),
+            );
+            assert!(accepted, "{}: event dropped by the SDK queue", plan.name);
+        }
+        let report = session.close().expect("close settles");
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(report.discarded, 0, "every event deliverable");
+        bytes.extend(verdict_bytes(&plan.name, &report.verdicts));
+    }
+    let server_counters = fetch_counters(&addr);
+    child.kill().expect("cleanup kill");
+    child.wait().expect("cleanup reap");
+    LegOutcome {
+        bytes,
+        server_counters,
+    }
+}
+
+#[test]
+fn sliced_and_unsliced_servers_settle_to_identical_verdict_bytes() {
+    // Offline ground truth, serialized to the exact bytes a correct
+    // server must have settled to at close.
+    let plans = build_plans();
+    let oracle: Vec<u8> = plans
+        .iter()
+        .flat_map(|p| verdict_bytes(&p.name, &p.expected))
+        .collect();
+    // Guard against a degenerate fixture: both verdict kinds must occur.
+    let all_expected: Vec<&WireVerdict> = plans.iter().flat_map(|p| p.expected.values()).collect();
+    assert!(all_expected
+        .iter()
+        .any(|v| matches!(v, WireVerdict::Detected(_))));
+    assert!(all_expected
+        .iter()
+        .any(|v| matches!(v, &&WireVerdict::Impossible)));
+
+    let sliced = run_leg(&[]);
+    let unsliced = run_leg(&["--no-slice"]);
+
+    // The differential claim, byte for byte.
+    assert_eq!(
+        sliced.bytes, unsliced.bytes,
+        "sliced and unsliced verdict sequences must be byte-identical"
+    );
+    assert_eq!(
+        sliced.bytes, oracle,
+        "online verdict sequence must be byte-identical to the offline oracle"
+    );
+
+    // And the sliced leg really filtered: the equivalence is not
+    // vacuous. Every `nope` event is clause-false, so its filter drops
+    // the whole stream.
+    let total: u64 = plans.iter().map(|p| p.order.len() as u64).sum();
+    assert_eq!(sliced.server_counters["events_ingested"], total);
+    assert_eq!(unsliced.server_counters["events_ingested"], total);
+    assert_eq!(sliced.server_counters["slice.nope.events_in"], total);
+    assert_eq!(sliced.server_counters["slice.nope.events_filtered"], total);
+    assert!(
+        !unsliced
+            .server_counters
+            .keys()
+            .any(|k| k.starts_with("slice.")),
+        "--no-slice must disable the filter entirely"
+    );
+}
+
+// ---- crash-recovery leg ---------------------------------------------------
+
+fn connect(addr: &str) -> (BufWriter<TcpStream>, BufReader<TcpStream>) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                let w = BufWriter::new(s.try_clone().expect("clone stream"));
+                return (w, BufReader::new(s));
+            }
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("connect {addr}: {e}"),
+        }
+    }
+}
+
+fn recv(r: &mut BufReader<TcpStream>) -> ServerMsg {
+    read_frame::<_, ServerMsg>(r)
+        .expect("well-formed frame")
+        .expect("server still connected")
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hbtl-slice-e2e").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_msg(plan: &Plan) -> ClientMsg {
+    use hb_tracefmt::wire::{WireClause, WireMode, WirePredicate};
+    ClientMsg::Open {
+        session: plan.name.clone(),
+        processes: plan.comp.num_processes(),
+        vars: vec!["x".into()],
+        initial: vec![],
+        predicates: predicate_clauses(&plan.comp)
+            .into_iter()
+            .map(|(id, clauses)| WirePredicate {
+                id,
+                mode: WireMode::Conjunctive,
+                clauses: clauses
+                    .into_iter()
+                    .map(|(process, value)| WireClause {
+                        process,
+                        var: "x".into(),
+                        op: "=".into(),
+                        value,
+                    })
+                    .collect(),
+                pattern: None,
+            })
+            .collect(),
+    }
+}
+
+fn event_msg(plan: &Plan, e: EventId) -> ClientMsg {
+    ClientMsg::Event {
+        session: plan.name.clone(),
+        p: e.process,
+        clock: plan.comp.clock(e).components().to_vec(),
+        set: state_map(&plan.comp, e),
+    }
+}
+
+/// SIGKILL the sliced durable server mid-stream, restart on the same
+/// directory, finish the stream: the settled verdicts must still be
+/// byte-identical to the offline oracle. The snapshot cadence is tuned
+/// so recovery restores `SliceState` records from a snapshot *and*
+/// replays a WAL tail through the restored filters.
+#[test]
+fn sliced_detection_survives_sigkill_and_restart() {
+    let plan = &build_plans()[0];
+    let oracle = verdict_bytes(&plan.name, &plan.expected);
+    let data_dir = fresh_dir("sigkill");
+    let dir_arg = data_dir.to_string_lossy().to_string();
+    let persist_flags = [
+        "--data-dir",
+        dir_arg.as_str(),
+        "--sync",
+        "always",
+        "--snapshot-every",
+        "17",
+    ];
+
+    let (first_half, second_half) = plan.order.split_at(plan.order.len() / 2);
+
+    // Phase 1: open and stream the first half.
+    let (mut child, addr) = spawn_monitor(&persist_flags);
+    {
+        let (mut w, mut r) = connect(&addr);
+        write_frame(&mut w, &open_msg(plan)).expect("open frame");
+        assert!(matches!(recv(&mut r), ServerMsg::Opened { .. }));
+        for &e in first_half {
+            write_frame(&mut w, &event_msg(plan, e)).expect("event frame");
+        }
+        // Durability barrier: the stats reply proves every prior frame
+        // on this connection was WAL-appended (sync: always). Early
+        // verdicts may land first; skip past them.
+        write_frame(&mut w, &ClientMsg::Stats).expect("stats frame");
+        loop {
+            match recv(&mut r) {
+                ServerMsg::Stats { .. } => break,
+                ServerMsg::Verdict { .. } => {}
+                other => panic!("unexpected message before stats: {other:?}"),
+            }
+        }
+    }
+
+    // Phase 2: SIGKILL — no shutdown hook, no parting snapshot.
+    child.kill().expect("sigkill");
+    child.wait().expect("reap");
+
+    // Phase 3: restart on the same directory and finish the stream.
+    let (mut child, addr) = spawn_monitor(&persist_flags);
+    let verdicts = {
+        let (mut w, mut r) = connect(&addr);
+        for &e in second_half {
+            write_frame(&mut w, &event_msg(plan, e)).expect("event frame");
+        }
+        write_frame(
+            &mut w,
+            &ClientMsg::Close {
+                session: plan.name.clone(),
+            },
+        )
+        .expect("close frame");
+        // Collect into a map: re-attachment re-reports any verdict that
+        // settled before the crash, and the map dedups exactly as a
+        // catching-up client would.
+        let mut verdicts: BTreeMap<String, WireVerdict> = BTreeMap::new();
+        loop {
+            match recv(&mut r) {
+                ServerMsg::Verdict {
+                    predicate, verdict, ..
+                } => {
+                    verdicts.insert(predicate, verdict);
+                }
+                ServerMsg::Closed { discarded, .. } => {
+                    assert_eq!(discarded, 0, "the shuffle is a permutation");
+                    break;
+                }
+                ServerMsg::Error { message, .. } => panic!("server error: {message}"),
+                other => panic!("unexpected message: {other:?}"),
+            }
+        }
+        verdicts
+    };
+    assert_eq!(
+        verdict_bytes(&plan.name, &verdicts),
+        oracle,
+        "verdicts across SIGKILL/restart must match the offline oracle"
+    );
+
+    // The recovered run kept filtering: the slice counters span the
+    // crash (pre-crash totals resync into the fresh metrics at the
+    // first flush after restore).
+    let counters = fetch_counters(&addr);
+    assert_eq!(
+        counters["slice.nope.events_in"],
+        plan.order.len() as u64,
+        "slice counters must cover the whole stream across the crash"
+    );
+    assert_eq!(
+        counters["slice.nope.events_filtered"],
+        plan.order.len() as u64
+    );
+
+    // Graceful shutdown; the offline tooling agrees the directory is
+    // healthy.
+    let (mut w, mut r) = connect(&addr);
+    write_frame(&mut w, &ClientMsg::Shutdown).expect("shutdown frame");
+    let _ = read_frame::<_, ServerMsg>(&mut r);
+    child.wait().expect("graceful exit");
+    let verify = Command::new(env!("CARGO_BIN_EXE_hbtl"))
+        .args(["store", "verify", &dir_arg])
+        .output()
+        .expect("hbtl store verify runs");
+    assert!(
+        verify.status.success(),
+        "{}",
+        String::from_utf8_lossy(&verify.stderr)
+    );
+}

@@ -375,6 +375,68 @@ fn gateway_splits_batches_for_a_v2_backend() {
     backend.shutdown();
 }
 
+/// Slice-filtered predicates across the version matrix: the slicing
+/// ingest filter is monitor-local — no frame, no handshake bit, no
+/// capability flag — so a conjunctive predicate is filtered (and its
+/// verdict unchanged) no matter which wire version the peer speaks.
+/// Nothing is refused, and every emulated build settles identically.
+#[test]
+fn slice_filtering_is_invisible_across_wire_versions() {
+    // Noise that misses the clauses, then the satisfying events: the
+    // filter drops the first two, and the goal settles at `[2, 2]`.
+    let noisy_frames = || -> Vec<EventFrame> {
+        let set = |v: i64| [("x".to_string(), v)].into_iter().collect();
+        vec![
+            EventFrame {
+                p: 0,
+                clock: vec![1, 0],
+                set: set(5),
+            },
+            EventFrame {
+                p: 1,
+                clock: vec![0, 1],
+                set: set(7),
+            },
+            EventFrame {
+                p: 0,
+                clock: vec![2, 0],
+                set: set(1),
+            },
+            EventFrame {
+                p: 1,
+                clock: vec![0, 2],
+                set: set(1),
+            },
+        ]
+    };
+    let mut verdicts = Vec::new();
+    for version in [2, 3, wire::WIRE_VERSION] {
+        let (addr, svc) = start_monitor(version);
+        let (session, _tracers) = SessionBuilder::new("compat-slice", 2)
+            .var("x")
+            .conjunctive("goal", &[(0, "x", "=", 1), (1, "x", "=", 1)])
+            .connect(&addr)
+            .expect("slice-filtered predicates open on any version");
+        for e in noisy_frames() {
+            assert!(session.emit(e.p, e.clock, e.set), "emit accepted");
+        }
+        let report = session.close().expect("close settles");
+        assert!(report.errors.is_empty(), "v{version}: {:?}", report.errors);
+        verdicts.push(report.verdicts["goal"].clone());
+        // The filter ran regardless of the negotiated wire version:
+        // monitor-local counters show the two noise events dropped.
+        let m = svc.metrics();
+        assert_eq!(m.slices["slice.goal.events_in"], 4, "v{version}");
+        assert_eq!(m.slices["slice.goal.events_filtered"], 2, "v{version}");
+        svc.shutdown();
+    }
+    assert_eq!(verdicts[0], WireVerdict::Detected(vec![2, 2]));
+    assert!(
+        verdicts.iter().all(|v| *v == verdicts[0]),
+        "identical verdicts across versions: {verdicts:?}"
+    );
+}
+
 /// A pattern predicate against an emulated pre-v4 monitor: the open is
 /// refused with the machine-readable `unsupported_predicate` kind and
 /// the SDK surfaces the typed [`SdkError::UnsupportedPredicate`] — no

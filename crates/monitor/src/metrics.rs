@@ -73,6 +73,11 @@ pub struct Metrics {
     /// A mutex, not an atomic: verdicts settle at most once per
     /// predicate, far off the hot ingestion path.
     pub verdict_counts: Mutex<BTreeMap<String, u64>>,
+    /// Per-predicate slicing-filter counters, keyed
+    /// `slice.<predicate>.events_in` / `slice.<predicate>.events_filtered`.
+    /// Flushed in batches at verdict/snapshot/close boundaries, never
+    /// per event, so a mutex is fine here too.
+    pub slice_counts: Mutex<BTreeMap<String, u64>>,
 }
 
 impl Metrics {
@@ -105,6 +110,20 @@ impl Metrics {
             .or_insert(0) += 1;
     }
 
+    /// Accumulates a slicing filter's counter deltas for one predicate.
+    pub fn record_slice(&self, predicate: &str, events_in: u64, events_filtered: u64) {
+        if events_in == 0 && events_filtered == 0 {
+            return;
+        }
+        let mut counts = self.slice_counts.lock();
+        *counts
+            .entry(format!("slice.{predicate}.events_in"))
+            .or_insert(0) += events_in;
+        *counts
+            .entry(format!("slice.{predicate}.events_filtered"))
+            .or_insert(0) += events_filtered;
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -133,6 +152,7 @@ impl Metrics {
             recovery_millis: self.recovery_millis.load(Relaxed),
             recovery_truncated_bytes: self.recovery_truncated_bytes.load(Relaxed),
             verdicts: self.verdict_counts.lock().clone(),
+            slices: self.slice_counts.lock().clone(),
         }
     }
 }
@@ -166,6 +186,7 @@ pub struct MetricsSnapshot {
     pub recovery_millis: u64,
     pub recovery_truncated_bytes: u64,
     pub verdicts: BTreeMap<String, u64>,
+    pub slices: BTreeMap<String, u64>,
 }
 
 impl MetricsSnapshot {
@@ -200,6 +221,7 @@ impl MetricsSnapshot {
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
         .chain(self.verdicts.iter().map(|(k, &v)| (k.clone(), v)))
+        .chain(self.slices.iter().map(|(k, &v)| (k.clone(), v)))
         .collect()
     }
 }
@@ -264,6 +286,19 @@ mod tests {
         let map = m.snapshot().to_map();
         assert_eq!(map["verdicts.pattern.inv.detected"], 2);
         assert_eq!(map["verdicts.state.goal.impossible"], 1);
+        assert_eq!(map.len(), 26);
+    }
+
+    #[test]
+    fn slice_counters_accumulate_and_ride_along_in_the_stats_map() {
+        let m = Metrics::new();
+        m.record_slice("ef", 10, 7);
+        m.record_slice("ef", 5, 2);
+        m.record_slice("idle", 0, 0); // no-op: nothing to flush
+        let map = m.snapshot().to_map();
+        assert_eq!(map["slice.ef.events_in"], 15);
+        assert_eq!(map["slice.ef.events_filtered"], 9);
+        assert!(!map.contains_key("slice.idle.events_in"));
         assert_eq!(map.len(), 26);
     }
 

@@ -18,6 +18,7 @@ use hb_detect::online::{
     CandidateState, ConjunctiveState, DetectorState, DisjunctiveState, PatternChainState,
     PatternState, VerdictState,
 };
+use hb_slice::SliceState;
 use hb_store::SyncPolicy;
 use hb_tracefmt::wire::WirePredicate;
 use serde::{help, DeError, Deserialize, Serialize, Value};
@@ -69,6 +70,10 @@ pub struct MonitorSnapshot {
     pub emitted: bool,
     /// The detector's exported state.
     pub state: DetectorState,
+    /// The slicing ingest filter's state, when the predicate was
+    /// sliced. Absent in pre-slicing snapshots and for unsliceable
+    /// predicates.
+    pub slice: Option<SliceState>,
 }
 
 /// One open session, frozen mid-run.
@@ -324,13 +329,36 @@ impl Deserialize for HeldEventSnapshot {
     }
 }
 
+fn slice_to_value(s: &SliceState) -> Value {
+    Value::Object(vec![
+        ("holds".into(), s.holds.to_value()),
+        ("pending".into(), s.pending.to_value()),
+        ("events_in".into(), s.events_in.to_value()),
+        ("events_filtered".into(), s.events_filtered.to_value()),
+    ])
+}
+
+fn slice_from_value(v: &Value) -> Result<SliceState, DeError> {
+    help::object(v)?;
+    Ok(SliceState {
+        holds: help::field(v, "holds")?,
+        pending: help::field(v, "pending")?,
+        events_in: help::field_or_default(v, "events_in")?,
+        events_filtered: help::field_or_default(v, "events_filtered")?,
+    })
+}
+
 impl Serialize for MonitorSnapshot {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("id".into(), self.id.to_value()),
             ("emitted".into(), self.emitted.to_value()),
             ("state".into(), detector_to_value(&self.state)),
-        ])
+        ];
+        if let Some(slice) = &self.slice {
+            fields.push(("slice".into(), slice_to_value(slice)));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -344,6 +372,7 @@ impl Deserialize for MonitorSnapshot {
                 v.get("state")
                     .ok_or_else(|| DeError::msg("missing field 'state'"))?,
             )?,
+            slice: v.get("slice").map(slice_from_value).transpose()?,
         })
     }
 }
@@ -459,6 +488,12 @@ mod tests {
                             finished: vec![false, false],
                             verdict: VerdictState::Pending,
                         }),
+                        slice: Some(SliceState {
+                            holds: vec![true, false],
+                            pending: vec![0, 3],
+                            events_in: 5,
+                            events_filtered: 3,
+                        }),
                     },
                     MonitorSnapshot {
                         id: "any".into(),
@@ -468,6 +503,7 @@ mod tests {
                             live: 2,
                             verdict: VerdictState::Detected(vec![2, 0]),
                         }),
+                        slice: None,
                     },
                     MonitorSnapshot {
                         id: "inv".into(),
@@ -494,6 +530,7 @@ mod tests {
                             seen: vec![2, 1],
                             verdict: VerdictState::Pending,
                         }),
+                        slice: None,
                     },
                 ],
             }],

@@ -729,6 +729,16 @@ fn send_verdicts(
     }
 }
 
+/// Drains a session's slicing-filter counter deltas into the shared
+/// metrics. Called at verdict, finish, snapshot, and close boundaries —
+/// never per event, so sliced ingestion stays mutex-free on the hot
+/// path (the counters lag by at most one such boundary).
+fn flush_slice_stats(session: &mut Session, metrics: &Metrics) {
+    for (id, events_in, events_filtered) in session.take_slice_stats() {
+        metrics.record_slice(&id, events_in, events_filtered);
+    }
+}
+
 /// First client contact with a recovered session: adopt the client's
 /// sink and re-report everything that settled before the crash (the
 /// client that originally received those verdicts is gone).
@@ -792,6 +802,9 @@ fn ingest_one(
             } else {
                 metrics.held_sub((held_before - held_now) as u64);
             }
+            if !verdicts.is_empty() {
+                flush_slice_stats(&mut slot.session, metrics);
+            }
             send_verdicts(name, verdicts, &slot.sink, metrics);
         }
         Err(e) => {
@@ -820,6 +833,7 @@ fn ingest_one(
 fn close_slot(name: &str, mut slot: Slot, metrics: &Metrics) {
     let held_before = slot.session.held() as u64;
     let (verdicts, discarded) = slot.session.close();
+    flush_slice_stats(&mut slot.session, metrics);
     metrics.held_sub(held_before);
     metrics
         .events_discarded
@@ -967,7 +981,10 @@ fn shard_worker(
                 };
                 attach(slot, &session, &sink, &metrics);
                 match slot.session.finish_process(p) {
-                    Ok(verdicts) => send_verdicts(&session, verdicts, &slot.sink, &metrics),
+                    Ok(verdicts) => {
+                        flush_slice_stats(&mut slot.session, &metrics);
+                        send_verdicts(&session, verdicts, &slot.sink, &metrics)
+                    }
                     Err(e) => err(
                         &slot.sink.clone(),
                         Some(&session),
@@ -991,6 +1008,9 @@ fn shard_worker(
                 ),
             },
             Cmd::Snapshot { reply } => {
+                for slot in slots.values_mut() {
+                    flush_slice_stats(&mut slot.session, &metrics);
+                }
                 let _ = reply.send(slots.values().map(|s| s.session.snapshot()).collect());
             }
             Cmd::Flush => break,
@@ -1262,6 +1282,25 @@ mod tests {
         assert!(stats.events_held_high_water >= 1);
         assert_eq!(stats.verdicts_settled, 1);
         assert_eq!(stats.sessions_active, 0);
+    }
+
+    #[test]
+    fn slice_counters_flow_into_service_stats() {
+        let service = MonitorService::start(MonitorConfig::default());
+        let handle = service.handle();
+        let (tx, rx) = unbounded();
+        handle.submit(fig2_open("s"), &tx);
+        assert!(matches!(rx.recv().unwrap(), ServerMsg::Opened { .. }));
+        // First event leaves the clause false — the filter drops it
+        // before the detector; the next two satisfy their clauses.
+        handle.submit(event("s", 0, &[1, 0], &[("x0", 1)]), &tx);
+        handle.submit(event("s", 0, &[2, 0], &[("x0", 2)]), &tx);
+        handle.submit(event("s", 1, &[0, 1], &[("x1", 1)]), &tx);
+        assert_eq!(wait_verdict(&rx, "ef"), WireVerdict::Detected(vec![2, 1]));
+        let stats = service.shutdown();
+        assert_eq!(stats.slices["slice.ef.events_in"], 3);
+        assert_eq!(stats.slices["slice.ef.events_filtered"], 1);
+        assert_eq!(stats.to_map()["slice.ef.events_filtered"], 1);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use hb_computation::{LocalState, VarId, VarTable};
 use hb_detect::online::{OnlineEfConjunctive, OnlineEfDisjunctive, OnlineMonitor, OnlineVerdict};
 use hb_pattern::PredictiveMatcher;
 use hb_predicates::{CmpOp, LocalExpr};
+use hb_slice::SliceFilter;
 use hb_tracefmt::wire::{WireClause, WireMode, WirePredicate};
 use hb_vclock::VectorClock;
 use std::collections::BTreeMap;
@@ -97,6 +98,13 @@ struct MonitorEntry {
     /// accumulated local state: a pattern names things that *happen*.
     atoms: Option<Vec<CompiledAtom>>,
     monitor: Box<dyn OnlineMonitor + Send>,
+    /// Slicing ingest filter fronting the detector (regular predicates
+    /// only): slice-irrelevant events never reach `monitor`, their
+    /// observations deferred as batched `skip_states` counter bumps.
+    slice: Option<SliceFilter>,
+    /// Filter counters already pushed to the service metrics:
+    /// `(events_in, events_filtered)` watermark.
+    slice_reported: (u64, u64),
     /// Set once the verdict has been reported.
     emitted: bool,
 }
@@ -108,6 +116,11 @@ pub struct SessionLimits {
     pub buffer_capacity: usize,
     /// What to do at capacity.
     pub policy: OverflowPolicy,
+    /// Front regular predicates with a slicing ingest filter. On by
+    /// default; the differential tests turn it off for the unsliced
+    /// leg. Filtering is monitor-local and verdict-invariant, so the
+    /// setting never shows on the wire.
+    pub slice: bool,
 }
 
 impl Default for SessionLimits {
@@ -115,6 +128,7 @@ impl Default for SessionLimits {
         SessionLimits {
             buffer_capacity: 4096,
             policy: OverflowPolicy::Reject,
+            slice: true,
         }
     }
 }
@@ -264,11 +278,17 @@ impl Session {
                 WireMode::Disjunctive => Box::new(OnlineEfDisjunctive::new(processes, initially)),
                 WireMode::Pattern => unreachable!("handled above"),
             };
+            // Regular predicates are detected on the slice: an ingest
+            // filter drops slice-irrelevant events before the detector.
+            let slice = (limits.slice && hb_slice::sliceable(pred.mode))
+                .then(|| SliceFilter::from_clauses(&clauses, &states));
             monitors.push(MonitorEntry {
                 id: pred.id.clone(),
                 clauses,
                 atoms: None,
                 monitor,
+                slice,
+                slice_reported: (0, 0),
                 emitted: false,
             });
         }
@@ -344,6 +364,8 @@ impl Session {
             clauses: Vec::new(),
             atoms: Some(atoms),
             monitor: Box::new(PredictiveMatcher::from_wire(processes, pattern)),
+            slice: None,
+            slice_reported: (0, 0),
             emitted: false,
         })
     }
@@ -384,6 +406,7 @@ impl Session {
                     id: e.id.clone(),
                     emitted: e.emitted,
                     state: e.monitor.export_state(),
+                    slice: e.slice.as_ref().map(|f| f.export()),
                 })
                 .collect(),
         }
@@ -450,6 +473,23 @@ impl Session {
             }
             entry.monitor = hb_pattern::restore_any(&m.state);
             entry.emitted = m.emitted;
+            match (&mut entry.slice, &m.slice) {
+                (Some(f), Some(state)) => {
+                    f.restore(state).map_err(|_| shape("slice state"))?;
+                }
+                (Some(f), None) => {
+                    // Pre-slicing snapshot: start the filter from the
+                    // restored states with fresh counters.
+                    *f = SliceFilter::from_clauses(&entry.clauses, &s.states);
+                }
+                (None, Some(_)) => {
+                    // The snapshot was taken with slicing on: the
+                    // detector's state counters owe the filter its
+                    // pending skips, so it cannot run unfiltered.
+                    return Err(shape("slice state without a slicing filter"));
+                }
+                (None, None) => {}
+            }
         }
         s.finished = snap.finished.clone();
         s.monitor_finished = snap.monitor_finished.clone();
@@ -476,6 +516,28 @@ impl Session {
     /// Events delivered to the detectors so far.
     pub fn delivered(&self) -> u64 {
         self.delivered
+    }
+
+    /// Per-predicate slice-filter counters not yet pushed to the
+    /// service metrics: `(predicate id, Δevents_in, Δevents_filtered)`
+    /// since the previous call. Advances the watermark, so each
+    /// observation is reported exactly once. After a crash-recovery
+    /// restore the watermark restarts at zero: the first flush resyncs
+    /// the fresh metrics with the recovered totals.
+    pub fn take_slice_stats(&mut self) -> Vec<(String, u64, u64)> {
+        let mut out = Vec::new();
+        for e in &mut self.monitors {
+            if let Some(f) = &e.slice {
+                let (total_in, total_filtered) = (f.events_in(), f.events_filtered());
+                let delta_in = total_in - e.slice_reported.0;
+                let delta_filtered = total_filtered - e.slice_reported.1;
+                if delta_in > 0 || delta_filtered > 0 {
+                    e.slice_reported = (total_in, total_filtered);
+                    out.push((e.id.clone(), delta_in, delta_filtered));
+                }
+            }
+        }
+        out
     }
 
     /// Ingests one event. On success, returns the verdicts that settled
@@ -528,6 +590,23 @@ impl Session {
                         }
                     }
                     entry.monitor.observe_atoms(d.process, mask, &d.clock);
+                } else if let Some(filter) = &mut entry.slice {
+                    let state = &self.states[d.process];
+                    let clause = entry.clauses[d.process].as_ref();
+                    let delta =
+                        filter.advance(d.process, d.payload.iter().map(|&(var, _)| var), || {
+                            clause.is_some_and(|c| c.eval(state))
+                        });
+                    if delta.is_member() {
+                        // Flush the deferred skips first, so the
+                        // detector numbers this state exactly as an
+                        // unfiltered run would.
+                        let skipped = filter.take_pending(d.process);
+                        if skipped > 0 {
+                            entry.monitor.skip_states(d.process, skipped);
+                        }
+                        entry.monitor.observe(d.process, true, &d.clock);
+                    }
                 } else {
                     let holds = entry.clauses[d.process]
                         .as_ref()
@@ -1100,6 +1179,125 @@ mod tests {
             set: Default::default(),
         });
         assert!(Session::restore(&bad, SessionLimits::default()).is_err());
+    }
+
+    fn fig2_session_with(limits: SessionLimits) -> Session {
+        Session::open(
+            "fig2",
+            2,
+            &["x0".to_string(), "x1".to_string()],
+            &[],
+            &[pred(
+                "ef",
+                WireMode::Conjunctive,
+                &[(0, "x0", "=", 2), (1, "x1", "=", 1)],
+            )],
+            limits,
+        )
+        .unwrap()
+    }
+
+    /// Fig. 2(a) with extra clause-false noise events: the slicing
+    /// filter drops them before the detector, yet every step's verdicts
+    /// match the unsliced session exactly, and so do the detector
+    /// snapshots — the states are interchangeable.
+    #[test]
+    fn sliced_and_unsliced_sessions_emit_identical_verdicts() {
+        let mut sliced = fig2_session_with(SessionLimits::default());
+        let mut plain = fig2_session_with(SessionLimits {
+            slice: false,
+            ..SessionLimits::default()
+        });
+        type Step<'a> = (usize, &'a [u32], &'a [(&'a str, i64)]);
+        let stream: &[Step] = &[
+            (1, &[0, 1], &[("x1", 3)]), // clause false: filtered
+            (1, &[0, 2], &[("x1", 1)]), // true
+            (0, &[1, 0], &[("x0", 1)]), // clause false: filtered
+            (0, &[2, 0], &[]),          // untouched, still false: filtered
+            (0, &[3, 0], &[("x0", 2)]), // true → detection
+        ];
+        for &(p, clock, updates) in stream {
+            let a = sliced.event(p, vc(clock), &set(updates)).unwrap();
+            let b = plain.event(p, vc(clock), &set(updates)).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (va, vb) in a.iter().zip(&b) {
+                assert_eq!(va.predicate, vb.predicate);
+                assert_eq!(va.verdict, vb.verdict);
+            }
+        }
+        let all = sliced.all_verdicts();
+        match &all[0].verdict {
+            OnlineVerdict::Detected(cut) => assert_eq!(cut.counters(), &[3, 2]),
+            other => panic!("expected detection, got {other:?}"),
+        }
+        // Identical detector states: only the slice record differs.
+        let (snap_a, snap_b) = (sliced.snapshot(), plain.snapshot());
+        assert_eq!(snap_a.monitors[0].state, snap_b.monitors[0].state);
+        assert!(snap_a.monitors[0].slice.is_some());
+        assert!(snap_b.monitors[0].slice.is_none());
+    }
+
+    #[test]
+    fn slice_stats_are_watermarked_deltas() {
+        let mut s = fig2_session_with(SessionLimits::default());
+        assert!(s.take_slice_stats().is_empty(), "nothing observed yet");
+        s.event(1, vc(&[0, 1]), &set(&[("x1", 3)])).unwrap(); // filtered
+        s.event(1, vc(&[0, 2]), &set(&[("x1", 1)])).unwrap(); // member
+        assert_eq!(s.take_slice_stats(), vec![("ef".to_string(), 2, 1)]);
+        assert!(s.take_slice_stats().is_empty(), "watermark advanced");
+        s.event(0, vc(&[1, 0]), &set(&[("x0", 1)])).unwrap(); // filtered
+        assert_eq!(s.take_slice_stats(), vec![("ef".to_string(), 1, 1)]);
+    }
+
+    #[test]
+    fn sliced_snapshot_round_trips_with_pending_skips() {
+        let mut original = fig2_session_with(SessionLimits::default());
+        // Two filtered events leave pending skip counts owed to the
+        // detector; freeze in exactly that state.
+        original.event(1, vc(&[0, 1]), &set(&[("x1", 3)])).unwrap();
+        original.event(0, vc(&[1, 0]), &set(&[("x0", 1)])).unwrap();
+        let snap = original.snapshot();
+        assert!(snap.monitors[0].slice.is_some());
+
+        let mut restored = Session::restore(&snap, SessionLimits::default()).unwrap();
+        assert_eq!(restored.snapshot(), snap, "snapshot is stable");
+
+        for s in [&mut original, &mut restored] {
+            assert!(s
+                .event(1, vc(&[0, 2]), &set(&[("x1", 1)]))
+                .unwrap()
+                .is_empty());
+            let v = s.event(0, vc(&[2, 0]), &set(&[("x0", 2)])).unwrap();
+            assert_eq!(v.len(), 1);
+            match &v[0].verdict {
+                OnlineVerdict::Detected(cut) => assert_eq!(cut.counters(), &[2, 2]),
+                other => panic!("expected detection, got {other:?}"),
+            }
+        }
+        assert_eq!(original.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    fn sliced_snapshot_requires_a_slicing_filter_to_restore() {
+        let mut s = fig2_session_with(SessionLimits::default());
+        s.event(0, vc(&[1, 0]), &set(&[("x0", 1)])).unwrap(); // filtered: skip pending
+        let snap = s.snapshot();
+        // The detector's counters owe the pending skip to the filter —
+        // restoring without one would diverge from the unsliced stream.
+        let err = Session::restore(
+            &snap,
+            SessionLimits {
+                slice: false,
+                ..SessionLimits::default()
+            },
+        );
+        assert!(err.is_err());
+        // A pre-slicing snapshot (no slice record) restores fine into a
+        // slicing session: the filter is rebuilt from the states.
+        let mut old = snap;
+        old.monitors[0].slice = None;
+        let restored = Session::restore(&old, SessionLimits::default());
+        assert!(restored.is_ok());
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub use context::CausalContext;
 pub use metrics::{SdkMetrics, SdkSnapshot};
 pub use queue::OverflowPolicy;
 pub use session::{CloseReport, SdkSession, SessionBuilder, SessionConfig};
-pub use tracer::Tracer;
+pub use tracer::{Span, Tracer};
 pub use transport::Transport;
 
 // Re-exported so callers can build predicates and read verdicts

@@ -70,6 +70,21 @@ impl Tracer {
         self.emit(updates);
     }
 
+    /// Opens a named span: records `var = 1` now and `var = 0` when
+    /// the returned guard drops, so a code region becomes a pair of
+    /// entry/exit events — the shape conjunctive predicates such as
+    /// "both processes inside the critical section" test
+    /// (`0:cs=1 ∧ 1:cs=1`). Record events inside the span through
+    /// [`Span::tracer`]; the exit event is stamped after all of them.
+    #[must_use = "the span exits when the guard drops"]
+    pub fn span(&mut self, var: &str) -> Span<'_> {
+        self.record(&[(var, 1)]);
+        Span {
+            var: var.to_string(),
+            tracer: self,
+        }
+    }
+
     fn emit(&mut self, updates: &[(&str, i64)]) {
         let set: BTreeMap<String, i64> = updates
             .iter()
@@ -80,6 +95,26 @@ impl Tracer {
             clock: self.clock.components().to_vec(),
             set,
         });
+    }
+}
+
+/// An RAII guard for a [`Tracer::span`] region. Dropping it records
+/// the exit event (`var = 0`) on the owning tracer.
+pub struct Span<'a> {
+    var: String,
+    tracer: &'a mut Tracer,
+}
+
+impl Span<'_> {
+    /// The owning tracer, for recording events inside the span.
+    pub fn tracer(&mut self) -> &mut Tracer {
+        self.tracer
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.tracer.record(&[(self.var.as_str(), 0)]);
     }
 }
 
@@ -120,6 +155,29 @@ mod tests {
         assert_eq!(recs[3].p, 1);
         assert_eq!(recs[3].clock, vec![2, 2]);
         assert_eq!(recs[3].set["y"], 5);
+    }
+
+    #[test]
+    fn span_guard_records_paired_entry_and_exit_events() {
+        let (mut t0, _t1, rx) = tracer_pair();
+        {
+            let mut span = t0.span("cs");
+            span.tracer().record(&[("x", 7)]);
+        }
+        t0.record(&[]);
+        let recs: Vec<EventRec> = (0..4)
+            .map(|_| match rx.try_recv().unwrap() {
+                Item::Event(e) => e,
+                Item::Wake => panic!("unexpected wake"),
+            })
+            .collect();
+        // Entry, body, exit — each its own clock tick, in order.
+        assert_eq!(recs[0].set["cs"], 1);
+        assert_eq!(recs[0].clock, vec![1, 0]);
+        assert_eq!(recs[1].set["x"], 7);
+        assert_eq!(recs[2].set["cs"], 0);
+        assert_eq!(recs[2].clock, vec![3, 0]);
+        assert!(recs[3].set.is_empty());
     }
 
     #[test]

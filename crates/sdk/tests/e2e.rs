@@ -104,6 +104,36 @@ fn prometheus_exposition_renders_sdk_counters() {
     service.shutdown();
 }
 
+#[test]
+fn span_guards_detect_overlapping_critical_sections() {
+    let service = MonitorService::start(MonitorConfig::default());
+    let transport = monitor_transport(&service);
+    let (session, mut tracers) = SessionBuilder::new("spans", 2)
+        .var("cs")
+        .var("x")
+        .conjunctive("both-in-cs", &[(0, "cs", "=", 1), (1, "cs", "=", 1)])
+        .open(Box::new(transport))
+        .unwrap();
+    // No messages cross the processes, so the two spans are concurrent
+    // — a consistent cut with both inside exists even though the emit
+    // order interleaves them arbitrarily.
+    let mut t1 = tracers.pop().unwrap();
+    let mut t0 = tracers.pop().unwrap();
+    for t in [&mut t0, &mut t1] {
+        let mut span = t.span("cs");
+        span.tracer().record(&[("x", 1)]);
+    }
+    let report = session.close().expect("clean close");
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    // Entry events are the first on each process: the least cut with
+    // both spans open is (1,1).
+    assert_eq!(
+        report.verdicts["both-in-cs"],
+        WireVerdict::Detected(vec![1, 1])
+    );
+    service.shutdown();
+}
+
 /// Slows every `Event` frame down so the bounded queue overflows.
 struct SlowTransport {
     inner: ChannelTransport,

@@ -1,0 +1,303 @@
+//! The reference online slicer: incremental Birkhoff data for a
+//! conjunctive (regular) predicate over a stream of wire event frames.
+
+use crate::{SkipReason, SliceDelta};
+use hb_computation::{Cut, LocalState, VarTable};
+use hb_predicates::LocalExpr;
+use hb_tracefmt::wire::EventFrame;
+
+/// Maintains the slice of the observed computation with respect to a
+/// conjunctive predicate, one event frame at a time.
+///
+/// Frames may arrive in **any order consistent with causality**: each
+/// process's own events in order, and every event's causal
+/// predecessors (per its vector clock) delivered before it — the same
+/// contract the monitor's causal-delivery buffer enforces. Under that
+/// contract the accumulated per-process states, clause truth tables,
+/// and event clocks are delivery-order independent, and so are the
+/// cuts computed from them.
+///
+/// The Birkhoff data is produced by Chase–Garg walks over the observed
+/// prefix:
+///
+/// - advancing: from a consistent cut, while some clause is false on
+///   its process's frontier state, include that process's next event
+///   and close under causality (join with the event's clock). The
+///   fixpoint is the least satisfying cut above the start, `None` if
+///   the walk runs out of observed events.
+/// - retreating (for [`OnlineSlicer::f_cut`]): dually, while some
+///   clause is false, exclude the process's frontier event and
+///   everything that causally depends on it.
+///
+/// One closure pass per step suffices because vector clocks are
+/// transitively closed: the join of causally-closed cuts is closed.
+pub struct OnlineSlicer {
+    vars: VarTable,
+    /// Folded clause per process (`None` = non-participating).
+    clauses: Vec<Option<LocalExpr>>,
+    /// Current accumulated state per process.
+    states: Vec<LocalState>,
+    /// `truth[i][s]` = clause truth of process `i` in its state `s`
+    /// (state 0 is the initial state).
+    truth: Vec<Vec<bool>>,
+    /// `clocks[i][k]` = vector clock of event `k` of process `i`.
+    clocks: Vec<Vec<Vec<u32>>>,
+}
+
+impl OnlineSlicer {
+    /// Builds a slicer for `processes` processes over the declared
+    /// variables (zero-initialized, matching session semantics) and
+    /// the given per-process clauses, folded conjunctively when a
+    /// process has several.
+    pub fn new(processes: usize, var_names: &[&str], clauses: Vec<(usize, LocalExpr)>) -> Self {
+        let mut vars = VarTable::new();
+        for name in var_names {
+            vars.declare(name);
+        }
+        let mut merged: Vec<Option<LocalExpr>> = vec![None; processes];
+        for (p, expr) in clauses {
+            assert!(p < processes, "clause process {p} out of range");
+            merged[p] = Some(match merged[p].take() {
+                Some(prev) => prev.and(expr),
+                None => expr,
+            });
+        }
+        let states: Vec<LocalState> = (0..processes)
+            .map(|_| LocalState::zeroed(vars.len()))
+            .collect();
+        let truth = merged
+            .iter()
+            .zip(&states)
+            .map(|(c, s)| vec![c.as_ref().is_none_or(|e| e.eval(s))])
+            .collect();
+        OnlineSlicer {
+            vars,
+            clauses: merged,
+            states,
+            truth,
+            clocks: vec![Vec::new(); processes],
+        }
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Events observed so far for process `i`.
+    pub fn num_events_of(&self, i: usize) -> usize {
+        self.clocks[i].len()
+    }
+
+    /// Consumes one event frame and reports its effect on the slice.
+    ///
+    /// Panics when the frame breaks the causal-delivery contract or
+    /// assigns an undeclared variable.
+    pub fn advance(&mut self, frame: &EventFrame) -> SliceDelta {
+        let n = self.states.len();
+        let p = frame.p;
+        assert!(p < n, "process {p} out of range");
+        assert_eq!(frame.clock.len(), n, "clock width mismatch");
+        assert_eq!(
+            frame.clock[p] as usize,
+            self.clocks[p].len() + 1,
+            "events of process {p} must arrive in process order"
+        );
+        for (j, &c) in frame.clock.iter().enumerate() {
+            assert!(
+                j == p || c as usize <= self.clocks[j].len(),
+                "causal predecessor of the frame was not delivered yet"
+            );
+        }
+        for (name, value) in &frame.set {
+            let var = self
+                .vars
+                .lookup(name)
+                .unwrap_or_else(|| panic!("assignment to undeclared variable {name:?}"));
+            self.states[p].set(var, *value);
+        }
+        self.clocks[p].push(frame.clock.clone());
+        let holds = self.clauses[p]
+            .as_ref()
+            .is_none_or(|c| c.eval(&self.states[p]));
+        self.truth[p].push(holds);
+        if holds {
+            SliceDelta::Enter {
+                j_cut: self.advance_to_satisfying(frame.clock.clone()),
+            }
+        } else {
+            SliceDelta::Skip {
+                reason: SkipReason::ClauseFalse,
+            }
+        }
+    }
+
+    /// `I_p` over the observed prefix: the least satisfying cut, or
+    /// `None` if the observed events cannot satisfy the predicate yet.
+    pub fn i_cut(&self) -> Option<Cut> {
+        self.advance_to_satisfying(vec![0; self.states.len()])
+            .map(Cut::from_counters)
+    }
+
+    /// `F_p` over the observed prefix: the greatest satisfying cut.
+    pub fn f_cut(&self) -> Option<Cut> {
+        self.retreat_to_satisfying().map(Cut::from_counters)
+    }
+
+    /// `J_p(e)` for observed event `k` of process `i`: the least
+    /// satisfying cut containing it, `None` while undetermined (or
+    /// when no satisfying cut contains it).
+    pub fn j_cut(&self, i: usize, k: usize) -> Option<Cut> {
+        self.advance_to_satisfying(self.clocks[i][k].clone())
+            .map(Cut::from_counters)
+    }
+
+    /// One causal-closure pass: joins the start with the clocks of its
+    /// frontier events.
+    fn close(&self, mut g: Vec<u32>) -> Vec<u32> {
+        let frontier = g.clone();
+        for (j, &fj) in frontier.iter().enumerate() {
+            if fj > 0 {
+                for (gm, &cm) in g.iter_mut().zip(&self.clocks[j][fj as usize - 1]) {
+                    *gm = (*gm).max(cm);
+                }
+            }
+        }
+        g
+    }
+
+    /// First participating process whose clause is false on its state
+    /// in `g`, if any.
+    fn forbidden(&self, g: &[u32]) -> Option<usize> {
+        (0..g.len()).find(|&i| self.clauses[i].is_some() && !self.truth[i][g[i] as usize])
+    }
+
+    fn advance_to_satisfying(&self, start: Vec<u32>) -> Option<Vec<u32>> {
+        let mut g = self.close(start);
+        while let Some(i) = self.forbidden(&g) {
+            // Include the forbidden process's next event; its clock is
+            // causally closed, so one join keeps `g` consistent.
+            let next = self.clocks[i].get(g[i] as usize)?;
+            for (gm, &cm) in g.iter_mut().zip(next) {
+                *gm = (*gm).max(cm);
+            }
+        }
+        Some(g)
+    }
+
+    fn retreat_to_satisfying(&self) -> Option<Vec<u32>> {
+        let mut g: Vec<u32> = self.clocks.iter().map(|c| c.len() as u32).collect();
+        while let Some(i) = self.forbidden(&g) {
+            if g[i] == 0 {
+                return None;
+            }
+            // Exclude the forbidden frontier event of `i` and, per
+            // process, every event whose clock shows it depends on an
+            // excluded `i` event; transitivity makes one pass enough.
+            let target = g[i] - 1;
+            for (j, gj) in g.iter_mut().enumerate() {
+                while *gj > 0 && self.clocks[j][*gj as usize - 1][i] > target {
+                    *gj -= 1;
+                }
+            }
+        }
+        Some(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn frame(p: usize, clock: Vec<u32>, set: &[(&str, i64)]) -> EventFrame {
+        EventFrame {
+            p,
+            clock,
+            set: set
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v))
+                .collect::<BTreeMap<_, _>>(),
+        }
+    }
+
+    /// Both processes require `x >= 1`; process 1 reaches it only at
+    /// its second event, which receives from process 0's first.
+    fn slicer() -> OnlineSlicer {
+        OnlineSlicer::new(
+            2,
+            &["x"],
+            vec![
+                (0, LocalExpr::ge(hb_computation::VarId::from_index(0), 1)),
+                (1, LocalExpr::ge(hb_computation::VarId::from_index(0), 1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn deltas_and_cuts_on_a_tiny_stream() {
+        let mut s = slicer();
+        // p0 e0: x=1 — member; its J-cut needs p1 to reach a true
+        // state, which is not observed yet.
+        assert_eq!(
+            s.advance(&frame(0, vec![1, 0], &[("x", 1)])),
+            SliceDelta::Enter { j_cut: None }
+        );
+        // p1 e0: x=0 — clause false, collapses forward.
+        assert_eq!(
+            s.advance(&frame(1, vec![0, 1], &[("x", 0)])),
+            SliceDelta::Skip {
+                reason: SkipReason::ClauseFalse
+            }
+        );
+        // p1 e1: receive from p0 e0, x=5 — member, and now every
+        // J-cut is determined.
+        assert_eq!(
+            s.advance(&frame(1, vec![1, 2], &[("x", 5)])),
+            SliceDelta::Enter {
+                j_cut: Some(vec![1, 2])
+            }
+        );
+
+        assert_eq!(s.i_cut(), Some(Cut::from_counters(vec![1, 2])));
+        assert_eq!(s.f_cut(), Some(Cut::from_counters(vec![1, 2])));
+        // The skipped event's J-cut equals its successor's: the
+        // collapse the filter exploits.
+        assert_eq!(s.j_cut(1, 0), s.j_cut(1, 1));
+        assert_eq!(s.j_cut(0, 0), Some(Cut::from_counters(vec![1, 2])));
+    }
+
+    #[test]
+    fn unsatisfiable_prefix_has_no_cuts() {
+        let mut s = slicer();
+        assert!(!s.advance(&frame(0, vec![1, 0], &[("x", 0)])).is_member());
+        assert!(!s.advance(&frame(1, vec![0, 1], &[("x", 0)])).is_member());
+        assert_eq!(s.i_cut(), None);
+        assert_eq!(s.f_cut(), None);
+        assert_eq!(s.j_cut(0, 0), None);
+    }
+
+    #[test]
+    fn retreat_excludes_causal_dependents() {
+        // p0's clause is true only in its initial state; p1's is
+        // always true but its second event receives from p0's first,
+        // so the greatest satisfying cut must drop it too.
+        let mut s = OnlineSlicer::new(
+            2,
+            &["x"],
+            vec![(0, LocalExpr::le(hb_computation::VarId::from_index(0), 0))],
+        );
+        s.advance(&frame(0, vec![1, 0], &[("x", 1)]));
+        s.advance(&frame(1, vec![0, 1], &[]));
+        s.advance(&frame(1, vec![1, 2], &[]));
+        assert_eq!(s.f_cut(), Some(Cut::from_counters(vec![0, 1])));
+        assert_eq!(s.i_cut(), Some(Cut::from_counters(vec![0, 0])));
+    }
+
+    #[test]
+    #[should_panic(expected = "causal predecessor")]
+    fn out_of_causal_order_delivery_panics() {
+        let mut s = slicer();
+        s.advance(&frame(1, vec![1, 1], &[("x", 1)]));
+    }
+}
