@@ -135,6 +135,7 @@ fn stream_session(
             vars: vars.to_vec(),
             initial: Vec::new(),
             predicates: vec![pred.clone()],
+            dist: None,
         },
     )
     .expect("open frame");

@@ -87,6 +87,7 @@ fn stream_session(
             vars: vec!["x".into()],
             initial: Vec::new(),
             predicates: vec![pred.clone()],
+            dist: None,
         },
     )
     .expect("open frame");

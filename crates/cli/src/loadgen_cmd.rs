@@ -4,7 +4,8 @@
 //! ```text
 //! hbtl loadgen <addr> [--workers M] [--sessions N] [--processes P]
 //!              [--events E] [--predicates K] [--window W] [--seed S]
-//!              [--batch B] [--scenario ordering-violation|sparse-predicate]
+//!              [--batch B] [--distribute K]
+//!              [--scenario ordering-violation|sparse-predicate|wide-session]
 //!              [--violation-rate PCT] [--json]
 //! hbtl loadgen --compare [--workers M] ... [--json]
 //! ```
@@ -27,6 +28,24 @@
 //! which the predictive detector must still flag. Loadgen knows each
 //! session's ground truth and fails loudly on any wrong verdict, so the
 //! scenario doubles as an end-to-end differential check under load.
+//!
+//! `--scenario wide-session` stresses detector *width* instead of
+//! session count: each session spans many processes (default 16) that
+//! never message each other, and in roughly half the sessions every
+//! process plants one `hit = 1` event — pairwise concurrent, so a
+//! consistent cut satisfying the conjunctive predicate `wide` exists
+//! exactly in the planted sessions. Loadgen checks every verdict
+//! against that ground truth. This is the shape distributed detection
+//! partitions best, so it pairs naturally with `--distribute`.
+//!
+//! `--distribute K` opens every session with the SDK's distributed
+//! role: a wire-v5 *gateway* fans the event stream out over `K` worker
+//! backends (partitioned by process id) and aggregates their slice
+//! observations into the same verdicts a single backend would emit. A
+//! plain monitor, or any pre-v5 peer, refuses the open — loadgen fails
+//! fast with the SDK's handshake error. Pattern predicates cannot be
+//! distributed, so `--distribute` rejects `--scenario
+//! ordering-violation`.
 //!
 //! M workers each drive N sessions over one pipelined connection:
 //! every session is a seeded `hb-sim` random computation streamed as a
@@ -79,6 +98,10 @@ enum Scenario {
     /// predicates: ~3% of events touch a true local clause, so the
     /// slicing ingest filter should cut detector work ≥5x.
     SparsePredicate,
+    /// One wide session per plan: many message-free processes, a
+    /// conjunctive `hit = 1` predicate, and the hits planted (or one
+    /// withheld) so every verdict has a known ground truth.
+    WideSession,
 }
 
 /// The workload shape, fixed up front so repeated runs are identical.
@@ -93,6 +116,8 @@ struct LoadSpec {
     seed: u64,
     /// SDK flush-batch cap; 1 = one `event` frame per event.
     batch: usize,
+    /// Worker partitions for distributed sessions; 0 = plain sessions.
+    distribute: usize,
     scenario: Scenario,
 }
 
@@ -107,6 +132,7 @@ impl Default for LoadSpec {
             window: 8,
             seed: 1,
             batch: 1,
+            distribute: 0,
             scenario: Scenario::Impossible,
         }
     }
@@ -118,10 +144,10 @@ struct SessionPlan {
     name: String,
     processes: usize,
     events: Vec<(usize, Vec<u32>, BTreeMap<String, i64>)>,
-    /// Pattern scenarios know their ground truth: `Some(true)` = the
-    /// session's pattern predicate must settle Detected, `Some(false)`
-    /// = Impossible. `None` = no per-session expectation.
-    expect_detected: Option<bool>,
+    /// Planted scenarios know their ground truth: `Some((id, true))` =
+    /// predicate `id` must settle Detected, `Some((id, false))` =
+    /// Impossible. `None` = no per-session expectation.
+    expect: Option<(&'static str, bool)>,
 }
 
 /// Aggregate results of one load run.
@@ -241,6 +267,7 @@ fn build_plans(spec: &LoadSpec) -> Vec<Vec<SessionPlan>> {
                         Scenario::OrderingViolation { rate } => {
                             ordering_violation_plan(spec, seed, rate, name)
                         }
+                        Scenario::WideSession => wide_session_plan(spec, seed, name),
                     }
                 })
                 .collect()
@@ -274,7 +301,7 @@ fn random_plan(spec: &LoadSpec, seed: u64, name: String, value_range: i64) -> Se
                 )
             })
             .collect(),
-        expect_detected: None,
+        expect: None,
     }
 }
 
@@ -316,7 +343,42 @@ fn ordering_violation_plan(spec: &LoadSpec, seed: u64, rate: u32, name: String) 
         name,
         processes: 2,
         events,
-        expect_detected: Some(planted),
+        expect: Some(("inv", planted)),
+    }
+}
+
+/// The wide-session workload: one session spanning every process (so
+/// vector clocks are `--processes` wide), built to stress detector
+/// width rather than session count. The processes never message each
+/// other; each emits filler, and its final event carries `hit = 1` —
+/// except that an unplanted session withholds the hit on the last
+/// process. The hits are pairwise concurrent, so a consistent cut
+/// satisfying the conjunctive predicate `wide` exists exactly when the
+/// session is planted (roughly half are, by seed). Events are emitted
+/// round-robin across processes so a distributed gateway exercises
+/// every worker partition throughout the stream.
+fn wide_session_plan(spec: &LoadSpec, seed: u64, name: String) -> SessionPlan {
+    let planted = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) % 100 < 50;
+    let procs = spec.processes.max(2);
+    let e = spec.events_per_process.max(1);
+    let mut events = Vec::with_capacity(procs * e);
+    for k in 1..=e {
+        for p in 0..procs {
+            let mut clock = vec![0u32; procs];
+            clock[p] = k as u32;
+            let payload: BTreeMap<String, i64> = if k == e && (planted || p + 1 < procs) {
+                [("hit".to_string(), 1)].into_iter().collect()
+            } else {
+                [("x".to_string(), k as i64)].into_iter().collect()
+            };
+            events.push((p, clock, payload));
+        }
+    }
+    SessionPlan {
+        name,
+        processes: procs,
+        events,
+        expect: Some(("wide", planted)),
     }
 }
 
@@ -350,6 +412,21 @@ fn scenario_predicates(spec: &LoadSpec) -> Vec<WirePredicate> {
         // — each local clause holds on ~3% of events, so the slicing
         // filter admits a trickle and the detector works on the slice.
         Scenario::SparsePredicate => conjunctive_predicates(spec, 31),
+        // One conjunctive predicate wanting `hit = 1` everywhere — the
+        // planted cut in half the sessions, unreachable in the rest.
+        Scenario::WideSession => vec![WirePredicate {
+            id: "wide".into(),
+            mode: WireMode::Conjunctive,
+            clauses: (0..spec.processes.max(2))
+                .map(|p| WireClause {
+                    process: p,
+                    var: "hit".into(),
+                    op: "=".into(),
+                    value: 1,
+                })
+                .collect(),
+            pattern: None,
+        }],
         // One pattern predicate: an unlock linearizable before a lock.
         Scenario::OrderingViolation { .. } => vec![WirePredicate {
             id: "inv".into(),
@@ -382,6 +459,7 @@ fn scenario_vars(spec: &LoadSpec) -> &'static [&'static str] {
     match spec.scenario {
         Scenario::Impossible | Scenario::SparsePredicate => &["x"],
         Scenario::OrderingViolation { .. } => &["x", "unlock", "lock"],
+        Scenario::WideSession => &["x", "hit"],
     }
 }
 
@@ -395,7 +473,7 @@ fn run_load(addr: &str, plans: &[Vec<SessionPlan>], spec: &LoadSpec) -> Result<L
             .iter()
             .map(|sessions| {
                 let predicates = predicates.clone();
-                scope.spawn(move || drive_worker(addr, sessions, &predicates, vars, spec.batch))
+                scope.spawn(move || drive_worker(addr, sessions, &predicates, vars, spec))
             })
             .collect();
         handles
@@ -427,7 +505,7 @@ fn drive_worker(
     sessions: &[SessionPlan],
     predicates: &[WirePredicate],
     vars: &[&str],
-    batch: usize,
+    spec: &LoadSpec,
 ) -> Result<Vec<f64>, String> {
     let mut transport: Box<dyn Transport> = Box::new(
         TcpTransport::dial(addr, RetryPolicy::with_retries(3)).map_err(|e| e.to_string())?,
@@ -435,7 +513,9 @@ fn drive_worker(
     let mut latencies = Vec::with_capacity(sessions.len());
     for plan in sessions {
         let t0 = Instant::now();
-        let mut builder = SessionBuilder::new(&plan.name, plan.processes).batch_max(batch);
+        let mut builder = SessionBuilder::new(&plan.name, plan.processes)
+            .batch_max(spec.batch)
+            .distributed(spec.distribute);
         for v in vars {
             builder = builder.var(v);
         }
@@ -462,15 +542,15 @@ fn drive_worker(
                 report.verdicts.len()
             ));
         }
-        // Pattern scenarios know each session's ground truth: a wrong
+        // Planted scenarios know each session's ground truth: a wrong
         // verdict is a detector bug, not a load artifact — fail loudly.
-        if let Some(expect) = plan.expect_detected {
-            let got = matches!(report.verdicts.get("inv"), Some(WireVerdict::Detected(_)));
+        if let Some((id, expect)) = plan.expect {
+            let got = matches!(report.verdicts.get(id), Some(WireVerdict::Detected(_)));
             if got != expect {
                 return Err(format!(
-                    "{}: pattern verdict mismatch — expected detected={expect}, got {:?}",
+                    "{}: verdict mismatch on '{id}' — expected detected={expect}, got {:?}",
                     plan.name,
-                    report.verdicts.get("inv")
+                    report.verdicts.get(id)
                 ));
             }
         }
@@ -599,7 +679,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
     if let Some(v) = take_flag(&mut rest, "--sessions")? {
         spec.sessions_per_worker = v.parse().map_err(|_| "bad --sessions")?;
     }
-    if let Some(v) = take_flag(&mut rest, "--processes")? {
+    let processes_flag = take_flag(&mut rest, "--processes")?;
+    if let Some(v) = &processes_flag {
         spec.processes = v.parse().map_err(|_| "bad --processes")?;
     }
     if let Some(v) = take_flag(&mut rest, "--events")? {
@@ -616,6 +697,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
     }
     if let Some(v) = take_flag(&mut rest, "--batch")? {
         spec.batch = v.parse().map_err(|_| "bad --batch")?;
+    }
+    if let Some(v) = take_flag(&mut rest, "--distribute")? {
+        spec.distribute = v.parse().map_err(|_| "bad --distribute")?;
     }
     let scenario = take_flag(&mut rest, "--scenario")?;
     let rate = take_flag(&mut rest, "--violation-rate")?;
@@ -644,11 +728,28 @@ pub fn run(args: &[String]) -> Result<String, String> {
             }
             spec.scenario = Scenario::SparsePredicate;
         }
+        Some("wide-session") => {
+            if rate.is_some() {
+                return Err("--violation-rate needs --scenario ordering-violation".into());
+            }
+            spec.scenario = Scenario::WideSession;
+            // Width is the point: without an explicit --processes, go
+            // wide rather than inheriting the narrow default.
+            if processes_flag.is_none() {
+                spec.processes = 16;
+            }
+        }
         Some(other) => {
             return Err(format!(
-                "unknown --scenario '{other}' (expected: ordering-violation, sparse-predicate)"
+                "unknown --scenario '{other}' (expected: ordering-violation, \
+                 sparse-predicate, wide-session)"
             ));
         }
+    }
+    if spec.distribute > 0 && matches!(spec.scenario, Scenario::OrderingViolation { .. }) {
+        return Err("--distribute supports conjunctive predicates only; \
+                    --scenario ordering-violation uses a pattern predicate"
+            .into());
     }
     if spec.workers == 0 || spec.sessions_per_worker == 0 || spec.predicates == 0 {
         return Err("--workers, --sessions, and --predicates must be at least 1".into());
@@ -660,6 +761,13 @@ pub fn run(args: &[String]) -> Result<String, String> {
         let [] = rest.as_slice() else {
             return Err("--compare hosts its own servers; no <addr> expected".into());
         };
+        if spec.distribute > 0 {
+            return Err(
+                "--compare's single-monitor leg cannot serve distributed sessions; \
+                 point --distribute at a gateway instead"
+                    .into(),
+            );
+        }
         return compare_cmd(&spec, json);
     }
     let [addr] = rest.as_slice() else {

@@ -423,6 +423,7 @@ fn send_cmd(args: &[String]) -> Result<String, String> {
             vars,
             initial,
             predicates,
+            dist: None,
         },
     )
     .map_err(|e| e.to_string())?;

@@ -176,6 +176,7 @@ fn sigkill_mid_trace_then_recover_matches_offline_least_cut() {
                     ],
                     pattern: None,
                 }],
+                dist: None,
             },
         )
         .expect("open frame");
@@ -288,6 +289,7 @@ fn restart_banner_reports_recovered_sessions() {
                 vars: vec!["x0".into(), "x1".into()],
                 initial: vec![],
                 predicates: vec![],
+                dist: None,
             },
         )
         .expect("open frame");

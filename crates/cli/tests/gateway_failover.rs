@@ -209,6 +209,7 @@ fn sigkill_owner_backend_mid_trace_fails_over_without_verdict_loss() {
                 ],
                 pattern: None,
             }],
+            dist: None,
         },
     )
     .expect("open frame");
@@ -294,6 +295,7 @@ fn sigkill_owner_backend_mid_trace_fails_over_without_verdict_loss() {
             vars: vec!["x0".into(), "x1".into()],
             initial: vec![],
             predicates: vec![],
+            dist: None,
         },
     )
     .expect("open frame");

@@ -193,6 +193,7 @@ fn run_trace_with_crash(comp: &Computation, seed: u64) -> BTreeMap<String, WireV
                 vars: vec!["x".into()],
                 initial: vec![],
                 predicates: wire_patterns(),
+                dist: None,
             },
         )
         .expect("open frame");

@@ -327,6 +327,7 @@ fn open_msg(plan: &Plan) -> ClientMsg {
                 pattern: None,
             })
             .collect(),
+        dist: None,
     }
 }
 

@@ -19,6 +19,15 @@
 //! | v4 SDK pattern  | v2 monitor      | typed `unsupported_predicate`    |
 //! | v4 SDK pattern  | gateway → v4 mon| relayed opaquely, verdict flows  |
 //!
+//! Wire v5 added distributed sessions, which are strictly
+//! gateway-orchestrated and refuse loudly everywhere else:
+//!
+//! | client           | server           | expectation                     |
+//! |------------------|------------------|---------------------------------|
+//! | v5 SDK dist      | v4 monitor       | typed `unsupported_distribution`|
+//! | v5 dist open     | gateway → v4 mon | `unsupported_distribution` kind |
+//! | v5 SDK plain     | v4 vs v5 monitor | byte-identical verdict frames   |
+//!
 //! Old builds are emulated with the `wire_version` config knob, which
 //! caps the handshake and refuses the frames that version lacked.
 
@@ -26,8 +35,8 @@ use hb_gateway::service::{GatewayConfig, GatewayService};
 use hb_monitor::{MonitorConfig, MonitorService};
 use hb_sdk::{SdkError, SessionBuilder, WireVerdict};
 use hb_tracefmt::wire::{
-    self, read_frame, write_frame, ClientMsg, EventFrame, ServerMsg, WireClause, WireMode,
-    WirePredicate,
+    self, error_kind, read_frame, write_frame, ClientMsg, EventFrame, ServerMsg, WireClause,
+    WireDistRole, WireMode, WirePredicate,
 };
 use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter};
@@ -79,6 +88,7 @@ fn open_msg(session: &str) -> ClientMsg {
         vars: vec!["x".into()],
         initial: vec![],
         predicates: vec![goal_pred()],
+        dist: None,
     }
 }
 
@@ -211,10 +221,10 @@ fn v3_sdk_falls_back_to_singles_against_a_v2_monitor() {
     let m = svc.metrics();
     assert_eq!(m.batches_ingested, 0);
     assert_eq!(m.events_ingested, 2);
-    // Exactly two protocol errors: the refused `hello {v4}` and
-    // `hello {v3}` that walked the dial down to v2. Nothing after the
-    // handshake errors.
-    assert_eq!(m.protocol_errors, 2);
+    // Exactly three protocol errors: the refused `hello {v5}`,
+    // `hello {v4}`, and `hello {v3}` that walked the dial down to v2.
+    // Nothing after the handshake errors.
+    assert_eq!(m.protocol_errors, 3);
     svc.shutdown();
 }
 
@@ -368,9 +378,10 @@ fn gateway_splits_batches_for_a_v2_backend() {
     let m = backend.metrics();
     assert_eq!(m.batches_ingested, 0, "the backend never sees a batch");
     assert_eq!(m.events_ingested, 2, "but it sees every member");
-    // The gateway's own pool dial walked down twice (refused hellos at
-    // v4 and v3); past the handshake the split relay is error-free.
-    assert_eq!(m.protocol_errors, 2);
+    // The gateway's own pool dial walked down three times (refused
+    // hellos at v5, v4, and v3); past the handshake the split relay is
+    // error-free.
+    assert_eq!(m.protocol_errors, 3);
     drop(gw);
     backend.shutdown();
 }
@@ -461,6 +472,112 @@ fn pattern_predicate_against_a_v2_monitor_is_a_typed_clean_failure() {
     // One refused hello (the dial walking down) plus the refused open.
     assert!(svc.metrics().protocol_errors >= 2);
     svc.shutdown();
+}
+
+/// A distributed session against an emulated v4 monitor: the SDK's
+/// dial walks down to v4, the pre-flight check sees a pre-v5 peer, and
+/// the open fails fast with the typed
+/// [`SdkError::UnsupportedDistribution`] — no frame with the unknown
+/// `dist` key ever reaches a peer whose parser would silently drop it.
+#[test]
+fn distributed_session_against_a_v4_monitor_is_a_typed_clean_failure() {
+    let (addr, svc) = start_monitor(4);
+    let result = SessionBuilder::new("compat-dist-v4", 2)
+        .var("x")
+        .conjunctive("goal", &[(0, "x", "=", 1), (1, "x", "=", 1)])
+        .distributed(2)
+        .connect(&addr);
+    match result {
+        Err(SdkError::UnsupportedDistribution(m)) => {
+            assert!(m.contains("v4"), "message names the peer version: {m}");
+        }
+        Err(other) => panic!("expected UnsupportedDistribution, got {other:?}"),
+        Ok(_) => panic!("expected UnsupportedDistribution, got an open session"),
+    }
+    assert_eq!(
+        svc.metrics().sessions_opened,
+        0,
+        "nothing silently opened as a plain session"
+    );
+    svc.shutdown();
+}
+
+/// A distributed open through a v5 gateway whose backend fleet is
+/// pre-v5: the gateway verifies every placement's negotiated version
+/// before opening anything, and refuses with the machine-readable
+/// `unsupported_distribution` kind naming the stale backend.
+#[test]
+fn gateway_refuses_distribution_when_a_backend_is_pre_v5() {
+    let (backend_addr, backend) = start_monitor(4);
+    let (gw_addr, gw) = start_gateway(backend_addr);
+    let mut client = Client::connect(&gw_addr);
+    client.send(&ClientMsg::Hello {
+        version: wire::WIRE_VERSION,
+    });
+    assert!(matches!(client.recv(), ServerMsg::Welcome { .. }));
+    let ClientMsg::Open {
+        session,
+        processes,
+        vars,
+        initial,
+        predicates,
+        ..
+    } = open_msg("compat-dist-gw-v4")
+    else {
+        unreachable!()
+    };
+    client.send(&ClientMsg::Open {
+        session,
+        processes,
+        vars,
+        initial,
+        predicates,
+        dist: Some(WireDistRole::Distribute { k: 2 }),
+    });
+    match client.recv() {
+        ServerMsg::Error { kind, message, .. } => {
+            assert_eq!(
+                kind.as_deref(),
+                Some(error_kind::UNSUPPORTED_DISTRIBUTION),
+                "{message}"
+            );
+            assert!(message.contains("v5"), "message names the floor: {message}");
+        }
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    assert_eq!(
+        backend.metrics().sessions_opened,
+        0,
+        "no half-opened placement left behind"
+    );
+    drop(gw);
+    backend.shutdown();
+}
+
+/// A plain (non-distributed) session is untouched by v5: the same
+/// fixture against an emulated v4 monitor and a current one settles to
+/// byte-identical verdict frames.
+#[test]
+fn plain_sessions_are_byte_identical_on_v4_and_v5_monitors() {
+    let mut legs = Vec::new();
+    for version in [4, wire::WIRE_VERSION] {
+        let (addr, svc) = start_monitor(version);
+        let (verdict, _) = run_sdk_session(&addr, "compat-plain");
+        let mut bytes = Vec::new();
+        write_frame(
+            &mut bytes,
+            &ServerMsg::Verdict {
+                session: "compat-plain".into(),
+                predicate: "goal".into(),
+                verdict,
+            },
+        )
+        .expect("verdict frame encodes");
+        legs.push(bytes);
+        svc.shutdown();
+    }
+    assert_eq!(legs[0], legs[1], "v4 and v5 runs must agree byte for byte");
+    assert!(!legs[0].is_empty());
 }
 
 /// A pattern predicate through the gateway to a current backend: the

@@ -1,0 +1,692 @@
+//! The aggregator side of a distributed session.
+//!
+//! The aggregator assembles the global slice from the workers' update
+//! streams and is the only member of the partition a client ever
+//! hears: its session carries the origin name, and the verdict and
+//! error frames it produces must be **byte-identical** to a
+//! single-backend sliced session fed the same events.
+//!
+//! It achieves that by being a *replica* of the single-backend
+//! pipeline with the per-event payload swapped: where a session
+//! ingests `(process, clock, assignments)` into its [`CausalBuffer`]
+//! and evaluates clauses on delivery, the aggregator ingests
+//! `(process, clock, membership bits)` — the clause truth the owning
+//! worker already computed — and on delivery feeds the detectors
+//! through the same deferred-skip bookkeeping the slicing filter
+//! uses. Hold, duplicate, overflow, and discard behavior all come
+//! from the same buffer type, so every error frame and every verdict
+//! settle point lands in the same place in the frame stream.
+//!
+//! Updates arrive tagged with the gateway's per-session sequence
+//! numbers and may interleave arbitrarily across workers; a reorder
+//! stage processes them in contiguous sequence order, which *is* the
+//! single backend's arrival order. Sequences below the watermark are
+//! dropped: after a worker failover the gateway re-derives a
+//! partition's stream from its journal, and the replayed prefix must
+//! be idempotent.
+
+use crate::buffer::{CausalBuffer, OverflowPolicy};
+use crate::compile::compile_conjunctive;
+use crate::DistError;
+use hb_detect::online::{
+    restore_monitor, DetectorState, OnlineEfConjunctive, OnlineMonitor, OnlineVerdict,
+};
+use hb_tracefmt::wire::{SliceUpdateBody, WirePredicate};
+use hb_vclock::VectorClock;
+use std::collections::BTreeMap;
+
+/// One registered predicate and its detector replica.
+struct AggPred {
+    id: String,
+    monitor: Box<dyn OnlineMonitor + Send>,
+    /// Non-member deliveries per process not yet flushed into the
+    /// detector as `skip_states` (the slicing filter's `pending`).
+    pending: Vec<u64>,
+    /// Set once the verdict has been reported.
+    emitted: bool,
+}
+
+/// One observable consequence of an update, in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggStep {
+    /// A predicate's verdict settled.
+    Verdict {
+        /// The predicate's caller-chosen id.
+        predicate: String,
+        /// The settled verdict.
+        verdict: OnlineVerdict,
+    },
+    /// The update was refused; the message mirrors the single-backend
+    /// session's error frame.
+    Error(DistError),
+    /// The session closed (a `close` update was processed).
+    Closed {
+        /// Stranded held updates discarded at close.
+        discarded: u64,
+    },
+}
+
+/// Persistable state of a [`DistAggregator`], for WAL snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatorSnapshot {
+    /// The partition width.
+    pub k: usize,
+    /// Declared variable names, in declaration order.
+    pub vars: Vec<String>,
+    /// The predicates as registered at open.
+    pub predicates: Vec<WirePredicate>,
+    /// The replica buffer's delivered frontier.
+    pub frontier: Vec<u32>,
+    /// Held updates in arrival order: `(process, clock, holds)`.
+    pub held: Vec<(usize, Vec<u32>, Vec<usize>)>,
+    /// Client-declared stream ends.
+    pub finished: Vec<bool>,
+    /// Finishes already forwarded to the detectors.
+    pub monitor_finished: Vec<bool>,
+    /// Updates delivered to the detectors.
+    pub delivered: u64,
+    /// Per-predicate detector state:
+    /// `(id, emitted, state, pending skips)`.
+    pub monitors: Vec<(String, bool, DetectorState, Vec<u64>)>,
+    /// Next sequence number to process.
+    pub next_seq: u64,
+    /// Updates waiting for a sequence gap, by sequence number.
+    pub reorder: Vec<(u64, SliceUpdateBody)>,
+}
+
+/// The aggregator engine: one per distributed session, living on the
+/// backend elected by the gateway.
+pub struct DistAggregator {
+    k: usize,
+    vars: Vec<String>,
+    predicates: Vec<WirePredicate>,
+    buffer: CausalBuffer<Vec<usize>>,
+    monitors: Vec<AggPred>,
+    finished: Vec<bool>,
+    monitor_finished: Vec<bool>,
+    delivered: u64,
+    next_seq: u64,
+    reorder: BTreeMap<u64, SliceUpdateBody>,
+    pending_initial: Vec<(String, OnlineVerdict)>,
+}
+
+impl DistAggregator {
+    /// Opens an aggregator over the origin session's full open
+    /// request. Validation (checks, order, messages) matches the
+    /// single-backend session, because this refusal is the one the
+    /// client sees.
+    pub fn open(
+        k: usize,
+        processes: usize,
+        var_names: &[String],
+        initial: &[BTreeMap<String, i64>],
+        predicates: &[WirePredicate],
+        buffer_capacity: usize,
+        policy: OverflowPolicy,
+    ) -> Result<DistAggregator, DistError> {
+        if k == 0 {
+            return Err(DistError::BadOpen("zero workers".into()));
+        }
+        let compiled = compile_conjunctive(processes, var_names, initial, predicates)
+            .map_err(DistError::BadOpen)?;
+        let monitors = compiled
+            .predicates
+            .iter()
+            .map(|pred| {
+                let participating: Vec<bool> = pred.clauses.iter().map(Option::is_some).collect();
+                let initially: Vec<bool> = (0..processes)
+                    .map(|i| {
+                        pred.clauses[i]
+                            .as_ref()
+                            .is_some_and(|c| c.eval(&compiled.states[i]))
+                    })
+                    .collect();
+                AggPred {
+                    id: pred.id.clone(),
+                    monitor: Box::new(OnlineEfConjunctive::new(
+                        processes,
+                        participating,
+                        initially,
+                    )),
+                    pending: vec![0; processes],
+                    emitted: false,
+                }
+            })
+            .collect();
+        let mut a = DistAggregator {
+            k,
+            vars: var_names.to_vec(),
+            predicates: predicates.to_vec(),
+            buffer: CausalBuffer::new(processes, buffer_capacity, policy),
+            monitors,
+            finished: vec![false; processes],
+            monitor_finished: vec![false; processes],
+            delivered: 0,
+            next_seq: 0,
+            reorder: BTreeMap::new(),
+            pending_initial: Vec::new(),
+        };
+        // A predicate can already hold in the initial cut.
+        let mut initial_verdicts = Vec::new();
+        a.collect_settled(&mut initial_verdicts);
+        a.pending_initial = initial_verdicts
+            .into_iter()
+            .map(|s| match s {
+                AggStep::Verdict { predicate, verdict } => (predicate, verdict),
+                other => unreachable!("settle emits verdicts only, got {other:?}"),
+            })
+            .collect();
+        Ok(a)
+    }
+
+    /// Verdicts that settled at open time (initial-cut detections).
+    pub fn take_initial_verdicts(&mut self) -> Vec<(String, OnlineVerdict)> {
+        std::mem::take(&mut self.pending_initial)
+    }
+
+    /// The partition width.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The number of processes.
+    pub fn processes(&self) -> usize {
+        self.finished.len()
+    }
+
+    /// Updates delivered to the detectors so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Updates held in the replica causal buffer.
+    pub fn held(&self) -> usize {
+        self.buffer.held()
+    }
+
+    /// Updates parked in the sequence-reorder stage.
+    pub fn reordering(&self) -> usize {
+        self.reorder.len()
+    }
+
+    /// Accepts one sequenced update and processes every update that
+    /// became contiguous, returning their observable consequences in
+    /// order. Sequences already processed (failover replays) are
+    /// dropped.
+    pub fn update(&mut self, seq: u64, body: SliceUpdateBody) -> Vec<AggStep> {
+        if seq < self.next_seq {
+            return Vec::new();
+        }
+        self.reorder.insert(seq, body);
+        let mut out = Vec::new();
+        while let Some(body) = self.reorder.remove(&self.next_seq) {
+            self.next_seq += 1;
+            self.step(body, &mut out);
+        }
+        out
+    }
+
+    /// Processes one in-order update.
+    fn step(&mut self, body: SliceUpdateBody, out: &mut Vec<AggStep>) {
+        match body {
+            SliceUpdateBody::Observe {
+                p,
+                clock,
+                holds,
+                invalid,
+            } => self.observe(p, clock, holds, invalid, out),
+            SliceUpdateBody::Finish { p } => {
+                if p >= self.finished.len() {
+                    out.push(AggStep::Error(DistError::BadEvent(format!(
+                        "process {p} out of range"
+                    ))));
+                    return;
+                }
+                self.finished[p] = true;
+                self.forward_finishes(out);
+            }
+            SliceUpdateBody::Close => {
+                let discarded = self.buffer.discard_held().len() as u64;
+                for p in 0..self.monitor_finished.len() {
+                    if !self.monitor_finished[p] {
+                        self.monitor_finished[p] = true;
+                        for pred in &mut self.monitors {
+                            if !pred.emitted {
+                                pred.monitor.finish_process(p);
+                            }
+                        }
+                    }
+                }
+                self.collect_settled(out);
+                out.push(AggStep::Closed { discarded });
+            }
+        }
+    }
+
+    /// Replays the single-backend event path over a worker's
+    /// observation: finish-rejection, then the worker's variable
+    /// refusal, then replica ingest; detectors see deliveries through
+    /// the deferred-skip bookkeeping.
+    fn observe(
+        &mut self,
+        p: usize,
+        clock: Vec<u32>,
+        holds: Vec<usize>,
+        invalid: Option<String>,
+        out: &mut Vec<AggStep>,
+    ) {
+        if p < self.finished.len() && self.monitor_finished[p] {
+            out.push(AggStep::Error(DistError::AlreadyFinished(p)));
+            return;
+        }
+        if let Some(message) = invalid {
+            out.push(AggStep::Error(DistError::BadEvent(message)));
+            return;
+        }
+        let clock = VectorClock::from_components(clock);
+        let released = match self.buffer.ingest(p, clock, holds) {
+            Ok(released) => released,
+            Err(e) => {
+                out.push(AggStep::Error(DistError::Ingest(e)));
+                return;
+            }
+        };
+        for d in released {
+            self.delivered += 1;
+            for (j, pred) in self.monitors.iter_mut().enumerate() {
+                if pred.emitted {
+                    continue;
+                }
+                if d.payload.binary_search(&j).is_ok() {
+                    // Flush the deferred skips first, so the detector
+                    // numbers this state exactly as an unfiltered run
+                    // would.
+                    let skipped = std::mem::take(&mut pred.pending[d.process]);
+                    if skipped > 0 {
+                        pred.monitor.skip_states(d.process, skipped);
+                    }
+                    pred.monitor.observe(d.process, true, &d.clock);
+                } else {
+                    pred.pending[d.process] += 1;
+                }
+            }
+        }
+        self.collect_settled(out);
+        // A delivery may have drained the last held update of an
+        // already-finished process.
+        self.forward_finishes(out);
+    }
+
+    /// Forwards client-declared finishes to the detectors once the
+    /// buffer holds nothing more from the process.
+    fn forward_finishes(&mut self, out: &mut Vec<AggStep>) {
+        for p in 0..self.finished.len() {
+            if self.finished[p] && !self.monitor_finished[p] && self.buffer.held_from(p) == 0 {
+                self.monitor_finished[p] = true;
+                for pred in &mut self.monitors {
+                    if !pred.emitted {
+                        pred.monitor.finish_process(p);
+                    }
+                }
+            }
+        }
+        self.collect_settled(out);
+    }
+
+    /// Emits newly settled verdicts, once each.
+    fn collect_settled(&mut self, out: &mut Vec<AggStep>) {
+        for pred in &mut self.monitors {
+            if !pred.emitted && pred.monitor.is_settled() {
+                pred.emitted = true;
+                out.push(AggStep::Verdict {
+                    predicate: pred.id.clone(),
+                    verdict: pred.monitor.verdict().clone(),
+                });
+            }
+        }
+    }
+
+    /// Closes out of band — service shutdown, or a plain `close` frame
+    /// reaching the aggregator directly instead of the gateway's
+    /// sequenced close update. Updates still parked in the reorder
+    /// stage are abandoned (their `observe`s count as discarded events
+    /// alongside the buffer's held updates), then the normal close
+    /// step runs: stranded holds discarded, detectors finished, final
+    /// verdicts settled.
+    pub fn close_now(&mut self) -> Vec<AggStep> {
+        let abandoned = self
+            .reorder
+            .values()
+            .filter(|b| matches!(b, SliceUpdateBody::Observe { .. }))
+            .count() as u64;
+        self.reorder.clear();
+        let mut out = Vec::new();
+        self.step(SliceUpdateBody::Close, &mut out);
+        for step in &mut out {
+            if let AggStep::Closed { discarded } = step {
+                *discarded += abandoned;
+            }
+        }
+        out
+    }
+
+    /// The final verdict of every predicate (settled or not), for the
+    /// close report.
+    pub fn all_verdicts(&self) -> Vec<(String, OnlineVerdict)> {
+        self.monitors
+            .iter()
+            .map(|pred| (pred.id.clone(), pred.monitor.verdict().clone()))
+            .collect()
+    }
+
+    /// Freezes the aggregator for persistence.
+    pub fn snapshot(&self) -> AggregatorSnapshot {
+        AggregatorSnapshot {
+            k: self.k,
+            vars: self.vars.clone(),
+            predicates: self.predicates.clone(),
+            frontier: self.buffer.frontier().to_vec(),
+            held: self
+                .buffer
+                .held_events()
+                .map(|(p, clock, holds)| (p, clock.components().to_vec(), holds.clone()))
+                .collect(),
+            finished: self.finished.clone(),
+            monitor_finished: self.monitor_finished.clone(),
+            delivered: self.delivered,
+            monitors: self
+                .monitors
+                .iter()
+                .map(|pred| {
+                    (
+                        pred.id.clone(),
+                        pred.emitted,
+                        pred.monitor.export_state(),
+                        pred.pending.clone(),
+                    )
+                })
+                .collect(),
+            next_seq: self.next_seq,
+            reorder: self
+                .reorder
+                .iter()
+                .map(|(seq, body)| (*seq, body.clone()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds an aggregator from a snapshot: re-validates through
+    /// the normal open path, then overwrites buffer, detectors, and
+    /// sequencing state with the frozen values.
+    pub fn restore(
+        snap: &AggregatorSnapshot,
+        processes: usize,
+        buffer_capacity: usize,
+        policy: OverflowPolicy,
+    ) -> Result<DistAggregator, DistError> {
+        let shape =
+            |what: &str| DistError::BadOpen(format!("aggregator snapshot: inconsistent {what}"));
+        let mut a = DistAggregator::open(
+            snap.k,
+            processes,
+            &snap.vars,
+            &[],
+            &snap.predicates,
+            buffer_capacity,
+            policy,
+        )?;
+        if snap.frontier.len() != processes
+            || snap.finished.len() != processes
+            || snap.monitor_finished.len() != processes
+            || snap.monitors.len() != a.monitors.len()
+        {
+            return Err(shape("per-process vectors"));
+        }
+        let mut held = Vec::with_capacity(snap.held.len());
+        for (p, clock, holds) in &snap.held {
+            if *p >= processes || clock.len() != processes {
+                return Err(shape("held update"));
+            }
+            held.push((
+                *p,
+                VectorClock::from_components(clock.clone()),
+                holds.clone(),
+            ));
+        }
+        a.buffer = CausalBuffer::restore(snap.frontier.clone(), held, buffer_capacity, policy);
+        for (pred, (id, emitted, state, pending)) in a.monitors.iter_mut().zip(&snap.monitors) {
+            if &pred.id != id {
+                return Err(shape("monitor order"));
+            }
+            if pending.len() != processes {
+                return Err(shape("pending skips"));
+            }
+            pred.monitor = restore_monitor(state);
+            pred.emitted = *emitted;
+            pred.pending.clone_from(pending);
+        }
+        a.finished = snap.finished.clone();
+        a.monitor_finished = snap.monitor_finished.clone();
+        a.delivered = snap.delivered;
+        a.next_seq = snap.next_seq;
+        a.reorder = snap.reorder.iter().cloned().collect();
+        a.pending_initial.clear();
+        Ok(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_tracefmt::wire::{WireClause, WireMode};
+
+    fn pred(id: &str, clauses: &[(usize, &str, &str, i64)]) -> WirePredicate {
+        WirePredicate {
+            id: id.into(),
+            mode: WireMode::Conjunctive,
+            clauses: clauses
+                .iter()
+                .map(|&(process, var, op, value)| WireClause {
+                    process,
+                    var: var.into(),
+                    op: op.into(),
+                    value,
+                })
+                .collect(),
+            pattern: None,
+        }
+    }
+
+    fn agg() -> DistAggregator {
+        DistAggregator::open(
+            2,
+            2,
+            &["x0".to_string(), "x1".to_string()],
+            &[],
+            &[pred("ef", &[(0, "x0", "=", 2), (1, "x1", "=", 1)])],
+            4096,
+            OverflowPolicy::Reject,
+        )
+        .unwrap()
+    }
+
+    fn obs(p: usize, clock: &[u32], holds: &[usize]) -> SliceUpdateBody {
+        SliceUpdateBody::Observe {
+            p,
+            clock: clock.to_vec(),
+            holds: holds.to_vec(),
+            invalid: None,
+        }
+    }
+
+    /// The Fig. 2(a) stream as membership bits: detection settles at
+    /// the same update a single-backend session would.
+    #[test]
+    fn detects_from_membership_bits() {
+        let mut a = agg();
+        assert!(a.update(0, obs(1, &[0, 1], &[0])).is_empty()); // x1=1 holds
+        assert!(a.update(1, obs(0, &[1, 0], &[])).is_empty()); // x0=1: no
+        let steps = a.update(2, obs(0, &[2, 0], &[0])); // x0=2 → detect
+        assert_eq!(steps.len(), 1);
+        match &steps[0] {
+            AggStep::Verdict { predicate, verdict } => {
+                assert_eq!(predicate, "ef");
+                match verdict {
+                    OnlineVerdict::Detected(cut) => assert_eq!(cut.counters(), &[2, 1]),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// Updates arrive with scrambled sequence numbers: nothing happens
+    /// until the gap fills, then everything processes in seq order.
+    #[test]
+    fn reorders_by_sequence_number() {
+        let mut a = agg();
+        assert!(a.update(2, obs(0, &[2, 0], &[0])).is_empty());
+        assert!(a.update(1, obs(0, &[1, 0], &[])).is_empty());
+        assert_eq!(a.reordering(), 2);
+        let steps = a.update(0, obs(1, &[0, 1], &[0]));
+        assert_eq!(a.reordering(), 0);
+        assert!(steps.iter().any(|s| matches!(s, AggStep::Verdict { .. })));
+        // Stale failover replays are dropped.
+        assert!(a.update(1, obs(0, &[1, 0], &[])).is_empty());
+        assert_eq!(a.reordering(), 0);
+    }
+
+    #[test]
+    fn errors_mirror_the_single_backend_session() {
+        let mut a = agg();
+        a.update(0, obs(0, &[1, 0], &[]));
+        // Duplicate clock: re-derived by the replica buffer.
+        let steps = a.update(1, obs(0, &[1, 0], &[]));
+        assert_eq!(
+            steps,
+            vec![AggStep::Error(DistError::Ingest(
+                crate::IngestError::Duplicate { process: 0, seq: 1 }
+            ))]
+        );
+        // Worker-side variable refusal is forwarded verbatim.
+        let steps = a.update(
+            2,
+            SliceUpdateBody::Observe {
+                p: 0,
+                clock: vec![2, 0],
+                holds: vec![],
+                invalid: Some("undeclared variable 'nope'".into()),
+            },
+        );
+        assert_eq!(
+            steps,
+            vec![AggStep::Error(DistError::BadEvent(
+                "undeclared variable 'nope'".into()
+            ))]
+        );
+        // Out-of-range process in an update.
+        let steps = a.update(3, obs(9, &[1, 0], &[]));
+        assert!(matches!(
+            &steps[0],
+            AggStep::Error(DistError::Ingest(crate::IngestError::BadProcess { .. }))
+        ));
+        // Finish, then an event for the finished process.
+        a.update(4, SliceUpdateBody::Finish { p: 0 });
+        let steps = a.update(5, obs(0, &[2, 0], &[0]));
+        assert_eq!(steps, vec![AggStep::Error(DistError::AlreadyFinished(0))]);
+        // Finish out of range.
+        let steps = a.update(6, SliceUpdateBody::Finish { p: 9 });
+        assert_eq!(
+            steps,
+            vec![AggStep::Error(DistError::BadEvent(
+                "process 9 out of range".into()
+            ))]
+        );
+    }
+
+    #[test]
+    fn finishes_settle_impossible_and_close_discards() {
+        let mut a = agg();
+        a.update(0, obs(0, &[1, 0], &[]));
+        let steps = a.update(1, SliceUpdateBody::Finish { p: 0 });
+        assert!(matches!(
+            &steps[0],
+            AggStep::Verdict {
+                verdict: OnlineVerdict::Impossible,
+                ..
+            }
+        ));
+
+        // A fresh aggregator with a stranded held update: close
+        // discards it and settles.
+        let mut a = agg();
+        a.update(0, obs(1, &[1, 1], &[0])); // held: needs [1,*]
+        assert_eq!(a.held(), 1);
+        let steps = a.update(1, SliceUpdateBody::Close);
+        assert_eq!(
+            steps,
+            vec![
+                AggStep::Verdict {
+                    predicate: "ef".into(),
+                    verdict: OnlineVerdict::Impossible,
+                },
+                AggStep::Closed { discarded: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn initially_true_predicates_settle_at_open() {
+        let mut a = DistAggregator::open(
+            2,
+            2,
+            &["x".to_string()],
+            &[
+                [("x".to_string(), 1)].into_iter().collect(),
+                [("x".to_string(), 1)].into_iter().collect(),
+            ],
+            &[pred("now", &[(0, "x", "=", 1), (1, "x", "=", 1)])],
+            4096,
+            OverflowPolicy::Reject,
+        )
+        .unwrap();
+        let v = a.take_initial_verdicts();
+        assert_eq!(v.len(), 1);
+        match &v[0].1 {
+            OnlineVerdict::Detected(cut) => assert_eq!(cut.counters(), &[0, 0]),
+            other => panic!("{other:?}"),
+        }
+        assert!(a.take_initial_verdicts().is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_stream() {
+        let mut a = agg();
+        a.update(0, obs(1, &[0, 1], &[0]));
+        a.update(2, obs(0, &[2, 0], &[0])); // parked in reorder
+        a.update(3, obs(1, &[2, 2], &[0])); // will be held once seq 2 lands
+        let snap = a.snapshot();
+        let mut r = DistAggregator::restore(&snap, 2, 4096, OverflowPolicy::Reject).unwrap();
+        assert_eq!(r.snapshot(), snap, "snapshot is stable");
+        for x in [&mut a, &mut r] {
+            let steps = x.update(1, obs(0, &[1, 0], &[]));
+            assert!(steps.iter().any(|s| matches!(s, AggStep::Verdict { .. })));
+        }
+        assert_eq!(a.snapshot(), r.snapshot());
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let a = agg();
+        let good = a.snapshot();
+        let mut bad = good.clone();
+        bad.frontier = vec![0];
+        assert!(DistAggregator::restore(&bad, 2, 4096, OverflowPolicy::Reject).is_err());
+        let mut bad = good.clone();
+        bad.monitors.clear();
+        assert!(DistAggregator::restore(&bad, 2, 4096, OverflowPolicy::Reject).is_err());
+        let mut bad = good;
+        bad.held.push((7, vec![1, 1], vec![]));
+        assert!(DistAggregator::restore(&bad, 2, 4096, OverflowPolicy::Reject).is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! Shared open-time validation for the distributed engines.
+//!
+//! Workers and the aggregator both receive the origin session's full
+//! open request (variables, initial states, predicates) and must
+//! accept or refuse it exactly as a single-backend session would: the
+//! aggregator's refusal is what the client sees. This module
+//! reproduces the monitor session's validation sequence — same checks,
+//! same order, same messages — for the conjunctive predicates a
+//! distributed session supports.
+
+use hb_computation::{LocalState, VarTable};
+use hb_predicates::{CmpOp, LocalExpr};
+use hb_tracefmt::wire::{WireClause, WireMode, WirePredicate};
+use std::collections::BTreeMap;
+
+/// One conjunctive predicate folded to per-process local clauses.
+#[derive(Debug)]
+pub struct CompiledPredicate {
+    /// The predicate's caller-chosen id.
+    pub id: String,
+    /// Per-process clause (`None` = the process has no clause).
+    pub clauses: Vec<Option<LocalExpr>>,
+}
+
+/// A validated open request: variable table, initial local states, and
+/// compiled predicates.
+#[derive(Debug)]
+pub struct CompiledSession {
+    /// The session's variable namespace.
+    pub vars: VarTable,
+    /// Initial local state per process.
+    pub states: Vec<LocalState>,
+    /// The predicates, in registration order.
+    pub predicates: Vec<CompiledPredicate>,
+}
+
+fn parse_op(op: &str) -> Option<CmpOp> {
+    Some(match op {
+        "=" | "==" => CmpOp::Eq,
+        "!=" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+/// Validates and compiles an open request for a distributed session.
+///
+/// The error string is the message a single-backend session would put
+/// in its `bad open: …` reply (without the prefix). Any
+/// non-conjunctive predicate is refused: disjunctive and pattern
+/// detection carry cross-process state that does not decompose into
+/// worker-local clause streams.
+pub fn compile_conjunctive(
+    processes: usize,
+    var_names: &[String],
+    initial: &[BTreeMap<String, i64>],
+    predicates: &[WirePredicate],
+) -> Result<CompiledSession, String> {
+    if processes == 0 {
+        return Err("zero processes".into());
+    }
+    if initial.len() > processes {
+        return Err(format!(
+            "{} initial maps for {processes} processes",
+            initial.len()
+        ));
+    }
+    let mut vars = VarTable::new();
+    for v in var_names {
+        vars.declare(v);
+    }
+    let mut states = vec![LocalState::zeroed(vars.len()); processes];
+    for (i, init) in initial.iter().enumerate() {
+        for (vname, &value) in init {
+            let id = vars
+                .lookup(vname)
+                .ok_or_else(|| format!("undeclared variable '{vname}' in initial"))?;
+            states[i].set(id, value);
+        }
+    }
+
+    let mut compiled = Vec::with_capacity(predicates.len());
+    let mut seen_ids = std::collections::BTreeSet::new();
+    for pred in predicates {
+        if !seen_ids.insert(&pred.id) {
+            return Err(format!("duplicate predicate id '{}'", pred.id));
+        }
+        if pred.mode != WireMode::Conjunctive {
+            return Err(format!(
+                "predicate '{}': distributed sessions support conjunctive predicates only",
+                pred.id
+            ));
+        }
+        if pred.pattern.is_some() {
+            return Err(format!(
+                "predicate '{}': a pattern body requires mode 'pattern'",
+                pred.id
+            ));
+        }
+        if pred.clauses.is_empty() {
+            return Err(format!("predicate '{}' has no clauses", pred.id));
+        }
+        let mut clauses: Vec<Option<LocalExpr>> = vec![None; processes];
+        for WireClause {
+            process,
+            var,
+            op,
+            value,
+        } in &pred.clauses
+        {
+            if *process >= processes {
+                return Err(format!(
+                    "predicate '{}': process {process} out of range",
+                    pred.id
+                ));
+            }
+            let id = vars
+                .lookup(var)
+                .ok_or_else(|| format!("predicate '{}': undeclared variable '{var}'", pred.id))?;
+            let cmp = parse_op(op)
+                .ok_or_else(|| format!("predicate '{}': unknown operator '{op}'", pred.id))?;
+            let expr = LocalExpr::Cmp(id, cmp, *value);
+            clauses[*process] = Some(match clauses[*process].take() {
+                None => expr,
+                Some(prev) => prev.and(expr),
+            });
+        }
+        compiled.push(CompiledPredicate {
+            id: pred.id.clone(),
+            clauses,
+        });
+    }
+    Ok(CompiledSession {
+        vars,
+        states,
+        predicates: compiled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_tracefmt::wire::{WireAtom, WirePattern};
+
+    fn pred(id: &str, clauses: &[(usize, &str, &str, i64)]) -> WirePredicate {
+        WirePredicate {
+            id: id.into(),
+            mode: WireMode::Conjunctive,
+            clauses: clauses
+                .iter()
+                .map(|&(process, var, op, value)| WireClause {
+                    process,
+                    var: var.into(),
+                    op: op.into(),
+                    value,
+                })
+                .collect(),
+            pattern: None,
+        }
+    }
+
+    #[test]
+    fn compiles_and_folds_clauses() {
+        let c = compile_conjunctive(
+            2,
+            &["x".to_string()],
+            &[],
+            &[pred("band", &[(0, "x", ">=", 1), (0, "x", "<=", 3)])],
+        )
+        .unwrap();
+        let p = &c.predicates[0];
+        assert!(p.clauses[0].is_some());
+        assert!(p.clauses[1].is_none());
+        let mut s = LocalState::zeroed(1);
+        s.set(c.vars.lookup("x").unwrap(), 2);
+        assert!(p.clauses[0].as_ref().unwrap().eval(&s));
+        s.set(c.vars.lookup("x").unwrap(), 9);
+        assert!(!p.clauses[0].as_ref().unwrap().eval(&s));
+    }
+
+    #[test]
+    fn error_messages_match_the_single_backend_session() {
+        let x = ["x".to_string()];
+        let e = |preds: &[WirePredicate]| compile_conjunctive(2, &x, &[], preds).unwrap_err();
+        assert_eq!(
+            compile_conjunctive(0, &x, &[], &[]).unwrap_err(),
+            "zero processes"
+        );
+        assert_eq!(
+            compile_conjunctive(1, &x, &[BTreeMap::new(), BTreeMap::new()], &[]).unwrap_err(),
+            "2 initial maps for 1 processes"
+        );
+        assert_eq!(
+            e(&[pred("p", &[(9, "x", "=", 1)])]),
+            "predicate 'p': process 9 out of range"
+        );
+        assert_eq!(
+            e(&[pred("p", &[(0, "y", "=", 1)])]),
+            "predicate 'p': undeclared variable 'y'"
+        );
+        assert_eq!(
+            e(&[pred("p", &[(0, "x", "~", 1)])]),
+            "predicate 'p': unknown operator '~'"
+        );
+        assert_eq!(e(&[pred("p", &[])]), "predicate 'p' has no clauses");
+        assert_eq!(
+            e(&[
+                pred("p", &[(0, "x", "=", 1)]),
+                pred("p", &[(1, "x", "=", 1)])
+            ]),
+            "duplicate predicate id 'p'"
+        );
+    }
+
+    #[test]
+    fn non_conjunctive_predicates_are_refused() {
+        let x = ["x".to_string()];
+        let mut disj = pred("d", &[(0, "x", "=", 1)]);
+        disj.mode = WireMode::Disjunctive;
+        assert_eq!(
+            compile_conjunctive(2, &x, &[], &[disj]).unwrap_err(),
+            "predicate 'd': distributed sessions support conjunctive predicates only"
+        );
+        let pat = WirePredicate {
+            id: "pat".into(),
+            mode: WireMode::Pattern,
+            clauses: Vec::new(),
+            pattern: Some(WirePattern {
+                atoms: vec![WireAtom {
+                    process: None,
+                    var: "x".into(),
+                    op: "=".into(),
+                    value: 1,
+                    causal: false,
+                }],
+            }),
+        };
+        assert_eq!(
+            compile_conjunctive(2, &x, &[], &[pat]).unwrap_err(),
+            "predicate 'pat': distributed sessions support conjunctive predicates only"
+        );
+    }
+}

@@ -57,6 +57,14 @@ pub struct GatewayMetrics {
     pub stats_fanouts: AtomicU64,
     /// Client-visible protocol errors answered by the gateway itself.
     pub protocol_errors: AtomicU64,
+    /// Distributed sessions opened (each counted once; also counted in
+    /// `sessions_routed`).
+    pub dist_sessions_routed: AtomicU64,
+    /// Worker slice-updates relayed to aggregator backends.
+    pub dist_updates_relayed: AtomicU64,
+    /// Worker partitions re-derived onto a new backend after theirs
+    /// was lost.
+    pub partitions_failed_over: AtomicU64,
 }
 
 impl GatewayMetrics {
@@ -90,6 +98,9 @@ impl GatewayMetrics {
             backpressure_stalls: self.backpressure_stalls.load(Relaxed),
             stats_fanouts: self.stats_fanouts.load(Relaxed),
             protocol_errors: self.protocol_errors.load(Relaxed),
+            dist_sessions_routed: self.dist_sessions_routed.load(Relaxed),
+            dist_updates_relayed: self.dist_updates_relayed.load(Relaxed),
+            partitions_failed_over: self.partitions_failed_over.load(Relaxed),
         }
     }
 }
@@ -120,6 +131,9 @@ pub struct GatewaySnapshot {
     pub backpressure_stalls: u64,
     pub stats_fanouts: u64,
     pub protocol_errors: u64,
+    pub dist_sessions_routed: u64,
+    pub dist_updates_relayed: u64,
+    pub partitions_failed_over: u64,
 }
 
 impl GatewaySnapshot {
@@ -150,6 +164,12 @@ impl GatewaySnapshot {
             ("gateway_backpressure_stalls", self.backpressure_stalls),
             ("gateway_stats_fanouts", self.stats_fanouts),
             ("gateway_protocol_errors", self.protocol_errors),
+            ("gateway_dist_sessions_routed", self.dist_sessions_routed),
+            ("gateway_dist_updates_relayed", self.dist_updates_relayed),
+            (
+                "gateway_partitions_failed_over",
+                self.partitions_failed_over,
+            ),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
@@ -193,7 +213,7 @@ mod tests {
         m.sessions_routed.fetch_add(7, Relaxed);
         let map = m.snapshot().to_map();
         assert_eq!(map["gateway_sessions_routed"], 7);
-        assert_eq!(map.len(), 22);
+        assert_eq!(map.len(), 25);
         assert!(map.keys().all(|k| k.starts_with("gateway_")));
     }
 

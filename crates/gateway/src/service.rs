@@ -52,7 +52,8 @@ use crate::journal::SessionJournal;
 use crate::metrics::{GatewayMetrics, GatewaySnapshot};
 use crate::rendezvous;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
-use hb_tracefmt::wire::{self, ClientMsg, ServerMsg};
+use hb_dist::{owner, worker_session};
+use hb_tracefmt::wire::{self, ClientMsg, EventFrame, ServerMsg, SliceUpdateBody, WireDistRole};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::BufWriter;
@@ -129,6 +130,9 @@ struct Conn {
     tx: Sender<ClientMsg>,
     stream: TcpStream,
     generation: u64,
+    /// The version the backend answered the `Hello` handshake with —
+    /// distributed sessions require every involved backend ≥ 5.
+    peer_version: u32,
 }
 
 /// One backend and its connection pool.
@@ -137,6 +141,22 @@ struct Backend {
     health: Mutex<Health>,
     slots: Vec<Mutex<Option<Conn>>>,
     generation: AtomicU64,
+}
+
+/// Routing state of a distributed session: where its worker
+/// partitions live and the deterministic seq counter. The aggregator's
+/// placement is the owning [`SessionEntry`]'s `backend`/`slot`.
+struct DistState {
+    /// Number of worker partitions; process `p` belongs to
+    /// [`owner`]`(p, k)`.
+    k: usize,
+    /// Per-partition placement, `(backend, slot)`.
+    workers: Vec<(usize, usize)>,
+    /// Next seq to stamp. Every event (batched or not), finish, and
+    /// the final close consume exactly one, in client-frame order —
+    /// so a failover replay over the journal recomputes the identical
+    /// assignment.
+    next_seq: u64,
 }
 
 /// One routed session.
@@ -151,6 +171,8 @@ struct SessionEntry {
     settled: BTreeSet<String>,
     opened_sent: bool,
     closed_sent: bool,
+    /// `Some` when the session is distributed across backends.
+    dist: Option<DistState>,
 }
 
 enum KeeperMsg {
@@ -310,12 +332,34 @@ fn pick_backend(inner: &Inner, session: &str) -> Option<usize> {
     )
 }
 
-/// Returns a sender for backend `b`'s pool slot, dialing on demand.
-fn ensure_conn(inner: &Arc<Inner>, b: usize, slot: usize) -> Result<Sender<ClientMsg>, String> {
+/// Every healthy backend ranked by rendezvous weight for `session`,
+/// best first. A distributed open places the aggregator on rank 0 and
+/// wraps the worker partitions over the rest, so partitions spread as
+/// widely as the fleet allows while staying deterministic (every
+/// gateway replica computes the same layout).
+fn rank_backends(inner: &Inner, session: &str) -> Vec<usize> {
+    let mut ranked: Vec<(u64, usize)> = inner
+        .backends
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| *b.health.lock() == Health::Healthy)
+        .map(|(i, b)| (rendezvous::weight(&b.addr, session), i))
+        .collect();
+    ranked.sort_by_key(|&(w, i)| (std::cmp::Reverse(w), i));
+    ranked.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Returns a sender for backend `b`'s pool slot (plus the backend's
+/// handshake version), dialing on demand.
+fn ensure_conn(
+    inner: &Arc<Inner>,
+    b: usize,
+    slot: usize,
+) -> Result<(Sender<ClientMsg>, u32), String> {
     let backend = &inner.backends[b];
     let mut guard = backend.slots[slot].lock();
     if let Some(conn) = guard.as_ref() {
-        return Ok(conn.tx.clone());
+        return Ok((conn.tx.clone(), conn.peer_version));
     }
     inner.metrics.backend_dials.fetch_add(1, Relaxed);
     let dialed = match dial::dial(&backend.addr, &inner.config.dial_retry) {
@@ -366,12 +410,14 @@ fn ensure_conn(inner: &Arc<Inner>, b: usize, slot: usize) -> Result<Sender<Clien
             })
             .expect("spawn pool reader");
     }
+    let peer_version = dialed.peer_version;
     *guard = Some(Conn {
         tx: tx.clone(),
         stream: dialed.stream,
         generation,
+        peer_version,
     });
-    Ok(tx)
+    Ok((tx, peer_version))
 }
 
 /// Clears a pool slot and shuts its socket down (idempotent).
@@ -396,7 +442,7 @@ fn send_to_backend(
     slot: usize,
     frame: ClientMsg,
 ) -> Result<(), String> {
-    let tx = ensure_conn(inner, b, slot)?;
+    let (tx, _) = ensure_conn(inner, b, slot)?;
     match tx.try_send(frame) {
         Ok(()) => Ok(()),
         Err(TrySendError::Full(frame)) => {
@@ -488,13 +534,283 @@ fn forward_frame(inner: &Arc<Inner>, e: &mut SessionEntry, frame: ClientMsg) {
     }
 }
 
+/// Journals one client frame of a *distributed* session and fans it
+/// out: events become seq-stamped `dist-event` frames for their owner
+/// worker, finishes and the close become sequenced updates for the
+/// aggregator, and a close reaches the workers first so their stranded
+/// holds flush before the aggregator's own close lands (the
+/// aggregator's seq reorder absorbs any transport race). Caller holds
+/// the entry lock.
+fn forward_dist_frame(inner: &Arc<Inner>, e: &mut SessionEntry, frame: ClientMsg) {
+    journal_frame(inner, e, frame.clone());
+    match frame {
+        ClientMsg::Event { p, clock, set, .. } => {
+            send_dist_event(inner, e, EventFrame { p, clock, set });
+        }
+        ClientMsg::Events { events, .. } => {
+            for ev in events {
+                if e.closed_sent {
+                    return;
+                }
+                send_dist_event(inner, e, ev);
+            }
+        }
+        ClientMsg::FinishProcess { p, .. } => {
+            let dist = e.dist.as_mut().expect("caller checked dist");
+            let seq = dist.next_seq;
+            dist.next_seq += 1;
+            send_agg_update(inner, e, seq, SliceUpdateBody::Finish { p });
+        }
+        ClientMsg::Close { .. } => {
+            let dist = e.dist.as_mut().expect("caller checked dist");
+            let k = dist.k;
+            let seq = dist.next_seq;
+            dist.next_seq += 1;
+            for w in 0..k {
+                if e.closed_sent {
+                    return;
+                }
+                let (b, slot) = e.dist.as_ref().expect("caller checked dist").workers[w];
+                let close = ClientMsg::Close {
+                    session: worker_session(&e.name, w),
+                };
+                if send_to_backend(inner, b, slot, close).is_err() {
+                    report_backend_down(inner, b);
+                    reroute_partition(inner, e, w);
+                }
+            }
+            if !e.closed_sent {
+                send_agg_update(inner, e, seq, SliceUpdateBody::Close);
+            }
+        }
+        _ => unreachable!("only session frames reach the dist fan-out"),
+    }
+    if !e.closed_sent {
+        inner.metrics.frames_forwarded.fetch_add(1, Relaxed);
+    }
+}
+
+/// Stamps the next seq on one event and sends it to its owner worker;
+/// a dead worker backend triggers partition failover. Caller holds the
+/// entry lock.
+fn send_dist_event(inner: &Arc<Inner>, e: &mut SessionEntry, event: EventFrame) {
+    let dist = e.dist.as_mut().expect("caller checked dist");
+    let seq = dist.next_seq;
+    dist.next_seq += 1;
+    let w = owner(event.p, dist.k);
+    let (b, slot) = dist.workers[w];
+    let frame = ClientMsg::DistEvent {
+        session: worker_session(&e.name, w),
+        seq,
+        event,
+    };
+    if send_to_backend(inner, b, slot, frame).is_err() {
+        report_backend_down(inner, b);
+        // The partition replay re-derives this event from the journal
+        // (it was journaled before the fan-out), so nothing is lost.
+        reroute_partition(inner, e, w);
+    }
+}
+
+/// Sends one sequenced update to the session's aggregator; a dead
+/// aggregator backend drops the session. Caller holds the entry lock.
+fn send_agg_update(inner: &Arc<Inner>, e: &mut SessionEntry, seq: u64, update: SliceUpdateBody) {
+    let frame = ClientMsg::SliceUpdate {
+        session: e.name.clone(),
+        seq,
+        update,
+    };
+    if send_to_backend(inner, e.backend, e.slot, frame).is_err() {
+        report_backend_down(inner, e.backend);
+        reroute_session(inner, e); // dist → aggregator death → drop
+    }
+}
+
+/// Rebuilds the frame stream worker partition `w` must see — its
+/// worker open plus its share of the events, re-derived from the
+/// journaled *client* frames with the original seqs recomputed. Seq
+/// assignment is deterministic (one per event, finish, and close, in
+/// journal order), so the stream matches what the lost backend saw;
+/// the aggregator's seq watermark silently absorbs the re-emitted
+/// observations it has already applied.
+fn re_derive_partition(e: &SessionEntry, w: usize) -> Vec<ClientMsg> {
+    let dist = e.dist.as_ref().expect("caller checked dist");
+    let k = dist.k;
+    let dname = worker_session(&e.name, w);
+    let mut seq = 0u64;
+    let mut out = Vec::new();
+    let stamp = |seq: &mut u64| {
+        let s = *seq;
+        *seq += 1;
+        s
+    };
+    for frame in e.journal.frames() {
+        match frame {
+            ClientMsg::Open {
+                processes,
+                vars,
+                initial,
+                predicates,
+                ..
+            } => out.push(ClientMsg::Open {
+                session: dname.clone(),
+                processes: *processes,
+                vars: vars.clone(),
+                initial: initial.clone(),
+                predicates: predicates.clone(),
+                dist: Some(WireDistRole::Worker {
+                    origin: e.name.clone(),
+                    worker: w,
+                    k,
+                }),
+            }),
+            ClientMsg::Event { p, clock, set, .. } => {
+                let s = stamp(&mut seq);
+                if owner(*p, k) == w {
+                    out.push(ClientMsg::DistEvent {
+                        session: dname.clone(),
+                        seq: s,
+                        event: EventFrame {
+                            p: *p,
+                            clock: clock.clone(),
+                            set: set.clone(),
+                        },
+                    });
+                }
+            }
+            ClientMsg::Events { events, .. } => {
+                for ev in events {
+                    let s = stamp(&mut seq);
+                    if owner(ev.p, k) == w {
+                        out.push(ClientMsg::DistEvent {
+                            session: dname.clone(),
+                            seq: s,
+                            event: ev.clone(),
+                        });
+                    }
+                }
+            }
+            // Finishes and the close consume a seq but travel to the
+            // aggregator, which never died (or we would not be here).
+            ClientMsg::FinishProcess { .. } => {
+                stamp(&mut seq);
+            }
+            ClientMsg::Close { .. } => {
+                stamp(&mut seq);
+                out.push(ClientMsg::Close {
+                    session: dname.clone(),
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Re-places one worker partition on a healthy v5 backend and replays
+/// its re-derived stream. Caller holds the entry lock.
+fn reroute_partition(inner: &Arc<Inner>, e: &mut SessionEntry, w: usize) {
+    if e.closed_sent {
+        return;
+    }
+    if e.journal.overflowed() {
+        drop_session(
+            inner,
+            e,
+            format!(
+                "backend lost and the journal for distributed session '{}' \
+                 overflowed its {}-frame bound; worker partition {w} cannot \
+                 be re-derived",
+                e.name, inner.config.journal_limit
+            ),
+        );
+        return;
+    }
+    let dname = worker_session(&e.name, w);
+    for _ in 0..inner.backends.len() {
+        let Some(nb) = pick_backend(inner, &dname) else {
+            break;
+        };
+        let slot = slot_of(&dname, inner.config.pool_size);
+        match ensure_conn(inner, nb, slot) {
+            Ok((_, v)) if v < 5 => {
+                drop_session(
+                    inner,
+                    e,
+                    format!(
+                        "backend {} speaks wire v{v}; worker partition {w} of \
+                         session '{}' needs a v5 backend to fail over to",
+                        inner.backends[nb].addr, e.name
+                    ),
+                );
+                return;
+            }
+            Ok(_) => {}
+            Err(_) => {
+                report_backend_down(inner, nb);
+                continue;
+            }
+        }
+        let frames = re_derive_partition(e, w);
+        let count = frames.len() as u64;
+        let mut replayed_all = true;
+        for frame in frames {
+            if send_to_backend(inner, nb, slot, frame).is_err() {
+                replayed_all = false;
+                break;
+            }
+        }
+        if replayed_all {
+            e.dist.as_mut().expect("caller checked dist").workers[w] = (nb, slot);
+            inner.metrics.partitions_failed_over.fetch_add(1, Relaxed);
+            inner.metrics.frames_replayed.fetch_add(count, Relaxed);
+            return;
+        }
+        report_backend_down(inner, nb);
+    }
+    drop_session(
+        inner,
+        e,
+        format!(
+            "no healthy backend available to fail worker partition {w} of \
+             session '{}' over to",
+            e.name
+        ),
+    );
+}
+
 /// Removes a session with a client-visible explanation and a synthetic
 /// `Closed` so waiting clients unblock. Caller holds the entry lock.
-fn drop_session(inner: &Inner, e: &mut SessionEntry, message: String) {
+fn drop_session(inner: &Arc<Inner>, e: &mut SessionEntry, message: String) {
     if e.closed_sent {
         return;
     }
     e.closed_sent = true;
+    // Best-effort closes for a distributed session's surviving slots:
+    // without them the worker and aggregator sessions would linger in
+    // their backends' memory until those drain.
+    if let Some(dist) = e.dist.take() {
+        for (w, &(b, slot)) in dist.workers.iter().enumerate() {
+            let _ = send_to_backend(
+                inner,
+                b,
+                slot,
+                ClientMsg::Close {
+                    session: worker_session(&e.name, w),
+                },
+            );
+        }
+        let _ = send_to_backend(
+            inner,
+            e.backend,
+            e.slot,
+            ClientMsg::SliceUpdate {
+                session: e.name.clone(),
+                seq: dist.next_seq,
+                update: SliceUpdateBody::Close,
+            },
+        );
+    }
     inner.metrics.sessions_dropped.fetch_add(1, Relaxed);
     inner.metrics.sessions_active.fetch_sub(1, Relaxed);
     inner
@@ -517,6 +833,22 @@ fn drop_session(inner: &Inner, e: &mut SessionEntry, message: String) {
 /// Caller holds the entry lock.
 fn reroute_session(inner: &Arc<Inner>, e: &mut SessionEntry) {
     if e.closed_sent {
+        return;
+    }
+    if e.dist.is_some() {
+        // The aggregator holds the only copy of the merged slice
+        // frontier; re-deriving it would mean replaying every
+        // partition from scratch on fresh backends. Chauhan–Garg
+        // restart the whole run in this case too — drop loudly.
+        drop_session(
+            inner,
+            e,
+            format!(
+                "backend holding the aggregator for distributed session \
+                 '{}' was lost; aggregators do not fail over",
+                e.name
+            ),
+        );
         return;
     }
     if e.journal.overflowed() {
@@ -636,6 +968,24 @@ fn dispatch(inner: &Arc<Inner>, msg: ServerMsg) {
                 });
             }
         }
+        // A worker's slice observation, addressed to the origin
+        // session: relay to the aggregator with the same seq and body.
+        // Updates are *not* journaled — a partition failover re-derives
+        // them from the journaled client frames instead.
+        ServerMsg::SliceUpdate {
+            session,
+            seq,
+            update,
+        } => {
+            if let Some(arc) = entry_of(inner, &session) {
+                let mut e = arc.lock();
+                if e.closed_sent || e.dist.is_none() {
+                    return;
+                }
+                inner.metrics.dist_updates_relayed.fetch_add(1, Relaxed);
+                send_agg_update(inner, &mut e, seq, update);
+            }
+        }
         // Not session-routable: handshake echoes, stats replies on a
         // pooled connection, goodbye frames.
         ServerMsg::Error { session: None, .. }
@@ -672,9 +1022,10 @@ fn keeper_loop(inner: &Arc<Inner>, rx: &Receiver<KeeperMsg>) {
     }
 }
 
-/// Moves every session still placed on a lost backend. Sessions whose
-/// client threads already rerouted them are skipped (their backend
-/// index moved on).
+/// Moves every session still placed on a lost backend — plain sessions
+/// and distributed aggregators by their entry placement, worker
+/// partitions by their own. Sessions whose client threads already
+/// rerouted them are skipped (their backend index moved on).
 fn failover_backend_sessions(inner: &Arc<Inner>, b: usize) {
     let entries: Vec<Arc<Mutex<SessionEntry>>> = {
         let map = inner.sessions.lock();
@@ -682,8 +1033,27 @@ fn failover_backend_sessions(inner: &Arc<Inner>, b: usize) {
     };
     for arc in entries {
         let mut e = arc.lock();
-        if e.backend == b && !e.closed_sent {
+        if e.closed_sent {
+            continue;
+        }
+        if e.backend == b {
             reroute_session(inner, &mut e);
+            continue;
+        }
+        let partitions: Vec<usize> = e
+            .dist
+            .as_ref()
+            .map(|d| {
+                d.workers
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &(wb, _))| wb == b)
+                    .map(|(w, _)| w)
+                    .collect()
+            })
+            .unwrap_or_default();
+        for w in partitions {
+            reroute_partition(inner, &mut e, w);
         }
     }
 }
@@ -776,6 +1146,25 @@ fn aggregate_stats(inner: &Arc<Inner>) -> BTreeMap<String, u64> {
     }
     merged.insert("gateway_backends_total".into(), total);
     merged.insert("gateway_backends_reporting".into(), reporting);
+    // Distributed-session topology: which backend (by index) holds the
+    // aggregator and each worker partition. Operators correlate the
+    // indices with `gateway_backends_total` order; the dist e2e uses
+    // them to find which process to SIGKILL.
+    let entries: Vec<Arc<Mutex<SessionEntry>>> = inner.sessions.lock().values().cloned().collect();
+    for arc in entries {
+        let e = arc.lock();
+        let Some(dist) = e.dist.as_ref() else {
+            continue;
+        };
+        if e.closed_sent {
+            continue;
+        }
+        merged.insert(format!("dist.{}.k", e.name), dist.k as u64);
+        merged.insert(format!("dist.{}.aggregator", e.name), e.backend as u64);
+        for (w, &(b, _)) in dist.workers.iter().enumerate() {
+            merged.insert(format!("dist.{}.w{w}", e.name), b as u64);
+        }
+    }
     merged
 }
 
@@ -785,7 +1174,11 @@ fn count_sessions_on(inner: &Inner, b: usize) -> u64 {
         .into_iter()
         .filter(|arc| {
             let e = arc.lock();
-            e.backend == b && !e.closed_sent
+            let holds_partition = e
+                .dist
+                .as_ref()
+                .is_some_and(|d| d.workers.iter().any(|&(wb, _)| wb == b));
+            (e.backend == b || holds_partition) && !e.closed_sent
         })
         .count() as u64
 }
@@ -901,6 +1294,175 @@ fn client_error(
     });
 }
 
+/// Claims `name` in the session map; answers `already-open` and
+/// returns `false` when another session holds it.
+fn register_session(
+    inner: &Arc<Inner>,
+    sink: &Sender<ServerMsg>,
+    name: &str,
+    entry: &Arc<Mutex<SessionEntry>>,
+) -> bool {
+    let mut map = inner.sessions.lock();
+    if map.contains_key(name) {
+        drop(map);
+        client_error(
+            inner,
+            sink,
+            Some(name.to_string()),
+            Some(wire::error_kind::ALREADY_OPEN),
+            format!("session '{name}' already open at the gateway"),
+        );
+        return false;
+    }
+    map.insert(name.to_string(), Arc::clone(entry));
+    true
+}
+
+/// Opens one distributed session: places the aggregator and the K
+/// worker partitions over the healthy backends by rendezvous rank,
+/// verifies every involved backend speaks wire v5 (a pre-v5 monitor
+/// would silently drop the `dist` key and mis-open a plain session),
+/// and fans the client's open out into the role-decorated opens.
+fn open_distributed(inner: &Arc<Inner>, sink: &Sender<ServerMsg>, msg: ClientMsg, k: usize) {
+    let ClientMsg::Open {
+        session: name,
+        processes,
+        vars,
+        initial,
+        predicates,
+        ..
+    } = msg.clone()
+    else {
+        unreachable!("caller matched an open");
+    };
+    if k == 0 {
+        client_error(
+            inner,
+            sink,
+            Some(name),
+            None,
+            "bad open: a distributed session needs at least one worker partition".into(),
+        );
+        return;
+    }
+    let ranked = rank_backends(inner, &name);
+    if ranked.is_empty() {
+        client_error(
+            inner,
+            sink,
+            Some(name),
+            None,
+            "no healthy backend to place the session on".into(),
+        );
+        return;
+    }
+    let agg_placement = (ranked[0], slot_of(&name, inner.config.pool_size));
+    let workers: Vec<(usize, usize)> = (0..k)
+        .map(|w| {
+            let dname = worker_session(&name, w);
+            (
+                ranked[(w + 1) % ranked.len()],
+                slot_of(&dname, inner.config.pool_size),
+            )
+        })
+        .collect();
+    // Fail fast on any pre-v5 backend, before any state is created.
+    for &(b, slot) in std::iter::once(&agg_placement).chain(workers.iter()) {
+        match ensure_conn(inner, b, slot) {
+            Ok((_, v)) if v < 5 => {
+                client_error(
+                    inner,
+                    sink,
+                    Some(name.clone()),
+                    Some(wire::error_kind::UNSUPPORTED_DISTRIBUTION),
+                    format!(
+                        "backend {} speaks wire v{v}; distributed sessions \
+                         need every involved backend at v5",
+                        inner.backends[b].addr
+                    ),
+                );
+                return;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                report_backend_down(inner, b);
+                client_error(
+                    inner,
+                    sink,
+                    Some(name.clone()),
+                    None,
+                    format!(
+                        "could not reach backend {} to open the distributed \
+                         session: {e}",
+                        inner.backends[b].addr
+                    ),
+                );
+                return;
+            }
+        }
+    }
+    let entry = Arc::new(Mutex::new(SessionEntry {
+        name: name.clone(),
+        backend: agg_placement.0,
+        slot: agg_placement.1,
+        sink: sink.clone(),
+        journal: SessionJournal::new(inner.config.journal_limit),
+        settled: BTreeSet::new(),
+        opened_sent: false,
+        closed_sent: false,
+        dist: Some(DistState {
+            k,
+            workers: workers.clone(),
+            next_seq: 0,
+        }),
+    }));
+    if !register_session(inner, sink, &name, &entry) {
+        return;
+    }
+    inner.metrics.sessions_routed.fetch_add(1, Relaxed);
+    inner.metrics.sessions_active.fetch_add(1, Relaxed);
+    inner.metrics.dist_sessions_routed.fetch_add(1, Relaxed);
+    let mut e = entry.lock();
+    // The journal records the client's own open; the derived opens are
+    // recomputed at replay time, like the dist-events.
+    journal_frame(inner, &mut e, msg);
+    let agg_open = ClientMsg::Open {
+        session: name.clone(),
+        processes,
+        vars: vars.clone(),
+        initial: initial.clone(),
+        predicates: predicates.clone(),
+        dist: Some(WireDistRole::Aggregator { k }),
+    };
+    if send_to_backend(inner, agg_placement.0, agg_placement.1, agg_open).is_err() {
+        report_backend_down(inner, agg_placement.0);
+        reroute_session(inner, &mut e); // dist → drop with explanation
+        return;
+    }
+    for (w, &(b, slot)) in workers.iter().enumerate() {
+        let worker_open = ClientMsg::Open {
+            session: worker_session(&name, w),
+            processes,
+            vars: vars.clone(),
+            initial: initial.clone(),
+            predicates: predicates.clone(),
+            dist: Some(WireDistRole::Worker {
+                origin: name.clone(),
+                worker: w,
+                k,
+            }),
+        };
+        if send_to_backend(inner, b, slot, worker_open).is_err() {
+            report_backend_down(inner, b);
+            reroute_partition(inner, &mut e, w);
+            if e.closed_sent {
+                return;
+            }
+        }
+    }
+    inner.metrics.frames_forwarded.fetch_add(1, Relaxed);
+}
+
 /// The gateway's frame handler — the routing counterpart of
 /// `MonitorHandle::submit`.
 fn handle_client_msg(inner: &Arc<Inner>, msg: ClientMsg, sink: &Sender<ServerMsg>) {
@@ -927,47 +1489,87 @@ fn handle_client_msg(inner: &Arc<Inner>, msg: ClientMsg, sink: &Sender<ServerMsg
         ClientMsg::Shutdown => {
             let _ = sink.send(ServerMsg::Bye);
         }
-        ClientMsg::Open { ref session, .. } => {
+        ClientMsg::Open {
+            ref session,
+            ref dist,
+            ..
+        } => {
             let name = session.clone();
-            let Some(b) = pick_backend(inner, &name) else {
-                client_error(
-                    inner,
-                    sink,
-                    Some(name),
-                    None,
-                    "no healthy backend to place the session on".into(),
-                );
-                return;
-            };
-            let entry = Arc::new(Mutex::new(SessionEntry {
-                name: name.clone(),
-                backend: b,
-                slot: slot_of(&name, inner.config.pool_size),
-                sink: sink.clone(),
-                journal: SessionJournal::new(inner.config.journal_limit),
-                settled: BTreeSet::new(),
-                opened_sent: false,
-                closed_sent: false,
-            }));
-            {
-                let mut map = inner.sessions.lock();
-                if map.contains_key(&name) {
-                    drop(map);
+            match dist.clone() {
+                Some(_) if inner.config.wire_version < 5 => {
                     client_error(
                         inner,
                         sink,
-                        Some(name.clone()),
-                        Some(wire::error_kind::ALREADY_OPEN),
-                        format!("session '{name}' already open at the gateway"),
+                        Some(name),
+                        Some(wire::error_kind::UNSUPPORTED_DISTRIBUTION),
+                        format!(
+                            "distributed sessions need wire v5; this gateway speaks v{}",
+                            inner.config.wire_version
+                        ),
                     );
-                    return;
                 }
-                map.insert(name.clone(), Arc::clone(&entry));
+                // Worker and aggregator roles are what the gateway
+                // *assigns*; accepting one from a client would let it
+                // impersonate part of another session's topology.
+                Some(WireDistRole::Worker { .. }) | Some(WireDistRole::Aggregator { .. }) => {
+                    client_error(
+                        inner,
+                        sink,
+                        Some(name),
+                        Some(wire::error_kind::UNSUPPORTED_DISTRIBUTION),
+                        "worker and aggregator roles are gateway-assigned; \
+                         open with the 'distribute' role"
+                            .into(),
+                    );
+                }
+                Some(WireDistRole::Distribute { k }) => {
+                    open_distributed(inner, sink, msg, k);
+                }
+                None => {
+                    let Some(b) = pick_backend(inner, &name) else {
+                        client_error(
+                            inner,
+                            sink,
+                            Some(name),
+                            None,
+                            "no healthy backend to place the session on".into(),
+                        );
+                        return;
+                    };
+                    let entry = Arc::new(Mutex::new(SessionEntry {
+                        name: name.clone(),
+                        backend: b,
+                        slot: slot_of(&name, inner.config.pool_size),
+                        sink: sink.clone(),
+                        journal: SessionJournal::new(inner.config.journal_limit),
+                        settled: BTreeSet::new(),
+                        opened_sent: false,
+                        closed_sent: false,
+                        dist: None,
+                    }));
+                    if !register_session(inner, sink, &name, &entry) {
+                        return;
+                    }
+                    inner.metrics.sessions_routed.fetch_add(1, Relaxed);
+                    inner.metrics.sessions_active.fetch_add(1, Relaxed);
+                    let mut e = entry.lock();
+                    forward_frame(inner, &mut e, msg);
+                }
             }
-            inner.metrics.sessions_routed.fetch_add(1, Relaxed);
-            inner.metrics.sessions_active.fetch_add(1, Relaxed);
-            let mut e = entry.lock();
-            forward_frame(inner, &mut e, msg);
+        }
+        // Inter-monitor frames are spoken by the gateway *to* backends,
+        // never accepted *from* clients: the gateway owns seq
+        // assignment, and a client-supplied seq would corrupt it.
+        ClientMsg::DistEvent { ref session, .. } | ClientMsg::SliceUpdate { ref session, .. } => {
+            client_error(
+                inner,
+                sink,
+                Some(session.clone()),
+                None,
+                "dist-event/slice-update frames are inter-monitor; \
+                 open a distributed session instead"
+                    .into(),
+            );
         }
         // A pre-v3 gateway would fail to decode an `events` frame;
         // emulate its answer so compatibility tests stay honest. (The
@@ -1001,7 +1603,11 @@ fn handle_client_msg(inner: &Arc<Inner>, msg: ClientMsg, sink: &Sender<ServerMsg
             // Adopt the caller's sink: a client that reconnects after a
             // drop takes over the reply stream, monitor-attach style.
             e.sink = sink.clone();
-            forward_frame(inner, &mut e, msg);
+            if e.dist.is_some() {
+                forward_dist_frame(inner, &mut e, msg);
+            } else {
+                forward_frame(inner, &mut e, msg);
+            }
         }
     }
 }

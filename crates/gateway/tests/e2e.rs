@@ -97,6 +97,7 @@ fn open_msg(session: &str) -> ClientMsg {
         vars: vec!["x0".into(), "x1".into()],
         initial: vec![],
         predicates: vec![ef_pred()],
+        dist: None,
     }
 }
 
@@ -558,4 +559,241 @@ fn no_healthy_backend_is_reported_not_hung() {
         version: wire::WIRE_VERSION,
     });
     assert!(matches!(client.recv(), ServerMsg::Welcome { .. }));
+}
+
+// ---- distributed sessions -------------------------------------------------
+
+fn dist_open_msg(session: &str, k: usize) -> ClientMsg {
+    match open_msg(session) {
+        ClientMsg::Open {
+            session,
+            processes,
+            vars,
+            initial,
+            predicates,
+            ..
+        } => ClientMsg::Open {
+            session,
+            processes,
+            vars,
+            initial,
+            predicates,
+            dist: Some(wire::WireDistRole::Distribute { k }),
+        },
+        _ => unreachable!(),
+    }
+}
+
+/// The gateway's deterministic distributed placement, recomputed from
+/// the backend addresses: rank 0 hosts the aggregator, worker `w`
+/// lands on rank `(w + 1) % len`.
+fn ranked(backends: &[String], session: &str) -> Vec<usize> {
+    let mut v: Vec<(u64, usize)> = backends
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (rendezvous::weight(a, session), i))
+        .collect();
+    v.sort_by_key(|&(w, i)| (std::cmp::Reverse(w), i));
+    v.into_iter().map(|(_, i)| i).collect()
+}
+
+#[test]
+fn distributed_session_detects_like_a_single_backend_and_reports_topology() {
+    let (comp, x0, x1) = fig2a();
+    let least = offline_cut(&comp, x0, x1);
+
+    let (addr_a, _svc_a) = start_monitor();
+    let (addr_b, _svc_b) = start_monitor();
+    let (addr_c, _svc_c) = start_monitor();
+    let backends = vec![addr_a, addr_b, addr_c];
+    let (gw_addr, gw) = start_gateway(backends.clone());
+
+    let name = "dist-0".to_string();
+    let layout = ranked(&backends, &name);
+
+    let mut client = Client::connect(&gw_addr);
+    client.send(&dist_open_msg(&name, 2));
+    for e in causal_shuffle(&comp, 0xd157, 3) {
+        client.send(&event_msg(&comp, &name, e));
+    }
+
+    // Topology is visible in the aggregated stats while the session
+    // lives; the indices must match the recomputed rendezvous ranking.
+    client.send(&ClientMsg::Stats);
+    let mut pre_close: Vec<ServerMsg> = Vec::new();
+    let counters = loop {
+        match client.recv() {
+            ServerMsg::Stats { counters } => break counters,
+            other => pre_close.push(other),
+        }
+    };
+    assert_eq!(counters[&format!("dist.{name}.k")], 2);
+    assert_eq!(
+        counters[&format!("dist.{name}.aggregator")],
+        layout[0] as u64
+    );
+    assert_eq!(counters[&format!("dist.{name}.w0")], layout[1] as u64);
+    assert_eq!(counters[&format!("dist.{name}.w1")], layout[2] as u64);
+    assert_eq!(counters["gateway_dist_sessions_routed"], 1);
+
+    client.send(&ClientMsg::Close {
+        session: name.clone(),
+    });
+
+    let mut verdicts: Vec<(String, WireVerdict)> = Vec::new();
+    let mut queue: Vec<ServerMsg> = pre_close;
+    queue.reverse();
+    loop {
+        let msg = queue.pop().unwrap_or_else(|| client.recv());
+        match msg {
+            ServerMsg::Verdict {
+                predicate, verdict, ..
+            } => verdicts.push((predicate, verdict)),
+            ServerMsg::Closed { session, discarded } => {
+                assert_eq!(session, name);
+                assert_eq!(discarded, 0);
+                break;
+            }
+            ServerMsg::Opened { .. } => {}
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+    assert_eq!(verdicts.len(), 1, "exactly one verdict: {verdicts:?}");
+    assert_eq!(verdicts[0].0, "ef");
+    assert_eq!(verdicts[0].1, WireVerdict::Detected(least));
+
+    // After close the topology keys are gone, and the workers' flushed
+    // slice counters aggregate through the same fan-out the plain
+    // per-backend counters use.
+    client.send(&ClientMsg::Stats);
+    let counters = match client.recv() {
+        ServerMsg::Stats { counters } => counters,
+        other => panic!("unexpected frame: {other:?}"),
+    };
+    assert!(!counters.contains_key(&format!("dist.{name}.k")));
+    assert!(counters.contains_key("slice.ef.events_in"), "{counters:?}");
+
+    let snap = gw.metrics();
+    assert_eq!(snap.dist_sessions_routed, 1);
+    assert!(snap.dist_updates_relayed >= 4, "one observation per event");
+    assert_eq!(snap.sessions_dropped, 0);
+    assert_eq!(snap.partitions_failed_over, 0);
+}
+
+#[test]
+fn worker_backend_death_mid_distributed_session_fails_over() {
+    let (comp, x0, x1) = fig2a();
+    let least = offline_cut(&comp, x0, x1);
+
+    let (addr_a, _svc_a) = start_monitor();
+    let (addr_b, _svc_b) = start_monitor();
+    let (addr_c, _svc_c) = start_monitor();
+    let proxy = ChaosProxy::start(addr_a);
+    let backends = vec![proxy.addr.clone(), addr_b, addr_c];
+    let (gw_addr, gw) = start_gateway(backends.clone());
+
+    // A session whose aggregator lands AWAY from the doomed backend 0,
+    // which then holds exactly one of the two worker partitions.
+    let name = (0..)
+        .map(|i| format!("dw-{i}"))
+        .find(|n| ranked(&backends, n)[0] != 0)
+        .unwrap();
+
+    let order = causal_shuffle(&comp, 0xdead, 4);
+    let (first_half, second_half) = order.split_at(order.len() / 2);
+
+    let mut client = Client::connect(&gw_addr);
+    client.send(&dist_open_msg(&name, 2));
+    for e in first_half {
+        client.send(&event_msg(&comp, &name, *e));
+    }
+    // Barrier: the stats fan-out round-trips every backend, so the
+    // forwarded frames landed before the kill.
+    client.send(&ClientMsg::Stats);
+    let mut pre_kill: Vec<ServerMsg> = Vec::new();
+    loop {
+        match client.recv() {
+            ServerMsg::Stats { .. } => break,
+            other => pre_kill.push(other),
+        }
+    }
+
+    proxy.kill();
+
+    for e in second_half {
+        client.send(&event_msg(&comp, &name, *e));
+    }
+    client.send(&ClientMsg::Close {
+        session: name.clone(),
+    });
+
+    let mut verdicts: Vec<(String, WireVerdict)> = Vec::new();
+    let mut queue: Vec<ServerMsg> = pre_kill;
+    queue.reverse();
+    loop {
+        let msg = queue.pop().unwrap_or_else(|| client.recv());
+        match msg {
+            ServerMsg::Verdict {
+                predicate, verdict, ..
+            } => verdicts.push((predicate, verdict)),
+            ServerMsg::Closed { session, discarded } => {
+                assert_eq!(session, name);
+                assert_eq!(discarded, 0);
+                break;
+            }
+            ServerMsg::Opened { .. } => {}
+            ServerMsg::Error {
+                session, message, ..
+            } => panic!("gateway error for {session:?}: {message}"),
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+    assert_eq!(verdicts.len(), 1, "exactly one verdict: {verdicts:?}");
+    assert_eq!(verdicts[0].0, "ef");
+    assert_eq!(verdicts[0].1, WireVerdict::Detected(least));
+
+    let snap = gw.metrics();
+    assert_eq!(snap.partitions_failed_over, 1);
+    assert_eq!(snap.sessions_dropped, 0);
+    assert_eq!(snap.sessions_failed_over, 0, "the aggregator never moved");
+}
+
+#[test]
+fn client_supplied_worker_roles_are_refused() {
+    let (addr_a, _svc_a) = start_monitor();
+    let (gw_addr, _gw) = start_gateway(vec![addr_a]);
+    let mut client = Client::connect(&gw_addr);
+    let open = match open_msg("imp-0") {
+        ClientMsg::Open {
+            session,
+            processes,
+            vars,
+            initial,
+            predicates,
+            ..
+        } => ClientMsg::Open {
+            session,
+            processes,
+            vars,
+            initial,
+            predicates,
+            dist: Some(wire::WireDistRole::Worker {
+                origin: "other".into(),
+                worker: 0,
+                k: 2,
+            }),
+        },
+        _ => unreachable!(),
+    };
+    client.send(&open);
+    match client.recv() {
+        ServerMsg::Error { kind, message, .. } => {
+            assert_eq!(
+                kind.as_deref(),
+                Some(wire::error_kind::UNSUPPORTED_DISTRIBUTION)
+            );
+            assert!(message.contains("gateway-assigned"), "{message}");
+        }
+        other => panic!("unexpected frame: {other:?}"),
+    }
 }

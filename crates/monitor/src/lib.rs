@@ -29,7 +29,11 @@
 
 #![warn(missing_docs)]
 
-pub mod buffer;
+/// Per-session causal delivery buffering. The implementation moved to
+/// [`hb_dist`] so the distributed aggregator can replicate the exact
+/// single-backend hold/duplicate/overflow behavior; this alias keeps
+/// the monitor-side paths working.
+pub use hb_dist::buffer;
 pub mod metrics;
 pub mod persist;
 pub mod service;
@@ -37,6 +41,8 @@ pub mod session;
 
 pub use buffer::{CausalBuffer, Delivered, IngestError, OverflowPolicy};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use persist::{PersistConfig, ServiceSnapshot, SessionSnapshot};
+pub use persist::{
+    AggregatorSlotSnapshot, PersistConfig, ServiceSnapshot, SessionSnapshot, WorkerSlotSnapshot,
+};
 pub use service::{serve, MonitorConfig, MonitorHandle, MonitorService};
 pub use session::{Session, SessionError, SessionLimits, VerdictEvent};

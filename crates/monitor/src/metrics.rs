@@ -68,6 +68,14 @@ pub struct Metrics {
     pub recovery_millis: AtomicU64,
     /// Bytes truncated off a torn or corrupt WAL tail at startup.
     pub recovery_truncated_bytes: AtomicU64,
+    /// Distributed-session worker partitions currently open (gauge).
+    pub dist_workers_active: AtomicU64,
+    /// Distributed-session aggregators currently open (gauge).
+    pub dist_aggregators_active: AtomicU64,
+    /// Slice updates emitted by local workers toward their aggregators.
+    pub dist_updates_relayed: AtomicU64,
+    /// Slice updates accepted by local aggregators.
+    pub dist_updates_applied: AtomicU64,
     /// Per-predicate settled-verdict counts, keyed
     /// `verdicts.<state|pattern>.<predicate>.<detected|impossible>`.
     /// A mutex, not an atomic: verdicts settle at most once per
@@ -151,6 +159,10 @@ impl Metrics {
             recovery_replayed: self.recovery_replayed.load(Relaxed),
             recovery_millis: self.recovery_millis.load(Relaxed),
             recovery_truncated_bytes: self.recovery_truncated_bytes.load(Relaxed),
+            dist_workers_active: self.dist_workers_active.load(Relaxed),
+            dist_aggregators_active: self.dist_aggregators_active.load(Relaxed),
+            dist_updates_relayed: self.dist_updates_relayed.load(Relaxed),
+            dist_updates_applied: self.dist_updates_applied.load(Relaxed),
             verdicts: self.verdict_counts.lock().clone(),
             slices: self.slice_counts.lock().clone(),
         }
@@ -185,6 +197,10 @@ pub struct MetricsSnapshot {
     pub recovery_replayed: u64,
     pub recovery_millis: u64,
     pub recovery_truncated_bytes: u64,
+    pub dist_workers_active: u64,
+    pub dist_aggregators_active: u64,
+    pub dist_updates_relayed: u64,
+    pub dist_updates_applied: u64,
     pub verdicts: BTreeMap<String, u64>,
     pub slices: BTreeMap<String, u64>,
 }
@@ -217,6 +233,10 @@ impl MetricsSnapshot {
             ("recovery_replayed", self.recovery_replayed),
             ("recovery_millis", self.recovery_millis),
             ("recovery_truncated_bytes", self.recovery_truncated_bytes),
+            ("dist_workers_active", self.dist_workers_active),
+            ("dist_aggregators_active", self.dist_aggregators_active),
+            ("dist_updates_relayed", self.dist_updates_relayed),
+            ("dist_updates_applied", self.dist_updates_applied),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
@@ -274,7 +294,7 @@ mod tests {
         m.events_ingested.fetch_add(5, Relaxed);
         let map = m.snapshot().to_map();
         assert_eq!(map["events_ingested"], 5);
-        assert_eq!(map.len(), 24);
+        assert_eq!(map.len(), 28);
     }
 
     #[test]
@@ -286,7 +306,7 @@ mod tests {
         let map = m.snapshot().to_map();
         assert_eq!(map["verdicts.pattern.inv.detected"], 2);
         assert_eq!(map["verdicts.state.goal.impossible"], 1);
-        assert_eq!(map.len(), 26);
+        assert_eq!(map.len(), 30);
     }
 
     #[test]
@@ -299,7 +319,7 @@ mod tests {
         assert_eq!(map["slice.ef.events_in"], 15);
         assert_eq!(map["slice.ef.events_filtered"], 9);
         assert!(!map.contains_key("slice.idle.events_in"));
-        assert_eq!(map.len(), 26);
+        assert_eq!(map.len(), 30);
     }
 
     #[test]

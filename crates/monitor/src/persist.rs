@@ -18,6 +18,7 @@ use hb_detect::online::{
     CandidateState, ConjunctiveState, DetectorState, DisjunctiveState, PatternChainState,
     PatternState, VerdictState,
 };
+use hb_dist::{AggregatorSnapshot, WorkerSnapshot};
 use hb_slice::SliceState;
 use hb_store::SyncPolicy;
 use hb_tracefmt::wire::WirePredicate;
@@ -103,11 +104,44 @@ pub struct SessionSnapshot {
     pub monitors: Vec<MonitorSnapshot>,
 }
 
+/// One distributed-session worker partition hosted by this backend,
+/// frozen mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSlotSnapshot {
+    /// The decorated session name the partition is registered under
+    /// (`origin#w<i>`).
+    pub name: String,
+    /// The origin session the worker's slice updates name.
+    pub origin: String,
+    /// The worker engine's state.
+    pub snap: WorkerSnapshot,
+}
+
+/// One distributed-session aggregator hosted by this backend, frozen
+/// mid-run. It is registered under the **origin** session name — the
+/// aggregator is the member of the partition the client hears.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregatorSlotSnapshot {
+    /// The origin session name.
+    pub name: String,
+    /// The computation's process count (the engine snapshot stores
+    /// only per-process vectors, whose width this pins down).
+    pub processes: usize,
+    /// The aggregator engine's state.
+    pub snap: AggregatorSnapshot,
+}
+
 /// Every open session of a service, frozen at one WAL position.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceSnapshot {
     /// The open sessions.
     pub sessions: Vec<SessionSnapshot>,
+    /// Distributed-session worker partitions on this backend. Absent
+    /// from (and defaulted empty for) pre-v5 snapshots.
+    pub workers: Vec<WorkerSlotSnapshot>,
+    /// Distributed-session aggregators on this backend. Absent from
+    /// (and defaulted empty for) pre-v5 snapshots.
+    pub aggregators: Vec<AggregatorSlotSnapshot>,
 }
 
 impl ServiceSnapshot {
@@ -414,12 +448,250 @@ impl Deserialize for SessionSnapshot {
     }
 }
 
+impl Serialize for WorkerSlotSnapshot {
+    fn to_value(&self) -> Value {
+        let s = &self.snap;
+        Value::Object(vec![
+            ("name".into(), self.name.to_value()),
+            ("origin".into(), self.origin.to_value()),
+            ("worker".into(), s.worker.to_value()),
+            ("k".into(), s.k.to_value()),
+            ("vars".into(), s.vars.to_value()),
+            ("predicates".into(), s.predicates.to_value()),
+            ("states".into(), s.states.to_value()),
+            ("counts".into(), s.counts.to_value()),
+            ("holds".into(), s.holds.to_value()),
+            (
+                "filtered".into(),
+                Value::Array(
+                    s.filtered
+                        .iter()
+                        .map(|&(events_in, events_filtered)| {
+                            Value::Object(vec![
+                                ("events_in".into(), events_in.to_value()),
+                                ("events_filtered".into(), events_filtered.to_value()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "held".into(),
+                Value::Array(
+                    s.held
+                        .iter()
+                        .map(|(seq, process, clock, set)| {
+                            Value::Object(vec![
+                                ("seq".into(), seq.to_value()),
+                                ("process".into(), process.to_value()),
+                                ("clock".into(), clock.to_value()),
+                                ("set".into(), set.to_value()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for WorkerSlotSnapshot {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        let filtered_value = v
+            .get("filtered")
+            .ok_or_else(|| DeError::msg("missing field 'filtered'"))?;
+        let Value::Array(filtered_values) = filtered_value else {
+            return Err(DeError::expected("array", filtered_value));
+        };
+        let mut filtered = Vec::with_capacity(filtered_values.len());
+        for fv in filtered_values {
+            help::object(fv)?;
+            filtered.push((
+                help::field(fv, "events_in")?,
+                help::field(fv, "events_filtered")?,
+            ));
+        }
+        let held_value = v
+            .get("held")
+            .ok_or_else(|| DeError::msg("missing field 'held'"))?;
+        let Value::Array(held_values) = held_value else {
+            return Err(DeError::expected("array", held_value));
+        };
+        let mut held = Vec::with_capacity(held_values.len());
+        for hv in held_values {
+            help::object(hv)?;
+            held.push((
+                help::field(hv, "seq")?,
+                help::field(hv, "process")?,
+                help::field(hv, "clock")?,
+                help::field_or_default(hv, "set")?,
+            ));
+        }
+        Ok(WorkerSlotSnapshot {
+            name: help::field(v, "name")?,
+            origin: help::field(v, "origin")?,
+            snap: WorkerSnapshot {
+                worker: help::field(v, "worker")?,
+                k: help::field(v, "k")?,
+                vars: help::field_or_default(v, "vars")?,
+                predicates: help::field_or_default(v, "predicates")?,
+                states: help::field_or_default(v, "states")?,
+                counts: help::field_or_default(v, "counts")?,
+                holds: help::field_or_default(v, "holds")?,
+                filtered,
+                held,
+            },
+        })
+    }
+}
+
+impl Serialize for AggregatorSlotSnapshot {
+    fn to_value(&self) -> Value {
+        let s = &self.snap;
+        Value::Object(vec![
+            ("name".into(), self.name.to_value()),
+            ("processes".into(), self.processes.to_value()),
+            ("k".into(), s.k.to_value()),
+            ("vars".into(), s.vars.to_value()),
+            ("predicates".into(), s.predicates.to_value()),
+            ("frontier".into(), s.frontier.to_value()),
+            (
+                "held".into(),
+                Value::Array(
+                    s.held
+                        .iter()
+                        .map(|(process, clock, holds)| {
+                            Value::Object(vec![
+                                ("process".into(), process.to_value()),
+                                ("clock".into(), clock.to_value()),
+                                ("holds".into(), holds.to_value()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("finished".into(), s.finished.to_value()),
+            ("monitor_finished".into(), s.monitor_finished.to_value()),
+            ("delivered".into(), s.delivered.to_value()),
+            (
+                "monitors".into(),
+                Value::Array(
+                    s.monitors
+                        .iter()
+                        .map(|(id, emitted, state, pending)| {
+                            Value::Object(vec![
+                                ("id".into(), id.to_value()),
+                                ("emitted".into(), emitted.to_value()),
+                                ("state".into(), detector_to_value(state)),
+                                ("pending".into(), pending.to_value()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("next_seq".into(), s.next_seq.to_value()),
+            (
+                "reorder".into(),
+                Value::Array(
+                    s.reorder
+                        .iter()
+                        .map(|(seq, update)| {
+                            Value::Object(vec![
+                                ("seq".into(), seq.to_value()),
+                                ("update".into(), update.to_value()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for AggregatorSlotSnapshot {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        let held_value = v
+            .get("held")
+            .ok_or_else(|| DeError::msg("missing field 'held'"))?;
+        let Value::Array(held_values) = held_value else {
+            return Err(DeError::expected("array", held_value));
+        };
+        let mut held = Vec::with_capacity(held_values.len());
+        for hv in held_values {
+            help::object(hv)?;
+            held.push((
+                help::field(hv, "process")?,
+                help::field(hv, "clock")?,
+                help::field_or_default(hv, "holds")?,
+            ));
+        }
+        let monitors_value = v
+            .get("monitors")
+            .ok_or_else(|| DeError::msg("missing field 'monitors'"))?;
+        let Value::Array(monitor_values) = monitors_value else {
+            return Err(DeError::expected("array", monitors_value));
+        };
+        let mut monitors = Vec::with_capacity(monitor_values.len());
+        for mv in monitor_values {
+            help::object(mv)?;
+            monitors.push((
+                help::field(mv, "id")?,
+                help::field(mv, "emitted")?,
+                detector_from_value(
+                    mv.get("state")
+                        .ok_or_else(|| DeError::msg("missing field 'state'"))?,
+                )?,
+                help::field_or_default(mv, "pending")?,
+            ));
+        }
+        let reorder_value = v
+            .get("reorder")
+            .ok_or_else(|| DeError::msg("missing field 'reorder'"))?;
+        let Value::Array(reorder_values) = reorder_value else {
+            return Err(DeError::expected("array", reorder_value));
+        };
+        let mut reorder = Vec::with_capacity(reorder_values.len());
+        for rv in reorder_values {
+            help::object(rv)?;
+            reorder.push((help::field(rv, "seq")?, help::field(rv, "update")?));
+        }
+        Ok(AggregatorSlotSnapshot {
+            name: help::field(v, "name")?,
+            processes: help::field(v, "processes")?,
+            snap: AggregatorSnapshot {
+                k: help::field(v, "k")?,
+                vars: help::field_or_default(v, "vars")?,
+                predicates: help::field_or_default(v, "predicates")?,
+                frontier: help::field_or_default(v, "frontier")?,
+                held,
+                finished: help::field_or_default(v, "finished")?,
+                monitor_finished: help::field_or_default(v, "monitor_finished")?,
+                delivered: help::field_or_default(v, "delivered")?,
+                monitors,
+                next_seq: help::field_or_default(v, "next_seq")?,
+                reorder,
+            },
+        })
+    }
+}
+
 impl Serialize for ServiceSnapshot {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("version".into(), 1u32.to_value()),
             ("sessions".into(), self.sessions.to_value()),
-        ])
+        ];
+        // Written only when present, so a backend with no distributed
+        // sessions produces byte-identical snapshots to a pre-v5 build.
+        if !self.workers.is_empty() {
+            fields.push(("workers".into(), self.workers.to_value()));
+        }
+        if !self.aggregators.is_empty() {
+            fields.push(("aggregators".into(), self.aggregators.to_value()));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -434,6 +706,8 @@ impl Deserialize for ServiceSnapshot {
         }
         Ok(ServiceSnapshot {
             sessions: help::field_or_default(v, "sessions")?,
+            workers: help::field_or_default(v, "workers")?,
+            aggregators: help::field_or_default(v, "aggregators")?,
         })
     }
 }
@@ -534,6 +808,8 @@ mod tests {
                     },
                 ],
             }],
+            workers: Vec::new(),
+            aggregators: Vec::new(),
         }
     }
 
@@ -543,6 +819,96 @@ mod tests {
         let json = snap.to_json();
         let back = ServiceSnapshot::from_json(json.as_bytes()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshots_without_distributed_slots_stay_byte_identical() {
+        // The dist fields must not appear in the payload when empty, so
+        // plain-session snapshots round-trip with pre-v5 readers.
+        let json = sample().to_json();
+        assert!(!json.contains("\"workers\""));
+        assert!(!json.contains("\"aggregators\""));
+    }
+
+    #[test]
+    fn distributed_slots_round_trip_through_json() {
+        use hb_dist::{DistAggregator, DistWorker, OverflowPolicy};
+        use hb_tracefmt::wire::SliceUpdateBody;
+
+        let preds = vec![WirePredicate {
+            id: "ef".into(),
+            mode: WireMode::Conjunctive,
+            clauses: vec![
+                WireClause {
+                    process: 0,
+                    var: "x".into(),
+                    op: "=".into(),
+                    value: 2,
+                },
+                WireClause {
+                    process: 1,
+                    var: "x".into(),
+                    op: "=".into(),
+                    value: 1,
+                },
+            ],
+            pattern: None,
+        }];
+        let vars = vec!["x".to_string()];
+        let mut worker = DistWorker::open(0, 2, 2, &vars, &[], &preds).unwrap();
+        let set: BTreeMap<String, i64> = [("x".to_string(), 2i64)].into_iter().collect();
+        // One applied event and one held (position gap) event.
+        worker.observe(
+            0,
+            0,
+            hb_vclock::VectorClock::from_components(vec![1, 0]),
+            &set,
+        );
+        worker.observe(
+            3,
+            0,
+            hb_vclock::VectorClock::from_components(vec![3, 0]),
+            &set,
+        );
+        let mut agg =
+            DistAggregator::open(2, 2, &vars, &[], &preds, 64, OverflowPolicy::Reject).unwrap();
+        agg.update(
+            0,
+            SliceUpdateBody::Observe {
+                p: 0,
+                clock: vec![1, 0],
+                holds: vec![0],
+                invalid: None,
+            },
+        );
+        agg.update(2, SliceUpdateBody::Finish { p: 1 }); // parked in reorder
+
+        let snap = ServiceSnapshot {
+            sessions: Vec::new(),
+            workers: vec![WorkerSlotSnapshot {
+                name: "s#w0".into(),
+                origin: "s".into(),
+                snap: worker.snapshot(),
+            }],
+            aggregators: vec![AggregatorSlotSnapshot {
+                name: "s".into(),
+                processes: 2,
+                snap: agg.snapshot(),
+            }],
+        };
+        let back = ServiceSnapshot::from_json(snap.to_json().as_bytes()).unwrap();
+        assert_eq!(back, snap);
+        // And the engines rebuild from the decoded state.
+        let w = DistWorker::restore(&back.workers[0].snap, 2).unwrap();
+        assert_eq!(w.snapshot(), snap.workers[0].snap);
+        let a = DistAggregator::restore(
+            &back.aggregators[0].snap,
+            back.aggregators[0].processes,
+            64,
+            OverflowPolicy::Reject,
+        )
+        .unwrap();
+        assert_eq!(a.snapshot(), snap.aggregators[0].snap);
     }
 
     #[test]

@@ -44,12 +44,17 @@
 
 use crate::buffer::IngestError;
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::persist::{PersistConfig, ServiceSnapshot, SessionSnapshot};
+use crate::persist::{
+    AggregatorSlotSnapshot, PersistConfig, ServiceSnapshot, SessionSnapshot, WorkerSlotSnapshot,
+};
 use crate::session::{Session, SessionError, SessionLimits, VerdictEvent};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hb_detect::online::OnlineVerdict;
+use hb_dist::{AggStep, DistAggregator, DistError, DistWorker};
 use hb_store::{Store, StoreError, StoreOptions};
-use hb_tracefmt::wire::{self, ClientMsg, ServerMsg, WireMode, WirePredicate, WireVerdict};
+use hb_tracefmt::wire::{
+    self, ClientMsg, ServerMsg, SliceUpdateBody, WireDistRole, WireMode, WirePredicate, WireVerdict,
+};
 use hb_vclock::VectorClock;
 use parking_lot::Mutex;
 use serde::{Deserialize as _, Serialize as _};
@@ -103,6 +108,26 @@ enum Cmd {
         vars: Vec<String>,
         initial: Vec<BTreeMap<String, i64>>,
         predicates: Vec<WirePredicate>,
+        /// `Some` opens a distributed-session member (worker partition
+        /// or aggregator) instead of a plain session.
+        dist: Option<WireDistRole>,
+        sink: Sender<ServerMsg>,
+    },
+    /// A gateway-routed event for a worker partition (wire v5). The
+    /// worker answers with `ServerMsg::SliceUpdate` frames the gateway
+    /// relays to the session's aggregator.
+    DistEvent {
+        session: String,
+        seq: u64,
+        event: wire::EventFrame,
+        sink: Sender<ServerMsg>,
+    },
+    /// A sequenced slice update for an aggregator (wire v5): a relayed
+    /// worker observation, or the gateway-originated finish/close.
+    SliceUpdate {
+        session: String,
+        seq: u64,
+        update: SliceUpdateBody,
         sink: Sender<ServerMsg>,
     },
     Event {
@@ -135,7 +160,7 @@ enum Cmd {
     /// The sender holds the WAL lock while waiting, so everything the
     /// shard saw before this command is — by construction — at a lower
     /// WAL position than the snapshot will claim.
-    Snapshot { reply: Sender<Vec<SessionSnapshot>> },
+    Snapshot { reply: Sender<ShardFreeze> },
     /// Close every remaining session and stop the worker (graceful
     /// shutdown). Handles may outlive the service, so workers cannot
     /// rely on channel disconnection to learn about shutdown.
@@ -192,11 +217,44 @@ fn dead_sink() -> Sender<ServerMsg> {
     unbounded().0
 }
 
-/// Re-applies one replayed WAL record to the recovering session map.
+/// The sessions a recovery rebuilds before the shard workers start:
+/// plain sessions plus distributed-session members.
+#[derive(Default)]
+struct Recovered {
+    sessions: HashMap<String, Session>,
+    /// Worker partitions by decorated name, with their origin session.
+    workers: HashMap<String, (String, DistWorker)>,
+    /// Aggregators by origin session name.
+    aggregators: HashMap<String, DistAggregator>,
+}
+
+/// One recovered slot handed to a shard worker as initial state.
+enum SeedSlot {
+    Local(Session),
+    Worker {
+        name: String,
+        origin: String,
+        engine: DistWorker,
+    },
+    Aggregator {
+        name: String,
+        engine: DistAggregator,
+    },
+}
+
+/// One shard's frozen state, collected by the snapshot barrier.
+#[derive(Default)]
+struct ShardFreeze {
+    sessions: Vec<SessionSnapshot>,
+    workers: Vec<WorkerSlotSnapshot>,
+    aggregators: Vec<AggregatorSlotSnapshot>,
+}
+
+/// Re-applies one replayed WAL record to the recovering session maps.
 /// Errors are ignored: they were reported to the original client when
 /// the record was first acknowledged, and replay must be idempotent
 /// over them.
-fn apply_replayed(msg: ClientMsg, sessions: &mut HashMap<String, Session>, limits: SessionLimits) {
+fn apply_replayed(msg: ClientMsg, state: &mut Recovered, limits: SessionLimits) {
     match msg {
         ClientMsg::Open {
             session,
@@ -204,40 +262,102 @@ fn apply_replayed(msg: ClientMsg, sessions: &mut HashMap<String, Session>, limit
             vars,
             initial,
             predicates,
-        } => {
-            if let Entry::Vacant(slot) = sessions.entry(session) {
-                if let Ok(mut s) =
-                    Session::open(slot.key(), processes, &vars, &initial, &predicates, limits)
-                {
-                    let _ = s.take_initial_verdicts();
-                    slot.insert(s);
+            dist,
+        } => match dist {
+            None => {
+                if let Entry::Vacant(slot) = state.sessions.entry(session) {
+                    if let Ok(mut s) =
+                        Session::open(slot.key(), processes, &vars, &initial, &predicates, limits)
+                    {
+                        let _ = s.take_initial_verdicts();
+                        slot.insert(s);
+                    }
                 }
             }
-        }
+            Some(WireDistRole::Worker { origin, worker, k }) => {
+                if let Entry::Vacant(slot) = state.workers.entry(session) {
+                    if let Ok(w) =
+                        DistWorker::open(worker, k, processes, &vars, &initial, &predicates)
+                    {
+                        slot.insert((origin, w));
+                    }
+                }
+            }
+            Some(WireDistRole::Aggregator { k }) => {
+                if let Entry::Vacant(slot) = state.aggregators.entry(session) {
+                    if let Ok(mut a) = DistAggregator::open(
+                        k,
+                        processes,
+                        &vars,
+                        &initial,
+                        &predicates,
+                        limits.buffer_capacity,
+                        limits.policy,
+                    ) {
+                        let _ = a.take_initial_verdicts();
+                        slot.insert(a);
+                    }
+                }
+            }
+            // Refused at the handle, never written to the WAL.
+            Some(WireDistRole::Distribute { .. }) => {}
+        },
         ClientMsg::Event {
             session,
             p,
             clock,
             set,
         } => {
-            if let Some(s) = sessions.get_mut(&session) {
+            if let Some(s) = state.sessions.get_mut(&session) {
                 let _ = s.event(p, VectorClock::from_components(clock), &set);
             }
         }
         ClientMsg::Events { session, events } => {
-            if let Some(s) = sessions.get_mut(&session) {
+            if let Some(s) = state.sessions.get_mut(&session) {
                 for e in events {
                     let _ = s.event(e.p, VectorClock::from_components(e.clock), &e.set);
                 }
             }
         }
         ClientMsg::FinishProcess { session, p } => {
-            if let Some(s) = sessions.get_mut(&session) {
+            if let Some(s) = state.sessions.get_mut(&session) {
                 let _ = s.finish_process(p);
             }
         }
         ClientMsg::Close { session } => {
-            sessions.remove(&session);
+            state.sessions.remove(&session);
+            state.workers.remove(&session);
+            state.aggregators.remove(&session);
+        }
+        ClientMsg::DistEvent {
+            session,
+            seq,
+            event,
+        } => {
+            if let Some((_, w)) = state.workers.get_mut(&session) {
+                let _ = w.observe(
+                    seq,
+                    event.p,
+                    VectorClock::from_components(event.clock),
+                    &event.set,
+                );
+            }
+        }
+        ClientMsg::SliceUpdate {
+            session,
+            seq,
+            update,
+        } => {
+            let closed = match state.aggregators.get_mut(&session) {
+                Some(a) => a
+                    .update(seq, update)
+                    .iter()
+                    .any(|s| matches!(s, AggStep::Closed { .. })),
+                None => false,
+            };
+            if closed {
+                state.aggregators.remove(&session);
+            }
         }
         // Answered inline by `submit`, never written to the WAL.
         ClientMsg::Stats
@@ -269,10 +389,14 @@ fn snapshot_barrier(
         }
     }
     drop(reply_tx);
-    let mut sessions = Vec::new();
+    let mut snap = ServiceSnapshot::default();
     for _ in 0..expected {
         match reply_rx.recv() {
-            Ok(mut batch) => sessions.append(&mut batch),
+            Ok(mut freeze) => {
+                snap.sessions.append(&mut freeze.sessions);
+                snap.workers.append(&mut freeze.workers);
+                snap.aggregators.append(&mut freeze.aggregators);
+            }
             Err(_) => {
                 return Err(StoreError::Corrupt(
                     "shard worker exited during snapshot".into(),
@@ -280,8 +404,9 @@ fn snapshot_barrier(
             }
         }
     }
-    sessions.sort_by(|a, b| a.name.cmp(&b.name));
-    let snap = ServiceSnapshot { sessions };
+    snap.sessions.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.workers.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.aggregators.sort_by(|a, b| a.name.cmp(&b.name));
     inner.store.write_snapshot(snap.to_json().as_bytes())?;
     inner.store.compact()?;
     inner.since_snapshot = 0;
@@ -316,7 +441,7 @@ impl MonitorService {
         // Recovery happens before the first worker spawns: the rebuilt
         // sessions are handed over as worker initial state, so no new
         // input can interleave with the replay.
-        let mut initial: Vec<Vec<Session>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut initial: Vec<Vec<SeedSlot>> = (0..shards).map(|_| Vec::new()).collect();
         let wal: Option<SharedWal> = match &config.persist {
             None => None,
             Some(p) => {
@@ -328,7 +453,7 @@ impl MonitorService {
                         sync: p.sync,
                     },
                 )?;
-                let mut sessions: HashMap<String, Session> = HashMap::new();
+                let mut state = Recovered::default();
                 let mut from_seq = 0;
                 if let Some((seq, payload)) = store.load_snapshot()? {
                     let snap = ServiceSnapshot::from_json(&payload).map_err(StoreError::Corrupt)?;
@@ -336,7 +461,28 @@ impl MonitorService {
                         let restored = Session::restore(s, config.limits).map_err(|e| {
                             StoreError::Corrupt(format!("restore session '{}': {e}", s.name))
                         })?;
-                        sessions.insert(s.name.clone(), restored);
+                        state.sessions.insert(s.name.clone(), restored);
+                    }
+                    for w in &snap.workers {
+                        let engine =
+                            DistWorker::restore(&w.snap, w.snap.states.len()).map_err(|e| {
+                                StoreError::Corrupt(format!("restore worker '{}': {e}", w.name))
+                            })?;
+                        state
+                            .workers
+                            .insert(w.name.clone(), (w.origin.clone(), engine));
+                    }
+                    for a in &snap.aggregators {
+                        let engine = DistAggregator::restore(
+                            &a.snap,
+                            a.processes,
+                            config.limits.buffer_capacity,
+                            config.limits.policy,
+                        )
+                        .map_err(|e| {
+                            StoreError::Corrupt(format!("restore aggregator '{}': {e}", a.name))
+                        })?;
+                        state.aggregators.insert(a.name.clone(), engine);
                     }
                     from_seq = seq;
                 }
@@ -350,13 +496,14 @@ impl MonitorService {
                         .map_err(|e| StoreError::Corrupt(format!("wal record {seq}: {e}")))?;
                     let msg = ClientMsg::from_value(&value)
                         .map_err(|e| StoreError::Corrupt(format!("wal record {seq}: {e}")))?;
-                    apply_replayed(msg, &mut sessions, config.limits);
+                    apply_replayed(msg, &mut state, config.limits);
                     replayed += 1;
                 }
                 let report = store.recovery_report();
-                metrics
-                    .sessions_recovered
-                    .store(sessions.len() as u64, Ordering::Relaxed);
+                metrics.sessions_recovered.store(
+                    (state.sessions.len() + state.workers.len() + state.aggregators.len()) as u64,
+                    Ordering::Relaxed,
+                );
                 metrics.recovery_replayed.store(replayed, Ordering::Relaxed);
                 metrics
                     .recovery_truncated_bytes
@@ -367,8 +514,20 @@ impl MonitorService {
                 if let Some(secs) = store.stats().snapshot_unix_secs {
                     metrics.snapshot_unix_secs.store(secs, Ordering::Relaxed);
                 }
-                for (name, session) in sessions {
-                    initial[shard_index_of(&name, shards)].push(session);
+                for (name, session) in state.sessions {
+                    initial[shard_index_of(&name, shards)].push(SeedSlot::Local(session));
+                }
+                for (name, (origin, engine)) in state.workers {
+                    let shard = shard_index_of(&name, shards);
+                    initial[shard].push(SeedSlot::Worker {
+                        name,
+                        origin,
+                        engine,
+                    });
+                }
+                for (name, engine) in state.aggregators {
+                    let shard = shard_index_of(&name, shards);
+                    initial[shard].push(SeedSlot::Aggregator { name, engine });
                 }
                 Some(Arc::new(Mutex::new(WalInner {
                     store,
@@ -571,6 +730,65 @@ impl MonitorHandle {
                 });
                 return;
             }
+            // Distributed sessions joined the wire in v5. A real pre-v5
+            // parser would *silently ignore* the unknown `dist` key and
+            // open a plain session — a correctness hazard, not a
+            // degradation — so the emulation refuses loudly with a
+            // machine-readable kind the gateway and SDK gate on.
+            ClientMsg::Open {
+                session,
+                dist: Some(_),
+                ..
+            } if self.wire_version < 5 => {
+                self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = sink.send(ServerMsg::Error {
+                    session: Some(session.clone()),
+                    kind: Some(wire::error_kind::UNSUPPORTED_DISTRIBUTION.to_string()),
+                    message: format!(
+                        "distributed sessions need wire v5; this monitor speaks v{}",
+                        self.wire_version
+                    ),
+                });
+                return;
+            }
+            // Partitioning is the gateway's job: a backend accepts the
+            // derived worker/aggregator opens, never the client-facing
+            // `distribute` request.
+            ClientMsg::Open {
+                session,
+                dist: Some(WireDistRole::Distribute { .. }),
+                ..
+            } => {
+                self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = sink.send(ServerMsg::Error {
+                    session: Some(session.clone()),
+                    kind: Some(wire::error_kind::UNSUPPORTED_DISTRIBUTION.to_string()),
+                    message: "distributed sessions are opened through a gateway; \
+                              this is a monitor backend"
+                        .into(),
+                });
+                return;
+            }
+            // A pre-v5 build has no decoder for the inter-monitor
+            // frames; answer the way its parser would.
+            ClientMsg::DistEvent { .. } if self.wire_version < 5 => {
+                self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = sink.send(ServerMsg::Error {
+                    session: None,
+                    kind: None,
+                    message: "unknown client message 'dist-event'".into(),
+                });
+                return;
+            }
+            ClientMsg::SliceUpdate { .. } if self.wire_version < 5 => {
+                self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = sink.send(ServerMsg::Error {
+                    session: None,
+                    kind: None,
+                    message: "unknown client message 'slice-update'".into(),
+                });
+                return;
+            }
             _ => {}
         }
         let payload = self
@@ -584,6 +802,7 @@ impl MonitorHandle {
                 vars,
                 initial,
                 predicates,
+                dist,
             } => (
                 self.shard_index(&session),
                 Cmd::Open {
@@ -592,6 +811,7 @@ impl MonitorHandle {
                     vars,
                     initial,
                     predicates,
+                    dist,
                     sink: sink.clone(),
                 },
             ),
@@ -633,6 +853,32 @@ impl MonitorHandle {
                 self.shard_index(&session),
                 Cmd::Close {
                     session,
+                    sink: sink.clone(),
+                },
+            ),
+            ClientMsg::DistEvent {
+                session,
+                seq,
+                event,
+            } => (
+                self.shard_index(&session),
+                Cmd::DistEvent {
+                    session,
+                    seq,
+                    event,
+                    sink: sink.clone(),
+                },
+            ),
+            ClientMsg::SliceUpdate {
+                session,
+                seq,
+                update,
+            } => (
+                self.shard_index(&session),
+                Cmd::SliceUpdate {
+                    session,
+                    seq,
+                    update,
                     sink: sink.clone(),
                 },
             ),
@@ -697,6 +943,24 @@ struct Slot {
     /// False for a session rebuilt by crash recovery that no client has
     /// spoken to yet: its sink is dead, and settled verdicts have not
     /// been shown to the post-restart client.
+    attached: bool,
+}
+
+/// One distributed-session worker partition, registered under its
+/// decorated name (`origin#w<i>`).
+struct WorkerSlot {
+    /// The origin session name the partition's slice updates carry.
+    origin: String,
+    engine: DistWorker,
+    sink: Sender<ServerMsg>,
+    attached: bool,
+}
+
+/// One distributed-session aggregator, registered under the origin
+/// session name — the member of the partition the client hears.
+struct AggSlot {
+    engine: DistAggregator,
+    sink: Sender<ServerMsg>,
     attached: bool,
 }
 
@@ -770,6 +1034,128 @@ fn error_kind_of(e: &SessionError) -> Option<&'static str> {
             Some(wire::error_kind::DUPLICATE_EVENT)
         }
         _ => None,
+    }
+}
+
+/// [`error_kind_of`] for the aggregator's replica errors: the same
+/// classification, so distributed error frames carry the same kinds.
+fn dist_error_kind(e: &DistError) -> Option<&'static str> {
+    match e {
+        DistError::AlreadyFinished(_) => Some(wire::error_kind::ALREADY_FINISHED),
+        DistError::Ingest(IngestError::Duplicate { .. }) => Some(wire::error_kind::DUPLICATE_EVENT),
+        _ => None,
+    }
+}
+
+/// Ships a worker's slice updates toward the aggregator: one
+/// `ServerMsg::SliceUpdate` frame per update, carrying the **origin**
+/// session name so the gateway can relay by session.
+fn relay_updates(
+    origin: &str,
+    updates: Vec<(u64, SliceUpdateBody)>,
+    sink: &Sender<ServerMsg>,
+    metrics: &Metrics,
+) {
+    metrics
+        .dist_updates_relayed
+        .fetch_add(updates.len() as u64, Ordering::Relaxed);
+    for (seq, update) in updates {
+        let _ = sink.send(ServerMsg::SliceUpdate {
+            session: origin.to_string(),
+            seq,
+            update,
+        });
+    }
+}
+
+/// Drains a worker partition's slicing counter deltas into the shared
+/// metrics (the aggregator must *not* report these — the worker is
+/// where filtering happens, and double counting would follow).
+fn flush_worker_slice_stats(engine: &mut DistWorker, metrics: &Metrics) {
+    for (id, events_in, events_filtered) in engine.take_slice_stats() {
+        metrics.record_slice(&id, events_in, events_filtered);
+    }
+}
+
+/// Turns an aggregator's observable steps into the session's reply
+/// frames — the exact frames a single-backend session would emit —
+/// and mirrors the single-backend metrics bookkeeping. Returns whether
+/// a close was processed (the caller then drops the slot).
+fn emit_agg_steps(
+    name: &str,
+    steps: Vec<AggStep>,
+    sink: &Sender<ServerMsg>,
+    metrics: &Metrics,
+) -> bool {
+    let mut closed = false;
+    for step in steps {
+        match step {
+            AggStep::Verdict { predicate, verdict } => {
+                metrics.verdicts_settled.fetch_add(1, Ordering::Relaxed);
+                metrics.record_verdict(
+                    &predicate,
+                    false,
+                    matches!(verdict, OnlineVerdict::Detected(_)),
+                );
+                let _ = sink.send(ServerMsg::Verdict {
+                    session: name.to_string(),
+                    predicate,
+                    verdict: wire_verdict(&verdict),
+                });
+            }
+            AggStep::Error(e) => {
+                match &e {
+                    DistError::Ingest(IngestError::Duplicate { .. }) => {
+                        metrics.events_duplicate.fetch_add(1, Ordering::Relaxed);
+                    }
+                    DistError::Ingest(IngestError::Overflow { .. }) => {
+                        metrics.events_rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    DistError::Ingest(IngestError::Dropped) => {
+                        metrics.events_dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = sink.send(ServerMsg::Error {
+                    session: Some(name.to_string()),
+                    kind: dist_error_kind(&e).map(str::to_string),
+                    message: e.to_string(),
+                });
+            }
+            AggStep::Closed { discarded } => {
+                metrics
+                    .events_discarded
+                    .fetch_add(discarded, Ordering::Relaxed);
+                let _ = sink.send(ServerMsg::Closed {
+                    session: name.to_string(),
+                    discarded,
+                });
+                closed = true;
+            }
+        }
+    }
+    closed
+}
+
+/// First client contact with a recovered aggregator: adopt the sink
+/// and re-report settled verdicts, exactly like [`attach`] does for a
+/// plain session.
+fn attach_agg(slot: &mut AggSlot, name: &str, sink: &Sender<ServerMsg>, metrics: &Metrics) {
+    if slot.attached {
+        return;
+    }
+    slot.sink = sink.clone();
+    slot.attached = true;
+    metrics.sessions_reattached.fetch_add(1, Ordering::Relaxed);
+    for (predicate, verdict) in slot.engine.all_verdicts() {
+        if !matches!(verdict, OnlineVerdict::Pending) {
+            let _ = slot.sink.send(ServerMsg::Verdict {
+                session: name.to_string(),
+                predicate,
+                verdict: wire_verdict(&verdict),
+            });
+        }
     }
 }
 
@@ -853,21 +1239,59 @@ fn shard_worker(
     rx: Receiver<Cmd>,
     limits: SessionLimits,
     metrics: Arc<Metrics>,
-    seed: Vec<Session>,
+    seed: Vec<SeedSlot>,
 ) {
     let mut slots: HashMap<String, Slot> = HashMap::new();
-    for session in seed {
-        metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
-        metrics.sessions_active.fetch_add(1, Ordering::Relaxed);
-        metrics.held_add(session.held() as u64);
-        slots.insert(
-            session.name().to_string(),
-            Slot {
-                session,
-                sink: dead_sink(),
-                attached: false,
-            },
-        );
+    let mut workers: HashMap<String, WorkerSlot> = HashMap::new();
+    let mut aggs: HashMap<String, AggSlot> = HashMap::new();
+    for seeded in seed {
+        match seeded {
+            SeedSlot::Local(session) => {
+                metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                metrics.sessions_active.fetch_add(1, Ordering::Relaxed);
+                metrics.held_add(session.held() as u64);
+                slots.insert(
+                    session.name().to_string(),
+                    Slot {
+                        session,
+                        sink: dead_sink(),
+                        attached: false,
+                    },
+                );
+            }
+            SeedSlot::Worker {
+                name,
+                origin,
+                engine,
+            } => {
+                metrics.dist_workers_active.fetch_add(1, Ordering::Relaxed);
+                workers.insert(
+                    name,
+                    WorkerSlot {
+                        origin,
+                        engine,
+                        sink: dead_sink(),
+                        attached: false,
+                    },
+                );
+            }
+            SeedSlot::Aggregator { name, engine } => {
+                metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                metrics.sessions_active.fetch_add(1, Ordering::Relaxed);
+                metrics
+                    .dist_aggregators_active
+                    .fetch_add(1, Ordering::Relaxed);
+                metrics.held_add(engine.held() as u64);
+                aggs.insert(
+                    name,
+                    AggSlot {
+                        engine,
+                        sink: dead_sink(),
+                        attached: false,
+                    },
+                );
+            }
+        }
     }
     let err = |sink: &Sender<ServerMsg>,
                session: Option<&str>,
@@ -889,9 +1313,13 @@ fn shard_worker(
                 vars,
                 initial,
                 predicates,
+                dist,
                 sink,
             } => {
-                if slots.contains_key(&session) {
+                if slots.contains_key(&session)
+                    || workers.contains_key(&session)
+                    || aggs.contains_key(&session)
+                {
                     err(
                         &sink,
                         Some(&session),
@@ -901,28 +1329,114 @@ fn shard_worker(
                     );
                     continue;
                 }
-                match Session::open(&session, processes, &vars, &initial, &predicates, limits) {
-                    Ok(mut s) => {
-                        metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
-                        metrics.sessions_active.fetch_add(1, Ordering::Relaxed);
-                        let _ = sink.send(ServerMsg::Opened {
-                            session: session.clone(),
-                        });
-                        send_verdicts(&session, s.take_initial_verdicts(), &sink, &metrics);
-                        slots.insert(
-                            session,
-                            Slot {
-                                session: s,
-                                sink,
-                                attached: true,
-                            },
-                        );
+                match dist {
+                    None => match Session::open(
+                        &session,
+                        processes,
+                        &vars,
+                        &initial,
+                        &predicates,
+                        limits,
+                    ) {
+                        Ok(mut s) => {
+                            metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                            metrics.sessions_active.fetch_add(1, Ordering::Relaxed);
+                            let _ = sink.send(ServerMsg::Opened {
+                                session: session.clone(),
+                            });
+                            send_verdicts(&session, s.take_initial_verdicts(), &sink, &metrics);
+                            slots.insert(
+                                session,
+                                Slot {
+                                    session: s,
+                                    sink,
+                                    attached: true,
+                                },
+                            );
+                        }
+                        Err(e) => err(
+                            &sink,
+                            Some(&session),
+                            error_kind_of(&e),
+                            e.to_string(),
+                            &metrics,
+                        ),
+                    },
+                    Some(WireDistRole::Worker { origin, worker, k }) => {
+                        match DistWorker::open(worker, k, processes, &vars, &initial, &predicates) {
+                            Ok(engine) => {
+                                metrics.dist_workers_active.fetch_add(1, Ordering::Relaxed);
+                                let _ = sink.send(ServerMsg::Opened {
+                                    session: session.clone(),
+                                });
+                                workers.insert(
+                                    session,
+                                    WorkerSlot {
+                                        origin,
+                                        engine,
+                                        sink,
+                                        attached: true,
+                                    },
+                                );
+                            }
+                            Err(e) => err(
+                                &sink,
+                                Some(&session),
+                                None,
+                                format!("bad open: {e}"),
+                                &metrics,
+                            ),
+                        }
                     }
-                    Err(e) => err(
+                    Some(WireDistRole::Aggregator { k }) => {
+                        match DistAggregator::open(
+                            k,
+                            processes,
+                            &vars,
+                            &initial,
+                            &predicates,
+                            limits.buffer_capacity,
+                            limits.policy,
+                        ) {
+                            Ok(mut engine) => {
+                                metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                                metrics.sessions_active.fetch_add(1, Ordering::Relaxed);
+                                metrics
+                                    .dist_aggregators_active
+                                    .fetch_add(1, Ordering::Relaxed);
+                                let _ = sink.send(ServerMsg::Opened {
+                                    session: session.clone(),
+                                });
+                                let initial_verdicts: Vec<AggStep> = engine
+                                    .take_initial_verdicts()
+                                    .into_iter()
+                                    .map(|(predicate, verdict)| AggStep::Verdict {
+                                        predicate,
+                                        verdict,
+                                    })
+                                    .collect();
+                                emit_agg_steps(&session, initial_verdicts, &sink, &metrics);
+                                aggs.insert(
+                                    session,
+                                    AggSlot {
+                                        engine,
+                                        sink,
+                                        attached: true,
+                                    },
+                                );
+                            }
+                            Err(e) => err(&sink, Some(&session), None, e.to_string(), &metrics),
+                        }
+                    }
+                    // Refused at the handle; kept for direct in-process
+                    // submitters.
+                    Some(WireDistRole::Distribute { .. }) => err(
                         &sink,
                         Some(&session),
-                        error_kind_of(&e),
-                        e.to_string(),
+                        Some(wire::error_kind::UNSUPPORTED_DISTRIBUTION),
+                        "distributed sessions are opened through a gateway; \
+                         this is a monitor backend"
+                            .into(),
                         &metrics,
                     ),
                 }
@@ -935,13 +1449,12 @@ fn shard_worker(
                 sink,
             } => {
                 let Some(slot) = slots.get_mut(&session) else {
-                    err(
-                        &sink,
-                        Some(&session),
-                        None,
-                        format!("no such session '{session}'"),
-                        &metrics,
-                    );
+                    let message = if workers.contains_key(&session) || aggs.contains_key(&session) {
+                        format!("session '{session}' is distributed; its frames are routed by the gateway")
+                    } else {
+                        format!("no such session '{session}'")
+                    };
+                    err(&sink, Some(&session), None, message, &metrics);
                     continue;
                 };
                 attach(slot, &session, &sink, &metrics);
@@ -953,13 +1466,12 @@ fn shard_worker(
                 sink,
             } => {
                 let Some(slot) = slots.get_mut(&session) else {
-                    err(
-                        &sink,
-                        Some(&session),
-                        None,
-                        format!("no such session '{session}'"),
-                        &metrics,
-                    );
+                    let message = if workers.contains_key(&session) || aggs.contains_key(&session) {
+                        format!("session '{session}' is distributed; its frames are routed by the gateway")
+                    } else {
+                        format!("no such session '{session}'")
+                    };
+                    err(&sink, Some(&session), None, message, &metrics);
                     continue;
                 };
                 attach(slot, &session, &sink, &metrics);
@@ -970,13 +1482,12 @@ fn shard_worker(
             }
             Cmd::Finish { session, p, sink } => {
                 let Some(slot) = slots.get_mut(&session) else {
-                    err(
-                        &sink,
-                        Some(&session),
-                        None,
-                        format!("no such session '{session}'"),
-                        &metrics,
-                    );
+                    let message = if workers.contains_key(&session) || aggs.contains_key(&session) {
+                        format!("session '{session}' is distributed; its frames are routed by the gateway")
+                    } else {
+                        format!("no such session '{session}'")
+                    };
+                    err(&sink, Some(&session), None, message, &metrics);
                     continue;
                 };
                 attach(slot, &session, &sink, &metrics);
@@ -994,30 +1505,169 @@ fn shard_worker(
                     ),
                 }
             }
-            Cmd::Close { session, sink } => match slots.remove(&session) {
-                Some(mut slot) => {
+            Cmd::DistEvent {
+                session,
+                seq,
+                event,
+                sink,
+            } => {
+                let Some(slot) = workers.get_mut(&session) else {
+                    let message = if slots.contains_key(&session) || aggs.contains_key(&session) {
+                        format!("session '{session}' is not a distributed worker partition")
+                    } else {
+                        format!("no such session '{session}'")
+                    };
+                    err(&sink, Some(&session), None, message, &metrics);
+                    continue;
+                };
+                if !slot.attached {
+                    slot.sink = sink.clone();
+                    slot.attached = true;
+                    metrics.sessions_reattached.fetch_add(1, Ordering::Relaxed);
+                }
+                metrics.events_ingested.fetch_add(1, Ordering::Relaxed);
+                let updates = slot.engine.observe(
+                    seq,
+                    event.p,
+                    VectorClock::from_components(event.clock),
+                    &event.set,
+                );
+                relay_updates(&slot.origin, updates, &slot.sink, &metrics);
+            }
+            Cmd::SliceUpdate {
+                session,
+                seq,
+                update,
+                sink,
+            } => {
+                let Some(slot) = aggs.get_mut(&session) else {
+                    let message = if slots.contains_key(&session) || workers.contains_key(&session)
+                    {
+                        format!("session '{session}' is not a distributed session")
+                    } else {
+                        format!("no such session '{session}'")
+                    };
+                    err(&sink, Some(&session), None, message, &metrics);
+                    continue;
+                };
+                attach_agg(slot, &session, &sink, &metrics);
+                metrics.dist_updates_applied.fetch_add(1, Ordering::Relaxed);
+                let held_before = slot.engine.held();
+                let delivered_before = slot.engine.delivered();
+                let steps = slot.engine.update(seq, update);
+                let delivered = slot.engine.delivered() - delivered_before;
+                metrics
+                    .events_delivered
+                    .fetch_add(delivered, Ordering::Relaxed);
+                let held_now = slot.engine.held();
+                if held_now > held_before {
+                    metrics.held_add((held_now - held_before) as u64);
+                } else {
+                    metrics.held_sub((held_before - held_now) as u64);
+                }
+                if emit_agg_steps(&session, steps, &slot.sink, &metrics) {
+                    metrics.sessions_active.fetch_sub(1, Ordering::Relaxed);
+                    metrics
+                        .dist_aggregators_active
+                        .fetch_sub(1, Ordering::Relaxed);
+                    aggs.remove(&session);
+                }
+            }
+            Cmd::Close { session, sink } => {
+                if let Some(mut slot) = slots.remove(&session) {
                     attach(&mut slot, &session, &sink, &metrics);
                     close_slot(&session, slot, &metrics);
+                } else if let Some(mut slot) = workers.remove(&session) {
+                    // The gateway closes the partitions before sending
+                    // the aggregator its close update, so stranded
+                    // holds flush into the update stream first.
+                    if !slot.attached {
+                        slot.sink = sink.clone();
+                        slot.attached = true;
+                        metrics.sessions_reattached.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let flushed = slot.engine.close();
+                    let discarded = flushed.len() as u64;
+                    relay_updates(&slot.origin, flushed, &slot.sink, &metrics);
+                    flush_worker_slice_stats(&mut slot.engine, &metrics);
+                    metrics.dist_workers_active.fetch_sub(1, Ordering::Relaxed);
+                    let _ = slot.sink.send(ServerMsg::Closed { session, discarded });
+                } else if let Some(mut slot) = aggs.remove(&session) {
+                    // A plain close reaching the aggregator directly
+                    // (not the gateway's sequenced close update):
+                    // close out of band.
+                    attach_agg(&mut slot, &session, &sink, &metrics);
+                    metrics.held_sub(slot.engine.held() as u64);
+                    let steps = slot.engine.close_now();
+                    emit_agg_steps(&session, steps, &slot.sink, &metrics);
+                    metrics.sessions_active.fetch_sub(1, Ordering::Relaxed);
+                    metrics
+                        .dist_aggregators_active
+                        .fetch_sub(1, Ordering::Relaxed);
+                } else {
+                    err(
+                        &sink,
+                        Some(&session),
+                        None,
+                        format!("no such session '{session}'"),
+                        &metrics,
+                    );
                 }
-                None => err(
-                    &sink,
-                    Some(&session),
-                    None,
-                    format!("no such session '{session}'"),
-                    &metrics,
-                ),
-            },
+            }
             Cmd::Snapshot { reply } => {
                 for slot in slots.values_mut() {
                     flush_slice_stats(&mut slot.session, &metrics);
                 }
-                let _ = reply.send(slots.values().map(|s| s.session.snapshot()).collect());
+                for slot in workers.values_mut() {
+                    flush_worker_slice_stats(&mut slot.engine, &metrics);
+                }
+                let _ = reply.send(ShardFreeze {
+                    sessions: slots.values().map(|s| s.session.snapshot()).collect(),
+                    workers: workers
+                        .iter()
+                        .map(|(name, w)| WorkerSlotSnapshot {
+                            name: name.clone(),
+                            origin: w.origin.clone(),
+                            snap: w.engine.snapshot(),
+                        })
+                        .collect(),
+                    aggregators: aggs
+                        .iter()
+                        .map(|(name, a)| AggregatorSlotSnapshot {
+                            name: name.clone(),
+                            processes: a.engine.processes(),
+                            snap: a.engine.snapshot(),
+                        })
+                        .collect(),
+                });
             }
             Cmd::Flush => break,
         }
     }
     // Reached on Flush or channel disconnect: close every remaining
     // session so detectors still settle and sinks learn the outcome.
+    // Workers flush before aggregators so a co-located aggregator can
+    // still absorb their stranded-hold updates.
+    for (name, mut slot) in workers.drain() {
+        let flushed = slot.engine.close();
+        let discarded = flushed.len() as u64;
+        relay_updates(&slot.origin, flushed, &slot.sink, &metrics);
+        flush_worker_slice_stats(&mut slot.engine, &metrics);
+        metrics.dist_workers_active.fetch_sub(1, Ordering::Relaxed);
+        let _ = slot.sink.send(ServerMsg::Closed {
+            session: name,
+            discarded,
+        });
+    }
+    for (name, mut slot) in aggs.drain() {
+        metrics.held_sub(slot.engine.held() as u64);
+        let steps = slot.engine.close_now();
+        emit_agg_steps(&name, steps, &slot.sink, &metrics);
+        metrics.sessions_active.fetch_sub(1, Ordering::Relaxed);
+        metrics
+            .dist_aggregators_active
+            .fetch_sub(1, Ordering::Relaxed);
+    }
     for (name, slot) in slots.drain() {
         close_slot(&name, slot, &metrics);
     }
@@ -1137,6 +1787,7 @@ mod tests {
                 ],
                 pattern: None,
             }],
+            dist: None,
         }
     }
 
@@ -1196,6 +1847,7 @@ mod tests {
                     ],
                 }),
             }],
+            dist: None,
         }
     }
 
@@ -1635,6 +2287,427 @@ mod tests {
             Err(StoreError::Locked { .. }) => {}
             Err(other) => panic!("expected Locked, got {other:?}"),
             Ok(_) => panic!("second open must be refused"),
+        }
+        service.shutdown();
+    }
+
+    // ---- distributed sessions ---------------------------------------------
+
+    /// [`fig2_open`] under a distribution role — same processes, vars
+    /// and predicate, so a distributed trio and the single-backend
+    /// reference monitor the identical session.
+    fn fig2_dist_open(session: &str, role: WireDistRole) -> ClientMsg {
+        match fig2_open(session) {
+            ClientMsg::Open {
+                session,
+                processes,
+                vars,
+                initial,
+                predicates,
+                ..
+            } => ClientMsg::Open {
+                session,
+                processes,
+                vars,
+                initial,
+                predicates,
+                dist: Some(role),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    /// The shuffled Fig. 2(a) stream the in-process tests use.
+    #[allow(clippy::type_complexity)]
+    fn fig2_events() -> Vec<(usize, Vec<u32>, Vec<(&'static str, i64)>)> {
+        vec![
+            (1, vec![2, 2], vec![("x1", 2)]),
+            (0, vec![1, 0], vec![("x0", 1)]),
+            (1, vec![0, 1], vec![("x1", 1)]),
+            (0, vec![2, 0], vec![("x0", 2)]),
+        ]
+    }
+
+    /// Runs `events` through a plain single-backend session and returns
+    /// every frame the session emitted, through `closed`.
+    #[allow(clippy::type_complexity)]
+    fn reference_frames(events: &[(usize, Vec<u32>, Vec<(&'static str, i64)>)]) -> Vec<ServerMsg> {
+        let service = MonitorService::start(MonitorConfig::default());
+        let handle = service.handle();
+        let (tx, rx) = unbounded();
+        handle.submit(fig2_open("s"), &tx);
+        for (p, clock, set) in events {
+            handle.submit(event("s", *p, clock, set), &tx);
+        }
+        handle.submit(
+            ClientMsg::Close {
+                session: "s".into(),
+            },
+            &tx,
+        );
+        let mut frames = Vec::new();
+        for msg in rx.iter() {
+            let done = matches!(msg, ServerMsg::Closed { .. });
+            frames.push(msg);
+            if done {
+                break;
+            }
+        }
+        service.shutdown();
+        frames
+    }
+
+    /// Plays the gateway against one in-process service: opens the
+    /// worker partitions (decorated names) and the aggregator (origin
+    /// name), stamps seqs, routes events to their owner workers as
+    /// `dist-event` frames, and relays worker `slice-update` frames to
+    /// the aggregator. Channels outlive the service, so a test can
+    /// crash and reopen the service mid-stream and keep driving.
+    struct DistDriver {
+        origin: String,
+        k: usize,
+        next_seq: u64,
+        wtx: Sender<ServerMsg>,
+        wrx: Receiver<ServerMsg>,
+        atx: Sender<ServerMsg>,
+        arx: Receiver<ServerMsg>,
+    }
+
+    impl DistDriver {
+        fn open(handle: &MonitorHandle, origin: &str, k: usize) -> DistDriver {
+            let (wtx, wrx) = unbounded();
+            let (atx, arx) = unbounded();
+            for worker in 0..k {
+                handle.submit(
+                    fig2_dist_open(
+                        &format!("{origin}#w{worker}"),
+                        WireDistRole::Worker {
+                            origin: origin.into(),
+                            worker,
+                            k,
+                        },
+                    ),
+                    &wtx,
+                );
+                assert!(matches!(wrx.recv().unwrap(), ServerMsg::Opened { .. }));
+            }
+            // The aggregator's Opened stays in `arx`: it is the first
+            // frame of the origin stream the tests byte-compare.
+            handle.submit(fig2_dist_open(origin, WireDistRole::Aggregator { k }), &atx);
+            DistDriver {
+                origin: origin.into(),
+                k,
+                next_seq: 0,
+                wtx,
+                wrx,
+                atx,
+                arx,
+            }
+        }
+
+        fn event(&mut self, handle: &MonitorHandle, p: usize, clock: &[u32], set: &[(&str, i64)]) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            handle.submit(
+                ClientMsg::DistEvent {
+                    session: format!("{}#w{}", self.origin, hb_dist::owner(p, self.k)),
+                    seq,
+                    event: wire::EventFrame {
+                        p,
+                        clock: clock.to_vec(),
+                        set: set.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+                    },
+                },
+                &self.wtx,
+            );
+        }
+
+        /// Replaces both sinks with fresh channels — what a gateway
+        /// reconnecting after a monitor restart does. The recovered
+        /// slots adopt the new sinks on first contact (re-attach).
+        fn rewire(&mut self) {
+            let (wtx, wrx) = unbounded();
+            let (atx, arx) = unbounded();
+            self.wtx = wtx;
+            self.wrx = wrx;
+            self.atx = atx;
+            self.arx = arx;
+        }
+
+        /// Relays the next `n` worker observations to the aggregator.
+        fn relay(&mut self, handle: &MonitorHandle, n: usize) {
+            let mut relayed = 0;
+            while relayed < n {
+                match self.wrx.recv().unwrap() {
+                    ServerMsg::SliceUpdate {
+                        session,
+                        seq,
+                        update,
+                    } => {
+                        assert_eq!(session, self.origin, "updates address the origin");
+                        handle.submit(
+                            ClientMsg::SliceUpdate {
+                                session,
+                                seq,
+                                update,
+                            },
+                            &self.atx,
+                        );
+                        relayed += 1;
+                    }
+                    other => panic!("expected a slice-update, got {other:?}"),
+                }
+            }
+        }
+
+        /// The gateway close protocol: close the workers first (their
+        /// stranded holds flush as updates that must still reach the
+        /// aggregator), then hand the aggregator its final close
+        /// update. Returns the origin session's full frame stream.
+        fn close(self, handle: &MonitorHandle) -> Vec<ServerMsg> {
+            for worker in 0..self.k {
+                handle.submit(
+                    ClientMsg::Close {
+                        session: format!("{}#w{}", self.origin, worker),
+                    },
+                    &self.wtx,
+                );
+            }
+            let mut closed = 0;
+            while closed < self.k {
+                match self.wrx.recv().unwrap() {
+                    ServerMsg::SliceUpdate {
+                        session,
+                        seq,
+                        update,
+                    } => handle.submit(
+                        ClientMsg::SliceUpdate {
+                            session,
+                            seq,
+                            update,
+                        },
+                        &self.atx,
+                    ),
+                    ServerMsg::Closed { .. } => closed += 1,
+                    other => panic!("unexpected worker frame {other:?}"),
+                }
+            }
+            handle.submit(
+                ClientMsg::SliceUpdate {
+                    session: self.origin.clone(),
+                    seq: self.next_seq,
+                    update: SliceUpdateBody::Close,
+                },
+                &self.atx,
+            );
+            let mut frames = Vec::new();
+            for msg in self.arx.iter() {
+                let done = matches!(msg, ServerMsg::Closed { .. });
+                frames.push(msg);
+                if done {
+                    break;
+                }
+            }
+            frames
+        }
+    }
+
+    #[test]
+    fn distributed_sessions_match_the_single_backend_frame_for_frame() {
+        let events = fig2_events();
+        let expected = reference_frames(&events);
+        assert!(
+            expected.contains(&ServerMsg::Verdict {
+                session: "s".into(),
+                predicate: "ef".into(),
+                verdict: WireVerdict::Detected(vec![2, 1]),
+            }),
+            "the reference stream must actually detect"
+        );
+
+        let service = MonitorService::start(MonitorConfig::default());
+        let handle = service.handle();
+        let mut driver = DistDriver::open(&handle, "s", 2);
+        for (p, clock, set) in &events {
+            driver.event(&handle, *p, clock, set);
+        }
+        driver.relay(&handle, events.len());
+        let frames = driver.close(&handle);
+        assert_eq!(frames, expected, "origin frame streams must be identical");
+
+        let m = service.shutdown();
+        assert_eq!(m.events_ingested, 4);
+        assert_eq!(m.dist_updates_relayed, 4, "one observation per event");
+        assert_eq!(m.dist_updates_applied, 5, "four observations + close");
+        assert_eq!(m.dist_workers_active, 0);
+        assert_eq!(m.dist_aggregators_active, 0);
+        assert_eq!(m.verdicts_settled, 1);
+        assert_eq!(m.sessions_active, 0);
+    }
+
+    #[test]
+    fn distributed_slots_recover_from_a_crash_mid_stream() {
+        let config = MonitorConfig {
+            persist: Some(persist_config("dist-crash")),
+            ..MonitorConfig::default()
+        };
+        let events = fig2_events();
+        let expected = reference_frames(&events);
+
+        let service = MonitorService::open(config.clone()).unwrap();
+        let handle = service.handle();
+        let mut driver = DistDriver::open(&handle, "s", 2);
+        for (p, clock, set) in &events[..3] {
+            driver.event(&handle, *p, clock, set);
+        }
+        driver.relay(&handle, 3);
+        assert!(matches!(
+            driver.arx.try_recv().unwrap(),
+            ServerMsg::Opened { .. }
+        ));
+        // "Crash": drop without shutdown. The WAL holds the three
+        // opens, three dist-events, and three relayed updates; the
+        // flush-on-drop frames die with the old sinks below.
+        drop(handle);
+        drop(service);
+
+        let service = MonitorService::open(config).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.sessions_recovered, 3, "two workers + one aggregator");
+        assert_eq!(m.recovery_replayed, 9);
+        let handle = service.handle();
+        driver.rewire();
+        let (p, clock, set) = &events[3];
+        driver.event(&handle, *p, clock, set);
+        driver.relay(&handle, 1);
+        let frames = driver.close(&handle);
+        // The reconnected stream is the reference stream minus the
+        // Opened frame consumed before the crash.
+        assert_eq!(frames, expected[1..], "recovery must not change the stream");
+        assert!(service.metrics().sessions_reattached >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn pre_v5_monitors_refuse_distributed_frames() {
+        let service = MonitorService::start(MonitorConfig {
+            wire_version: 4,
+            ..MonitorConfig::default()
+        });
+        let handle = service.handle();
+        let (tx, rx) = unbounded();
+        handle.submit(
+            fig2_dist_open(
+                "s#w0",
+                WireDistRole::Worker {
+                    origin: "s".into(),
+                    worker: 0,
+                    k: 2,
+                },
+            ),
+            &tx,
+        );
+        match rx.recv().unwrap() {
+            ServerMsg::Error { kind, message, .. } => {
+                assert_eq!(
+                    kind.as_deref(),
+                    Some(wire::error_kind::UNSUPPORTED_DISTRIBUTION)
+                );
+                assert!(message.contains("wire v5"), "{message}");
+            }
+            other => panic!("expected a typed error, got {other:?}"),
+        }
+        handle.submit(
+            ClientMsg::DistEvent {
+                session: "s#w0".into(),
+                seq: 0,
+                event: wire::EventFrame {
+                    p: 0,
+                    clock: vec![1, 0],
+                    set: BTreeMap::new(),
+                },
+            },
+            &tx,
+        );
+        match rx.recv().unwrap() {
+            ServerMsg::Error { kind, message, .. } => {
+                assert_eq!(kind, None);
+                assert_eq!(message, "unknown client message 'dist-event'");
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+        handle.submit(
+            ClientMsg::SliceUpdate {
+                session: "s".into(),
+                seq: 0,
+                update: SliceUpdateBody::Close,
+            },
+            &tx,
+        );
+        match rx.recv().unwrap() {
+            ServerMsg::Error { message, .. } => {
+                assert_eq!(message, "unknown client message 'slice-update'");
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+        // Plain sessions are untouched by the emulation.
+        handle.submit(fig2_open("plain"), &tx);
+        assert!(matches!(rx.recv().unwrap(), ServerMsg::Opened { .. }));
+        service.shutdown();
+    }
+
+    #[test]
+    fn monitors_refuse_gateway_only_roles_and_direct_frames() {
+        let service = MonitorService::start(MonitorConfig::default());
+        let handle = service.handle();
+        let (tx, rx) = unbounded();
+        // `distribute` is the client-facing role; only a gateway fans
+        // it out into worker/aggregator opens.
+        handle.submit(fig2_dist_open("s", WireDistRole::Distribute { k: 2 }), &tx);
+        match rx.recv().unwrap() {
+            ServerMsg::Error { kind, message, .. } => {
+                assert_eq!(
+                    kind.as_deref(),
+                    Some(wire::error_kind::UNSUPPORTED_DISTRIBUTION)
+                );
+                assert!(message.contains("gateway"), "{message}");
+            }
+            other => panic!("expected a typed error, got {other:?}"),
+        }
+        // Worker partitions take dist-event frames, not plain events…
+        handle.submit(
+            fig2_dist_open(
+                "s#w0",
+                WireDistRole::Worker {
+                    origin: "s".into(),
+                    worker: 0,
+                    k: 1,
+                },
+            ),
+            &tx,
+        );
+        assert!(matches!(rx.recv().unwrap(), ServerMsg::Opened { .. }));
+        handle.submit(event("s#w0", 0, &[1, 0], &[("x0", 1)]), &tx);
+        match rx.recv().unwrap() {
+            ServerMsg::Error { message, .. } => {
+                assert!(message.contains("routed by the gateway"), "{message}");
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+        // …and slice-updates only land on aggregator slots.
+        handle.submit(
+            ClientMsg::SliceUpdate {
+                session: "s#w0".into(),
+                seq: 0,
+                update: SliceUpdateBody::Close,
+            },
+            &tx,
+        );
+        match rx.recv().unwrap() {
+            ServerMsg::Error { message, .. } => {
+                assert!(message.contains("not a distributed session"), "{message}");
+            }
+            other => panic!("expected an error, got {other:?}"),
         }
         service.shutdown();
     }

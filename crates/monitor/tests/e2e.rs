@@ -87,6 +87,7 @@ fn shuffled_fig2a_matches_offline_least_cut() {
                 ],
                 pattern: None,
             }],
+            dist: None,
         },
         &tx,
     );
@@ -180,6 +181,7 @@ fn shuffled_fig2a_impossible_predicate_settles_at_close() {
                 ],
                 pattern: None,
             }],
+            dist: None,
         },
         &tx,
     );

@@ -476,6 +476,8 @@ impl Flusher {
                         self.errors.push(message);
                     }
                 }
+                // Inter-monitor traffic; never addressed to an SDK client.
+                ServerMsg::SliceUpdate { .. } => {}
                 ServerMsg::Welcome { .. } | ServerMsg::Drained { .. } | ServerMsg::Bye => {}
             }
         }
@@ -651,6 +653,7 @@ mod tests {
                 vars: vec!["x".into()],
                 initial: vec![BTreeMap::new()],
                 predicates: vec![],
+                dist: None,
             },
             session: "t".into(),
             processes: 1,

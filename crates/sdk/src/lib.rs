@@ -94,6 +94,12 @@ pub enum SdkError {
     /// machine-readable `kind`, never from message text, so callers can
     /// reliably retry without the offending predicate.
     UnsupportedPredicate(String),
+    /// The peer cannot honor a requested distribution role (a
+    /// [`SessionBuilder::distributed`] open against a plain monitor or
+    /// a pre-v5 peer). Classified from the handshake version or the
+    /// error's machine-readable `kind`; callers should retry without
+    /// distribution rather than verbatim.
+    UnsupportedDistribution(String),
     /// The session was already closed (or its flusher is gone).
     Closed,
 }
@@ -104,6 +110,7 @@ impl fmt::Display for SdkError {
             SdkError::Transport(m) => write!(f, "transport: {m}"),
             SdkError::Session(m) => write!(f, "session: {m}"),
             SdkError::UnsupportedPredicate(m) => write!(f, "unsupported predicate: {m}"),
+            SdkError::UnsupportedDistribution(m) => write!(f, "unsupported distribution: {m}"),
             SdkError::Closed => write!(f, "session already closed"),
         }
     }

@@ -15,7 +15,7 @@ use crate::transport::{TcpTransport, Transport};
 use crate::SdkError;
 use hb_tracefmt::dial::RetryPolicy;
 use hb_tracefmt::wire::{
-    self, ClientMsg, ServerMsg, WireClause, WireMode, WirePredicate, WireVerdict,
+    self, ClientMsg, ServerMsg, WireClause, WireDistRole, WireMode, WirePredicate, WireVerdict,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -77,6 +77,7 @@ pub struct SessionBuilder {
     vars: Vec<String>,
     initial: Vec<BTreeMap<String, i64>>,
     predicates: Vec<WirePredicate>,
+    distribute: Option<usize>,
     config: SessionConfig,
 }
 
@@ -89,6 +90,7 @@ impl SessionBuilder {
             vars: Vec::new(),
             initial: vec![BTreeMap::new(); processes],
             predicates: Vec::new(),
+            distribute: None,
             config: SessionConfig::default(),
         }
     }
@@ -165,6 +167,21 @@ impl SessionBuilder {
         Ok(self)
     }
 
+    /// Opts the session into distributed detection: a gateway fans the
+    /// event stream out over `k` worker backends (partitioned by
+    /// process id) and aggregates their slice observations into the
+    /// same verdicts a single backend would emit.
+    ///
+    /// Needs a wire-v5 *gateway*: a plain monitor, or any peer that
+    /// negotiated below v5, refuses the open with
+    /// [`SdkError::UnsupportedDistribution`]. Only conjunctive
+    /// predicates can be detected distributed. `k = 0` turns
+    /// distribution back off.
+    pub fn distributed(mut self, k: usize) -> Self {
+        self.distribute = (k > 0).then_some(k);
+        self
+    }
+
     /// Replaces the whole config.
     pub fn config(mut self, config: SessionConfig) -> Self {
         self.config = config;
@@ -218,12 +235,23 @@ impl SessionBuilder {
         self,
         mut transport: Box<dyn Transport>,
     ) -> Result<(SdkSession, Vec<Tracer>), SdkError> {
+        if self.distribute.is_some() && transport.peer_version() < 5 {
+            // Fail fast on the handshake: a pre-v5 peer's `open` parser
+            // ignores the unknown `dist` key and would silently open a
+            // plain session instead.
+            return Err(SdkError::UnsupportedDistribution(format!(
+                "distributed sessions need a wire-v5 gateway; {} speaks v{}",
+                transport.describe(),
+                transport.peer_version()
+            )));
+        }
         let open_msg = ClientMsg::Open {
             session: self.name.clone(),
             processes: self.processes,
             vars: self.vars.clone(),
             initial: self.initial.clone(),
             predicates: self.predicates.clone(),
+            dist: self.distribute.map(|k| WireDistRole::Distribute { k }),
         };
         transport.send(&open_msg).map_err(SdkError::Transport)?;
         wait_for_opened(transport.as_mut(), &self.name, self.config.open_timeout)?;
@@ -270,10 +298,14 @@ fn wait_for_opened(
             Some(ServerMsg::Error { kind, message, .. }) => {
                 // Classify on the machine-readable kind only — message
                 // text is for humans and free to change.
-                return if kind.as_deref() == Some(wire::error_kind::UNSUPPORTED_PREDICATE) {
-                    Err(SdkError::UnsupportedPredicate(message))
-                } else {
-                    Err(SdkError::Session(message))
+                return match kind.as_deref() {
+                    Some(wire::error_kind::UNSUPPORTED_PREDICATE) => {
+                        Err(SdkError::UnsupportedPredicate(message))
+                    }
+                    Some(wire::error_kind::UNSUPPORTED_DISTRIBUTION) => {
+                        Err(SdkError::UnsupportedDistribution(message))
+                    }
+                    _ => Err(SdkError::Session(message)),
                 };
             }
             Some(_) => continue, // stray Welcome/Stats from a reclaimed transport

@@ -46,7 +46,17 @@ pub const MAX_FRAME_BYTES: usize = 16 << 20;
 ///   carrying one with an error of kind
 ///   [`error_kind::UNSUPPORTED_PREDICATE`], so clients degrade cleanly
 ///   without parsing the message text.
-pub const WIRE_VERSION: u32 = 4;
+/// * **5** — adds distributed sessions: `open` grows an optional
+///   `dist` field carrying a [`WireDistRole`], and the inter-monitor
+///   [`ClientMsg::DistEvent`] / `slice-update` frames let a gateway
+///   fan one session's stream out over worker backends and relay
+///   their observations to an aggregator. The `dist` field is *not*
+///   self-guarding — a genuine v4 decoder ignores unknown object keys
+///   and would open a plain session — so distribution is gated on the
+///   `hello`/`welcome` handshake: a peer that negotiated below 5 is
+///   refused with an error of kind
+///   [`error_kind::UNSUPPORTED_DISTRIBUTION`].
+pub const WIRE_VERSION: u32 = 5;
 
 /// The oldest peer version still accepted. A client that never sends
 /// `Hello` is treated as this version — version-1 peers predate the
@@ -203,6 +213,81 @@ impl EventFrame {
     }
 }
 
+/// The distribution role of a session on the wire (v5), carried in the
+/// optional `dist` field of [`ClientMsg::Open`].
+///
+/// A *client* opens a session with [`WireDistRole::Distribute`]
+/// against a gateway; the gateway turns that into K worker opens
+/// ([`WireDistRole::Worker`], one per partition, on decorated session
+/// names) plus one aggregator open ([`WireDistRole::Aggregator`], on
+/// the original name) spread over its backends. Workers run the local
+/// slicing engine over the processes `p` with `p % k == worker` and
+/// report one [`ClientMsg::SliceUpdate`] observation per forwarded
+/// event; the aggregator replays those observations through a replica
+/// of the single-backend session pipeline and emits the verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireDistRole {
+    /// Client-facing opt-in: detect this session cooperatively across
+    /// `k` monitor backends. Only a gateway honors this role; a plain
+    /// monitor refuses it with [`error_kind::UNSUPPORTED_DISTRIBUTION`].
+    Distribute {
+        /// Number of worker partitions.
+        k: usize,
+    },
+    /// Gateway-assigned worker role: run local slice evaluation for
+    /// the processes `p` with `p % k == worker` of session `origin`.
+    Worker {
+        /// The client-visible session this worker serves.
+        origin: String,
+        /// This worker's partition index, `0 <= worker < k`.
+        worker: usize,
+        /// Total number of worker partitions.
+        k: usize,
+    },
+    /// Gateway-assigned aggregator role: assemble the workers'
+    /// [`ClientMsg::SliceUpdate`] observations into global verdicts.
+    Aggregator {
+        /// Total number of worker partitions feeding this aggregator.
+        k: usize,
+    },
+}
+
+/// One observation inside a `slice-update` frame (wire v5): what a
+/// worker learned from the event the gateway stamped with `seq`, or a
+/// gateway-originated lifecycle marker taking that seq's slot.
+///
+/// The aggregator consumes updates in contiguous `seq` order, so every
+/// event the gateway forwards must eventually produce **exactly one**
+/// update — the liveness invariant of the protocol. Events a worker
+/// holds for process order are flushed (with empty `holds`) when its
+/// session closes; such events are provably undeliverable at the
+/// aggregator, so the empty bits are never read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceUpdateBody {
+    /// A worker observed (or refused) one event.
+    Observe {
+        /// Executing process, as forwarded.
+        p: usize,
+        /// Vector clock of the event, as forwarded.
+        clock: Vec<u32>,
+        /// Indices (into the open's predicate list, ascending) of the
+        /// conjunctive predicates whose local clause holds on the
+        /// worker's post-event state — the slice-membership bits.
+        holds: Vec<usize>,
+        /// `Some` when the worker refused the event before touching
+        /// its state (an undeclared variable); carries the exact
+        /// message the single-backend session would have produced.
+        invalid: Option<String>,
+    },
+    /// The client declared the process finished (gateway-originated).
+    Finish {
+        /// The finished process.
+        p: usize,
+    },
+    /// The client closed the session (gateway-originated, final).
+    Close,
+}
+
 /// Messages a client sends to the monitor.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientMsg {
@@ -237,6 +322,8 @@ pub enum ClientMsg {
         initial: Vec<BTreeMap<String, i64>>,
         /// Predicates to detect online.
         predicates: Vec<WirePredicate>,
+        /// Distribution role (wire v5; absent = a plain session).
+        dist: Option<WireDistRole>,
     },
     /// One observed event: process `p` moved to a new local state.
     Event {
@@ -261,6 +348,33 @@ pub enum ClientMsg {
         session: String,
         /// The events, oldest first. Never empty.
         events: Vec<EventFrame>,
+    },
+    /// One event of a distributed session, forwarded by the gateway to
+    /// the worker owning the event's process (wire v5).
+    ///
+    /// `seq` is the gateway-assigned position of the event in the
+    /// session's total client-frame order; the worker echoes it in the
+    /// [`ClientMsg::SliceUpdate`] its observation travels in, and the
+    /// aggregator uses it to restore that order.
+    DistEvent {
+        /// Target worker session (the gateway-decorated name).
+        session: String,
+        /// Gateway-assigned sequence number of this event.
+        seq: u64,
+        /// The event itself.
+        event: EventFrame,
+    },
+    /// One slice observation for a distributed session's aggregator
+    /// (wire v5): relayed by the gateway from a worker's
+    /// [`ServerMsg::SliceUpdate`], or gateway-originated for the
+    /// finish/close lifecycle markers.
+    SliceUpdate {
+        /// Target aggregator session (the client-visible name).
+        session: String,
+        /// The seq of the client frame this update settles.
+        seq: u64,
+        /// The observation.
+        update: SliceUpdateBody,
     },
     /// Declares that process `p` will send no further events.
     FinishProcess {
@@ -319,6 +433,20 @@ pub enum ServerMsg {
         /// Events still undeliverable (dropped) at close.
         discarded: u64,
     },
+    /// A worker's slice observation for one forwarded event (wire v5).
+    ///
+    /// Sent on the worker's connection back to the gateway, addressed
+    /// to the *origin* session name; the gateway relays it to the
+    /// aggregator as a [`ClientMsg::SliceUpdate`] with the same seq
+    /// and body.
+    SliceUpdate {
+        /// The client-visible (origin) session name.
+        session: String,
+        /// The seq of the [`ClientMsg::DistEvent`] this answers.
+        seq: u64,
+        /// The observation.
+        update: SliceUpdateBody,
+    },
     /// A metrics snapshot: counter name → value.
     Stats {
         /// The counters.
@@ -362,6 +490,13 @@ pub mod error_kind {
     /// artifact: the client must drop the predicate or fail the open,
     /// never retry it verbatim.
     pub const UNSUPPORTED_PREDICATE: &str = "unsupported_predicate";
+    /// `Open` asked for a distribution role this peer cannot honor: a
+    /// `distribute` role on a plain monitor (distribution needs a
+    /// gateway), any role on a pre-v5 peer, or a distributed session
+    /// whose predicates the workers cannot evaluate locally. NOT a
+    /// replay artifact: the client must fall back to a plain session
+    /// or fail the open, never retry it verbatim.
+    pub const UNSUPPORTED_DISTRIBUTION: &str = "unsupported_distribution";
 
     /// `true` for kinds that are expected artifacts of at-least-once
     /// replay and re-attach rather than failures.
@@ -534,6 +669,100 @@ impl Deserialize for EventFrame {
     }
 }
 
+impl Serialize for WireDistRole {
+    fn to_value(&self) -> Value {
+        match self {
+            WireDistRole::Distribute { k } => Value::Object(vec![
+                ("role".into(), "distribute".to_value()),
+                ("k".into(), k.to_value()),
+            ]),
+            WireDistRole::Worker { origin, worker, k } => Value::Object(vec![
+                ("role".into(), "worker".to_value()),
+                ("origin".into(), origin.to_value()),
+                ("worker".into(), worker.to_value()),
+                ("k".into(), k.to_value()),
+            ]),
+            WireDistRole::Aggregator { k } => Value::Object(vec![
+                ("role".into(), "aggregator".to_value()),
+                ("k".into(), k.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for WireDistRole {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        match help::field::<String>(v, "role")?.as_str() {
+            "distribute" => Ok(WireDistRole::Distribute {
+                k: help::field(v, "k")?,
+            }),
+            "worker" => Ok(WireDistRole::Worker {
+                origin: help::field(v, "origin")?,
+                worker: help::field(v, "worker")?,
+                k: help::field(v, "k")?,
+            }),
+            "aggregator" => Ok(WireDistRole::Aggregator {
+                k: help::field(v, "k")?,
+            }),
+            other => Err(DeError::msg(format!(
+                "unknown distribution role '{other}' (expected distribute, \
+                 worker, or aggregator)"
+            ))),
+        }
+    }
+}
+
+impl Serialize for SliceUpdateBody {
+    fn to_value(&self) -> Value {
+        match self {
+            SliceUpdateBody::Observe {
+                p,
+                clock,
+                holds,
+                invalid,
+            } => {
+                let mut fields = vec![
+                    ("op".into(), "observe".to_value()),
+                    ("p".into(), p.to_value()),
+                    ("clock".into(), clock.to_value()),
+                ];
+                if !holds.is_empty() {
+                    fields.push(("holds".into(), holds.to_value()));
+                }
+                if let Some(msg) = invalid {
+                    fields.push(("invalid".into(), msg.to_value()));
+                }
+                Value::Object(fields)
+            }
+            SliceUpdateBody::Finish { p } => Value::Object(vec![
+                ("op".into(), "finish".to_value()),
+                ("p".into(), p.to_value()),
+            ]),
+            SliceUpdateBody::Close => Value::Object(vec![("op".into(), "close".to_value())]),
+        }
+    }
+}
+
+impl Deserialize for SliceUpdateBody {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        help::object(v)?;
+        match help::field::<String>(v, "op")?.as_str() {
+            "observe" => Ok(SliceUpdateBody::Observe {
+                p: help::field(v, "p")?,
+                clock: help::field(v, "clock")?,
+                holds: help::field_or_default(v, "holds")?,
+                invalid: help::field_opt(v, "invalid")?,
+            }),
+            "finish" => Ok(SliceUpdateBody::Finish {
+                p: help::field(v, "p")?,
+            }),
+            "close" => Ok(SliceUpdateBody::Close),
+            other => Err(DeError::msg(format!("unknown slice-update op '{other}'"))),
+        }
+    }
+}
+
 impl Serialize for ClientMsg {
     fn to_value(&self) -> Value {
         match self {
@@ -551,14 +780,21 @@ impl Serialize for ClientMsg {
                 vars,
                 initial,
                 predicates,
-            } => Value::Object(vec![
-                ("type".into(), "open".to_value()),
-                ("session".into(), session.to_value()),
-                ("processes".into(), processes.to_value()),
-                ("vars".into(), vars.to_value()),
-                ("initial".into(), initial.to_value()),
-                ("predicates".into(), predicates.to_value()),
-            ]),
+                dist,
+            } => {
+                let mut fields = vec![
+                    ("type".into(), "open".to_value()),
+                    ("session".into(), session.to_value()),
+                    ("processes".into(), processes.to_value()),
+                    ("vars".into(), vars.to_value()),
+                    ("initial".into(), initial.to_value()),
+                    ("predicates".into(), predicates.to_value()),
+                ];
+                if let Some(role) = dist {
+                    fields.push(("dist".into(), role.to_value()));
+                }
+                Value::Object(fields)
+            }
             ClientMsg::Event {
                 session,
                 p,
@@ -580,6 +816,26 @@ impl Serialize for ClientMsg {
                 ("type".into(), "events".to_value()),
                 ("session".into(), session.to_value()),
                 ("events".into(), events.to_value()),
+            ]),
+            ClientMsg::DistEvent {
+                session,
+                seq,
+                event,
+            } => Value::Object(vec![
+                ("type".into(), "dist-event".to_value()),
+                ("session".into(), session.to_value()),
+                ("seq".into(), seq.to_value()),
+                ("event".into(), event.to_value()),
+            ]),
+            ClientMsg::SliceUpdate {
+                session,
+                seq,
+                update,
+            } => Value::Object(vec![
+                ("type".into(), "slice-update".to_value()),
+                ("session".into(), session.to_value()),
+                ("seq".into(), seq.to_value()),
+                ("update".into(), update.to_value()),
             ]),
             ClientMsg::FinishProcess { session, p } => Value::Object(vec![
                 ("type".into(), "finish".to_value()),
@@ -611,6 +867,7 @@ impl Deserialize for ClientMsg {
                 vars: help::field_or_default(v, "vars")?,
                 initial: help::field_or_default(v, "initial")?,
                 predicates: help::field_or_default(v, "predicates")?,
+                dist: help::field_opt(v, "dist")?,
             }),
             "event" => Ok(ClientMsg::Event {
                 session: help::field(v, "session")?,
@@ -628,6 +885,16 @@ impl Deserialize for ClientMsg {
                     events,
                 })
             }
+            "dist-event" => Ok(ClientMsg::DistEvent {
+                session: help::field(v, "session")?,
+                seq: help::field(v, "seq")?,
+                event: help::field(v, "event")?,
+            }),
+            "slice-update" => Ok(ClientMsg::SliceUpdate {
+                session: help::field(v, "session")?,
+                seq: help::field(v, "seq")?,
+                update: help::field(v, "update")?,
+            }),
             "finish" => Ok(ClientMsg::FinishProcess {
                 session: help::field(v, "session")?,
                 p: help::field(v, "p")?,
@@ -672,6 +939,16 @@ impl Serialize for ServerMsg {
                 ("type".into(), "closed".to_value()),
                 ("session".into(), session.to_value()),
                 ("discarded".into(), discarded.to_value()),
+            ]),
+            ServerMsg::SliceUpdate {
+                session,
+                seq,
+                update,
+            } => Value::Object(vec![
+                ("type".into(), "slice-update".to_value()),
+                ("session".into(), session.to_value()),
+                ("seq".into(), seq.to_value()),
+                ("update".into(), update.to_value()),
             ]),
             ServerMsg::Stats { counters } => Value::Object(vec![
                 ("type".into(), "stats".to_value()),
@@ -718,6 +995,11 @@ impl Deserialize for ServerMsg {
             "closed" => Ok(ServerMsg::Closed {
                 session: help::field(v, "session")?,
                 discarded: help::field_or_default(v, "discarded")?,
+            }),
+            "slice-update" => Ok(ServerMsg::SliceUpdate {
+                session: help::field(v, "session")?,
+                seq: help::field(v, "seq")?,
+                update: help::field(v, "update")?,
             }),
             "stats" => Ok(ServerMsg::Stats {
                 counters: help::field(v, "counters")?,
@@ -875,6 +1157,7 @@ mod tests {
                     }),
                 },
             ],
+            dist: None,
         });
         round_trip(ClientMsg::Event {
             session: "s1".into(),
@@ -963,6 +1246,118 @@ mod tests {
     }
 
     #[test]
+    fn dist_roles_round_trip() {
+        for role in [
+            WireDistRole::Distribute { k: 3 },
+            WireDistRole::Worker {
+                origin: "s1".into(),
+                worker: 1,
+                k: 3,
+            },
+            WireDistRole::Aggregator { k: 3 },
+        ] {
+            round_trip(ClientMsg::Open {
+                session: "s1#w1".into(),
+                processes: 4,
+                vars: vec!["x".into()],
+                initial: vec![],
+                predicates: vec![],
+                dist: Some(role),
+            });
+        }
+    }
+
+    #[test]
+    fn dist_events_and_slice_updates_round_trip() {
+        round_trip(ClientMsg::DistEvent {
+            session: "s1#w0".into(),
+            seq: 17,
+            event: EventFrame {
+                p: 2,
+                clock: vec![0, 1, 3],
+                set: [("x".to_string(), 9i64)].into_iter().collect(),
+            },
+        });
+        for update in [
+            SliceUpdateBody::Observe {
+                p: 2,
+                clock: vec![0, 1, 3],
+                holds: vec![0, 2],
+                invalid: None,
+            },
+            SliceUpdateBody::Observe {
+                p: 2,
+                clock: vec![0, 1, 3],
+                holds: vec![],
+                invalid: Some("undeclared variable 'z'".into()),
+            },
+            SliceUpdateBody::Finish { p: 1 },
+            SliceUpdateBody::Close,
+        ] {
+            round_trip(ClientMsg::SliceUpdate {
+                session: "s1".into(),
+                seq: 18,
+                update: update.clone(),
+            });
+            round_trip(ServerMsg::SliceUpdate {
+                session: "s1".into(),
+                seq: 18,
+                update,
+            });
+        }
+    }
+
+    #[test]
+    fn plain_opens_serialize_without_a_dist_key() {
+        // Byte-compatibility with v4 captures: a session that never
+        // asked for distribution must serialize exactly as before.
+        let open = ClientMsg::Open {
+            session: "s".into(),
+            processes: 1,
+            vars: vec![],
+            initial: vec![],
+            predicates: vec![],
+            dist: None,
+        };
+        let json = serde_json::to_string(&open.to_value()).unwrap();
+        assert!(!json.contains("dist"), "{json}");
+        let distributed = ClientMsg::Open {
+            session: "s".into(),
+            processes: 1,
+            vars: vec![],
+            initial: vec![],
+            predicates: vec![],
+            dist: Some(WireDistRole::Distribute { k: 2 }),
+        };
+        let json = serde_json::to_string(&distributed.to_value()).unwrap();
+        assert!(
+            json.ends_with(r#""dist":{"role":"distribute","k":2}}"#),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn unknown_dist_roles_are_rejected_by_name() {
+        let mut buf = Vec::new();
+        let body = r#"{"type":"open","session":"s","processes":1,"dist":{"role":"observer"}}"#;
+        buf.extend_from_slice(format!("{} {}\n", body.len(), body).as_bytes());
+        let err = read_frame::<_, ClientMsg>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(
+            err.to_string().contains("unknown distribution role"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_slice_update_ops_are_rejected_by_name() {
+        let mut buf = Vec::new();
+        let body = r#"{"type":"slice-update","session":"s","seq":1,"update":{"op":"merge"}}"#;
+        buf.extend_from_slice(format!("{} {}\n", body.len(), body).as_bytes());
+        let err = read_frame::<_, ClientMsg>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("unknown slice-update op"), "{err}");
+    }
+
+    #[test]
     fn zero_length_batch_is_rejected() {
         let mut buf = Vec::new();
         write_frame(
@@ -1036,6 +1431,10 @@ mod tests {
         // against the same peer can never succeed.
         assert!(!error_kind::is_benign_replay(
             error_kind::UNSUPPORTED_PREDICATE
+        ));
+        // Likewise refused distribution roles.
+        assert!(!error_kind::is_benign_replay(
+            error_kind::UNSUPPORTED_DISTRIBUTION
         ));
     }
 
