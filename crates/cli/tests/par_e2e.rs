@@ -1,0 +1,454 @@
+//! Differential end-to-end equivalence for in-session parallel
+//! detection: the same wide (24-process) simulated computations stream
+//! through a live `hbtl monitor serve` twice — once sequential (the
+//! default) and once with `--par-threads 4` — and both runs must
+//! settle to **byte-identical** verdict sequences, with the
+//! conjunctive subset also matching the offline oracle (`ef_linear`).
+//!
+//! Parallel detection is a latency optimisation; this test is the lock
+//! that keeps it one. The crash scenario goes further: it SIGKILLs a
+//! durable server mid-stream and restarts it on the same data
+//! directory with the *opposite* parallelism setting — a parallel
+//! server's snapshots restored by a sequential one, and vice versa —
+//! because `DetectorState` is byte-compatible across the two detector
+//! families. Both crossings must settle to the verdicts of an
+//! uninterrupted sequential run.
+
+#![cfg(unix)]
+
+use hb_computation::{Computation, EventId};
+use hb_detect::ef_linear;
+use hb_predicates::{CmpOp, Conjunctive, LocalExpr};
+use hb_sdk::{SessionBuilder, WireVerdict};
+use hb_sim::{causal_shuffle, random_computation, RandomSpec};
+use hb_tracefmt::wire::{
+    read_frame, write_frame, ClientMsg, ServerMsg, WireAtom, WireClause, WireMode, WirePattern,
+    WirePredicate,
+};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Wide enough to engage the parallel dead-front search and candidate
+/// scans (`PAR_MIN_PROCESSES` = 16), not just the fan-out across
+/// monitors.
+const PROCESSES: usize = 24;
+const EVENTS_PER_PROCESS: usize = 16;
+const SESSIONS: usize = 2;
+const PAR_FLAGS: [&str; 2] = ["--par-threads", "4"];
+
+struct Plan {
+    name: String,
+    comp: Computation,
+    order: Vec<EventId>,
+}
+
+/// Conjunctive predicate mix: cheap pairs, one predicate spanning half
+/// the processes (wide membership), and an impossible all-process one.
+fn conjunctive_clauses(comp: &Computation) -> Vec<(String, Vec<(usize, i64)>)> {
+    let mut preds: Vec<(String, Vec<(usize, i64)>)> = (0..3)
+        .map(|k| (format!("p{k}"), vec![(0, k as i64), (1, k as i64)]))
+        .collect();
+    preds.push(("wide".into(), (0..PROCESSES / 2).map(|p| (p, 1)).collect()));
+    preds.push((
+        "nope".into(),
+        (0..comp.num_processes()).map(|p| (p, -1)).collect(),
+    ));
+    preds
+}
+
+/// What the online monitor must settle the conjunctive predicates to,
+/// per the offline detector.
+fn oracle_verdicts(comp: &Computation) -> BTreeMap<String, WireVerdict> {
+    let x = comp.vars().lookup("x").expect("sim computations declare x");
+    conjunctive_clauses(comp)
+        .into_iter()
+        .map(|(id, clauses)| {
+            let goal = Conjunctive::new(
+                clauses
+                    .into_iter()
+                    .map(|(p, v)| (p, LocalExpr::Cmp(x, CmpOp::Eq, v)))
+                    .collect(),
+            );
+            let offline = ef_linear(comp, &goal);
+            let verdict = match offline.witness {
+                Some(least) if offline.holds => WireVerdict::Detected(least.counters().to_vec()),
+                _ => WireVerdict::Impossible,
+            };
+            (id, verdict)
+        })
+        .collect()
+}
+
+fn build_plans() -> Vec<Plan> {
+    (0..SESSIONS as u64)
+        .map(|s| {
+            let comp = random_computation(RandomSpec {
+                processes: PROCESSES,
+                events_per_process: EVENTS_PER_PROCESS,
+                send_percent: 30,
+                value_range: 6,
+                seed: 0x9a7_u64.wrapping_add(s * 7919),
+            });
+            let order = causal_shuffle(&comp, s ^ 0x9a7a11e1, 8);
+            Plan {
+                name: format!("w{s}"),
+                comp,
+                order,
+            }
+        })
+        .collect()
+}
+
+/// The full state map at an event, exactly as an instrumented program
+/// would report it.
+fn state_map(comp: &Computation, e: EventId) -> BTreeMap<String, i64> {
+    let state = comp.local_state(e.process, e.index as u32 + 1);
+    comp.vars()
+        .iter()
+        .map(|(id, name)| (name.to_string(), state.get(id)))
+        .collect()
+}
+
+/// Serializes a settled verdict map as wire frames in predicate order.
+/// Two runs agree iff these bytes agree.
+fn verdict_bytes(session: &str, verdicts: &BTreeMap<String, WireVerdict>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for (predicate, verdict) in verdicts {
+        write_frame(
+            &mut buf,
+            &ServerMsg::Verdict {
+                session: session.to_string(),
+                predicate: predicate.clone(),
+                verdict: verdict.clone(),
+            },
+        )
+        .expect("verdict frames encode");
+    }
+    buf
+}
+
+/// Spawns `hbtl monitor serve` with extra flags and waits for its
+/// banner.
+#[allow(clippy::zombie_processes)]
+fn spawn_monitor(extra: &[&str]) -> (Child, String) {
+    let port = TcpListener::bind("127.0.0.1:0")
+        .expect("bind ephemeral")
+        .local_addr()
+        .expect("local addr")
+        .port();
+    let addr = format!("127.0.0.1:{port}");
+    let mut args = vec!["monitor", "serve", addr.as_str()];
+    args.extend_from_slice(extra);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hbtl"))
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("hbtl spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    loop {
+        let mut line = String::new();
+        if stderr.read_line(&mut line).expect("read banner") == 0 {
+            let status = child.wait().expect("child reaped");
+            panic!("server exited before listening: {status}");
+        }
+        if line.contains("listening on ") {
+            return (child, addr);
+        }
+    }
+}
+
+/// Streams every plan — conjunctive + disjunctive + pattern predicates
+/// — through a fresh live monitor over the SDK and collects the
+/// settled verdict bytes.
+fn run_leg(extra: &[&str]) -> Vec<(String, BTreeMap<String, WireVerdict>)> {
+    let (mut child, addr) = spawn_monitor(extra);
+    let plans = build_plans();
+    let mut out = Vec::new();
+    for plan in &plans {
+        let mut builder = SessionBuilder::new(&plan.name, plan.comp.num_processes()).var("x");
+        for (id, clauses) in conjunctive_clauses(&plan.comp) {
+            let clauses: Vec<(usize, &str, &str, i64)> =
+                clauses.iter().map(|&(p, v)| (p, "x", "=", v)).collect();
+            builder = builder.conjunctive(&id, &clauses);
+        }
+        let disj: Vec<(usize, &str, &str, i64)> = (0..6).map(|p| (p, "x", "=", 5)).collect();
+        builder = builder
+            .disjunctive("anyhigh", &disj)
+            .pattern("chain", "x=2 -> x=3")
+            .expect("pattern parses");
+        let (session, _tracers) = builder.connect(&addr).expect("open over TCP");
+        for &e in &plan.order {
+            let accepted = session.emit(
+                e.process,
+                plan.comp.clock(e).components().to_vec(),
+                state_map(&plan.comp, e),
+            );
+            assert!(accepted, "{}: event dropped by the SDK queue", plan.name);
+        }
+        let report = session.close().expect("close settles");
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(report.discarded, 0, "every event deliverable");
+        out.push((plan.name.clone(), report.verdicts));
+    }
+    child.kill().expect("cleanup kill");
+    child.wait().expect("cleanup reap");
+    out
+}
+
+fn leg_bytes(leg: &[(String, BTreeMap<String, WireVerdict>)]) -> Vec<u8> {
+    leg.iter()
+        .flat_map(|(name, verdicts)| verdict_bytes(name, verdicts))
+        .collect()
+}
+
+/// A wide session through a live `--par-threads 4` monitor settles to
+/// exactly the bytes the sequential monitor settles to, across all
+/// three detector families, and the conjunctive subset matches the
+/// offline oracle.
+#[test]
+fn wide_session_parallel_server_matches_sequential_byte_for_byte() {
+    let plans = build_plans();
+    // Guard against a degenerate fixture: both verdict kinds occur
+    // among the conjunctive predicates.
+    let all_expected: Vec<WireVerdict> = plans
+        .iter()
+        .flat_map(|p| oracle_verdicts(&p.comp).into_values())
+        .collect();
+    assert!(all_expected
+        .iter()
+        .any(|v| matches!(v, WireVerdict::Detected(_))));
+    assert!(all_expected
+        .iter()
+        .any(|v| matches!(v, WireVerdict::Impossible)));
+
+    let sequential = run_leg(&[]);
+    let parallel = run_leg(&PAR_FLAGS);
+    assert_eq!(
+        leg_bytes(&parallel),
+        leg_bytes(&sequential),
+        "parallel and sequential verdict sequences must be byte-identical"
+    );
+
+    // The parallel leg is also honest in absolute terms: every
+    // conjunctive verdict is the offline detector's.
+    for ((name, verdicts), plan) in parallel.iter().zip(&plans) {
+        for (id, want) in oracle_verdicts(&plan.comp) {
+            assert_eq!(
+                verdicts.get(&id),
+                Some(&want),
+                "{name}/{id}: parallel verdict must match the offline oracle"
+            );
+        }
+    }
+}
+
+// ---- crash / cross-restore leg --------------------------------------------
+
+fn connect(addr: &str) -> (BufWriter<TcpStream>, BufReader<TcpStream>) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                let w = BufWriter::new(s.try_clone().expect("clone stream"));
+                return (w, BufReader::new(s));
+            }
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("connect {addr}: {e}"),
+        }
+    }
+}
+
+fn recv(r: &mut BufReader<TcpStream>) -> ServerMsg {
+    read_frame::<_, ServerMsg>(r)
+        .expect("well-formed frame")
+        .expect("server still connected")
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hbtl-par-e2e").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_msg(plan: &Plan) -> ClientMsg {
+    let mut predicates: Vec<WirePredicate> = conjunctive_clauses(&plan.comp)
+        .into_iter()
+        .map(|(id, clauses)| WirePredicate {
+            id,
+            mode: WireMode::Conjunctive,
+            clauses: clauses
+                .into_iter()
+                .map(|(process, value)| WireClause {
+                    process,
+                    var: "x".into(),
+                    op: "=".into(),
+                    value,
+                })
+                .collect(),
+            pattern: None,
+        })
+        .collect();
+    predicates.push(WirePredicate {
+        id: "anyhigh".into(),
+        mode: WireMode::Disjunctive,
+        clauses: (0..6)
+            .map(|process| WireClause {
+                process,
+                var: "x".into(),
+                op: "=".into(),
+                value: 5,
+            })
+            .collect(),
+        pattern: None,
+    });
+    predicates.push(WirePredicate {
+        id: "chain".into(),
+        mode: WireMode::Pattern,
+        clauses: vec![],
+        pattern: Some(WirePattern {
+            atoms: [2, 3]
+                .into_iter()
+                .map(|value| WireAtom {
+                    process: None,
+                    var: "x".into(),
+                    op: "=".into(),
+                    value,
+                    causal: false,
+                })
+                .collect(),
+        }),
+    });
+    ClientMsg::Open {
+        session: plan.name.clone(),
+        processes: plan.comp.num_processes(),
+        vars: vec!["x".into()],
+        initial: vec![],
+        predicates,
+        dist: None,
+    }
+}
+
+fn event_msg(plan: &Plan, e: EventId) -> ClientMsg {
+    ClientMsg::Event {
+        session: plan.name.clone(),
+        p: e.process,
+        clock: plan.comp.clock(e).components().to_vec(),
+        set: state_map(&plan.comp, e),
+    }
+}
+
+/// Streams the first half of the plan into a durable server spawned
+/// with `first_extra`, SIGKILLs it, restarts on the same directory
+/// with `second_extra`, finishes the stream, and returns the settled
+/// verdict bytes.
+fn crash_leg(tag: &str, plan: &Plan, first_extra: &[&str], second_extra: &[&str]) -> Vec<u8> {
+    let data_dir = fresh_dir(tag);
+    let dir_arg = data_dir.to_string_lossy().to_string();
+    let persist_flags = [
+        "--data-dir",
+        dir_arg.as_str(),
+        "--sync",
+        "always",
+        "--snapshot-every",
+        "17",
+    ];
+    let (first_half, second_half) = plan.order.split_at(plan.order.len() / 2);
+
+    // Phase 1: open and stream the first half.
+    let mut flags: Vec<&str> = persist_flags.to_vec();
+    flags.extend_from_slice(first_extra);
+    let (mut child, addr) = spawn_monitor(&flags);
+    {
+        let (mut w, mut r) = connect(&addr);
+        write_frame(&mut w, &open_msg(plan)).expect("open frame");
+        assert!(matches!(recv(&mut r), ServerMsg::Opened { .. }));
+        for &e in first_half {
+            write_frame(&mut w, &event_msg(plan, e)).expect("event frame");
+        }
+        // Durability barrier: the stats reply proves every prior frame
+        // on this connection was WAL-appended (sync: always).
+        write_frame(&mut w, &ClientMsg::Stats).expect("stats frame");
+        loop {
+            match recv(&mut r) {
+                ServerMsg::Stats { .. } => break,
+                ServerMsg::Verdict { .. } => {}
+                other => panic!("unexpected message before stats: {other:?}"),
+            }
+        }
+    }
+
+    // Phase 2: SIGKILL — no shutdown hook, no parting snapshot.
+    child.kill().expect("sigkill");
+    child.wait().expect("reap");
+
+    // Phase 3: restart with the opposite parallelism setting and
+    // finish the stream.
+    let mut flags: Vec<&str> = persist_flags.to_vec();
+    flags.extend_from_slice(second_extra);
+    let (mut child, addr) = spawn_monitor(&flags);
+    let verdicts = {
+        let (mut w, mut r) = connect(&addr);
+        for &e in second_half {
+            write_frame(&mut w, &event_msg(plan, e)).expect("event frame");
+        }
+        write_frame(
+            &mut w,
+            &ClientMsg::Close {
+                session: plan.name.clone(),
+            },
+        )
+        .expect("close frame");
+        let mut verdicts: BTreeMap<String, WireVerdict> = BTreeMap::new();
+        loop {
+            match recv(&mut r) {
+                ServerMsg::Verdict {
+                    predicate, verdict, ..
+                } => {
+                    verdicts.insert(predicate, verdict);
+                }
+                ServerMsg::Closed { discarded, .. } => {
+                    assert_eq!(discarded, 0, "the shuffle is a permutation");
+                    break;
+                }
+                ServerMsg::Error { message, .. } => panic!("server error: {message}"),
+                other => panic!("unexpected message: {other:?}"),
+            }
+        }
+        verdicts
+    };
+    // Graceful shutdown so the next leg can reuse nothing.
+    let (mut w, mut r) = connect(&addr);
+    write_frame(&mut w, &ClientMsg::Shutdown).expect("shutdown frame");
+    let _ = read_frame::<_, ServerMsg>(&mut r);
+    child.wait().expect("graceful exit");
+    verdict_bytes(&plan.name, &verdicts)
+}
+
+/// Snapshots cross-restore between the detector families: a parallel
+/// server's WAL + snapshots finish under a sequential server (and the
+/// reverse) to the exact verdicts of an uninterrupted sequential run.
+#[test]
+fn parallel_snapshots_cross_restore_across_sigkill() {
+    let plan = &build_plans()[0];
+    // Reference: the same plan, same split, no crash, sequential —
+    // driven over the same raw-wire path.
+    let reference = crash_leg("reference", plan, &[], &[]);
+    let par_then_seq = crash_leg("par-then-seq", plan, &PAR_FLAGS, &[]);
+    assert_eq!(
+        par_then_seq, reference,
+        "a parallel server's snapshots must restore into a sequential server"
+    );
+    let seq_then_par = crash_leg("seq-then-par", plan, &[], &PAR_FLAGS);
+    assert_eq!(
+        seq_then_par, reference,
+        "a sequential server's snapshots must restore into a parallel server"
+    );
+}

@@ -814,6 +814,115 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "hb_pattern::restore_any")]
+    fn restore_monitor_rejects_pattern_state() {
+        // The matcher type lives above this crate; restoring its state
+        // here must fail loudly, not silently mis-detect.
+        let state = DetectorState::Pattern(PatternState {
+            n: 2,
+            causal: vec![false, false],
+            frontiers: vec![
+                vec![PatternChainState {
+                    join: vec![0, 0],
+                    last: vec![0, 0],
+                }],
+                Vec::new(),
+                Vec::new(),
+            ],
+            candidates: vec![vec![Vec::new(); 2]; 2],
+            finished: vec![false; 2],
+            seen: vec![0; 2],
+            verdict: VerdictState::Pending,
+        });
+        let _ = restore_monitor(&state);
+    }
+
+    /// Every restorable [`DetectorState`] variant, snapshotted at
+    /// *every* observation boundary: export → restore → finish the
+    /// stream must produce the same verdict and the same final export
+    /// as a detector that was never snapshotted.
+    #[test]
+    fn restore_round_trip_at_every_boundary_matches_unsnapshotted_run() {
+        let (comp, x) = mutexish();
+        let n = comp.num_processes();
+        let order = topo_order(&comp);
+        let conj = Conjunctive::new(vec![(0, LocalExpr::eq(x, 2)), (2, LocalExpr::eq(x, 1))]);
+        let disj = Disjunctive::new(vec![(1, LocalExpr::eq(x, 1)), (2, LocalExpr::eq(x, 9))]);
+        let participating: Vec<bool> = (0..n)
+            .map(|i| conj.clauses().iter().any(|c| c.process == i))
+            .collect();
+        let conj_init: Vec<bool> = (0..n).map(|i| conj.clause_holds_at(&comp, i, 0)).collect();
+        let disj_init: Vec<bool> = (0..n).map(|i| disj.clause_holds_at(&comp, i, 0)).collect();
+        let conj_holds = |i: usize, s: u32| conj.clause_holds_at(&comp, i, s);
+        let disj_holds = |i: usize, s: u32| disj.clause_holds_at(&comp, i, s);
+        type Fresh<'a> = Box<dyn Fn() -> Box<dyn OnlineMonitor> + 'a>;
+        type HoldsAt<'a> = Box<dyn Fn(usize, u32) -> bool + 'a>;
+        let variants: Vec<(Fresh, HoldsAt)> = vec![
+            (
+                Box::new(|| {
+                    Box::new(OnlineEfConjunctive::new(
+                        n,
+                        participating.clone(),
+                        conj_init.clone(),
+                    ))
+                }),
+                Box::new(conj_holds),
+            ),
+            (
+                Box::new(|| Box::new(OnlineEfDisjunctive::new(n, disj_init.clone()))),
+                Box::new(disj_holds),
+            ),
+        ];
+        for (fresh, holds_at) in &variants {
+            // The reference: never snapshotted.
+            let mut whole = fresh();
+            for &e in &order {
+                whole.observe(
+                    e.process,
+                    holds_at(e.process, e.index as u32 + 1),
+                    comp.clock(e),
+                );
+            }
+            for i in 0..n {
+                whole.finish_process(i);
+            }
+            for cut_at in 0..=order.len() {
+                let mut first = fresh();
+                for &e in &order[..cut_at] {
+                    first.observe(
+                        e.process,
+                        holds_at(e.process, e.index as u32 + 1),
+                        comp.clock(e),
+                    );
+                }
+                let exported = first.export_state();
+                let mut resumed = restore_monitor(&exported);
+                assert_eq!(
+                    resumed.export_state(),
+                    exported,
+                    "export stable at {cut_at}"
+                );
+                for &e in &order[cut_at..] {
+                    resumed.observe(
+                        e.process,
+                        holds_at(e.process, e.index as u32 + 1),
+                        comp.clock(e),
+                    );
+                }
+                for i in 0..n {
+                    resumed.finish_process(i);
+                }
+                assert_eq!(
+                    resumed.export_state(),
+                    whole.export_state(),
+                    "final state diverged for snapshot at {cut_at}"
+                );
+                assert_eq!(whole.verdict(), resumed.verdict());
+            }
+        }
+    }
+
+    #[test]
     fn trait_objects_dispatch_to_both_monitors() {
         let (comp, x) = mutexish();
         let n = comp.num_processes();

@@ -1,0 +1,456 @@
+//! Parallel online `EF(conjunctive)` — the Garg–Waldecker queue
+//! algorithm with its two `O(n)`-to-`O(n²)` inner loops run as parallel
+//! work units.
+//!
+//! The sequential monitor (`hb_detect::online::OnlineEfConjunctive`)
+//! interleaves three kinds of step inside its popping fixpoint:
+//!
+//! 1. an emptiness scan over the participating queues,
+//! 2. a pairwise search for the first *dead* queue front — a candidate
+//!    some other front's causal past has overtaken — in `(i, j)` scan
+//!    order, and
+//! 3. on success, a join over the fronts producing the least satisfying
+//!    cut `I_p`.
+//!
+//! Steps 2 and 3 are pure reads and they dominate (`O(n²)` and `O(n²)`
+//! respectively on wide computations). This monitor runs them as
+//! per-process parallel work units — step 2 as "find the first dead
+//! partner of each front" reduced lexicographically, step 3 as a
+//! chunked join-reduce over vector clocks — while performing the *pop*
+//! decided by each round on the calling thread, one candidate per
+//! round, exactly as the sequential monitor does. The pop sequence,
+//! the queues, the `seen` counters, and the verdict are therefore
+//! byte-identical to the sequential monitor's at every observation
+//! boundary, not just at the end of the run: a snapshot taken from
+//! either monitor restores into the other (locked by
+//! `tests/par_equivalence.rs`).
+
+use hb_computation::Cut;
+use hb_detect::online::{
+    CandidateState, ConjunctiveState, DetectorState, OnlineMonitor, OnlineVerdict, VerdictState,
+};
+use hb_vclock::VectorClock;
+use rayon::prelude::*;
+use std::collections::VecDeque;
+
+use crate::{with_threads, PAR_MIN_SCAN_WORK};
+
+/// A queued candidate: a local state index and the clock of the event
+/// that produced it (state 0 carries the zero clock).
+#[derive(Debug, Clone)]
+struct Candidate {
+    state: u32,
+    clock: VectorClock,
+}
+
+/// Parallel online `EF(conjunctive)` monitor; a drop-in replacement for
+/// `OnlineEfConjunctive` with byte-identical exported state.
+#[derive(Debug)]
+pub struct ParConjunctive {
+    n: usize,
+    queues: Vec<VecDeque<Candidate>>,
+    participating: Vec<bool>,
+    seen: Vec<u32>,
+    finished: Vec<bool>,
+    verdict: OnlineVerdict,
+    /// Worker fan-out for the search/reduce phases (0 = ambient).
+    threads: usize,
+    /// Bypasses the per-call work threshold (test hook; see
+    /// [`ParConjunctive::force_parallel`]).
+    force: bool,
+}
+
+impl ParConjunctive {
+    /// A monitor over `n` processes; `participating[i]` marks processes
+    /// carrying a clause, `initially[i]` whether that clause holds in
+    /// state 0. `threads` caps the parallel fan-out (0 = ambient
+    /// default).
+    pub fn new(n: usize, participating: Vec<bool>, initially: Vec<bool>, threads: usize) -> Self {
+        assert_eq!(participating.len(), n);
+        assert_eq!(initially.len(), n);
+        let mut m = ParConjunctive {
+            n,
+            queues: vec![VecDeque::new(); n],
+            participating,
+            seen: vec![0; n],
+            finished: vec![false; n],
+            verdict: OnlineVerdict::Pending,
+            threads,
+            force: false,
+        };
+        for (i, &init) in initially.iter().enumerate() {
+            if m.participating[i] && init {
+                m.queues[i].push_back(Candidate {
+                    state: 0,
+                    clock: VectorClock::new(n),
+                });
+            }
+        }
+        m.recheck();
+        m
+    }
+
+    /// Rebuilds a monitor from exported state (the same plain-data form
+    /// the sequential monitor emits).
+    pub fn from_state(s: &ConjunctiveState, threads: usize) -> Self {
+        ParConjunctive {
+            n: s.n,
+            queues: s
+                .queues
+                .iter()
+                .map(|q| {
+                    q.iter()
+                        .map(|c| Candidate {
+                            state: c.state,
+                            clock: VectorClock::from_components(c.clock.clone()),
+                        })
+                        .collect()
+                })
+                .collect(),
+            participating: s.participating.clone(),
+            seen: s.seen.clone(),
+            finished: s.finished.clone(),
+            verdict: s.verdict.to_verdict(),
+            threads,
+            force: false,
+        }
+    }
+
+    /// Engages the parallel scan paths regardless of per-call work
+    /// size. The work threshold exists because the rayon shim spawns
+    /// scoped OS threads per fan-out; forcing past it lets the
+    /// differential test battery cover the parallel code on inputs far
+    /// too small to amortize a spawn. Results are byte-identical either
+    /// way.
+    pub fn force_parallel(mut self, on: bool) -> Self {
+        self.force = on;
+        self
+    }
+
+    /// Observes the next local state of process `i`; mirrors the
+    /// sequential monitor exactly.
+    pub fn observe(&mut self, i: usize, holds: bool, clock: &VectorClock) {
+        assert!(!self.finished[i], "process {i} already finished");
+        self.seen[i] += 1;
+        if !self.participating[i] || !holds {
+            return;
+        }
+        if matches!(self.verdict, OnlineVerdict::Detected(_)) {
+            return; // already answered; ignore further input
+        }
+        self.queues[i].push_back(Candidate {
+            state: self.seen[i],
+            clock: clock.clone(),
+        });
+        self.recheck();
+    }
+
+    /// Declares that process `i` will produce no further states.
+    pub fn finish_process(&mut self, i: usize) {
+        self.finished[i] = true;
+        self.recheck();
+    }
+
+    /// The monitor's current verdict.
+    pub fn verdict(&self) -> &OnlineVerdict {
+        &self.verdict
+    }
+
+    /// Whether a scan touching `fronts` queue fronts (each an `O(n)`
+    /// clock walk) is big enough to amortize a worker spawn. The
+    /// fixpoint calls this once per round, so the decision tracks the
+    /// actual per-call work, not just the process count.
+    fn engage(&self, fronts: usize) -> bool {
+        self.threads > 1 && (self.force || fronts.saturating_mul(self.n) >= PAR_MIN_SCAN_WORK)
+    }
+
+    /// Finds the queue whose front the sequential monitor would pop
+    /// next: the `(i, j)` lexicographically-first pair of participating
+    /// fronts with `front_i.clock[j] > front_j.state`, returned as `j`.
+    /// Every participating queue is known non-empty here.
+    fn first_dead_front(&self) -> Option<usize> {
+        // Snapshot the fronts: (process, state, clock) triples plus a
+        // dense state array for O(1) partner lookups. u32::MAX for
+        // non-participating slots makes `clock[j] > state[j]` vacuously
+        // false, matching the sequential skip.
+        let mut states = vec![u32::MAX; self.n];
+        let mut fronts: Vec<(usize, &VectorClock)> = Vec::new();
+        for (i, slot) in states.iter_mut().enumerate() {
+            if self.participating[i] {
+                let c = self.queues[i].front().expect("checked nonempty");
+                *slot = c.state;
+                fronts.push((i, &c.clock));
+            }
+        }
+        let dead_partner = |&(i, clock): &(usize, &VectorClock)| -> Option<usize> {
+            (0..self.n).find(|&j| j != i && clock.get(j) > states[j])
+        };
+        if self.engage(fronts.len()) {
+            let hits: Vec<Option<usize>> = with_threads(self.threads, || {
+                fronts.par_iter().map(dead_partner).collect()
+            });
+            hits.into_iter().flatten().next()
+        } else {
+            fronts.iter().filter_map(dead_partner).next()
+        }
+    }
+
+    /// The least satisfying cut once all fronts are pairwise
+    /// compatible: the join of the fronts' states and clocks, computed
+    /// as a chunked max-reduce (max is associative and commutative, so
+    /// the chunked fold equals the sequential left fold bit-for-bit).
+    fn detection_cut(&self) -> Cut {
+        let fronts: Vec<(usize, &Candidate)> = (0..self.n)
+            .filter(|&i| self.participating[i])
+            .map(|i| (i, self.queues[i].front().expect("nonempty")))
+            .collect();
+        let fold = |acc: &mut Vec<u32>, &(i, c): &(usize, &Candidate)| {
+            acc[i] = acc[i].max(c.state);
+            for (j, slot) in acc.iter_mut().enumerate() {
+                *slot = (*slot).max(c.clock.get(j));
+            }
+        };
+        let counters = if self.engage(fronts.len()) && fronts.len() >= 2 {
+            let workers = with_threads(self.threads, rayon::current_num_threads).max(1);
+            let chunk = fronts.len().div_ceil(workers);
+            let chunks: Vec<&[(usize, &Candidate)]> = fronts.chunks(chunk).collect();
+            let partials: Vec<Vec<u32>> = with_threads(self.threads, || {
+                chunks
+                    .par_iter()
+                    .map(|part| {
+                        let mut acc = vec![0u32; self.n];
+                        part.iter().for_each(|f| fold(&mut acc, f));
+                        acc
+                    })
+                    .collect()
+            });
+            partials
+                .into_iter()
+                .reduce(|mut a, b| {
+                    a.iter_mut().zip(b).for_each(|(x, y)| *x = (*x).max(y));
+                    a
+                })
+                .unwrap_or_else(|| vec![0u32; self.n])
+        } else {
+            let mut acc = vec![0u32; self.n];
+            fronts.iter().for_each(|f| fold(&mut acc, f));
+            acc
+        };
+        Cut::from_counters(counters)
+    }
+
+    /// The popping fixpoint. Control flow — when to stop, what to pop,
+    /// when to detect — is lifted verbatim from the sequential monitor;
+    /// only the searches inside each round are parallel.
+    fn recheck(&mut self) {
+        if !matches!(self.verdict, OnlineVerdict::Pending) {
+            return;
+        }
+        loop {
+            // A process with an empty queue: wait unless it is finished
+            // (then the conjunction can never hold again).
+            for i in 0..self.n {
+                if self.participating[i] && self.queues[i].is_empty() {
+                    if self.finished[i] {
+                        self.verdict = OnlineVerdict::Impossible;
+                    }
+                    return;
+                }
+            }
+            match self.first_dead_front() {
+                Some(j) => {
+                    self.queues[j].pop_front();
+                }
+                None => {
+                    self.verdict = OnlineVerdict::Detected(self.detection_cut());
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl OnlineMonitor for ParConjunctive {
+    fn observe(&mut self, i: usize, holds: bool, clock: &VectorClock) -> OnlineVerdict {
+        ParConjunctive::observe(self, i, holds, clock);
+        self.verdict.clone()
+    }
+
+    fn skip_states(&mut self, i: usize, count: u64) {
+        assert!(!self.finished[i], "process {i} already finished");
+        self.seen[i] += u32::try_from(count).expect("skip count exceeds clock range");
+    }
+
+    fn finish_process(&mut self, i: usize) -> OnlineVerdict {
+        ParConjunctive::finish_process(self, i);
+        self.verdict.clone()
+    }
+
+    fn verdict(&self) -> &OnlineVerdict {
+        ParConjunctive::verdict(self)
+    }
+
+    fn export_state(&self) -> DetectorState {
+        DetectorState::Conjunctive(ConjunctiveState {
+            n: self.n,
+            queues: self
+                .queues
+                .iter()
+                .map(|q| {
+                    q.iter()
+                        .map(|c| CandidateState {
+                            state: c.state,
+                            clock: c.clock.components().to_vec(),
+                        })
+                        .collect()
+                })
+                .collect(),
+            participating: self.participating.clone(),
+            seen: self.seen.clone(),
+            finished: self.finished.clone(),
+            verdict: VerdictState::from_verdict(&self.verdict),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_detect::online::OnlineEfConjunctive;
+
+    fn vc(c: &[u32]) -> VectorClock {
+        VectorClock::from_components(c.to_vec())
+    }
+
+    /// Drives a sequential and a parallel monitor through the same
+    /// observations, asserting exported-state equality after every
+    /// step.
+    fn lockstep(
+        n: usize,
+        participating: Vec<bool>,
+        initially: Vec<bool>,
+        threads: usize,
+        steps: &[(usize, bool, Vec<u32>)],
+    ) -> (OnlineVerdict, DetectorState) {
+        let mut seq = OnlineEfConjunctive::new(n, participating.clone(), initially.clone());
+        // Forced past the work threshold so the parallel scans run even
+        // on these tiny inputs.
+        let mut par =
+            ParConjunctive::new(n, participating, initially, threads).force_parallel(true);
+        assert_eq!(
+            OnlineMonitor::export_state(&seq),
+            OnlineMonitor::export_state(&par)
+        );
+        for (i, holds, clock) in steps {
+            seq.observe(*i, *holds, &vc(clock));
+            par.observe(*i, *holds, &vc(clock));
+            assert_eq!(
+                OnlineMonitor::export_state(&seq),
+                OnlineMonitor::export_state(&par),
+                "diverged after observe({i}, {holds}, {clock:?})"
+            );
+        }
+        for i in 0..n {
+            seq.finish_process(i);
+            par.finish_process(i);
+            assert_eq!(
+                OnlineMonitor::export_state(&seq),
+                OnlineMonitor::export_state(&par)
+            );
+        }
+        (par.verdict().clone(), OnlineMonitor::export_state(&par))
+    }
+
+    #[test]
+    fn matches_sequential_on_a_popping_run() {
+        // P1's first candidate is overtaken by P0's (which causally
+        // requires two P1 events), forcing a pop before detection.
+        for threads in [1, 2, 4, 8] {
+            let (v, _) = lockstep(
+                2,
+                vec![true, true],
+                vec![false, false],
+                threads,
+                &[
+                    (1, true, vec![0, 1]),
+                    (0, true, vec![1, 2]),
+                    (1, false, vec![0, 2]),
+                    (1, true, vec![0, 3]),
+                ],
+            );
+            assert_eq!(v, OnlineVerdict::Detected(Cut::from_counters(vec![1, 3])));
+        }
+    }
+
+    #[test]
+    fn impossible_when_a_clause_never_fires() {
+        let (v, _) = lockstep(
+            3,
+            vec![true, true, false],
+            vec![false, false, false],
+            4,
+            &[(0, true, vec![1, 0, 0]), (2, true, vec![0, 0, 1])],
+        );
+        assert_eq!(v, OnlineVerdict::Impossible);
+    }
+
+    #[test]
+    fn initially_true_conjunction_detects_the_empty_cut() {
+        let m = ParConjunctive::new(2, vec![true, true], vec![true, true], 4);
+        assert_eq!(m.verdict(), &OnlineVerdict::Detected(Cut::initial(2)));
+    }
+
+    #[test]
+    fn wide_run_engages_parallel_paths_and_stays_identical() {
+        // 32 participating processes, forced past the work threshold.
+        // Queue 0 stays empty until the very last observation, so the fixpoint
+        // runs exactly once with every queue full — and process 2's
+        // candidate causally requires two events of process 1, so the
+        // parallel dead-front search must find and pop queue 1's first
+        // candidate before detection succeeds on its refreshed front.
+        let n = 32;
+        let unit = |i: usize, v: u32| {
+            let mut c = vec![0u32; n];
+            c[i] = v;
+            c
+        };
+        let mut steps = Vec::new();
+        steps.push((1, true, unit(1, 1)));
+        steps.push((1, false, unit(1, 2)));
+        let mut c2 = unit(2, 1);
+        c2[1] = 2; // received from P1's second event
+        steps.push((2, true, c2));
+        for i in 3..n {
+            steps.push((i, true, unit(i, 1)));
+        }
+        steps.push((1, true, unit(1, 3)));
+        steps.push((0, true, unit(0, 1)));
+        for threads in [1, 2, 4, 8] {
+            let (v, state) = lockstep(n, vec![true; n], vec![false; n], threads, &steps);
+            let expected = {
+                let mut c = vec![1u32; n];
+                c[1] = 3;
+                c
+            };
+            assert_eq!(v, OnlineVerdict::Detected(Cut::from_counters(expected)));
+            // Determinism across thread counts: identical final state.
+            let (_, state2) = lockstep(n, vec![true; n], vec![false; n], 4, &steps);
+            assert_eq!(state, state2);
+        }
+    }
+
+    #[test]
+    fn restore_round_trip_is_stable() {
+        let mut m = ParConjunctive::new(2, vec![true, true], vec![true, false], 2);
+        m.observe(0, true, &vc(&[1, 0]));
+        let exported = OnlineMonitor::export_state(&m);
+        let restored = ParConjunctive::from_state(
+            match &exported {
+                DetectorState::Conjunctive(s) => s,
+                _ => unreachable!(),
+            },
+            8,
+        );
+        assert_eq!(OnlineMonitor::export_state(&restored), exported);
+    }
+}

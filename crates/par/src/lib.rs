@@ -1,0 +1,72 @@
+//! Work-optimal parallel predicate detection on the vendored `rayon`
+//! shim, after Garg–Garg (*Fast and Work-Optimal Parallel Algorithms
+//! for Predicate Detection*): predicate detection on the
+//! happened-before model is in NC, and its sequential algorithms
+//! decompose into per-process work units joined by vector-clock
+//! reductions.
+//!
+//! Two layers:
+//!
+//! * [`ParDetector`] — the offline detector. Per-process clause scans
+//!   run as parallel work units; the conjunctive cut-advancement
+//!   fixpoint parallelizes its `O(n²)` pairwise dead-candidate search
+//!   into per-process scans joined by a lexicographic reduce; `AG`
+//!   fans the meet-irreducible cut checks out in chunks; the pattern
+//!   matcher's per-atom candidate scans label events in parallel.
+//! * [`ParOnlineMonitor`] / [`ParConjunctive`] — the online detectors
+//!   behind `hb_detect::online::OnlineMonitor`, drop-in replacements
+//!   for the sequential monitors with **byte-identical**
+//!   `DetectorState` exports at every observation boundary (the
+//!   differential battery in `tests/par_equivalence.rs` locks this),
+//!   so WAL snapshots, crash recovery, and `dist` workers interoperate
+//!   freely across sequential and parallel sessions.
+//!
+//! # Determinism
+//!
+//! Every parallel construct here is a *search* or a *reduce* over
+//! read-only state: which candidate to pop, whether a cut violates the
+//! invariant, which frontier chain a new event extends. The mutations
+//! those searches feed — queue pops, frontier inserts, verdict commits
+//! — happen on the calling thread, in exactly the order the sequential
+//! algorithm performs them. Thread count therefore changes wall-clock
+//! shape, never a single byte of detector state (DESIGN.md §16).
+
+pub mod conjunctive;
+pub mod offline;
+pub mod online;
+
+pub use conjunctive::ParConjunctive;
+pub use offline::ParDetector;
+pub use online::{restore_any_par, ParOnlineMonitor};
+
+/// Runs `f` with `threads` governing rayon-shim fan-out on the calling
+/// thread (`0` keeps the ambient default: an enclosing pool, then
+/// `RAYON_NUM_THREADS`, then the machine).
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    if threads == 0 {
+        return f();
+    }
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pool build cannot fail")
+        .install(f)
+}
+
+/// Below this process count the parallel search paths fall back to
+/// plain loops: fan-out over a handful of processes costs more than the
+/// scan it replaces. Results are identical either way — the threshold
+/// is a latency knob, not a semantic one.
+pub(crate) const PAR_MIN_PROCESSES: usize = 16;
+
+/// Minimum *per-call* scan work (elementary clock comparisons) before a
+/// search fans out. The vendored rayon shim runs every fan-out on
+/// freshly scoped OS threads — a spawn costs on the order of 10⁵
+/// comparisons — so per-observation searches (the dead-front scan, the
+/// matcher's candidate scans) engage workers only when one call's scan
+/// amortizes the spawn. Amortized fan-outs (one spawn per whole-trace
+/// scan or per multi-thousand-event chunk) are gated on
+/// [`PAR_MIN_PROCESSES`] alone. Results are identical either way; the
+/// `force_parallel` hooks on the detectors exist so the differential
+/// battery can cover the parallel paths on small inputs.
+pub(crate) const PAR_MIN_SCAN_WORK: usize = 1 << 15;

@@ -1,0 +1,385 @@
+//! The offline parallel detector.
+//!
+//! [`ParDetector`] runs the paper's offline detection algorithms with
+//! their dominant loops decomposed into per-process (or per-event)
+//! parallel work units, after Garg–Garg's work-optimal framing: total
+//! work matches the sequential algorithm's bound, with the scans that
+//! bound it fanned out over workers.
+//!
+//! * `EF(conjunctive)` — phase 1 scans every process's local states
+//!   for clause-satisfying candidates in parallel; phase 2 feeds the
+//!   candidates through the parallel popping fixpoint
+//!   ([`crate::ParConjunctive`]), whose per-round dead-front search is
+//!   itself parallel. The witness is the least satisfying cut `I_p`,
+//!   byte-identical to `hb_detect::ef::ef_linear`'s (and so to the
+//!   online monitor's).
+//! * `AG(linear)` — Algorithm A2's meet-irreducible sweep: the
+//!   `E − ↑e` checks are independent, so they run speculatively in
+//!   chunks of events, with the lexicographically-first violation
+//!   reported — the exact cut (and `checked` count) the sequential
+//!   sweep returns.
+//! * `EF(disjunctive)` / `AG(disjunctive)` — per-clause state scans in
+//!   parallel over clauses, reduced in clause order; and `¬EF(¬p)`
+//!   over the conjunctive machinery, as in `hb_detect::tokens`.
+//! * Pattern matching — per-atom candidate labeling fans out over
+//!   processes, then the predictive matcher (its own candidate scans
+//!   parallel, `PredictiveMatcher::with_threads`) consumes a
+//!   deterministic linear extension of the computation.
+
+use hb_computation::{Computation, Cut, EventId};
+use hb_detect::online::{OnlineMonitor, OnlineVerdict};
+use hb_detect::{AgReport, EfReport};
+use hb_pattern::PredictiveMatcher;
+use hb_predicates::{Conjunctive, Disjunctive, LinearPredicate};
+use rayon::prelude::*;
+
+use crate::{with_threads, ParConjunctive, PAR_MIN_PROCESSES};
+
+/// The offline parallel detector: a stateless handle carrying the
+/// worker fan-out.
+#[derive(Debug, Clone)]
+pub struct ParDetector {
+    threads: usize,
+}
+
+impl Default for ParDetector {
+    fn default() -> Self {
+        ParDetector::new()
+    }
+}
+
+impl ParDetector {
+    /// A detector with the ambient fan-out (`RAYON_NUM_THREADS` or the
+    /// machine's parallelism).
+    pub fn new() -> Self {
+        ParDetector {
+            threads: rayon::current_num_threads(),
+        }
+    }
+
+    /// Caps the worker fan-out at `n` threads.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Detects `EF(p)` for a conjunctive predicate. The witness is the
+    /// least satisfying cut `I_p`, identical to `ef_linear`'s;
+    /// `steps` counts the satisfying candidates scanned (phase 1's
+    /// output), the unit of the fixpoint's amortized work bound.
+    pub fn ef_conjunctive(&self, comp: &Computation, p: &Conjunctive) -> EfReport {
+        let n = comp.num_processes();
+        let participating: Vec<bool> = (0..n)
+            .map(|i| p.clauses().iter().any(|c| c.process == i))
+            .collect();
+        let initially: Vec<bool> = (0..n).map(|i| p.clause_holds_at(comp, i, 0)).collect();
+
+        // Phase 1: per-process candidate scans as parallel work units —
+        // every local state's clause evaluation is independent.
+        let procs: Vec<usize> = (0..n).collect();
+        let scan = |&i: &usize| -> Vec<u32> {
+            if !participating[i] {
+                return Vec::new();
+            }
+            (1..=comp.num_events_of(i) as u32)
+                .filter(|&s| p.clause_holds_at(comp, i, s))
+                .collect()
+        };
+        let candidates: Vec<Vec<u32>> = if n >= PAR_MIN_PROCESSES && self.threads > 1 {
+            with_threads(self.threads, || procs.par_iter().map(scan).collect())
+        } else {
+            procs.iter().map(scan).collect()
+        };
+        let steps: usize = candidates.iter().map(Vec::len).sum();
+
+        // Phase 2: stream the candidates (with skip-aligned state
+        // indices) through the parallel popping fixpoint. The verdict
+        // is delivery-order independent — the fixpoint retains exactly
+        // the candidates not provably dead, and deadness is a property
+        // of clocks, not of arrival order — so a process-major feed is
+        // as good as a causal interleaving.
+        let mut m = ParConjunctive::new(n, participating, initially, self.threads);
+        for (i, states) in candidates.iter().enumerate() {
+            let mut seen = 0u32;
+            for &s in states {
+                if s - 1 > seen {
+                    OnlineMonitor::skip_states(&mut m, i, u64::from(s - 1 - seen));
+                }
+                m.observe(i, true, comp.clock(EventId::new(i, s as usize - 1)));
+                seen = s;
+            }
+        }
+        for i in 0..n {
+            m.finish_process(i);
+        }
+        match m.verdict() {
+            OnlineVerdict::Detected(cut) => EfReport {
+                holds: true,
+                witness: Some(cut.clone()),
+                steps,
+            },
+            _ => EfReport {
+                holds: false,
+                witness: None,
+                steps,
+            },
+        }
+    }
+
+    /// Detects `EF(p)` for a disjunctive predicate: any satisfying
+    /// local state suffices. Clauses scan in parallel; the report is
+    /// reduced in clause order, so it is byte-identical to
+    /// `hb_detect::tokens::ef_disjunctive` (first clause, then lowest
+    /// state).
+    pub fn ef_disjunctive(&self, comp: &Computation, p: &Disjunctive) -> EfReport {
+        let clauses: Vec<_> = p.clauses().iter().collect();
+        let scan = |clause: &&hb_predicates::LocalPredicate| -> Option<u32> {
+            let i = clause.process;
+            (0..=comp.num_events_of(i) as u32).find(|&s| clause.eval_at(comp, s))
+        };
+        let hits: Vec<Option<u32>> = if clauses.len() >= 2 && self.threads > 1 {
+            with_threads(self.threads, || clauses.par_iter().map(scan).collect())
+        } else {
+            clauses.iter().map(scan).collect()
+        };
+        for (clause, hit) in clauses.iter().zip(&hits) {
+            if let Some(s) = *hit {
+                let i = clause.process;
+                let witness = if s == 0 {
+                    comp.initial_cut()
+                } else {
+                    comp.causal_past_cut(EventId::new(i, s as usize - 1))
+                };
+                return EfReport {
+                    holds: true,
+                    witness: Some(witness),
+                    steps: s as usize,
+                };
+            }
+        }
+        EfReport {
+            holds: false,
+            witness: None,
+            steps: 0,
+        }
+    }
+
+    /// Detects `AG(p)` for a linear predicate: Algorithm A2's
+    /// meet-irreducible sweep with the per-cut checks fanned out in
+    /// event chunks. The counterexample and `checked` count match
+    /// `hb_detect::ag::ag_linear` exactly (first violating cut in
+    /// event order); the speculative overshoot is at most one chunk.
+    pub fn ag_linear<P>(&self, comp: &Computation, p: &P) -> AgReport
+    where
+        P: LinearPredicate + Sync + ?Sized,
+    {
+        let final_cut = comp.final_cut();
+        if !p.eval(comp, &final_cut) {
+            return AgReport {
+                holds: false,
+                counterexample: Some(final_cut),
+                checked: 1,
+            };
+        }
+        let events: Vec<EventId> = comp.event_ids().collect();
+        // Large chunks: the shim spawns scoped threads per fan-out, so
+        // each chunk must carry enough cut checks to amortize a spawn.
+        let chunk_len = (self.threads.max(1) * 1024).max(2048);
+        let mut checked = 1usize;
+        for chunk in events.chunks(chunk_len) {
+            let violation = |&e: &EventId| -> Option<Cut> {
+                let v = comp.excluding_cut(e);
+                if p.eval(comp, &v) {
+                    None
+                } else {
+                    Some(v)
+                }
+            };
+            let results: Vec<Option<Cut>> = if chunk.len() >= 2 && self.threads > 1 {
+                with_threads(self.threads, || chunk.par_iter().map(violation).collect())
+            } else {
+                chunk.iter().map(violation).collect()
+            };
+            for (offset, r) in results.into_iter().enumerate() {
+                if let Some(cex) = r {
+                    return AgReport {
+                        holds: false,
+                        counterexample: Some(cex),
+                        checked: checked + offset + 1,
+                    };
+                }
+            }
+            checked += chunk.len();
+        }
+        AgReport {
+            holds: true,
+            counterexample: None,
+            checked,
+        }
+    }
+
+    /// Detects `AG(p)` for a disjunctive predicate via `¬EF(¬p)` with
+    /// `¬p` conjunctive, as `hb_detect::tokens::ag_disjunctive` does —
+    /// the counterexample is the least violating cut `I_{¬p}`.
+    pub fn ag_disjunctive(&self, comp: &Computation, p: &Disjunctive) -> AgReport {
+        let r = self.ef_conjunctive(comp, &p.negated());
+        AgReport {
+            holds: !r.holds,
+            counterexample: r.witness,
+            checked: r.steps + 1,
+        }
+    }
+
+    /// Offline predictive pattern matching: does **any** causally
+    /// consistent reordering of `comp` match the `causal.len()`-atom
+    /// chain? `label(process, state)` is the atom bitmask of the event
+    /// producing local state `state ≥ 1` (the per-atom candidate
+    /// labeling — fanned out over processes). Returns the matcher's
+    /// settled verdict.
+    pub fn match_pattern<F>(&self, comp: &Computation, causal: &[bool], label: F) -> OnlineVerdict
+    where
+        F: Fn(usize, u32) -> u64 + Sync,
+    {
+        let n = comp.num_processes();
+        // Phase 1: label every event, one process per work unit.
+        let procs: Vec<usize> = (0..n).collect();
+        let scan = |&i: &usize| -> Vec<u64> {
+            (1..=comp.num_events_of(i) as u32)
+                .map(|s| label(i, s))
+                .collect()
+        };
+        let masks: Vec<Vec<u64>> = if n >= PAR_MIN_PROCESSES && self.threads > 1 {
+            with_threads(self.threads, || procs.par_iter().map(scan).collect())
+        } else {
+            procs.iter().map(scan).collect()
+        };
+        // Phase 2: feed a deterministic linear extension (Lamport-sum
+        // order, ties by process then index — strictly increasing along
+        // both causal edges and process lines) to the matcher.
+        let mut order: Vec<(u64, EventId)> = comp
+            .event_ids()
+            .map(|e| {
+                let lamport: u64 = comp
+                    .clock(e)
+                    .components()
+                    .iter()
+                    .map(|&c| u64::from(c))
+                    .sum();
+                (lamport, e)
+            })
+            .collect();
+        order.sort_by_key(|&(lamport, e)| (lamport, e.process, e.index));
+        let mut m = PredictiveMatcher::new(n, causal.to_vec()).with_threads(self.threads);
+        for &(_, e) in &order {
+            m.observe_atoms(e.process, masks[e.process][e.index], comp.clock(e));
+            if matches!(OnlineMonitor::verdict(&m), OnlineVerdict::Detected(_)) {
+                break;
+            }
+        }
+        if matches!(OnlineMonitor::verdict(&m), OnlineVerdict::Pending) {
+            for i in 0..n {
+                OnlineMonitor::finish_process(&mut m, i);
+            }
+        }
+        OnlineMonitor::verdict(&m).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_detect::{ag_disjunctive, ag_linear, ef_disjunctive, ef_linear};
+    use hb_predicates::LocalExpr;
+
+    fn sample() -> (Computation, hb_computation::VarId) {
+        let mut b = hb_computation::ComputationBuilder::new(3);
+        let x = b.var("x");
+        b.internal(0).set(x, 1).done();
+        let m = b.send(0).set(x, 2).done_send();
+        b.internal(1).set(x, 1).done();
+        b.receive(2, m).set(x, 1).done();
+        b.internal(2).set(x, 0).done();
+        (b.finish().unwrap(), x)
+    }
+
+    #[test]
+    fn ef_conjunctive_matches_sequential_oracle() {
+        let (comp, x) = sample();
+        let preds = [
+            Conjunctive::new(vec![(0, LocalExpr::eq(x, 1)), (1, LocalExpr::eq(x, 1))]),
+            Conjunctive::new(vec![
+                (0, LocalExpr::eq(x, 2)),
+                (1, LocalExpr::eq(x, 1)),
+                (2, LocalExpr::eq(x, 1)),
+            ]),
+            Conjunctive::new(vec![(2, LocalExpr::eq(x, 9))]),
+            Conjunctive::top(),
+        ];
+        for threads in [1, 2, 4, 8] {
+            let det = ParDetector::new().threads(threads);
+            for p in &preds {
+                let seq = ef_linear(&comp, p);
+                let par = det.ef_conjunctive(&comp, p);
+                assert_eq!(par.holds, seq.holds);
+                assert_eq!(par.witness, seq.witness);
+            }
+        }
+    }
+
+    #[test]
+    fn ef_and_ag_disjunctive_match_sequential_oracle() {
+        let (comp, x) = sample();
+        let preds = [
+            Disjunctive::new(vec![(0, LocalExpr::eq(x, 2)), (1, LocalExpr::eq(x, 5))]),
+            Disjunctive::new(vec![(2, LocalExpr::eq(x, 5))]),
+        ];
+        for threads in [1, 4] {
+            let det = ParDetector::new().threads(threads);
+            for p in &preds {
+                assert_eq!(det.ef_disjunctive(&comp, p), ef_disjunctive(&comp, p));
+                // `checked` counts different work units (candidates vs
+                // lattice steps); the verdict and cut must coincide.
+                let (par, seq) = (det.ag_disjunctive(&comp, p), ag_disjunctive(&comp, p));
+                assert_eq!(par.holds, seq.holds);
+                assert_eq!(par.counterexample, seq.counterexample);
+            }
+        }
+    }
+
+    #[test]
+    fn ag_linear_matches_sequential_oracle() {
+        let (comp, x) = sample();
+        let preds = [
+            Conjunctive::new(vec![(0, LocalExpr::ge(x, 1))]),
+            Conjunctive::new(vec![(0, LocalExpr::le(x, 1))]),
+            Conjunctive::new(vec![(1, LocalExpr::ne(x, 1))]),
+        ];
+        for threads in [1, 4] {
+            let det = ParDetector::new().threads(threads);
+            for p in &preds {
+                assert_eq!(det.ag_linear(&comp, p), ag_linear(&comp, p));
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_detects_reorderable_chain() {
+        // x=1 then (concurrently) x=2: the chain "x=2 -> x=1" matches
+        // only through a reordering — predictive detection fires.
+        let mut b = hb_computation::ComputationBuilder::new(2);
+        let x = b.var("x");
+        b.internal(0).set(x, 1).done();
+        b.internal(1).set(x, 2).done();
+        let comp = b.finish().unwrap();
+        let det = ParDetector::new().threads(4);
+        let label = |i: usize, s: u32| -> u64 {
+            let v = comp.event(EventId::new(i, s as usize - 1)).state.get(x);
+            (u64::from(v == 2)) | (u64::from(v == 1) << 1)
+        };
+        let v = det.match_pattern(&comp, &[false, false], label);
+        assert!(matches!(v, OnlineVerdict::Detected(_)));
+        // With a causal edge the concurrent pair cannot match.
+        let v = det.match_pattern(&comp, &[false, true], label);
+        assert_eq!(v, OnlineVerdict::Impossible);
+    }
+}

@@ -1,0 +1,186 @@
+//! The parallel online monitor family behind `OnlineMonitor`.
+//!
+//! [`ParOnlineMonitor`] is the session-facing entry point: one type
+//! covering the three detector kinds a monitoring service hosts, each
+//! backed by the parallel implementation that makes sense for it —
+//!
+//! * conjunctive → [`ParConjunctive`] (parallel dead-front search and
+//!   detection join-reduce),
+//! * pattern → `hb_pattern::PredictiveMatcher` with its parallel
+//!   per-process candidate scans enabled (`with_threads`),
+//! * disjunctive → the sequential `OnlineEfDisjunctive` unchanged: it
+//!   is a single comparison per observation, with nothing to fan out.
+//!
+//! All three export the same plain-data `DetectorState` as their
+//! sequential counterparts, byte for byte, so a service can snapshot a
+//! parallel session and restore it sequentially (or vice versa)
+//! without a conversion step.
+
+use hb_detect::online::{DetectorState, OnlineEfDisjunctive, OnlineMonitor, OnlineVerdict};
+use hb_pattern::PredictiveMatcher;
+use hb_tracefmt::wire::WirePattern;
+use hb_vclock::VectorClock;
+
+use crate::ParConjunctive;
+
+/// One parallel online detector of any kind; implements
+/// [`OnlineMonitor`] by delegation.
+pub struct ParOnlineMonitor {
+    inner: Inner,
+}
+
+enum Inner {
+    Conjunctive(ParConjunctive),
+    Disjunctive(OnlineEfDisjunctive),
+    Pattern(PredictiveMatcher),
+}
+
+impl ParOnlineMonitor {
+    /// A parallel `EF(conjunctive)` monitor (see [`ParConjunctive`]).
+    pub fn conjunctive(
+        n: usize,
+        participating: Vec<bool>,
+        initially: Vec<bool>,
+        threads: usize,
+    ) -> Self {
+        ParOnlineMonitor {
+            inner: Inner::Conjunctive(ParConjunctive::new(n, participating, initially, threads)),
+        }
+    }
+
+    /// An `EF(disjunctive)` monitor: the sequential detector, which has
+    /// no parallelizable inner loop (one comparison per observation).
+    pub fn disjunctive(n: usize, initially: Vec<bool>) -> Self {
+        ParOnlineMonitor {
+            inner: Inner::Disjunctive(OnlineEfDisjunctive::new(n, initially)),
+        }
+    }
+
+    /// A predictive pattern matcher with parallel candidate scans.
+    pub fn pattern(n: usize, pattern: &WirePattern, threads: usize) -> Self {
+        ParOnlineMonitor {
+            inner: Inner::Pattern(PredictiveMatcher::from_wire(n, pattern).with_threads(threads)),
+        }
+    }
+
+    /// Rebuilds a parallel monitor from any exported detector state —
+    /// including state written by the sequential detectors, which is
+    /// byte-identical.
+    pub fn from_state(state: &DetectorState, threads: usize) -> Self {
+        let inner = match state {
+            DetectorState::Conjunctive(s) => {
+                Inner::Conjunctive(ParConjunctive::from_state(s, threads))
+            }
+            DetectorState::Disjunctive(s) => Inner::Disjunctive(OnlineEfDisjunctive::from_state(s)),
+            DetectorState::Pattern(s) => {
+                Inner::Pattern(hb_pattern::restore_pattern(s).with_threads(threads))
+            }
+        };
+        ParOnlineMonitor { inner }
+    }
+}
+
+/// Rebuilds a boxed **parallel** monitor from exported state: the
+/// parallel counterpart of `hb_pattern::restore_any` /
+/// `hb_detect::online::restore_monitor`, accepting every variant.
+pub fn restore_any_par(state: &DetectorState, threads: usize) -> Box<dyn OnlineMonitor + Send> {
+    Box::new(ParOnlineMonitor::from_state(state, threads))
+}
+
+impl OnlineMonitor for ParOnlineMonitor {
+    fn observe(&mut self, i: usize, holds: bool, clock: &VectorClock) -> OnlineVerdict {
+        match &mut self.inner {
+            Inner::Conjunctive(m) => OnlineMonitor::observe(m, i, holds, clock),
+            Inner::Disjunctive(m) => OnlineMonitor::observe(m, i, holds, clock),
+            Inner::Pattern(m) => OnlineMonitor::observe(m, i, holds, clock),
+        }
+    }
+
+    fn observe_atoms(&mut self, i: usize, mask: u64, clock: &VectorClock) -> OnlineVerdict {
+        match &mut self.inner {
+            Inner::Conjunctive(m) => m.observe_atoms(i, mask, clock),
+            Inner::Disjunctive(m) => m.observe_atoms(i, mask, clock),
+            Inner::Pattern(m) => m.observe_atoms(i, mask, clock),
+        }
+    }
+
+    fn skip_states(&mut self, i: usize, count: u64) {
+        match &mut self.inner {
+            Inner::Conjunctive(m) => OnlineMonitor::skip_states(m, i, count),
+            Inner::Disjunctive(m) => OnlineMonitor::skip_states(m, i, count),
+            Inner::Pattern(m) => OnlineMonitor::skip_states(m, i, count),
+        }
+    }
+
+    fn finish_process(&mut self, i: usize) -> OnlineVerdict {
+        match &mut self.inner {
+            Inner::Conjunctive(m) => OnlineMonitor::finish_process(m, i),
+            Inner::Disjunctive(m) => OnlineMonitor::finish_process(m, i),
+            Inner::Pattern(m) => OnlineMonitor::finish_process(m, i),
+        }
+    }
+
+    fn verdict(&self) -> &OnlineVerdict {
+        match &self.inner {
+            Inner::Conjunctive(m) => OnlineMonitor::verdict(m),
+            Inner::Disjunctive(m) => OnlineMonitor::verdict(m),
+            Inner::Pattern(m) => OnlineMonitor::verdict(m),
+        }
+    }
+
+    fn export_state(&self) -> DetectorState {
+        match &self.inner {
+            Inner::Conjunctive(m) => m.export_state(),
+            Inner::Disjunctive(m) => m.export_state(),
+            Inner::Pattern(m) => m.export_state(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_computation::Cut;
+
+    fn vc(c: &[u32]) -> VectorClock {
+        VectorClock::from_components(c.to_vec())
+    }
+
+    fn two_atom_pattern() -> WirePattern {
+        let atom = |var: &str| hb_tracefmt::wire::WireAtom {
+            process: None,
+            var: var.to_string(),
+            op: "eq".to_string(),
+            value: 1,
+            causal: false,
+        };
+        WirePattern {
+            atoms: vec![atom("a"), atom("b")],
+        }
+    }
+
+    #[test]
+    fn restore_any_par_accepts_every_variant() {
+        let conj = ParOnlineMonitor::conjunctive(2, vec![true, true], vec![true, true], 2);
+        let disj = ParOnlineMonitor::disjunctive(2, vec![false, false]);
+        let pat = ParOnlineMonitor::pattern(2, &two_atom_pattern(), 2);
+        for m in [&conj as &dyn OnlineMonitor, &disj, &pat] {
+            let exported = m.export_state();
+            let restored = restore_any_par(&exported, 4);
+            assert_eq!(restored.export_state(), exported);
+        }
+    }
+
+    #[test]
+    fn pattern_monitor_dispatches_atom_masks() {
+        let mut m = ParOnlineMonitor::pattern(2, &two_atom_pattern(), 2);
+        assert_eq!(
+            m.observe_atoms(0, 0b10, &vc(&[1, 0])),
+            OnlineVerdict::Pending
+        );
+        assert_eq!(
+            m.observe_atoms(1, 0b01, &vc(&[0, 1])),
+            OnlineVerdict::Detected(Cut::from_counters(vec![1, 1]))
+        );
+    }
+}

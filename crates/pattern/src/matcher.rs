@@ -43,6 +43,16 @@ use hb_detect::online::{
 };
 use hb_tracefmt::wire::WirePattern;
 use hb_vclock::VectorClock;
+use rayon::prelude::*;
+
+/// Below this process count the parallel candidate scan falls back to
+/// the plain loop. The per-insert scan is `n` binary searches plus up
+/// to `n` clock joins of length `n`, and the rayon shim spawns scoped
+/// OS threads per fan-out (a spawn costs on the order of 10⁵ clock
+/// comparisons), so the fan-out only pays on very wide sessions;
+/// [`PredictiveMatcher::force_parallel`] bypasses the threshold so
+/// differential tests can cover the parallel path on small inputs.
+const PAR_MIN_SCAN_PROCESSES: usize = 192;
 
 /// One Pareto-frontier entry: the live form of [`PatternChainState`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +101,15 @@ pub struct PredictiveMatcher {
     finished: Vec<bool>,
     seen: Vec<u32>,
     verdict: OnlineVerdict,
+    /// Fan-out for the per-process candidate scans (`hb-par` sets this
+    /// via [`PredictiveMatcher::with_threads`]); `0` and `1` keep every
+    /// scan on the calling thread. Pure configuration: not part of the
+    /// exported state, and no thread count changes a single byte of it.
+    threads: usize,
+    /// Bypasses the width threshold on the parallel scan (test hook;
+    /// see [`PredictiveMatcher::force_parallel`]). Configuration only,
+    /// like `threads`.
+    force: bool,
 }
 
 impl PredictiveMatcher {
@@ -120,7 +139,28 @@ impl PredictiveMatcher {
             finished: vec![false; n],
             seen: vec![0; n],
             verdict: OnlineVerdict::Pending,
+            threads: 0,
+            force: false,
         }
+    }
+
+    /// Enables parallel per-process candidate scans with the given
+    /// fan-out (`0`/`1` = stay sequential). The scans are read-only
+    /// searches whose results are applied in the sequential order, so
+    /// behavior and exported state are identical at any setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Engages the parallel candidate scan regardless of session width
+    /// (normally gated at `PAR_MIN_SCAN_PROCESSES` processes, where
+    /// one insert's scan work amortizes a shim thread spawn). For the
+    /// differential test battery; results are byte-identical either
+    /// way.
+    pub fn force_parallel(mut self, on: bool) -> Self {
+        self.force = on;
+        self
     }
 
     /// A matcher shaped by a wire pattern (the atoms' `causal` flags;
@@ -150,6 +190,8 @@ impl PredictiveMatcher {
             finished: s.finished.clone(),
             seen: s.seen.clone(),
             verdict: s.verdict.to_verdict(),
+            threads: 0,
+            force: false,
         }
     }
 
@@ -190,21 +232,39 @@ impl PredictiveMatcher {
                 self.verdict = OnlineVerdict::Detected(Cut::from_counters(ch.join));
                 return;
             }
-            for p in 0..self.n {
-                let list = &self.candidates[s][p];
-                // Eligibility is monotone along a process line (own
-                // components strictly increase, clocks grow pointwise),
-                // so the eligible candidates are a suffix; the first
-                // one dominates the rest.
+            // Eligibility is monotone along a process line (own
+            // components strictly increase, clocks grow pointwise), so
+            // the eligible candidates are a suffix; the first one
+            // dominates the rest. One binary search per process — the
+            // per-atom candidate scan — which is the fan-out unit of
+            // the parallel path: each process's search is independent
+            // and read-only, and the hits are pushed in process order
+            // either way, so the worklist (and everything downstream)
+            // is identical at any thread count.
+            let scan = |p: usize, list: &Vec<Vec<u32>>| -> Option<Chain> {
                 let first = list.partition_point(|c| !eligible(&ch, p, c, self.causal[s]));
-                if let Some(c) = list.get(first) {
-                    work.push((
-                        s + 1,
-                        Chain {
-                            join: join(&ch.join, c),
-                            last: c.clone(),
-                        },
-                    ));
+                list.get(first).map(|c| Chain {
+                    join: join(&ch.join, c),
+                    last: c.clone(),
+                })
+            };
+            if self.threads > 1 && (self.force || self.n >= PAR_MIN_SCAN_PROCESSES) {
+                let lists: Vec<(usize, &Vec<Vec<u32>>)> =
+                    self.candidates[s].iter().enumerate().collect();
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(self.threads)
+                    .build()
+                    .expect("shim pool build cannot fail");
+                let hits: Vec<Option<Chain>> =
+                    pool.install(|| lists.par_iter().map(|&(p, list)| scan(p, list)).collect());
+                for chain in hits.into_iter().flatten() {
+                    work.push((s + 1, chain));
+                }
+            } else {
+                for p in 0..self.n {
+                    if let Some(chain) = scan(p, &self.candidates[s][p]) {
+                        work.push((s + 1, chain));
+                    }
                 }
             }
         }
@@ -412,6 +472,29 @@ mod tests {
         let v2 = resumed.observe_atoms(2, 0b100, &vc(&[1, 1, 2]));
         assert_eq!(v1, v2);
         assert!(matches!(v1, OnlineVerdict::Detected(_)));
+    }
+
+    /// `restore_any` is the one restore entry point a service needs:
+    /// it dispatches pattern state here and delegates the
+    /// state-predicate variants to `hb_detect` — all three round-trip.
+    #[test]
+    fn restore_any_round_trips_every_variant() {
+        use hb_detect::online::{OnlineEfConjunctive, OnlineEfDisjunctive};
+        let mut conj = OnlineEfConjunctive::new(2, vec![true, true], vec![false, false]);
+        OnlineMonitor::observe(&mut conj, 0, true, &vc(&[1, 0]));
+        let mut disj = OnlineEfDisjunctive::new(2, vec![false, false]);
+        OnlineMonitor::observe(&mut disj, 1, false, &vc(&[0, 1]));
+        let mut pat = PredictiveMatcher::new(2, vec![false, false]);
+        pat.observe_atoms(0, 0b01, &vc(&[1, 0]));
+        let exports = [
+            OnlineMonitor::export_state(&conj),
+            OnlineMonitor::export_state(&disj),
+            pat.export_state(),
+        ];
+        for exported in &exports {
+            let restored = restore_any(exported);
+            assert_eq!(&restored.export_state(), exported);
+        }
     }
 
     #[test]
